@@ -1,0 +1,76 @@
+// C11 — Offload decisions matter (TOM, Hsieh et al., ISCA 2016 [19]):
+// blindly offloading everything to PNM loses when the block is
+// compute-bound (host cores are individually far stronger); blindly
+// staying on the host loses when the block is bandwidth-bound. A
+// cost-model decision must catch the crossover.
+//
+// Gather kernel; compute intensity swept across the crossover, plus a
+// vault-locality sweep showing the PNM-side margin shift.
+#include "bench/bench_util.hh"
+#include "pnm/kernels.hh"
+#include "pnm/offload.hh"
+#include "pnm/stack.hh"
+
+using namespace ima;
+
+int main() {
+  bench::print_header(
+      "C11: TOM-style selective offload",
+      "Claim: programmer-transparent offload needs a cost model: offload only when "
+      "the saved off-package traffic outweighs the weaker near-memory compute [19].");
+
+  pnm::PnmConfig cfg;
+  cfg.vaults = 8;
+  cfg.vault_dram.geometry.banks = 8;
+  cfg.vault_dram.geometry.subarrays = 8;
+  cfg.vault_dram.geometry.rows_per_subarray = 256;
+  cfg.vault_dram.geometry.columns = 32;
+  pnm::PnmStack stack(cfg);
+  const std::uint32_t kHostCores = 4;
+  const auto params = pnm::OffloadModelParams::from(cfg, kHostCores);
+
+  auto profile_for = [&](const pnm::KernelTraces& k, std::uint32_t compute, double locality) {
+    pnm::BlockProfile prof;
+    prof.memory_accesses = k.total_accesses();
+    prof.compute_instrs = k.work_items * compute;
+    prof.reuse_fraction = 0.0;                     // gather over a huge footprint
+    prof.local_fraction = (1.0 + locality) / 2.0;  // index reads always local
+    return prof;
+  };
+
+  std::cout << "Compute-intensity sweep (locality 0.5)\n\n";
+  Table t({"compute/elem", "host (Mcyc)", "PNM (Mcyc)", "model picks", "selective vs best"});
+  for (const std::uint32_t compute : {2u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    const auto k =
+        pnm::gather_kernel(40'000, 0.5, cfg.vaults, stack.vault_bytes(), compute, 3);
+    const auto host = stack.run_host(k.traces, kHostCores);
+    const auto pnm = stack.run_pnm(k.traces);
+    const auto pick = pnm::decide_offload(profile_for(k, compute, 0.5), params);
+    const Cycle selective = pick == pnm::Placement::Pnm ? pnm.cycles : host.cycles;
+    const Cycle best = std::min(pnm.cycles, host.cycles);
+    t.add_row({Table::fmt_int(compute), Table::fmt(host.cycles / 1e6, 2),
+               Table::fmt(pnm.cycles / 1e6, 2), pnm::to_string(pick),
+               Table::fmt_ratio(static_cast<double>(selective) / best)});
+  }
+  bench::print_table(t);
+
+  std::cout << "\nLocality sweep (compute/elem 8)\n\n";
+  Table l({"locality", "host (Mcyc)", "PNM (Mcyc)", "PNM speedup"});
+  for (double locality : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const auto k =
+        pnm::gather_kernel(40'000, locality, cfg.vaults, stack.vault_bytes(), 8, 3);
+    const auto host = stack.run_host(k.traces, kHostCores);
+    const auto pnm = stack.run_pnm(k.traces);
+    l.add_row({Table::fmt(locality, 2), Table::fmt(host.cycles / 1e6, 2),
+               Table::fmt(pnm.cycles / 1e6, 2),
+               Table::fmt_ratio(static_cast<double>(host.cycles) / pnm.cycles)});
+  }
+  bench::print_table(l);
+
+  bench::print_shape(
+      "low compute intensity: PNM wins (bandwidth-bound); high intensity: host wins "
+      "(16 aggregate host IPC vs 8 PNM IPC) — with a crossover in between that the "
+      "model catches to within ~one sweep point ('selective vs best' near 1.0x, "
+      "never the worst case); PNM margin grows with vault locality");
+  return 0;
+}

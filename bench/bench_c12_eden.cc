@@ -1,0 +1,107 @@
+// C12 — EDEN: error-tolerant data (NN weights) can live in approximate
+// DRAM operated below nominal timing, cutting energy/latency while
+// criticality-aware placement preserves output quality (Koppula et al.,
+// MICRO 2019 [54]).
+//
+// Synthetic inference: 64 "neurons" (random weight vectors) classify
+// random inputs by dot-product sign. Quality = agreement with the exact
+// model. Placements: all-exact, all-approx, and EDEN (criticality-aware:
+// the high-magnitude weights — which dominate output sign — stay exact).
+#include <cmath>
+
+#include "aware/eden.hh"
+#include "bench/bench_util.hh"
+#include "common/rng.hh"
+
+using namespace ima;
+
+namespace {
+
+constexpr int kNeurons = 64;
+constexpr int kDim = 256;
+constexpr int kInputs = 400;
+
+struct Model {
+  // Fixed-point weights, one vector per neuron.
+  std::vector<std::int32_t> w;  // kNeurons * kDim
+};
+
+Model make_model(std::uint64_t seed) {
+  Rng rng(seed);
+  Model m;
+  m.w.resize(kNeurons * kDim);
+  for (auto& v : m.w)
+    v = static_cast<std::int32_t>(rng.next_below(2001)) - 1000;  // [-1000, 1000]
+  return m;
+}
+
+double run_quality(const Model& m, const aware::ApproxOperatingPoint& op,
+                   bool criticality_aware, std::uint64_t seed) {
+  // Store weights into exact/approx regions. Criticality heuristic: the
+  // top-25%-magnitude weights are critical.
+  aware::ApproxMemory approx(m.w.size(), op, seed);
+  std::vector<bool> critical(m.w.size(), false);
+  if (criticality_aware) {
+    for (std::size_t i = 0; i < m.w.size(); ++i)
+      critical[i] = std::abs(m.w[i]) > 500;
+  }
+  for (std::size_t i = 0; i < m.w.size(); ++i)
+    approx.write(i, static_cast<std::uint64_t>(static_cast<std::int64_t>(m.w[i])));
+
+  Rng rng(seed ^ 0x1234);
+  int agree = 0;
+  for (int t = 0; t < kInputs; ++t) {
+    std::vector<std::int32_t> x(kDim);
+    for (auto& v : x) v = static_cast<std::int32_t>(rng.next_below(201)) - 100;
+    for (int n = 0; n < kNeurons; ++n) {
+      std::int64_t exact = 0, noisy = 0;
+      for (int d = 0; d < kDim; ++d) {
+        const std::size_t idx = static_cast<std::size_t>(n) * kDim + d;
+        const auto wv = m.w[idx];
+        std::int64_t rv;
+        if (critical[idx]) {
+          rv = wv;  // stored in the exact region
+        } else {
+          // Read through the approximate region; interpret low 32 bits.
+          rv = static_cast<std::int32_t>(approx.read(idx) & 0xFFFFFFFFull);
+          // EDEN-style value clipping: implausible magnitudes are clamped
+          // (cheap mitigation from the paper).
+          if (rv > 4000 || rv < -4000) rv = 0;
+        }
+        exact += static_cast<std::int64_t>(wv) * x[d];
+        noisy += rv * x[d];
+      }
+      if ((exact >= 0) == (noisy >= 0)) ++agree;
+    }
+  }
+  return static_cast<double>(agree) / (kNeurons * kInputs);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "C12: EDEN approximate DRAM for error-tolerant data",
+      "Claim: reduced-timing DRAM saves energy/latency; criticality-aware placement "
+      "keeps inference quality while approximating the bulk of the data [54].");
+
+  const auto model = make_model(5);
+  Table t({"tRCD scale", "BER", "energy", "latency", "all-approx quality",
+           "EDEN quality"});
+  for (double scale : {1.0, 0.9, 0.8, 0.7, 0.6, 0.5}) {
+    const auto op = aware::operating_point(scale);
+    const double q_all = run_quality(model, op, false, 11);
+    const double q_eden = run_quality(model, op, true, 11);
+    t.add_row({Table::fmt(op.trcd_scale, 2),
+               op.bit_error_rate > 0 ? Table::fmt(op.bit_error_rate * 1e6, 3) + "e-6" : "0",
+               Table::fmt_pct(op.energy_scale), Table::fmt_pct(op.latency_scale),
+               Table::fmt_pct(q_all), Table::fmt_pct(q_eden)});
+  }
+  bench::print_table(t);
+  bench::print_shape(
+      "energy/latency fall ~linearly with tRCD scale; all-approx quality degrades "
+      "at aggressive scaling while EDEN (critical 25% exact + clipping) stays "
+      "several points higher at every aggressive point — the criticality-aware win "
+      "that lets the tolerant bulk run at ~70% energy");
+  return 0;
+}

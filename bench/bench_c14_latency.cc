@@ -1,0 +1,158 @@
+// C14 (extension) — Fundamentally reducing DRAM latency, the paper's
+// second data-centric characteristic:
+//   AL-DRAM   (Lee et al., HPCA 2015 [13]): most devices tolerate
+//             common-case timings well below datasheet worst case.
+//   ChargeCache (Hassan et al., HPCA 2016 [26]): rows precharged recently
+//             are still highly charged and can be activated faster.
+//   SALP      (Kim et al., ISCA 2012 [86]): per-subarray row buffers let
+//             rows in different subarrays stay open simultaneously,
+//             converting inter-subarray conflicts into row hits.
+//
+// Both are measured on a row-conflict-heavy dependent access pattern (the
+// pattern that exposes activation latency), alone and combined.
+#include "bench/bench_util.hh"
+#include "mem/memsys.hh"
+#include "workloads/stream.hh"
+
+using namespace ima;
+
+namespace {
+
+struct Out {
+  double mean_read_latency = 0;
+  double charge_hit_rate = 0;
+};
+
+/// Same dependent conflict pattern but rows placed in *different*
+/// subarrays — the case SALP converts into row hits.
+double run_salp(bool salp, Cycle reqs) {
+  auto cfg = dram::DramConfig::ddr4_2400();
+  cfg.timings.salp = salp;
+  mem::ControllerConfig ctrl;
+  ctrl.sched = mem::SchedKind::Fcfs;
+  mem::MemorySystem sys(cfg, ctrl);
+  const Addr row_stride =
+      static_cast<Addr>(cfg.geometry.row_bytes()) * cfg.geometry.banks;
+  const Addr subarray_stride = row_stride * cfg.geometry.rows_per_subarray;
+  Cycle now = 0;
+  for (Cycle i = 0; i < reqs; ++i) {
+    mem::Request r;
+    r.addr = (i % 3) * subarray_stride;  // three rows, three subarrays
+    r.arrive = now;
+    sys.enqueue(r);
+    now = sys.drain(now) + 64;
+  }
+  return sys.controller(0).stats().read_latency.mean();
+}
+
+/// Dependent accesses alternating among a few rows per bank: every access
+/// is a row conflict, so tRP+tRCD dominate.
+Out run(const dram::DramConfig& dram_cfg, bool charge_cache, Cycle reqs) {
+  mem::ControllerConfig ctrl;
+  ctrl.sched = mem::SchedKind::Fcfs;
+  ctrl.charge_cache = charge_cache;
+  mem::MemorySystem sys(dram_cfg, ctrl);
+
+  const Addr row_stride =
+      static_cast<Addr>(dram_cfg.geometry.row_bytes()) * dram_cfg.geometry.banks;
+  Cycle now = 0;
+  for (Cycle i = 0; i < reqs; ++i) {
+    mem::Request r;
+    r.addr = (i % 3) * row_stride * 4;  // rotate over 3 rows of bank 0
+    r.arrive = now;
+    sys.enqueue(r);
+    // Think time between dependent misses: tRC is no longer the binding
+    // constraint, as in real (non-back-to-back) conflict patterns.
+    now = sys.drain(now) + 64;
+  }
+  Out o;
+  const auto& st = sys.controller(0).stats();
+  o.mean_read_latency = st.read_latency.mean();
+  const auto probes = st.charge_cache_hits + st.charge_cache_misses;
+  o.charge_hit_rate = probes ? static_cast<double>(st.charge_cache_hits) / probes : 0.0;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "C14 (ext): DRAM latency reduction (AL-DRAM + ChargeCache)",
+      "Claim: datasheet timings are worst-case; exploiting common-case margin "
+      "(AL-DRAM) and residual row charge (ChargeCache) cuts access latency at "
+      "zero DRAM-chip cost [13,26].");
+
+  const auto base = dram::DramConfig::ddr4_2400();
+  const Cycle kReqs = 300;
+
+  Table t({"configuration", "mean read latency (cyc)", "vs baseline",
+           "charge-cache hit rate"});
+  const auto baseline = run(base, false, kReqs);
+  t.add_row({"baseline DDR4-2400", Table::fmt(baseline.mean_read_latency, 1),
+             Table::fmt_pct(0.0), "-"});
+
+  for (double scale : {0.9, 0.8, 0.7}) {
+    const auto o = run(base.with_scaled_timings(scale), false, kReqs);
+    t.add_row({"AL-DRAM " + Table::fmt(scale, 1) + "x timings",
+               Table::fmt(o.mean_read_latency, 1),
+               Table::fmt_pct(1.0 - o.mean_read_latency / baseline.mean_read_latency), "-"});
+  }
+  {
+    const auto o = run(base, true, kReqs);
+    t.add_row({"ChargeCache", Table::fmt(o.mean_read_latency, 1),
+               Table::fmt_pct(1.0 - o.mean_read_latency / baseline.mean_read_latency),
+               Table::fmt_pct(o.charge_hit_rate)});
+  }
+  {
+    const auto o = run(base.with_scaled_timings(0.8), true, kReqs);
+    t.add_row({"AL-DRAM 0.8x + ChargeCache", Table::fmt(o.mean_read_latency, 1),
+               Table::fmt_pct(1.0 - o.mean_read_latency / baseline.mean_read_latency),
+               Table::fmt_pct(o.charge_hit_rate)});
+  }
+  bench::print_table(t);
+
+  std::cout << "\nChargeCache sensitivity to access-locality window\n\n";
+  Table s({"rows rotated per bank", "charge hit rate", "mean latency (cyc)"});
+  for (const int rows : {2, 3, 8, 64, 512}) {
+    mem::ControllerConfig ctrl;
+    ctrl.sched = mem::SchedKind::Fcfs;
+    ctrl.charge_cache = true;
+    mem::MemorySystem sys(base, ctrl);
+    const Addr row_stride =
+        static_cast<Addr>(base.geometry.row_bytes()) * base.geometry.banks;
+    Cycle now = 0;
+    for (Cycle i = 0; i < kReqs; ++i) {
+      mem::Request r;
+      r.addr = (i % static_cast<Cycle>(rows)) * row_stride * 4;
+      r.arrive = now;
+      sys.enqueue(r);
+      // Think time between dependent misses: tRC is no longer the binding
+    // constraint, as in real (non-back-to-back) conflict patterns.
+    now = sys.drain(now) + 64;
+    }
+    const auto& st = sys.controller(0).stats();
+    const auto probes = st.charge_cache_hits + st.charge_cache_misses;
+    s.add_row({Table::fmt_int(static_cast<std::uint64_t>(rows)),
+               Table::fmt_pct(probes ? static_cast<double>(st.charge_cache_hits) / probes : 0),
+               Table::fmt(st.read_latency.mean(), 1)});
+  }
+  bench::print_table(s);
+
+  std::cout << "\nSALP: inter-subarray conflicts become row hits\n\n";
+  Table sa({"configuration", "mean read latency (cyc)", "vs baseline"});
+  const double salp_base = run_salp(false, kReqs);
+  sa.add_row({"baseline (one row buffer/bank)", Table::fmt(salp_base, 1), Table::fmt_pct(0.0)});
+  const double salp_on = run_salp(true, kReqs);
+  sa.add_row({"SALP (per-subarray buffers)", Table::fmt(salp_on, 1),
+              Table::fmt_pct(1.0 - salp_on / salp_base)});
+  bench::print_table(sa);
+
+  bench::print_shape(
+      "AL-DRAM cuts conflict latency roughly in proportion to the timing scale "
+      "(~8-20%); ChargeCache achieves a near-100% hit rate on small hot row sets "
+      "(its row-access-locality premise) and fades as the rotated set exceeds its "
+      "128 entries; the two compose; SALP removes inter-subarray conflicts almost "
+      "entirely (every post-warmup access is a row hit), beyond what either "
+      "timing trick can reach");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// C15 (extension) — D-RaNGe: commodity DRAM as a true random number
+// generator (Kim et al., HPCA 2019 [34]): reduced-tRCD reads of
+// characterized cells yield hundreds of Mb/s of true randomness — an
+// example of understanding and exploiting device-level behaviour (the
+// paper's bottom-up push) for a new function.
+#include <bit>
+
+#include "bench/bench_util.hh"
+#include "pim/trng.hh"
+
+using namespace ima;
+
+int main() {
+  bench::print_header(
+      "C15 (ext): D-RaNGe in-DRAM true random number generation",
+      "Claim: commodity DRAM generates true random numbers at hundreds of Mb/s "
+      "using reduced-latency reads of characterized cells [34].");
+
+  const auto cfg = dram::DramConfig::ddr4_2400();
+
+  Table t({"RNG rows (banks)", "cells/read", "throughput (Mb/s)", "ones fraction"});
+  for (const std::uint32_t rows : {1u, 4u, 8u}) {
+    for (const std::uint32_t cells : {4u, 16u, 32u}) {
+      dram::Channel chan(cfg, 0, nullptr);
+      pim::DRangeTrng trng(chan, rows, cells);
+      Cycle now = 0;
+      std::uint64_t ones = 0;
+      constexpr int kDraws = 2000;
+      for (int i = 0; i < kDraws; ++i) ones += std::popcount(trng.next64(&now));
+      t.add_row({Table::fmt_int(rows), Table::fmt_int(cells),
+                 Table::fmt(trng.throughput_mbps(now), 1),
+                 Table::fmt_pct(static_cast<double>(ones) / (kDraws * 64.0))});
+    }
+  }
+  bench::print_table(t);
+  bench::print_shape(
+      "throughput scales with cells harvested per read and with bank-level "
+      "pipelining (more RNG rows), reaching the published hundreds-of-Mb/s band; "
+      "bit balance stays at 50%");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// C16 (extension) — Accelerating genome analysis, the paper's motivating
+// application [2,3,113,119,143]: most candidate mapping locations are
+// false, so a lossless pre-alignment filter (SneakySnake) plus a
+// bitvector alignment engine (GenASM) removes the dominant cost without
+// losing mappings.
+//
+// One synthetic read set mapped under four pipeline configurations;
+// work is reported in the units each engine executes (DP cells for the
+// CPU aligner at ~4 cells/cycle SIMD, text characters for GenASM at
+// 1 char/cycle near-memory).
+#include "bench/bench_util.hh"
+#include "genomics/pipeline.hh"
+
+using namespace ima;
+
+int main() {
+  bench::print_header(
+      "C16 (ext): genome read-mapping acceleration",
+      "Claim: pre-alignment filtering rejects most false candidates losslessly, and "
+      "bitvector alignment removes the DP bottleneck — together restoring the "
+      "throughput that sequencing technology provides [83,113,143].");
+
+  const auto genome = workloads::make_genome(400'000, 120, 100, 0.02, 21);
+  std::cout << "reference " << genome.reference.size() << " bases, "
+            << genome.reads.size() << " reads x 100bp @ 2% error, k=6 edits\n\n";
+
+  struct Config {
+    const char* name;
+    bool snake;
+    bool genasm;
+  };
+  const Config configs[] = {
+      {"DP align-all", false, false},
+      {"SneakySnake + DP", true, false},
+      {"GenASM align-all", false, true},
+      {"SneakySnake + GenASM", true, true},
+  };
+
+  Table t({"pipeline", "candidates", "filter rejects", "alignments", "recall",
+           "align cycles (est)", "vs DP align-all"});
+  double baseline_cycles = 0;
+  for (const auto& c : configs) {
+    genomics::PipelineConfig cfg;
+    cfg.seed_k = 10;  // permissive seeding: many false candidates, as in
+                      // real mappers — the filter's reason to exist
+    cfg.max_errors = 6;
+    cfg.use_snake_filter = c.snake;
+    cfg.use_genasm = c.genasm;
+    const auto st = genomics::map_reads(genome, cfg);
+    // CPU banded DP: ~4 cells/cycle (SIMD); GenASM: 1 text char/cycle.
+    const double cycles = c.genasm ? static_cast<double>(st.accel_cycles)
+                                   : static_cast<double>(st.dp_cells) / 4.0;
+    if (baseline_cycles == 0) baseline_cycles = cycles;
+    t.add_row({c.name, Table::fmt_int(st.candidates),
+               Table::fmt_pct(st.filter_reject_rate()), Table::fmt_int(st.alignments),
+               Table::fmt_pct(st.recall()), Table::fmt_si(cycles, 2),
+               Table::fmt_ratio(baseline_cycles / cycles)});
+  }
+  bench::print_table(t);
+
+  std::cout << "\nFilter threshold sensitivity (SneakySnake + GenASM)\n\n";
+  Table s({"max errors", "filter reject rate", "alignments", "recall"});
+  for (std::uint32_t k : {2u, 4u, 6u, 10u}) {
+    genomics::PipelineConfig cfg;
+    cfg.seed_k = 10;
+    cfg.max_errors = k;
+    const auto st = genomics::map_reads(genome, cfg);
+    s.add_row({Table::fmt_int(k), Table::fmt_pct(st.filter_reject_rate()),
+               Table::fmt_int(st.alignments), Table::fmt_pct(st.recall())});
+  }
+  bench::print_table(s);
+
+  bench::print_shape(
+      "the filter rejects the vast majority of candidates with zero recall loss "
+      "(SneakySnake's losslessness); GenASM cuts per-alignment work further; the "
+      "combined pipeline is an order of magnitude cheaper than DP-align-all — the "
+      "shape of the cited genomics-acceleration stack");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// C17 (extension) — Neural branch prediction (Jimenez & Lin, HPCA 2001
+// [40]; [41-43,121]): the earliest data-driven controller the paper cites.
+// A perceptron exploits long linear history correlations that fixed-size
+// counter tables cannot reach, at comparable storage; counter tables keep
+// an edge on short non-linear patterns — both directions are reproduced.
+#include "bench/bench_util.hh"
+#include "learn/branch.hh"
+#include "workloads/branches.hh"
+
+using namespace ima;
+using workloads::BranchPattern;
+
+namespace {
+
+double measure(learn::BranchPredictor& bp, BranchPattern p, std::uint32_t param,
+               std::uint32_t pcs) {
+  const auto trace = workloads::make_branch_trace(p, 200'000, param, pcs, 7);
+  return learn::run_branch_trace(bp, trace).mispredict_rate();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "C17 (ext): perceptron branch prediction",
+      "Claim: replacing fixed 2-bit counter heuristics with an online-learned "
+      "linear model captures much longer history correlations at similar "
+      "storage [40-43].");
+
+  struct Workload {
+    BranchPattern pattern;
+    std::uint32_t param;
+    std::uint32_t pcs;
+  };
+  const Workload workloads_list[] = {
+      {BranchPattern::Biased, 90, 16},       {BranchPattern::Loop, 8, 1},
+      {BranchPattern::LongLinear, 24, 16},   {BranchPattern::MajorityHist, 15, 16},
+      {BranchPattern::XorHist, 0, 3},        {BranchPattern::Random, 0, 16},
+  };
+
+  Table t({"branch pattern", "static", "bimodal", "gshare", "perceptron"});
+  for (const auto& w : workloads_list) {
+    auto st = learn::make_static_predictor();
+    auto bi = learn::make_bimodal(12);
+    auto gs = learn::make_gshare(12, 12);
+    auto pc = learn::make_perceptron_bp(8, 32);
+    t.add_row({to_string(w.pattern), Table::fmt_pct(measure(*st, w.pattern, w.param, w.pcs)),
+               Table::fmt_pct(measure(*bi, w.pattern, w.param, w.pcs)),
+               Table::fmt_pct(measure(*gs, w.pattern, w.param, w.pcs)),
+               Table::fmt_pct(measure(*pc, w.pattern, w.param, w.pcs))});
+  }
+  bench::print_table(t);
+
+  std::cout << "\nHistory-length reach (long-linear correlation at lag L)\n\n";
+  Table h({"correlation lag", "gshare (12-bit hist)", "perceptron (32-deep)"});
+  for (std::uint32_t lag : {4u, 8u, 16u, 24u, 30u}) {
+    auto gs = learn::make_gshare(12, 12);
+    auto pc = learn::make_perceptron_bp(8, 32);
+    h.add_row({Table::fmt_int(lag),
+               Table::fmt_pct(measure(*gs, BranchPattern::LongLinear, lag, 16)),
+               Table::fmt_pct(measure(*pc, BranchPattern::LongLinear, lag, 16))});
+  }
+  bench::print_table(h);
+
+  bench::print_shape(
+      "perceptron tracks gshare on short patterns and dominates once the "
+      "correlation lag exceeds gshare's history window (lag > 12), staying near "
+      "the 5% noise floor out to its 32-deep history; gshare wins the XOR case "
+      "(non-linearly-separable) — Jimenez & Lin's published trade-off, both ways");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// C18 (extension) — Runahead execution (Mutlu et al., HPCA 2003 [154],
+// ISCA 2005 [155]): instead of stalling on a long-latency miss, keep
+// executing speculatively to prefetch future independent misses — an
+// instruction window's worth of MLP without the window.
+//
+// IPC with/without runahead across workload classes, plus the depth sweep.
+#include "bench/bench_util.hh"
+#include "sim/system.hh"
+
+using namespace ima;
+
+namespace {
+
+double run_ipc(std::unique_ptr<workloads::AccessStream> stream, bool runahead,
+               std::uint32_t depth) {
+  sim::SystemConfig cfg;
+  cfg.num_cores = 1;
+  cfg.ctrl.num_cores = 1;
+  cfg.core.instr_limit = 40'000;
+  cfg.core.runahead = runahead;
+  cfg.core.runahead_depth = depth;
+  std::vector<std::unique_ptr<workloads::AccessStream>> s;
+  s.push_back(std::move(stream));
+  sim::System sys(cfg, std::move(s));
+  const Cycle end = sys.run(100'000'000);
+  return sys.core_at(0).stats().ipc(end);
+}
+
+std::unique_ptr<workloads::AccessStream> make(const char* kind, std::uint64_t seed) {
+  workloads::StreamParams p;
+  p.footprint = 64ull << 20;
+  p.seed = seed;
+  p.compute_per_access = 2;
+  const std::string k = kind;
+  if (k == "random") return workloads::make_random(p);
+  if (k == "streaming") return workloads::make_streaming(p);
+  if (k == "zipf") return workloads::make_zipf(p, 0.8);
+  return workloads::make_pointer_chase(p);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "C18 (ext): runahead execution",
+      "Claim: speculative pre-execution during miss stalls extracts the MLP of a "
+      "much larger instruction window — large gains on independent-miss streams, "
+      "none on dependent pointer chases [154,155].");
+
+  Table t({"workload", "IPC base", "IPC runahead", "speedup"});
+  for (const char* kind : {"random", "streaming", "zipf", "pointer-chase"}) {
+    const double base = run_ipc(make(kind, 3), false, 8);
+    const double ra = run_ipc(make(kind, 3), true, 8);
+    t.add_row({kind, Table::fmt(base, 4), Table::fmt(ra, 4), Table::fmt_ratio(ra / base)});
+  }
+  bench::print_table(t);
+
+  std::cout << "\nRunahead depth sweep (random stream — the 'window size' knob)\n\n";
+  Table d({"depth", "IPC", "speedup vs depth 0"});
+  const double base = run_ipc(make("random", 5), false, 0);
+  for (std::uint32_t depth : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const double ipc = run_ipc(make("random", 5), true, depth);
+    d.add_row({Table::fmt_int(depth), Table::fmt(ipc, 4), Table::fmt_ratio(ipc / base)});
+  }
+  bench::print_table(d);
+
+  bench::print_shape(
+      "independent-miss streams (random/zipf) gain strongly (the published 20-100%+ "
+      "band); pointer chases gain ~nothing (each miss depends on the previous — "
+      "runahead cannot compute the next address); gains grow with runahead depth "
+      "and saturate at the bank-parallelism limit");
+  return 0;
+}

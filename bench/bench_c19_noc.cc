@@ -1,0 +1,63 @@
+// C19 (extension) — Bufferless on-chip networks (BLESS, Moscibroda &
+// Mutlu, ISCA 2009 [200]; CHIPPER [205]; MinBD [207]): router buffers are
+// most of a NoC's energy/area, yet at realistic loads deflections are rare
+// — removing the buffers saves substantial energy with minimal latency
+// cost, until the network approaches saturation.
+//
+// Latency/energy vs injection rate for buffered XY vs bufferless
+// deflection routing on an 8x8 mesh, uniform-random traffic.
+#include "bench/bench_util.hh"
+#include "noc/mesh.hh"
+
+using namespace ima;
+
+int main() {
+  bench::print_header(
+      "C19 (ext): bufferless deflection routing",
+      "Claim: removing router buffers saves most router energy at negligible "
+      "latency cost for low-to-medium loads; deflections only matter near "
+      "saturation [200,205,207].");
+
+  noc::NocConfig buffered;
+  buffered.width = buffered.height = 8;
+  noc::NocConfig bufferless = buffered;
+  bufferless.bufferless = true;
+
+  Table t({"inject rate", "buffered lat", "bufferless lat", "defl/packet",
+           "buffered pJ/pkt", "bufferless pJ/pkt", "energy saving"});
+  for (double rate : {0.01, 0.05, 0.10, 0.20, 0.30, 0.40}) {
+    const auto b = noc::run_uniform_traffic(buffered, rate, 20'000, 9);
+    const auto d = noc::run_uniform_traffic(bufferless, rate, 20'000, 9);
+    const double b_epp = b.stats().energy / static_cast<double>(b.stats().delivered);
+    const double d_epp = d.stats().energy / static_cast<double>(d.stats().delivered);
+    t.add_row({Table::fmt(rate, 2), Table::fmt(b.stats().latency.mean(), 1),
+               Table::fmt(d.stats().latency.mean(), 1),
+               Table::fmt(static_cast<double>(d.stats().deflections) /
+                              static_cast<double>(d.stats().delivered),
+                          2),
+               Table::fmt(b_epp, 1), Table::fmt(d_epp, 1),
+               Table::fmt_pct(1.0 - d_epp / b_epp)});
+  }
+  bench::print_table(t);
+
+  std::cout << "\np99 latency near saturation\n\n";
+  Table p({"inject rate", "buffered p99", "bufferless p99"});
+  for (double rate : {0.10, 0.30, 0.45}) {
+    const auto b = noc::run_uniform_traffic(buffered, rate, 20'000, 13);
+    const auto d = noc::run_uniform_traffic(bufferless, rate, 20'000, 13);
+    // Approximate p99 as mean + 2.33 sigma (latency is right-skewed; this
+    // is a comparative, not absolute, number).
+    auto p99 = [](const noc::Mesh& m) {
+      return m.stats().latency.mean() + 2.33 * m.stats().latency.stddev();
+    };
+    p.add_row({Table::fmt(rate, 2), Table::fmt(p99(b), 1), Table::fmt(p99(d), 1)});
+  }
+  bench::print_table(p);
+
+  bench::print_shape(
+      "low load: bufferless matches buffered latency within a few cycles while "
+      "saving ~30-40% of per-packet energy (no buffer writes); deflections/packet "
+      "rise with load and the bufferless latency curve knees earlier — BLESS's "
+      "published trade-off");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// C21 (extension) — Adaptive prefetching: feedback-directed throttling
+// (Srinath et al., HPCA 2007 [150]) and perceptron filtering (Bhatia et
+// al., ISCA 2019 [46]) vs fixed-aggressiveness heuristics — the
+// data-driven principle applied to the prefetch controller the paper
+// names explicitly.
+//
+// Phase-changing workload: a strideable phase (prefetching pays) followed
+// by a random phase (prefetching pollutes). Fixed degrees are each wrong
+// in one phase; the adaptive schemes track the right behaviour in both.
+#include "bench/bench_util.hh"
+#include "sim/system.hh"
+
+using namespace ima;
+
+namespace {
+
+/// Stream that switches from sequential to random halfway through.
+class PhaseStream final : public workloads::AccessStream {
+ public:
+  explicit PhaseStream(std::uint64_t phase_len, std::uint64_t seed)
+      : phase_len_(phase_len), rng_(seed) {}
+
+  workloads::TraceEntry next() override {
+    workloads::TraceEntry e;
+    e.compute = 2;
+    if (count_++ % (2 * phase_len_) < phase_len_) {
+      e.addr = seq_;
+      seq_ += kLineBytes;
+      e.pc = 0x1000;
+    } else {
+      // Deceptive phase: short sequential runs (5 lines) at random bases.
+      // The stride detector gains confidence inside a run, then every
+      // prefetch past the run end is pollution.
+      if (run_left_ == 0) {
+        run_base_ = (1ull << 30) + line_base(rng_.next_below(64ull << 20));
+        run_left_ = 5;
+      }
+      e.addr = run_base_;
+      run_base_ += kLineBytes;
+      --run_left_;
+      e.pc = 0x2000;
+    }
+    return e;
+  }
+
+  std::string name() const override { return "phase"; }
+
+ private:
+  std::uint64_t phase_len_;
+  std::uint64_t count_ = 0;
+  Addr seq_ = 0;
+  Addr run_base_ = 0;
+  std::uint32_t run_left_ = 0;
+  Rng rng_;
+};
+
+struct Out {
+  double ipc = 0;
+  std::uint64_t issued = 0;
+  double useful_frac = 0;
+};
+
+Out run(sim::PrefetchKind kind) {
+  sim::SystemConfig cfg;
+  cfg.num_cores = 1;
+  cfg.ctrl.num_cores = 1;
+  cfg.core.instr_limit = 60'000;
+  cfg.prefetch = kind;
+  // Small caches: pollution must cost something, and prefetch outcomes
+  // (eviction feedback) must arrive promptly enough to steer the adaptive
+  // schemes within a phase.
+  cfg.l1.size_bytes = 8 * 1024;
+  cfg.l2.size_bytes = 128 * 1024;
+  std::vector<std::unique_ptr<workloads::AccessStream>> s;
+  s.push_back(std::make_unique<PhaseStream>(16384, 5));
+  sim::System sys(cfg, std::move(s));
+  const Cycle end = sys.run(100'000'000);
+  Out o;
+  o.ipc = sys.core_at(0).stats().ipc(end);
+  const auto& pf = sys.prefetch_stats();
+  o.issued = pf.issued;
+  o.useful_frac = pf.issued
+                      ? static_cast<double>(pf.useful) /
+                            static_cast<double>(pf.useful + pf.useless + 1)
+                      : 0.0;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "C21 (ext): adaptive prefetch control",
+      "Claim: prefetch aggressiveness should be a data-driven decision — feedback "
+      "throttling and learned filtering beat any fixed setting on phase-changing "
+      "workloads [46,150].");
+
+  Table t({"prefetcher", "IPC", "prefetches issued", "useful fraction"});
+  struct Row {
+    const char* name;
+    sim::PrefetchKind kind;
+  };
+  for (const Row r : {Row{"none", sim::PrefetchKind::None},
+                      Row{"stride (fixed)", sim::PrefetchKind::Stride},
+                      Row{"ghb-delta (fixed)", sim::PrefetchKind::Ghb},
+                      Row{"perceptron-filtered", sim::PrefetchKind::FilteredStride},
+                      Row{"feedback-directed", sim::PrefetchKind::Feedback}}) {
+    const auto o = run(r.kind);
+    t.add_row({r.name, Table::fmt(o.ipc, 4), Table::fmt_int(o.issued),
+               Table::fmt_pct(o.useful_frac)});
+  }
+  bench::print_table(t);
+  bench::print_shape(
+      "every prefetcher pays in the sequential phase; the deceptive phase separates "
+      "them: the perceptron filter keeps the full IPC gain while lifting the useful "
+      "fraction several points above fixed stride (it learns the polluting PC); "
+      "feedback throttling trades a little IPC for issue bandwidth; GHB is "
+      "conservative on both axes — the adaptive-control frontier of [46,150]");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// C22 (extension) — The Virtual Block Interface (Hajinazar et al., ISCA
+// 2020 [56]): replacing per-page radix translation with per-block
+// base+bound translation in the memory controller removes TLB thrash and
+// page walks — the data-aware redesign of the oldest hardware/software
+// interface, cited directly by the paper's data-aware section.
+//
+// Translation overhead per memory access across footprints and access
+// patterns, for 4K radix, 2M radix (huge pages), and VBI.
+#include "bench/bench_util.hh"
+#include "common/rng.hh"
+#include "vm/vm.hh"
+
+using namespace ima;
+
+namespace {
+
+constexpr Cycle kPteMemCost = 50;  // one PTE fetch from DRAM (cycles)
+
+struct Out {
+  double tlb_miss_rate = 0;
+  double cycles_per_access = 0;
+  double walk_accesses_per_kaccess = 0;
+};
+
+Out run(vm::TranslationMode mode, std::uint64_t footprint, bool sequential,
+        std::uint64_t accesses = 40'000) {
+  vm::Mmu::Config cfg;
+  cfg.mode = mode;
+  cfg.tlb_entries = 64;
+  vm::Mmu mmu(cfg, [](Addr) { return kPteMemCost; });
+  if (mode == vm::TranslationMode::Vbi) mmu.add_block(0, footprint, 0);
+
+  Rng rng(7);
+  Addr seq = 0;
+  for (std::uint64_t i = 0; i < accesses; ++i) {
+    Addr a;
+    if (sequential) {
+      a = seq;
+      seq = (seq + kLineBytes) % footprint;
+    } else {
+      a = rng.next_below(footprint);
+    }
+    const auto r = mmu.translate(a);
+    (void)r;
+  }
+  Out o;
+  o.tlb_miss_rate = mode == vm::TranslationMode::Vbi ? 0.0 : mmu.tlb().stats().miss_rate();
+  o.cycles_per_access = static_cast<double>(mmu.stats().translation_cycles) /
+                        static_cast<double>(mmu.stats().accesses);
+  o.walk_accesses_per_kaccess = 1000.0 *
+                                static_cast<double>(mmu.stats().walk_memory_accesses) /
+                                static_cast<double>(mmu.stats().accesses);
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "C22 (ext): Virtual Block Interface vs radix paging",
+      "Claim: conveying data semantics at block granularity (base+bound in the "
+      "controller) eliminates per-page translation overhead that grows with "
+      "footprint under conventional paging [56].");
+
+  Table t({"pattern", "footprint", "mode", "TLB miss rate", "xlat cyc/access",
+           "PTE fetches/kaccess"});
+  for (const bool sequential : {true, false}) {
+    for (const std::uint64_t mb : {16ull, 256ull, 4096ull}) {
+      for (const auto mode : {vm::TranslationMode::Radix4K, vm::TranslationMode::Radix2M,
+                              vm::TranslationMode::Vbi}) {
+        const auto o = run(mode, mb << 20, sequential);
+        t.add_row({sequential ? "sequential" : "random", std::to_string(mb) + "MB",
+                   to_string(mode), Table::fmt_pct(o.tlb_miss_rate),
+                   Table::fmt(o.cycles_per_access, 2),
+                   Table::fmt(o.walk_accesses_per_kaccess, 1)});
+      }
+    }
+  }
+  bench::print_table(t);
+  bench::print_shape(
+      "radix-4K translation cost explodes with random access over large footprints "
+      "(TLB thrash + multi-level walks); 2M huge pages push the cliff out ~512x; "
+      "VBI stays at a constant ~2 cycles with zero PTE traffic at every size — the "
+      "VBI claim");
+  return 0;
+}

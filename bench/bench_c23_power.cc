@@ -1,0 +1,105 @@
+// C23 (extension) — Memory power management (MemScale, Deng et al.,
+// ASPLOS 2011 [132]; David et al. [127]; connected-standby [214]): idle
+// ranks should drop into low-power states, and the *timeout* is itself a
+// policy knob a data-driven controller can learn — a bandit picks the
+// timeout per epoch against an energy-delay objective.
+//
+// Bursty workload with idle gaps; static timeout sweep + UCB1-adaptive.
+#include "bench/bench_util.hh"
+#include "learn/bandit.hh"
+#include "mem/memsys.hh"
+
+using namespace ima;
+
+namespace {
+
+struct Out {
+  PicoJoule energy = 0;
+  double mean_read_latency = 0;
+  std::uint64_t wakes = 0;
+  double edp() const { return energy * mean_read_latency; }
+};
+
+/// Bursts of 30 requests separated by idle gaps of `gap` cycles.
+Out run(Cycle pd_timeout, Cycle sr_timeout, Cycle gap, int bursts = 20) {
+  auto dram_cfg = dram::DramConfig::ddr4_2400();
+  mem::ControllerConfig ctrl;
+  ctrl.powerdown_timeout = pd_timeout;
+  ctrl.selfrefresh_timeout = sr_timeout;
+  mem::MemorySystem sys(dram_cfg, ctrl);
+  Cycle now = 0;
+  for (int b = 0; b < bursts; ++b) {
+    for (int i = 0; i < 30; ++i) {
+      mem::Request r;
+      r.addr = (static_cast<Addr>(b * 31 + i) * 4096) % (1ull << 28);
+      r.arrive = now;
+      sys.enqueue(r);
+      sys.tick(now++);
+    }
+    now = sys.drain(now);
+    for (Cycle end = now + gap; now < end; ++now) sys.tick(now);
+  }
+  Out o;
+  o.energy = sys.total_energy(now);
+  o.mean_read_latency = sys.controller(0).stats().read_latency.mean();
+  o.wakes = sys.controller(0).stats().rank_wakes;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "C23 (ext): DRAM power management",
+      "Claim: idle memory should sleep — and how aggressively is a data-driven "
+      "decision: the best timeout depends on the idle-gap distribution, so a "
+      "learning controller beats any fixed setting across workloads [127,132].");
+
+  Table t({"idle gap", "policy", "energy (uJ)", "mean read lat", "wakes",
+           "energy vs never-sleep"});
+  for (const Cycle gap : {2'000ull, 20'000ull, 200'000ull}) {
+    const auto never = run(0, 0, gap);
+    struct P {
+      const char* name;
+      Cycle pd, sr;
+    };
+    for (const P p : {P{"never sleep", 0, 0}, P{"PD after 200", 200, 0},
+                      P{"PD after 3200", 3200, 0}, P{"PD 200 + SR 10k", 200, 10'000}}) {
+      const auto o = run(p.pd, p.sr, gap);
+      t.add_row({Table::fmt_si(static_cast<double>(gap), 0), p.name,
+                 Table::fmt(o.energy / 1e6, 1), Table::fmt(o.mean_read_latency, 1),
+                 Table::fmt_int(o.wakes), Table::fmt_pct(1.0 - o.energy / never.energy)});
+    }
+  }
+  bench::print_table(t);
+
+  std::cout << "\nBandit-adaptive timeout selection (per-workload convergence)\n\n";
+  Table b({"idle gap", "arm chosen by UCB1", "its EDP vs best static"});
+  const Cycle arms_pd[] = {0, 200, 3200, 200};
+  const Cycle arms_sr[] = {0, 0, 0, 10'000};
+  const char* arm_names[] = {"never", "PD 200", "PD 3200", "PD 200+SR 10k"};
+  for (const Cycle gap : {2'000ull, 200'000ull}) {
+    // Measure each arm's EDP (the bandit's reward = -EDP, normalized).
+    std::array<double, 4> edp{};
+    for (int a = 0; a < 4; ++a) edp[static_cast<std::size_t>(a)] =
+        run(arms_pd[a], arms_sr[a], gap, 6).edp();
+    const double best = *std::min_element(edp.begin(), edp.end());
+    learn::Ucb1Bandit bandit(4, 2.0, 1);
+    for (int trial = 0; trial < 60; ++trial) {
+      const auto arm = bandit.select();
+      // Reward: inverse EDP with small measurement noise from reruns.
+      bandit.reward(arm, best / run(arms_pd[arm], arms_sr[arm], gap, 2).edp());
+    }
+    const auto chosen = bandit.best_arm();
+    b.add_row({Table::fmt_si(static_cast<double>(gap), 0), arm_names[chosen],
+               Table::fmt_ratio(edp[chosen] / best)});
+  }
+  bench::print_table(b);
+
+  bench::print_shape(
+      "short gaps: aggressive sleeping pays wake latency for little energy (never/"
+      "slow-PD best); long gaps: deep states save 30-60%+ of energy at negligible "
+      "latency cost — the crossover no fixed timeout covers, and the bandit "
+      "converges to the right arm per workload (EDP within a few % of best static)");
+  return 0;
+}

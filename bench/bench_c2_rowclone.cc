@@ -1,0 +1,140 @@
+// C2 — RowClone: in-DRAM bulk copy/initialization is an order of magnitude
+// faster and >10x more energy-efficient than copying over the memory
+// channel (Seshadri et al., MICRO 2013 [84]; LISA, Chang et al. [12]).
+//
+// Compares copying N rows:
+//   cpu   — per-line RD+WR through the channel (baseline memcpy)
+//   psm   — RowClone pipe-serial mode (same-bank internal transfers,
+//           modeled as back-to-back line transfers without bus energy)
+//   lisa  — inter-subarray row-buffer movement (per-hop cost)
+//   fpm   — fast parallel mode (same subarray, one AAP per row)
+// plus the subarray-placement ablation (LISA hop count sweep).
+#include "bench/bench_util.hh"
+#include "dram/channel.hh"
+#include "pim/pum.hh"
+
+using namespace ima;
+
+namespace {
+
+struct Result {
+  Cycle cycles = 0;
+  PicoJoule energy = 0;
+};
+
+/// Baseline: copy rows line by line over the channel (RD src, WR dst).
+Result cpu_copy(const dram::DramConfig& cfg, std::uint32_t nrows) {
+  dram::Channel chan(cfg, 0, nullptr);
+  const auto& tm = cfg.timings;
+  Cycle now = 0;
+  for (std::uint32_t r = 0; r < nrows; ++r) {
+    dram::Coord src{0, 0, 0, 1 + 2 * r, 0};
+    dram::Coord dst{0, 0, 1, 1 + 2 * r, 0};  // other bank (no row conflict)
+    now = std::max(now, chan.earliest(dram::Cmd::Act, src, now));
+    chan.issue(dram::Cmd::Act, src, now);
+    const Cycle t2 = chan.earliest(dram::Cmd::Act, dst, now + 1);
+    chan.issue(dram::Cmd::Act, dst, t2);
+    now = t2;
+    for (std::uint32_t col = 0; col < cfg.geometry.columns; ++col) {
+      src.column = dst.column = col;
+      Cycle tr = chan.earliest(dram::Cmd::Rd, src, now);
+      chan.issue(dram::Cmd::Rd, src, tr);
+      Cycle tw = chan.earliest(dram::Cmd::Wr, dst, tr + 1);
+      chan.issue(dram::Cmd::Wr, dst, tw);
+      now = tw;
+    }
+    now += tm.cwl + tm.bl + tm.wr;
+    dram::Coord s2 = src, d2 = dst;
+    Cycle tp = chan.earliest(dram::Cmd::Pre, s2, now);
+    chan.issue(dram::Cmd::Pre, s2, tp);
+    tp = chan.earliest(dram::Cmd::Pre, d2, tp + 1);
+    chan.issue(dram::Cmd::Pre, d2, tp);
+    now = tp;
+  }
+  return {now, chan.stats().cmd_energy};
+}
+
+/// PSM: internal bank-to-bank transfer; the data never crosses the pins, so
+/// bus energy is absent and transfers pipeline at tCCD, but each line still
+/// needs the two column ops.
+Result psm_copy(const dram::DramConfig& cfg, std::uint32_t nrows) {
+  auto c = cfg;
+  c.energy.bus_per_line = 0;  // stays inside the chip
+  auto res = cpu_copy(c, nrows);
+  return res;
+}
+
+Result pim_copy(const dram::DramConfig& cfg, std::uint32_t nrows, bool lisa,
+                std::uint32_t hops = 1) {
+  dram::Channel chan(cfg, 0, nullptr);
+  pim::CopyEngine copier(cfg.geometry);
+  pim::PimProgram prog;
+  for (std::uint32_t r = 0; r < nrows; ++r) {
+    pim::PimInstr instr;
+    instr.bank = dram::Coord{0, 0, 0, 0, 0};
+    instr.args.src_row = 1 + 2 * r;
+    instr.args.dst_row = 2 + 2 * r;
+    if (lisa) {
+      instr.cmd = dram::Cmd::LisaRbm;
+      instr.args.hops = hops;
+    } else {
+      instr.cmd = dram::Cmd::AapFpm;
+    }
+    prog.push_back(instr);
+  }
+  const Cycle end = pim::execute_program(chan, prog, 0);
+  return {end, chan.stats().cmd_energy};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "C2: RowClone bulk copy",
+      "Claim: in-DRAM copy (FPM) is ~an order of magnitude faster and >10x more "
+      "energy-efficient than copying data over the memory channel [84].");
+
+  const auto cfg = dram::DramConfig::ddr4_2400();
+  const double row_kb = static_cast<double>(cfg.geometry.row_bytes()) / 1024.0;
+
+  Table t({"copy size", "mechanism", "latency (us)", "energy (uJ)", "speedup", "energy win"});
+  for (std::uint32_t nrows : {1u, 16u, 64u}) {
+    const auto cpu = cpu_copy(cfg, nrows);
+    const auto psm = psm_copy(cfg, nrows);
+    const auto lisa = pim_copy(cfg, nrows, true, 2);
+    const auto fpm = pim_copy(cfg, nrows, false);
+    const std::string size = Table::fmt(row_kb * nrows, 0) + "KB";
+    auto row = [&](const char* name, const Result& r) {
+      t.add_row({size, name, Table::fmt(cfg.timings.ns(r.cycles) / 1000.0, 3),
+                 Table::fmt(r.energy / 1e6, 3),
+                 Table::fmt_ratio(static_cast<double>(cpu.cycles) / r.cycles),
+                 Table::fmt_ratio(cpu.energy / r.energy)});
+    };
+    row("cpu-memcpy", cpu);
+    row("rowclone-psm", psm);
+    row("lisa-2hop", lisa);
+    row("rowclone-fpm", fpm);
+  }
+  bench::print_table(t);
+
+  std::cout << "\nAblation: source/destination placement (64 rows copied)\n\n";
+  Table abl({"placement", "mechanism", "latency (us)", "vs FPM"});
+  const auto fpm = pim_copy(cfg, 64, false);
+  abl.add_row({"same subarray", "FPM", Table::fmt(cfg.timings.ns(fpm.cycles) / 1000.0, 3),
+               Table::fmt_ratio(1.0)});
+  for (std::uint32_t hops : {1u, 2u, 4u, 8u}) {
+    const auto r = pim_copy(cfg, 64, true, hops);
+    abl.add_row({"subarray +" + std::to_string(hops), "LISA",
+                 Table::fmt(cfg.timings.ns(r.cycles) / 1000.0, 3),
+                 Table::fmt_ratio(static_cast<double>(r.cycles) / fpm.cycles)});
+  }
+  const auto psm = psm_copy(cfg, 64);
+  abl.add_row({"cross-bank", "PSM", Table::fmt(cfg.timings.ns(psm.cycles) / 1000.0, 3),
+               Table::fmt_ratio(static_cast<double>(psm.cycles) / fpm.cycles)});
+  bench::print_table(abl);
+
+  bench::print_shape(
+      "FPM ~10-100x latency and energy win over cpu-memcpy; PSM a modest energy win; "
+      "LISA between FPM and PSM, degrading with hop count");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// C6 — Data compression: BDI reaches ~1.5-2x compression on typical
+// in-memory data at negligible decompression latency (Pekhimenko et al.,
+// PACT 2012 [74]); LCP carries the benefit to main memory (MICRO 2013
+// [76]); a compressed LLC holds proportionally more lines.
+#include <array>
+
+#include "aware/compress.hh"
+#include "aware/compressed_cache.hh"
+#include "aware/hycomp.hh"
+#include "aware/lcp.hh"
+#include "bench/bench_util.hh"
+#include "common/rng.hh"
+#include "workloads/dbtable.hh"
+
+using namespace ima;
+using workloads::DataPattern;
+
+int main() {
+  bench::print_header(
+      "C6: data compression (BDI / FPC / LCP)",
+      "Claim: exploiting data semantics (low dynamic range, frequent patterns) "
+      "yields ~1.5-2x capacity on typical data, more on low-entropy data [74,76].");
+
+  const std::size_t kWords = 512 * 64;  // 64 pages
+  Table t({"data pattern", "BDI ratio", "FPC ratio", "HyComp ratio", "LCP page ratio", "LCP exceptions"});
+  for (auto p : {DataPattern::Zeros, DataPattern::Constant, DataPattern::SmallDeltas,
+                 DataPattern::NarrowValues, DataPattern::Text, DataPattern::Random}) {
+    std::vector<std::uint64_t> buf(kWords);
+    workloads::fill_pattern(p, buf, 3);
+    const auto lcp = aware::lcp_compress_buffer(buf);
+    t.add_row({workloads::to_string(p), Table::fmt_ratio(aware::compression_ratio_bdi(buf)),
+               Table::fmt_ratio(aware::compression_ratio_fpc(buf)),
+               Table::fmt_ratio(aware::compression_ratio_hycomp(buf)),
+               Table::fmt_ratio(lcp.avg_compression_ratio),
+               Table::fmt_pct(lcp.avg_exception_fraction)});
+  }
+  // A realistic mixed heap: 30% pointers, 30% small ints, 20% text, 20% random.
+  {
+    std::vector<std::uint64_t> buf(kWords);
+    std::vector<std::uint64_t> part(kWords / 4);
+    std::size_t off = 0;
+    for (auto p : {DataPattern::SmallDeltas, DataPattern::NarrowValues, DataPattern::Text,
+                   DataPattern::Random}) {
+      workloads::fill_pattern(p, part, 5 + off);
+      std::copy(part.begin(), part.end(), buf.begin() + static_cast<long>(off));
+      off += part.size();
+    }
+    const auto lcp = aware::lcp_compress_buffer(buf);
+    t.add_row({"mixed-heap", Table::fmt_ratio(aware::compression_ratio_bdi(buf)),
+               Table::fmt_ratio(aware::compression_ratio_fpc(buf)),
+               Table::fmt_ratio(aware::compression_ratio_hycomp(buf)),
+               Table::fmt_ratio(lcp.avg_compression_ratio),
+               Table::fmt_pct(lcp.avg_exception_fraction)});
+  }
+  bench::print_table(t);
+
+  std::cout << "\nCompressed LLC: resident lines vs baseline (same data budget)\n\n";
+  Table cc_t({"data pattern", "baseline lines", "compressed lines", "effective capacity"});
+  for (auto p : {DataPattern::Zeros, DataPattern::SmallDeltas, DataPattern::Text,
+                 DataPattern::Random}) {
+    aware::CompressedCacheConfig cfg;
+    cfg.data_bytes = 256 * 1024;
+    cfg.ways = 16;
+    aware::CompressedCache cc(cfg);
+    std::vector<std::uint64_t> line(8);
+    const std::uint64_t baseline = cfg.data_bytes / kLineBytes;
+    for (std::uint64_t i = 0; i < baseline * 2; ++i) {
+      workloads::fill_pattern(p, line, i);
+      std::array<std::uint64_t, 8> arr;
+      std::copy(line.begin(), line.end(), arr.begin());
+      cc.access(i * kLineBytes, AccessType::Read, aware::Line(arr));
+    }
+    const auto st = cc.stats();
+    cc_t.add_row({workloads::to_string(p), Table::fmt_int(baseline),
+                  Table::fmt_int(st.stored_lines),
+                  Table::fmt_ratio(static_cast<double>(st.stored_lines) /
+                                   static_cast<double>(baseline))});
+  }
+  bench::print_table(cc_t);
+
+  bench::print_shape(
+      "zeros/constant ~8x (granule-limited); pointers/narrow ints ~2-3x; text ~1-2x; "
+      "random ~1x; mixed heap lands in the paper's 1.5-2x band; HyComp's type "
+      "selector tracks the better of BDI/FPC per pattern (the data-aware method-"
+      "selection win); compressed cache holds up to 2x the lines (tag-limited) on "
+      "compressible data");
+  return 0;
+}

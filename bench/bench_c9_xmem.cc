@@ -1,0 +1,73 @@
+// C9 — X-Mem expressive memory: conveying data semantics (here: locality
+// class) across the hardware/software boundary lets the cache protect the
+// reuse working set from streaming scans (Vijaykumar et al., ISCA 2018 [52]).
+//
+// Sweep the scan-to-reuse intensity; compare hint-blind vs hint-guided
+// caching on reuse-set hit rate and total memory traffic.
+#include "aware/xmem.hh"
+#include "bench/bench_util.hh"
+
+using namespace ima;
+
+namespace {
+
+struct Out {
+  double reuse_hit_rate = 0;
+  std::uint64_t memory_accesses = 0;
+};
+
+Out run(bool hinted, int scan_lines_per_round) {
+  aware::AttributeRegistry reg;
+  // The scan region is tagged Streaming; the reuse region HighReuse.
+  reg.tag(1ull << 30, 1ull << 30,
+          {aware::LocalityHint::Streaming, aware::Criticality::Normal, false});
+  reg.tag(0, 1 << 20, {aware::LocalityHint::HighReuse, aware::Criticality::Normal, false});
+
+  cache::CacheConfig cfg;
+  cfg.size_bytes = 64 * 1024;
+  cfg.ways = 8;
+  aware::HintedCache hc(cfg, hinted ? &reg : nullptr);
+
+  std::uint64_t reuse_hits = 0, reuse_total = 0;
+  Addr scan = 1ull << 30;
+  for (int round = 0; round < 200; ++round) {
+    for (int s = 0; s < scan_lines_per_round; ++s) {
+      hc.access(scan, AccessType::Read);
+      scan += kLineBytes;
+    }
+    for (Addr a = 0; a < 32 * 1024; a += kLineBytes) {  // 32KB reuse set
+      reuse_hits += hc.access(a, AccessType::Read).hit ? 1 : 0;
+      ++reuse_total;
+    }
+  }
+  Out o;
+  o.reuse_hit_rate = static_cast<double>(reuse_hits) / static_cast<double>(reuse_total);
+  o.memory_accesses = hc.stats().memory_accesses();
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "C9: X-Mem locality hints",
+      "Claim: expressive cross-layer interfaces that convey data semantics enable "
+      "data-aware policies that fixed component-aware policies cannot match [52].");
+
+  Table t({"scan lines/round", "blind reuse hit%", "hinted reuse hit%", "blind mem traffic",
+           "hinted mem traffic"});
+  for (int scan : {0, 128, 512, 1024, 2048}) {
+    const auto blind = run(false, scan);
+    const auto hinted = run(true, scan);
+    t.add_row({Table::fmt_int(static_cast<std::uint64_t>(scan)),
+               Table::fmt_pct(blind.reuse_hit_rate), Table::fmt_pct(hinted.reuse_hit_rate),
+               Table::fmt_si(static_cast<double>(blind.memory_accesses), 2),
+               Table::fmt_si(static_cast<double>(hinted.memory_accesses), 2)});
+  }
+  bench::print_table(t);
+  bench::print_shape(
+      "without scans the two match; as scan intensity rises the blind cache's reuse "
+      "hit rate collapses while the hinted cache stays >90%, with equal-or-lower "
+      "memory traffic (scan bypass costs nothing — it missed anyway)");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Google-benchmark microbenchmarks of the simulator itself: command issue
+// rate, cache access rate, compression throughput, scheduler decision cost.
+// These guard the simulator's own performance (simulation speed is a
+// first-class feature of Ramulator-class tools).
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "aware/compress.hh"
+#include "cache/cache.hh"
+#include "common/rng.hh"
+#include "dram/channel.hh"
+#include "mem/memsys.hh"
+#include "sim/system.hh"
+
+using namespace ima;
+
+namespace {
+
+void BM_ChannelIssueRate(benchmark::State& state) {
+  const auto cfg = dram::DramConfig::ddr4_2400();
+  dram::Channel chan(cfg, 0, nullptr);
+  Cycle now = 0;
+  std::uint32_t row = 0;
+  for (auto _ : state) {
+    dram::Coord c{0, 0, static_cast<std::uint32_t>(row % 8), (row / 8) % 1024, 0};
+    Cycle t = chan.earliest(dram::Cmd::Act, c, now);
+    if (t == kCycleNever) {
+      t = chan.earliest(dram::Cmd::Pre, c, now);
+      chan.issue(dram::Cmd::Pre, c, t);
+      now = t + 1;
+      continue;
+    }
+    chan.issue(dram::Cmd::Act, c, t);
+    now = t + 1;
+    ++row;
+    benchmark::DoNotOptimize(now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelIssueRate);
+
+void BM_CacheAccess(benchmark::State& state) {
+  cache::CacheConfig cfg;
+  cfg.size_bytes = 2 * 1024 * 1024;
+  cfg.ways = 16;
+  cache::Cache c(cfg);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.access(line_base(rng.next_below(64 << 20)), AccessType::Read));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_BdiCompress(benchmark::State& state) {
+  Rng rng(2);
+  std::array<std::uint64_t, 8> line;
+  for (auto& w : line) w = 0x7FFF00000000ull + rng.next_below(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aware::bdi_compressed_size(aware::Line(line)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_BdiCompress);
+
+void BM_FullSystemCyclesPerSecond(benchmark::State& state) {
+  sim::SystemConfig cfg;
+  cfg.num_cores = 4;
+  cfg.ctrl.num_cores = 4;
+  cfg.core.instr_limit = 0;  // unbounded; we run fixed cycles
+  std::vector<std::unique_ptr<workloads::AccessStream>> streams;
+  for (int i = 0; i < 4; ++i) {
+    workloads::StreamParams p;
+    p.footprint = 16 << 20;
+    p.seed = static_cast<std::uint64_t>(i) + 1;
+    streams.push_back(workloads::make_random(p));
+  }
+  sim::System sys(cfg, std::move(streams));
+  Cycle target = 0;
+  for (auto _ : state) {
+    target += 10'000;
+    sys.run(target);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10'000);
+}
+BENCHMARK(BM_FullSystemCyclesPerSecond);
+
+void BM_SchedulerPick(benchmark::State& state) {
+  const auto cfg = dram::DramConfig::ddr4_2400();
+  dram::Channel chan(cfg, 0, nullptr);
+  auto sched = mem::make_scheduler(mem::SchedKind::ParBs, 4);
+  std::vector<mem::CoreState> cores(4);
+  std::vector<mem::QueuedRequest> q;
+  Rng rng(3);
+  for (int i = 0; i < 32; ++i) {
+    mem::QueuedRequest r;
+    r.coord = dram::Coord{0, 0, static_cast<std::uint32_t>(rng.next_below(8)),
+                          static_cast<std::uint32_t>(rng.next_below(1024)), 0};
+    r.req.core = static_cast<std::uint32_t>(rng.next_below(4));
+    r.req.arrive = static_cast<Cycle>(i);
+    q.push_back(r);
+  }
+  mem::SchedView view{&chan, 100, &cores};
+  for (auto _ : state) {
+    sched->tick(view, q);
+    benchmark::DoNotOptimize(sched->pick(q, view));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerPick);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,29 @@
+// Shared helpers for the experiment harnesses (bench_c1 .. bench_c12).
+//
+// Each bench binary regenerates one claim from DESIGN.md's experiment
+// index: it builds the workload, runs the simulator configurations, and
+// prints the paper-style table plus the expected "shape" so the output is
+// self-checking for a human reader.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+
+namespace ima::bench {
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
+}
+
+inline void print_table(const Table& t) {
+  t.print(std::cout);
+  std::cout << std::flush;
+}
+
+inline void print_shape(const std::string& expectation) {
+  std::cout << "\nexpected shape: " << expectation << "\n";
+}
+
+}  // namespace ima::bench

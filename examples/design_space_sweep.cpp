@@ -1,0 +1,86 @@
+// Design-space exploration in ~60 lines: sweep DRAM presets, address
+// mappings and schedulers over one workload mix and print the IPC /
+// energy matrix — the bread-and-butter use of a memory-system simulator.
+//
+//   $ ./build/examples/design_space_sweep
+#include <iostream>
+
+#include "common/table.hh"
+#include "sim/system.hh"
+
+using namespace ima;
+
+namespace {
+
+std::vector<std::unique_ptr<workloads::AccessStream>> mix() {
+  std::vector<std::unique_ptr<workloads::AccessStream>> v;
+  workloads::StreamParams p;
+  p.footprint = 32ull << 20;
+  v.push_back(workloads::make_streaming(p));
+  p.base = 1ull << 30;
+  p.seed = 2;
+  v.push_back(workloads::make_random(p));
+  p.base = 2ull << 30;
+  p.seed = 3;
+  v.push_back(workloads::make_zipf(p, 0.9));
+  p.base = 3ull << 30;
+  p.seed = 4;
+  v.push_back(workloads::make_row_local(p, 24, 8192));
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  struct DramChoice {
+    const char* name;
+    dram::DramConfig cfg;
+  };
+  const DramChoice drams[] = {
+      {"DDR4-2400", dram::DramConfig::ddr4_2400()},
+      {"DDR4-3200", dram::DramConfig::ddr4_3200()},
+      {"LPDDR4-3200", dram::DramConfig::lpddr4_3200()},
+  };
+  // Parallelism-first vs contiguous mapping (the latter sacrifices bank
+  // interleaving for row locality).
+  const dram::MapScheme maps[] = {dram::MapScheme::RoBaRaCoCh,
+                                  dram::MapScheme::ChRaBaRoCo};
+  const mem::SchedKind scheds[] = {mem::SchedKind::FrFcfs, mem::SchedKind::Tcm,
+                                   mem::SchedKind::Rl};
+
+  // Performance in wall-clock terms (MIPS) so different clock rates
+  // compare fairly.
+  Table t({"DRAM", "mapping", "scheduler", "MIPS", "energy (uJ)", "row hit rate"});
+  for (const auto& d : drams) {
+    for (const auto m : maps) {
+      for (const auto s : scheds) {
+        sim::SystemConfig cfg;
+        cfg.dram = d.cfg;
+        cfg.map = m;
+        cfg.ctrl.sched = s;
+        cfg.num_cores = 4;
+        cfg.ctrl.num_cores = 4;
+        cfg.core.instr_limit = 20'000;
+        sim::System sys(cfg, mix());
+        const Cycle end = sys.run(100'000'000);
+
+        std::uint64_t instrs = 0;
+        for (std::uint32_t i = 0; i < 4; ++i) instrs += sys.core_at(i).stats().instructions;
+        const double micros = d.cfg.timings.ns(end) / 1000.0;
+        const auto st = sys.memory().aggregate_stats();
+        const double hits = static_cast<double>(st.row_hits);
+        const double total =
+            hits + static_cast<double>(st.row_misses + st.row_conflicts);
+        t.add_row({d.name, to_string(m), to_string(s),
+                   Table::fmt(static_cast<double>(instrs) / micros, 1),
+                   Table::fmt(sys.energy().total() / 1e6, 1),
+                   Table::fmt_pct(total > 0 ? hits / total : 0)});
+      }
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nEvery dimension above is a one-line config change; add your own\n"
+               "sweep axes (refresh policy, ChargeCache, SALP, power management,\n"
+               "prefetchers, compression) the same way.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// RowHammer attack and defense, live: an aggressor hammers two rows around
+// a victim; the controller's mitigation (if any) tracks activations and
+// refreshes the victim in time. Demonstrates why the paper calls for
+// intelligent memory controllers from the "bottom-up push" [99,102,104].
+//
+//   $ ./build/examples/rowhammer_defense
+#include <iostream>
+
+#include "mem/memsys.hh"
+
+using namespace ima;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t flips = 0;
+  std::uint64_t extra_refreshes = 0;
+  Cycle cycles = 0;
+};
+
+Outcome attack(std::unique_ptr<mem::RowHammerMitigation> mitigation,
+               std::uint64_t threshold, int accesses) {
+  auto dram_cfg = dram::DramConfig::ddr4_2400();
+  mem::ControllerConfig ctrl;
+  ctrl.sched = mem::SchedKind::Fcfs;
+  mem::MemorySystem sys(dram_cfg, ctrl);
+  mem::HammerVictimModel victims(dram_cfg.geometry.rows_per_bank(), threshold);
+  sys.controller(0).set_victim_model(&victims);
+  if (mitigation) sys.controller(0).set_rowhammer(std::move(mitigation));
+
+  // Double-sided hammer: alternate the two rows adjacent to the victim,
+  // each access fully serialized (flush+reload style).
+  const auto& g = dram_cfg.geometry;
+  const Addr row_stride = static_cast<Addr>(g.row_bytes()) * g.banks * g.ranks;
+  Cycle now = 0;
+  for (int i = 0; i < accesses; ++i) {
+    mem::Request r;
+    r.addr = (i % 2) ? row_stride * 99 : row_stride * 101;  // victim: row 100
+    r.arrive = now;
+    sys.enqueue(r);
+    now = sys.drain(now);
+  }
+  return {victims.flips(), sys.aggregate_stats().victim_refreshes, now};
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kThreshold = 4096;  // a modern, scaled-down part
+  constexpr int kAccesses = 60'000;
+
+  std::cout << "double-sided RowHammer, threshold " << kThreshold << " activations, "
+            << kAccesses << " attacker accesses\n\n";
+
+  const auto none = attack(nullptr, kThreshold, kAccesses);
+  std::cout << "no mitigation : " << none.flips << " bit flips ("
+            << "attacker needed only "
+            << (none.flips ? kAccesses / static_cast<int>(none.flips) : 0)
+            << " accesses per flip)\n";
+
+  const auto para = attack(mem::make_para(20.0 / kThreshold, 1), kThreshold, kAccesses);
+  std::cout << "PARA          : " << para.flips << " bit flips, "
+            << para.extra_refreshes << " neighbour refreshes ("
+            << 100.0 * static_cast<double>(para.extra_refreshes) / kAccesses
+            << "% overhead)\n";
+
+  const auto graphene = attack(mem::make_graphene(64, kThreshold), kThreshold, kAccesses);
+  std::cout << "Graphene      : " << graphene.flips << " bit flips, "
+            << graphene.extra_refreshes << " neighbour refreshes ("
+            << 100.0 * static_cast<double>(graphene.extra_refreshes) / kAccesses
+            << "% overhead)\n";
+
+  std::cout << "\nThe unprotected device flips bits steadily; both mitigations stop\n"
+               "the attack, Graphene with precise tracking at lower overhead.\n";
+  return (para.flips == 0 && graphene.flips == 0 && none.flips > 0) ? 0 : 1;
+}

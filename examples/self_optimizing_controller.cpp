@@ -1,0 +1,106 @@
+// A self-optimizing memory controller, live: the Q-learning scheduler
+// starts from a blank table, explores, and converges to (or beats) the
+// hand-designed FR-FCFS policy on a heterogeneous multi-core mix — the
+// paper's data-driven principle in ~100 lines.
+//
+//   $ ./build/examples/self_optimizing_controller
+#include <iostream>
+
+#include "mem/memsys.hh"
+#include "workloads/stream.hh"
+
+using namespace ima;
+
+namespace {
+
+/// Four injection cores with different behaviours keep requests in flight.
+struct Injector {
+  std::unique_ptr<workloads::AccessStream> stream;
+  std::uint32_t mlp;
+  std::uint32_t outstanding = 0;
+  std::uint64_t served = 0;
+};
+
+double run_window(mem::MemorySystem& sys, std::vector<Injector>& cores, Cycle from,
+                  Cycle until) {
+  std::uint64_t served_before = 0;
+  for (const auto& c : cores) served_before += c.served;
+  for (Cycle now = from; now < until; ++now) {
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+      auto& c = cores[i];
+      while (c.outstanding < c.mlp) {
+        const auto e = c.stream->next();
+        if (!sys.can_accept(e.addr, e.type)) break;
+        mem::Request r;
+        r.addr = e.addr;
+        r.type = e.type;
+        r.core = static_cast<std::uint32_t>(i);
+        r.arrive = now;
+        ++c.outstanding;
+        sys.enqueue(r, [&c](const mem::Request&) {
+          --c.outstanding;
+          ++c.served;
+        });
+      }
+    }
+    sys.tick(now);
+  }
+  std::uint64_t served_after = 0;
+  for (const auto& c : cores) served_after += c.served;
+  return 1000.0 * static_cast<double>(served_after - served_before) /
+         static_cast<double>(until - from);
+}
+
+std::vector<Injector> make_cores() {
+  std::vector<Injector> cores;
+  workloads::StreamParams p;
+  p.footprint = 48ull << 20;
+  cores.push_back({workloads::make_streaming(p), 16});
+  p.base = 1ull << 30;
+  p.seed = 2;
+  cores.push_back({workloads::make_random(p), 2});
+  p.base = 2ull << 30;
+  p.seed = 3;
+  cores.push_back({workloads::make_row_local(p, 24, 8192), 8});
+  p.base = 3ull << 30;
+  p.seed = 4;
+  cores.push_back({workloads::make_zipf(p, 0.9), 4});
+  return cores;
+}
+
+}  // namespace
+
+int main() {
+  const auto dram_cfg = dram::DramConfig::ddr4_2400();
+  mem::ControllerConfig ctrl;
+  ctrl.num_cores = 4;
+
+  // Baseline: FR-FCFS, the fixed policy shipped in real controllers.
+  double frfcfs_rate = 0;
+  {
+    mem::MemorySystem sys(dram_cfg, ctrl);
+    auto cores = make_cores();
+    frfcfs_rate = run_window(sys, cores, 0, 600'000);
+  }
+  std::cout << "FR-FCFS steady state: " << frfcfs_rate << " requests/kcycle\n\n";
+
+  // The learner: same machine, but the scheduling policy is a Q-learning
+  // agent rewarded with data-bus utilization.
+  mem::MemorySystem sys(dram_cfg, ctrl);
+  sys.controller(0).set_scheduler(mem::make_rl(4, /*seed=*/1, /*alpha=*/0.1,
+                                               /*epsilon=*/0.1));
+  auto cores = make_cores();
+
+  std::cout << "RL controller learning online:\n";
+  Cycle t = 0;
+  for (int window = 1; window <= 8; ++window) {
+    const double rate = run_window(sys, cores, t, t + 100'000);
+    t += 100'000;
+    std::cout << "  window " << window << ": " << rate << " requests/kcycle  ("
+              << (rate / frfcfs_rate - 1.0) * 100.0 << "% vs FR-FCFS)\n";
+  }
+  std::cout << "\nThe agent explores early (lower throughput), then converges to a\n"
+               "policy competitive with — or better than — the fixed heuristic,\n"
+               "without a human designing the policy.\n";
+  return 0;
+}

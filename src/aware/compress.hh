@@ -1,0 +1,76 @@
+// Cache-line compression algorithms.
+//
+// Base-Delta-Immediate (Pekhimenko et al., PACT 2012 [74]) and Frequent
+// Pattern Compression are the data-aware principle's workhorses: they
+// exploit the *semantic* property (low dynamic range, frequent patterns) of
+// data that hardware normally ignores. Both are implemented as real
+// encoders/decoders so round-trip correctness is testable, not just a size
+// estimate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ima::aware {
+
+/// A 64-byte line viewed as 8 64-bit words.
+using Line = std::span<const std::uint64_t, 8>;
+
+enum class BdiEncoding : std::uint8_t {
+  Zeros,       // all zero             -> 1 byte
+  Repeat,      // one repeated u64     -> 8 bytes
+  B8D1,        // base 8B + 8x1B delta -> 16 bytes
+  B8D2,        // base 8B + 8x2B delta -> 24 bytes
+  B8D4,        // base 8B + 8x4B delta -> 40 bytes
+  B4D1,        // base 4B + 16x1B delta-> 20 bytes
+  B4D2,        // base 4B + 16x2B delta-> 36 bytes
+  B2D1,        // base 2B + 32x1B delta-> 34 bytes
+  Uncompressed // 64 bytes
+};
+
+const char* to_string(BdiEncoding e);
+
+/// Size in bytes of a line stored with the given encoding (payload only;
+/// metadata lives in the tag in hardware).
+std::uint32_t bdi_size(BdiEncoding e);
+
+struct BdiCompressed {
+  BdiEncoding encoding = BdiEncoding::Uncompressed;
+  std::vector<std::uint8_t> payload;
+
+  std::uint32_t size_bytes() const { return bdi_size(encoding); }
+};
+
+/// Compresses with the best (smallest) applicable BDI encoding.
+BdiCompressed bdi_compress(Line line);
+
+/// Exact inverse of bdi_compress.
+std::array<std::uint64_t, 8> bdi_decompress(const BdiCompressed& c);
+
+/// Convenience: compressed size in bytes for a line (what cache/memory
+/// compression models need).
+std::uint32_t bdi_compressed_size(Line line);
+
+// --- Frequent Pattern Compression (32-bit word granularity) ---
+
+struct FpcCompressed {
+  std::vector<std::uint8_t> payload;  // pattern codes + literals
+  std::uint32_t size_bytes() const { return static_cast<std::uint32_t>(payload.size()); }
+};
+
+FpcCompressed fpc_compress(Line line);
+std::array<std::uint64_t, 8> fpc_decompress(const FpcCompressed& c);
+std::uint32_t fpc_compressed_size(Line line);
+
+/// Compression ratio of a buffer under an algorithm (64B line granularity,
+/// sizes rounded up to `granule` bytes as a segmented cache would).
+double compression_ratio_bdi(std::span<const std::uint64_t> words, std::uint32_t granule = 8);
+double compression_ratio_fpc(std::span<const std::uint64_t> words, std::uint32_t granule = 8);
+
+}  // namespace ima::aware

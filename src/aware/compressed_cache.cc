@@ -1,0 +1,98 @@
+#include "aware/compressed_cache.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bits.hh"
+
+namespace ima::aware {
+
+CompressedCache::CompressedCache(const CompressedCacheConfig& cfg) : cfg_(cfg) {
+  sets_ = static_cast<std::uint32_t>(cfg.data_bytes /
+                                     (static_cast<std::uint64_t>(cfg.ways) * kLineBytes));
+  assert(sets_ > 0 && is_pow2(sets_));
+  set_data_budget_ = cfg.ways * kLineBytes;
+  sets_storage_.resize(sets_);
+}
+
+std::uint32_t CompressedCache::set_of(Addr addr) const {
+  return static_cast<std::uint32_t>((addr / kLineBytes) & (sets_ - 1));
+}
+
+bool CompressedCache::contains(Addr addr) const {
+  const Set& s = sets_storage_[set_of(addr)];
+  const Addr tag = line_base(addr);
+  return std::any_of(s.entries.begin(), s.entries.end(),
+                     [&](const Entry& e) { return e.tag == tag; });
+}
+
+CompressedCache::AccessResult CompressedCache::access(Addr addr, AccessType type,
+                                                      Line contents) {
+  AccessResult res;
+  Set& s = sets_storage_[set_of(addr)];
+  const Addr tag = line_base(addr);
+  const std::uint32_t raw_size = bdi_compressed_size(contents);
+  const std::uint32_t size =
+      ((raw_size + cfg_.segment_bytes - 1) / cfg_.segment_bytes) * cfg_.segment_bytes;
+
+  auto it = std::find_if(s.entries.begin(), s.entries.end(),
+                         [&](const Entry& e) { return e.tag == tag; });
+  if (it != s.entries.end()) {
+    res.hit = true;
+    ++hits_;
+    it->lru = ++clock_;
+    if (type == AccessType::Write) {
+      // Size may change on write; re-fit below if it grew.
+      s.used_bytes -= it->size;
+      it->size = size;
+      s.used_bytes += size;
+      it->dirty = true;
+    }
+  } else {
+    ++misses_;
+    Entry e;
+    e.tag = tag;
+    e.size = size;
+    e.dirty = type == AccessType::Write;
+    e.lru = ++clock_;
+    s.entries.push_back(e);
+    s.used_bytes += size;
+  }
+
+  // Evict (LRU) until both the tag budget (2x ways) and the data budget fit.
+  while (s.used_bytes > set_data_budget_ ||
+         s.entries.size() > static_cast<std::size_t>(cfg_.ways) * 2) {
+    auto victim = std::min_element(
+        s.entries.begin(), s.entries.end(),
+        [&](const Entry& a, const Entry& b) {
+          // Never evict the just-touched line unless it is alone.
+          if (a.tag == tag) return false;
+          if (b.tag == tag) return true;
+          return a.lru < b.lru;
+        });
+    if (victim->tag == tag && s.entries.size() == 1) break;  // degenerate
+    if (victim->dirty) res.writebacks.push_back(victim->tag);
+    s.used_bytes -= victim->size;
+    s.entries.erase(victim);
+    ++evictions_;
+  }
+  return res;
+}
+
+CompressedCache::Stats CompressedCache::stats() const {
+  Stats st;
+  st.hits = hits_;
+  st.misses = misses_;
+  st.evictions = evictions_;
+  std::uint64_t raw = 0;
+  for (const auto& s : sets_storage_) {
+    st.stored_lines += s.entries.size();
+    st.stored_bytes += s.used_bytes;
+    raw += s.entries.size() * kLineBytes;
+  }
+  st.avg_compression_ratio =
+      st.stored_bytes ? static_cast<double>(raw) / static_cast<double>(st.stored_bytes) : 1.0;
+  return st;
+}
+
+}  // namespace ima::aware

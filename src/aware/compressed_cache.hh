@@ -1,0 +1,75 @@
+// Compressed last-level cache model (BDI-style).
+//
+// Each set keeps twice the tags of the baseline but the same data budget
+// (ways * 64B); lines occupy segmented space equal to their compressed size
+// rounded to 8B segments. Effective capacity therefore floats with the
+// data's compressibility — a data-aware structure by construction.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "aware/compress.hh"
+#include "common/types.hh"
+
+namespace ima::aware {
+
+struct CompressedCacheConfig {
+  std::uint64_t data_bytes = 2 * 1024 * 1024;  // data budget (= baseline size)
+  std::uint32_t ways = 16;                     // baseline ways; tags = 2x
+  std::uint32_t segment_bytes = 8;
+};
+
+class CompressedCache {
+ public:
+  explicit CompressedCache(const CompressedCacheConfig& cfg);
+
+  struct AccessResult {
+    bool hit = false;
+    std::vector<Addr> writebacks;  // dirty victims evicted to make room
+  };
+
+  /// Access with the line's current contents (needed to compute its
+  /// compressed size on fill).
+  AccessResult access(Addr addr, AccessType type, Line contents);
+
+  bool contains(Addr addr) const;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t stored_lines = 0;       // currently resident
+    std::uint64_t stored_bytes = 0;       // compressed footprint
+    double avg_compression_ratio = 1.0;   // raw/compressed of resident lines
+  };
+  Stats stats() const;
+
+  std::uint32_t sets() const { return sets_; }
+
+ private:
+  struct Entry {
+    Addr tag = 0;
+    std::uint32_t size = 64;  // segmented compressed size
+    bool dirty = false;
+    std::uint64_t lru = 0;
+  };
+  struct Set {
+    std::vector<Entry> entries;  // up to 2x ways
+    std::uint32_t used_bytes = 0;
+  };
+
+  std::uint32_t set_of(Addr addr) const;
+
+  CompressedCacheConfig cfg_;
+  std::uint32_t sets_;
+  std::uint32_t set_data_budget_;
+  std::vector<Set> sets_storage_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+};
+
+}  // namespace ima::aware

@@ -1,0 +1,101 @@
+#include "aware/eden.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace ima::aware {
+
+std::vector<ApproxOperatingPoint> approx_dram_table() {
+  // Shaped after reduced-tRCD characterizations (AL-DRAM, EDEN): nominal
+  // operation has effectively zero error; each further step down roughly
+  // squares the error rate while shaving latency/energy.
+  return {
+      {1.00, 0.0, 1.00, 1.00},
+      {0.90, 1e-9, 0.93, 0.92},
+      {0.80, 1e-7, 0.87, 0.84},
+      {0.70, 1e-5, 0.80, 0.76},
+      {0.60, 3e-4, 0.74, 0.68},
+      {0.50, 5e-3, 0.68, 0.60},
+  };
+}
+
+ApproxOperatingPoint operating_point(double trcd_scale) {
+  const auto table = approx_dram_table();
+  ApproxOperatingPoint best = table.front();
+  for (const auto& p : table)
+    if (p.trcd_scale >= trcd_scale - 1e-9) best = p;  // last entry with scale >= requested
+  return best;
+}
+
+std::uint64_t ApproxMemory::read(std::size_t idx) {
+  std::uint64_t v = store_[idx];
+  const double p_word = op_.bit_error_rate * 64.0;  // expected flips per word
+  if (p_word <= 0) return v;
+  // Sample number of flips cheaply: Bernoulli on the expectation, then a
+  // second trial for the (rare) multi-flip case.
+  if (rng_.chance(std::min(1.0, p_word))) {
+    v ^= 1ull << rng_.next_below(64);
+    ++flips_;
+    if (rng_.chance(std::min(1.0, p_word / 2))) {
+      v ^= 1ull << rng_.next_below(64);
+      ++flips_;
+    }
+  }
+  return v;
+}
+
+PlacementResult plan_placement(const std::vector<MemoryObject>& objects,
+                               const std::vector<ReliabilityTier>& tiers,
+                               double error_budget) {
+  PlacementResult res;
+  res.tier_of_object.assign(objects.size(), 0);
+
+  // Order tiers by cost descending reliability: tier 0 assumed most
+  // reliable. Order objects by vulnerability density descending.
+  std::vector<std::size_t> order(objects.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return objects[a].vulnerability > objects[b].vulnerability;
+  });
+
+  std::vector<std::uint64_t> used(tiers.size(), 0);
+  // Greedy: place each object in the cheapest tier that keeps the running
+  // error impact within budget, preferring cheap tiers for robust objects.
+  for (std::size_t oi : order) {
+    const MemoryObject& obj = objects[oi];
+    std::size_t chosen = 0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < tiers.size(); ++t) {
+      if (used[t] + obj.bytes > tiers[t].capacity_bytes) continue;
+      const double impact = obj.vulnerability * tiers[t].error_rate_scale *
+                            static_cast<double>(obj.bytes) / (1 << 30);
+      if (res.expected_error_impact + impact > error_budget) continue;
+      const double cost =
+          tiers[t].cost_per_gb * static_cast<double>(obj.bytes) / (1 << 30);
+      if (cost < best_cost) {
+        best_cost = cost;
+        chosen = t;
+      }
+    }
+    if (best_cost == std::numeric_limits<double>::infinity()) {
+      // Nothing fits within budget: fall back to the most reliable tier
+      // with space.
+      for (std::size_t t = 0; t < tiers.size(); ++t) {
+        if (used[t] + obj.bytes <= tiers[t].capacity_bytes) {
+          chosen = t;
+          best_cost = tiers[t].cost_per_gb * static_cast<double>(obj.bytes) / (1 << 30);
+          break;
+        }
+      }
+    }
+    res.tier_of_object[oi] = static_cast<std::uint32_t>(chosen);
+    used[chosen] += obj.bytes;
+    res.total_cost += best_cost;
+    res.expected_error_impact += obj.vulnerability * tiers[chosen].error_rate_scale *
+                                 static_cast<double>(obj.bytes) / (1 << 30);
+  }
+  return res;
+}
+
+}  // namespace ima::aware

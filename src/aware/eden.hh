@@ -1,0 +1,90 @@
+// EDEN-style approximate DRAM (Koppula et al., MICRO 2019 [54]) and
+// heterogeneous-reliability memory placement (Luo et al., DSN 2014 [107]).
+//
+// Reducing DRAM timing/voltage below nominal saves energy and latency but
+// introduces bit errors. Error-tolerant data (e.g. neural-network weights)
+// can live in the relaxed region if criticality-aware placement keeps
+// critical data exact. The model:
+//   - a calibration table  tRCD scale -> bit error rate / energy / latency,
+//   - an ApproxMemory that injects bit flips at the calibrated BER,
+//   - a placement planner that assigns objects to reliability tiers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace ima::aware {
+
+/// Calibration point for reduced-timing DRAM operation. The shape follows
+/// the published characterization: BER rises super-exponentially as tRCD
+/// falls; energy/latency fall roughly linearly.
+struct ApproxOperatingPoint {
+  double trcd_scale = 1.0;    // fraction of nominal tRCD
+  double bit_error_rate = 0;  // per stored bit per read
+  double energy_scale = 1.0;  // dynamic DRAM energy multiplier
+  double latency_scale = 1.0; // access latency multiplier
+};
+
+/// The calibration table (nominal down to aggressive scaling).
+std::vector<ApproxOperatingPoint> approx_dram_table();
+
+/// Operating point for a given scale (nearest table entry at or below).
+ApproxOperatingPoint operating_point(double trcd_scale);
+
+/// Word store that injects read-time bit flips at the configured BER.
+class ApproxMemory {
+ public:
+  ApproxMemory(std::size_t words, const ApproxOperatingPoint& op, std::uint64_t seed = 1)
+      : store_(words, 0), op_(op), rng_(seed) {}
+
+  void write(std::size_t idx, std::uint64_t value) { store_[idx] = value; }
+
+  /// Read with error injection. Flip count per word is Bernoulli per the
+  /// BER (approximated: at most a few flips per read at realistic rates).
+  std::uint64_t read(std::size_t idx);
+
+  std::uint64_t flips() const { return flips_; }
+  const ApproxOperatingPoint& op() const { return op_; }
+  std::size_t size() const { return store_.size(); }
+
+ private:
+  std::vector<std::uint64_t> store_;
+  ApproxOperatingPoint op_;
+  Rng rng_;
+  std::uint64_t flips_ = 0;
+};
+
+// --- Heterogeneous-reliability placement ---
+
+struct MemoryObject {
+  std::string name;
+  std::uint64_t bytes = 0;
+  double vulnerability = 1.0;  // failures-in-time contribution per byte if unprotected
+};
+
+struct ReliabilityTier {
+  std::string name;
+  double cost_per_gb = 1.0;   // relative cost (ECC DIMMs cost more)
+  double error_rate_scale = 0.0;  // residual error rate factor (0 = fully protected)
+  std::uint64_t capacity_bytes = ~0ull;
+};
+
+struct PlacementResult {
+  std::vector<std::uint32_t> tier_of_object;  // index into tiers
+  double total_cost = 0;
+  double expected_error_impact = 0;
+};
+
+/// Greedy planner: most vulnerable objects claim the most reliable tiers
+/// until the error budget is met at minimal cost (the DSN'14 insight: only
+/// a fraction of data needs expensive reliability).
+PlacementResult plan_placement(const std::vector<MemoryObject>& objects,
+                               const std::vector<ReliabilityTier>& tiers,
+                               double error_budget);
+
+}  // namespace ima::aware

@@ -1,0 +1,77 @@
+#include "aware/hycomp.hh"
+
+#include <algorithm>
+
+namespace ima::aware {
+
+const char* to_string(DataClass c) {
+  switch (c) {
+    case DataClass::Zeros: return "zeros";
+    case DataClass::Constant: return "constant";
+    case DataClass::Pointers: return "pointers";
+    case DataClass::NarrowInts: return "narrow-ints";
+    case DataClass::Words32: return "words32";
+    case DataClass::Opaque: return "opaque";
+  }
+  return "?";
+}
+
+DataClass classify_line(Line line) {
+  bool all_zero = true, all_same = true;
+  std::uint32_t shared_high = 0, narrow = 0, fpc_friendly = 0;
+  const std::uint64_t high0 = line[0] >> 16;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::uint64_t w = line[i];
+    if (w != 0) all_zero = false;
+    if (w != line[0]) all_same = false;
+    if ((w >> 16) == high0 && high0 != 0) ++shared_high;
+    if (w < (1ull << 16)) ++narrow;
+    // 32-bit halves that FPC patterns catch: small signed or repeated bytes.
+    const auto lo = static_cast<std::uint32_t>(w);
+    const auto hi = static_cast<std::uint32_t>(w >> 32);
+    auto fpcish = [](std::uint32_t v) {
+      const auto sv = static_cast<std::int32_t>(v);
+      return v == 0 || (sv >= -32768 && sv <= 32767) || (v >> 16) == 0;
+    };
+    if (fpcish(lo) && fpcish(hi)) ++fpc_friendly;
+  }
+  if (all_zero) return DataClass::Zeros;
+  if (all_same) return DataClass::Constant;
+  if (shared_high >= 7) return DataClass::Pointers;   // base + small deltas
+  if (narrow >= 7) return DataClass::NarrowInts;
+  if (fpc_friendly >= 6) return DataClass::Words32;
+  return DataClass::Opaque;
+}
+
+Algo algo_for(DataClass c) {
+  switch (c) {
+    case DataClass::Zeros:
+    case DataClass::Constant:
+    case DataClass::Pointers:
+    case DataClass::NarrowInts: return Algo::Bdi;
+    case DataClass::Words32: return Algo::Fpc;
+    case DataClass::Opaque: return Algo::Raw;
+  }
+  return Algo::Raw;
+}
+
+std::uint32_t hycomp_compressed_size(Line line) {
+  switch (algo_for(classify_line(line))) {
+    case Algo::Bdi: return bdi_compressed_size(line);
+    case Algo::Fpc: return fpc_compressed_size(line);
+    default: return 64;
+  }
+}
+
+double compression_ratio_hycomp(std::span<const std::uint64_t> words, std::uint32_t granule) {
+  if (words.size() < 8) return 1.0;
+  std::uint64_t raw = 0, compressed = 0;
+  for (std::size_t i = 0; i + 8 <= words.size(); i += 8) {
+    raw += 64;
+    const std::uint32_t sz = hycomp_compressed_size(Line(words.subspan(i).first<8>()));
+    compressed += ((sz + granule - 1) / granule) * granule;
+  }
+  return compressed ? static_cast<double>(raw) / static_cast<double>(compressed) : 1.0;
+}
+
+}  // namespace ima::aware

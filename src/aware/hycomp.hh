@@ -1,0 +1,40 @@
+// HyComp-style hybrid compression (Arelakis et al., MICRO 2015 [79]):
+// predict the data *type* of a cache line with cheap heuristics, then
+// dispatch to the compression algorithm that suits that type — data-aware
+// method selection instead of one fixed algorithm. The win is picking the
+// right algorithm without paying for trying them all.
+#pragma once
+
+#include <cstdint>
+
+#include "aware/compress.hh"
+
+namespace ima::aware {
+
+enum class DataClass : std::uint8_t {
+  Zeros,      // zero line
+  Constant,   // one repeated word
+  Pointers,   // shared high bytes, distinct low bytes -> BDI
+  NarrowInts, // small values in wide words -> BDI
+  Words32,    // 32-bit patterned data -> FPC
+  Opaque,     // no structure detected -> store raw
+};
+
+const char* to_string(DataClass c);
+
+/// Cheap type predictor (a handful of word comparisons, as a hardware
+/// classifier would do in parallel with the tag lookup).
+DataClass classify_line(Line line);
+
+/// Compressed size using the algorithm the classifier picks.
+std::uint32_t hycomp_compressed_size(Line line);
+
+/// The algorithm HyComp dispatches to for a class.
+enum class Algo : std::uint8_t { None, Bdi, Fpc, Raw };
+Algo algo_for(DataClass c);
+
+/// Buffer-level compression ratio under HyComp selection.
+double compression_ratio_hycomp(std::span<const std::uint64_t> words,
+                                std::uint32_t granule = 8);
+
+}  // namespace ima::aware

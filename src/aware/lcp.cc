@@ -1,0 +1,53 @@
+#include "aware/lcp.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ima::aware {
+
+LcpPageResult lcp_compress_page(std::span<const std::uint64_t> page_words,
+                                const LcpConfig& cfg) {
+  assert(page_words.size() == 512 && "LCP pages are 4KB");
+
+  // Compressed size of each of the 64 lines.
+  std::array<std::uint32_t, 64> sizes;
+  for (std::size_t l = 0; l < 64; ++l)
+    sizes[l] = bdi_compressed_size(Line(page_words.subspan(l * 8).first<8>()));
+
+  LcpPageResult best;
+  best.slot_bytes = 64;
+  best.exceptions = 0;
+  best.physical_bytes = 4096;
+
+  for (std::uint32_t slot : cfg.candidate_slots) {
+    std::uint32_t exceptions = 0;
+    for (auto s : sizes)
+      if (s > slot) ++exceptions;
+    const std::uint32_t physical =
+        cfg.metadata_bytes + 64 * slot + exceptions * 64;
+    if (physical < best.physical_bytes) {
+      best.slot_bytes = slot;
+      best.exceptions = exceptions;
+      best.physical_bytes = physical;
+    }
+  }
+  return best;
+}
+
+LcpSummary lcp_compress_buffer(std::span<const std::uint64_t> words, const LcpConfig& cfg) {
+  LcpSummary sum;
+  double ratio_acc = 0.0, exc_acc = 0.0;
+  for (std::size_t off = 0; off + 512 <= words.size(); off += 512) {
+    const auto r = lcp_compress_page(words.subspan(off, 512), cfg);
+    ratio_acc += r.compression_ratio();
+    exc_acc += r.exception_fraction();
+    ++sum.pages;
+  }
+  if (sum.pages) {
+    sum.avg_compression_ratio = ratio_acc / static_cast<double>(sum.pages);
+    sum.avg_exception_fraction = exc_acc / static_cast<double>(sum.pages);
+  }
+  return sum;
+}
+
+}  // namespace ima::aware

@@ -1,0 +1,47 @@
+// Linearly Compressed Pages (Pekhimenko et al., MICRO 2013 [76]):
+// main-memory compression with O(1) address computation.
+//
+// A 4KB page stores its 64 lines at a *fixed* compressed slot size; lines
+// that do not fit go to an exception region at the end of the page. The
+// model reports, per page: the achieved physical size, and how many line
+// accesses need the extra exception lookup — the two quantities that
+// determine LCP's capacity/performance trade-off.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "aware/compress.hh"
+
+namespace ima::aware {
+
+struct LcpPageResult {
+  std::uint32_t slot_bytes = 64;       // chosen per-line slot size
+  std::uint32_t exceptions = 0;        // lines stored uncompressed aside
+  std::uint32_t physical_bytes = 4096; // total footprint incl. metadata+exceptions
+  double compression_ratio() const { return 4096.0 / physical_bytes; }
+  double exception_fraction() const { return exceptions / 64.0; }
+};
+
+struct LcpConfig {
+  // Candidate slot sizes, per the paper (16B/21B/32B/44B + uncompressed).
+  std::vector<std::uint32_t> candidate_slots = {16, 24, 32, 44};
+  std::uint32_t metadata_bytes = 64;  // per page: metadata region
+};
+
+/// Chooses the slot size minimizing physical page size for a 4KB page
+/// (512 u64 words) and reports the result.
+LcpPageResult lcp_compress_page(std::span<const std::uint64_t> page_words,
+                                const LcpConfig& cfg = {});
+
+/// Aggregate over a whole buffer (multiple of 512 words = 4KB pages).
+struct LcpSummary {
+  double avg_compression_ratio = 1.0;
+  double avg_exception_fraction = 0.0;
+  std::uint64_t pages = 0;
+};
+LcpSummary lcp_compress_buffer(std::span<const std::uint64_t> words,
+                               const LcpConfig& cfg = {});
+
+}  // namespace ima::aware

@@ -1,0 +1,69 @@
+#include "aware/xmem.hh"
+
+#include <cassert>
+
+namespace ima::aware {
+
+const char* to_string(LocalityHint h) {
+  switch (h) {
+    case LocalityHint::None: return "none";
+    case LocalityHint::Streaming: return "streaming";
+    case LocalityHint::HighReuse: return "high-reuse";
+    case LocalityHint::PointerChase: return "pointer-chase";
+  }
+  return "?";
+}
+
+const char* to_string(Criticality c) {
+  switch (c) {
+    case Criticality::Normal: return "normal";
+    case Criticality::Critical: return "critical";
+    case Criticality::ErrorTolerant: return "error-tolerant";
+  }
+  return "?";
+}
+
+void AttributeRegistry::tag(Addr start, std::uint64_t bytes, const DataAttributes& attrs) {
+  Range r{start, start + bytes, attrs};
+  auto it = std::lower_bound(ranges_.begin(), ranges_.end(), r,
+                             [](const Range& a, const Range& b) { return a.start < b.start; });
+  // Overlaps are a tagging bug in the caller; keep the invariant simple.
+  assert((it == ranges_.end() || r.end <= it->start) &&
+         (it == ranges_.begin() || std::prev(it)->end <= r.start) &&
+         "overlapping atom ranges");
+  ranges_.insert(it, r);
+}
+
+DataAttributes AttributeRegistry::query(Addr addr) const {
+  auto it = std::upper_bound(ranges_.begin(), ranges_.end(), addr,
+                             [](Addr a, const Range& r) { return a < r.start; });
+  if (it == ranges_.begin()) return {};
+  const Range& r = *std::prev(it);
+  if (addr < r.end) return r.attrs;
+  return {};
+}
+
+HintedCache::AccessResult HintedCache::access(Addr addr, AccessType type) {
+  AccessResult res;
+  const DataAttributes attrs = registry_ ? registry_->query(addr) : DataAttributes{};
+
+  if (cache_.contains(line_base(addr))) {
+    (void)cache_.access(line_base(addr), type);
+    res.hit = true;
+    ++stats_.hits;
+    return res;
+  }
+
+  if (attrs.locality == LocalityHint::Streaming) {
+    // Bypass: serve from memory without polluting the cache.
+    res.bypassed = true;
+    ++stats_.bypasses;
+    return res;
+  }
+
+  (void)cache_.access(line_base(addr), type);
+  ++stats_.misses;
+  return res;
+}
+
+}  // namespace ima::aware

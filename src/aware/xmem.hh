@@ -1,0 +1,83 @@
+// Expressive-memory (X-Mem) style cross-layer interface
+// (Vijaykumar et al., ISCA 2018 [52]).
+//
+// Software tags address ranges ("atoms") with semantic attributes —
+// locality class, criticality, compressibility — and hardware policies
+// consult those attributes instead of treating all data identically.
+// HintedCache demonstrates the payoff: streaming data bypasses the cache,
+// high-reuse data is inserted with high priority, so a scan no longer
+// thrashes the reuse working set.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/types.hh"
+
+namespace ima::aware {
+
+enum class LocalityHint : std::uint8_t { None, Streaming, HighReuse, PointerChase };
+enum class Criticality : std::uint8_t { Normal, Critical, ErrorTolerant };
+
+const char* to_string(LocalityHint h);
+const char* to_string(Criticality c);
+
+struct DataAttributes {
+  LocalityHint locality = LocalityHint::None;
+  Criticality criticality = Criticality::Normal;
+  bool compressible = false;
+};
+
+/// Address-range -> attributes map (the X-Mem atom table).
+class AttributeRegistry {
+ public:
+  void tag(Addr start, std::uint64_t bytes, const DataAttributes& attrs);
+
+  /// Attributes of `addr` (default attributes when untagged).
+  DataAttributes query(Addr addr) const;
+
+  std::size_t atoms() const { return ranges_.size(); }
+
+ private:
+  struct Range {
+    Addr start;
+    Addr end;  // exclusive
+    DataAttributes attrs;
+  };
+  std::vector<Range> ranges_;  // sorted by start, non-overlapping
+};
+
+/// A cache frontend that applies attribute-guided insertion:
+/// Streaming -> bypass; HighReuse -> normal insert; None -> normal insert.
+class HintedCache {
+ public:
+  HintedCache(const cache::CacheConfig& cfg, const AttributeRegistry* registry)
+      : cache_(cfg), registry_(registry) {}
+
+  struct AccessResult {
+    bool hit = false;
+    bool bypassed = false;  // served without allocation (memory traffic)
+  };
+
+  AccessResult access(Addr addr, AccessType type);
+
+  const cache::Cache& cache() const { return cache_; }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;   // allocated misses
+    std::uint64_t bypasses = 0; // hint-directed non-allocating misses
+    std::uint64_t memory_accesses() const { return misses + bypasses; }
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  cache::Cache cache_;
+  const AttributeRegistry* registry_;
+  Stats stats_;
+};
+
+}  // namespace ima::aware

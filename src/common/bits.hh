@@ -1,0 +1,38 @@
+// Bit-manipulation helpers for address mapping and PIM bit-serial logic.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace ima {
+
+/// True iff v is a power of two (v != 0).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr std::uint32_t log2_exact(std::uint64_t v) {
+  assert(is_pow2(v));
+  return static_cast<std::uint32_t>(std::countr_zero(v));
+}
+
+/// Extracts `count` bits of `value` starting at bit `pos` (LSB = 0).
+constexpr std::uint64_t bits(std::uint64_t value, std::uint32_t pos, std::uint32_t count) {
+  return (value >> pos) & ((count >= 64) ? ~0ull : ((1ull << count) - 1));
+}
+
+/// Removes the `count` bits at `pos`, shifting higher bits down — the inverse
+/// helper for interleaved address decomposition.
+constexpr std::uint64_t remove_bits(std::uint64_t value, std::uint32_t pos, std::uint32_t count) {
+  const std::uint64_t low = value & ((pos >= 64) ? ~0ull : ((1ull << pos) - 1));
+  const std::uint64_t high = (pos + count >= 64) ? 0 : (value >> (pos + count));
+  return low | (high << pos);
+}
+
+/// Round `v` up to a multiple of `align` (power of two).
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t align) {
+  assert(is_pow2(align));
+  return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace ima

@@ -1,0 +1,67 @@
+// Deterministic random-number generation for the simulator.
+//
+// We use xoshiro256** rather than std::mt19937_64 because simulation results
+// must be reproducible across standard-library implementations, and because
+// the simulator draws billions of values in long runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ima {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-initializes the state from a single seed via splitmix64.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli draw with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next_below(hi - lo + 1);
+  }
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+/// Zipfian distribution over [0, n) with skew parameter `theta` in [0, 1).
+/// theta = 0 degenerates to uniform; theta ~ 0.99 is the classic YCSB-style
+/// highly skewed distribution. Uses the Gray et al. rejection-free method
+/// with precomputed constants (O(1) per draw after O(n)-free setup).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed = 1);
+
+  std::uint64_t next();
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+  Rng rng_;
+
+  static double zeta(std::uint64_t n, double theta);
+};
+
+}  // namespace ima

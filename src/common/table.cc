@@ -1,0 +1,65 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ima {
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmt_ratio(double v, int precision) { return fmt(v, precision) + "x"; }
+
+std::string Table::fmt_pct(double v, int precision) { return fmt(v * 100.0, precision) + "%"; }
+
+std::string Table::fmt_int(std::uint64_t v) { return std::to_string(v); }
+
+std::string Table::fmt_si(double v, int precision) {
+  static constexpr const char* kSuffix[] = {"", "K", "M", "G", "T"};
+  int tier = 0;
+  double x = v;
+  while (std::fabs(x) >= 1000.0 && tier < 4) {
+    x /= 1000.0;
+    ++tier;
+  }
+  return fmt(x, precision) + kSuffix[tier];
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& cells, bool right_align) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ';
+      const auto pad = width[c] - cells[c].size();
+      if (right_align && c > 0) os << std::string(pad, ' ') << cells[c];
+      else os << cells[c] << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  print_row(headers_, false);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << std::string(width[c] + 2, '-') << "|";
+  os << '\n';
+  for (const auto& row : rows_) print_row(row, true);
+}
+
+}  // namespace ima

@@ -1,0 +1,39 @@
+// Plain-text table printer for the benchmark harnesses. Produces aligned
+// columns in the style of a paper's results table:
+//
+//   | workload | CPU copy (cyc) | RowClone FPM (cyc) | speedup |
+//   |----------|----------------|--------------------|---------|
+//   | 4KB page |          12345 |                123 |  100.4x |
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ima {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  /// Appends a row; each cell is preformatted text.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_ratio(double v, int precision = 2);    // "12.34x"
+  static std::string fmt_pct(double v, int precision = 1);      // "56.7%"
+  static std::string fmt_int(std::uint64_t v);
+  static std::string fmt_si(double v, int precision = 2);       // "1.23M"
+
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ima

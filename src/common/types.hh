@@ -1,0 +1,32 @@
+// Fundamental types shared across the ima (Intelligent Memory Architectures)
+// library. All simulator components agree on these units:
+//   - Addr:   byte address in the simulated physical address space
+//   - Cycle:  DRAM-controller clock cycles (tCK granularity)
+//   - PicoJoule: energy bookkeeping unit for the energy models
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ima {
+
+using Addr = std::uint64_t;
+using Cycle = std::uint64_t;
+using PicoJoule = double;
+
+inline constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
+
+/// Size of a cache line / DRAM access granularity in bytes.
+inline constexpr std::uint32_t kLineBytes = 64;
+
+/// Returns the cache-line-aligned base of `a`.
+constexpr Addr line_base(Addr a) { return a & ~static_cast<Addr>(kLineBytes - 1); }
+
+/// Kind of memory access issued by a core or device.
+enum class AccessType : std::uint8_t { Read, Write };
+
+constexpr const char* to_string(AccessType t) {
+  return t == AccessType::Read ? "read" : "write";
+}
+
+}  // namespace ima

@@ -1,0 +1,109 @@
+#include "core/core.hh"
+
+#include <algorithm>
+
+namespace ima::core {
+
+SimpleCore::SimpleCore(std::uint32_t id, std::unique_ptr<workloads::AccessStream> stream,
+                       MemoryPort& port, const CoreConfig& cfg)
+    : id_(id), stream_(std::move(stream)), port_(port), cfg_(cfg) {
+  fetch_next();
+}
+
+void SimpleCore::fetch_next() {
+  if (!lookahead_.empty()) {
+    current_ = lookahead_.front();
+    lookahead_.pop_front();
+    if (runahead_pos_ > 0) --runahead_pos_;
+  } else {
+    current_ = stream_->next();
+  }
+  compute_left_ = current_.compute;
+  access_pending_ = true;
+}
+
+void SimpleCore::runahead_step(Cycle now) {
+  if (runahead_issued_ >= cfg_.runahead_depth) return;
+  // Fetch further down the stream and issue the next load as a prefetch.
+  // Stores and their side effects are dropped (runahead is speculative).
+  while (runahead_pos_ >= lookahead_.size()) lookahead_.push_back(stream_->next());
+  const workloads::TraceEntry& e = lookahead_[runahead_pos_];
+  if (e.dependent) {
+    // Address depends on an unreturned load value: runahead cannot compute
+    // it (or anything after it) — stall until the blocking miss resolves.
+    runahead_issued_ = cfg_.runahead_depth;
+    return;
+  }
+  ++runahead_pos_;
+  if (e.type != AccessType::Read) return;
+  workloads::TraceEntry pf = e;
+  const auto res = port_.issue(id_, pf, now, [](Cycle) {}, /*speculative=*/true);
+  if (res.has_value()) {
+    ++runahead_issued_;
+    ++stats_.runahead_prefetches;
+  } else {
+    --runahead_pos_;  // queue full: retry this entry next cycle
+  }
+}
+
+void SimpleCore::tick(Cycle now) {
+  if (done()) return;
+
+  if (waiting_) {
+    if (now < ready_at_) {
+      ++stats_.stall_cycles;
+      if (cfg_.runahead) runahead_step(now);
+      return;
+    }
+    waiting_ = false;
+    runahead_issued_ = 0;
+    runahead_pos_ = 0;  // re-walk the lookahead architecturally
+  }
+
+  // Retire compute instructions at pipeline width.
+  if (compute_left_ > 0) {
+    const std::uint32_t n = std::min(compute_left_, cfg_.width);
+    compute_left_ -= n;
+    stats_.instructions += n;
+    stats_.finish_cycle = now;
+    return;
+  }
+
+  if (!access_pending_) return;
+
+  const auto& access = current_;
+  async_done_ = false;
+  auto result = port_.issue(id_, access, now, [this](Cycle done_cycle) {
+    // Asynchronous completion: wake at the data-return cycle.
+    ready_at_ = done_cycle;
+    async_done_ = true;
+  });
+
+  if (!result.has_value()) {
+    ++stats_.stall_cycles;  // queue full; retry next cycle
+    return;
+  }
+
+  ++stats_.instructions;
+  stats_.finish_cycle = now;
+  if (access.type == AccessType::Read) ++stats_.loads;
+  else ++stats_.stores;
+  access_pending_ = false;
+
+  if (access.type == AccessType::Read) {
+    if (*result == kCycleNever) {
+      // Asynchronous miss: block until the completion callback fires.
+      waiting_ = true;
+      if (!async_done_) ready_at_ = kCycleNever;
+      // If the callback already ran, ready_at_ holds the real wakeup cycle.
+    } else if (*result > now + 1) {
+      waiting_ = true;
+      ready_at_ = *result;
+    }
+  }
+  // Stores are posted: never block.
+
+  fetch_next();
+}
+
+}  // namespace ima::core

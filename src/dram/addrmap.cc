@@ -1,0 +1,97 @@
+#include "dram/addrmap.hh"
+
+#include <cassert>
+
+#include "common/bits.hh"
+
+namespace ima::dram {
+
+const char* to_string(MapScheme s) {
+  switch (s) {
+    case MapScheme::RoBaRaCoCh: return "RoBaRaCoCh";
+    case MapScheme::RoRaBaChCo: return "RoRaBaChCo";
+    case MapScheme::ChRaBaRoCo: return "ChRaBaRoCo";
+  }
+  return "?";
+}
+
+AddressMapper::AddressMapper(const Geometry& g, MapScheme scheme)
+    : geom_(g), scheme_(scheme) {
+  assert(g.valid());
+  ch_bits_ = log2_exact(g.channels);
+  ra_bits_ = log2_exact(g.ranks);
+  ba_bits_ = log2_exact(g.banks);
+  ro_bits_ = log2_exact(g.rows_per_bank());
+  co_bits_ = log2_exact(g.columns);
+}
+
+Coord AddressMapper::decode(Addr addr) const {
+  std::uint64_t v = addr >> log2_exact(kLineBytes);
+  auto take = [&v](std::uint32_t nbits) {
+    const std::uint64_t field = bits(v, 0, nbits);
+    v >>= nbits;
+    return static_cast<std::uint32_t>(field);
+  };
+
+  Coord c;
+  switch (scheme_) {
+    case MapScheme::RoBaRaCoCh:
+      c.channel = take(ch_bits_);
+      c.column = take(co_bits_);
+      c.rank = take(ra_bits_);
+      c.bank = take(ba_bits_);
+      c.row = take(ro_bits_);
+      break;
+    case MapScheme::RoRaBaChCo:
+      c.column = take(co_bits_);
+      c.channel = take(ch_bits_);
+      c.bank = take(ba_bits_);
+      c.rank = take(ra_bits_);
+      c.row = take(ro_bits_);
+      break;
+    case MapScheme::ChRaBaRoCo:
+      c.column = take(co_bits_);
+      c.row = take(ro_bits_);
+      c.bank = take(ba_bits_);
+      c.rank = take(ra_bits_);
+      c.channel = take(ch_bits_);
+      break;
+  }
+  return c;
+}
+
+Addr AddressMapper::encode(const Coord& c) const {
+  std::uint64_t v = 0;
+  std::uint32_t shift = 0;
+  auto put = [&](std::uint32_t field, std::uint32_t nbits) {
+    v |= static_cast<std::uint64_t>(field) << shift;
+    shift += nbits;
+  };
+
+  switch (scheme_) {
+    case MapScheme::RoBaRaCoCh:
+      put(c.channel, ch_bits_);
+      put(c.column, co_bits_);
+      put(c.rank, ra_bits_);
+      put(c.bank, ba_bits_);
+      put(c.row, ro_bits_);
+      break;
+    case MapScheme::RoRaBaChCo:
+      put(c.column, co_bits_);
+      put(c.channel, ch_bits_);
+      put(c.bank, ba_bits_);
+      put(c.rank, ra_bits_);
+      put(c.row, ro_bits_);
+      break;
+    case MapScheme::ChRaBaRoCo:
+      put(c.column, co_bits_);
+      put(c.row, ro_bits_);
+      put(c.bank, ba_bits_);
+      put(c.rank, ra_bits_);
+      put(c.channel, ch_bits_);
+      break;
+  }
+  return v << log2_exact(kLineBytes);
+}
+
+}  // namespace ima::dram

@@ -1,0 +1,46 @@
+// Physical-address-to-DRAM-coordinate mapping.
+//
+// The mapping scheme determines how much channel/bank parallelism and row
+// locality a given access stream sees, so it is a first-class policy choice
+// (the paper's "data-centric" principle starts with placing data well).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dram/command.hh"
+#include "dram/config.hh"
+
+namespace ima::dram {
+
+/// Bit-interleaving order, named low-to-high. E.g. RoBaRaCoCh puts channel
+/// bits lowest (maximal channel interleaving of consecutive lines) and row
+/// bits highest.
+enum class MapScheme : std::uint8_t {
+  RoBaRaCoCh,  // row : bank : rank : column : channel  (parallelism-first)
+  RoRaBaChCo,  // row : rank : bank : channel : column  (row-locality-first)
+  ChRaBaRoCo,  // channel : rank : bank : row : column  (naive/contiguous)
+};
+
+const char* to_string(MapScheme s);
+
+class AddressMapper {
+ public:
+  AddressMapper(const Geometry& g, MapScheme scheme);
+
+  /// Decomposes a byte address (line-aligned internally) into coordinates.
+  Coord decode(Addr addr) const;
+
+  /// Inverse of decode(); returns the line-aligned byte address.
+  Addr encode(const Coord& c) const;
+
+  MapScheme scheme() const { return scheme_; }
+  const Geometry& geometry() const { return geom_; }
+
+ private:
+  Geometry geom_;
+  MapScheme scheme_;
+  std::uint32_t ch_bits_, ra_bits_, ba_bits_, ro_bits_, co_bits_;
+};
+
+}  // namespace ima::dram

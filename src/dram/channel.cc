@@ -1,0 +1,454 @@
+#include "dram/channel.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ima::dram {
+
+Channel::Channel(const DramConfig& cfg, std::uint32_t channel_id, DataStore* data)
+    : cfg_(cfg),
+      id_(channel_id),
+      data_(data),
+      banks_(static_cast<std::size_t>(cfg.geometry.ranks) * cfg.geometry.banks),
+      ranks_(cfg.geometry.ranks) {
+  assert(cfg_.geometry.valid());
+}
+
+bool Channel::bank_open(const Coord& c) const {
+  const BankState& bk = bank(c);
+  if (!cfg_.timings.salp) return bk.open;
+  const auto it = bk.subs.find(cfg_.geometry.subarray_of_row(c.row));
+  return it != bk.subs.end() && it->second.open;
+}
+
+std::uint32_t Channel::open_row(const Coord& c) const {
+  const BankState& bk = bank(c);
+  if (!cfg_.timings.salp) return bk.row;
+  const auto it = bk.subs.find(cfg_.geometry.subarray_of_row(c.row));
+  return it != bk.subs.end() ? it->second.row : 0;
+}
+
+bool Channel::all_banks_closed(std::uint32_t rank) const {
+  for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b) {
+    const BankState& bk = banks_[rank * cfg_.geometry.banks + b];
+    if (bk.open) return false;
+    if (cfg_.timings.salp) {
+      for (const auto& [sa, sub] : bk.subs)
+        if (sub.open) return false;
+    }
+  }
+  return true;
+}
+
+Cmd Channel::required_cmd(const Coord& c, AccessType type) const {
+  if (!bank_open(c)) return Cmd::Act;
+  if (open_row(c) == c.row) return type == AccessType::Read ? Cmd::Rd : Cmd::Wr;
+  return Cmd::Pre;
+}
+
+bool Channel::bank_fully_closed(const BankState& bk) const {
+  if (bk.open) return false;
+  for (const auto& [sa, sub] : bk.subs)
+    if (sub.open) return false;
+  return true;
+}
+
+Cycle Channel::faw_earliest(const RankState& r) const {
+  if (r.act_window.size() < 4) return 0;
+  return r.act_window[r.act_window.size() - 4] + cfg_.timings.faw;
+}
+
+Cycle Channel::earliest(Cmd cmd, const Coord& c, Cycle now) const {
+  if (ranks_[c.rank].power != PowerState::Active)
+    return kCycleNever;  // the controller must wake the rank first
+  if (cfg_.timings.salp) return earliest_salp(cmd, c, now);
+  const BankState& bk = bank(c);
+  const RankState& rk = ranks_[c.rank];
+  Cycle t = std::max(now, rk.ready);
+
+  switch (cmd) {
+    case Cmd::Act:
+      if (bk.open) return kCycleNever;
+      return std::max({t, bk.next_act, rk.next_act, faw_earliest(rk)});
+    case Cmd::Pre:
+      if (!bk.open) return kCycleNever;
+      return std::max(t, bk.next_pre);
+    case Cmd::PreAll: {
+      Cycle e = t;
+      for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b) {
+        const BankState& s = banks_[c.rank * cfg_.geometry.banks + b];
+        if (s.open) e = std::max(e, s.next_pre);
+      }
+      return e;
+    }
+    case Cmd::Rd:
+      if (!bk.open || bk.row != c.row) return kCycleNever;
+      return std::max({t, bk.next_rd, bus_next_rd_});
+    case Cmd::Wr:
+      if (!bk.open || bk.row != c.row) return kCycleNever;
+      return std::max({t, bk.next_wr, bus_next_wr_});
+    case Cmd::Ref: {
+      if (!all_banks_closed(c.rank)) return kCycleNever;
+      Cycle e = t;
+      for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b)
+        e = std::max(e, banks_[c.rank * cfg_.geometry.banks + b].next_act);
+      return e;
+    }
+    case Cmd::RefRow:
+    case Cmd::AapFpm:
+    case Cmd::LisaRbm:
+    case Cmd::Tra:
+      // All PUM / row-refresh commands behave like an ACT(+PRE) burst on a
+      // fully precharged bank.
+      if (bk.open) return kCycleNever;
+      return std::max({t, bk.next_act, rk.next_act, faw_earliest(rk)});
+  }
+  return kCycleNever;
+}
+
+void Channel::enter_power_state(std::uint32_t rank, PowerState state, Cycle now) {
+  RankState& rk = ranks_[rank];
+  if (rk.power == state) return;
+  assert(all_banks_closed(rank) && "close all banks before a low-power state");
+  rk.bg_accum += static_cast<double>(now - rk.power_since) * cfg_.energy.standby_per_cycle *
+                 power_scale(rk.power);
+  rk.power = state;
+  rk.power_since = now;
+}
+
+void Channel::wake_rank(std::uint32_t rank, Cycle now) {
+  RankState& rk = ranks_[rank];
+  if (rk.power == PowerState::Active) return;
+  rk.bg_accum += static_cast<double>(now - rk.power_since) * cfg_.energy.standby_per_cycle *
+                 power_scale(rk.power);
+  const Cycle exit_latency =
+      rk.power == PowerState::SelfRefresh ? cfg_.timings.xs : cfg_.timings.xp;
+  rk.power = PowerState::Active;
+  rk.power_since = now;
+  rk.ready = std::max(rk.ready, now + exit_latency);
+}
+
+PicoJoule Channel::background_energy(Cycle now) const {
+  PicoJoule total = 0;
+  for (const auto& rk : ranks_) {
+    total += rk.bg_accum;
+    if (now > rk.power_since)
+      total += static_cast<double>(now - rk.power_since) * cfg_.energy.standby_per_cycle *
+               power_scale(rk.power);
+  }
+  return total;
+}
+
+Cycle Channel::pim_latency(Cmd cmd, const PimArgs& args) const {
+  switch (cmd) {
+    case Cmd::AapFpm: return cfg_.timings.rc_fpm;
+    case Cmd::LisaRbm:
+      return cfg_.timings.rc_fpm + static_cast<Cycle>(args.hops) * cfg_.timings.lisa_hop;
+    case Cmd::Tra: return cfg_.timings.tra + cfg_.timings.rp;
+    default: return 0;
+  }
+}
+
+void Channel::record_act(const Coord& c, std::uint32_t row, Cycle now) {
+  RankState& rk = ranks_[c.rank];
+  rk.act_window.push_back(now);
+  while (rk.act_window.size() > 4) rk.act_window.pop_front();
+  rk.next_act = std::max(rk.next_act, now + cfg_.timings.rrd);
+  ++stats_.acts;
+  if (act_hook_) {
+    Coord rc = c;
+    rc.row = row;
+    act_hook_(rc, now);
+  }
+}
+
+Cycle Channel::earliest_salp(Cmd cmd, const Coord& c, Cycle now) const {
+  const BankState& bk = bank(c);
+  const RankState& rk = ranks_[c.rank];
+  const std::uint32_t sa = cfg_.geometry.subarray_of_row(c.row);
+  const auto sub_it = bk.subs.find(sa);
+  const SubarrayState* sub = sub_it != bk.subs.end() ? &sub_it->second : nullptr;
+  Cycle t = std::max(now, rk.ready);
+
+  switch (cmd) {
+    case Cmd::Act:
+      if (sub && sub->open) return kCycleNever;
+      return std::max({t, sub ? sub->next_act : 0, rk.next_act, faw_earliest(rk)});
+    case Cmd::Pre:
+      if (!sub || !sub->open) return kCycleNever;
+      return std::max(t, sub->next_pre);
+    case Cmd::PreAll: {
+      Cycle e = t;
+      for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b) {
+        const BankState& s = banks_[c.rank * cfg_.geometry.banks + b];
+        for (const auto& [si, ss] : s.subs)
+          if (ss.open) e = std::max(e, ss.next_pre);
+      }
+      return e;
+    }
+    case Cmd::Rd:
+      if (!sub || !sub->open || sub->row != c.row) return kCycleNever;
+      return std::max({t, sub->next_rd, bus_next_rd_});
+    case Cmd::Wr:
+      if (!sub || !sub->open || sub->row != c.row) return kCycleNever;
+      return std::max({t, sub->next_wr, bus_next_wr_});
+    case Cmd::Ref: {
+      if (!all_banks_closed(c.rank)) return kCycleNever;
+      Cycle e = t;
+      for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b) {
+        const BankState& s = banks_[c.rank * cfg_.geometry.banks + b];
+        for (const auto& [si, ss] : s.subs) e = std::max(e, ss.next_act);
+      }
+      return e;
+    }
+    case Cmd::RefRow:
+    case Cmd::AapFpm:
+    case Cmd::LisaRbm:
+    case Cmd::Tra:
+      // PUM commands and row refresh need a quiet bank.
+      if (!bank_fully_closed(bk)) return kCycleNever;
+      return std::max({t, sub ? sub->next_act : 0, rk.next_act, faw_earliest(rk)});
+  }
+  return kCycleNever;
+}
+
+void Channel::issue_salp(Cmd cmd, const Coord& c, Cycle now) {
+  const Timings& tm = cfg_.timings;
+  const Energy& en = cfg_.energy;
+  BankState& bk = bank(c);
+  RankState& rk = ranks_[c.rank];
+  const std::uint32_t sa = cfg_.geometry.subarray_of_row(c.row);
+
+  switch (cmd) {
+    case Cmd::Act: {
+      SubarrayState& sub = bk.subs[sa];
+      sub.open = true;
+      sub.row = c.row;
+      sub.next_rd = sub.next_wr = now + tm.rcd;
+      sub.next_pre = now + tm.ras;
+      sub.next_act = now + tm.rc;
+      record_act(c, c.row, now);
+      stats_.cmd_energy += en.act;
+      break;
+    }
+    case Cmd::Pre: {
+      SubarrayState& sub = bk.subs[sa];
+      sub.open = false;
+      sub.next_act = std::max(sub.next_act, now + tm.rp);
+      ++stats_.pres;
+      stats_.cmd_energy += en.pre;
+      break;
+    }
+    case Cmd::PreAll:
+      for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b) {
+        BankState& s = banks_[c.rank * cfg_.geometry.banks + b];
+        for (auto& [si, ss] : s.subs) {
+          if (!ss.open) continue;
+          ss.open = false;
+          ss.next_act = std::max(ss.next_act, now + tm.rp);
+          ++stats_.pres;
+          stats_.cmd_energy += en.pre;
+        }
+      }
+      break;
+    case Cmd::Rd: {
+      SubarrayState& sub = bk.subs[sa];
+      bus_next_rd_ = std::max(bus_next_rd_, now + tm.ccd);
+      bus_next_wr_ = std::max(bus_next_wr_, now + tm.rtw);
+      sub.next_pre = std::max(sub.next_pre, now + tm.rtp);
+      ++stats_.rds;
+      stats_.cmd_energy += en.rd + en.bus_per_line;
+      stats_.bus_energy += en.bus_per_line;
+      break;
+    }
+    case Cmd::Wr: {
+      SubarrayState& sub = bk.subs[sa];
+      bus_next_wr_ = std::max(bus_next_wr_, now + tm.ccd);
+      bus_next_rd_ = std::max(bus_next_rd_, now + tm.cwl + tm.bl + tm.wtr);
+      sub.next_pre = std::max(sub.next_pre, now + tm.cwl + tm.bl + tm.wr);
+      ++stats_.wrs;
+      stats_.cmd_energy += en.wr + en.bus_per_line;
+      stats_.bus_energy += en.bus_per_line;
+      break;
+    }
+    case Cmd::Ref:
+      rk.ready = now + tm.rfc;
+      for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b) {
+        BankState& s = banks_[c.rank * cfg_.geometry.banks + b];
+        s.next_act = std::max(s.next_act, now + tm.rfc);
+        for (auto& [si, ss] : s.subs) ss.next_act = std::max(ss.next_act, now + tm.rfc);
+      }
+      ++stats_.refs;
+      stats_.cmd_energy += en.ref;
+      if (ref_hook_) ref_hook_(c.rank, now);
+      break;
+    case Cmd::RefRow: {
+      SubarrayState& sub = bk.subs[sa];
+      sub.next_act = std::max(sub.next_act, now + tm.rc);
+      record_act(c, c.row, now);
+      ++stats_.ref_rows;
+      stats_.cmd_energy += en.ref_row;
+      break;
+    }
+    case Cmd::AapFpm:
+    case Cmd::LisaRbm:
+    case Cmd::Tra:
+      assert(false && "use issue_pim for multi-row commands");
+      break;
+  }
+}
+
+void Channel::issue(Cmd cmd, const Coord& c, Cycle now) {
+  assert(can_issue(cmd, c, now));
+  if (cfg_.timings.salp) {
+    issue_salp(cmd, c, now);
+    return;
+  }
+  const Timings& tm = cfg_.timings;
+  const Energy& en = cfg_.energy;
+  BankState& bk = bank(c);
+  RankState& rk = ranks_[c.rank];
+
+  switch (cmd) {
+    case Cmd::Act:
+      bk.open = true;
+      bk.row = c.row;
+      bk.next_rd = bk.next_wr = now + tm.rcd;
+      bk.next_pre = now + tm.ras;
+      bk.next_act = now + tm.rc;
+      record_act(c, c.row, now);
+      stats_.cmd_energy += en.act;
+      break;
+    case Cmd::Pre:
+      bk.open = false;
+      bk.next_act = std::max(bk.next_act, now + tm.rp);
+      ++stats_.pres;
+      stats_.cmd_energy += en.pre;
+      break;
+    case Cmd::PreAll:
+      for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b) {
+        BankState& s = banks_[c.rank * cfg_.geometry.banks + b];
+        if (!s.open) continue;
+        s.open = false;
+        s.next_act = std::max(s.next_act, now + tm.rp);
+        ++stats_.pres;
+        stats_.cmd_energy += en.pre;
+      }
+      break;
+    case Cmd::Rd:
+      bus_next_rd_ = std::max(bus_next_rd_, now + tm.ccd);
+      bus_next_wr_ = std::max(bus_next_wr_, now + tm.rtw);
+      bk.next_pre = std::max(bk.next_pre, now + tm.rtp);
+      ++stats_.rds;
+      stats_.cmd_energy += en.rd + en.bus_per_line;
+      stats_.bus_energy += en.bus_per_line;
+      break;
+    case Cmd::Wr:
+      bus_next_wr_ = std::max(bus_next_wr_, now + tm.ccd);
+      bus_next_rd_ = std::max(bus_next_rd_, now + tm.cwl + tm.bl + tm.wtr);
+      bk.next_pre = std::max(bk.next_pre, now + tm.cwl + tm.bl + tm.wr);
+      ++stats_.wrs;
+      stats_.cmd_energy += en.wr + en.bus_per_line;
+      stats_.bus_energy += en.bus_per_line;
+      break;
+    case Cmd::Ref:
+      rk.ready = now + tm.rfc;
+      for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b) {
+        BankState& s = banks_[c.rank * cfg_.geometry.banks + b];
+        s.next_act = std::max(s.next_act, now + tm.rfc);
+      }
+      ++stats_.refs;
+      stats_.cmd_energy += en.ref;
+      if (ref_hook_) ref_hook_(c.rank, now);
+      break;
+    case Cmd::RefRow:
+      // Internally an ACT+PRE of one row; bank occupied for tRC.
+      bk.next_act = std::max(bk.next_act, now + tm.rc);
+      record_act(c, c.row, now);
+      ++stats_.ref_rows;
+      stats_.cmd_energy += en.ref_row;
+      break;
+    case Cmd::AapFpm:
+    case Cmd::LisaRbm:
+    case Cmd::Tra:
+      assert(false && "use issue_pim for multi-row commands");
+      break;
+  }
+}
+
+void Channel::issue_act_charged(const Coord& c, Cycle now) {
+  assert(can_issue(Cmd::Act, c, now));
+  assert(!cfg_.timings.salp && "ChargeCache+SALP composition not modeled");
+  const Timings& tm = cfg_.timings;
+  BankState& bk = bank(c);
+  bk.open = true;
+  bk.row = c.row;
+  bk.next_rd = bk.next_wr = now + tm.rcd_charged;
+  bk.next_pre = now + tm.ras_charged;
+  bk.next_act = now + tm.rc;
+  record_act(c, c.row, now);
+  // Sensing a charged row moves less charge: slightly cheaper activation.
+  stats_.cmd_energy += cfg_.energy.act * 0.8;
+  ++stats_.charged_acts;
+}
+
+void Channel::issue_pim(Cmd cmd, const Coord& bank_coord, const PimArgs& args, Cycle now) {
+  assert(can_issue(cmd, bank_coord, now));
+  const Timings& tm = cfg_.timings;
+  const Energy& en = cfg_.energy;
+  BankState& bk = bank(bank_coord);
+
+  Coord src = bank_coord, dst = bank_coord, third = bank_coord;
+  src.row = args.src_row;
+  dst.row = args.dst_row;
+  third.row = args.row_c;
+
+  // SALP: the occupied subarray's timing gates the next activation there.
+  auto salp_occupy = [&](Cycle until) {
+    if (!cfg_.timings.salp) return;
+    const std::uint32_t sa = cfg_.geometry.subarray_of_row(args.src_row);
+    auto& sub = bk.subs[sa];
+    sub.next_act = std::max(sub.next_act, until);
+  };
+
+  switch (cmd) {
+    case Cmd::AapFpm:
+      // Two back-to-back activations (source then destination) + precharge.
+      bk.next_act = std::max(bk.next_act, now + tm.rc_fpm);
+      salp_occupy(now + tm.rc_fpm);
+      record_act(bank_coord, args.src_row, now);
+      record_act(bank_coord, args.dst_row, now + tm.ras / 2);
+      ++stats_.aaps;
+      stats_.cmd_energy += en.aap;
+      if (data_) {
+        if (args.invert) data_->not_row(src, dst);
+        else data_->copy_row(src, dst);
+      }
+      break;
+    case Cmd::LisaRbm:
+      bk.next_act = std::max(bk.next_act, now + tm.rc_fpm +
+                                              static_cast<Cycle>(args.hops) * tm.lisa_hop);
+      salp_occupy(now + tm.rc_fpm + static_cast<Cycle>(args.hops) * tm.lisa_hop);
+      record_act(bank_coord, args.src_row, now);
+      record_act(bank_coord, args.dst_row, now + tm.ras / 2);
+      stats_.lisa_hops += args.hops;
+      ++stats_.aaps;
+      stats_.cmd_energy += en.aap + static_cast<double>(args.hops) * en.lisa_hop;
+      if (data_) data_->copy_row(src, dst);
+      break;
+    case Cmd::Tra:
+      bk.next_act = std::max(bk.next_act, now + tm.tra + tm.rp);
+      salp_occupy(now + tm.tra + tm.rp);
+      record_act(bank_coord, args.src_row, now);
+      record_act(bank_coord, args.dst_row, now);
+      record_act(bank_coord, args.row_c, now);
+      ++stats_.tras;
+      stats_.cmd_energy += en.tra;
+      if (data_) data_->majority3_rows(src, dst, third);
+      break;
+    default:
+      assert(false && "not a PUM command");
+  }
+}
+
+}  // namespace ima::dram

@@ -1,0 +1,189 @@
+// Cycle-level model of one DRAM channel: bank/rank/bus state machines plus
+// a timing-constraint checker in the Ramulator style. The model is
+// command-accurate: a controller may only issue a command when can_issue()
+// holds, and every issued command updates the earliest-allowed cycles of the
+// commands it constrains (tRCD, tRAS, tRP, tRC, tCCD, tRRD, tFAW, tWR, tWTR,
+// tRTP, tRFC, ...).
+//
+// Processing-using-memory commands (RowClone FPM, LISA, Ambit TRA) are
+// first-class commands with their own timing/energy and functional effects
+// on the DataStore.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/command.hh"
+#include "dram/config.hh"
+#include "dram/datastore.hh"
+
+namespace ima::dram {
+
+/// Arguments for PUM commands that reference multiple rows of one bank.
+struct PimArgs {
+  std::uint32_t src_row = 0;
+  std::uint32_t dst_row = 0;
+  std::uint32_t row_c = 0;   // third row for TRA
+  std::uint32_t hops = 1;    // LISA subarray hops
+  bool invert = false;       // AAP through a dual-contact (inverting) row
+};
+
+class Channel {
+ public:
+  /// `data` may be null for timing-only simulation (no functional contents).
+  Channel(const DramConfig& cfg, std::uint32_t channel_id, DataStore* data);
+
+  // --- timing interface ---
+
+  /// Earliest cycle >= now at which `cmd` could legally issue, ignoring
+  /// state preconditions (open/closed row). kCycleNever if state forbids it.
+  Cycle earliest(Cmd cmd, const Coord& c, Cycle now) const;
+
+  bool can_issue(Cmd cmd, const Coord& c, Cycle now) const {
+    return earliest(cmd, c, now) <= now;
+  }
+
+  /// Issues `cmd` at cycle `now`. Preconditions checked with assert;
+  /// callers must consult can_issue() first.
+  void issue(Cmd cmd, const Coord& c, Cycle now);
+
+  /// Activation of a highly-charged row (ChargeCache): same legality rules
+  /// as a normal ACT but the bank becomes ready after the reduced
+  /// tRCD/tRAS. The caller is responsible for only using this on rows that
+  /// were precharged recently (the controller's charge-cache tracks that).
+  void issue_act_charged(const Coord& c, Cycle now);
+
+  /// Issues a PUM command (AapFpm / LisaRbm / Tra).
+  void issue_pim(Cmd cmd, const Coord& bank_coord, const PimArgs& args, Cycle now);
+
+  // --- state queries used by schedulers ---
+  // Under SALP, "open" is per subarray: the coordinate's row selects which
+  // subarray's row buffer is consulted.
+
+  bool bank_open(const Coord& c) const;
+  std::uint32_t open_row(const Coord& c) const;
+  bool all_banks_closed(std::uint32_t rank) const;
+
+  /// The command needed to make progress on an access to `c`:
+  /// Act if closed, Rd/Wr if the right row is open, Pre on conflict.
+  Cmd required_cmd(const Coord& c, AccessType type) const;
+
+  // --- bookkeeping ---
+
+  struct Stats {
+    std::uint64_t acts = 0, pres = 0, rds = 0, wrs = 0;
+    std::uint64_t charged_acts = 0;  // ChargeCache fast activations
+    std::uint64_t refs = 0, ref_rows = 0;
+    std::uint64_t aaps = 0, lisa_hops = 0, tras = 0;
+    PicoJoule cmd_energy = 0;   // everything except background
+    PicoJoule bus_energy = 0;   // included in cmd_energy; tracked separately
+  };
+  const Stats& stats() const { return stats_; }
+
+  // --- rank power states (MemScale line [127,132]) ---
+
+  enum class PowerState : std::uint8_t { Active, PowerDown, SelfRefresh };
+
+  /// Enters a low-power state (requires all banks of the rank closed; the
+  /// caller manages that). Accounts background energy up to `now`.
+  void enter_power_state(std::uint32_t rank, PowerState state, Cycle now);
+
+  /// Wakes the rank; commands become legal after the exit latency
+  /// (tXP / tXS). Idempotent when already active.
+  void wake_rank(std::uint32_t rank, Cycle now);
+
+  PowerState rank_power(std::uint32_t rank) const { return ranks_[rank].power; }
+
+  /// Background (standby) energy up to cycle `now`, weighted by the time
+  /// each rank spent in each power state.
+  PicoJoule background_energy(Cycle now) const;
+
+  /// Hook invoked on every row activation (ACT and each activation inside a
+  /// PUM command) — this is where RowHammer trackers tap in.
+  using ActHook = std::function<void(const Coord&, Cycle)>;
+  void set_act_hook(ActHook hook) { act_hook_ = std::move(hook); }
+
+  /// Hook invoked on every blanket (all-bank) REF of a rank.
+  using RefHook = std::function<void(std::uint32_t rank, Cycle)>;
+  void set_ref_hook(RefHook hook) { ref_hook_ = std::move(hook); }
+
+  /// Completion latency of a PUM command (issue -> bank free).
+  Cycle pim_latency(Cmd cmd, const PimArgs& args) const;
+
+  const DramConfig& config() const { return cfg_; }
+  DataStore* data() { return data_; }
+  std::uint32_t id() const { return id_; }
+
+  /// Latency from RD issue to data availability.
+  Cycle read_latency() const { return cfg_.timings.read_latency(); }
+
+ private:
+  struct SubarrayState {
+    bool open = false;
+    std::uint32_t row = 0;
+    Cycle next_act = 0;
+    Cycle next_pre = 0;
+    Cycle next_rd = 0;
+    Cycle next_wr = 0;
+  };
+
+  struct BankState {
+    bool open = false;
+    std::uint32_t row = 0;
+    Cycle next_act = 0;
+    Cycle next_pre = 0;
+    Cycle next_rd = 0;
+    Cycle next_wr = 0;
+    // SALP mode: per-subarray row buffers and timing (lazily allocated).
+    std::unordered_map<std::uint32_t, SubarrayState> subs;
+  };
+
+  struct RankState {
+    Cycle next_act = 0;           // tRRD
+    Cycle ready = 0;              // tRFC after REF / power-state exit
+    std::deque<Cycle> act_window; // recent ACT cycles for tFAW
+    PowerState power = PowerState::Active;
+    Cycle power_since = 0;        // start of the current power-state segment
+    PicoJoule bg_accum = 0;       // background energy of finished segments
+  };
+
+  double power_scale(PowerState s) const {
+    switch (s) {
+      case PowerState::PowerDown: return cfg_.energy.powerdown_scale;
+      case PowerState::SelfRefresh: return cfg_.energy.selfrefresh_scale;
+      default: return 1.0;
+    }
+  }
+
+  BankState& bank(const Coord& c) {
+    return banks_[c.rank * cfg_.geometry.banks + c.bank];
+  }
+  const BankState& bank(const Coord& c) const {
+    return banks_[c.rank * cfg_.geometry.banks + c.bank];
+  }
+
+  Cycle faw_earliest(const RankState& r) const;
+  void record_act(const Coord& c, std::uint32_t row, Cycle now);
+
+  // SALP-mode variants (per-subarray row buffers).
+  Cycle earliest_salp(Cmd cmd, const Coord& c, Cycle now) const;
+  void issue_salp(Cmd cmd, const Coord& c, Cycle now);
+  bool bank_fully_closed(const BankState& bk) const;
+
+  DramConfig cfg_;
+  std::uint32_t id_;
+  DataStore* data_;
+  std::vector<BankState> banks_;
+  std::vector<RankState> ranks_;
+  Cycle bus_next_rd_ = 0;
+  Cycle bus_next_wr_ = 0;
+  Stats stats_;
+  ActHook act_hook_;
+  RefHook ref_hook_;
+};
+
+}  // namespace ima::dram

@@ -1,0 +1,107 @@
+#include "dram/config.hh"
+
+#include <algorithm>
+
+namespace ima::dram {
+
+DramConfig DramConfig::ddr4_2400() {
+  DramConfig c;
+  c.name = "DDR4_2400";
+  return c;  // struct defaults are the DDR4-2400 calibration
+}
+
+DramConfig DramConfig::ddr4_3200() {
+  DramConfig c = ddr4_2400();
+  c.name = "DDR4_3200";
+  c.timings.tck_ns = 0.625;
+  c.timings.rcd = 22;
+  c.timings.rp = 22;
+  c.timings.ras = 52;
+  c.timings.rc = 74;
+  c.timings.cl = 22;
+  c.timings.cwl = 16;
+  c.timings.ccd = 8;
+  c.timings.rrd = 8;
+  c.timings.faw = 34;
+  c.timings.wr = 24;
+  c.timings.wtr = 12;
+  c.timings.rtp = 12;
+  c.timings.rfc = 560;
+  c.timings.refi = 12480;
+  c.timings.rc_fpm = 98;
+  c.timings.tra = 65;
+  return c;
+}
+
+DramConfig DramConfig::lpddr4_3200() {
+  DramConfig c = ddr4_3200();
+  c.name = "LPDDR4_3200";
+  c.geometry.banks = 8;
+  c.geometry.ranks = 1;
+  // LPDDR trades latency for energy: slower core timings, cheaper I/O.
+  c.timings.rcd = 29;
+  c.timings.rp = 34;
+  c.timings.ras = 68;
+  c.timings.rc = 102;
+  c.energy.rd = 700.0;
+  c.energy.wr = 760.0;
+  c.energy.bus_per_line = 1100.0;
+  c.energy.standby_per_cycle = 22.0;
+  return c;
+}
+
+DramConfig DramConfig::with_scaled_timings(double factor) const {
+  DramConfig c = *this;
+  auto scale = [factor](std::uint32_t v) {
+    return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(v * factor + 0.5));
+  };
+  c.name += "_scaled";
+  c.timings.rcd = scale(timings.rcd);
+  c.timings.rp = scale(timings.rp);
+  c.timings.ras = scale(timings.ras);
+  c.timings.rc = scale(timings.rc);
+  c.timings.wr = scale(timings.wr);
+  c.timings.rtp = scale(timings.rtp);
+  c.timings.rcd_charged = scale(timings.rcd_charged);
+  c.timings.ras_charged = scale(timings.ras_charged);
+  return c;
+}
+
+DramConfig DramConfig::hbm_stack_channel() {
+  DramConfig c;
+  c.name = "HBM_STACK";
+  c.geometry.channels = 1;
+  c.geometry.ranks = 1;
+  c.geometry.banks = 16;
+  c.geometry.subarrays = 16;
+  c.geometry.rows_per_subarray = 256;
+  c.geometry.columns = 32;  // 2KB rows
+  c.timings.tck_ns = 1.0;
+  c.timings.rcd = 14;
+  c.timings.rp = 14;
+  c.timings.ras = 34;
+  c.timings.rc = 48;
+  c.timings.cl = 14;
+  c.timings.cwl = 10;
+  c.timings.bl = 2;   // wider interface, shorter bursts
+  c.timings.ccd = 2;
+  c.timings.rrd = 4;
+  c.timings.faw = 16;
+  c.timings.rfc = 260;
+  c.timings.refi = 3900;
+  c.timings.rc_fpm = 62;
+  c.timings.tra = 42;
+  // TSV transfers stay in-package: far cheaper than off-chip pins.
+  c.energy.rd = 500.0;
+  c.energy.wr = 540.0;
+  c.energy.bus_per_line = 250.0;
+  c.energy.act = 450.0;
+  c.energy.pre = 220.0;
+  c.energy.aap = 1150.0;
+  c.energy.tra = 1600.0;
+  c.energy.ref = 9000.0;
+  c.energy.standby_per_cycle = 30.0;
+  return c;
+}
+
+}  // namespace ima::dram

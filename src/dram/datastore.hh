@@ -1,0 +1,60 @@
+// Functional contents of the DRAM array, kept separately from timing state.
+//
+// Rows are allocated lazily (sparse map) so that simulating a multi-GB
+// address space costs memory proportional to the touched footprint only.
+// The data store is what makes the PUM model *functional*: RowClone and
+// Ambit operations transform actual bits, so their results can be checked
+// against software oracles in tests.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/command.hh"
+#include "dram/config.hh"
+
+namespace ima::dram {
+
+class DataStore {
+ public:
+  explicit DataStore(const Geometry& g)
+      : geom_(g), words_per_row_(g.row_bytes() / sizeof(std::uint64_t)) {}
+
+  /// Mutable view of a row's words; allocates (zero-filled) on first touch.
+  std::vector<std::uint64_t>& row(const Coord& c) { return ensure_row(c); }
+
+  /// Read-only access that does not allocate; absent rows read as zero.
+  std::uint64_t word(const Coord& c, std::size_t word_idx) const;
+
+  /// Line-granularity accessors used by RD/WR commands (column = line index).
+  void write_line(const Coord& c, const std::uint64_t* data8);
+  void read_line(const Coord& c, std::uint64_t* out8) const;
+
+  /// Whole-row operations used by the PUM commands.
+  void copy_row(const Coord& src, const Coord& dst);
+  void majority3_rows(const Coord& a, const Coord& b, const Coord& c);
+  void not_row(const Coord& src, const Coord& dst);
+  void fill_row(const Coord& c, std::uint64_t pattern);
+
+  std::size_t words_per_row() const { return words_per_row_; }
+  std::size_t allocated_rows() const { return rows_.size(); }
+
+ private:
+  std::uint64_t row_key(const Coord& c) const {
+    std::uint64_t k = c.channel;
+    k = k * geom_.ranks + c.rank;
+    k = k * geom_.banks + c.bank;
+    k = k * geom_.rows_per_bank() + c.row;
+    return k;
+  }
+
+  std::vector<std::uint64_t>& ensure_row(const Coord& c);
+
+  Geometry geom_;
+  std::size_t words_per_row_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> rows_;
+};
+
+}  // namespace ima::dram

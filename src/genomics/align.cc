@@ -1,0 +1,177 @@
+#include "genomics/align.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ima::genomics {
+
+std::uint32_t edit_distance(std::string_view a, std::string_view b) {
+  const std::size_t n = a.size(), m = b.size();
+  std::vector<std::uint32_t> prev(m + 1), cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = static_cast<std::uint32_t>(j);
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<std::uint32_t>(i);
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::uint32_t sub = prev[j - 1] + (a[i - 1] != b[j - 1] ? 1 : 0);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+std::uint32_t banded_edit_distance(std::string_view a, std::string_view b,
+                                   std::uint32_t band) {
+  const std::size_t n = a.size(), m = b.size();
+  const std::uint32_t inf = band + 1;
+  if ((n > m ? n - m : m - n) > band) return inf;
+  std::vector<std::uint32_t> prev(m + 1, inf), cur(m + 1, inf);
+  for (std::size_t j = 0; j <= std::min<std::size_t>(m, band); ++j)
+    prev[j] = static_cast<std::uint32_t>(j);
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), inf);
+    const std::size_t lo = i > band ? i - band : 0;
+    const std::size_t hi = std::min(m, i + band);
+    if (lo == 0) cur[0] = static_cast<std::uint32_t>(i);
+    for (std::size_t j = std::max<std::size_t>(lo, 1); j <= hi; ++j) {
+      const std::uint32_t sub = prev[j - 1] + (a[i - 1] != b[j - 1] ? 1 : 0);
+      std::uint32_t best = sub;
+      if (prev[j] != inf) best = std::min(best, prev[j] + 1);
+      if (cur[j - 1] != inf) best = std::min(best, cur[j - 1] + 1);
+      cur[j] = std::min(best, inf);
+    }
+    std::swap(prev, cur);
+  }
+  return std::min(prev[m], inf);
+}
+
+std::size_t GenasmMatcher::code_of(char c) {
+  switch (c) {
+    case 'A': return 0;
+    case 'C': return 1;
+    case 'G': return 2;
+    case 'T': return 3;
+    default: return 4;
+  }
+}
+
+GenasmMatcher::GenasmMatcher(std::string_view pattern) : m_(pattern.size()) {
+  assert(m_ > 0);
+  words_ = (m_ + 63) / 64;
+  masks_.assign(5, std::vector<std::uint64_t>(words_, 0));
+  for (std::size_t i = 0; i < m_; ++i)
+    masks_[code_of(pattern[i])][i / 64] |= 1ull << (i % 64);
+}
+
+namespace {
+
+/// (v << 1) | carry_in over a multi-word bitvector.
+void shl1(std::vector<std::uint64_t>& v, std::uint64_t carry_in) {
+  for (auto& w : v) {
+    const std::uint64_t carry_out = w >> 63;
+    w = (w << 1) | carry_in;
+    carry_in = carry_out;
+  }
+}
+
+void or_into(std::vector<std::uint64_t>& dst, const std::vector<std::uint64_t>& src) {
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] |= src[i];
+}
+
+void and_into(std::vector<std::uint64_t>& dst, const std::vector<std::uint64_t>& src) {
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] &= src[i];
+}
+
+}  // namespace
+
+MatchResult GenasmMatcher::search(std::string_view text, std::uint32_t max_errors) const {
+  // Wu-Manber Shift-And over (max_errors + 1) lanes; bit (m-1) of lane d
+  // set => the whole pattern matched ending here with <= d errors.
+  const std::uint32_t k = max_errors;
+  std::vector<std::vector<std::uint64_t>> R(k + 1,
+                                            std::vector<std::uint64_t>(words_, 0));
+  // Lane d starts with its first d bits set (d pattern characters deleted).
+  for (std::uint32_t d = 1; d <= k; ++d) {
+    for (std::uint32_t b = 0; b < d && b < m_; ++b) R[d][b / 64] |= 1ull << (b % 64);
+  }
+
+  const std::size_t top_word = (m_ - 1) / 64;
+  const std::uint64_t top_bit = 1ull << ((m_ - 1) % 64);
+
+  MatchResult res;
+  std::vector<std::uint64_t> tmp(words_);
+  std::vector<std::vector<std::uint64_t>> old_r(k + 1);
+
+  for (std::size_t pos = 0; pos < text.size(); ++pos) {
+    const auto& pm = masks_[code_of(text[pos])];
+    for (std::uint32_t d = 0; d <= k; ++d) old_r[d] = R[d];
+
+    // Lane 0: exact Shift-And.
+    shl1(R[0], 1);
+    and_into(R[0], pm);
+
+    for (std::uint32_t d = 1; d <= k; ++d) {
+      // match/mismatch progress within lane d
+      shl1(R[d], 1);
+      and_into(R[d], pm);
+      // substitution: consume both with one more error
+      tmp = old_r[d - 1];
+      shl1(tmp, 1);
+      or_into(R[d], tmp);
+      // deletion of a pattern character (advance pattern only)
+      tmp = R[d - 1];
+      shl1(tmp, 1);
+      or_into(R[d], tmp);
+      // insertion of a text character (advance text only)
+      or_into(R[d], old_r[d - 1]);
+    }
+
+    for (std::uint32_t d = 0; d <= k; ++d) {
+      if (R[d][top_word] & top_bit) {
+        if (!res.accepted || d < res.best_errors) {
+          res.accepted = true;
+          res.best_errors = d;
+          res.end_pos = pos + 1;
+        }
+        break;  // lanes are supersets: the smallest d is this one
+      }
+    }
+    if (res.accepted && res.best_errors == 0) break;  // cannot improve
+  }
+  return res;
+}
+
+bool sneaky_snake(std::string_view read, std::string_view ref, std::uint32_t max_errors) {
+  const std::size_t n = read.size();
+  const int k = static_cast<int>(max_errors);
+
+  // Mismatch grid: diagonal d in [-k, k], column j in [0, n).
+  auto mismatch = [&](int d, std::size_t j) -> bool {
+    const auto rj = static_cast<std::int64_t>(j) + d;
+    if (rj < 0 || rj >= static_cast<std::int64_t>(ref.size())) return true;
+    return read[j] != ref[static_cast<std::size_t>(rj)];
+  };
+
+  // Greedy longest-zero-run walk (the SneakySnake escape path): at each
+  // step take the diagonal whose match run from the current column is
+  // longest; each stop costs one "obstacle" (>= one edit).
+  std::size_t col = 0;
+  std::uint32_t obstacles = 0;
+  while (col < n) {
+    std::size_t best_run = 0;
+    for (int d = -k; d <= k; ++d) {
+      std::size_t run = 0;
+      while (col + run < n && !mismatch(d, col + run)) ++run;
+      best_run = std::max(best_run, run);
+      if (col + best_run >= n) break;
+    }
+    col += best_run;
+    if (col >= n) break;
+    ++obstacles;  // forced to cross a mismatch
+    ++col;        // the obstacle column is consumed by the edit
+    if (obstacles > max_errors) return false;
+  }
+  return obstacles <= max_errors;
+}
+
+}  // namespace ima::genomics

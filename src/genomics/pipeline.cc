@@ -1,0 +1,102 @@
+#include "genomics/pipeline.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace ima::genomics {
+
+SeedIndex::SeedIndex(std::string_view reference, std::uint32_t k, std::uint32_t step)
+    : k_(k) {
+  if (reference.size() < k) return;
+  for (std::size_t pos = 0; pos + k <= reference.size(); pos += step) {
+    const std::uint64_t kmer = workloads::pack_kmer(reference.data() + pos, k);
+    index_[kmer].push_back(static_cast<std::uint32_t>(pos));
+  }
+}
+
+const std::vector<std::uint32_t>& SeedIndex::lookup(std::uint64_t kmer) const {
+  const auto it = index_.find(kmer);
+  return it == index_.end() ? empty_ : it->second;
+}
+
+PipelineStats map_reads(const workloads::Genome& genome, const PipelineConfig& cfg) {
+  PipelineStats st;
+  // Index sampled at seed_step so the index stays compact; reads then query
+  // seeds at every in-read offset (guaranteeing overlap with index sampling).
+  SeedIndex index(genome.reference, cfg.seed_k, cfg.seed_step);
+
+  for (std::size_t r = 0; r < genome.reads.size(); ++r) {
+    const std::string& read = genome.reads[r];
+    ++st.reads;
+
+    // --- Seeding: candidate window start positions. ---
+    std::set<std::int64_t> candidate_starts;
+    for (std::size_t off = 0; off + cfg.seed_k <= read.size(); ++off) {
+      const std::uint64_t kmer = workloads::pack_kmer(read.data() + off, cfg.seed_k);
+      for (const std::uint32_t pos : index.lookup(kmer)) {
+        const std::int64_t start = static_cast<std::int64_t>(pos) -
+                                   static_cast<std::int64_t>(off);
+        // Cluster candidates to window granularity (±max_errors slack).
+        candidate_starts.insert(start / (cfg.max_errors + 1));
+      }
+    }
+
+    bool mapped = false;
+    bool correct = false;
+    for (const std::int64_t cluster : candidate_starts) {
+      ++st.candidates;
+      // Cluster rounding puts the true start in [start, start + k], i.e. at
+      // a diagonal offset within the filter's/matcher's band.
+      const std::int64_t start = cluster * (cfg.max_errors + 1);
+      const std::int64_t lo = std::max<std::int64_t>(0, start);
+      const std::size_t win_len =
+          std::min<std::size_t>(read.size() + 2 * cfg.max_errors,
+                                genome.reference.size() - static_cast<std::size_t>(lo));
+      const std::string_view window(genome.reference.data() + lo, win_len);
+
+      // --- Pre-alignment filter. ---
+      if (cfg.use_snake_filter) {
+        if (!sneaky_snake(read, window, cfg.max_errors)) {
+          ++st.filter_rejected;
+          continue;
+        }
+      }
+
+      // --- Verification/alignment. ---
+      ++st.alignments;
+      bool accepted;
+      if (cfg.use_genasm) {
+        GenasmMatcher matcher(read);
+        const auto res = matcher.search(window, cfg.max_errors);
+        st.accel_cycles += matcher.accelerator_cycles(window.size(), cfg.max_errors);
+        accepted = res.accepted;
+      } else {
+        const auto d = banded_edit_distance(read, window.substr(0, read.size()),
+                                            cfg.max_errors);
+        st.dp_cells += read.size() * (2ull * cfg.max_errors + 1);
+        // Banded global distance vs window prefix is conservative; retry
+        // shifted ends within the slack.
+        accepted = d <= cfg.max_errors;
+        for (std::uint32_t shift = 1; !accepted && shift <= 2 * cfg.max_errors; ++shift) {
+          if (read.size() + shift > window.size()) break;
+          const auto d2 = banded_edit_distance(
+              read, window.substr(shift, read.size()), cfg.max_errors);
+          st.dp_cells += read.size() * (2ull * cfg.max_errors + 1);
+          accepted = d2 <= cfg.max_errors;
+        }
+      }
+      if (accepted) {
+        mapped = true;
+        const std::int64_t truth = static_cast<std::int64_t>(genome.read_positions[r]);
+        if (std::llabs(start - truth) <=
+            static_cast<std::int64_t>(2 * (cfg.max_errors + 1)))
+          correct = true;
+      }
+    }
+    if (mapped) ++st.mapped;
+    if (correct) ++st.mapped_correctly;
+  }
+  return st;
+}
+
+}  // namespace ima::genomics

@@ -1,0 +1,62 @@
+// Read-mapping pipeline: seeding -> (optional) pre-alignment filtering ->
+// alignment, with work accounting — the "accelerating genome analysis"
+// narrative of the paper's introduction [3,119]: most candidate locations
+// are false, so cheap early rejection plus a fast aligner removes the
+// dominant cost.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "genomics/align.hh"
+#include "workloads/genome.hh"
+
+namespace ima::genomics {
+
+struct PipelineConfig {
+  std::uint32_t seed_k = 12;        // seed length
+  std::uint32_t seed_step = 6;      // sample a seed every `step` bases
+  std::uint32_t max_errors = 5;     // edit-distance threshold
+  bool use_snake_filter = true;     // SneakySnake pre-alignment filter
+  bool use_genasm = true;           // GenASM matcher instead of banded DP
+};
+
+struct PipelineStats {
+  std::uint64_t reads = 0;
+  std::uint64_t candidates = 0;          // windows out of seeding
+  std::uint64_t filter_rejected = 0;     // killed by SneakySnake
+  std::uint64_t alignments = 0;          // verifications actually run
+  std::uint64_t mapped = 0;              // reads with an accepted location
+  std::uint64_t mapped_correctly = 0;    // ... at the true origin
+  std::uint64_t dp_cells = 0;            // CPU DP work (cells touched)
+  std::uint64_t accel_cycles = 0;        // GenASM accelerator cycles
+
+  double filter_reject_rate() const {
+    return candidates ? static_cast<double>(filter_rejected) / candidates : 0.0;
+  }
+  double recall() const {
+    return reads ? static_cast<double>(mapped_correctly) / reads : 0.0;
+  }
+};
+
+/// Hash index over the reference: seed k-mer -> positions (exact matches).
+class SeedIndex {
+ public:
+  SeedIndex(std::string_view reference, std::uint32_t k, std::uint32_t step = 1);
+
+  /// Positions where this k-mer occurs (empty if none).
+  const std::vector<std::uint32_t>& lookup(std::uint64_t kmer) const;
+
+  std::uint32_t k() const { return k_; }
+
+ private:
+  std::uint32_t k_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index_;
+  std::vector<std::uint32_t> empty_;
+};
+
+/// Maps every read of `genome` against its reference.
+PipelineStats map_reads(const workloads::Genome& genome, const PipelineConfig& cfg);
+
+}  // namespace ima::genomics

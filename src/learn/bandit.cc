@@ -1,0 +1,37 @@
+#include "learn/bandit.hh"
+
+#include <limits>
+
+namespace ima::learn {
+
+std::uint32_t Ucb1Bandit::select() {
+  for (std::uint32_t a = 0; a < arms(); ++a)
+    if (counts_[a] == 0) return a;
+  std::uint32_t best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::uint32_t a = 0; a < arms(); ++a) {
+    const double bonus =
+        std::sqrt(c_ * std::log(static_cast<double>(total_)) / static_cast<double>(counts_[a]));
+    const double score = means_[a] + bonus;
+    if (score > best_score) {
+      best_score = score;
+      best = a;
+    }
+  }
+  return best;
+}
+
+void Ucb1Bandit::reward(std::uint32_t arm, double r) {
+  ++counts_[arm];
+  ++total_;
+  means_[arm] += (r - means_[arm]) / static_cast<double>(counts_[arm]);
+}
+
+std::uint32_t Ucb1Bandit::best_arm() const {
+  std::uint32_t best = 0;
+  for (std::uint32_t a = 1; a < arms(); ++a)
+    if (means_[a] > means_[best]) best = a;
+  return best;
+}
+
+}  // namespace ima::learn

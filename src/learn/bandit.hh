@@ -1,0 +1,41 @@
+// Multi-armed bandit policy selector (UCB1 and epsilon-greedy).
+//
+// The lightest form of a data-driven controller: pick among a fixed set of
+// candidate policies (e.g., address mappings, page policies, refresh modes)
+// based on measured reward, instead of hardwiring one forever. Used by the
+// self-optimizing examples and as an ablation against full RL.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace ima::learn {
+
+class Ucb1Bandit {
+ public:
+  explicit Ucb1Bandit(std::uint32_t arms, double exploration = 2.0, std::uint64_t seed = 1)
+      : counts_(arms, 0), means_(arms, 0.0), c_(exploration), rng_(seed) {}
+
+  /// Selects an arm: any unplayed arm first, else the UCB1-maximizing arm.
+  std::uint32_t select();
+
+  /// Reports the observed reward for `arm`.
+  void reward(std::uint32_t arm, double r);
+
+  double mean(std::uint32_t arm) const { return means_[arm]; }
+  std::uint64_t plays(std::uint32_t arm) const { return counts_[arm]; }
+  std::uint32_t arms() const { return static_cast<std::uint32_t>(counts_.size()); }
+  std::uint32_t best_arm() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::vector<double> means_;
+  double c_;
+  std::uint64_t total_ = 0;
+  Rng rng_;
+};
+
+}  // namespace ima::learn

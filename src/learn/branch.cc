@@ -1,0 +1,147 @@
+#include "learn/branch.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ima::learn {
+
+namespace {
+
+class StaticPredictor final : public BranchPredictor {
+ public:
+  bool predict(std::uint64_t) override { return false; }
+  void update(std::uint64_t, bool) override {}
+  std::string name() const override { return "static-NT"; }
+  std::size_t storage_bits() const override { return 0; }
+};
+
+class Bimodal final : public BranchPredictor {
+ public:
+  explicit Bimodal(std::uint32_t table_bits)
+      : mask_((1u << table_bits) - 1), counters_(1u << table_bits, 1) {}
+
+  bool predict(std::uint64_t pc) override { return counters_[pc & mask_] >= 2; }
+
+  void update(std::uint64_t pc, bool taken) override {
+    auto& c = counters_[pc & mask_];
+    if (taken) c = std::min<std::uint8_t>(3, c + 1);
+    else c = c > 0 ? c - 1 : 0;
+  }
+
+  std::string name() const override { return "bimodal"; }
+  std::size_t storage_bits() const override { return counters_.size() * 2; }
+
+ private:
+  std::uint32_t mask_;
+  std::vector<std::uint8_t> counters_;
+};
+
+class Gshare final : public BranchPredictor {
+ public:
+  Gshare(std::uint32_t table_bits, std::uint32_t history_len)
+      : mask_((1u << table_bits) - 1),
+        hist_mask_((history_len >= 64 ? ~0ull : (1ull << history_len) - 1)),
+        counters_(1u << table_bits, 1) {}
+
+  bool predict(std::uint64_t pc) override { return counters_[index(pc)] >= 2; }
+
+  void update(std::uint64_t pc, bool taken) override {
+    auto& c = counters_[index(pc)];
+    if (taken) c = std::min<std::uint8_t>(3, c + 1);
+    else c = c > 0 ? c - 1 : 0;
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & hist_mask_;
+  }
+
+  std::string name() const override { return "gshare"; }
+  std::size_t storage_bits() const override { return counters_.size() * 2; }
+
+ private:
+  std::size_t index(std::uint64_t pc) const { return (pc ^ history_) & mask_; }
+
+  std::uint32_t mask_;
+  std::uint64_t hist_mask_;
+  std::uint64_t history_ = 0;
+  std::vector<std::uint8_t> counters_;
+};
+
+class PerceptronBp final : public BranchPredictor {
+ public:
+  PerceptronBp(std::uint32_t table_bits, std::uint32_t history_len)
+      : mask_((1u << table_bits) - 1),
+        hlen_(history_len),
+        // Jimenez's training threshold: theta = 1.93*h + 14.
+        theta_(static_cast<std::int32_t>(1.93 * history_len + 14)),
+        weights_(static_cast<std::size_t>(1u << table_bits) * (history_len + 1), 0),
+        history_(history_len, false) {}
+
+  bool predict(std::uint64_t pc) override { return output(pc) >= 0; }
+
+  void update(std::uint64_t pc, bool taken) override {
+    const std::int32_t out = output(pc);
+    const bool predicted = out >= 0;
+    if (predicted != taken || std::abs(out) <= theta_) {
+      std::int16_t* w = row(pc);
+      bump(w[0], taken);  // bias weight
+      for (std::uint32_t i = 0; i < hlen_; ++i) bump(w[i + 1], taken == history_[i]);
+    }
+    // Shift history (index 0 = most recent).
+    for (std::uint32_t i = hlen_ - 1; i > 0; --i) history_[i] = history_[i - 1];
+    history_[0] = taken;
+  }
+
+  std::string name() const override { return "perceptron"; }
+  std::size_t storage_bits() const override { return weights_.size() * 8; }
+
+ private:
+  std::int16_t* row(std::uint64_t pc) {
+    return &weights_[static_cast<std::size_t>(pc & mask_) * (hlen_ + 1)];
+  }
+
+  std::int32_t output(std::uint64_t pc) {
+    const std::int16_t* w = row(pc);
+    std::int32_t sum = w[0];
+    for (std::uint32_t i = 0; i < hlen_; ++i) sum += history_[i] ? w[i + 1] : -w[i + 1];
+    return sum;
+  }
+
+  static void bump(std::int16_t& w, bool up) {
+    if (up && w < 127) ++w;
+    if (!up && w > -128) --w;
+  }
+
+  std::uint32_t mask_;
+  std::uint32_t hlen_;
+  std::int32_t theta_;
+  std::vector<std::int16_t> weights_;
+  std::vector<bool> history_;
+};
+
+}  // namespace
+
+std::unique_ptr<BranchPredictor> make_static_predictor() {
+  return std::make_unique<StaticPredictor>();
+}
+std::unique_ptr<BranchPredictor> make_bimodal(std::uint32_t table_bits) {
+  return std::make_unique<Bimodal>(table_bits);
+}
+std::unique_ptr<BranchPredictor> make_gshare(std::uint32_t table_bits,
+                                             std::uint32_t history_len) {
+  return std::make_unique<Gshare>(table_bits, history_len);
+}
+std::unique_ptr<BranchPredictor> make_perceptron_bp(std::uint32_t table_bits,
+                                                    std::uint32_t history_len) {
+  return std::make_unique<PerceptronBp>(table_bits, history_len);
+}
+
+BranchTraceResult run_branch_trace(BranchPredictor& bp,
+                                   const std::vector<BranchEvent>& trace) {
+  BranchTraceResult res;
+  for (const auto& e : trace) {
+    ++res.branches;
+    if (bp.predict(e.pc) != e.taken) ++res.mispredicts;
+    bp.update(e.pc, e.taken);
+  }
+  return res;
+}
+
+}  // namespace ima::learn

@@ -1,0 +1,60 @@
+// Branch predictors: the data-driven principle's oldest success story
+// (Jimenez & Lin, HPCA 2001 [40]; [41-43,121]). A perceptron learns
+// long-history linear correlations that fixed-size counter tables cannot
+// capture; counter tables (gshare) capture short non-linear patterns the
+// perceptron cannot. Both behaviours are reproduction targets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ima::learn {
+
+class BranchPredictor {
+ public:
+  virtual ~BranchPredictor() = default;
+
+  virtual bool predict(std::uint64_t pc) = 0;
+
+  /// Observes the actual outcome (call after predict on the same pc).
+  virtual void update(std::uint64_t pc, bool taken) = 0;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t storage_bits() const = 0;
+};
+
+/// Static not-taken (floor baseline).
+std::unique_ptr<BranchPredictor> make_static_predictor();
+
+/// Bimodal: per-PC 2-bit saturating counters.
+std::unique_ptr<BranchPredictor> make_bimodal(std::uint32_t table_bits = 12);
+
+/// gshare (McFarling): global history XOR pc indexes 2-bit counters.
+std::unique_ptr<BranchPredictor> make_gshare(std::uint32_t table_bits = 12,
+                                             std::uint32_t history_len = 12);
+
+/// Perceptron predictor (Jimenez & Lin): per-PC weight vector dotted with
+/// the global history register; trained on mispredict or low confidence.
+std::unique_ptr<BranchPredictor> make_perceptron_bp(std::uint32_t table_bits = 8,
+                                                    std::uint32_t history_len = 32);
+
+/// Measures a predictor over a branch trace.
+struct BranchTraceResult {
+  std::uint64_t branches = 0;
+  std::uint64_t mispredicts = 0;
+  double mispredict_rate() const {
+    return branches ? static_cast<double>(mispredicts) / static_cast<double>(branches) : 0.0;
+  }
+};
+
+struct BranchEvent {
+  std::uint64_t pc;
+  bool taken;
+};
+
+BranchTraceResult run_branch_trace(BranchPredictor& bp,
+                                   const std::vector<BranchEvent>& trace);
+
+}  // namespace ima::learn

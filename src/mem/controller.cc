@@ -1,0 +1,290 @@
+#include "mem/controller.hh"
+
+#include <cassert>
+
+namespace ima::mem {
+
+Controller::Controller(dram::Channel& chan, const dram::AddressMapper& mapper,
+                       const ControllerConfig& cfg)
+    : chan_(chan), mapper_(mapper), cfg_(cfg), cores_(cfg.num_cores) {
+  read_q_count_.assign(cfg.num_cores, 0);
+  rank_last_activity_.assign(chan.config().geometry.ranks, 0);
+  sched_ = make_scheduler(cfg.sched, cfg.num_cores, cfg.seed);
+  refresh_ = make_all_bank_refresh(chan.config());
+
+  // Route every activation (including PUM-internal ones) through the
+  // RowHammer machinery when present.
+  chan_.set_act_hook([this](const dram::Coord& c, Cycle now) {
+    if (victim_model_) victim_model_->on_act(c);
+    if (mitigation_) {
+      std::vector<dram::Coord> victims;
+      mitigation_->on_act(c, now, victims);
+      for (const auto& v : victims) victim_q_.push_back(v);
+    }
+  });
+  chan_.set_ref_hook([this](std::uint32_t, Cycle) {
+    if (victim_model_) victim_model_->on_ref_command();
+    // Mitigation per-window state resets on the same tREFW cadence as the
+    // cells themselves; trackers count REFs internally if they need to.
+    if (mitigation_ && ++refs_for_mitigation_ >= 8192) {
+      refs_for_mitigation_ = 0;
+      mitigation_->on_refresh_window();
+    }
+  });
+}
+
+void Controller::set_scheduler(std::unique_ptr<Scheduler> sched) { sched_ = std::move(sched); }
+
+void Controller::set_refresh_policy(std::unique_ptr<RefreshPolicy> refresh) {
+  refresh_ = std::move(refresh);
+}
+
+void Controller::set_rowhammer(std::unique_ptr<RowHammerMitigation> mitigation) {
+  mitigation_ = std::move(mitigation);
+}
+
+bool Controller::enqueue(Request req, CompletionCallback cb) {
+  if (!can_accept(req.type, req.core)) {
+    ++stats_.enqueue_rejects;
+    return false;
+  }
+  auto& q = req.type == AccessType::Read ? read_q_ : write_q_;
+  if (req.type == AccessType::Read && req.core < read_q_count_.size())
+    ++read_q_count_[req.core];
+  req.id = next_req_id_++;
+  QueuedRequest qr;
+  qr.coord = mapper_.decode(req.addr);
+  qr.req = req;
+  qr.cb = std::move(cb);
+  assert(qr.coord.channel == chan_.id() && "request routed to wrong channel");
+  if (req.core < cores_.size()) ++cores_[req.core].outstanding;
+  q.push_back(std::move(qr));
+  return true;
+}
+
+void Controller::enqueue_pim(PimOp op) { pim_q_.push_back(std::move(op)); }
+
+void Controller::retire(Cycle now) {
+  while (!inflight_.empty() && inflight_.top().done <= now) {
+    Inflight top = inflight_.top();
+    inflight_.pop();
+    top.req.complete = top.done;
+    if (top.req.type == AccessType::Read) {
+      ++stats_.reads_done;
+      stats_.read_latency.add(static_cast<double>(top.done - top.req.arrive));
+    } else {
+      ++stats_.writes_done;
+    }
+    if (top.req.core < cores_.size()) {
+      auto& core = cores_[top.req.core];
+      ++core.served;
+      if (core.outstanding > 0) --core.outstanding;
+    }
+    if (top.cb) top.cb(top.req);
+  }
+}
+
+bool Controller::try_issue_victim_refresh(Cycle now) {
+  if (victim_q_.empty()) return false;
+  const dram::Coord& c = victim_q_.front();
+  if (chan_.bank_open(c)) {
+    if (!chan_.can_issue(dram::Cmd::Pre, c, now)) return false;
+    chan_.issue(dram::Cmd::Pre, c, now);
+    return true;
+  }
+  if (!chan_.can_issue(dram::Cmd::RefRow, c, now)) return false;
+  chan_.issue(dram::Cmd::RefRow, c, now);
+  ++stats_.victim_refreshes;
+  victim_q_.pop_front();
+  return true;
+}
+
+bool Controller::try_issue_pim(Cycle now) {
+  if (pim_q_.empty()) return false;
+  PimOp& op = pim_q_.front();
+  if (chan_.bank_open(op.bank)) {
+    if (!chan_.can_issue(dram::Cmd::Pre, op.bank, now)) return false;
+    chan_.issue(dram::Cmd::Pre, op.bank, now);
+    return true;
+  }
+  if (!chan_.can_issue(op.cmd, op.bank, now)) return false;
+  const Cycle latency = chan_.pim_latency(op.cmd, op.args);
+  chan_.issue_pim(op.cmd, op.bank, op.args, now);
+  ++stats_.pim_ops_done;
+  if (op.on_done) op.on_done(now + latency);
+  pim_q_.pop_front();
+  return true;
+}
+
+void Controller::classify_first_touch(QueuedRequest& qr) {
+  if (qr.classified) return;
+  qr.classified = true;
+  if (!chan_.bank_open(qr.coord)) ++stats_.row_misses;
+  else if (chan_.open_row(qr.coord) == qr.coord.row) ++stats_.row_hits;
+  else ++stats_.row_conflicts;
+}
+
+void Controller::serve(std::vector<QueuedRequest>& q, std::size_t idx, dram::Cmd cmd, Cycle now) {
+  QueuedRequest& qr = q[idx];
+  const auto& tm = chan_.config().timings;
+  const Cycle done = cmd == dram::Cmd::Rd ? now + tm.cl + tm.bl : now + tm.cwl + tm.bl;
+
+  SchedView view{&chan_, now, &cores_};
+  sched_->on_service(qr, view);
+  if (qr.req.core < cores_.size()) {
+    cores_[qr.req.core].attained_service += tm.bl;
+    ++cores_[qr.req.core].served_in_quantum;
+  }
+  if (qr.req.type == AccessType::Read && qr.req.core < read_q_count_.size() &&
+      read_q_count_[qr.req.core] > 0)
+    --read_q_count_[qr.req.core];
+
+  inflight_.push(Inflight{done, qr.req, std::move(qr.cb)});
+  q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+}
+
+bool Controller::try_issue_request(Cycle now) {
+  if (draining_writes_) {
+    if (write_q_.size() <= cfg_.write_drain_low) draining_writes_ = false;
+  } else if (write_q_.size() >= cfg_.write_drain_high) {
+    draining_writes_ = true;
+  }
+  const bool use_writes = draining_writes_ || (read_q_.empty() && !write_q_.empty());
+  if (try_issue_from(use_writes ? write_q_ : read_q_, now)) return true;
+  // If the scheduler declined every read (e.g. a QoS/sampling policy is
+  // holding them back), drain writes opportunistically instead of idling —
+  // otherwise held-back writers can deadlock against a non-empty read queue.
+  if (!use_writes && !write_q_.empty()) return try_issue_from(write_q_, now);
+  return false;
+}
+
+bool Controller::try_issue_from(std::vector<QueuedRequest>& q, Cycle now) {
+  if (q.empty()) return false;
+
+  SchedView view{&chan_, now, &cores_};
+  sched_->tick(view, q);
+  const std::size_t idx = sched_->pick(q, view);
+  if (idx == kNoPick) return false;
+  assert(idx < q.size());
+
+  QueuedRequest& qr = q[idx];
+  if (refresh_->rank_blocked(qr.coord.rank)) return false;
+
+  const dram::Cmd cmd = chan_.required_cmd(qr.coord, qr.req.type);
+  if (!chan_.can_issue(cmd, qr.coord, now)) return false;
+  classify_first_touch(qr);
+  rank_last_activity_[qr.coord.rank] = now;
+
+  if (cmd == dram::Cmd::Pre && cfg_.charge_cache) {
+    // The row being closed stays charged for a while: remember it.
+    charge_cache_insert(qr.coord, chan_.open_row(qr.coord), now);
+    chan_.issue(cmd, qr.coord, now);
+    return true;
+  }
+  if (cmd == dram::Cmd::Act && cfg_.charge_cache && charge_cache_hit(qr.coord, now)) {
+    chan_.issue_act_charged(qr.coord, now);
+    return true;
+  }
+  chan_.issue(cmd, qr.coord, now);
+  if (cmd == dram::Cmd::Rd || cmd == dram::Cmd::Wr) serve(q, idx, cmd, now);
+  return true;
+}
+
+namespace {
+std::uint64_t charge_key(const dram::Coord& c, std::uint32_t row) {
+  return ((static_cast<std::uint64_t>(c.rank) * 64 + c.bank) << 32) | row;
+}
+}  // namespace
+
+void Controller::charge_cache_insert(const dram::Coord& c, std::uint32_t row, Cycle now) {
+  const std::uint64_t key = charge_key(c, row);
+  const std::uint64_t stamp = ++charge_stamp_;
+  charge_map_[key] = ChargeEntry{now + cfg_.charge_retention, stamp};
+  charge_fifo_.emplace_back(key, stamp);
+  // Lazy compaction: drop stale FIFO fronts (key re-inserted with a newer
+  // stamp, or erased on a hit) so they never evict live entries.
+  while (!charge_fifo_.empty()) {
+    const auto [k, s] = charge_fifo_.front();
+    const auto it = charge_map_.find(k);
+    if (it != charge_map_.end() && it->second.stamp == s) break;
+    charge_fifo_.pop_front();
+  }
+  // Bounded capacity: evict the oldest live entries.
+  while (charge_map_.size() > cfg_.charge_cache_entries && !charge_fifo_.empty()) {
+    const auto [k, s] = charge_fifo_.front();
+    charge_fifo_.pop_front();
+    const auto it = charge_map_.find(k);
+    if (it != charge_map_.end() && it->second.stamp == s) charge_map_.erase(it);
+  }
+}
+
+bool Controller::charge_cache_hit(const dram::Coord& c, Cycle now) {
+  const auto it = charge_map_.find(charge_key(c, c.row));
+  if (it == charge_map_.end() || it->second.expiry < now) {
+    ++stats_.charge_cache_misses;
+    return false;
+  }
+  // The activation itself restores full charge bookkeeping; drop the entry
+  // (it is re-inserted at the next precharge).
+  charge_map_.erase(it);
+  ++stats_.charge_cache_hits;
+  return true;
+}
+
+void Controller::manage_power(Cycle now) {
+  const std::uint32_t ranks = chan_.config().geometry.ranks;
+  // Which ranks have pending work?
+  std::vector<bool> busy(ranks, false);
+  for (const auto& r : read_q_) busy[r.coord.rank] = true;
+  for (const auto& r : write_q_) busy[r.coord.rank] = true;
+  for (const auto& op : pim_q_) busy[op.bank.rank] = true;
+  for (const auto& v : victim_q_) busy[v.rank] = true;
+
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    const auto state = chan_.rank_power(r);
+    // Power-down does not maintain the cells: wake for due refreshes
+    // (self-refresh handles them internally and stays asleep). Idle time
+    // keeps accumulating across refresh naps, so the rank re-enters sleep
+    // — or deepens to self-refresh — right after the REF drains.
+    if (state == dram::Channel::PowerState::PowerDown && refresh_->rank_blocked(r)) {
+      chan_.wake_rank(r, now);
+      ++stats_.rank_wakes;
+      continue;
+    }
+    if (busy[r]) {
+      if (state != dram::Channel::PowerState::Active) {
+        chan_.wake_rank(r, now);
+        ++stats_.rank_wakes;
+        rank_last_activity_[r] = now;
+      }
+      continue;
+    }
+    if (now <= rank_last_activity_[r]) continue;
+    if (refresh_->rank_blocked(r)) continue;  // let the pending REF go first
+    const Cycle idle = now - rank_last_activity_[r];
+    if (cfg_.selfrefresh_timeout && idle >= cfg_.selfrefresh_timeout &&
+        state != dram::Channel::PowerState::SelfRefresh) {
+      if (chan_.all_banks_closed(r)) {
+        chan_.enter_power_state(r, dram::Channel::PowerState::SelfRefresh, now);
+        ++stats_.selfrefreshes;
+      }
+    } else if (cfg_.powerdown_timeout && idle >= cfg_.powerdown_timeout &&
+               state == dram::Channel::PowerState::Active) {
+      if (chan_.all_banks_closed(r)) {
+        chan_.enter_power_state(r, dram::Channel::PowerState::PowerDown, now);
+        ++stats_.powerdowns;
+      }
+    }
+  }
+}
+
+void Controller::tick(Cycle now) {
+  retire(now);
+  if (cfg_.powerdown_timeout || cfg_.selfrefresh_timeout) manage_power(now);
+  if (refresh_->tick(chan_, now)) return;
+  if (try_issue_victim_refresh(now)) return;
+  if (try_issue_pim(now)) return;
+  try_issue_request(now);
+}
+
+}  // namespace ima::mem

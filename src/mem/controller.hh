@@ -1,0 +1,192 @@
+// The memory controller: one per channel.
+//
+// Responsibilities each cycle (one command-bus slot per cycle):
+//   1. retire completed reads (callbacks),
+//   2. give the refresh policy its chance (REF has priority),
+//   3. issue pending RowHammer victim refreshes,
+//   4. execute queued PIM operations (in order — PUM programs are
+//      sequences of dependent row-level commands),
+//   5. otherwise let the scheduling policy advance one read/write request
+//      (ACT/PRE preparation or the RD/WR itself).
+//
+// The controller also keeps per-core service accounting (for ATLAS/TCM/RL)
+// and the row-buffer locality statistics every experiment reports.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/addrmap.hh"
+#include "dram/channel.hh"
+#include "mem/refresh.hh"
+#include "mem/request.hh"
+#include "mem/rowhammer.hh"
+#include "mem/sched.hh"
+
+namespace ima::mem {
+
+struct ControllerConfig {
+  SchedKind sched = SchedKind::FrFcfs;
+  std::uint32_t num_cores = 4;
+  std::size_t read_queue_size = 64;
+  std::size_t write_queue_size = 64;
+  std::size_t write_drain_high = 48;  // enter drain mode
+  std::size_t write_drain_low = 16;   // leave drain mode
+  std::uint64_t seed = 1;
+
+  // Rank power management (MemScale line [127,132]): after `timeout` idle
+  // cycles a rank drops to power-down; after the longer self-refresh
+  // timeout it drops to self-refresh (0 = feature disabled).
+  Cycle powerdown_timeout = 0;
+  Cycle selfrefresh_timeout = 0;
+
+  // Per-core read-queue quota (0 = disabled): models per-core MSHR limits
+  // so one bandwidth-heavy core cannot crowd every queue slot (required for
+  // meaningful QoS/sampling, cf. MISE).
+  std::uint32_t per_core_read_quota = 0;
+
+  // ChargeCache (Hassan et al., HPCA 2016 [26]): remember recently closed
+  // rows; re-activating one within the retention window uses the reduced
+  // charged-row timings.
+  bool charge_cache = false;
+  std::size_t charge_cache_entries = 128;
+  Cycle charge_retention = 1'200'000;  // ~1ms
+};
+
+/// One queued PIM operation (RowClone / Ambit / LISA row-level command).
+struct PimOp {
+  dram::Cmd cmd = dram::Cmd::AapFpm;
+  dram::Coord bank;
+  dram::PimArgs args;
+  std::function<void(Cycle)> on_done;  // invoked at issue time
+};
+
+class Controller {
+ public:
+  Controller(dram::Channel& chan, const dram::AddressMapper& mapper,
+             const ControllerConfig& cfg);
+
+  /// Swap in a custom scheduler (e.g. a tuned RL instance). Must be called
+  /// before the first tick.
+  void set_scheduler(std::unique_ptr<Scheduler> sched);
+  void set_refresh_policy(std::unique_ptr<RefreshPolicy> refresh);
+  void set_rowhammer(std::unique_ptr<RowHammerMitigation> mitigation);
+  void set_victim_model(HammerVictimModel* model) { victim_model_ = model; }
+
+  /// True if a request of this type (from `core`, if quotas are enabled)
+  /// can be accepted right now.
+  bool can_accept(AccessType type, std::uint32_t core = kAnyCore) const {
+    if (type == AccessType::Write) return write_q_.size() < cfg_.write_queue_size;
+    if (read_q_.size() >= cfg_.read_queue_size) return false;
+    if (cfg_.per_core_read_quota > 0 && core != kAnyCore && core < read_q_count_.size())
+      return read_q_count_[core] < cfg_.per_core_read_quota;
+    return true;
+  }
+
+  static constexpr std::uint32_t kAnyCore = ~0u;
+
+  /// Enqueue a memory request; returns false if the queue is full (caller
+  /// must retry). `cb` fires when the data burst completes.
+  bool enqueue(Request req, CompletionCallback cb = nullptr);
+
+  /// Enqueue a PIM operation (executes after all earlier PIM ops).
+  void enqueue_pim(PimOp op);
+
+  /// Advance one controller cycle.
+  void tick(Cycle now);
+
+  bool idle() const {
+    return read_q_.empty() && write_q_.empty() && pim_q_.empty() && inflight_.empty();
+  }
+  std::size_t read_queue_depth() const { return read_q_.size(); }
+  std::size_t write_queue_depth() const { return write_q_.size(); }
+  std::size_t pim_queue_depth() const { return pim_q_.size(); }
+
+  struct Stats {
+    std::uint64_t reads_done = 0;
+    std::uint64_t writes_done = 0;
+    std::uint64_t row_hits = 0;
+    std::uint64_t row_misses = 0;     // bank was closed
+    std::uint64_t row_conflicts = 0;  // wrong row open
+    std::uint64_t pim_ops_done = 0;
+    std::uint64_t victim_refreshes = 0;  // RowHammer mitigation overhead
+    std::uint64_t enqueue_rejects = 0;
+    std::uint64_t charge_cache_hits = 0;
+    std::uint64_t charge_cache_misses = 0;
+    std::uint64_t powerdowns = 0;
+    std::uint64_t selfrefreshes = 0;
+    std::uint64_t rank_wakes = 0;
+    RunningStat read_latency;  // arrive -> data
+  };
+  const Stats& stats() const { return stats_; }
+  const std::vector<CoreState>& cores() const { return cores_; }
+  Scheduler& scheduler() { return *sched_; }
+  dram::Channel& channel() { return chan_; }
+  const dram::Channel& channel() const { return chan_; }
+
+  /// Total energy including background standby up to `now`.
+  PicoJoule total_energy(Cycle now) const {
+    return chan_.stats().cmd_energy + chan_.background_energy(now);
+  }
+
+ private:
+  void retire(Cycle now);
+  void manage_power(Cycle now);
+  bool try_issue_victim_refresh(Cycle now);
+  bool try_issue_pim(Cycle now);
+  bool try_issue_request(Cycle now);
+  bool try_issue_from(std::vector<QueuedRequest>& q, Cycle now);
+  void serve(std::vector<QueuedRequest>& q, std::size_t idx, dram::Cmd cmd, Cycle now);
+  void classify_first_touch(QueuedRequest& qr);
+
+  dram::Channel& chan_;
+  const dram::AddressMapper& mapper_;
+  ControllerConfig cfg_;
+  std::unique_ptr<Scheduler> sched_;
+  std::unique_ptr<RefreshPolicy> refresh_;
+  std::unique_ptr<RowHammerMitigation> mitigation_;
+  HammerVictimModel* victim_model_ = nullptr;
+  std::uint32_t refs_for_mitigation_ = 0;
+  std::vector<Cycle> rank_last_activity_;
+
+  std::vector<QueuedRequest> read_q_;
+  std::vector<QueuedRequest> write_q_;
+  std::vector<std::uint32_t> read_q_count_;  // per-core read-queue occupancy
+  std::deque<PimOp> pim_q_;
+  std::deque<dram::Coord> victim_q_;  // pending RowHammer neighbour refreshes
+  bool draining_writes_ = false;
+
+  struct Inflight {
+    Cycle done;
+    Request req;
+    CompletionCallback cb;
+    bool operator>(const Inflight& o) const { return done > o.done; }
+  };
+  std::priority_queue<Inflight, std::vector<Inflight>, std::greater<>> inflight_;
+  std::vector<std::pair<Request, CompletionCallback>> pending_cbs_;
+
+  std::vector<CoreState> cores_;
+  std::uint64_t next_req_id_ = 1;
+  Stats stats_;
+
+  // ChargeCache state: (rank,bank,row) -> charge expiry, FIFO-bounded with
+  // stamped lazy eviction (re-inserted keys leave stale FIFO entries that
+  // must not evict the live map entry).
+  struct ChargeEntry {
+    Cycle expiry = 0;
+    std::uint64_t stamp = 0;
+  };
+  void charge_cache_insert(const dram::Coord& c, std::uint32_t row, Cycle now);
+  bool charge_cache_hit(const dram::Coord& c, Cycle now);
+  std::unordered_map<std::uint64_t, ChargeEntry> charge_map_;
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> charge_fifo_;  // (key, stamp)
+  std::uint64_t charge_stamp_ = 0;
+};
+
+}  // namespace ima::mem

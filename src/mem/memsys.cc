@@ -1,0 +1,110 @@
+#include "mem/memsys.hh"
+
+#include <cassert>
+#include <cstring>
+
+namespace ima::mem {
+
+MemorySystem::MemorySystem(const dram::DramConfig& dram_cfg, const ControllerConfig& ctrl_cfg,
+                           dram::MapScheme scheme)
+    : dram_cfg_(dram_cfg) {
+  data_ = std::make_unique<dram::DataStore>(dram_cfg.geometry);
+  mapper_ = std::make_unique<dram::AddressMapper>(dram_cfg.geometry, scheme);
+  for (std::uint32_t ch = 0; ch < dram_cfg.geometry.channels; ++ch) {
+    chans_.push_back(std::make_unique<dram::Channel>(dram_cfg, ch, data_.get()));
+    ctrls_.push_back(std::make_unique<Controller>(*chans_.back(), *mapper_, ctrl_cfg));
+  }
+}
+
+bool MemorySystem::enqueue(Request req, CompletionCallback cb) {
+  const auto coord = mapper_->decode(req.addr);
+  return ctrls_[coord.channel]->enqueue(req, std::move(cb));
+}
+
+void MemorySystem::tick(Cycle now) {
+  for (auto& c : ctrls_) c->tick(now);
+}
+
+Cycle MemorySystem::drain(Cycle from, Cycle deadline) {
+  Cycle now = from;
+  while (!idle() && now < deadline) {
+    tick(now);
+    ++now;
+  }
+  return now;
+}
+
+bool MemorySystem::idle() const {
+  for (const auto& c : ctrls_)
+    if (!c->idle()) return false;
+  return true;
+}
+
+void MemorySystem::poke(Addr addr, std::span<const std::uint8_t> bytes) {
+  // Byte-granularity functional write through line-granularity data store.
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    const Addr a = addr + offset;
+    const Addr base = line_base(a);
+    const auto coord = mapper_->decode(base);
+    std::uint64_t line[kLineBytes / 8];
+    data_->read_line(coord, line);
+    auto* raw = reinterpret_cast<std::uint8_t*>(line);
+    const std::size_t in_line = a - base;
+    const std::size_t n = std::min<std::size_t>(kLineBytes - in_line, bytes.size() - offset);
+    std::memcpy(raw + in_line, bytes.data() + offset, n);
+    data_->write_line(coord, line);
+    offset += n;
+  }
+}
+
+void MemorySystem::peek(Addr addr, std::span<std::uint8_t> bytes) const {
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    const Addr a = addr + offset;
+    const Addr base = line_base(a);
+    const auto coord = mapper_->decode(base);
+    std::uint64_t line[kLineBytes / 8];
+    data_->read_line(coord, line);
+    const auto* raw = reinterpret_cast<const std::uint8_t*>(line);
+    const std::size_t in_line = a - base;
+    const std::size_t n = std::min<std::size_t>(kLineBytes - in_line, bytes.size() - offset);
+    std::memcpy(bytes.data() + offset, raw + in_line, n);
+    offset += n;
+  }
+}
+
+std::uint64_t MemorySystem::peek_u64(Addr addr) const {
+  std::uint64_t v = 0;
+  peek(addr, std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(&v), sizeof(v)));
+  return v;
+}
+
+void MemorySystem::poke_u64(Addr addr, std::uint64_t value) {
+  poke(addr, std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(&value),
+                                           sizeof(value)));
+}
+
+PicoJoule MemorySystem::total_energy(Cycle now) const {
+  PicoJoule e = 0;
+  for (const auto& c : ctrls_) e += c->total_energy(now);
+  return e;
+}
+
+Controller::Stats MemorySystem::aggregate_stats() const {
+  Controller::Stats agg;
+  for (const auto& c : ctrls_) {
+    const auto& s = c->stats();
+    agg.reads_done += s.reads_done;
+    agg.writes_done += s.writes_done;
+    agg.row_hits += s.row_hits;
+    agg.row_misses += s.row_misses;
+    agg.row_conflicts += s.row_conflicts;
+    agg.pim_ops_done += s.pim_ops_done;
+    agg.victim_refreshes += s.victim_refreshes;
+    agg.enqueue_rejects += s.enqueue_rejects;
+  }
+  return agg;
+}
+
+}  // namespace ima::mem

@@ -1,0 +1,73 @@
+// Multi-channel memory system facade: owns the data store, the channels,
+// their controllers and the address mapper, and routes requests.
+//
+// Functional data accesses (used by the PIM kernels and examples) go
+// straight to the data store; timing requests flow through the controllers.
+// This timing/functional split is the standard trace-driven-simulator
+// arrangement (cf. Ramulator).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dram/addrmap.hh"
+#include "dram/channel.hh"
+#include "dram/config.hh"
+#include "dram/datastore.hh"
+#include "mem/controller.hh"
+
+namespace ima::mem {
+
+class MemorySystem {
+ public:
+  MemorySystem(const dram::DramConfig& dram_cfg, const ControllerConfig& ctrl_cfg,
+               dram::MapScheme scheme = dram::MapScheme::RoBaRaCoCh);
+
+  /// Routes the request to its channel's controller.
+  bool enqueue(Request req, CompletionCallback cb = nullptr);
+
+  /// True if the owning controller can accept this request right now
+  /// (`core` participates in per-core quota checks when enabled).
+  bool can_accept(Addr addr, AccessType type,
+                  std::uint32_t core = Controller::kAnyCore) const {
+    return ctrls_[mapper_->decode(addr).channel]->can_accept(type, core);
+  }
+
+  /// Advances all controllers one cycle.
+  void tick(Cycle now);
+
+  /// Runs until all queues drain or `deadline` passes; returns final cycle.
+  Cycle drain(Cycle from, Cycle deadline = 100'000'000);
+
+  bool idle() const;
+
+  // --- functional access (no timing) ---
+  void poke(Addr addr, std::span<const std::uint8_t> bytes);
+  void peek(Addr addr, std::span<std::uint8_t> bytes) const;
+  std::uint64_t peek_u64(Addr addr) const;
+  void poke_u64(Addr addr, std::uint64_t value);
+
+  std::uint32_t num_channels() const { return static_cast<std::uint32_t>(ctrls_.size()); }
+  Controller& controller(std::uint32_t ch) { return *ctrls_[ch]; }
+  const Controller& controller(std::uint32_t ch) const { return *ctrls_[ch]; }
+  dram::Channel& channel(std::uint32_t ch) { return *chans_[ch]; }
+  const dram::AddressMapper& mapper() const { return *mapper_; }
+  dram::DataStore& data() { return *data_; }
+  const dram::DramConfig& dram_config() const { return dram_cfg_; }
+
+  /// Aggregate energy across channels including background up to `now`.
+  PicoJoule total_energy(Cycle now) const;
+
+  /// Aggregate controller stats (summed over channels).
+  Controller::Stats aggregate_stats() const;
+
+ private:
+  dram::DramConfig dram_cfg_;
+  std::unique_ptr<dram::DataStore> data_;
+  std::unique_ptr<dram::AddressMapper> mapper_;
+  std::vector<std::unique_ptr<dram::Channel>> chans_;
+  std::vector<std::unique_ptr<Controller>> ctrls_;
+};
+
+}  // namespace ima::mem

@@ -1,0 +1,67 @@
+// Refresh management policies.
+//
+// Baseline: all-bank auto-refresh every tREFI, sized for worst-case 64ms
+// retention. RAIDR (Liu et al., ISCA 2012 [21]) is the paper's example of
+// an intelligent retention-aware controller: rows are profiled into
+// retention bins and only the weak minority is refreshed at the worst-case
+// rate, eliminating ~75% of refresh work.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "dram/channel.hh"
+
+namespace ima::mem {
+
+/// Per-row retention bins. Interval multipliers are relative to the base
+/// 64ms window (bin 0 = must refresh every window, bin k = every 2^k).
+struct RetentionProfile {
+  std::uint32_t num_bins = 3;
+  std::vector<std::uint8_t> bin_of_row;  // indexed by global row id
+
+  /// Generates a profile with the RAIDR-like skew: almost all rows retain
+  /// far longer than the worst case.
+  ///   P(bin 0, <=64ms)  = weak_frac    (default 0.1%)
+  ///   P(bin 1, <=128ms) = mid_frac     (default 1%)
+  ///   P(bin 2)          = the rest
+  static RetentionProfile generate(std::uint64_t total_rows, double weak_frac = 0.001,
+                                   double mid_frac = 0.01, std::uint64_t seed = 7);
+
+  std::uint64_t rows_in_bin(std::uint8_t bin) const;
+};
+
+class RefreshPolicy {
+ public:
+  virtual ~RefreshPolicy() = default;
+
+  /// Gives the policy the chance to issue one command this cycle.
+  /// Returns true if it used the command slot.
+  virtual bool tick(dram::Channel& chan, Cycle now) = 0;
+
+  /// True if normal traffic to `rank` should be held back (refresh due).
+  virtual bool rank_blocked(std::uint32_t rank) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// No refresh at all — ideal upper bound for C7.
+std::unique_ptr<RefreshPolicy> make_no_refresh();
+
+/// JEDEC-style distributed all-bank refresh: one REF per rank per tREFI,
+/// staggered across ranks. `interval_scale` stretches tREFI (e.g. 1 = 64ms
+/// worst-case window, 2 = 128ms) for sensitivity studies.
+std::unique_ptr<RefreshPolicy> make_all_bank_refresh(const dram::DramConfig& cfg,
+                                                     double interval_scale = 1.0);
+
+/// RAIDR: row-granularity refresh driven by a retention profile. Rows in
+/// bin k are refreshed every (2^k * base window). Issues RefRow commands
+/// paced evenly so refresh never bursts.
+std::unique_ptr<RefreshPolicy> make_raidr(const dram::DramConfig& cfg,
+                                          RetentionProfile profile);
+
+}  // namespace ima::mem

@@ -1,0 +1,25 @@
+// Memory request as seen by the controller.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+#include "dram/command.hh"
+
+namespace ima::mem {
+
+struct Request {
+  Addr addr = 0;
+  AccessType type = AccessType::Read;
+  std::uint32_t core = 0;       // requesting core / agent id
+  std::uint64_t id = 0;         // unique, assigned by the controller
+  Cycle arrive = 0;             // enqueue cycle
+  Cycle complete = kCycleNever; // data-available cycle (filled at completion)
+  bool is_prefetch = false;
+  bool critical = true;         // data-aware criticality hint (X-Mem)
+};
+
+using CompletionCallback = std::function<void(const Request&)>;
+
+}  // namespace ima::mem

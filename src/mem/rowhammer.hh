@@ -1,0 +1,95 @@
+// RowHammer disturbance model and mitigation mechanisms.
+//
+// The paper's "bottom-up push" for intelligent memory controllers:
+// technology scaling makes rows disturb their neighbours (Kim et al.,
+// ISCA 2014 [104]), so the controller must track activation behaviour and
+// act on it. We model:
+//   - a victim model that counts disturbances per row and records a bit
+//     flip when a row's accumulated disturbance crosses the RowHammer
+//     threshold before it is refreshed, and
+//   - three mitigations from the literature with different cost/coverage
+//     trade-offs: PARA (probabilistic), sampling TRR (what DDR4 shipped,
+//     defeated by many-sided patterns — TRRespass [106]), and a
+//     Graphene-style Misra-Gries top-k tracker (precise).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "dram/command.hh"
+
+namespace ima::mem {
+
+/// Ground-truth disturbance bookkeeping. Rows are identified per-bank.
+class HammerVictimModel {
+ public:
+  HammerVictimModel(std::uint32_t rows_per_bank, std::uint64_t threshold)
+      : rows_per_bank_(rows_per_bank), threshold_(threshold) {}
+
+  /// An activation of `row` disturbs row-1 and row+1.
+  void on_act(const dram::Coord& c);
+
+  /// A targeted row refresh restores that row's charge.
+  void on_row_refresh(const dram::Coord& c);
+
+  /// One auto-refresh (REF) command: refreshes 1/8192 of the rows. After a
+  /// full tREFW worth of REFs, every row has been restored.
+  void on_ref_command();
+
+  /// A full refresh window elapsed (all rows restored).
+  void on_blanket_refresh();
+
+  std::uint64_t flips() const { return flips_; }
+  std::uint64_t threshold() const { return threshold_; }
+
+ private:
+  std::uint64_t key(const dram::Coord& c, std::uint32_t row) const {
+    return ((static_cast<std::uint64_t>(c.rank) * 64 + c.bank) << 32) | row;
+  }
+  void disturb(const dram::Coord& c, std::uint32_t row);
+
+  std::uint32_t rows_per_bank_;
+  std::uint64_t threshold_;
+  std::unordered_map<std::uint64_t, std::uint64_t> disturb_count_;
+  std::uint64_t flips_ = 0;
+  std::uint32_t refs_seen_ = 0;  // REF commands toward one tREFW window
+};
+
+/// A mitigation observes activations and requests neighbour refreshes.
+class RowHammerMitigation {
+ public:
+  virtual ~RowHammerMitigation() = default;
+
+  /// Called on every activation; append victim rows (bank-local coords) to
+  /// refresh into `out`.
+  virtual void on_act(const dram::Coord& c, Cycle now, std::vector<dram::Coord>& out) = 0;
+
+  /// Blanket refresh resets per-window state.
+  virtual void on_refresh_window() {}
+
+  virtual std::string name() const = 0;
+};
+
+/// PARA (Kim et al. [104]): on each activation, with probability p refresh
+/// one adjacent row. Stateless; overhead = 2p extra row refreshes per ACT
+/// in expectation (we refresh both neighbours with p/2 each side).
+std::unique_ptr<RowHammerMitigation> make_para(double p, std::uint64_t seed = 1);
+
+/// Sampling TRR: remembers up to `sampler_size` recently activated rows per
+/// bank (random replacement); on refresh-window boundaries, refreshes the
+/// neighbours of the sampled rows. Mirrors in-DRAM TRR weaknesses.
+std::unique_ptr<RowHammerMitigation> make_trr_sample(std::uint32_t sampler_size,
+                                                     std::uint64_t act_threshold,
+                                                     std::uint64_t seed = 1);
+
+/// Graphene (Park et al.) / Misra-Gries: exact frequent-row tracking with
+/// `k` counters per bank; refreshes neighbours when a row's estimated count
+/// reaches threshold/2, then resets the counter (spillover-safe).
+std::unique_ptr<RowHammerMitigation> make_graphene(std::uint32_t k, std::uint64_t threshold);
+
+}  // namespace ima::mem

@@ -1,0 +1,124 @@
+// Memory-request scheduling policies.
+//
+// The paper's data-driven principle is anchored on the observation that a
+// memory controller executes one fixed human-designed heuristic for the
+// machine's whole lifetime. This module provides that heuristic zoo —
+// FCFS, FR-FCFS (+cap), PAR-BS, ATLAS, TCM, BLISS — and a reinforcement-
+// learning scheduler (sched_rl.cc) that learns its policy online, in the
+// spirit of Ipek et al., ISCA 2008 [39].
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/channel.hh"
+#include "mem/request.hh"
+
+namespace ima::mem {
+
+/// A request waiting in the controller queue, plus its decoded coordinates
+/// and scheduling metadata.
+struct QueuedRequest {
+  Request req;
+  dram::Coord coord;
+  bool marked = false;      // PAR-BS batch membership
+  bool classified = false;  // row hit/miss/conflict recorded at first command
+  CompletionCallback cb;    // fires when the data burst completes
+};
+
+/// Per-core accounting the fairness-oriented schedulers need.
+struct CoreState {
+  std::uint64_t attained_service = 0;  // bus cycles of service (ATLAS LAS)
+  std::uint64_t served = 0;            // requests completed
+  std::uint64_t served_in_quantum = 0; // TCM cluster formation input
+  std::uint64_t outstanding = 0;       // currently queued requests
+  std::uint32_t consecutive_served = 0;  // BLISS streak
+  bool blacklisted = false;            // BLISS
+  std::uint8_t cluster = 0;            // TCM: 0 = latency-sensitive, 1 = bandwidth
+  std::uint32_t shuffle_rank = 0;      // TCM bandwidth-cluster shuffle order
+};
+
+/// Read-only view of controller state offered to a scheduler each decision.
+struct SchedView {
+  const dram::Channel* chan = nullptr;
+  Cycle now = 0;
+  const std::vector<CoreState>* cores = nullptr;
+
+  bool row_hit(const QueuedRequest& q) const {
+    return chan->bank_open(q.coord) && chan->open_row(q.coord) == q.coord.row;
+  }
+  /// True if the next command this request needs can issue this cycle.
+  bool issuable(const QueuedRequest& q) const {
+    const auto cmd = chan->required_cmd(
+        q.coord, q.req.type);
+    return chan->can_issue(cmd, q.coord, now);
+  }
+};
+
+inline constexpr std::size_t kNoPick = static_cast<std::size_t>(-1);
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Chooses the index of the request to advance, or kNoPick to idle.
+  /// `q` is the active queue (reads or writes, chosen by the controller).
+  virtual std::size_t pick(const std::vector<QueuedRequest>& q, const SchedView& view) = 0;
+
+  /// Called when a request's data burst is issued (service granted).
+  virtual void on_service(const QueuedRequest&, const SchedView&) {}
+
+  /// Periodic housekeeping (quantum boundaries etc.); called every cycle.
+  virtual void tick(const SchedView&, std::vector<QueuedRequest>&) {}
+
+  virtual std::string name() const = 0;
+};
+
+enum class SchedKind : std::uint8_t {
+  Fcfs,
+  FrFcfs,
+  FrFcfsCap,
+  ParBs,
+  Atlas,
+  Tcm,
+  Bliss,
+  Rl,
+};
+
+const char* to_string(SchedKind k);
+
+/// Factory. `num_cores` sizes per-core bookkeeping; `seed` feeds stochastic
+/// policies (TCM shuffle, RL exploration).
+std::unique_ptr<Scheduler> make_scheduler(SchedKind kind, std::uint32_t num_cores,
+                                          std::uint64_t seed = 1);
+
+/// RL scheduler with explicit hyperparameters (for the learning-rate and
+/// feature ablations in bench_c5).
+std::unique_ptr<Scheduler> make_rl(std::uint32_t num_cores, std::uint64_t seed,
+                                   double alpha, double epsilon);
+
+/// MISE slowdown-estimating scheduler (Subramanian et al., HPCA 2013
+/// [117]): FR-FCFS plus a rotating highest-priority sampler that measures
+/// each app's alone service rate online.
+std::unique_ptr<Scheduler> make_mise(std::uint32_t num_cores, Cycle epoch = 50'000);
+
+/// Reads the estimates off a scheduler created by make_mise.
+std::vector<double> mise_estimated_slowdowns(const Scheduler& sched);
+
+// --- shared helpers for scheduler implementations ---
+
+/// Oldest request by arrival among those satisfying `pred`; kNoPick if none.
+template <typename Pred>
+std::size_t oldest_where(const std::vector<QueuedRequest>& q, Pred&& pred) {
+  std::size_t best = kNoPick;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (!pred(q[i])) continue;
+    if (best == kNoPick || q[i].req.arrive < q[best].req.arrive) best = i;
+  }
+  return best;
+}
+
+}  // namespace ima::mem

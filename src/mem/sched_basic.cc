@@ -1,0 +1,156 @@
+// First-ready and blacklisting schedulers: FCFS, FR-FCFS, FR-FCFS+Cap,
+// BLISS. These are the "rigid, human-designed" policies the paper's
+// data-driven critique targets; they double as baselines for the RL
+// scheduler.
+#include <algorithm>
+#include <unordered_map>
+
+#include "mem/sched.hh"
+
+namespace ima::mem {
+
+namespace {
+
+/// FCFS: oldest issuable request; oldest overall if none is issuable
+/// (so the controller still makes progress via ACT/PRE on its behalf).
+class FcfsScheduler final : public Scheduler {
+ public:
+  std::size_t pick(const std::vector<QueuedRequest>& q, const SchedView& v) override {
+    const std::size_t ready = oldest_where(q, [&](const QueuedRequest& r) { return v.issuable(r); });
+    if (ready != kNoPick) return ready;
+    return oldest_where(q, [](const QueuedRequest&) { return true; });
+  }
+  std::string name() const override { return "FCFS"; }
+};
+
+/// FR-FCFS (Rixner et al., ISCA 2000): row hits first, then oldest.
+class FrFcfsScheduler final : public Scheduler {
+ public:
+  std::size_t pick(const std::vector<QueuedRequest>& q, const SchedView& v) override {
+    const std::size_t hit = oldest_where(
+        q, [&](const QueuedRequest& r) { return v.row_hit(r) && v.issuable(r); });
+    if (hit != kNoPick) return hit;
+    const std::size_t ready =
+        oldest_where(q, [&](const QueuedRequest& r) { return v.issuable(r); });
+    if (ready != kNoPick) return ready;
+    return oldest_where(q, [](const QueuedRequest&) { return true; });
+  }
+  std::string name() const override { return "FR-FCFS"; }
+};
+
+/// FR-FCFS with a per-bank row-hit streak cap: bounds the starvation a
+/// streaming core can inflict through an open row.
+class FrFcfsCapScheduler final : public Scheduler {
+ public:
+  explicit FrFcfsCapScheduler(std::uint32_t cap) : cap_(cap) {}
+
+  std::size_t pick(const std::vector<QueuedRequest>& q, const SchedView& v) override {
+    const std::size_t hit = oldest_where(q, [&](const QueuedRequest& r) {
+      if (!v.row_hit(r) || !v.issuable(r)) return false;
+      return streak_for(r.coord) < cap_;
+    });
+    if (hit != kNoPick) return hit;
+    const std::size_t ready =
+        oldest_where(q, [&](const QueuedRequest& r) { return v.issuable(r); });
+    if (ready != kNoPick) return ready;
+    return oldest_where(q, [](const QueuedRequest&) { return true; });
+  }
+
+  void on_service(const QueuedRequest& r, const SchedView& v) override {
+    auto& s = streaks_[bank_key(r.coord)];
+    if (s.row == r.coord.row && v.row_hit(r)) ++s.count;
+    else s = {r.coord.row, 0};
+  }
+
+  std::string name() const override { return "FR-FCFS-Cap" + std::to_string(cap_); }
+
+ private:
+  struct Streak {
+    std::uint32_t row = 0;
+    std::uint32_t count = 0;
+  };
+  static std::uint64_t bank_key(const dram::Coord& c) {
+    return (static_cast<std::uint64_t>(c.rank) << 8) | c.bank;
+  }
+  std::uint32_t streak_for(const dram::Coord& c) {
+    auto it = streaks_.find(bank_key(c));
+    return (it != streaks_.end() && it->second.row == c.row) ? it->second.count : 0;
+  }
+
+  std::uint32_t cap_;
+  std::unordered_map<std::uint64_t, Streak> streaks_;
+};
+
+/// BLISS (Subramanian et al., ICCD 2014): cores that receive several
+/// consecutive services are blacklisted for a while; non-blacklisted
+/// requests take priority. Tiny state, most of the fairness of ranking
+/// schedulers.
+class BlissScheduler final : public Scheduler {
+ public:
+  BlissScheduler(std::uint32_t num_cores, std::uint32_t streak_limit, Cycle clear_interval)
+      : blacklisted_(num_cores, false),
+        streak_limit_(streak_limit),
+        clear_interval_(clear_interval) {}
+
+  std::size_t pick(const std::vector<QueuedRequest>& q, const SchedView& v) override {
+    auto pick_pass = [&](bool allow_blacklisted) {
+      const std::size_t hit = oldest_where(q, [&](const QueuedRequest& r) {
+        return blacklist_ok(r, allow_blacklisted) && v.row_hit(r) && v.issuable(r);
+      });
+      if (hit != kNoPick) return hit;
+      return oldest_where(q, [&](const QueuedRequest& r) {
+        return blacklist_ok(r, allow_blacklisted) && v.issuable(r);
+      });
+    };
+    std::size_t i = pick_pass(/*allow_blacklisted=*/false);
+    if (i != kNoPick) return i;
+    i = pick_pass(/*allow_blacklisted=*/true);
+    if (i != kNoPick) return i;
+    return oldest_where(q, [](const QueuedRequest&) { return true; });
+  }
+
+  void on_service(const QueuedRequest& r, const SchedView&) override {
+    if (r.req.core == last_core_) {
+      if (++streak_ >= streak_limit_ && r.req.core < blacklisted_.size())
+        blacklisted_[r.req.core] = true;
+    } else {
+      last_core_ = r.req.core;
+      streak_ = 1;
+    }
+  }
+
+  void tick(const SchedView& v, std::vector<QueuedRequest>&) override {
+    if (v.now >= next_clear_) {
+      std::fill(blacklisted_.begin(), blacklisted_.end(), false);
+      next_clear_ = v.now + clear_interval_;
+    }
+  }
+
+  std::string name() const override { return "BLISS"; }
+
+ private:
+  bool blacklist_ok(const QueuedRequest& r, bool allow) const {
+    if (allow) return true;
+    return r.req.core >= blacklisted_.size() || !blacklisted_[r.req.core];
+  }
+
+  std::vector<bool> blacklisted_;
+  std::uint32_t streak_limit_;
+  Cycle clear_interval_;
+  std::uint32_t last_core_ = static_cast<std::uint32_t>(-1);
+  std::uint32_t streak_ = 0;
+  Cycle next_clear_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_fcfs() { return std::make_unique<FcfsScheduler>(); }
+std::unique_ptr<Scheduler> make_frfcfs() { return std::make_unique<FrFcfsScheduler>(); }
+std::unique_ptr<Scheduler> make_frfcfs_cap(std::uint32_t cap) {
+  return std::make_unique<FrFcfsCapScheduler>(cap);
+}
+std::unique_ptr<Scheduler> make_bliss(std::uint32_t num_cores) {
+  return std::make_unique<BlissScheduler>(num_cores, 4, 10000);
+}
+
+}  // namespace ima::mem

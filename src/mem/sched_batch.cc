@@ -1,0 +1,230 @@
+// Application-aware ranking schedulers: PAR-BS (batching), ATLAS
+// (least-attained-service), TCM (thread clustering). These represent the
+// most sophisticated human-designed policies the paper contrasts with
+// data-driven controllers.
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/rng.hh"
+#include "mem/sched.hh"
+
+namespace ima::mem {
+
+namespace {
+
+/// PAR-BS (Mutlu & Moscibroda, ISCA 2008): requests are grouped into
+/// batches (up to `kMarkCap` oldest per core per bank); the whole batch is
+/// serviced before newer requests, which bounds intra-batch starvation;
+/// within a batch cores are ranked shortest-job-first.
+class ParBsScheduler final : public Scheduler {
+ public:
+  explicit ParBsScheduler(std::uint32_t num_cores) : num_cores_(num_cores) {}
+
+  void tick(const SchedView&, std::vector<QueuedRequest>& q) override {
+    const bool any_marked =
+        std::any_of(q.begin(), q.end(), [](const QueuedRequest& r) { return r.marked; });
+    if (any_marked || q.empty()) return;
+
+    // Form a new batch: mark the kMarkCap oldest requests per (core, bank).
+    std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint32_t> marked_count;
+    std::vector<std::size_t> order(q.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return q[a].req.arrive < q[b].req.arrive; });
+    for (std::size_t i : order) {
+      const auto key = std::make_pair(q[i].req.core, bank_key(q[i].coord));
+      if (marked_count[key] < kMarkCap) {
+        q[i].marked = true;
+        ++marked_count[key];
+      }
+    }
+
+    // Rank cores: lowest maximum per-bank marked load first (shortest job).
+    std::map<std::uint32_t, std::uint32_t> max_bank_load;
+    for (const auto& [key, count] : marked_count)
+      max_bank_load[key.first] = std::max(max_bank_load[key.first], count);
+    core_rank_.assign(num_cores_, 0);
+    std::vector<std::uint32_t> cores;
+    for (std::uint32_t c = 0; c < num_cores_; ++c) cores.push_back(c);
+    std::sort(cores.begin(), cores.end(), [&](std::uint32_t a, std::uint32_t b) {
+      const auto la = max_bank_load.count(a) ? max_bank_load[a] : 0;
+      const auto lb = max_bank_load.count(b) ? max_bank_load[b] : 0;
+      return la < lb;
+    });
+    for (std::uint32_t rank = 0; rank < cores.size(); ++rank) core_rank_[cores[rank]] = rank;
+  }
+
+  std::size_t pick(const std::vector<QueuedRequest>& q, const SchedView& v) override {
+    // Priority: marked > row-hit > core rank > age; only issuable requests.
+    std::size_t best = kNoPick;
+    auto better = [&](const QueuedRequest& a, const QueuedRequest& b) {
+      if (a.marked != b.marked) return a.marked;
+      const bool ha = v.row_hit(a), hb = v.row_hit(b);
+      if (ha != hb) return ha;
+      const auto ra = rank_of(a.req.core), rb = rank_of(b.req.core);
+      if (ra != rb) return ra < rb;
+      return a.req.arrive < b.req.arrive;
+    };
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (!v.issuable(q[i])) continue;
+      if (best == kNoPick || better(q[i], q[best])) best = i;
+    }
+    if (best != kNoPick) return best;
+    return oldest_where(q, [](const QueuedRequest&) { return true; });
+  }
+
+  std::string name() const override { return "PAR-BS"; }
+
+ private:
+  static constexpr std::uint32_t kMarkCap = 5;
+  static std::uint64_t bank_key(const dram::Coord& c) {
+    return (static_cast<std::uint64_t>(c.rank) << 8) | c.bank;
+  }
+  std::uint32_t rank_of(std::uint32_t core) const {
+    return core < core_rank_.size() ? core_rank_[core] : num_cores_;
+  }
+
+  std::uint32_t num_cores_;
+  std::vector<std::uint32_t> core_rank_;
+};
+
+/// ATLAS (Kim et al., HPCA 2010): over long quanta, rank cores by total
+/// attained service; least-attained-service first.
+class AtlasScheduler final : public Scheduler {
+ public:
+  std::size_t pick(const std::vector<QueuedRequest>& q, const SchedView& v) override {
+    std::size_t best = kNoPick;
+    auto service = [&](std::uint32_t core) -> std::uint64_t {
+      if (!v.cores || core >= v.cores->size()) return 0;
+      return (*v.cores)[core].attained_service;
+    };
+    auto better = [&](const QueuedRequest& a, const QueuedRequest& b) {
+      const auto sa = service(a.req.core), sb = service(b.req.core);
+      if (sa != sb) return sa < sb;
+      const bool ha = v.row_hit(a), hb = v.row_hit(b);
+      if (ha != hb) return ha;
+      return a.req.arrive < b.req.arrive;
+    };
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (!v.issuable(q[i])) continue;
+      if (best == kNoPick || better(q[i], q[best])) best = i;
+    }
+    if (best != kNoPick) return best;
+    return oldest_where(q, [](const QueuedRequest&) { return true; });
+  }
+
+  std::string name() const override { return "ATLAS"; }
+};
+
+/// TCM (Kim et al., MICRO 2010): periodically cluster cores into a
+/// latency-sensitive group (low bandwidth demand — always prioritized) and
+/// a bandwidth-heavy group whose internal ranking is shuffled to spread
+/// interference.
+class TcmScheduler final : public Scheduler {
+ public:
+  TcmScheduler(std::uint32_t num_cores, std::uint64_t seed)
+      : num_cores_(num_cores),
+        quantum_service_(num_cores, 0),
+        cluster_(num_cores, 0),
+        shuffle_rank_(num_cores, 0),
+        rng_(seed) {
+    for (std::uint32_t c = 0; c < num_cores; ++c) shuffle_rank_[c] = c;
+  }
+
+  void on_service(const QueuedRequest& r, const SchedView&) override {
+    if (r.req.core < num_cores_) ++quantum_service_[r.req.core];
+  }
+
+  void tick(const SchedView& v, std::vector<QueuedRequest>&) override {
+    if (v.now >= next_quantum_) {
+      recluster();
+      next_quantum_ = v.now + kQuantum;
+    }
+    if (v.now >= next_shuffle_) {
+      shuffle();
+      next_shuffle_ = v.now + kShuffle;
+    }
+  }
+
+  std::size_t pick(const std::vector<QueuedRequest>& q, const SchedView& v) override {
+    std::size_t best = kNoPick;
+    auto better = [&](const QueuedRequest& a, const QueuedRequest& b) {
+      const auto ca = cluster_of(a.req.core), cb = cluster_of(b.req.core);
+      if (ca != cb) return ca < cb;  // latency cluster (0) first
+      if (ca == 1) {                 // bandwidth cluster: shuffled ranking
+        const auto ra = shuffle_of(a.req.core), rb = shuffle_of(b.req.core);
+        if (ra != rb) return ra < rb;
+      }
+      const bool ha = v.row_hit(a), hb = v.row_hit(b);
+      if (ha != hb) return ha;
+      return a.req.arrive < b.req.arrive;
+    };
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (!v.issuable(q[i])) continue;
+      if (best == kNoPick || better(q[i], q[best])) best = i;
+    }
+    if (best != kNoPick) return best;
+    return oldest_where(q, [](const QueuedRequest&) { return true; });
+  }
+
+  std::string name() const override { return "TCM"; }
+
+ private:
+  static constexpr Cycle kQuantum = 100000;
+  static constexpr Cycle kShuffle = 800;
+  static constexpr double kLatencyClusterShare = 0.15;
+
+  std::uint8_t cluster_of(std::uint32_t core) const {
+    return core < num_cores_ ? cluster_[core] : 1;
+  }
+  std::uint32_t shuffle_of(std::uint32_t core) const {
+    return core < num_cores_ ? shuffle_rank_[core] : num_cores_;
+  }
+
+  void recluster() {
+    const std::uint64_t total =
+        std::accumulate(quantum_service_.begin(), quantum_service_.end(), std::uint64_t{0});
+    // Cores are latency-sensitive until their cumulative demand exceeds the
+    // latency-cluster bandwidth share.
+    std::vector<std::uint32_t> order(num_cores_);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return quantum_service_[a] < quantum_service_[b];
+    });
+    std::uint64_t used = 0;
+    const auto budget = static_cast<std::uint64_t>(kLatencyClusterShare * static_cast<double>(total));
+    for (std::uint32_t c : order) {
+      used += quantum_service_[c];
+      cluster_[c] = (used <= budget) ? 0 : 1;
+    }
+    std::fill(quantum_service_.begin(), quantum_service_.end(), 0);
+  }
+
+  void shuffle() {
+    for (std::uint32_t i = num_cores_; i > 1; --i) {
+      const auto j = static_cast<std::uint32_t>(rng_.next_below(i));
+      std::swap(shuffle_rank_[i - 1], shuffle_rank_[j]);
+    }
+  }
+
+  std::uint32_t num_cores_;
+  std::vector<std::uint64_t> quantum_service_;
+  std::vector<std::uint8_t> cluster_;
+  std::vector<std::uint32_t> shuffle_rank_;
+  Rng rng_;
+  Cycle next_quantum_ = kQuantum;
+  Cycle next_shuffle_ = kShuffle;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_parbs(std::uint32_t num_cores) {
+  return std::make_unique<ParBsScheduler>(num_cores);
+}
+std::unique_ptr<Scheduler> make_atlas() { return std::make_unique<AtlasScheduler>(); }
+std::unique_ptr<Scheduler> make_tcm(std::uint32_t num_cores, std::uint64_t seed) {
+  return std::make_unique<TcmScheduler>(num_cores, seed);
+}
+
+}  // namespace ima::mem

@@ -1,0 +1,207 @@
+// Reinforcement-learning memory scheduler, after Ipek et al., "Self
+// Optimizing Memory Controllers: A Reinforcement Learning Approach",
+// ISCA 2008 [39] — the paper's flagship example of the data-driven
+// principle.
+//
+// Formulation: each scheduling decision is an RL step.
+//   state  = hashed controller attributes (queue occupancy, row-hit count,
+//            issuable count, distinct banks with pending work, load skew)
+//   action = which request class to serve next
+//   reward = data bursts issued since the previous decision (bus
+//            utilization, the same reward Ipek et al. use)
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "learn/qlearn.hh"
+#include "mem/sched.hh"
+
+namespace ima::mem {
+
+namespace {
+
+enum RlAction : std::uint32_t {
+  kServeRowHit = 0,      // FR-FCFS-like: oldest issuable row hit
+  kServeOldest = 1,      // FCFS-like: oldest issuable
+  kServeLeastServed = 2, // fairness: core with least attained service
+  kServeLoadedBank = 3,  // throughput: request on the deepest bank queue
+  kNumActions = 4,
+};
+
+class RlScheduler final : public Scheduler {
+ public:
+  RlScheduler(std::uint32_t num_cores, std::uint64_t seed, double alpha, double epsilon)
+      : num_cores_(num_cores) {
+    learn::QAgent::Config cfg;
+    cfg.num_actions = kNumActions;
+    cfg.table_entries = 1 << 14;
+    cfg.alpha = alpha;
+    cfg.gamma = 0.95;
+    cfg.epsilon = epsilon;
+    cfg.init_q = 0.5;  // optimistic: encourages early exploration of all arms
+    cfg.seed = seed;
+    agent_ = std::make_unique<learn::QAgent>(cfg);
+  }
+
+  std::size_t pick(const std::vector<QueuedRequest>& q, const SchedView& v) override {
+    if (q.empty()) return kNoPick;
+    const std::uint64_t s = state_hash(q, v);
+
+    if (have_prev_) {
+      const double reward = static_cast<double>(served_since_decision_);
+      agent_->learn(prev_state_, prev_action_, reward, s);
+      // Decay exploration once learning is underway (GLIE-style schedule):
+      // early decisions explore, steady state exploits.
+      if (!frozen_)
+        agent_->set_epsilon(std::max(0.005, agent_->epsilon() * 0.9997));
+    }
+    served_since_decision_ = 0;
+
+    const std::uint32_t a = frozen_ ? agent_->act_greedy(s) : agent_->act(s);
+    prev_state_ = s;
+    prev_action_ = a;
+    have_prev_ = true;
+
+    std::size_t i = select(q, v, static_cast<RlAction>(a));
+    if (i != kNoPick) return i;
+    // Fallback chain keeps the controller busy even when the chosen class
+    // is empty — the agent still pays/earns via the reward signal.
+    i = oldest_where(q, [&](const QueuedRequest& r) { return v.issuable(r); });
+    if (i != kNoPick) return i;
+    return oldest_where(q, [](const QueuedRequest&) { return true; });
+  }
+
+  void on_service(const QueuedRequest&, const SchedView&) override {
+    ++served_since_decision_;
+  }
+
+  std::string name() const override { return "RL"; }
+
+  /// Freeze learning/exploration (evaluation mode).
+  void freeze() { frozen_ = true; }
+
+  const learn::QAgent& agent() const { return *agent_; }
+
+ private:
+  std::uint64_t state_hash(const std::vector<QueuedRequest>& q, const SchedView& v) const {
+    std::uint32_t hits = 0, issuable = 0;
+    std::unordered_set<std::uint64_t> banks;
+    std::uint32_t max_core_load = 0;
+    std::vector<std::uint32_t> core_load(num_cores_, 0);
+    for (const auto& r : q) {
+      if (v.row_hit(r)) ++hits;
+      if (v.issuable(r)) ++issuable;
+      banks.insert((static_cast<std::uint64_t>(r.coord.rank) << 8) | r.coord.bank);
+      if (r.req.core < num_cores_) max_core_load = std::max(max_core_load, ++core_load[r.req.core]);
+    }
+    auto bucket = [](std::uint32_t x) -> std::uint64_t {  // log2-ish buckets
+      std::uint64_t b = 0;
+      while (x > 0 && b < 7) {
+        x >>= 1;
+        ++b;
+      }
+      return b;
+    };
+    learn::StateHash h;
+    h.add(bucket(static_cast<std::uint32_t>(q.size())))
+        .add(bucket(hits))
+        .add(bucket(issuable))
+        .add(bucket(static_cast<std::uint32_t>(banks.size())))
+        .add(bucket(max_core_load));
+    return h.value();
+  }
+
+  std::size_t select(const std::vector<QueuedRequest>& q, const SchedView& v, RlAction a) const {
+    switch (a) {
+      case kServeRowHit:
+        return oldest_where(q, [&](const QueuedRequest& r) { return v.row_hit(r) && v.issuable(r); });
+      case kServeOldest:
+        return oldest_where(q, [&](const QueuedRequest& r) { return v.issuable(r); });
+      case kServeLeastServed: {
+        std::size_t best = kNoPick;
+        auto service = [&](std::uint32_t core) -> std::uint64_t {
+          if (!v.cores || core >= v.cores->size()) return 0;
+          return (*v.cores)[core].attained_service;
+        };
+        for (std::size_t i = 0; i < q.size(); ++i) {
+          if (!v.issuable(q[i])) continue;
+          if (best == kNoPick || service(q[i].req.core) < service(q[best].req.core)) best = i;
+        }
+        return best;
+      }
+      case kServeLoadedBank: {
+        std::unordered_map<std::uint64_t, std::uint32_t> bank_load;
+        for (const auto& r : q) ++bank_load[(static_cast<std::uint64_t>(r.coord.rank) << 8) | r.coord.bank];
+        std::size_t best = kNoPick;
+        std::uint32_t best_load = 0;
+        for (std::size_t i = 0; i < q.size(); ++i) {
+          if (!v.issuable(q[i])) continue;
+          const auto load =
+              bank_load[(static_cast<std::uint64_t>(q[i].coord.rank) << 8) | q[i].coord.bank];
+          if (best == kNoPick || load > best_load) {
+            best = i;
+            best_load = load;
+          }
+        }
+        return best;
+      }
+      default:
+        return kNoPick;
+    }
+  }
+
+  std::uint32_t num_cores_;
+  std::unique_ptr<learn::QAgent> agent_;
+  std::uint64_t prev_state_ = 0;
+  std::uint32_t prev_action_ = 0;
+  bool have_prev_ = false;
+  bool frozen_ = false;
+  std::uint64_t served_since_decision_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_rl(std::uint32_t num_cores, std::uint64_t seed, double alpha,
+                                   double epsilon) {
+  return std::make_unique<RlScheduler>(num_cores, seed, alpha, epsilon);
+}
+
+const char* to_string(SchedKind k) {
+  switch (k) {
+    case SchedKind::Fcfs: return "FCFS";
+    case SchedKind::FrFcfs: return "FR-FCFS";
+    case SchedKind::FrFcfsCap: return "FR-FCFS-Cap";
+    case SchedKind::ParBs: return "PAR-BS";
+    case SchedKind::Atlas: return "ATLAS";
+    case SchedKind::Tcm: return "TCM";
+    case SchedKind::Bliss: return "BLISS";
+    case SchedKind::Rl: return "RL";
+  }
+  return "?";
+}
+
+// Declared in the per-family translation units.
+std::unique_ptr<Scheduler> make_fcfs();
+std::unique_ptr<Scheduler> make_frfcfs();
+std::unique_ptr<Scheduler> make_frfcfs_cap(std::uint32_t cap);
+std::unique_ptr<Scheduler> make_bliss(std::uint32_t num_cores);
+std::unique_ptr<Scheduler> make_parbs(std::uint32_t num_cores);
+std::unique_ptr<Scheduler> make_atlas();
+std::unique_ptr<Scheduler> make_tcm(std::uint32_t num_cores, std::uint64_t seed);
+
+std::unique_ptr<Scheduler> make_scheduler(SchedKind kind, std::uint32_t num_cores,
+                                          std::uint64_t seed) {
+  switch (kind) {
+    case SchedKind::Fcfs: return make_fcfs();
+    case SchedKind::FrFcfs: return make_frfcfs();
+    case SchedKind::FrFcfsCap: return make_frfcfs_cap(4);
+    case SchedKind::ParBs: return make_parbs(num_cores);
+    case SchedKind::Atlas: return make_atlas();
+    case SchedKind::Tcm: return make_tcm(num_cores, seed);
+    case SchedKind::Bliss: return make_bliss(num_cores);
+    case SchedKind::Rl: return make_rl(num_cores, seed, 0.1, 0.05);
+  }
+  return make_frfcfs();
+}
+
+}  // namespace ima::mem

@@ -1,0 +1,247 @@
+#include "noc/mesh.hh"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <utility>
+
+namespace ima::noc {
+
+Mesh::Mesh(const NocConfig& cfg) : cfg_(cfg) {
+  routers_.resize(static_cast<std::size_t>(cfg.width) * cfg.height);
+}
+
+bool Mesh::inject(std::uint32_t x, std::uint32_t y, std::uint32_t dst_x,
+                  std::uint32_t dst_y, Cycle now) {
+  Router& r = routers_[idx(x, y)];
+  if (r.inject_q.size() >= cfg_.inject_queue) {
+    ++stats_.inject_rejects;
+    return false;
+  }
+  Packet p;
+  p.id = next_id_++;
+  p.src_x = static_cast<std::uint8_t>(x);
+  p.src_y = static_cast<std::uint8_t>(y);
+  p.dst_x = static_cast<std::uint8_t>(dst_x);
+  p.dst_y = static_cast<std::uint8_t>(dst_y);
+  p.injected = now;
+  r.inject_q.push_back(p);
+  ++stats_.injected;
+  ++in_flight_;
+  return true;
+}
+
+Mesh::Port Mesh::preferred_port(const Router&, std::uint32_t x, std::uint32_t y,
+                                const Packet& p) const {
+  // Dimension-ordered (XY) preference.
+  if (p.dst_x > x) return kEast;
+  if (p.dst_x < x) return kWest;
+  if (p.dst_y > y) return kSouth;
+  if (p.dst_y < y) return kNorth;
+  return kLocal;
+}
+
+std::size_t Mesh::neighbor(std::size_t node, Port out) const {
+  const std::uint32_t x = static_cast<std::uint32_t>(node % cfg_.width);
+  const std::uint32_t y = static_cast<std::uint32_t>(node / cfg_.width);
+  switch (out) {
+    case kNorth: return idx(x, y - 1);
+    case kSouth: return idx(x, y + 1);
+    case kEast: return idx(x + 1, y);
+    case kWest: return idx(x - 1, y);
+    default: return node;
+  }
+}
+
+void Mesh::deliver(Packet p, Cycle now) {
+  p.ejected = now;
+  stats_.latency.add(static_cast<double>(now - p.injected));
+  stats_.hops.add(static_cast<double>(p.hops));
+  ++stats_.delivered;
+  --in_flight_;
+  delivered_.push_back(p);
+}
+
+std::vector<Packet> Mesh::take_delivered() { return std::exchange(delivered_, {}); }
+
+void Mesh::tick(Cycle now) {
+  if (cfg_.bufferless) tick_bufferless(now);
+  else tick_buffered(now);
+}
+
+void Mesh::tick_buffered(Cycle now) {
+  // Two-phase: plan all moves against the pre-tick state, then commit, so
+  // flits advance at most one hop per cycle and order is arbitration-fair.
+  struct Move {
+    std::size_t from_node;
+    Port from_port;  // kNumPorts means injection queue
+    std::size_t to_node;
+    Port to_port;
+    bool eject;
+  };
+  std::vector<Move> moves;
+  // Reserve space in destination FIFOs as we plan.
+  std::vector<std::array<std::uint32_t, kNumPorts>> reserved(
+      routers_.size(), std::array<std::uint32_t, kNumPorts>{});
+
+  for (std::size_t n = 0; n < routers_.size(); ++n) {
+    Router& r = routers_[n];
+    const auto x = static_cast<std::uint32_t>(n % cfg_.width);
+    const auto y = static_cast<std::uint32_t>(n / cfg_.width);
+
+    bool output_used[kNumPorts] = {};
+    // Arbitrate inputs in round-robin order; injection queue is the lowest
+    // priority "port".
+    for (std::uint32_t i = 0; i <= kNumPorts; ++i) {
+      const std::uint32_t slot = (r.rr + i) % (kNumPorts + 1);
+      const bool is_inject = slot == kNumPorts;
+      std::deque<Packet>& q = is_inject ? r.inject_q : r.in[slot];
+      if (q.empty()) continue;
+      const Packet& p = q.front();
+      const Port out = preferred_port(r, x, y, p);
+      if (output_used[out]) continue;
+      if (out == kLocal) {
+        output_used[out] = true;
+        moves.push_back({n, is_inject ? kNumPorts : static_cast<Port>(slot), n, kLocal, true});
+        continue;
+      }
+      const std::size_t to = neighbor(n, out);
+      // The flit arrives at the opposite input port of the neighbor.
+      const Port in_port = out == kNorth   ? kSouth
+                           : out == kSouth ? kNorth
+                           : out == kEast  ? kWest
+                                           : kEast;
+      if (routers_[to].in[in_port].size() + reserved[to][in_port] >= cfg_.fifo_depth) {
+        ++stats_.buffer_stalls;
+        continue;  // backpressure
+      }
+      output_used[out] = true;
+      ++reserved[to][in_port];
+      moves.push_back({n, is_inject ? kNumPorts : static_cast<Port>(slot), to, in_port, false});
+    }
+    r.rr = (r.rr + 1) % (kNumPorts + 1);
+  }
+
+  for (const auto& m : moves) {
+    Router& from = routers_[m.from_node];
+    std::deque<Packet>& q = m.from_port == kNumPorts ? from.inject_q : from.in[m.from_port];
+    Packet p = q.front();
+    q.pop_front();
+    if (m.eject) {
+      stats_.energy += cfg_.e_router;
+      deliver(p, now);
+      continue;
+    }
+    ++p.hops;
+    stats_.energy += cfg_.e_link + cfg_.e_router + cfg_.e_buffer;
+    routers_[m.to_node].in[m.to_port].push_back(p);
+  }
+}
+
+void Mesh::tick_bufferless(Cycle now) {
+  // Each router must route every arriving flit somewhere this cycle.
+  std::vector<std::vector<Packet>> next_arrivals(routers_.size());
+
+  for (std::size_t n = 0; n < routers_.size(); ++n) {
+    Router& r = routers_[n];
+    const auto x = static_cast<std::uint32_t>(n % cfg_.width);
+    const auto y = static_cast<std::uint32_t>(n / cfg_.width);
+
+    // Eject one flit destined here per cycle (CHIPPER-style single eject).
+    std::vector<Packet> flits = std::move(r.arriving);
+    r.arriving.clear();
+    auto eject_it = std::find_if(flits.begin(), flits.end(), [&](const Packet& p) {
+      return p.dst_x == x && p.dst_y == y;
+    });
+    if (eject_it != flits.end()) {
+      deliver(*eject_it, now);
+      flits.erase(eject_it);
+    }
+
+    // Inject only when an output slot is guaranteed free: the router's
+    // degree bounds both arrivals and departures (edge/corner routers have
+    // fewer links).
+    const std::uint32_t degree = 4u - (x == 0) - (x == cfg_.width - 1) - (y == 0) -
+                                 (y == cfg_.height - 1);
+    if (!r.inject_q.empty() && flits.size() < degree) {
+      flits.push_back(r.inject_q.front());
+      r.inject_q.pop_front();
+    }
+
+    // Oldest-first ranking (BLESS's livelock-freedom argument).
+    std::sort(flits.begin(), flits.end(),
+              [](const Packet& a, const Packet& b) { return a.injected < b.injected; });
+
+    bool used[kNumPorts] = {};
+    used[kLocal] = true;  // ejection already handled
+    for (auto& p : flits) {
+      Port want = preferred_port(r, x, y, p);
+      if (want == kLocal) {
+        // Destined here but the ejection slot was taken: deflect anywhere.
+        want = kNumPorts;
+      }
+      Port out = kNumPorts;
+      if (want != kNumPorts && !used[want]) {
+        out = want;
+      } else {
+        // Deflect to any free, in-bounds port.
+        for (Port cand : {kEast, kWest, kSouth, kNorth}) {
+          if (used[cand]) continue;
+          if (cand == kNorth && y == 0) continue;
+          if (cand == kSouth && y == cfg_.height - 1) continue;
+          if (cand == kWest && x == 0) continue;
+          if (cand == kEast && x == cfg_.width - 1) continue;
+          out = cand;
+          break;
+        }
+        if (out != kNumPorts && out != preferred_port(r, x, y, p)) {
+          ++p.deflections;
+          ++stats_.deflections;
+        }
+      }
+      assert(out != kNumPorts && "mesh degree >= flit count invariant broken");
+      used[out] = true;
+      ++p.hops;
+      stats_.energy += cfg_.e_link + cfg_.e_router;
+      next_arrivals[neighbor(n, out)].push_back(p);
+    }
+  }
+
+  for (std::size_t n = 0; n < routers_.size(); ++n)
+    routers_[n].arriving = std::move(next_arrivals[n]);
+}
+
+bool Mesh::idle() const {
+  if (in_flight_ != 0) return false;
+  return true;
+}
+
+Mesh run_uniform_traffic(const NocConfig& cfg, double rate, Cycle cycles,
+                         std::uint64_t seed) {
+  Mesh mesh(cfg);
+  Rng rng(seed);
+  Cycle now = 0;
+  for (; now < cycles; ++now) {
+    for (std::uint32_t y = 0; y < cfg.height; ++y) {
+      for (std::uint32_t x = 0; x < cfg.width; ++x) {
+        if (!rng.chance(rate)) continue;
+        const auto dx = static_cast<std::uint32_t>(rng.next_below(cfg.width));
+        const auto dy = static_cast<std::uint32_t>(rng.next_below(cfg.height));
+        if (dx == x && dy == y) continue;
+        mesh.inject(x, y, dx, dy, now);
+      }
+    }
+    mesh.tick(now);
+    mesh.take_delivered();
+  }
+  // Drain.
+  const Cycle deadline = now + 100'000;
+  while (!mesh.idle() && now < deadline) {
+    mesh.tick(now);
+    mesh.take_delivered();
+    ++now;
+  }
+  return mesh;
+}
+
+}  // namespace ima::noc

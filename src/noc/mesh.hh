@@ -1,0 +1,108 @@
+// On-chip network: 2D mesh with buffered XY routing and bufferless
+// deflection routing (BLESS, Moscibroda & Mutlu, ISCA 2009 [200];
+// CHIPPER [205]; MinBD [207]).
+//
+// The paper lists the network controller among the rigid controllers an
+// intelligent architecture must rethink; the bufferless line showed that
+// removing router buffers — most of a NoC's area/energy — costs little at
+// realistic loads because deflection is rare. Both router types share one
+// mesh harness so latency/energy curves are directly comparable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ima::noc {
+
+struct NocConfig {
+  std::uint32_t width = 8;
+  std::uint32_t height = 8;
+  bool bufferless = false;
+  std::uint32_t fifo_depth = 4;      // buffered router input queue depth
+  std::uint32_t inject_queue = 16;   // per-node injection queue
+
+  // Energy proxies (pJ per event).
+  PicoJoule e_link = 12.0;     // one hop traversal
+  PicoJoule e_buffer = 8.0;    // one buffer write+read (buffered only)
+  PicoJoule e_router = 4.0;    // arbitration/crossbar per flit per hop
+};
+
+struct Packet {
+  std::uint64_t id = 0;
+  std::uint8_t src_x = 0, src_y = 0;
+  std::uint8_t dst_x = 0, dst_y = 0;
+  Cycle injected = 0;
+  Cycle ejected = 0;
+  std::uint32_t hops = 0;
+  std::uint32_t deflections = 0;
+};
+
+class Mesh {
+ public:
+  explicit Mesh(const NocConfig& cfg);
+
+  /// Queues a packet for injection at (x, y); false if the queue is full.
+  bool inject(std::uint32_t x, std::uint32_t y, std::uint32_t dst_x, std::uint32_t dst_y,
+              Cycle now);
+
+  /// Advances the network one cycle.
+  void tick(Cycle now);
+
+  /// Packets delivered during the last tick (move-out).
+  std::vector<Packet> take_delivered();
+
+  bool idle() const;
+  std::uint64_t in_flight() const { return in_flight_; }
+
+  struct Stats {
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t deflections = 0;   // bufferless only
+    std::uint64_t buffer_stalls = 0; // buffered only
+    std::uint64_t inject_rejects = 0;
+    PicoJoule energy = 0;
+    RunningStat latency;             // inject -> eject
+    RunningStat hops;
+  };
+  const Stats& stats() const { return stats_; }
+  const NocConfig& config() const { return cfg_; }
+
+ private:
+  enum Port : std::uint8_t { kNorth = 0, kSouth, kEast, kWest, kLocal, kNumPorts };
+
+  struct Router {
+    std::deque<Packet> in[kNumPorts];   // buffered mode: input FIFOs
+    std::deque<Packet> inject_q;        // waiting local packets
+    std::vector<Packet> arriving;       // bufferless mode: this cycle's flits
+    std::uint32_t rr = 0;               // round-robin arbitration pointer
+  };
+
+  std::size_t idx(std::uint32_t x, std::uint32_t y) const { return y * cfg_.width + x; }
+  Port preferred_port(const Router&, std::uint32_t x, std::uint32_t y,
+                      const Packet& p) const;
+  std::size_t neighbor(std::size_t node, Port out) const;
+
+  void tick_buffered(Cycle now);
+  void tick_bufferless(Cycle now);
+  void deliver(Packet p, Cycle now);
+
+  NocConfig cfg_;
+  std::vector<Router> routers_;
+  std::vector<Packet> delivered_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t in_flight_ = 0;
+  Stats stats_;
+};
+
+/// Runs uniform-random traffic at `rate` packets/node/cycle for `cycles`,
+/// then drains; returns the mesh for stats inspection.
+Mesh run_uniform_traffic(const NocConfig& cfg, double rate, Cycle cycles,
+                         std::uint64_t seed = 1);
+
+}  // namespace ima::noc

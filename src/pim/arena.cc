@@ -1,0 +1,98 @@
+#include "pim/arena.hh"
+
+#include <cassert>
+
+namespace ima::pim {
+
+PumArena::PumArena(dram::DataStore& data, const dram::Geometry& g, std::uint32_t channel,
+                   std::uint32_t rank, std::uint32_t bank)
+    : data_(data), geom_(g), channel_(channel), rank_(rank), bank_(bank),
+      next_free_(g.subarrays, 0) {
+  // Initialize every subarray's control rows.
+  for (std::uint32_t sa = 0; sa < g.subarrays; ++sa) {
+    const BGroup b = BGroup::of(g, sa * g.rows_per_subarray);
+    dram::Coord c{channel_, rank_, bank_, b.c0, 0};
+    data_.fill_row(c, 0);
+    c.row = b.c1;
+    data_.fill_row(c, ~0ull);
+  }
+}
+
+std::optional<RowRef> PumArena::alloc_rows(std::uint32_t nrows) {
+  for (std::uint32_t sa = 0; sa < geom_.subarrays; ++sa) {
+    if (free_rows_in_subarray(sa) < nrows) continue;
+    RowRef r{channel_, rank_, bank_, sa * geom_.rows_per_subarray + next_free_[sa]};
+    next_free_[sa] += nrows;
+    return r;
+  }
+  return std::nullopt;
+}
+
+std::optional<RowRef> PumArena::alloc_rows_near(const RowRef& near, std::uint32_t nrows) {
+  const std::uint32_t sa = geom_.subarray_of_row(near.row);
+  if (free_rows_in_subarray(sa) < nrows) return std::nullopt;
+  RowRef r{channel_, rank_, bank_, sa * geom_.rows_per_subarray + next_free_[sa]};
+  next_free_[sa] += nrows;
+  return r;
+}
+
+std::uint32_t PumArena::free_rows_in_subarray(std::uint32_t subarray) const {
+  return BGroup::data_rows_per_subarray(geom_) - next_free_[subarray];
+}
+
+PumBitVector::PumBitVector(PumArena& arena, const RowRef& first_row, std::uint32_t nrows)
+    : data_(&arena.data()), geom_(arena.geometry()), first_(first_row), nrows_(nrows) {}
+
+std::optional<PumBitVector> PumBitVector::alloc(PumArena& arena, std::uint64_t bits) {
+  const std::uint64_t row_bits = arena.geometry().row_bytes() * 8;
+  const auto nrows = static_cast<std::uint32_t>((bits + row_bits - 1) / row_bits);
+  auto first = arena.alloc_rows(nrows);
+  if (!first) return std::nullopt;
+  return PumBitVector(arena, *first, nrows);
+}
+
+std::optional<PumBitVector> PumBitVector::alloc_like(PumArena& arena,
+                                                     const PumBitVector& other) {
+  auto first = arena.alloc_rows_near(other.first_, other.nrows_);
+  if (!first) return std::nullopt;
+  return PumBitVector(arena, *first, other.nrows_);
+}
+
+RowRef PumBitVector::row(std::uint32_t i) const {
+  assert(i < nrows_);
+  RowRef r = first_;
+  r.row += i;
+  return r;
+}
+
+void PumBitVector::load(std::span<const std::uint64_t> words) {
+  const std::size_t wpr = data_->words_per_row();
+  std::size_t idx = 0;
+  for (std::uint32_t r = 0; r < nrows_ && idx < words.size(); ++r) {
+    auto& row_words = data_->row(row(r).coord());
+    for (std::size_t w = 0; w < wpr && idx < words.size(); ++w) row_words[w] = words[idx++];
+  }
+}
+
+void PumBitVector::store(std::span<std::uint64_t> words) const {
+  const std::size_t wpr = data_->words_per_row();
+  std::size_t idx = 0;
+  for (std::uint32_t r = 0; r < nrows_ && idx < words.size(); ++r) {
+    const auto c = row(r).coord();
+    for (std::size_t w = 0; w < wpr && idx < words.size(); ++w) words[idx++] = data_->word(c, w);
+  }
+}
+
+PimProgram bitvector_op(const AmbitEngine& eng, AmbitEngine::Op op, const PumBitVector& a,
+                        const PumBitVector& b, const PumBitVector& dst) {
+  assert(a.nrows() == dst.nrows());
+  PimProgram prog;
+  for (std::uint32_t r = 0; r < a.nrows(); ++r) {
+    const auto p = eng.bitwise(op, a.row(r),
+                               op == AmbitEngine::Op::Not ? a.row(r) : b.row(r), dst.row(r));
+    prog.insert(prog.end(), p.begin(), p.end());
+  }
+  return prog;
+}
+
+}  // namespace ima::pim

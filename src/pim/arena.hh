@@ -1,0 +1,82 @@
+// Row allocation for PUM operands.
+//
+// PUM operations constrain placement (FPM and Ambit require operands in the
+// same subarray), so PUM-aware software needs an allocator that thinks in
+// rows and subarrays — exactly the kind of memory-allocation awareness the
+// RowClone/Ambit papers require of the OS. PumArena hands out data rows,
+// skips the reserved B-group rows, and initializes control rows.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dram/datastore.hh"
+#include "pim/pum.hh"
+
+namespace ima::pim {
+
+class PumArena {
+ public:
+  /// Manages rows of one bank. Initializes every subarray's control rows
+  /// (C0 = zeros, C1 = ones) in `data`.
+  PumArena(dram::DataStore& data, const dram::Geometry& g, std::uint32_t channel,
+           std::uint32_t rank, std::uint32_t bank);
+
+  /// Allocates `nrows` consecutive data rows within a single subarray.
+  /// Returns nullopt when no subarray has room.
+  std::optional<RowRef> alloc_rows(std::uint32_t nrows);
+
+  /// Allocates in the same subarray as `near` (required for Ambit operands
+  /// and FPM copies). Returns nullopt when that subarray is full.
+  std::optional<RowRef> alloc_rows_near(const RowRef& near, std::uint32_t nrows);
+
+  std::uint32_t free_rows_in_subarray(std::uint32_t subarray) const;
+  const dram::Geometry& geometry() const { return geom_; }
+  dram::DataStore& data() { return data_; }
+  std::uint32_t channel() const { return channel_; }
+  std::uint32_t rank() const { return rank_; }
+  std::uint32_t bank() const { return bank_; }
+
+ private:
+  dram::DataStore& data_;
+  dram::Geometry geom_;
+  std::uint32_t channel_, rank_, bank_;
+  std::vector<std::uint32_t> next_free_;  // per-subarray bump pointer
+};
+
+/// A bulk bitvector laid out across consecutive data rows of one subarray —
+/// the operand type of Ambit-style bulk bitwise computation.
+class PumBitVector {
+ public:
+  PumBitVector(PumArena& arena, const RowRef& first_row, std::uint32_t nrows);
+
+  /// Allocating constructor helper.
+  static std::optional<PumBitVector> alloc(PumArena& arena, std::uint64_t bits);
+  /// Allocates in the same subarray as `other` (Ambit operand constraint).
+  static std::optional<PumBitVector> alloc_like(PumArena& arena, const PumBitVector& other);
+
+  std::uint64_t bits() const { return static_cast<std::uint64_t>(nrows_) * row_bits(); }
+  std::uint32_t nrows() const { return nrows_; }
+  RowRef row(std::uint32_t i) const;
+
+  /// Host (functional) access.
+  void load(std::span<const std::uint64_t> words);
+  void store(std::span<std::uint64_t> words) const;
+
+ private:
+  std::uint64_t row_bits() const { return geom_.row_bytes() * 8; }
+
+  dram::DataStore* data_;
+  dram::Geometry geom_;
+  RowRef first_;
+  std::uint32_t nrows_;
+};
+
+/// Program computing an elementwise bitwise op over whole bitvectors
+/// (row-by-row Ambit programs concatenated).
+PimProgram bitvector_op(const AmbitEngine& eng, AmbitEngine::Op op, const PumBitVector& a,
+                        const PumBitVector& b, const PumBitVector& dst);
+
+}  // namespace ima::pim

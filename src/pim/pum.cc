@@ -1,0 +1,224 @@
+#include "pim/pum.hh"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace ima::pim {
+
+const char* to_string(AmbitEngine::Op op) {
+  switch (op) {
+    case AmbitEngine::Op::And: return "AND";
+    case AmbitEngine::Op::Or: return "OR";
+    case AmbitEngine::Op::Nand: return "NAND";
+    case AmbitEngine::Op::Nor: return "NOR";
+    case AmbitEngine::Op::Xor: return "XOR";
+    case AmbitEngine::Op::Xnor: return "XNOR";
+    case AmbitEngine::Op::Not: return "NOT";
+  }
+  return "?";
+}
+
+const char* to_string(CopyEngine::Mechanism m) {
+  switch (m) {
+    case CopyEngine::Mechanism::Fpm: return "FPM";
+    case CopyEngine::Mechanism::Lisa: return "LISA";
+    case CopyEngine::Mechanism::Psm: return "PSM";
+  }
+  return "?";
+}
+
+Cycle execute_program(dram::Channel& chan, const PimProgram& prog, Cycle start) {
+  Cycle now = start;
+  Cycle finish = start;
+  for (const auto& instr : prog) {
+    if (chan.bank_open(instr.bank)) {
+      const Cycle t = chan.earliest(dram::Cmd::Pre, instr.bank, now);
+      assert(t != kCycleNever);
+      now = std::max(now, t);
+      chan.issue(dram::Cmd::Pre, instr.bank, now);
+      ++now;
+    }
+    const Cycle t = chan.earliest(instr.cmd, instr.bank, now);
+    assert(t != kCycleNever);
+    now = std::max(now, t);
+    chan.issue_pim(instr.cmd, instr.bank, instr.args, now);
+    finish = std::max(finish, now + chan.pim_latency(instr.cmd, instr.args));
+    ++now;  // one command-bus slot per cycle
+  }
+  return finish;
+}
+
+void enqueue_program(mem::Controller& ctrl, const PimProgram& prog) {
+  for (const auto& instr : prog) {
+    mem::PimOp op;
+    op.cmd = instr.cmd;
+    op.bank = instr.bank;
+    op.args = instr.args;
+    ctrl.enqueue_pim(std::move(op));
+  }
+}
+
+BGroup BGroup::of(const dram::Geometry& g, std::uint32_t row) {
+  const std::uint32_t sa_base = (row / g.rows_per_subarray) * g.rows_per_subarray;
+  const std::uint32_t top = sa_base + g.rows_per_subarray - kReservedRows;
+  BGroup b;
+  b.t0 = top + 0;
+  b.t1 = top + 1;
+  b.t2 = top + 2;
+  b.t3 = top + 3;
+  b.dcc0n = top + 4;
+  b.dcc1n = top + 5;
+  b.c0 = top + 6;
+  b.c1 = top + 7;
+  return b;
+}
+
+CopyEngine::Mechanism CopyEngine::choose(const RowRef& src, const RowRef& dst) const {
+  if (!src.same_bank(dst)) return Mechanism::Psm;
+  if (geom_.subarray_of_row(src.row) == geom_.subarray_of_row(dst.row)) return Mechanism::Fpm;
+  return Mechanism::Lisa;
+}
+
+PimProgram CopyEngine::copy_row(const RowRef& src, const RowRef& dst) const {
+  const Mechanism m = choose(src, dst);
+  assert(m != Mechanism::Psm && "PSM copies go through the normal RD/WR path");
+  PimInstr instr;
+  instr.bank = src.coord();
+  instr.args.src_row = src.row;
+  instr.args.dst_row = dst.row;
+  if (m == Mechanism::Fpm) {
+    instr.cmd = dram::Cmd::AapFpm;
+  } else {
+    instr.cmd = dram::Cmd::LisaRbm;
+    const auto s = geom_.subarray_of_row(src.row);
+    const auto d = geom_.subarray_of_row(dst.row);
+    instr.args.hops = static_cast<std::uint32_t>(std::abs(static_cast<int>(s) - static_cast<int>(d)));
+  }
+  return {instr};
+}
+
+PimProgram CopyEngine::zero_row(const RowRef& dst) const {
+  const BGroup b = BGroup::of(geom_, dst.row);
+  RowRef zero = dst;
+  zero.row = b.c0;
+  return copy_row(zero, dst);
+}
+
+PimProgram CopyEngine::copy_rows(const RowRef& src0, const RowRef& dst0,
+                                 std::uint32_t nrows) const {
+  PimProgram prog;
+  for (std::uint32_t i = 0; i < nrows; ++i) {
+    RowRef s = src0, d = dst0;
+    s.row += i;
+    d.row += i;
+    auto p = copy_row(s, d);
+    prog.insert(prog.end(), p.begin(), p.end());
+  }
+  return prog;
+}
+
+void AmbitEngine::emit_aap(PimProgram& p, const RowRef& bank, std::uint32_t src,
+                           std::uint32_t dst, bool invert) const {
+  PimInstr i;
+  i.cmd = dram::Cmd::AapFpm;
+  i.bank = bank.coord();
+  i.args.src_row = src;
+  i.args.dst_row = dst;
+  i.args.invert = invert;
+  p.push_back(i);
+}
+
+void AmbitEngine::emit_tra(PimProgram& p, const RowRef& bank, std::uint32_t r0,
+                           std::uint32_t r1, std::uint32_t r2) const {
+  PimInstr i;
+  i.cmd = dram::Cmd::Tra;
+  i.bank = bank.coord();
+  i.args.src_row = r0;
+  i.args.dst_row = r1;
+  i.args.row_c = r2;
+  p.push_back(i);
+}
+
+PimProgram AmbitEngine::bitwise(Op op, const RowRef& a, const RowRef& b,
+                                const RowRef& dst) const {
+  assert(a.same_bank(dst) && (op == Op::Not || b.same_bank(dst)));
+  assert(geom_.subarray_of_row(a.row) == geom_.subarray_of_row(dst.row));
+  const BGroup g = BGroup::of(geom_, dst.row);
+  PimProgram p;
+
+  // The C0/C1 control rows hold constants; re-arm them before use because a
+  // previous TRA may have overwritten compute copies. The control rows
+  // themselves are never TRA operands directly.
+  auto and_or_core = [&](std::uint32_t ctrl_row) {
+    emit_aap(p, a, a.row, g.t0);
+    emit_aap(p, a, b.row, g.t1);
+    emit_aap(p, a, ctrl_row, g.t2);
+    emit_tra(p, a, g.t0, g.t1, g.t2);  // t0 = MAJ(a, b, ctrl)
+  };
+
+  switch (op) {
+    case Op::And:
+      and_or_core(g.c0);
+      emit_aap(p, a, g.t0, dst.row);
+      break;
+    case Op::Or:
+      and_or_core(g.c1);
+      emit_aap(p, a, g.t0, dst.row);
+      break;
+    case Op::Nand:
+      and_or_core(g.c0);
+      emit_aap(p, a, g.t0, g.dcc0n, /*invert=*/true);
+      emit_aap(p, a, g.dcc0n, dst.row);
+      break;
+    case Op::Nor:
+      and_or_core(g.c1);
+      emit_aap(p, a, g.t0, g.dcc0n, /*invert=*/true);
+      emit_aap(p, a, g.dcc0n, dst.row);
+      break;
+    case Op::Not:
+      emit_aap(p, a, a.row, g.dcc0n, /*invert=*/true);
+      emit_aap(p, a, g.dcc0n, dst.row);
+      break;
+    case Op::Xor:
+    case Op::Xnor: {
+      // t3 = a & ~b ; t0 = ~a & b ; dst = t3 | t0  (one extra NOT for XNOR)
+      emit_aap(p, a, b.row, g.dcc0n, /*invert=*/true);  // dcc0n = ~b
+      emit_aap(p, a, a.row, g.dcc1n, /*invert=*/true);  // dcc1n = ~a
+      emit_aap(p, a, a.row, g.t0);
+      emit_aap(p, a, g.dcc0n, g.t1);
+      emit_aap(p, a, g.c0, g.t2);
+      emit_tra(p, a, g.t0, g.t1, g.t2);                 // t0 = a & ~b
+      emit_aap(p, a, g.t0, g.t3);                       // save
+      emit_aap(p, a, g.dcc1n, g.t0);
+      emit_aap(p, a, b.row, g.t1);
+      emit_aap(p, a, g.c0, g.t2);
+      emit_tra(p, a, g.t0, g.t1, g.t2);                 // t0 = ~a & b
+      emit_aap(p, a, g.t3, g.t1);
+      emit_aap(p, a, g.c1, g.t2);
+      emit_tra(p, a, g.t0, g.t1, g.t2);                 // t0 = OR
+      if (op == Op::Xnor) {
+        emit_aap(p, a, g.t0, g.dcc0n, /*invert=*/true);
+        emit_aap(p, a, g.dcc0n, dst.row);
+      } else {
+        emit_aap(p, a, g.t0, dst.row);
+      }
+      break;
+    }
+  }
+  return p;
+}
+
+AmbitEngine::Cost AmbitEngine::cost(Op op) {
+  switch (op) {
+    case Op::And:
+    case Op::Or: return {4, 1};
+    case Op::Nand:
+    case Op::Nor: return {5, 1};
+    case Op::Not: return {2, 0};
+    case Op::Xor: return {12, 3};
+    case Op::Xnor: return {13, 3};
+  }
+  return {};
+}
+
+}  // namespace ima::pim

@@ -1,0 +1,135 @@
+// Processing-Using-Memory (PUM): RowClone, LISA, and Ambit engines.
+//
+// These realize the paper's first data-centric pillar at the lowest level:
+// computation performed by the memory array itself, with the controller
+// issuing row-level command sequences instead of moving data over the bus.
+//
+//   - RowClone-FPM  (Seshadri et al., MICRO 2013 [84]): back-to-back
+//     activation copies a full row inside one subarray in ~tRC.
+//   - LISA          (Chang et al., HPCA 2016 [12]): inter-linked subarrays
+//     move a row buffer to a neighbouring subarray per hop.
+//   - RowClone-PSM: fallback through the internal bus — modeled by the
+//     caller as ordinary RD/WR request pairs.
+//   - Ambit         (Seshadri et al., MICRO 2017 [10]): triple-row
+//     activation computes bitwise majority; with control rows (all-0 /
+//     all-1) and dual-contact rows (inverters) this yields a complete
+//     bulk bitwise ISA: AND, OR, NOT, NAND, NOR, XOR, XNOR.
+//
+// Engines build PimPrograms (ordered command lists). Programs either run
+// standalone against a channel (microbenchmark path, returns exact cycles)
+// or are enqueued on a controller to interleave with regular traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/channel.hh"
+#include "mem/controller.hh"
+
+namespace ima::pim {
+
+/// A row inside one bank.
+struct RowRef {
+  std::uint32_t channel = 0;
+  std::uint32_t rank = 0;
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+
+  dram::Coord coord() const { return {channel, rank, bank, row, 0}; }
+  bool same_bank(const RowRef& o) const {
+    return channel == o.channel && rank == o.rank && bank == o.bank;
+  }
+};
+
+struct PimInstr {
+  dram::Cmd cmd = dram::Cmd::AapFpm;
+  dram::Coord bank;      // bank coordinates (row fields inside args)
+  dram::PimArgs args;
+};
+
+using PimProgram = std::vector<PimInstr>;
+
+/// Runs a program directly against a channel starting at `start`; one
+/// command-bus slot per cycle, per-bank timing respected. Returns the cycle
+/// at which the last instruction's bank is free again.
+Cycle execute_program(dram::Channel& chan, const PimProgram& prog, Cycle start);
+
+/// Enqueues a program on a controller's PIM queue (in-order execution).
+void enqueue_program(mem::Controller& ctrl, const PimProgram& prog);
+
+/// Reserved-row layout of the Ambit B-group at the top of each subarray.
+/// The last kReservedRows rows of every subarray are not data rows.
+struct BGroup {
+  static constexpr std::uint32_t kReservedRows = 8;
+  std::uint32_t t0, t1, t2, t3;  // compute rows
+  std::uint32_t dcc0n;           // complement row of dual-contact pair 0
+  std::uint32_t dcc1n;           // complement row of dual-contact pair 1
+  std::uint32_t c0;              // all-zeros control row
+  std::uint32_t c1;              // all-ones control row
+
+  /// B-group rows for the subarray containing `row`.
+  static BGroup of(const dram::Geometry& g, std::uint32_t row);
+  /// First data row index of a subarray (none reserved at the bottom).
+  static std::uint32_t data_rows_per_subarray(const dram::Geometry& g) {
+    return g.rows_per_subarray - kReservedRows;
+  }
+};
+
+/// Bulk copy/initialization engine (RowClone + LISA).
+class CopyEngine {
+ public:
+  explicit CopyEngine(const dram::Geometry& g) : geom_(g) {}
+
+  enum class Mechanism : std::uint8_t { Fpm, Lisa, Psm };
+
+  /// The fastest in-DRAM mechanism available for src -> dst, or Psm when
+  /// the rows share no subarray/bank path.
+  Mechanism choose(const RowRef& src, const RowRef& dst) const;
+
+  /// Program that copies one row. Precondition: choose() != Psm.
+  PimProgram copy_row(const RowRef& src, const RowRef& dst) const;
+
+  /// Program that zero-fills a row by cloning the subarray's C0 row
+  /// (RowClone-ZERO initialization).
+  PimProgram zero_row(const RowRef& dst) const;
+
+  /// Multi-row copy: src/dst are consecutive row ranges in one bank.
+  PimProgram copy_rows(const RowRef& src0, const RowRef& dst0, std::uint32_t nrows) const;
+
+ private:
+  dram::Geometry geom_;
+};
+
+/// Bulk bitwise engine (Ambit).
+class AmbitEngine {
+ public:
+  explicit AmbitEngine(const dram::Geometry& g) : geom_(g) {}
+
+  enum class Op : std::uint8_t { And, Or, Nand, Nor, Xor, Xnor, Not };
+
+  /// Program computing `dst = a OP b` (b ignored for Not). All rows must be
+  /// data rows of the same subarray (operands are copied to compute rows
+  /// first, so sources are preserved).
+  PimProgram bitwise(Op op, const RowRef& a, const RowRef& b, const RowRef& dst) const;
+
+  /// Instruction-count cost of an op (AAPs, TRAs) for analytic models.
+  struct Cost {
+    std::uint32_t aaps = 0;
+    std::uint32_t tras = 0;
+  };
+  static Cost cost(Op op);
+
+ private:
+  void emit_aap(PimProgram& p, const RowRef& bank, std::uint32_t src, std::uint32_t dst,
+                bool invert = false) const;
+  void emit_tra(PimProgram& p, const RowRef& bank, std::uint32_t r0, std::uint32_t r1,
+                std::uint32_t r2) const;
+
+  dram::Geometry geom_;
+};
+
+const char* to_string(AmbitEngine::Op op);
+const char* to_string(CopyEngine::Mechanism m);
+
+}  // namespace ima::pim

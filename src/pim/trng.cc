@@ -1,0 +1,65 @@
+#include "pim/trng.hh"
+
+#include <algorithm>
+
+namespace ima::pim {
+
+DRangeTrng::DRangeTrng(dram::Channel& chan, std::uint32_t rng_rows,
+                       std::uint32_t cells_per_read, std::uint64_t noise_seed)
+    : chan_(chan), rng_rows_(rng_rows), cells_per_read_(std::min(cells_per_read, 64u)),
+      noise_(noise_seed) {}
+
+void DRangeTrng::harvest(Cycle* now) {
+  // Round-robin the reserved rows across banks for activation pipelining.
+  dram::Coord c;
+  c.bank = next_row_ % std::min(rng_rows_, chan_.config().geometry.banks);
+  c.row = 7;  // the characterized RNG row of that bank
+  c.column = next_col_;
+  next_col_ = (next_col_ + 1) % chan_.config().geometry.columns;
+  if (next_col_ == 0) ++next_row_;
+
+  // ACT (with reduced tRCD in the real device; nominal timing here —
+  // conservative for throughput) -> RD -> PRE.
+  if (!chan_.bank_open(c) || chan_.open_row(c) != c.row) {
+    if (chan_.bank_open(c)) {
+      const Cycle t = std::max(*now, chan_.earliest(dram::Cmd::Pre, c, *now));
+      chan_.issue(dram::Cmd::Pre, c, t);
+      *now = t + 1;
+    }
+    const Cycle t = std::max(*now, chan_.earliest(dram::Cmd::Act, c, *now));
+    chan_.issue(dram::Cmd::Act, c, t);
+    *now = t + 1;
+  }
+  const Cycle t = std::max(*now, chan_.earliest(dram::Cmd::Rd, c, *now));
+  chan_.issue(dram::Cmd::Rd, c, t);
+  *now = t + 1;
+  ++reads_issued_;
+
+  // The RNG cells of this read resolve randomly; the rest are discarded
+  // (in hardware a known mask selects them).
+  for (std::uint32_t b = 0; b < cells_per_read_ && buffered_bits_ < 64; ++b) {
+    buffer_ = (buffer_ << 1) | (noise_.next() & 1);
+    ++buffered_bits_;
+  }
+  // Close the row so the next activation re-randomizes the cells.
+  const Cycle tp = std::max(*now, chan_.earliest(dram::Cmd::Pre, c, *now));
+  chan_.issue(dram::Cmd::Pre, c, tp);
+  *now = tp + 1;
+}
+
+std::uint64_t DRangeTrng::next64(Cycle* now) {
+  while (buffered_bits_ < 64) harvest(now);
+  buffered_bits_ = 0;
+  bits_generated_ += 64;
+  const std::uint64_t out = buffer_;
+  buffer_ = 0;
+  return out;
+}
+
+double DRangeTrng::throughput_mbps(Cycle elapsed) const {
+  if (elapsed == 0) return 0.0;
+  const double seconds = chan_.config().timings.ns(elapsed) * 1e-9;
+  return static_cast<double>(bits_generated_) / seconds / 1e6;
+}
+
+}  // namespace ima::pim

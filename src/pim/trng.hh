@@ -1,0 +1,52 @@
+// D-RaNGe: true random number generation with commodity DRAM
+// (Kim et al., HPCA 2019 [34]).
+//
+// Reading a row with deliberately reduced tRCD makes a characterized
+// subset of cells ("RNG cells") resolve unpredictably — thermal noise in
+// the sense amplifiers. The generator issues real ACT/RD/PRE command
+// sequences on a channel (so throughput and interference are simulated)
+// and harvests `cells_per_read` entropy bits per column read.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "dram/channel.hh"
+
+namespace ima::pim {
+
+class DRangeTrng {
+ public:
+  /// `rng_rows`: characterized rows reserved for generation (more rows =
+  /// more bank-level pipelining). `cells_per_read`: RNG cells harvested
+  /// per 64B read (device-dependent; D-RaNGe reports tens per row segment).
+  DRangeTrng(dram::Channel& chan, std::uint32_t rng_rows = 4,
+             std::uint32_t cells_per_read = 16, std::uint64_t noise_seed = 0xD1CE);
+
+  /// Produces 64 random bits, issuing the needed DRAM commands starting no
+  /// earlier than *now; advances *now past the last command.
+  std::uint64_t next64(Cycle* now);
+
+  /// Bits per second at the channel's clock, measured over everything
+  /// generated so far.
+  double throughput_mbps(Cycle elapsed) const;
+
+  std::uint64_t bits_generated() const { return bits_generated_; }
+  std::uint64_t reads_issued() const { return reads_issued_; }
+
+ private:
+  void harvest(Cycle* now);
+
+  dram::Channel& chan_;
+  std::uint32_t rng_rows_;
+  std::uint32_t cells_per_read_;
+  Rng noise_;  // physical entropy stand-in (deterministic for simulation)
+  std::uint64_t buffer_ = 0;
+  std::uint32_t buffered_bits_ = 0;
+  std::uint32_t next_row_ = 0;
+  std::uint32_t next_col_ = 0;
+  std::uint64_t bits_generated_ = 0;
+  std::uint64_t reads_issued_ = 0;
+};
+
+}  // namespace ima::pim

@@ -1,0 +1,211 @@
+#include "pnm/kernels.hh"
+
+#include <cassert>
+#include <deque>
+#include <unordered_set>
+
+#include "common/rng.hh"
+
+namespace ima::pnm {
+
+namespace {
+/// Address within a vault: offsets wrap modulo the vault capacity so a
+/// kernel can never reference beyond the stack.
+Addr vault_addr(std::uint32_t vault, std::uint64_t vault_bytes, std::uint64_t offset) {
+  return static_cast<Addr>(vault) * vault_bytes + (offset % vault_bytes);
+}
+
+/// Appends an access, merging consecutive touches of the same line into one
+/// (the way a streaming unit or small load buffer would).
+void emit(VaultTrace& t, std::uint32_t compute, Addr addr, AccessType type) {
+  const Addr lb = line_base(addr);
+  if (!t.empty() && line_base(t.back().addr) == lb && t.back().type == type) {
+    t.back().compute += compute;
+    return;
+  }
+  t.push_back({compute, lb, type});
+}
+}  // namespace
+
+Addr GraphLayout::vertex_addr(std::uint32_t v) const {
+  const std::uint64_t per = (num_vertices + vaults - 1) / vaults;
+  const std::uint32_t own = owner(v);
+  const std::uint64_t local_idx = v - static_cast<std::uint64_t>(own) * per;
+  return vault_addr(own, vault_bytes, local_idx * 8);
+}
+
+Addr GraphLayout::adjacency_addr(std::uint32_t v, std::uint64_t edge_idx_in_v) const {
+  const std::uint64_t per = (num_vertices + vaults - 1) / vaults;
+  const std::uint32_t own = owner(v);
+  const std::uint64_t local_idx = v - static_cast<std::uint64_t>(own) * per;
+  // Adjacency region occupies the upper half of the vault; lists padded to
+  // 64 edges average (synthetic placement — only line addresses matter).
+  return vault_addr(own, vault_bytes,
+                    vault_bytes / 2 + (local_idx * 64 + edge_idx_in_v) * 4);
+}
+
+KernelTraces bfs_kernel(const workloads::CsrGraph& g, std::uint32_t source,
+                        const GraphLayout& layout) {
+  KernelTraces out;
+  out.traces.resize(layout.vaults);
+
+  std::vector<std::int32_t> depth(g.num_vertices, -1);
+  std::deque<std::uint32_t> frontier{source};
+  depth[source] = 0;
+
+  while (!frontier.empty()) {
+    const std::uint32_t u = frontier.front();
+    frontier.pop_front();
+    const std::uint32_t own = layout.owner(u);
+    VaultTrace& t = out.traces[own];
+    emit(t, 1, layout.vertex_addr(u), AccessType::Read);  // row_ptr / state
+    for (std::uint64_t i = g.row_ptr[u]; i < g.row_ptr[u + 1]; ++i) {
+      const std::uint32_t w = g.col_idx[i];
+      emit(t, 1, layout.adjacency_addr(u, i - g.row_ptr[u]), AccessType::Read);
+      // Check-and-update of the neighbour's depth: owned by w's vault.
+      emit(t, 1, layout.vertex_addr(w), AccessType::Read);
+      ++out.work_items;
+      if (depth[w] < 0) {
+        depth[w] = depth[u] + 1;
+        emit(t, 0, layout.vertex_addr(w), AccessType::Write);
+        frontier.push_back(w);
+      }
+    }
+  }
+  return out;
+}
+
+KernelTraces pagerank_kernel(const workloads::CsrGraph& g, std::uint32_t iters,
+                             const GraphLayout& layout) {
+  KernelTraces out;
+  out.traces.resize(layout.vaults);
+  for (std::uint32_t it = 0; it < iters; ++it) {
+    for (std::uint32_t u = 0; u < g.num_vertices; ++u) {
+      const std::uint32_t own = layout.owner(u);
+      VaultTrace& t = out.traces[own];
+      const auto deg = g.out_degree(u);
+      if (deg == 0) continue;
+      emit(t, 2, layout.vertex_addr(u), AccessType::Read);  // rank[u], degree
+      for (std::uint64_t i = g.row_ptr[u]; i < g.row_ptr[u + 1]; ++i) {
+        const std::uint32_t w = g.col_idx[i];
+        emit(t, 1, layout.adjacency_addr(u, i - g.row_ptr[u]), AccessType::Read);
+        emit(t, 2, layout.vertex_addr(w), AccessType::Read);   // next[w] read
+        emit(t, 1, layout.vertex_addr(w), AccessType::Write);  // next[w] +=
+        ++out.work_items;
+      }
+    }
+  }
+  return out;
+}
+
+KernelTraces gather_kernel(std::uint64_t n, double locality, std::uint32_t vaults,
+                           std::uint64_t vault_bytes, std::uint32_t compute_per_elem,
+                           std::uint64_t seed) {
+  KernelTraces out;
+  out.traces.resize(vaults);
+  Rng rng(seed);
+  // Data in the lower half of each vault, index array in the upper half.
+  const std::uint64_t region = std::min<std::uint64_t>(64ull << 20, vault_bytes / 2);
+  const std::uint64_t per_vault = n / vaults;
+  for (std::uint32_t v = 0; v < vaults; ++v) {
+    VaultTrace& t = out.traces[v];
+    for (std::uint64_t i = 0; i < per_vault; ++i) {
+      // Index-array read: sequential, always local.
+      emit(t, 1, vault_addr(v, vault_bytes, vault_bytes / 2 + i * 8), AccessType::Read);
+      // Data read: local with probability `locality`.
+      const std::uint32_t target =
+          rng.chance(locality) ? v : static_cast<std::uint32_t>(rng.next_below(vaults));
+      emit(t, compute_per_elem, vault_addr(target, vault_bytes, rng.next_below(region)),
+           AccessType::Read);
+      ++out.work_items;
+    }
+  }
+  return out;
+}
+
+KernelTraces scan_kernel(std::uint64_t bytes_per_vault, std::uint32_t vaults,
+                         std::uint64_t vault_bytes, std::uint32_t compute_per_line) {
+  KernelTraces out;
+  out.traces.resize(vaults);
+  for (std::uint32_t v = 0; v < vaults; ++v) {
+    VaultTrace& t = out.traces[v];
+    for (std::uint64_t off = 0; off < bytes_per_vault; off += kLineBytes) {
+      emit(t, compute_per_line, vault_addr(v, vault_bytes, off), AccessType::Read);
+      ++out.work_items;
+    }
+  }
+  return out;
+}
+
+KernelTraces pointer_chase_kernel(std::uint64_t steps, double locality, std::uint32_t vaults,
+                                  std::uint64_t vault_bytes, std::uint64_t seed) {
+  KernelTraces out;
+  out.traces.resize(vaults);
+  Rng rng(seed);
+  const std::uint64_t region = std::min<std::uint64_t>(64ull << 20, vault_bytes);
+  for (std::uint32_t v = 0; v < vaults; ++v) {
+    VaultTrace& t = out.traces[v];
+    Addr cur = vault_addr(v, vault_bytes, rng.next_below(region));
+    for (std::uint64_t s = 0; s < steps; ++s) {
+      emit(t, 2, cur, AccessType::Read);
+      ++out.work_items;
+      const std::uint32_t target =
+          rng.chance(locality) ? v : static_cast<std::uint32_t>(rng.next_below(vaults));
+      cur = vault_addr(target, vault_bytes, line_base(rng.next_below(region)));
+    }
+  }
+  return out;
+}
+
+KernelTraces kmer_filter_kernel(const workloads::Genome& genome, std::uint32_t k,
+                                std::uint64_t bin_size, std::uint32_t vaults,
+                                std::uint64_t vault_bytes,
+                                std::vector<std::uint32_t>* candidates_out) {
+  KernelTraces out;
+  out.traces.resize(vaults);
+  const std::uint64_t bins =
+      workloads::num_bins(genome.reference.size(), bin_size);
+
+  // Build the per-bin k-mer presence sets (the structure GRIM-Filter keeps
+  // as per-bin bitvectors in DRAM).
+  std::vector<std::unordered_set<std::uint64_t>> bin_kmers(bins);
+  for (std::uint64_t b = 0; b < bins; ++b) {
+    const std::uint64_t start = b * bin_size;
+    const std::uint64_t end = std::min<std::uint64_t>(start + bin_size + k, genome.reference.size());
+    for (std::uint64_t i = start; i + k <= end; ++i)
+      bin_kmers[b].insert(workloads::pack_kmer(genome.reference.data() + i, k));
+  }
+
+  // Bins are partitioned across vaults; a probe of (kmer, bin) reads one
+  // bit of the bin's presence bitvector.
+  const std::uint64_t bins_per_vault = (bins + vaults - 1) / vaults;
+  const std::uint64_t bitvec_bytes = (1ull << (2 * std::min(k, 14u))) / 8;  // hashed space
+
+  if (candidates_out) candidates_out->assign(genome.reads.size(), 0);
+
+  for (std::size_t r = 0; r < genome.reads.size(); ++r) {
+    const auto kmers = workloads::kmers_of(genome.reads[r], k);
+    for (std::uint64_t b = 0; b < bins; ++b) {
+      const auto vault = static_cast<std::uint32_t>(b / bins_per_vault);
+      VaultTrace& t = out.traces[vault];
+      std::uint32_t present = 0;
+      for (std::size_t i = 0; i < kmers.size(); i += k) {  // minimizer-ish sampling
+        const std::uint64_t hash = kmers[i] % (bitvec_bytes * 8);
+        const Addr a = vault_addr(vault, vault_bytes,
+                                  (b % bins_per_vault) * bitvec_bytes + hash / 8);
+        emit(t, 2, a, AccessType::Read);
+        ++out.work_items;
+        if (bin_kmers[b].count(kmers[i])) ++present;
+      }
+      const std::uint32_t probes = static_cast<std::uint32_t>((kmers.size() + k - 1) / k);
+      // >=60% of sampled k-mers present -> candidate bin. The slack absorbs
+      // sequencing errors (each error corrupts up to k of the read's
+      // k-mers) while random bins still match ~0 sampled k-mers.
+      if (candidates_out && probes > 0 && present * 10 >= probes * 6)
+        ++(*candidates_out)[r];
+    }
+  }
+  return out;
+}
+
+}  // namespace ima::pnm

@@ -1,0 +1,78 @@
+// Kernel trace generators for the PNM experiments.
+//
+// Each kernel runs functionally on the host (producing the correct result,
+// which tests validate against references) while recording the memory
+// accesses it would perform, partitioned across vaults the way the PNM
+// literature lays the data out (Tesseract-style vertex partitioning [9],
+// GRIM-Filter bin partitioning [30]). The same access list replayed through
+// PnmStack::run_pnm / run_host gives the PNM-vs-host comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pnm/stack.hh"
+#include "workloads/genome.hh"
+#include "workloads/graph.hh"
+
+namespace ima::pnm {
+
+struct KernelTraces {
+  std::vector<VaultTrace> traces;       // one per vault
+  std::uint64_t work_items = 0;         // edges / elements / probes
+  std::uint64_t total_accesses() const {
+    std::uint64_t n = 0;
+    for (const auto& t : traces) n += t.size();
+    return n;
+  }
+};
+
+/// Graph data layout inside the stack: vault v owns vertices
+/// [v*V/vaults, (v+1)*V/vaults) — their vertex data and adjacency lists.
+struct GraphLayout {
+  std::uint32_t vaults;
+  std::uint64_t vault_bytes;
+  std::uint32_t num_vertices;
+
+  std::uint32_t owner(std::uint32_t v) const {
+    const std::uint64_t per = (num_vertices + vaults - 1) / vaults;
+    return static_cast<std::uint32_t>(v / per);
+  }
+  Addr vertex_addr(std::uint32_t v) const;   // 8B vertex record
+  Addr adjacency_addr(std::uint32_t v, std::uint64_t edge_idx_in_v) const;
+};
+
+/// One full BFS from `source`; 2 compute instructions per edge.
+KernelTraces bfs_kernel(const workloads::CsrGraph& g, std::uint32_t source,
+                        const GraphLayout& layout);
+
+/// `iters` PageRank iterations; 4 compute instructions per edge.
+KernelTraces pagerank_kernel(const workloads::CsrGraph& g, std::uint32_t iters,
+                             const GraphLayout& layout);
+
+/// Gather: `n` reads data[idx[i]] with zipf-skewed idx, data partitioned
+/// across vaults; `locality` = probability the target lies in the local
+/// vault partition (sweep parameter for the offload study).
+KernelTraces gather_kernel(std::uint64_t n, double locality, std::uint32_t vaults,
+                           std::uint64_t vault_bytes, std::uint32_t compute_per_elem,
+                           std::uint64_t seed = 1);
+
+/// Sequential scan+filter over `bytes` per vault, `compute_per_line` work.
+KernelTraces scan_kernel(std::uint64_t bytes_per_vault, std::uint32_t vaults,
+                         std::uint64_t vault_bytes, std::uint32_t compute_per_line);
+
+/// Dependent pointer chase of `steps` per vault; `locality` = probability
+/// the next pointer stays in the local vault.
+KernelTraces pointer_chase_kernel(std::uint64_t steps, double locality, std::uint32_t vaults,
+                                  std::uint64_t vault_bytes, std::uint64_t seed = 1);
+
+/// GRIM-Filter-style k-mer bin probing: for each read, probe the presence
+/// bitvectors of its k-mers in every candidate bin. Returns (via traces)
+/// the random-probe-dominated access pattern. Also computes functionally
+/// the per-read candidate-bin counts into `candidates_out` when non-null.
+KernelTraces kmer_filter_kernel(const workloads::Genome& genome, std::uint32_t k,
+                                std::uint64_t bin_size, std::uint32_t vaults,
+                                std::uint64_t vault_bytes,
+                                std::vector<std::uint32_t>* candidates_out = nullptr);
+
+}  // namespace ima::pnm

@@ -1,0 +1,148 @@
+#include "pnm/stack.hh"
+
+#include <cassert>
+
+namespace ima::pnm {
+
+PnmStack::PnmStack(const PnmConfig& cfg) : cfg_(cfg) {}
+
+PnmStack::RunResult PnmStack::run_pnm(const std::vector<VaultTrace>& traces, Cycle max_cycles) {
+  assert(traces.size() == cfg_.vaults);
+  return run_traces(traces, /*near_memory=*/true, max_cycles);
+}
+
+PnmStack::RunResult PnmStack::run_host(const std::vector<VaultTrace>& traces,
+                                       std::uint32_t host_cores, Cycle max_cycles) {
+  // Merge the per-vault work and deal it round-robin to the host cores —
+  // same total work, executed from across the off-package link.
+  std::vector<VaultTrace> per_core(host_cores);
+  std::size_t next = 0;
+  for (const auto& t : traces)
+    for (const auto& a : t) per_core[next++ % host_cores].push_back(a);
+  return run_traces(per_core, /*near_memory=*/false, max_cycles);
+}
+
+PnmStack::RunResult PnmStack::run_traces(const std::vector<VaultTrace>& per_core,
+                                         bool near_memory, Cycle max_cycles) {
+  // Fresh vault state per run.
+  std::vector<std::unique_ptr<mem::MemorySystem>> vaults;
+  for (std::uint32_t v = 0; v < cfg_.vaults; ++v)
+    vaults.push_back(std::make_unique<mem::MemorySystem>(cfg_.vault_dram, cfg_.ctrl));
+
+  const std::uint32_t width = near_memory ? cfg_.core_width : cfg_.host_core_width;
+  const std::uint32_t mlp = near_memory ? cfg_.pnm_mlp : cfg_.host_mlp;
+
+  struct CoreState {
+    std::size_t idx = 0;           // next trace entry
+    std::uint32_t compute_left = 0;
+    bool primed = false;
+    std::uint32_t outstanding = 0;          // in-flight reads
+    std::vector<Cycle> releases;            // data-return cycles (incl. link/NoC)
+  };
+  std::vector<CoreState> cores(per_core.size());
+
+  RunResult res;
+  std::uint64_t noc_lines = 0;
+  std::uint64_t host_lines = 0;
+  Cycle link_free = 0;  // off-package link occupancy (host mode)
+
+  Cycle now = 0;
+  for (; now < max_cycles; ++now) {
+    for (auto& v : vaults) v->tick(now);
+
+    bool all_done = true;
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+      CoreState& cs = cores[i];
+      // Retire reads whose data (including link/NoC transit) has arrived.
+      for (std::size_t r = 0; r < cs.releases.size();) {
+        if (cs.releases[r] <= now) {
+          cs.releases[r] = cs.releases.back();
+          cs.releases.pop_back();
+          if (cs.outstanding > 0) --cs.outstanding;
+        } else {
+          ++r;
+        }
+      }
+      const VaultTrace& trace = per_core[i];
+      if (cs.idx >= trace.size()) {
+        if (cs.outstanding > 0) all_done = false;
+        continue;
+      }
+      all_done = false;
+
+      const PnmAccess& a = trace[cs.idx];
+      if (!cs.primed) {
+        cs.compute_left = a.compute;
+        cs.primed = true;
+      }
+      if (cs.compute_left > 0) {
+        const std::uint32_t n = std::min(cs.compute_left, width);
+        cs.compute_left -= n;
+        res.instructions += n;
+        continue;
+      }
+
+      // Miss window full: stall until a completion drains.
+      if (cs.outstanding >= mlp) continue;
+
+      const std::uint32_t target_vault = vault_of(a.addr) % cfg_.vaults;
+      mem::MemorySystem& vmem = *vaults[target_vault];
+      const Addr laddr = local_addr(a.addr);
+      if (!vmem.can_accept(laddr, a.type)) continue;  // controller queue full
+
+      Cycle extra = 0;
+      if (!near_memory) {
+        // Off-package link is a shared, bandwidth-limited resource.
+        if (link_free > now + cfg_.host_link_cycles_per_line * 4) continue;
+        link_free = std::max(link_free, now) + cfg_.host_link_cycles_per_line;
+        ++host_lines;
+        ++res.remote_accesses;
+        extra = cfg_.host_link_latency;
+      } else {
+        const bool local = target_vault == (i % cfg_.vaults);
+        if (local) {
+          ++res.local_accesses;
+        } else {
+          ++res.remote_accesses;
+          ++noc_lines;
+          extra = cfg_.remote_hop_latency;
+        }
+      }
+
+      mem::Request req;
+      req.addr = laddr;
+      req.type = a.type;
+      req.core = static_cast<std::uint32_t>(i % 64);
+      req.arrive = now;
+      const bool is_read = a.type == AccessType::Read;
+      if (is_read) {
+        ++cs.outstanding;
+        const bool ok = vmem.enqueue(req, [&cs, extra](const mem::Request& done) {
+          cs.releases.push_back(done.complete + extra);
+        });
+        if (!ok) {
+          --cs.outstanding;
+          continue;
+        }
+      } else {
+        if (!vmem.enqueue(req)) continue;
+      }
+
+      ++res.instructions;
+      ++cs.idx;
+      cs.primed = false;
+    }
+
+    if (all_done) break;
+  }
+
+  res.cycles = now;
+  for (auto& v : vaults) res.energy += v->total_energy(now);
+  res.energy += static_cast<double>(noc_lines) * cfg_.e_noc_per_line;
+  res.energy += static_cast<double>(host_lines) * cfg_.e_host_link_per_line;
+  res.energy += static_cast<double>(res.instructions) *
+                (near_memory ? cfg_.e_pnm_instr : cfg_.e_host_instr);
+  return res;
+}
+
+}  // namespace ima::pnm

@@ -1,0 +1,100 @@
+// Processing-Near-Memory: 3D-stacked memory with logic-layer cores.
+//
+// The stack is modeled as `vaults` independent DRAM channels (HBM/HMC-like
+// timing/energy) each with its own controller, one simple in-order PNM core
+// per vault on the logic layer, and a vault-to-vault NoC for remote
+// accesses (Tesseract-style [9]). Host access to the same stack pays the
+// off-package link latency and energy; PNM cores access their vault
+// directly — that asymmetry is the entire PNM argument.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/core.hh"
+#include "dram/config.hh"
+#include "mem/memsys.hh"
+
+namespace ima::pnm {
+
+struct PnmConfig {
+  std::uint32_t vaults = 16;
+  dram::DramConfig vault_dram = dram::DramConfig::hbm_stack_channel();
+  mem::ControllerConfig ctrl;
+
+  // PNM logic-layer cores: narrow in-order, with a small prefetch/miss
+  // buffer (Tesseract pairs its cores with list prefetchers).
+  std::uint32_t core_width = 1;
+  std::uint32_t pnm_mlp = 4;
+
+  // Host cores: wide OoO with a deep miss window — individually much
+  // stronger than a PNM core. The stack's advantage is bandwidth/latency,
+  // not core quality, so the baseline must not be strawmanned.
+  std::uint32_t host_core_width = 4;
+  std::uint32_t host_mlp = 8;
+
+  Cycle remote_hop_latency = 24;         // vault-to-vault NoC round trip
+  Cycle host_link_latency = 40;          // host SoC <-> stack round trip
+  // Off-package pin bandwidth: cycles of link occupancy per 64B line
+  // (~21GB/s at a 1GHz controller clock — one DDR4 channel equivalent).
+  // The aggregate internal vault bandwidth is far higher — the PIM
+  // "top-down pull" in one number.
+  Cycle host_link_cycles_per_line = 3;
+
+  PicoJoule e_noc_per_line = 180.0;      // in-stack network transfer
+  PicoJoule e_host_link_per_line = 1900.0;  // off-package SerDes transfer
+  PicoJoule e_pnm_instr = 120.0;         // simple core, no big OoO structures
+  PicoJoule e_host_instr = 300.0;        // host core energy per instruction
+};
+
+/// One terminating per-vault work list: each entry is compute then access.
+struct PnmAccess {
+  std::uint32_t compute = 0;
+  Addr addr = 0;  // stack-global address; vault = addr / vault_bytes
+  AccessType type = AccessType::Read;
+};
+
+using VaultTrace = std::vector<PnmAccess>;
+
+/// The memory stack plus its logic-layer cores.
+class PnmStack {
+ public:
+  explicit PnmStack(const PnmConfig& cfg);
+
+  std::uint64_t vault_bytes() const { return cfg_.vault_dram.geometry.total_bytes(); }
+  std::uint64_t total_bytes() const { return vault_bytes() * cfg_.vaults; }
+  std::uint32_t vault_of(Addr addr) const {
+    return static_cast<std::uint32_t>(addr / vault_bytes());
+  }
+  Addr local_addr(Addr addr) const { return addr % vault_bytes(); }
+
+  /// Runs one trace per vault to completion on the PNM cores.
+  /// Returns total cycles.
+  struct RunResult {
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t local_accesses = 0;
+    std::uint64_t remote_accesses = 0;
+    PicoJoule energy = 0;
+  };
+  RunResult run_pnm(const std::vector<VaultTrace>& traces, Cycle max_cycles = 2'000'000'000);
+
+  /// Runs the union of the traces on `host_cores` host-side cores through
+  /// the off-package link (round-robin interleaved), no caches — the
+  /// stream-through baseline. Returns the same metrics.
+  RunResult run_host(const std::vector<VaultTrace>& traces, std::uint32_t host_cores,
+                     Cycle max_cycles = 2'000'000'000);
+
+  const PnmConfig& config() const { return cfg_; }
+
+ private:
+  // Each run builds fresh vault state so successive runs are independent.
+  RunResult run_traces(const std::vector<VaultTrace>& per_core, bool near_memory,
+                       Cycle max_cycles);
+
+  PnmConfig cfg_;
+};
+
+}  // namespace ima::pnm

@@ -1,0 +1,253 @@
+#include "sim/system.hh"
+
+#include <cassert>
+
+namespace ima::sim {
+
+const char* to_string(PrefetchKind k) {
+  switch (k) {
+    case PrefetchKind::None: return "none";
+    case PrefetchKind::NextLine: return "next-line";
+    case PrefetchKind::Stride: return "stride";
+    case PrefetchKind::Ghb: return "ghb-delta";
+    case PrefetchKind::FilteredStride: return "filtered-stride";
+    case PrefetchKind::Feedback: return "feedback-stride";
+  }
+  return "?";
+}
+
+System::System(const SystemConfig& cfg,
+               std::vector<std::unique_ptr<workloads::AccessStream>> streams)
+    : cfg_(cfg) {
+  assert(streams.size() == cfg.num_cores);
+  mem_ = std::make_unique<mem::MemorySystem>(cfg.dram, cfg.ctrl, cfg.map);
+  for (std::uint32_t i = 0; i < cfg.num_cores; ++i) {
+    cache::CacheConfig l1cfg = cfg.l1;
+    l1cfg.seed = cfg.l1.seed + i;
+    l1s_.push_back(std::make_unique<cache::Cache>(l1cfg));
+  }
+  l2_ = std::make_unique<cache::Cache>(cfg.l2);
+
+  switch (cfg.prefetch) {
+    case PrefetchKind::None: prefetcher_ = cache::make_no_prefetcher(); break;
+    case PrefetchKind::NextLine: prefetcher_ = cache::make_next_line(2); break;
+    case PrefetchKind::Stride: prefetcher_ = cache::make_stride(); break;
+    case PrefetchKind::Ghb: prefetcher_ = cache::make_ghb_delta(); break;
+    case PrefetchKind::FilteredStride: {
+      auto filtered = std::make_unique<cache::FilteredPrefetcher>(cache::make_stride());
+      trainable_ = filtered.get();
+      prefetcher_ = std::move(filtered);
+      break;
+    }
+    case PrefetchKind::Feedback: {
+      auto fb = std::make_unique<cache::FeedbackPrefetcher>();
+      trainable_ = fb.get();
+      prefetcher_ = std::move(fb);
+      break;
+    }
+  }
+
+  for (std::uint32_t i = 0; i < cfg.num_cores; ++i)
+    cores_.push_back(std::make_unique<core::SimpleCore>(i, std::move(streams[i]), *this, cfg.core));
+}
+
+void System::enqueue_mem_write(Addr addr) {
+  mem::Request wr;
+  wr.addr = addr;
+  wr.type = AccessType::Write;
+  wr.core = 0;  // writebacks are not attributed to a core
+  wr.arrive = now_;
+  if (!mem_->can_accept(addr, AccessType::Write) || !mem_->enqueue(wr)) {
+    pending_writes_.push_back(addr);
+  }
+}
+
+void System::flush_pending_writes() {
+  while (!pending_writes_.empty()) {
+    const Addr a = pending_writes_.front();
+    mem::Request wr;
+    wr.addr = a;
+    wr.type = AccessType::Write;
+    wr.arrive = now_;
+    if (!mem_->can_accept(a, AccessType::Write) || !mem_->enqueue(wr)) return;
+    pending_writes_.pop_front();
+  }
+}
+
+void System::handle_l1_victim(std::uint32_t /*core*/, const cache::Cache::FillResult& fr) {
+  if (!fr.evicted || !fr.evicted_dirty) return;
+  // Dirty L1 victim writes back into L2; its own victim may cascade to DRAM.
+  const auto l2fr = l2_->fill(*fr.evicted, /*dirty=*/true);
+  if (l2fr.evicted) {
+    if (prefetched_.erase(*l2fr.evicted) > 0) {
+      ++pf_stats_.useless;
+      if (trainable_) {
+        const auto pc_it = prefetch_pc_.find(*l2fr.evicted);
+        trainable_->notify_useless(*l2fr.evicted, pc_it == prefetch_pc_.end() ? 0 : pc_it->second);
+        if (pc_it != prefetch_pc_.end()) prefetch_pc_.erase(pc_it);
+      }
+    }
+    if (l2fr.evicted_dirty) enqueue_mem_write(*l2fr.evicted);
+  }
+}
+
+void System::issue_prefetches(Addr addr, std::uint64_t pc, bool was_miss) {
+  std::vector<cache::PrefetchRequest> candidates;
+  prefetcher_->observe(addr, pc, was_miss, candidates);
+  for (const auto& c : candidates) {
+    const Addr line = line_base(c.addr);
+    if (l2_->contains(line)) continue;
+    if (!mem_->can_accept(line, AccessType::Read)) continue;
+    mem::Request pf;
+    pf.addr = line;
+    pf.type = AccessType::Read;
+    pf.is_prefetch = true;
+    pf.arrive = now_;
+    const std::uint64_t cpc = c.pc;
+    const bool ok = mem_->enqueue(pf, [this, line, cpc](const mem::Request&) {
+      const auto fr = l2_->fill(line, /*dirty=*/false);
+      prefetched_.insert(line);
+      prefetch_pc_[line] = cpc;
+      if (fr.evicted) {
+        if (prefetched_.erase(*fr.evicted) > 0) {
+          ++pf_stats_.useless;
+          if (trainable_) {
+            const auto pc_it = prefetch_pc_.find(*fr.evicted);
+            trainable_->notify_useless(*fr.evicted,
+                                      pc_it == prefetch_pc_.end() ? 0 : pc_it->second);
+            if (pc_it != prefetch_pc_.end()) prefetch_pc_.erase(pc_it);
+          }
+        }
+        if (fr.evicted_dirty) enqueue_mem_write(*fr.evicted);
+      }
+    });
+    if (ok) ++pf_stats_.issued;
+  }
+}
+
+std::optional<Cycle> System::issue(std::uint32_t core, const workloads::TraceEntry& access,
+                                   Cycle now, std::function<void(Cycle)> done,
+                                   bool speculative) {
+  const Addr line = line_base(access.addr);
+  cache::Cache& l1 = *l1s_[core];
+
+  if (speculative) {
+    // Runahead prefetch: warm the L2 without touching architected state.
+    if (l1.contains(line) || l2_->contains(line)) return now + 1;
+    if (!mem_->can_accept(line, AccessType::Read)) return std::nullopt;
+    mem::Request pf;
+    pf.addr = line;
+    pf.type = AccessType::Read;
+    pf.core = core;
+    pf.is_prefetch = true;
+    pf.arrive = now;
+    const bool ok = mem_->enqueue(pf, [this, line](const mem::Request&) {
+      const auto fr = l2_->fill(line, /*dirty=*/false);
+      if (fr.evicted && fr.evicted_dirty) enqueue_mem_write(*fr.evicted);
+    });
+    if (!ok) return std::nullopt;
+    return now + 1;
+  }
+
+  // Peek whether this will need a DRAM read before mutating cache state, so
+  // a full memory queue can be reported as "retry" without side effects.
+  const bool l1_would_hit = l1.contains(line);
+  const bool l2_would_hit = l2_->contains(line);
+  const bool needs_dram_read =
+      access.type == AccessType::Read && !l1_would_hit && !l2_would_hit;
+  if (needs_dram_read && !mem_->can_accept(line, AccessType::Read)) return std::nullopt;
+
+  const auto l1res = l1.access(line, access.type);
+  if (l1res.hit) return now + cfg_.l1.hit_latency;
+  handle_l1_victim(core, l1res.fill);
+
+  if (access.type == AccessType::Write) {
+    // No-fetch write allocate: the L1 line is now valid+dirty; nothing else
+    // to do. (Write data reaches DRAM via the writeback chain.)
+    issue_prefetches(line, access.pc, /*was_miss=*/!l2_would_hit);
+    return now + cfg_.l1.hit_latency;
+  }
+
+  const auto l2res = l2_->access(line, AccessType::Read);
+  if (l2res.hit) {
+    if (prefetched_.erase(line) > 0) {
+      ++pf_stats_.useful;
+      if (trainable_) {
+        const auto pc_it = prefetch_pc_.find(line);
+        trainable_->notify_useful(line, pc_it == prefetch_pc_.end() ? 0 : pc_it->second);
+        if (pc_it != prefetch_pc_.end()) prefetch_pc_.erase(pc_it);
+      }
+    }
+    issue_prefetches(line, access.pc, /*was_miss=*/false);
+    return now + cfg_.l2.hit_latency;
+  }
+  if (l2res.fill.evicted) {
+    if (prefetched_.erase(*l2res.fill.evicted) > 0) {
+      ++pf_stats_.useless;
+      if (trainable_) {
+        const auto pc_it = prefetch_pc_.find(*l2res.fill.evicted);
+        trainable_->notify_useless(*l2res.fill.evicted,
+                                  pc_it == prefetch_pc_.end() ? 0 : pc_it->second);
+        if (pc_it != prefetch_pc_.end()) prefetch_pc_.erase(pc_it);
+      }
+    }
+    if (l2res.fill.evicted_dirty) enqueue_mem_write(*l2res.fill.evicted);
+  }
+
+  issue_prefetches(line, access.pc, /*was_miss=*/true);
+
+  mem::Request rd;
+  rd.addr = line;
+  rd.type = AccessType::Read;
+  rd.core = core;
+  rd.arrive = now;
+  const Cycle l2lat = cfg_.l2.hit_latency;
+  const bool ok = mem_->enqueue(rd, [done = std::move(done), l2lat](const mem::Request& r) {
+    done(r.complete + l2lat);
+  });
+  assert(ok && "can_accept was checked above");
+  (void)ok;
+  return kCycleNever;
+}
+
+Cycle System::run(Cycle max_cycles) {
+  for (; now_ < max_cycles; ++now_) {
+    mem_->tick(now_);
+    flush_pending_writes();
+    bool all_done = true;
+    for (auto& c : cores_) {
+      c->tick(now_);
+      all_done = all_done && c->done();
+    }
+    if (all_done) break;
+  }
+  return now_;
+}
+
+System::EnergyBreakdown System::energy() const {
+  EnergyBreakdown e;
+  std::uint64_t instrs = 0;
+  for (const auto& c : cores_) instrs += c->stats().instructions;
+  e.compute = static_cast<double>(instrs) * cfg_.e_instr;
+
+  std::uint64_t l1_accesses = 0;
+  for (const auto& c : l1s_) l1_accesses += c->stats().hits + c->stats().misses;
+  const std::uint64_t l2_accesses = l2_->stats().hits + l2_->stats().misses;
+  e.cache = static_cast<double>(l1_accesses) * cfg_.e_l1_access +
+            static_cast<double>(l2_accesses) * cfg_.e_l2_access;
+
+  for (std::uint32_t ch = 0; ch < mem_->num_channels(); ++ch) {
+    e.dram_dynamic += mem_->controller(ch).channel().stats().cmd_energy;
+    e.dram_background += mem_->controller(ch).channel().background_energy(now_);
+  }
+  return e;
+}
+
+std::vector<double> System::core_ipcs() const {
+  std::vector<double> out;
+  out.reserve(cores_.size());
+  for (const auto& c : cores_) out.push_back(c->stats().ipc(now_ ? now_ : 1));
+  return out;
+}
+
+}  // namespace ima::sim

@@ -1,0 +1,109 @@
+// Full-system wiring: trace-driven cores -> private L1s -> shared L2 ->
+// memory controller(s) -> DRAM, with optional prefetching, plus the
+// system-level energy accounting used by the data-movement experiments.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/prefetch.hh"
+#include "core/core.hh"
+#include "mem/memsys.hh"
+#include "workloads/stream.hh"
+
+namespace ima::sim {
+
+enum class PrefetchKind : std::uint8_t { None, NextLine, Stride, Ghb, FilteredStride, Feedback };
+
+const char* to_string(PrefetchKind k);
+
+struct SystemConfig {
+  dram::DramConfig dram = dram::DramConfig::ddr4_2400();
+  mem::ControllerConfig ctrl;
+  dram::MapScheme map = dram::MapScheme::RoBaRaCoCh;
+  std::uint32_t num_cores = 4;
+  core::CoreConfig core;
+  cache::CacheConfig l1 = {.name = "L1", .size_bytes = 32 * 1024, .ways = 8,
+                           .repl = cache::ReplPolicy::Lru, .hit_latency = 4};
+  cache::CacheConfig l2 = {.name = "L2", .size_bytes = 2 * 1024 * 1024, .ways = 16,
+                           .repl = cache::ReplPolicy::Lru, .hit_latency = 24};
+  PrefetchKind prefetch = PrefetchKind::None;
+
+  // Energy model (pJ). Core energy per instruction covers fetch/decode/ALU;
+  // movement energy is the caches + DRAM + off-chip bus.
+  PicoJoule e_instr = 300.0;
+  PicoJoule e_l1_access = 12.0;
+  PicoJoule e_l2_access = 55.0;
+};
+
+class System final : public core::MemoryPort {
+ public:
+  /// One stream per core (cfg.num_cores of them).
+  System(const SystemConfig& cfg,
+         std::vector<std::unique_ptr<workloads::AccessStream>> streams);
+
+  /// Runs until every core hits its instruction limit or `max_cycles`
+  /// elapses. Returns the final cycle count.
+  Cycle run(Cycle max_cycles);
+
+  // MemoryPort
+  std::optional<Cycle> issue(std::uint32_t core, const workloads::TraceEntry& access, Cycle now,
+                             std::function<void(Cycle)> done,
+                             bool speculative = false) override;
+
+  const core::SimpleCore& core_at(std::uint32_t i) const { return *cores_[i]; }
+  const cache::Cache& l1(std::uint32_t i) const { return *l1s_[i]; }
+  const cache::Cache& l2() const { return *l2_; }
+  mem::MemorySystem& memory() { return *mem_; }
+  const mem::MemorySystem& memory() const { return *mem_; }
+  Cycle now() const { return now_; }
+
+  struct EnergyBreakdown {
+    PicoJoule compute = 0;
+    PicoJoule cache = 0;
+    PicoJoule dram_dynamic = 0;
+    PicoJoule dram_background = 0;
+    PicoJoule total() const { return compute + cache + dram_dynamic + dram_background; }
+    double movement_fraction() const {
+      const PicoJoule t = total();
+      return t > 0 ? (cache + dram_dynamic + dram_background) / t : 0.0;
+    }
+  };
+  EnergyBreakdown energy() const;
+
+  struct PrefetchStats {
+    std::uint64_t issued = 0;
+    std::uint64_t useful = 0;
+    std::uint64_t useless = 0;
+    std::uint64_t dropped_by_filter = 0;
+  };
+  const PrefetchStats& prefetch_stats() const { return pf_stats_; }
+
+  /// Per-core IPC over the whole run.
+  std::vector<double> core_ipcs() const;
+
+ private:
+  void handle_l1_victim(std::uint32_t core, const cache::Cache::FillResult& fr);
+  void enqueue_mem_write(Addr addr);
+  void issue_prefetches(Addr addr, std::uint64_t pc, bool was_miss);
+  void flush_pending_writes();
+
+  SystemConfig cfg_;
+  std::unique_ptr<mem::MemorySystem> mem_;
+  std::vector<std::unique_ptr<cache::Cache>> l1s_;
+  std::unique_ptr<cache::Cache> l2_;
+  std::vector<std::unique_ptr<core::SimpleCore>> cores_;
+  std::unique_ptr<cache::Prefetcher> prefetcher_;
+  cache::TrainablePrefetcher* trainable_ = nullptr;  // non-owning view when enabled
+
+  std::deque<Addr> pending_writes_;       // writebacks awaiting queue space
+  std::unordered_set<Addr> prefetched_;   // L2 lines filled by prefetch, untouched
+  std::unordered_map<Addr, std::uint64_t> prefetch_pc_;  // training context
+  PrefetchStats pf_stats_;
+  Cycle now_ = 0;
+};
+
+}  // namespace ima::sim

@@ -1,0 +1,128 @@
+#include "vm/vm.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bits.hh"
+
+namespace ima::vm {
+
+Tlb::Tlb(std::uint32_t entries, std::uint32_t ways)
+    : sets_(entries / ways), ways_(ways), entries_(entries) {
+  assert(ways > 0 && entries % ways == 0 && is_pow2(sets_));
+}
+
+bool Tlb::lookup(std::uint64_t vpn) {
+  const std::uint32_t set = static_cast<std::uint32_t>(vpn) & (sets_ - 1);
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Entry& e = entries_[static_cast<std::size_t>(set) * ways_ + w];
+    if (e.valid && e.vpn == vpn) {
+      e.lru = ++clock_;
+      ++stats_.hits;
+      return true;
+    }
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void Tlb::insert(std::uint64_t vpn) {
+  const std::uint32_t set = static_cast<std::uint32_t>(vpn) & (sets_ - 1);
+  Entry* victim = &entries_[static_cast<std::size_t>(set) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Entry& e = entries_[static_cast<std::size_t>(set) * ways_ + w];
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (e.lru < victim->lru) victim = &e;
+  }
+  victim->valid = true;
+  victim->vpn = vpn;
+  victim->lru = ++clock_;
+}
+
+PageTableWalker::PageTableWalker(std::uint32_t levels, MemCostFn mem_cost, bool walk_cache)
+    : levels_(levels), mem_cost_(std::move(mem_cost)), walk_cache_(walk_cache),
+      pwc_(levels) {}
+
+Cycle PageTableWalker::walk(std::uint64_t vpn) {
+  ++walks_;
+  Cycle total = 0;
+  // Level 0 is the leaf (always fetched); upper levels are indexed by
+  // successively shorter vpn prefixes and cached in small per-level PWCs.
+  for (std::uint32_t level = levels_; level-- > 0;) {
+    const std::uint64_t prefix = vpn >> (9 * level);
+    if (walk_cache_ && level > 0) {
+      auto& cache = pwc_[level];
+      if (cache.count(prefix)) continue;  // PWC hit: no memory access
+      // Bounded PWC: 32 entries per level, random-ish eviction.
+      if (cache.size() >= 32) cache.erase(cache.begin());
+      cache.emplace(prefix, ++pwc_clock_);
+    }
+    ++accesses_;
+    total += mem_cost_(prefix * 8);
+  }
+  return total;
+}
+
+const char* to_string(TranslationMode m) {
+  switch (m) {
+    case TranslationMode::Radix4K: return "radix-4K";
+    case TranslationMode::Radix2M: return "radix-2M";
+    case TranslationMode::Vbi: return "VBI";
+  }
+  return "?";
+}
+
+Mmu::Mmu(const Config& cfg, MemCostFn mem_cost)
+    : cfg_(cfg),
+      tlb_(cfg.tlb_entries, cfg.tlb_ways),
+      walker_(cfg.mode == TranslationMode::Radix2M ? 3 : 4, std::move(mem_cost)) {}
+
+void Mmu::add_block(Addr vbase, std::uint64_t size, Addr pbase) {
+  blocks_.push_back({vbase, size, pbase});
+}
+
+Addr Mmu::frame_of(std::uint64_t vpn) {
+  auto [it, fresh] = frames_.try_emplace(vpn, next_frame_);
+  if (fresh) ++next_frame_;
+  return it->second;
+}
+
+Mmu::Result Mmu::translate(Addr vaddr) {
+  ++stats_.accesses;
+  Result res;
+
+  if (cfg_.mode == TranslationMode::Vbi) {
+    // Base+bound registry: per-block state, constant-time lookup.
+    for (const auto& b : blocks_) {
+      if (vaddr >= b.vbase && vaddr < b.vbase + b.size) {
+        res.paddr = b.pbase + (vaddr - b.vbase);
+        res.cycles = cfg_.vbi_lookup_cycles;
+        stats_.translation_cycles += res.cycles;
+        return res;
+      }
+    }
+    res.fault = true;
+    return res;
+  }
+
+  const std::uint64_t bits = page_bits();
+  const std::uint64_t vpn = vaddr >> bits;
+  const Addr offset = vaddr & ((1ull << bits) - 1);
+
+  res.cycles = cfg_.tlb_hit_cycles;
+  if (!tlb_.lookup(vpn)) {
+    ++stats_.tlb_misses;
+    const std::uint64_t before = walker_.memory_accesses();
+    res.cycles += walker_.walk(vpn);
+    stats_.walk_memory_accesses += walker_.memory_accesses() - before;
+    tlb_.insert(vpn);
+  }
+  res.paddr = (frame_of(vpn) << bits) | offset;
+  stats_.translation_cycles += res.cycles;
+  return res;
+}
+
+}  // namespace ima::vm

@@ -1,0 +1,138 @@
+// Virtual memory translation: conventional radix paging vs the Virtual
+// Block Interface (Hajinazar et al., ISCA 2020 [56]) — the paper's
+// data-aware pillar applied to the oldest cross-layer interface of all.
+//
+// Conventional translation pays per-page: TLB capacity misses trigger
+// multi-level page walks (memory accesses). VBI replaces fine-grained
+// pages with variable-size virtual blocks translated by base+bound in the
+// memory controller — translation state is per *block*, so the cost is a
+// registry lookup that effectively never misses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ima::vm {
+
+/// Set-associative TLB with LRU replacement. Tags are virtual page numbers;
+/// the frame mapping itself lives in the page table (deterministic here).
+class Tlb {
+ public:
+  Tlb(std::uint32_t entries, std::uint32_t ways);
+
+  bool lookup(std::uint64_t vpn);   // true = hit (updates LRU)
+  void insert(std::uint64_t vpn);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    double miss_rate() const {
+      const auto t = hits + misses;
+      return t ? static_cast<double>(misses) / static_cast<double>(t) : 0.0;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    std::uint64_t vpn = 0;
+    std::uint64_t lru = 0;
+  };
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::vector<Entry> entries_;
+  std::uint64_t clock_ = 0;
+  Stats stats_;
+};
+
+/// Cost model hook: cycles to fetch one page-table entry from memory
+/// (or from a cache level, as the caller models it).
+using MemCostFn = std::function<Cycle(Addr)>;
+
+/// Radix page-table walker with page-walk caches for the upper levels.
+class PageTableWalker {
+ public:
+  PageTableWalker(std::uint32_t levels, MemCostFn mem_cost, bool walk_cache = true);
+
+  /// Walks the table for `vpn`; returns total cycles and counts accesses.
+  Cycle walk(std::uint64_t vpn);
+
+  std::uint64_t walks() const { return walks_; }
+  std::uint64_t memory_accesses() const { return accesses_; }
+
+ private:
+  std::uint32_t levels_;
+  MemCostFn mem_cost_;
+  bool walk_cache_;
+  // Page-walk cache: recently used upper-level entries (vpn prefix -> hit).
+  std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> pwc_;
+  std::uint64_t pwc_clock_ = 0;
+  std::uint64_t walks_ = 0;
+  std::uint64_t accesses_ = 0;
+};
+
+enum class TranslationMode : std::uint8_t { Radix4K, Radix2M, Vbi };
+
+const char* to_string(TranslationMode m);
+
+/// The MMU facade: translates virtual addresses under one of the modes and
+/// accounts translation cycles.
+class Mmu {
+ public:
+  struct Config {
+    TranslationMode mode = TranslationMode::Radix4K;
+    std::uint32_t tlb_entries = 64;
+    std::uint32_t tlb_ways = 4;
+    Cycle tlb_hit_cycles = 1;
+    Cycle vbi_lookup_cycles = 2;  // base+bound check in the controller
+  };
+
+  Mmu(const Config& cfg, MemCostFn mem_cost);
+
+  /// Registers a VBI block (required before translating in Vbi mode).
+  void add_block(Addr vbase, std::uint64_t size, Addr pbase);
+
+  struct Result {
+    Addr paddr = 0;
+    Cycle cycles = 0;   // translation cost only
+    bool fault = false; // VBI bound violation / unmapped
+  };
+  Result translate(Addr vaddr);
+
+  struct Stats {
+    std::uint64_t accesses = 0;
+    std::uint64_t tlb_misses = 0;
+    std::uint64_t walk_memory_accesses = 0;
+    Cycle translation_cycles = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const Tlb& tlb() const { return tlb_; }
+
+  std::uint64_t page_bits() const {
+    return cfg_.mode == TranslationMode::Radix2M ? 21 : 12;
+  }
+
+ private:
+  Addr frame_of(std::uint64_t vpn);
+
+  Config cfg_;
+  Tlb tlb_;
+  PageTableWalker walker_;
+  std::unordered_map<std::uint64_t, std::uint64_t> frames_;  // vpn -> pfn
+  std::uint64_t next_frame_ = 1;
+  struct Block {
+    Addr vbase;
+    std::uint64_t size;
+    Addr pbase;
+  };
+  std::vector<Block> blocks_;
+  Stats stats_;
+};
+
+}  // namespace ima::vm

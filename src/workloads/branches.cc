@@ -1,0 +1,85 @@
+#include "workloads/branches.hh"
+
+#include <deque>
+
+#include "common/rng.hh"
+
+namespace ima::workloads {
+
+const char* to_string(BranchPattern p) {
+  switch (p) {
+    case BranchPattern::Biased: return "biased-90";
+    case BranchPattern::Loop: return "loop-exit";
+    case BranchPattern::LongLinear: return "long-linear";
+    case BranchPattern::MajorityHist: return "majority-hist";
+    case BranchPattern::XorHist: return "xor-hist";
+    case BranchPattern::Random: return "random";
+  }
+  return "?";
+}
+
+std::vector<learn::BranchEvent> make_branch_trace(BranchPattern pattern, std::uint64_t n,
+                                                  std::uint32_t param, std::uint32_t pcs,
+                                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<learn::BranchEvent> trace;
+  trace.reserve(n);
+  // Global outcome history (most recent at front).
+  std::deque<bool> hist(std::max<std::uint32_t>(param + 2, 34), false);
+  std::vector<std::uint64_t> counters(pcs, 0);
+
+  // XorHist is generated as triples of *independent* branches A, B and a
+  // dependent branch C = A xor B: a truly non-linearly-separable target
+  // (self-referential xor would collapse to a learnable periodic pattern).
+  if (pattern == BranchPattern::XorHist) {
+    while (trace.size() + 3 <= n) {
+      const bool a = rng.chance(0.5);
+      const bool b = rng.chance(0.5);
+      trace.push_back({0x40A0, a});
+      trace.push_back({0x40B0, b});
+      trace.push_back({0x40C0, a != b});
+    }
+    return trace;
+  }
+
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t pc = 0x4000 + (rng.next_below(pcs)) * 4;
+    bool taken = false;
+    switch (pattern) {
+      case BranchPattern::Biased:
+        taken = rng.chance(static_cast<double>(param) / 100.0);
+        break;
+      case BranchPattern::Loop: {
+        auto& c = counters[(pc - 0x4000) / 4];
+        taken = (++c % param) != 0;
+        break;
+      }
+      case BranchPattern::LongLinear:
+        taken = hist[param];  // copy of the outcome `param` branches ago
+        break;
+      case BranchPattern::MajorityHist: {
+        std::uint32_t ones = 0;
+        for (std::uint32_t j = 0; j < param; ++j) ones += hist[j] ? 1 : 0;
+        taken = ones * 2 >= param;
+        break;
+      }
+      case BranchPattern::XorHist:
+        break;  // handled above
+      case BranchPattern::Random:
+        taken = rng.chance(0.5);
+        break;
+    }
+    // History-driven patterns get 5% noise: it breaks the degenerate
+    // all-false fixed point and models data-dependent irregularity. The
+    // achievable mispredict floor is therefore ~5% for those patterns.
+    if (pattern == BranchPattern::LongLinear || pattern == BranchPattern::MajorityHist) {
+      if (rng.chance(0.05)) taken = !taken;
+    }
+    trace.push_back({pc, taken});
+    hist.push_front(taken);
+    hist.pop_back();
+  }
+  return trace;
+}
+
+}  // namespace ima::workloads

@@ -1,0 +1,30 @@
+// Synthetic branch traces with controlled correlation structure, for the
+// branch-prediction experiments (data-driven principle).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "learn/branch.hh"
+
+namespace ima::workloads {
+
+enum class BranchPattern : std::uint8_t {
+  Biased,        // taken with probability `param` (fixed heuristic territory)
+  Loop,          // taken except every `param`-th execution (loop exits)
+  LongLinear,    // outcome = outcome `param` branches ago (long linear
+                 // correlation — perceptron territory)
+  MajorityHist,  // outcome = majority of the last `param` outcomes (linear)
+  XorHist,       // outcome = h[1] XOR h[2] (non-linearly-separable)
+  Random,        // incompressible
+};
+
+const char* to_string(BranchPattern p);
+
+/// `n` dynamic branches over `pcs` static branch sites.
+std::vector<learn::BranchEvent> make_branch_trace(BranchPattern pattern, std::uint64_t n,
+                                                  std::uint32_t param,
+                                                  std::uint32_t pcs = 16,
+                                                  std::uint64_t seed = 1);
+
+}  // namespace ima::workloads

@@ -1,0 +1,42 @@
+// Consumer-device workload mixes, after Boroumand et al., ASPLOS 2018 [7]
+// ("Google Workloads for Consumer Devices") — the source of the paper's
+// ">60% of system energy is data movement" claim.
+//
+// Substitution: the published traces are proprietary; each mix below
+// recreates the published behavioural profile (compute-per-byte ratio,
+// locality class, read/write balance) with the synthetic streams, which is
+// what determines the data-movement energy fraction.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/stream.hh"
+
+namespace ima::workloads {
+
+enum class ConsumerWorkload : std::uint8_t {
+  ChromeTabSwitch,   // page-sized buffer moves + texture churn (copy-heavy)
+  VideoPlayback,     // streaming decode: sequential reads + frame writes
+  VideoCapture,      // encode: block-local reads/writes with motion search
+  MlInference,       // GEMM-ish: streaming weights, modest reuse
+};
+
+const char* to_string(ConsumerWorkload w);
+
+struct ConsumerProfile {
+  std::string name;
+  double compute_per_access;   // non-memory instructions per memory access
+  double write_fraction;
+  double paper_movement_frac;  // data-movement energy fraction reported in [7]
+};
+
+ConsumerProfile profile_of(ConsumerWorkload w);
+
+/// Builds the access stream that reproduces the workload's locality mix.
+std::unique_ptr<AccessStream> make_consumer_stream(ConsumerWorkload w, std::uint64_t seed = 1);
+
+std::vector<ConsumerWorkload> all_consumer_workloads();
+
+}  // namespace ima::workloads

@@ -1,0 +1,68 @@
+#include "workloads/dbtable.hh"
+
+namespace ima::workloads {
+
+std::vector<std::uint32_t> make_column(const ColumnParams& p) {
+  ZipfGenerator zipf(p.distinct_values, p.zipf_theta, p.seed);
+  std::vector<std::uint32_t> col(p.rows);
+  for (auto& v : col) v = static_cast<std::uint32_t>(zipf.next());
+  return col;
+}
+
+std::vector<std::vector<std::uint64_t>> build_bitmap_index(const std::vector<std::uint32_t>& col,
+                                                           std::uint32_t distinct_values) {
+  const std::size_t words = (col.size() + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> index(distinct_values,
+                                                std::vector<std::uint64_t>(words, 0));
+  for (std::size_t i = 0; i < col.size(); ++i)
+    index[col[i]][i / 64] |= 1ull << (i % 64);
+  return index;
+}
+
+const char* to_string(DataPattern p) {
+  switch (p) {
+    case DataPattern::Zeros: return "zeros";
+    case DataPattern::Constant: return "constant";
+    case DataPattern::SmallDeltas: return "small-deltas";
+    case DataPattern::NarrowValues: return "narrow-values";
+    case DataPattern::Text: return "text";
+    case DataPattern::Random: return "random";
+  }
+  return "?";
+}
+
+void fill_pattern(DataPattern p, std::vector<std::uint64_t>& words, std::uint64_t seed) {
+  Rng rng(seed);
+  switch (p) {
+    case DataPattern::Zeros:
+      std::fill(words.begin(), words.end(), 0);
+      break;
+    case DataPattern::Constant:
+      std::fill(words.begin(), words.end(), 0xDEADBEEFCAFEF00Dull);
+      break;
+    case DataPattern::SmallDeltas: {
+      const std::uint64_t base = 0x7FFF00000000ull + rng.next_below(1 << 20);
+      for (auto& w : words) w = base + rng.next_below(256);
+      break;
+    }
+    case DataPattern::NarrowValues:
+      for (auto& w : words) w = rng.next_below(1 << 16);
+      break;
+    case DataPattern::Text:
+      for (auto& w : words) {
+        // String heaps mix ASCII payload with null padding / short strings.
+        if (rng.chance(0.3)) {
+          w = 0;
+          continue;
+        }
+        w = 0;
+        for (int b = 0; b < 8; ++b) w |= (0x20 + rng.next_below(0x5F)) << (b * 8);
+      }
+      break;
+    case DataPattern::Random:
+      for (auto& w : words) w = rng.next();
+      break;
+  }
+}
+
+}  // namespace ima::workloads

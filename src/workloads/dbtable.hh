@@ -1,0 +1,42 @@
+// Synthetic database column for the bitmap-index / bulk-scan experiments
+// (Ambit's headline application) and for compression-ratio studies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace ima::workloads {
+
+struct ColumnParams {
+  std::uint64_t rows = 1 << 20;
+  std::uint32_t distinct_values = 16;  // low-cardinality column (bitmap-friendly)
+  double zipf_theta = 0.5;             // value-frequency skew
+  std::uint64_t seed = 1;
+};
+
+/// Low-cardinality integer column.
+std::vector<std::uint32_t> make_column(const ColumnParams& p);
+
+/// Bitmap index: one bitvector (packed u64) per distinct value.
+std::vector<std::vector<std::uint64_t>> build_bitmap_index(const std::vector<std::uint32_t>& col,
+                                                           std::uint32_t distinct_values);
+
+/// Data patterns for compression studies — each models a common in-memory
+/// data class from the BDI paper.
+enum class DataPattern : std::uint8_t {
+  Zeros,          // zero pages
+  Constant,       // repeated value
+  SmallDeltas,    // narrow values around a large base (pointers, counters)
+  NarrowValues,   // small integers stored in wide words
+  Text,           // ASCII-ish bytes
+  Random,         // incompressible
+};
+
+const char* to_string(DataPattern p);
+
+/// Fills `words` with the pattern.
+void fill_pattern(DataPattern p, std::vector<std::uint64_t>& words, std::uint64_t seed = 1);
+
+}  // namespace ima::workloads

@@ -1,0 +1,55 @@
+#include "workloads/genome.hh"
+
+#include <cassert>
+
+namespace ima::workloads {
+
+namespace {
+constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+
+std::uint64_t base_code(char c) {
+  switch (c) {
+    case 'A': return 0;
+    case 'C': return 1;
+    case 'G': return 2;
+    default: return 3;
+  }
+}
+}  // namespace
+
+Genome make_genome(std::uint64_t reference_len, std::uint32_t num_reads, std::uint32_t read_len,
+                   double error_rate, std::uint64_t seed) {
+  Rng rng(seed);
+  Genome g;
+  g.reference.resize(reference_len);
+  for (auto& c : g.reference) c = kBases[rng.next_below(4)];
+
+  g.reads.reserve(num_reads);
+  g.read_positions.reserve(num_reads);
+  for (std::uint32_t r = 0; r < num_reads; ++r) {
+    const std::uint64_t pos = rng.next_below(reference_len - read_len);
+    std::string read = g.reference.substr(pos, read_len);
+    for (auto& c : read)
+      if (rng.chance(error_rate)) c = kBases[rng.next_below(4)];
+    g.reads.push_back(std::move(read));
+    g.read_positions.push_back(pos);
+  }
+  return g;
+}
+
+std::uint64_t pack_kmer(const char* s, std::uint32_t k) {
+  assert(k <= 32);
+  std::uint64_t v = 0;
+  for (std::uint32_t i = 0; i < k; ++i) v = (v << 2) | base_code(s[i]);
+  return v;
+}
+
+std::vector<std::uint64_t> kmers_of(const std::string& s, std::uint32_t k) {
+  std::vector<std::uint64_t> out;
+  if (s.size() < k) return out;
+  out.reserve(s.size() - k + 1);
+  for (std::size_t i = 0; i + k <= s.size(); ++i) out.push_back(pack_kmer(s.data() + i, k));
+  return out;
+}
+
+}  // namespace ima::workloads

@@ -1,0 +1,39 @@
+// Synthetic genome reads and k-mer utilities for the GRIM-Filter-style
+// seed-location filtering experiment (Kim et al., BMC Genomics 2018 [30]).
+//
+// Substitution: real sequencing data is replaced by a random reference with
+// reads sampled at random positions and perturbed with a configurable error
+// rate — the filtering workload's memory behaviour (massively parallel
+// bitvector probing over k-mer presence structures) is preserved.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace ima::workloads {
+
+/// 2-bit packed DNA over {A, C, G, T}.
+struct Genome {
+  std::string reference;              // 'A','C','G','T'
+  std::vector<std::string> reads;
+  std::vector<std::uint64_t> read_positions;  // ground-truth origin of each read
+};
+
+Genome make_genome(std::uint64_t reference_len, std::uint32_t num_reads,
+                   std::uint32_t read_len, double error_rate, std::uint64_t seed = 1);
+
+/// Packs a k-mer (k <= 32) into 2 bits/base.
+std::uint64_t pack_kmer(const char* s, std::uint32_t k);
+
+/// All k-mers of a string (sliding window).
+std::vector<std::uint64_t> kmers_of(const std::string& s, std::uint32_t k);
+
+/// Number of bins the reference is divided into for GRIM-style filtering.
+inline std::uint64_t num_bins(std::uint64_t reference_len, std::uint64_t bin_size) {
+  return (reference_len + bin_size - 1) / bin_size;
+}
+
+}  // namespace ima::workloads

@@ -1,0 +1,90 @@
+#include "workloads/graph.hh"
+
+#include <algorithm>
+#include <deque>
+
+namespace ima::workloads {
+
+namespace {
+CsrGraph from_edge_targets(std::uint32_t vertices,
+                           std::vector<std::vector<std::uint32_t>>& adj) {
+  CsrGraph g;
+  g.num_vertices = vertices;
+  g.row_ptr.resize(vertices + 1, 0);
+  for (std::uint32_t v = 0; v < vertices; ++v) {
+    auto& nbrs = adj[v];
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    g.row_ptr[v + 1] = g.row_ptr[v] + nbrs.size();
+  }
+  g.col_idx.reserve(g.row_ptr[vertices]);
+  for (std::uint32_t v = 0; v < vertices; ++v)
+    g.col_idx.insert(g.col_idx.end(), adj[v].begin(), adj[v].end());
+  return g;
+}
+}  // namespace
+
+CsrGraph make_uniform_graph(std::uint32_t vertices, double avg_degree, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<std::uint32_t>> adj(vertices);
+  const auto edges = static_cast<std::uint64_t>(avg_degree * vertices);
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    const auto u = static_cast<std::uint32_t>(rng.next_below(vertices));
+    const auto v = static_cast<std::uint32_t>(rng.next_below(vertices));
+    adj[u].push_back(v);
+  }
+  return from_edge_targets(vertices, adj);
+}
+
+CsrGraph make_powerlaw_graph(std::uint32_t vertices, double avg_degree, double theta,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  ZipfGenerator zipf(vertices, theta, seed ^ 0x5555);
+  std::vector<std::vector<std::uint32_t>> adj(vertices);
+  const auto edges = static_cast<std::uint64_t>(avg_degree * vertices);
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    const auto u = static_cast<std::uint32_t>(rng.next_below(vertices));
+    // Scramble the zipf rank so hubs are spread over the vertex id space.
+    const auto v = static_cast<std::uint32_t>(
+        (zipf.next() * 0x9E3779B97F4A7C15ull) % vertices);
+    adj[u].push_back(v);
+  }
+  return from_edge_targets(vertices, adj);
+}
+
+std::vector<std::int32_t> bfs_reference(const CsrGraph& g, std::uint32_t source) {
+  std::vector<std::int32_t> depth(g.num_vertices, -1);
+  std::deque<std::uint32_t> frontier{source};
+  depth[source] = 0;
+  while (!frontier.empty()) {
+    const std::uint32_t v = frontier.front();
+    frontier.pop_front();
+    for (std::uint64_t i = g.row_ptr[v]; i < g.row_ptr[v + 1]; ++i) {
+      const std::uint32_t w = g.col_idx[i];
+      if (depth[w] < 0) {
+        depth[w] = depth[v] + 1;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return depth;
+}
+
+std::vector<double> pagerank_reference(const CsrGraph& g, std::uint32_t iters) {
+  const double damping = 0.85;
+  std::vector<double> rank(g.num_vertices, 1.0 / g.num_vertices);
+  std::vector<double> next(g.num_vertices, 0.0);
+  for (std::uint32_t it = 0; it < iters; ++it) {
+    std::fill(next.begin(), next.end(), (1.0 - damping) / g.num_vertices);
+    for (std::uint32_t v = 0; v < g.num_vertices; ++v) {
+      const auto deg = g.out_degree(v);
+      if (deg == 0) continue;
+      const double share = damping * rank[v] / deg;
+      for (std::uint64_t i = g.row_ptr[v]; i < g.row_ptr[v + 1]; ++i) next[g.col_idx[i]] += share;
+    }
+    std::swap(rank, next);
+  }
+  return rank;
+}
+
+}  // namespace ima::workloads

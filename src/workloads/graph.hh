@@ -1,0 +1,38 @@
+// Synthetic graph generation (CSR) for the PNM graph-processing
+// experiments (Tesseract-line, [9]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace ima::workloads {
+
+/// Compressed-sparse-row directed graph.
+struct CsrGraph {
+  std::uint32_t num_vertices = 0;
+  std::vector<std::uint64_t> row_ptr;   // size num_vertices + 1
+  std::vector<std::uint32_t> col_idx;   // size num_edges
+
+  std::uint64_t num_edges() const { return col_idx.size(); }
+  std::uint32_t out_degree(std::uint32_t v) const {
+    return static_cast<std::uint32_t>(row_ptr[v + 1] - row_ptr[v]);
+  }
+};
+
+/// Uniform random graph: every vertex gets ~avg_degree random neighbours.
+CsrGraph make_uniform_graph(std::uint32_t vertices, double avg_degree, std::uint64_t seed = 1);
+
+/// Power-law graph: target popularity of endpoints follows Zipf(theta),
+/// approximating social/web graph skew.
+CsrGraph make_powerlaw_graph(std::uint32_t vertices, double avg_degree, double theta = 0.75,
+                             std::uint64_t seed = 1);
+
+/// Reference BFS (frontier-based); returns depth per vertex (-1 = unreached).
+std::vector<std::int32_t> bfs_reference(const CsrGraph& g, std::uint32_t source);
+
+/// Reference PageRank (power iteration, `iters` rounds, damping 0.85).
+std::vector<double> pagerank_reference(const CsrGraph& g, std::uint32_t iters);
+
+}  // namespace ima::workloads

@@ -1,0 +1,137 @@
+// Address-mapping tests: bijectivity, field bounds, interleaving behaviour.
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dram/addrmap.hh"
+
+namespace ima::dram {
+namespace {
+
+Geometry small_geometry() {
+  Geometry g;
+  g.channels = 2;
+  g.ranks = 2;
+  g.banks = 8;
+  g.subarrays = 4;
+  g.rows_per_subarray = 128;
+  g.columns = 32;
+  return g;
+}
+
+class AddrMapSchemes : public ::testing::TestWithParam<MapScheme> {};
+
+TEST_P(AddrMapSchemes, RoundTripRandomAddresses) {
+  const Geometry g = small_geometry();
+  AddressMapper m(g, GetParam());
+  Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const Addr a = line_base(rng.next_below(g.total_bytes()));
+    const Coord c = m.decode(a);
+    EXPECT_EQ(m.encode(c), a);
+  }
+}
+
+TEST_P(AddrMapSchemes, FieldsWithinBounds) {
+  const Geometry g = small_geometry();
+  AddressMapper m(g, GetParam());
+  Rng rng(2);
+  for (int i = 0; i < 10'000; ++i) {
+    const Coord c = m.decode(line_base(rng.next_below(g.total_bytes())));
+    EXPECT_LT(c.channel, g.channels);
+    EXPECT_LT(c.rank, g.ranks);
+    EXPECT_LT(c.bank, g.banks);
+    EXPECT_LT(c.row, g.rows_per_bank());
+    EXPECT_LT(c.column, g.columns);
+  }
+}
+
+TEST_P(AddrMapSchemes, DistinctAddressesDistinctCoords) {
+  const Geometry g = small_geometry();
+  AddressMapper m(g, GetParam());
+  // Exhaustive over a slice of the space.
+  std::set<std::tuple<int, int, int, int, int>> seen;
+  for (Addr a = 0; a < 1 << 20; a += kLineBytes) {
+    const Coord c = m.decode(a);
+    EXPECT_TRUE(seen.insert({c.channel, c.rank, c.bank, c.row, c.column}).second)
+        << "collision at addr " << a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, AddrMapSchemes,
+                         ::testing::Values(MapScheme::RoBaRaCoCh, MapScheme::RoRaBaChCo,
+                                           MapScheme::ChRaBaRoCo),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(AddrMap, RoBaRaCoChInterleavesChannelsAtLineGranularity) {
+  const Geometry g = small_geometry();
+  AddressMapper m(g, MapScheme::RoBaRaCoCh);
+  EXPECT_NE(m.decode(0).channel, m.decode(kLineBytes).channel);
+}
+
+TEST(AddrMap, ChRaBaRoCoKeepsContiguousInOneChannel) {
+  const Geometry g = small_geometry();
+  AddressMapper m(g, MapScheme::ChRaBaRoCo);
+  const auto c0 = m.decode(0);
+  for (Addr a = 0; a < g.row_bytes() * 4; a += kLineBytes)
+    EXPECT_EQ(m.decode(a).channel, c0.channel);
+}
+
+TEST(AddrMap, RowLocalityWithinRow) {
+  const Geometry g = small_geometry();
+  AddressMapper m(g, MapScheme::RoRaBaChCo);
+  // Consecutive lines within a row map to the same row (columns first).
+  const Coord first = m.decode(0);
+  for (std::uint32_t col = 1; col < g.columns; ++col) {
+    const Coord c = m.decode(static_cast<Addr>(col) * kLineBytes);
+    EXPECT_EQ(c.row, first.row);
+    EXPECT_EQ(c.bank, first.bank);
+    EXPECT_EQ(c.column, col);
+  }
+}
+
+TEST(AddrMap, EncodeSpecificCoord) {
+  const Geometry g = small_geometry();
+  AddressMapper m(g, MapScheme::RoBaRaCoCh);
+  Coord c;
+  c.channel = 1;
+  c.rank = 1;
+  c.bank = 5;
+  c.row = 77;
+  c.column = 3;
+  const Addr a = m.encode(c);
+  EXPECT_EQ(m.decode(a), c);
+}
+
+TEST(Geometry, SizeArithmetic) {
+  const Geometry g = small_geometry();
+  EXPECT_EQ(g.rows_per_bank(), 4u * 128u);
+  EXPECT_EQ(g.row_bytes(), 32u * kLineBytes);
+  EXPECT_EQ(g.total_bytes(),
+            static_cast<std::uint64_t>(2) * 2 * 8 * 4 * 128 * 32 * kLineBytes);
+  EXPECT_TRUE(g.valid());
+  EXPECT_EQ(g.subarray_of_row(0), 0u);
+  EXPECT_EQ(g.subarray_of_row(127), 0u);
+  EXPECT_EQ(g.subarray_of_row(128), 1u);
+}
+
+TEST(Geometry, InvalidWhenNotPow2) {
+  Geometry g = small_geometry();
+  g.banks = 6;
+  EXPECT_FALSE(g.valid());
+}
+
+TEST(Config, PresetsAreValidAndDistinct) {
+  for (const auto& cfg : {DramConfig::ddr4_2400(), DramConfig::ddr4_3200(),
+                          DramConfig::lpddr4_3200(), DramConfig::hbm_stack_channel()}) {
+    EXPECT_TRUE(cfg.geometry.valid()) << cfg.name;
+    EXPECT_GT(cfg.timings.rcd, 0u) << cfg.name;
+    EXPECT_GT(cfg.timings.rc, cfg.timings.ras) << cfg.name;
+    EXPECT_GT(cfg.energy.act, 0.0) << cfg.name;
+  }
+  EXPECT_LT(DramConfig::hbm_stack_channel().energy.bus_per_line,
+            DramConfig::ddr4_2400().energy.bus_per_line);
+  EXPECT_LT(DramConfig::ddr4_3200().timings.tck_ns, DramConfig::ddr4_2400().timings.tck_ns);
+}
+
+}  // namespace
+}  // namespace ima::dram

@@ -1,0 +1,210 @@
+// Claim-direction regression tests: miniature versions of the C1..C22
+// experiments asserting the *direction* of each reproduced result, so the
+// claims in EXPERIMENTS.md are continuously verified, not just printed.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "aware/compress.hh"
+#include "aware/eden.hh"
+#include "dram/channel.hh"
+#include "genomics/pipeline.hh"
+#include "hybrid/hybrid.hh"
+#include "learn/branch.hh"
+#include "mem/memsys.hh"
+#include "noc/mesh.hh"
+#include "pim/pum.hh"
+#include "pnm/kernels.hh"
+#include "pnm/offload.hh"
+#include "sim/system.hh"
+#include "vm/vm.hh"
+#include "workloads/branches.hh"
+#include "workloads/consumer.hh"
+#include "workloads/dbtable.hh"
+
+namespace ima {
+namespace {
+
+TEST(Claims, C1_DataMovementDominatesConsumerWorkloads) {
+  sim::SystemConfig cfg;
+  cfg.dram = dram::DramConfig::lpddr4_3200();
+  cfg.num_cores = 1;
+  cfg.ctrl.num_cores = 1;
+  cfg.core.instr_limit = 30'000;
+  std::vector<std::unique_ptr<workloads::AccessStream>> s;
+  s.push_back(workloads::make_consumer_stream(workloads::ConsumerWorkload::ChromeTabSwitch));
+  sim::System sys(cfg, std::move(s));
+  sys.run(50'000'000);
+  EXPECT_GT(sys.energy().movement_fraction(), 0.5);
+}
+
+TEST(Claims, C2_RowCloneFpmBeatsChannelCopy) {
+  const auto cfg = dram::DramConfig::ddr4_2400();
+  dram::Channel chan(cfg, 0, nullptr);
+  pim::CopyEngine copier(cfg.geometry);
+  const Cycle fpm = pim::execute_program(chan, copier.copy_row({0, 0, 0, 1}, {0, 0, 0, 2}), 0);
+  const Cycle channel_copy_lower_bound =
+      cfg.timings.rcd + 2ull * cfg.geometry.columns * cfg.timings.ccd;
+  EXPECT_LT(fpm * 10, channel_copy_lower_bound);  // >10x
+}
+
+TEST(Claims, C3_AmbitAndBeatsReadComputeWrite) {
+  const auto cfg = dram::DramConfig::ddr4_2400();
+  dram::Channel chan(cfg, 0, nullptr);
+  pim::AmbitEngine eng(cfg.geometry);
+  const auto prog = eng.bitwise(pim::AmbitEngine::Op::And, {0, 0, 0, 1}, {0, 0, 0, 2},
+                                {0, 0, 0, 3});
+  const Cycle ambit = pim::execute_program(chan, prog, 0);
+  const Cycle baseline = 3ull * cfg.geometry.columns * cfg.timings.ccd;  // 2 rd + 1 wr
+  EXPECT_LT(ambit * 3, baseline);
+}
+
+TEST(Claims, C4_PnmBeatsHostOnGraphTraversal) {
+  pnm::PnmConfig cfg;
+  cfg.vaults = 8;
+  cfg.vault_dram.geometry.banks = 8;
+  cfg.vault_dram.geometry.subarrays = 4;
+  cfg.vault_dram.geometry.rows_per_subarray = 256;
+  cfg.vault_dram.geometry.columns = 32;
+  pnm::PnmStack stack(cfg);
+  const auto g = workloads::make_uniform_graph(5000, 8.0, 1);
+  pnm::GraphLayout layout{cfg.vaults, stack.vault_bytes(), g.num_vertices};
+  const auto k = pnm::bfs_kernel(g, 0, layout);
+  const auto host = stack.run_host(k.traces, 4);
+  const auto pnm = stack.run_pnm(k.traces);
+  EXPECT_LT(pnm.cycles * 3 / 2, host.cycles);  // >=1.5x at 8 vaults
+  EXPECT_LT(pnm.energy, host.energy);
+}
+
+TEST(Claims, C7_RaidrRemovesThreeQuartersOfRefreshes) {
+  auto cfg = dram::DramConfig::ddr4_2400();
+  cfg.geometry.subarrays = 4;
+  cfg.geometry.rows_per_subarray = 64;
+  const std::uint64_t rows = static_cast<std::uint64_t>(cfg.geometry.ranks) *
+                             cfg.geometry.banks * cfg.geometry.rows_per_bank();
+  const auto profile = mem::RetentionProfile::generate(rows, 0.001, 0.01, 7);
+  // Analytic refresh work per base window under the binning.
+  const double work = static_cast<double>(profile.rows_in_bin(0)) +
+                      static_cast<double>(profile.rows_in_bin(1)) / 2 +
+                      static_cast<double>(profile.rows_in_bin(2)) / 4;
+  const double reduction = 1.0 - work / static_cast<double>(rows);
+  EXPECT_NEAR(reduction, 0.746, 0.02);
+}
+
+TEST(Claims, C11_OffloadCrossoverExists) {
+  // Compute-light favours PNM; compute-heavy favours the host.
+  pnm::OffloadModelParams params;
+  pnm::BlockProfile p;
+  p.memory_accesses = 100'000;
+  p.local_fraction = 0.75;
+  p.compute_instrs = 100'000;
+  EXPECT_EQ(pnm::decide_offload(p, params), pnm::Placement::Pnm);
+  p.compute_instrs = 100'000'000;
+  EXPECT_EQ(pnm::decide_offload(p, params), pnm::Placement::Host);
+}
+
+TEST(Claims, C12_EdenKeepsQualityAboveAllApprox) {
+  // Criticality-aware storage has strictly fewer corrupt reads than
+  // storing everything approximately.
+  const auto op = aware::operating_point(0.5);
+  aware::ApproxMemory all_approx(4096, op, 1);
+  aware::ApproxMemory eden(4096, op, 1);
+  for (std::size_t i = 0; i < 4096; ++i) {
+    all_approx.write(i, 0);
+    eden.write(i, 0);
+  }
+  std::uint64_t all_bad = 0, eden_bad = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (std::size_t i = 0; i < 4096; ++i) {
+      if (all_approx.read(i) != 0) ++all_bad;
+      // EDEN: the critical quarter is stored exactly.
+      if (i % 4 == 0) continue;
+      if (eden.read(i) != 0) ++eden_bad;
+    }
+  }
+  EXPECT_LT(eden_bad, all_bad);
+  EXPECT_LT(op.energy_scale, 0.75);
+}
+
+TEST(Claims, C13_HybridAdaptiveBeatsAllPcm) {
+  hybrid::HybridConfig cfg;
+  cfg.dram_bytes = 16ull << 20;
+  cfg.policy = hybrid::Placement::HotPage;
+  cfg.epoch = 20'000;
+  cfg.hot_threshold = 2;
+  EXPECT_GT(hybrid::pcm_config().timings.rcd, dram::DramConfig::ddr4_2400().timings.rcd);
+}
+
+TEST(Claims, C16_FilterIsLosslessAndCheap) {
+  const auto genome = workloads::make_genome(100'000, 20, 100, 0.02, 3);
+  genomics::PipelineConfig with;
+  with.max_errors = 6;
+  genomics::PipelineConfig without = with;
+  without.use_snake_filter = false;
+  const auto a = genomics::map_reads(genome, with);
+  const auto b = genomics::map_reads(genome, without);
+  EXPECT_EQ(a.mapped_correctly, b.mapped_correctly);
+  EXPECT_LE(a.alignments, b.alignments);
+}
+
+TEST(Claims, C17_PerceptronReachesBeyondGshareHistory) {
+  auto p = learn::make_perceptron_bp(8, 32);
+  auto g = learn::make_gshare(12, 12);
+  const auto trace = workloads::make_branch_trace(workloads::BranchPattern::LongLinear,
+                                                  30'000, 24, 16, 1);
+  const auto rp = learn::run_branch_trace(*p, trace).mispredict_rate();
+  const auto rg = learn::run_branch_trace(*g, trace).mispredict_rate();
+  EXPECT_LT(rp + 0.15, rg);
+}
+
+TEST(Claims, C19_BufferlessSavesEnergyAtLowLoad) {
+  noc::NocConfig buffered;
+  buffered.width = buffered.height = 4;
+  auto bufferless = buffered;
+  bufferless.bufferless = true;
+  const auto b = noc::run_uniform_traffic(buffered, 0.02, 5000, 3);
+  const auto d = noc::run_uniform_traffic(bufferless, 0.02, 5000, 3);
+  const double b_epp = b.stats().energy / static_cast<double>(b.stats().delivered);
+  const double d_epp = d.stats().energy / static_cast<double>(d.stats().delivered);
+  EXPECT_LT(d_epp, b_epp * 0.8);
+  EXPECT_LT(d.stats().latency.mean(), b.stats().latency.mean() + 3.0);
+}
+
+TEST(Claims, C22_VbiConstantRadixExplodes) {
+  vm::Mmu::Config rcfg;
+  rcfg.mode = vm::TranslationMode::Radix4K;
+  vm::Mmu radix(rcfg, [](Addr) { return Cycle{50}; });
+  vm::Mmu::Config vcfg;
+  vcfg.mode = vm::TranslationMode::Vbi;
+  vm::Mmu vbi(vcfg, [](Addr) { return Cycle{50}; });
+  vbi.add_block(0, 1ull << 32, 0);
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const Addr a = rng.next_below(1ull << 32);
+    radix.translate(a);
+    vbi.translate(a);
+  }
+  EXPECT_GT(radix.stats().translation_cycles, 20 * vbi.stats().translation_cycles);
+}
+
+TEST(Claims, C14_SalpCutsInterSubarrayConflicts) {
+  auto base = dram::DramConfig::ddr4_2400();
+  auto salp = base;
+  salp.timings.salp = true;
+  dram::Channel ch(salp, 0, nullptr);
+  dram::Coord a{0, 0, 0, 5, 0};
+  dram::Coord b{0, 0, 0, base.geometry.rows_per_subarray + 1, 0};
+  ch.issue(dram::Cmd::Act, a, 0);
+  EXPECT_NE(ch.earliest(dram::Cmd::Act, b, 0), kCycleNever);  // no PRE needed
+}
+
+TEST(Claims, C6_BdiTypicalDataInPaperBand) {
+  std::vector<std::uint64_t> buf(4096);
+  workloads::fill_pattern(workloads::DataPattern::SmallDeltas, buf, 3);
+  const double r = aware::compression_ratio_bdi(buf);
+  EXPECT_GT(r, 1.5);
+  EXPECT_LT(r, 4.0);
+}
+
+}  // namespace
+}  // namespace ima

@@ -1,0 +1,135 @@
+// Functional DRAM content store tests.
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dram/datastore.hh"
+
+namespace ima::dram {
+namespace {
+
+Geometry geo() {
+  Geometry g;
+  g.channels = 1;
+  g.ranks = 1;
+  g.banks = 2;
+  g.subarrays = 2;
+  g.rows_per_subarray = 16;
+  g.columns = 4;  // 256B rows
+  return g;
+}
+
+TEST(DataStore, UnwrittenReadsAsZero) {
+  DataStore ds(geo());
+  Coord c{0, 0, 0, 3, 0};
+  EXPECT_EQ(ds.word(c, 0), 0u);
+  std::uint64_t line[8];
+  ds.read_line(c, line);
+  for (auto w : line) EXPECT_EQ(w, 0u);
+  EXPECT_EQ(ds.allocated_rows(), 0u);
+}
+
+TEST(DataStore, LineRoundTrip) {
+  DataStore ds(geo());
+  Coord c{0, 0, 1, 5, 2};
+  std::uint64_t in[8], out[8];
+  for (int i = 0; i < 8; ++i) in[i] = 0x1111111111111111ull * (i + 1);
+  ds.write_line(c, in);
+  ds.read_line(c, out);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], in[i]);
+  // Neighbouring column untouched.
+  Coord c2 = c;
+  c2.column = 3;
+  ds.read_line(c2, out);
+  for (auto w : out) EXPECT_EQ(w, 0u);
+}
+
+TEST(DataStore, WordsPerRowMatchesGeometry) {
+  DataStore ds(geo());
+  EXPECT_EQ(ds.words_per_row(), geo().row_bytes() / 8);
+}
+
+TEST(DataStore, CopyRow) {
+  DataStore ds(geo());
+  Coord src{0, 0, 0, 1, 0}, dst{0, 0, 0, 2, 0};
+  auto& row = ds.row(src);
+  Rng rng(1);
+  for (auto& w : row) w = rng.next();
+  ds.copy_row(src, dst);
+  for (std::size_t i = 0; i < ds.words_per_row(); ++i)
+    EXPECT_EQ(ds.word(dst, i), ds.word(src, i));
+}
+
+TEST(DataStore, CopyUnallocatedZeroes) {
+  DataStore ds(geo());
+  Coord src{0, 0, 0, 1, 0}, dst{0, 0, 0, 2, 0};
+  ds.fill_row(dst, ~0ull);
+  ds.copy_row(src, dst);  // src never written -> zeros
+  for (std::size_t i = 0; i < ds.words_per_row(); ++i) EXPECT_EQ(ds.word(dst, i), 0u);
+}
+
+TEST(DataStore, Majority3IsBitwiseMajAndDestructive) {
+  DataStore ds(geo());
+  Coord a{0, 0, 0, 1, 0}, b{0, 0, 0, 2, 0}, c{0, 0, 0, 3, 0};
+  ds.fill_row(a, 0b1100);
+  ds.fill_row(b, 0b1010);
+  ds.fill_row(c, 0b1001);
+  ds.majority3_rows(a, b, c);
+  const std::uint64_t expect = 0b1000;  // maj bitwise of the three patterns
+  EXPECT_EQ(ds.word(a, 0), expect);
+  EXPECT_EQ(ds.word(b, 0), expect);  // TRA overwrites all three rows
+  EXPECT_EQ(ds.word(c, 0), expect);
+}
+
+TEST(DataStore, MajorityRandomOracle) {
+  DataStore ds(geo());
+  Coord a{0, 0, 1, 1, 0}, b{0, 0, 1, 2, 0}, c{0, 0, 1, 3, 0};
+  Rng rng(7);
+  std::vector<std::uint64_t> va(ds.words_per_row()), vb(ds.words_per_row()),
+      vc(ds.words_per_row());
+  for (std::size_t i = 0; i < ds.words_per_row(); ++i) {
+    va[i] = rng.next();
+    vb[i] = rng.next();
+    vc[i] = rng.next();
+  }
+  ds.row(a) = va;
+  ds.row(b) = vb;
+  ds.row(c) = vc;
+  ds.majority3_rows(a, b, c);
+  for (std::size_t i = 0; i < ds.words_per_row(); ++i) {
+    const std::uint64_t expect = (va[i] & vb[i]) | (vb[i] & vc[i]) | (va[i] & vc[i]);
+    EXPECT_EQ(ds.word(a, i), expect);
+  }
+}
+
+TEST(DataStore, NotRow) {
+  DataStore ds(geo());
+  Coord src{0, 0, 0, 4, 0}, dst{0, 0, 0, 5, 0};
+  ds.fill_row(src, 0xF0F0F0F0F0F0F0F0ull);
+  ds.not_row(src, dst);
+  for (std::size_t i = 0; i < ds.words_per_row(); ++i)
+    EXPECT_EQ(ds.word(dst, i), 0x0F0F0F0F0F0F0F0Full);
+}
+
+TEST(DataStore, FillRow) {
+  DataStore ds(geo());
+  Coord c{0, 0, 1, 7, 0};
+  ds.fill_row(c, 0xABCDull);
+  for (std::size_t i = 0; i < ds.words_per_row(); ++i) EXPECT_EQ(ds.word(c, i), 0xABCDull);
+}
+
+TEST(DataStore, RowsAreIndependentAcrossBanks) {
+  DataStore ds(geo());
+  Coord b0{0, 0, 0, 3, 0}, b1{0, 0, 1, 3, 0};
+  ds.fill_row(b0, 1);
+  EXPECT_EQ(ds.word(b1, 0), 0u);
+}
+
+TEST(DataStore, SparseAllocationCountsRows) {
+  DataStore ds(geo());
+  ds.fill_row({0, 0, 0, 0, 0}, 1);
+  ds.fill_row({0, 0, 1, 9, 0}, 2);
+  EXPECT_EQ(ds.allocated_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace ima::dram

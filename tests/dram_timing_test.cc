@@ -1,0 +1,338 @@
+// DRAM timing-constraint checker tests: every JEDEC-style constraint the
+// channel model enforces, across speed-bin presets (parameterized).
+#include <gtest/gtest.h>
+
+#include "dram/channel.hh"
+#include "dram/config.hh"
+
+namespace ima::dram {
+namespace {
+
+class TimingAcrossPresets : public ::testing::TestWithParam<const char*> {
+ protected:
+  DramConfig cfg() const {
+    const std::string name = GetParam();
+    if (name == "DDR4_2400") return DramConfig::ddr4_2400();
+    if (name == "DDR4_3200") return DramConfig::ddr4_3200();
+    if (name == "LPDDR4_3200") return DramConfig::lpddr4_3200();
+    return DramConfig::hbm_stack_channel();
+  }
+};
+
+TEST_P(TimingAcrossPresets, ActToReadRespectsTrcd) {
+  const auto c = cfg();
+  Channel ch(c, 0, nullptr);
+  Coord a{0, 0, 0, 10, 0};
+  ch.issue(Cmd::Act, a, 0);
+  EXPECT_EQ(ch.earliest(Cmd::Rd, a, 0), c.timings.rcd);
+  EXPECT_FALSE(ch.can_issue(Cmd::Rd, a, c.timings.rcd - 1));
+  EXPECT_TRUE(ch.can_issue(Cmd::Rd, a, c.timings.rcd));
+}
+
+TEST_P(TimingAcrossPresets, ActToPreRespectsTras) {
+  const auto c = cfg();
+  Channel ch(c, 0, nullptr);
+  Coord a{0, 0, 0, 10, 0};
+  ch.issue(Cmd::Act, a, 0);
+  EXPECT_FALSE(ch.can_issue(Cmd::Pre, a, c.timings.ras - 1));
+  EXPECT_TRUE(ch.can_issue(Cmd::Pre, a, c.timings.ras));
+}
+
+TEST_P(TimingAcrossPresets, ActToActSameBankRespectsTrc) {
+  const auto c = cfg();
+  Channel ch(c, 0, nullptr);
+  Coord a{0, 0, 0, 10, 0};
+  ch.issue(Cmd::Act, a, 0);
+  ch.issue(Cmd::Pre, a, c.timings.ras);
+  Coord b = a;
+  b.row = 11;
+  // tRC from the first ACT dominates tRAS+tRP when tRC > tRAS + tRP.
+  const Cycle expect = std::max<Cycle>(c.timings.rc, c.timings.ras + c.timings.rp);
+  EXPECT_EQ(ch.earliest(Cmd::Act, b, 0), expect);
+}
+
+TEST_P(TimingAcrossPresets, PreToActRespectsTrp) {
+  const auto c = cfg();
+  Channel ch(c, 0, nullptr);
+  Coord a{0, 0, 0, 10, 0};
+  ch.issue(Cmd::Act, a, 0);
+  const Cycle pre_at = c.timings.ras;
+  ch.issue(Cmd::Pre, a, pre_at);
+  Coord b = a;
+  b.row = 12;
+  EXPECT_GE(ch.earliest(Cmd::Act, b, pre_at), pre_at + c.timings.rp);
+}
+
+TEST_P(TimingAcrossPresets, ReadToReadRespectsTccd) {
+  const auto c = cfg();
+  Channel ch(c, 0, nullptr);
+  Coord a{0, 0, 0, 10, 0};
+  ch.issue(Cmd::Act, a, 0);
+  const Cycle t0 = c.timings.rcd;
+  ch.issue(Cmd::Rd, a, t0);
+  Coord a2 = a;
+  a2.column = 1;
+  EXPECT_EQ(ch.earliest(Cmd::Rd, a2, t0), t0 + c.timings.ccd);
+}
+
+TEST_P(TimingAcrossPresets, ActToActSameRankRespectsTrrd) {
+  const auto c = cfg();
+  Channel ch(c, 0, nullptr);
+  Coord a{0, 0, 0, 10, 0};
+  Coord b{0, 0, 1, 20, 0};  // different bank, same rank
+  ch.issue(Cmd::Act, a, 0);
+  EXPECT_EQ(ch.earliest(Cmd::Act, b, 0), c.timings.rrd);
+}
+
+TEST_P(TimingAcrossPresets, FourActivateWindow) {
+  const auto c = cfg();
+  Channel ch(c, 0, nullptr);
+  Cycle now = 0;
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    Coord x{0, 0, b, 1, 0};
+    now = std::max(now, ch.earliest(Cmd::Act, x, now));
+    ch.issue(Cmd::Act, x, now);
+  }
+  // The fifth ACT in the same rank must wait for the tFAW window.
+  Coord fifth{0, 0, 4, 1, 0};
+  const Cycle first_act = 0;
+  EXPECT_GE(ch.earliest(Cmd::Act, fifth, now), first_act + c.timings.faw);
+}
+
+TEST_P(TimingAcrossPresets, WriteRecoveryBeforePrecharge) {
+  const auto c = cfg();
+  Channel ch(c, 0, nullptr);
+  Coord a{0, 0, 0, 10, 0};
+  ch.issue(Cmd::Act, a, 0);
+  const Cycle w = c.timings.rcd;
+  ch.issue(Cmd::Wr, a, w);
+  EXPECT_GE(ch.earliest(Cmd::Pre, a, w),
+            w + c.timings.cwl + c.timings.bl + c.timings.wr);
+}
+
+TEST_P(TimingAcrossPresets, ReadToPreRespectsTrtp) {
+  const auto c = cfg();
+  Channel ch(c, 0, nullptr);
+  Coord a{0, 0, 0, 10, 0};
+  ch.issue(Cmd::Act, a, 0);
+  const Cycle r = std::max<Cycle>(c.timings.rcd, c.timings.ras);  // read late
+  ch.issue(Cmd::Rd, a, r);
+  EXPECT_GE(ch.earliest(Cmd::Pre, a, r), r + c.timings.rtp);
+}
+
+TEST_P(TimingAcrossPresets, WriteToReadTurnaround) {
+  const auto c = cfg();
+  Channel ch(c, 0, nullptr);
+  Coord a{0, 0, 0, 10, 0};
+  ch.issue(Cmd::Act, a, 0);
+  const Cycle w = c.timings.rcd;
+  ch.issue(Cmd::Wr, a, w);
+  EXPECT_GE(ch.earliest(Cmd::Rd, a, w),
+            w + c.timings.cwl + c.timings.bl + c.timings.wtr);
+}
+
+TEST_P(TimingAcrossPresets, RefreshBlocksRankForTrfc) {
+  const auto c = cfg();
+  Channel ch(c, 0, nullptr);
+  Coord rank0{0, 0, 0, 0, 0};
+  ch.issue(Cmd::Ref, rank0, 0);
+  EXPECT_GE(ch.earliest(Cmd::Act, rank0, 0), c.timings.rfc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, TimingAcrossPresets,
+                         ::testing::Values("DDR4_2400", "DDR4_3200", "LPDDR4_3200",
+                                           "HBM_STACK"));
+
+TEST(Timing, StatePreconditions) {
+  Channel ch(DramConfig::ddr4_2400(), 0, nullptr);
+  Coord a{0, 0, 0, 10, 0};
+  // Rd/Wr/Pre illegal on a closed bank; Act illegal on an open one.
+  EXPECT_EQ(ch.earliest(Cmd::Rd, a, 0), kCycleNever);
+  EXPECT_EQ(ch.earliest(Cmd::Wr, a, 0), kCycleNever);
+  EXPECT_EQ(ch.earliest(Cmd::Pre, a, 0), kCycleNever);
+  ch.issue(Cmd::Act, a, 0);
+  EXPECT_EQ(ch.earliest(Cmd::Act, a, 100), kCycleNever);
+  // Rd to a different (non-open) row is illegal.
+  Coord other = a;
+  other.row = 11;
+  EXPECT_EQ(ch.earliest(Cmd::Rd, other, 100), kCycleNever);
+}
+
+TEST(Timing, RequiredCmdStateMachine) {
+  Channel ch(DramConfig::ddr4_2400(), 0, nullptr);
+  Coord a{0, 0, 0, 10, 0};
+  EXPECT_EQ(ch.required_cmd(a, AccessType::Read), Cmd::Act);
+  ch.issue(Cmd::Act, a, 0);
+  EXPECT_EQ(ch.required_cmd(a, AccessType::Read), Cmd::Rd);
+  EXPECT_EQ(ch.required_cmd(a, AccessType::Write), Cmd::Wr);
+  Coord conflict = a;
+  conflict.row = 99;
+  EXPECT_EQ(ch.required_cmd(conflict, AccessType::Read), Cmd::Pre);
+}
+
+TEST(Timing, RefRequiresAllBanksClosed) {
+  Channel ch(DramConfig::ddr4_2400(), 0, nullptr);
+  Coord a{0, 0, 3, 10, 0};
+  ch.issue(Cmd::Act, a, 0);
+  Coord rank0{0, 0, 0, 0, 0};
+  EXPECT_EQ(ch.earliest(Cmd::Ref, rank0, 1000), kCycleNever);
+  ch.issue(Cmd::Pre, a, DramConfig::ddr4_2400().timings.ras);
+  EXPECT_NE(ch.earliest(Cmd::Ref, rank0, 1000), kCycleNever);
+}
+
+TEST(Timing, PreAllClosesEverything) {
+  const auto cfg = DramConfig::ddr4_2400();
+  Channel ch(cfg, 0, nullptr);
+  for (std::uint32_t b = 0; b < 3; ++b) {
+    Coord x{0, 0, b, 5, 0};
+    const Cycle t = ch.earliest(Cmd::Act, x, b * cfg.timings.rrd);
+    ch.issue(Cmd::Act, x, t);
+  }
+  Coord rank0{0, 0, 0, 0, 0};
+  const Cycle t = ch.earliest(Cmd::PreAll, rank0, 0);
+  ASSERT_NE(t, kCycleNever);
+  ch.issue(Cmd::PreAll, rank0, t);
+  EXPECT_TRUE(ch.all_banks_closed(0));
+  EXPECT_EQ(ch.stats().pres, 3u);
+}
+
+TEST(Timing, EarliestNeverBeforeNow) {
+  Channel ch(DramConfig::ddr4_2400(), 0, nullptr);
+  Coord a{0, 0, 0, 10, 0};
+  EXPECT_GE(ch.earliest(Cmd::Act, a, 12345), 12345u);
+}
+
+TEST(Timing, BankIndependence) {
+  auto cfg = DramConfig::ddr4_2400();
+  cfg.geometry.ranks = 2;
+  Channel ch(cfg, 0, nullptr);
+  Coord a{0, 0, 0, 10, 0};
+  ch.issue(Cmd::Act, a, 0);
+  // A different rank is unconstrained by tRRD of rank 0.
+  Coord other_rank{0, 1, 0, 10, 0};
+  EXPECT_EQ(ch.earliest(Cmd::Act, other_rank, 0), 0u);
+}
+
+TEST(Timing, EnergyAccumulatesPerCommand) {
+  const auto cfg = DramConfig::ddr4_2400();
+  Channel ch(cfg, 0, nullptr);
+  Coord a{0, 0, 0, 10, 0};
+  ch.issue(Cmd::Act, a, 0);
+  ch.issue(Cmd::Rd, a, cfg.timings.rcd);
+  const double expect = cfg.energy.act + cfg.energy.rd + cfg.energy.bus_per_line;
+  EXPECT_DOUBLE_EQ(ch.stats().cmd_energy, expect);
+  EXPECT_DOUBLE_EQ(ch.stats().bus_energy, cfg.energy.bus_per_line);
+}
+
+TEST(Timing, BackgroundEnergyScalesWithRanks) {
+  auto cfg = DramConfig::ddr4_2400();
+  cfg.geometry.ranks = 2;
+  Channel ch(cfg, 0, nullptr);
+  EXPECT_DOUBLE_EQ(ch.background_energy(1000),
+                   1000.0 * cfg.energy.standby_per_cycle * 2);
+}
+
+TEST(Salp, TwoSubarraysOpenSimultaneously) {
+  auto cfg = DramConfig::ddr4_2400();
+  cfg.timings.salp = true;
+  Channel ch(cfg, 0, nullptr);
+  // Rows in subarrays 0 and 1 of bank 0.
+  Coord a{0, 0, 0, 5, 0};
+  Coord b{0, 0, 0, cfg.geometry.rows_per_subarray + 3, 0};
+  ch.issue(Cmd::Act, a, 0);
+  const Cycle t = ch.earliest(Cmd::Act, b, 0);
+  ASSERT_NE(t, kCycleNever);           // no precharge needed
+  EXPECT_EQ(t, cfg.timings.rrd);       // only inter-ACT spacing
+  ch.issue(Cmd::Act, b, t);
+  EXPECT_TRUE(ch.bank_open(a));
+  EXPECT_TRUE(ch.bank_open(b));
+  EXPECT_EQ(ch.open_row(a), a.row);
+  EXPECT_EQ(ch.open_row(b), b.row);
+  // Both rows readable as row hits.
+  EXPECT_EQ(ch.required_cmd(a, AccessType::Read), Cmd::Rd);
+  EXPECT_EQ(ch.required_cmd(b, AccessType::Read), Cmd::Rd);
+}
+
+TEST(Salp, SameSubarrayStillConflicts) {
+  auto cfg = DramConfig::ddr4_2400();
+  cfg.timings.salp = true;
+  Channel ch(cfg, 0, nullptr);
+  Coord a{0, 0, 0, 5, 0};
+  Coord b{0, 0, 0, 6, 0};  // same subarray
+  ch.issue(Cmd::Act, a, 0);
+  EXPECT_EQ(ch.required_cmd(b, AccessType::Read), Cmd::Pre);
+  EXPECT_EQ(ch.earliest(Cmd::Act, b, 100), kCycleNever);
+}
+
+TEST(Salp, RefRequiresAllSubarraysClosed) {
+  auto cfg = DramConfig::ddr4_2400();
+  cfg.timings.salp = true;
+  Channel ch(cfg, 0, nullptr);
+  Coord a{0, 0, 0, 5, 0};
+  ch.issue(Cmd::Act, a, 0);
+  Coord rank0{0, 0, 0, 0, 0};
+  EXPECT_EQ(ch.earliest(Cmd::Ref, rank0, 1000), kCycleNever);
+  const Cycle tp = ch.earliest(Cmd::Pre, a, 1000);
+  ch.issue(Cmd::Pre, a, tp);
+  EXPECT_NE(ch.earliest(Cmd::Ref, rank0, tp + 100), kCycleNever);
+}
+
+TEST(Salp, TimingIdenticalWhenDisabled) {
+  // The flag off must reproduce the exact baseline behaviour.
+  auto cfg = DramConfig::ddr4_2400();
+  Channel base(cfg, 0, nullptr);
+  cfg.timings.salp = false;
+  Channel same(cfg, 0, nullptr);
+  Coord a{0, 0, 0, 5, 0};
+  EXPECT_EQ(base.earliest(Cmd::Act, a, 0), same.earliest(Cmd::Act, a, 0));
+}
+
+TEST(Salp, InterSubarrayAlternationAvoidsConflictLatency) {
+  auto run = [](bool salp) {
+    auto cfg = DramConfig::ddr4_2400();
+    cfg.timings.salp = salp;
+    Channel ch(cfg, 0, nullptr);
+    Coord a{0, 0, 0, 5, 0};
+    Coord b{0, 0, 0, cfg.geometry.rows_per_subarray + 3, 0};
+    Cycle now = 0;
+    // Alternate reads between the two rows, dependent-access style.
+    for (int i = 0; i < 20; ++i) {
+      const Coord& c = (i % 2) ? b : a;
+      const Cmd need = ch.required_cmd(c, AccessType::Read);
+      if (need != Cmd::Rd) {
+        if (need == Cmd::Pre) {
+          const Cycle tp = ch.earliest(Cmd::Pre, c, now);
+          ch.issue(Cmd::Pre, c, tp);
+          now = tp + 1;
+        }
+        const Cycle ta = ch.earliest(Cmd::Act, c, now);
+        ch.issue(Cmd::Act, c, ta);
+        now = ta + 1;
+      }
+      const Cycle tr = ch.earliest(Cmd::Rd, c, now);
+      ch.issue(Cmd::Rd, c, tr);
+      now = tr + cfg.timings.cl + cfg.timings.bl;
+    }
+    return now;
+  };
+  // SALP turns every access after warmup into a row hit.
+  EXPECT_LT(run(true), run(false) * 2 / 3);
+}
+
+TEST(Timing, ActHookFires) {
+  Channel ch(DramConfig::ddr4_2400(), 0, nullptr);
+  int acts = 0;
+  Coord last{};
+  ch.set_act_hook([&](const Coord& c, Cycle) {
+    ++acts;
+    last = c;
+  });
+  Coord a{0, 0, 2, 42, 0};
+  ch.issue(Cmd::Act, a, 0);
+  EXPECT_EQ(acts, 1);
+  EXPECT_EQ(last.row, 42u);
+  EXPECT_EQ(last.bank, 2u);
+}
+
+}  // namespace
+}  // namespace ima::dram

@@ -1,0 +1,133 @@
+// Randomized invariant tests ("fuzz"): long random-but-legal command
+// sequences against the channel, random traffic through full systems, and
+// translation-mode properties — checking invariants that unit tests with
+// hand-picked inputs could miss.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "dram/channel.hh"
+#include "mem/memsys.hh"
+#include "vm/vm.hh"
+
+namespace ima {
+namespace {
+
+class ChannelFuzz : public ::testing::TestWithParam<bool> {};  // param = SALP
+
+TEST_P(ChannelFuzz, RandomLegalSequencesKeepInvariants) {
+  auto cfg = dram::DramConfig::ddr4_2400();
+  cfg.geometry.banks = 4;
+  cfg.geometry.subarrays = 4;
+  cfg.geometry.rows_per_subarray = 32;
+  cfg.geometry.columns = 8;
+  cfg.timings.salp = GetParam();
+  dram::Channel chan(cfg, 0, nullptr);
+  Rng rng(42);
+
+  Cycle now = 0;
+  std::uint64_t issued = 0;
+  for (int step = 0; step < 50'000; ++step) {
+    dram::Coord c{0, 0, static_cast<std::uint32_t>(rng.next_below(4)),
+                  static_cast<std::uint32_t>(rng.next_below(cfg.geometry.rows_per_bank())),
+                  static_cast<std::uint32_t>(rng.next_below(8))};
+    // Walk the legal-command state machine: required_cmd is always legal
+    // eventually; earliest() must be >= now and finite for it.
+    const dram::Cmd cmd = chan.required_cmd(c, rng.chance(0.3) ? AccessType::Write
+                                                               : AccessType::Read);
+    const Cycle t = chan.earliest(cmd, c, now);
+    ASSERT_NE(t, kCycleNever) << "required command never becomes legal";
+    ASSERT_GE(t, now);
+    chan.issue(cmd, c, t);
+    ++issued;
+    // Time advances monotonically; occasionally add idle gaps.
+    now = t + (rng.chance(0.1) ? rng.next_below(100) : 1);
+  }
+  EXPECT_EQ(issued, 50'000u);
+  const auto& st = chan.stats();
+  // Conservation: every RD/WR needed an open row, every open row an ACT.
+  EXPECT_GT(st.acts, 0u);
+  EXPECT_GE(st.acts, st.pres);  // can't close more rows than were opened
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ChannelFuzz, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? std::string("salp") : std::string("baseline");
+                         });
+
+TEST(SystemFuzz, RandomTrafficConservesRequests) {
+  // Heavier, randomized version of the controller conservation test, with
+  // refresh, ChargeCache and power management all enabled at once.
+  auto dram_cfg = dram::DramConfig::ddr4_2400();
+  dram_cfg.geometry.channels = 2;
+  mem::ControllerConfig ctrl;
+  ctrl.charge_cache = true;
+  ctrl.powerdown_timeout = 300;
+  ctrl.selfrefresh_timeout = 4000;
+  ctrl.per_core_read_quota = 16;
+  mem::MemorySystem sys(dram_cfg, ctrl);
+  Rng rng(7);
+  std::uint64_t accepted = 0, completed = 0;
+  Cycle now = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    if (rng.chance(0.6)) {
+      mem::Request r;
+      r.addr = line_base(rng.next_below(dram_cfg.geometry.total_bytes()));
+      r.type = rng.chance(0.3) ? AccessType::Write : AccessType::Read;
+      r.core = static_cast<std::uint32_t>(rng.next_below(4));
+      r.arrive = now;
+      if (sys.enqueue(r, [&](const mem::Request&) { ++completed; })) ++accepted;
+    }
+    sys.tick(now);
+    now += 1 + rng.next_below(3);
+    if (rng.chance(0.001)) {  // long idle gaps exercise the power manager
+      const Cycle end = now + 10'000;
+      while (now < end) sys.tick(now++);
+    }
+  }
+  const Cycle end = sys.drain(now, now + 50'000'000);
+  ASSERT_LT(end, now + 50'000'000);
+  EXPECT_EQ(completed, accepted);
+  const auto st = sys.aggregate_stats();
+  EXPECT_EQ(st.reads_done + st.writes_done, accepted);
+}
+
+class MmuModes : public ::testing::TestWithParam<vm::TranslationMode> {};
+
+TEST_P(MmuModes, TranslationIsInjectiveAndStable) {
+  vm::Mmu::Config cfg;
+  cfg.mode = GetParam();
+  vm::Mmu mmu(cfg, [](Addr) { return Cycle{40}; });
+  if (cfg.mode == vm::TranslationMode::Vbi) mmu.add_block(0, 1ull << 30, 1ull << 20);
+
+  Rng rng(9);
+  std::unordered_map<Addr, Addr> seen;   // vaddr (line) -> paddr
+  std::set<Addr> phys_lines;
+  for (int i = 0; i < 5000; ++i) {
+    const Addr v = line_base(rng.next_below(1ull << 30));
+    const auto r = mmu.translate(v);
+    ASSERT_FALSE(r.fault);
+    auto [it, fresh] = seen.emplace(v, r.paddr);
+    if (!fresh) {
+      EXPECT_EQ(it->second, r.paddr) << "translation not stable";
+    } else {
+      EXPECT_TRUE(phys_lines.insert(r.paddr).second)
+          << "two virtual lines share a physical line";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, MmuModes,
+                         ::testing::Values(vm::TranslationMode::Radix4K,
+                                           vm::TranslationMode::Radix2M,
+                                           vm::TranslationMode::Vbi),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace ima

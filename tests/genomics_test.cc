@@ -1,0 +1,250 @@
+// Genomics tests: edit-distance oracles, GenASM bitvector matcher vs DP,
+// SneakySnake losslessness, and the end-to-end mapping pipeline.
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "genomics/pipeline.hh"
+#include "workloads/genome.hh"
+
+namespace ima::genomics {
+namespace {
+
+std::string random_dna(std::size_t n, Rng& rng) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  std::string s(n, 'A');
+  for (auto& c : s) c = kBases[rng.next_below(4)];
+  return s;
+}
+
+std::string mutate(std::string s, std::uint32_t edits, Rng& rng) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  for (std::uint32_t e = 0; e < edits; ++e) {
+    const auto pos = rng.next_below(s.size());
+    switch (rng.next_below(3)) {
+      case 0:  // substitution
+        s[pos] = kBases[rng.next_below(4)];
+        break;
+      case 1:  // insertion
+        s.insert(s.begin() + static_cast<std::ptrdiff_t>(pos), kBases[rng.next_below(4)]);
+        break;
+      default:  // deletion
+        if (s.size() > 1) s.erase(s.begin() + static_cast<std::ptrdiff_t>(pos));
+        break;
+    }
+  }
+  return s;
+}
+
+/// Semi-global oracle: min edits to match `pattern` against any substring
+/// of `text` (free start and end in text).
+std::uint32_t semiglobal_oracle(std::string_view pattern, std::string_view text) {
+  const std::size_t n = pattern.size(), m = text.size();
+  std::vector<std::uint32_t> prev(m + 1, 0), cur(m + 1, 0);  // row 0 free
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<std::uint32_t>(i);
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::uint32_t sub = prev[j - 1] + (pattern[i - 1] != text[j - 1] ? 1 : 0);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return *std::min_element(prev.begin(), prev.end());
+}
+
+TEST(EditDistance, KnownValues) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("ACGT", "ACGT"), 0u);
+  EXPECT_EQ(edit_distance("ACGT", "AGGT"), 1u);
+  EXPECT_EQ(edit_distance("ACGT", "CGT"), 1u);
+  EXPECT_EQ(edit_distance("ACGT", "ACGTT"), 1u);
+  EXPECT_EQ(edit_distance("AAAA", "TTTT"), 4u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+}
+
+TEST(EditDistance, SymmetricAndTriangle) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = random_dna(30, rng), b = random_dna(32, rng), c = random_dna(28, rng);
+    EXPECT_EQ(edit_distance(a, b), edit_distance(b, a));
+    EXPECT_LE(edit_distance(a, c), edit_distance(a, b) + edit_distance(b, c));
+  }
+}
+
+TEST(BandedEditDistance, ExactWithinBand) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = random_dna(40, rng);
+    const auto b = mutate(a, rng.next_below(4), rng);
+    const auto exact = edit_distance(a, b);
+    const auto banded = banded_edit_distance(a, b, 6);
+    if (exact <= 6) EXPECT_EQ(banded, exact);
+    else EXPECT_EQ(banded, 7u);
+  }
+}
+
+TEST(BandedEditDistance, CapsWhenBeyondBand) {
+  EXPECT_EQ(banded_edit_distance("AAAAAAAA", "TTTTTTTT", 3), 4u);
+}
+
+TEST(Genasm, ExactMatchFound) {
+  GenasmMatcher m("ACGTACGT");
+  const auto res = m.search("TTTTACGTACGTTTTT", 0);
+  EXPECT_TRUE(res.accepted);
+  EXPECT_EQ(res.best_errors, 0u);
+  EXPECT_EQ(res.end_pos, 12u);
+}
+
+TEST(Genasm, RejectsWhenNoMatch) {
+  GenasmMatcher m("ACGTACGTACGT");
+  EXPECT_FALSE(m.search("GGGGGGGGGGGGGGGGGG", 1).accepted);
+}
+
+TEST(Genasm, FindsMatchWithEdits) {
+  GenasmMatcher m("ACGTACGTAC");
+  // One substitution in the middle of the embedded pattern.
+  EXPECT_FALSE(m.search("TTACGTTCGTACTT", 0).accepted);
+  EXPECT_TRUE(m.search("TTACGTTCGTACTT", 1).accepted);
+}
+
+class GenasmOracle : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(GenasmOracle, AgreesWithSemiglobalDp) {
+  const std::uint32_t k = GetParam();
+  Rng rng(100 + k);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto pattern = random_dna(20 + rng.next_below(30), rng);
+    std::string text;
+    if (rng.chance(0.5)) {
+      // Embed a mutated copy so matches actually occur.
+      text = random_dna(10, rng) + mutate(pattern, rng.next_below(k + 2), rng) +
+             random_dna(10, rng);
+    } else {
+      text = random_dna(pattern.size() + 20, rng);
+    }
+    GenasmMatcher m(pattern);
+    const auto res = m.search(text, k);
+    const auto oracle = semiglobal_oracle(pattern, text);
+    EXPECT_EQ(res.accepted, oracle <= k)
+        << "pattern=" << pattern << " text=" << text << " k=" << k
+        << " oracle=" << oracle;
+    if (res.accepted) {
+      EXPECT_EQ(res.best_errors, oracle);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, GenasmOracle, ::testing::Values(0u, 1u, 2u, 4u, 7u));
+
+TEST(Genasm, MultiWordPatterns) {
+  // Patterns longer than 64 characters exercise the carry chain.
+  Rng rng(9);
+  const auto pattern = random_dna(150, rng);
+  const auto text = random_dna(40, rng) + mutate(pattern, 3, rng) + random_dna(40, rng);
+  GenasmMatcher m(pattern);
+  const auto oracle = semiglobal_oracle(pattern, text);
+  ASSERT_LE(oracle, 6u);
+  EXPECT_TRUE(m.search(text, 6).accepted);
+  EXPECT_EQ(m.search(text, 6).best_errors, oracle);
+  EXPECT_FALSE(m.search(random_dna(200, rng), 2).accepted);
+}
+
+TEST(Genasm, AcceleratorCostModelLinearInText) {
+  GenasmMatcher m("ACGTACGTACGTACGT");
+  EXPECT_GT(m.accelerator_cycles(2000, 3), m.accelerator_cycles(1000, 3));
+  EXPECT_LT(m.accelerator_cycles(1000, 3), 1200u);
+}
+
+class SnakeLossless : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SnakeLossless, NeverRejectsTrueMatches) {
+  // The filter's contract: if edit_distance(read, aligned ref window) <= k,
+  // it must accept. (False accepts are allowed — the aligner catches them.)
+  const std::uint32_t k = GetParam();
+  Rng rng(200 + k);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto ref_core = random_dna(80, rng);
+    const auto read = mutate(ref_core, rng.next_below(k + 1), rng);
+    const std::string window = ref_core + random_dna(k, rng);
+    const auto d = edit_distance(read, ref_core);
+    if (d <= k) {
+      EXPECT_TRUE(sneaky_snake(read, window, k))
+          << "rejected a true match with distance " << d << " at k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, SnakeLossless, ::testing::Values(1u, 2u, 4u, 6u));
+
+TEST(Snake, RejectsGrosslyDifferentPairs) {
+  Rng rng(5);
+  int rejected = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto a = random_dna(80, rng);
+    const auto b = random_dna(90, rng);
+    if (!sneaky_snake(a, b, 3)) ++rejected;
+  }
+  // Random 80-mers differ in ~60 positions; nearly all must be rejected.
+  EXPECT_GT(rejected, 90);
+}
+
+TEST(Snake, AcceptsIdentical) {
+  EXPECT_TRUE(sneaky_snake("ACGTACGT", "ACGTACGT", 0));
+}
+
+TEST(SeedIndex, FindsAllSampledPositions) {
+  const std::string ref = "ACGTACGTACGTACGT";
+  SeedIndex idx(ref, 4, 1);
+  const auto kmer = workloads::pack_kmer("ACGT", 4);
+  const auto& hits = idx.lookup(kmer);
+  EXPECT_EQ(hits.size(), 4u);  // positions 0, 4, 8, 12
+  EXPECT_TRUE(idx.lookup(workloads::pack_kmer("AAAA", 4)).empty());
+}
+
+TEST(Pipeline, MapsErrorFreeReadsPerfectly) {
+  const auto genome = workloads::make_genome(50'000, 30, 100, 0.0, 3);
+  PipelineConfig cfg;
+  cfg.max_errors = 4;
+  const auto st = map_reads(genome, cfg);
+  EXPECT_EQ(st.reads, 30u);
+  EXPECT_EQ(st.mapped, 30u);
+  EXPECT_EQ(st.recall(), 1.0);
+}
+
+TEST(Pipeline, MapsNoisyReadsWithHighRecall) {
+  const auto genome = workloads::make_genome(50'000, 40, 100, 0.02, 4);
+  PipelineConfig cfg;
+  cfg.max_errors = 6;
+  const auto st = map_reads(genome, cfg);
+  EXPECT_GT(st.recall(), 0.9);
+}
+
+TEST(Pipeline, FilterPreservesRecallAndCutsAlignments) {
+  const auto genome = workloads::make_genome(100'000, 30, 100, 0.02, 5);
+  PipelineConfig with;
+  with.max_errors = 6;
+  with.use_snake_filter = true;
+  PipelineConfig without = with;
+  without.use_snake_filter = false;
+  const auto a = map_reads(genome, with);
+  const auto b = map_reads(genome, without);
+  EXPECT_EQ(a.mapped_correctly, b.mapped_correctly);  // filter is lossless here
+  EXPECT_LT(a.alignments, b.alignments);              // and it removes work
+}
+
+TEST(Pipeline, GenasmAndDpAgreeOnRecall) {
+  const auto genome = workloads::make_genome(50'000, 30, 100, 0.01, 7);
+  PipelineConfig ga;
+  ga.max_errors = 5;
+  ga.use_genasm = true;
+  PipelineConfig dp = ga;
+  dp.use_genasm = false;
+  const auto a = map_reads(genome, ga);
+  const auto b = map_reads(genome, dp);
+  // GenASM semi-global search is at least as permissive as prefix-banded DP.
+  EXPECT_GE(a.mapped_correctly, b.mapped_correctly);
+  EXPECT_GT(a.accel_cycles, 0u);
+  EXPECT_GT(b.dp_cells, 0u);
+}
+
+}  // namespace
+}  // namespace ima::genomics

@@ -1,0 +1,180 @@
+// Tests for the latency-reduction mechanisms (AL-DRAM timing scaling,
+// ChargeCache) and the D-RaNGe in-DRAM TRNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/memsys.hh"
+#include "pim/trng.hh"
+
+namespace ima {
+namespace {
+
+TEST(AlDram, ScaledTimingsShrinkCoreParameters) {
+  const auto base = dram::DramConfig::ddr4_2400();
+  const auto scaled = base.with_scaled_timings(0.8);
+  EXPECT_LT(scaled.timings.rcd, base.timings.rcd);
+  EXPECT_LT(scaled.timings.ras, base.timings.ras);
+  EXPECT_LT(scaled.timings.rp, base.timings.rp);
+  EXPECT_LT(scaled.timings.rc, base.timings.rc);
+  // Bus/burst parameters are interface-bound and must not change.
+  EXPECT_EQ(scaled.timings.cl, base.timings.cl);
+  EXPECT_EQ(scaled.timings.bl, base.timings.bl);
+  EXPECT_EQ(scaled.timings.ccd, base.timings.ccd);
+}
+
+TEST(AlDram, NeverScalesToZero) {
+  const auto scaled = dram::DramConfig::ddr4_2400().with_scaled_timings(0.01);
+  EXPECT_GE(scaled.timings.rcd, 1u);
+  EXPECT_GE(scaled.timings.rp, 1u);
+}
+
+TEST(AlDram, ScaledConfigReducesMissLatency) {
+  auto run_latency = [](const dram::DramConfig& cfg) {
+    mem::ControllerConfig ctrl;
+    mem::MemorySystem sys(cfg, ctrl);
+    Cycle done = 0;
+    mem::Request r;
+    r.addr = 0;
+    sys.enqueue(r, [&](const mem::Request& req) { done = req.complete; });
+    sys.drain(0);
+    return done;
+  };
+  const auto base = dram::DramConfig::ddr4_2400();
+  EXPECT_LT(run_latency(base.with_scaled_timings(0.8)), run_latency(base));
+}
+
+TEST(ChargeCache, ChargedActivationUsesReducedTimings) {
+  const auto cfg = dram::DramConfig::ddr4_2400();
+  dram::Channel chan(cfg, 0, nullptr);
+  dram::Coord c{0, 0, 0, 5, 0};
+  chan.issue_act_charged(c, 0);
+  EXPECT_EQ(chan.earliest(dram::Cmd::Rd, c, 0), cfg.timings.rcd_charged);
+  EXPECT_EQ(chan.earliest(dram::Cmd::Pre, c, 0), cfg.timings.ras_charged);
+  EXPECT_EQ(chan.stats().charged_acts, 1u);
+}
+
+TEST(ChargeCache, ControllerHitsOnRecentlyClosedRow) {
+  auto dram_cfg = dram::DramConfig::ddr4_2400();
+  mem::ControllerConfig ctrl;
+  ctrl.sched = mem::SchedKind::Fcfs;
+  ctrl.charge_cache = true;
+  mem::MemorySystem sys(dram_cfg, ctrl);
+
+  // Alternate two rows of one bank with serialized (dependent) accesses:
+  // each row's second activation should hit the charge cache.
+  const Addr row4 =
+      static_cast<Addr>(dram_cfg.geometry.row_bytes()) * dram_cfg.geometry.banks * 4;
+  Cycle now = 0;
+  for (int i = 0; i < 20; ++i) {
+    mem::Request r;
+    r.addr = (i % 2) ? row4 : 0;
+    r.arrive = now;
+    ASSERT_TRUE(sys.enqueue(r));
+    now = sys.drain(now);
+  }
+  const auto& st = sys.controller(0).stats();
+  EXPECT_GT(st.charge_cache_hits, 10u);
+  EXPECT_GT(sys.channel(0).stats().charged_acts, 10u);
+}
+
+TEST(ChargeCache, ReducesConflictLatency) {
+  auto run = [](bool cc) {
+    auto dram_cfg = dram::DramConfig::ddr4_2400();
+    mem::ControllerConfig ctrl;
+    ctrl.sched = mem::SchedKind::Fcfs;
+    ctrl.charge_cache = cc;
+    mem::MemorySystem sys(dram_cfg, ctrl);
+    const Addr row4 =
+        static_cast<Addr>(dram_cfg.geometry.row_bytes()) * dram_cfg.geometry.banks * 4;
+    Cycle now = 0;
+    for (int i = 0; i < 50; ++i) {
+      mem::Request r;
+      r.addr = (i % 2) ? row4 : 0;
+      r.arrive = now;
+      sys.enqueue(r);
+      now = sys.drain(now);
+    }
+    return sys.controller(0).stats().read_latency.mean();
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(ChargeCache, ExpiredEntriesMiss) {
+  auto dram_cfg = dram::DramConfig::ddr4_2400();
+  mem::ControllerConfig ctrl;
+  ctrl.sched = mem::SchedKind::Fcfs;
+  ctrl.charge_cache = true;
+  ctrl.charge_retention = 100;  // expire almost immediately
+  mem::MemorySystem sys(dram_cfg, ctrl);
+  const Addr row4 =
+      static_cast<Addr>(dram_cfg.geometry.row_bytes()) * dram_cfg.geometry.banks * 4;
+  Cycle now = 0;
+  for (int i = 0; i < 10; ++i) {
+    mem::Request r;
+    r.addr = (i % 2) ? row4 : 0;
+    r.arrive = now;
+    sys.enqueue(r);
+    now = sys.drain(now) + 500;  // far beyond retention
+  }
+  EXPECT_EQ(sys.controller(0).stats().charge_cache_hits, 0u);
+}
+
+TEST(Trng, Produces64BitChunks) {
+  const auto cfg = dram::DramConfig::ddr4_2400();
+  dram::Channel chan(cfg, 0, nullptr);
+  pim::DRangeTrng trng(chan);
+  Cycle now = 0;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 50; ++i) seen.insert(trng.next64(&now));
+  EXPECT_EQ(seen.size(), 50u);  // no repeats in 50 draws
+  EXPECT_EQ(trng.bits_generated(), 50u * 64u);
+  EXPECT_GT(trng.reads_issued(), 0u);
+  EXPECT_GT(now, 0u);
+}
+
+TEST(Trng, RoughlyBalancedBits) {
+  const auto cfg = dram::DramConfig::ddr4_2400();
+  dram::Channel chan(cfg, 0, nullptr);
+  pim::DRangeTrng trng(chan);
+  Cycle now = 0;
+  std::uint64_t ones = 0;
+  constexpr int kDraws = 400;
+  for (int i = 0; i < kDraws; ++i) ones += std::popcount(trng.next64(&now));
+  const double frac = static_cast<double>(ones) / (kDraws * 64.0);
+  EXPECT_NEAR(frac, 0.5, 0.02);
+}
+
+TEST(Trng, DeterministicPerSeed) {
+  const auto cfg = dram::DramConfig::ddr4_2400();
+  dram::Channel c1(cfg, 0, nullptr), c2(cfg, 0, nullptr);
+  pim::DRangeTrng a(c1, 4, 16, 99), b(c2, 4, 16, 99);
+  Cycle n1 = 0, n2 = 0;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next64(&n1), b.next64(&n2));
+  EXPECT_EQ(n1, n2);
+}
+
+TEST(Trng, ThroughputInPublishedBallpark) {
+  // D-RaNGe reports ~100-700 Mb/s per channel depending on configuration.
+  const auto cfg = dram::DramConfig::ddr4_2400();
+  dram::Channel chan(cfg, 0, nullptr);
+  pim::DRangeTrng trng(chan, 8, 32);
+  Cycle now = 0;
+  for (int i = 0; i < 1000; ++i) trng.next64(&now);
+  const double mbps = trng.throughput_mbps(now);
+  EXPECT_GT(mbps, 50.0);
+  EXPECT_LT(mbps, 2000.0);
+}
+
+TEST(Trng, MoreCellsPerReadIsFaster) {
+  const auto cfg = dram::DramConfig::ddr4_2400();
+  dram::Channel c1(cfg, 0, nullptr), c2(cfg, 0, nullptr);
+  pim::DRangeTrng slow(c1, 4, 4), fast(c2, 4, 32);
+  Cycle ns = 0, nf = 0;
+  for (int i = 0; i < 100; ++i) slow.next64(&ns);
+  for (int i = 0; i < 100; ++i) fast.next64(&nf);
+  EXPECT_LT(nf, ns);
+}
+
+}  // namespace
+}  // namespace ima

@@ -1,0 +1,136 @@
+// MISE slowdown-estimation tests: the estimator must track ground-truth
+// slowdowns measured by actually running each app alone.
+#include <gtest/gtest.h>
+
+#include "mem/memsys.hh"
+#include "workloads/stream.hh"
+
+namespace ima::mem {
+namespace {
+
+struct Injector {
+  std::unique_ptr<workloads::AccessStream> stream;
+  std::uint32_t mlp = 8;
+  std::uint32_t outstanding = 0;
+  std::uint64_t served = 0;
+};
+
+double run(MemorySystem& sys, std::vector<Injector>& cores, Cycle cycles,
+           std::vector<double>* rates = nullptr) {
+  for (Cycle now = 0; now < cycles; ++now) {
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+      auto& c = cores[i];
+      while (c.outstanding < c.mlp) {
+        const auto e = c.stream->next();
+        if (!sys.can_accept(e.addr, e.type, static_cast<std::uint32_t>(i))) break;
+        Request r;
+        r.addr = e.addr;
+        r.type = e.type;
+        r.core = static_cast<std::uint32_t>(i);
+        r.arrive = now;
+        ++c.outstanding;
+        sys.enqueue(r, [&c](const Request&) {
+          --c.outstanding;
+          ++c.served;
+        });
+      }
+    }
+    sys.tick(now);
+  }
+  double total = 0;
+  for (auto& c : cores) total += static_cast<double>(c.served);
+  if (rates) {
+    rates->clear();
+    for (auto& c : cores)
+      rates->push_back(static_cast<double>(c.served) / static_cast<double>(cycles));
+  }
+  return total;
+}
+
+std::vector<Injector> mix() {
+  std::vector<Injector> v;
+  workloads::StreamParams p;
+  p.footprint = 48ull << 20;
+  p.seed = 31;
+  v.push_back({workloads::make_streaming(p), 16, 0, 0});
+  workloads::StreamParams q = p;
+  q.base = 1ull << 30;
+  q.seed = 32;
+  v.push_back({workloads::make_random(q), 4, 0, 0});
+  workloads::StreamParams r = p;
+  r.base = 2ull << 30;
+  r.seed = 33;
+  v.push_back({workloads::make_row_local(r, 24, 8192), 8, 0, 0});
+  return v;
+}
+
+TEST(Mise, EstimatesAreAtLeastOne) {
+  ControllerConfig mise_ctrl;
+  mise_ctrl.per_core_read_quota = 16;
+  MemorySystem sys(dram::DramConfig::ddr4_2400(), mise_ctrl);
+  sys.controller(0).set_scheduler(make_mise(3));
+  auto cores = mix();
+  run(sys, cores, 300'000);
+  for (double s : mise_estimated_slowdowns(sys.controller(0).scheduler())) {
+    EXPECT_GE(s, 1.0);
+    EXPECT_LT(s, 100.0);
+  }
+}
+
+TEST(Mise, TracksGroundTruthWithinTolerance) {
+  // Ground truth: each app's service rate alone vs shared.
+  std::vector<double> alone_rates;
+  for (int i = 0; i < 3; ++i) {
+    ControllerConfig mise_ctrl;
+  mise_ctrl.per_core_read_quota = 16;
+  MemorySystem sys(dram::DramConfig::ddr4_2400(), mise_ctrl);
+    auto all = mix();
+    std::vector<Injector> one;
+    one.push_back(std::move(all[static_cast<std::size_t>(i)]));
+    std::vector<double> r;
+    run(sys, one, 300'000, &r);
+    alone_rates.push_back(r[0]);
+  }
+
+  ControllerConfig mise_ctrl;
+  mise_ctrl.per_core_read_quota = 16;
+  MemorySystem sys(dram::DramConfig::ddr4_2400(), mise_ctrl);
+  sys.controller(0).set_scheduler(make_mise(3));
+  auto cores = mix();
+  std::vector<double> shared_rates;
+  run(sys, cores, 300'000, &shared_rates);
+
+  const auto est = mise_estimated_slowdowns(sys.controller(0).scheduler());
+  for (int i = 0; i < 3; ++i) {
+    const double actual = alone_rates[static_cast<std::size_t>(i)] /
+                          shared_rates[static_cast<std::size_t>(i)];
+    const double error = std::abs(est[static_cast<std::size_t>(i)] - actual) / actual;
+    // MISE underestimates apps whose interference is bank-state residue the
+    // priority sampler cannot remove (the paper reports up to ~30% error on
+    // such apps, ~8% average); the estimate must still be the right order.
+    EXPECT_LT(error, 0.30) << "app " << i << ": est " << est[static_cast<std::size_t>(i)]
+                           << " actual " << actual;
+  }
+}
+
+TEST(Mise, HomogeneousAppsGetSimilarEstimates) {
+  ControllerConfig mise_ctrl;
+  mise_ctrl.per_core_read_quota = 16;
+  MemorySystem sys(dram::DramConfig::ddr4_2400(), mise_ctrl);
+  sys.controller(0).set_scheduler(make_mise(4));
+  std::vector<Injector> cores;
+  for (int i = 0; i < 4; ++i) {
+    workloads::StreamParams p;
+    p.footprint = 32ull << 20;
+    p.base = static_cast<Addr>(i) << 30;
+    p.seed = 40 + static_cast<std::uint64_t>(i);
+    cores.push_back({workloads::make_random(p), 8, 0, 0});
+  }
+  run(sys, cores, 300'000);
+  const auto est = mise_estimated_slowdowns(sys.controller(0).scheduler());
+  const double mean = (est[0] + est[1] + est[2] + est[3]) / 4.0;
+  for (double s : est) EXPECT_NEAR(s, mean, mean * 0.2);
+}
+
+}  // namespace
+}  // namespace ima::mem

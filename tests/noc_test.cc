@@ -1,0 +1,146 @@
+// On-chip-network tests: delivery guarantees, latency bounds, deflection
+// behaviour, buffered backpressure, for both router types.
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hh"
+
+namespace ima::noc {
+namespace {
+
+NocConfig cfg_of(bool bufferless, std::uint32_t side = 4) {
+  NocConfig c;
+  c.width = side;
+  c.height = side;
+  c.bufferless = bufferless;
+  return c;
+}
+
+class BothRouters : public ::testing::TestWithParam<bool> {};
+
+TEST_P(BothRouters, SinglePacketDeliveredAtManhattanBound) {
+  Mesh mesh(cfg_of(GetParam()));
+  ASSERT_TRUE(mesh.inject(0, 0, 3, 2, 0));
+  Cycle now = 0;
+  while (!mesh.idle() && now < 1000) mesh.tick(now++);
+  ASSERT_TRUE(mesh.idle());
+  const auto& st = mesh.stats();
+  EXPECT_EQ(st.delivered, 1u);
+  EXPECT_GE(st.latency.min(), 5.0);  // manhattan distance 5 hops minimum
+  EXPECT_LE(st.latency.min(), 12.0);
+}
+
+TEST_P(BothRouters, AllPacketsDelivered) {
+  auto mesh = run_uniform_traffic(cfg_of(GetParam(), 6), 0.05, 5000, 3);
+  const auto& st = mesh.stats();
+  EXPECT_GT(st.injected, 1000u);
+  EXPECT_EQ(st.delivered, st.injected);
+  EXPECT_TRUE(mesh.idle());
+}
+
+TEST_P(BothRouters, LatencyAtLeastDistance) {
+  Mesh mesh(cfg_of(GetParam()));
+  // A batch of packets from corners.
+  mesh.inject(0, 0, 3, 3, 0);
+  mesh.inject(3, 3, 0, 0, 0);
+  mesh.inject(0, 3, 3, 0, 0);
+  Cycle now = 0;
+  while (!mesh.idle() && now < 1000) mesh.tick(now++);
+  EXPECT_GE(mesh.stats().latency.min(), 6.0);
+}
+
+TEST_P(BothRouters, SelfTrafficNeverInjected) {
+  Mesh mesh(cfg_of(GetParam()));
+  // run_uniform_traffic skips self-destinations; directly injecting to self
+  // is legal and ejects locally.
+  mesh.inject(1, 1, 1, 1, 0);
+  Cycle now = 0;
+  while (!mesh.idle() && now < 100) mesh.tick(now++);
+  EXPECT_EQ(mesh.stats().delivered, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RouterTypes, BothRouters, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? std::string("bufferless")
+                                             : std::string("buffered");
+                         });
+
+TEST(Bufferless, NoDeflectionsAtTinyLoad) {
+  auto mesh = run_uniform_traffic(cfg_of(true, 6), 0.005, 5000, 5);
+  const double defl_per_packet = static_cast<double>(mesh.stats().deflections) /
+                                 static_cast<double>(mesh.stats().delivered);
+  EXPECT_LT(defl_per_packet, 0.05);
+}
+
+TEST(Bufferless, DeflectionsRiseWithLoad) {
+  const auto low = run_uniform_traffic(cfg_of(true, 6), 0.02, 4000, 5);
+  const auto high = run_uniform_traffic(cfg_of(true, 6), 0.25, 4000, 5);
+  const double d_low = static_cast<double>(low.stats().deflections) /
+                       static_cast<double>(low.stats().delivered);
+  const double d_high = static_cast<double>(high.stats().deflections) /
+                        static_cast<double>(high.stats().delivered);
+  EXPECT_GT(d_high, d_low * 2);
+}
+
+TEST(Bufferless, NoBufferEnergy) {
+  auto cfg = cfg_of(true, 4);
+  auto mesh = run_uniform_traffic(cfg, 0.05, 2000, 7);
+  // Energy = hops * (link + router) exactly — no buffer term.
+  const double expected =
+      mesh.stats().hops.sum() * (cfg.e_link + cfg.e_router) +
+      static_cast<double>(mesh.stats().delivered) * 0;  // eject costs nothing extra
+  EXPECT_NEAR(mesh.stats().energy, expected, expected * 0.01 + 1);
+}
+
+TEST(Buffered, EnergyIncludesBuffering) {
+  auto cfg = cfg_of(false, 4);
+  auto mesh = run_uniform_traffic(cfg, 0.05, 2000, 7);
+  const double per_hop = cfg.e_link + cfg.e_router + cfg.e_buffer;
+  // Ejection adds one router traversal per packet.
+  const double expected = mesh.stats().hops.sum() * per_hop +
+                          static_cast<double>(mesh.stats().delivered) * cfg.e_router;
+  EXPECT_NEAR(mesh.stats().energy, expected, expected * 0.01 + 1);
+}
+
+TEST(Buffered, BackpressureStallsUnderHotspot) {
+  auto cfg = cfg_of(false, 4);
+  Mesh mesh(cfg);
+  // Everyone sends to (0,0): input FIFOs there must fill and push back.
+  Cycle now = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (std::uint32_t y = 0; y < 4; ++y)
+      for (std::uint32_t x = 0; x < 4; ++x)
+        if (x || y) mesh.inject(x, y, 0, 0, now);
+    mesh.tick(now++);
+  }
+  EXPECT_GT(mesh.stats().buffer_stalls, 0u);
+  while (!mesh.idle() && now < 100'000) mesh.tick(now++);
+  EXPECT_EQ(mesh.stats().delivered, mesh.stats().injected);
+}
+
+TEST(Bufferless, LivelockFreeUnderSaturation) {
+  // Oldest-first ranking guarantees progress even at saturation load.
+  auto mesh = run_uniform_traffic(cfg_of(true, 4), 0.5, 3000, 9);
+  EXPECT_EQ(mesh.stats().delivered, mesh.stats().injected);
+  EXPECT_TRUE(mesh.idle());
+}
+
+TEST(Mesh, RejectsWhenInjectQueueFull) {
+  auto cfg = cfg_of(true, 4);
+  cfg.inject_queue = 2;
+  Mesh mesh(cfg);
+  int accepted = 0;
+  for (int i = 0; i < 5; ++i)
+    if (mesh.inject(0, 0, 3, 3, 0)) ++accepted;
+  EXPECT_EQ(accepted, 2);
+  EXPECT_EQ(mesh.stats().inject_rejects, 3u);
+}
+
+TEST(Mesh, HopStatsMatchManhattanAtLowLoad) {
+  auto mesh = run_uniform_traffic(cfg_of(false, 8), 0.01, 5000, 11);
+  // Expected manhattan distance for uniform traffic on an 8x8 mesh ~ 5.3;
+  // buffered XY routing is minimal, so mean hops ~ mean distance.
+  EXPECT_NEAR(mesh.stats().hops.mean(), 5.3, 0.8);
+}
+
+}  // namespace
+}  // namespace ima::noc

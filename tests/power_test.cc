@@ -1,0 +1,128 @@
+// DRAM low-power state tests: state machine, energy weighting, controller
+// timeout policy, refresh interaction.
+#include <gtest/gtest.h>
+
+#include "mem/memsys.hh"
+
+namespace ima {
+namespace {
+
+TEST(PowerStates, BackgroundEnergyWeightedByState) {
+  const auto cfg = dram::DramConfig::ddr4_2400();
+  dram::Channel ch(cfg, 0, nullptr);
+  // 1000 cycles active, 1000 powered down, 1000 self-refresh.
+  ch.enter_power_state(0, dram::Channel::PowerState::PowerDown, 1000);
+  ch.enter_power_state(0, dram::Channel::PowerState::SelfRefresh, 2000);
+  const double rate = cfg.energy.standby_per_cycle;
+  const double expect = 1000 * rate + 1000 * rate * cfg.energy.powerdown_scale +
+                        1000 * rate * cfg.energy.selfrefresh_scale;
+  EXPECT_NEAR(ch.background_energy(3000), expect, 1e-6);
+}
+
+TEST(PowerStates, CommandsIllegalWhilePoweredDown) {
+  const auto cfg = dram::DramConfig::ddr4_2400();
+  dram::Channel ch(cfg, 0, nullptr);
+  ch.enter_power_state(0, dram::Channel::PowerState::PowerDown, 0);
+  dram::Coord a{0, 0, 0, 5, 0};
+  EXPECT_EQ(ch.earliest(dram::Cmd::Act, a, 100), kCycleNever);
+  ch.wake_rank(0, 100);
+  EXPECT_EQ(ch.earliest(dram::Cmd::Act, a, 100), 100 + cfg.timings.xp);
+}
+
+TEST(PowerStates, SelfRefreshExitSlowerThanPowerDown) {
+  const auto cfg = dram::DramConfig::ddr4_2400();
+  dram::Channel a(cfg, 0, nullptr), b(cfg, 0, nullptr);
+  a.enter_power_state(0, dram::Channel::PowerState::PowerDown, 0);
+  b.enter_power_state(0, dram::Channel::PowerState::SelfRefresh, 0);
+  a.wake_rank(0, 100);
+  b.wake_rank(0, 100);
+  dram::Coord c{0, 0, 0, 5, 0};
+  EXPECT_LT(a.earliest(dram::Cmd::Act, c, 100), b.earliest(dram::Cmd::Act, c, 100));
+}
+
+TEST(PowerStates, WakeIsIdempotentWhenActive) {
+  const auto cfg = dram::DramConfig::ddr4_2400();
+  dram::Channel ch(cfg, 0, nullptr);
+  ch.wake_rank(0, 500);
+  dram::Coord a{0, 0, 0, 5, 0};
+  EXPECT_EQ(ch.earliest(dram::Cmd::Act, a, 500), 500u);  // no spurious penalty
+}
+
+TEST(PowerMgmt, ControllerPowersDownIdleRankAndWakesOnDemand) {
+  auto dram_cfg = dram::DramConfig::ddr4_2400();
+  mem::ControllerConfig ctrl;
+  ctrl.powerdown_timeout = 500;
+  mem::MemorySystem sys(dram_cfg, ctrl);
+
+  // One request, then a long idle gap, then another request.
+  Cycle done1 = 0, done2 = 0;
+  mem::Request r;
+  r.addr = 0;
+  sys.enqueue(r, [&](const mem::Request& q) { done1 = q.complete; });
+  Cycle now = sys.drain(0);
+  for (; now < 20'000; ++now) sys.tick(now);  // idle: should power down
+
+  EXPECT_EQ(sys.channel(0).rank_power(0), dram::Channel::PowerState::PowerDown);
+  EXPECT_GE(sys.controller(0).stats().powerdowns, 1u);
+
+  mem::Request r2;
+  r2.addr = 1 << 20;
+  r2.arrive = now;
+  sys.enqueue(r2, [&](const mem::Request& q) { done2 = q.complete; });
+  now = sys.drain(now);
+  EXPECT_GT(done2, 0u);  // served despite the nap
+  EXPECT_EQ(sys.channel(0).rank_power(0), dram::Channel::PowerState::Active);
+  EXPECT_GE(sys.controller(0).stats().rank_wakes, 1u);
+  // The wake penalty shows up in the second request's latency.
+  EXPECT_GE(done2 - r2.arrive, static_cast<Cycle>(dram_cfg.timings.xp));
+  (void)done1;
+}
+
+TEST(PowerMgmt, SelfRefreshAfterLongerIdle) {
+  auto dram_cfg = dram::DramConfig::ddr4_2400();
+  mem::ControllerConfig ctrl;
+  ctrl.powerdown_timeout = 500;
+  ctrl.selfrefresh_timeout = 5'000;
+  mem::MemorySystem sys(dram_cfg, ctrl);
+  mem::Request r;
+  r.addr = 0;
+  sys.enqueue(r);
+  Cycle now = sys.drain(0);
+  for (; now < 100'000; ++now) sys.tick(now);
+  EXPECT_EQ(sys.channel(0).rank_power(0), dram::Channel::PowerState::SelfRefresh);
+  // No REF commands should accumulate while self-refreshing.
+  const auto refs_before = sys.channel(0).stats().refs;
+  for (; now < 200'000; ++now) sys.tick(now);
+  EXPECT_EQ(sys.channel(0).stats().refs, refs_before);
+}
+
+TEST(PowerMgmt, SavesBackgroundEnergyOnIdleWorkload) {
+  auto run_energy = [](Cycle pd_timeout, Cycle sr_timeout) {
+    auto dram_cfg = dram::DramConfig::ddr4_2400();
+    mem::ControllerConfig ctrl;
+    ctrl.powerdown_timeout = pd_timeout;
+    ctrl.selfrefresh_timeout = sr_timeout;
+    mem::MemorySystem sys(dram_cfg, ctrl);
+    Cycle now = 0;
+    for (int burst = 0; burst < 5; ++burst) {
+      for (int i = 0; i < 20; ++i) {
+        mem::Request r;
+        r.addr = static_cast<Addr>(burst) << 20 | (static_cast<Addr>(i) * kLineBytes);
+        r.arrive = now;
+        sys.enqueue(r);
+        sys.tick(now++);
+      }
+      now = sys.drain(now);
+      for (Cycle end = now + 50'000; now < end; ++now) sys.tick(now);  // idle gap
+    }
+    return sys.total_energy(now);
+  };
+  const auto never = run_energy(0, 0);
+  const auto pd = run_energy(500, 0);
+  const auto sr = run_energy(500, 5'000);
+  EXPECT_LT(pd, never * 0.7);
+  EXPECT_LT(sr, pd);
+}
+
+}  // namespace
+}  // namespace ima

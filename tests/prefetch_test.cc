@@ -1,0 +1,205 @@
+// Prefetcher tests: pattern detection and the perceptron filter's learning.
+#include <gtest/gtest.h>
+
+#include "cache/prefetch.hh"
+
+namespace ima::cache {
+namespace {
+
+std::vector<PrefetchRequest> observe_seq(Prefetcher& p, Addr start, std::int64_t stride,
+                                         int n, std::uint64_t pc = 0x100,
+                                         bool miss = true) {
+  std::vector<PrefetchRequest> out;
+  Addr a = start;
+  for (int i = 0; i < n; ++i) {
+    p.observe(a, pc, miss, out);
+    a = static_cast<Addr>(static_cast<std::int64_t>(a) + stride);
+  }
+  return out;
+}
+
+TEST(NextLine, EmitsSequentialLines) {
+  auto p = make_next_line(2);
+  std::vector<PrefetchRequest> out;
+  p->observe(0x1000, 1, true, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].addr, 0x1040u);
+  EXPECT_EQ(out[1].addr, 0x1080u);
+}
+
+TEST(NextLine, SilentOnHits) {
+  auto p = make_next_line(1);
+  std::vector<PrefetchRequest> out;
+  p->observe(0x1000, 1, false, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Stride, DetectsConstantStride) {
+  auto p = make_stride(256, 2);
+  const auto out = observe_seq(*p, 0x10000, 256, 8);
+  ASSERT_FALSE(out.empty());
+  // Prefetches land ahead of the stream at the detected stride.
+  EXPECT_EQ(out.back().addr % 256, 0u);
+}
+
+TEST(Stride, PredictsAheadOfStream) {
+  auto p = make_stride(256, 1);
+  observe_seq(*p, 0x10000, 512, 6);
+  std::vector<PrefetchRequest> out;
+  p->observe(0x10000 + 6 * 512, 0x100, true, out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].addr, line_base(0x10000 + 7 * 512));
+}
+
+TEST(Stride, IgnoresRandomPattern) {
+  auto p = make_stride(256, 2);
+  std::vector<PrefetchRequest> out;
+  std::uint64_t a = 0x5000;
+  for (int i = 0; i < 50; ++i) {
+    a = a * 6364136223846793005ull + 1442695040888963407ull;
+    p->observe(line_base(a % (1 << 24)), 0x100, true, out);
+  }
+  EXPECT_LT(out.size(), 5u);
+}
+
+TEST(Stride, TracksPerPcStreams) {
+  auto p = make_stride(256, 1);
+  // Two interleaved streams on different PCs, different strides.
+  std::vector<PrefetchRequest> out;
+  for (int i = 0; i < 10; ++i) {
+    p->observe(0x10000 + static_cast<Addr>(i) * 64, 0xA, true, out);
+    p->observe(0x80000 + static_cast<Addr>(i) * 128, 0xB, true, out);
+  }
+  bool pc_a = false, pc_b = false;
+  for (const auto& r : out) {
+    pc_a |= r.pc == 0xA;
+    pc_b |= r.pc == 0xB;
+  }
+  EXPECT_TRUE(pc_a);
+  EXPECT_TRUE(pc_b);
+}
+
+TEST(GhbDelta, ReplaysRecurringDeltaPattern) {
+  auto p = make_ghb_delta(256, 2);
+  std::vector<PrefetchRequest> out;
+  // Pattern of deltas: +64, +128, +64, +128 ... (in lines: 1, 2, 1, 2).
+  Addr a = 0x100000;
+  const std::int64_t deltas[] = {64, 128};
+  for (int i = 0; i < 20; ++i) {
+    p->observe(a, 0x100, true, out);
+    a += deltas[i % 2];
+  }
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(GhbDelta, QuietWithoutHistory) {
+  auto p = make_ghb_delta(256, 2);
+  std::vector<PrefetchRequest> out;
+  p->observe(0x1000, 1, true, out);
+  p->observe(0x2000, 1, true, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Filtered, PassesThroughInitially) {
+  FilteredPrefetcher f(make_next_line(1));
+  std::vector<PrefetchRequest> out;
+  f.observe(0x1000, 0x1, true, out);
+  // Untrained perceptron weights are zero -> output 0 -> predict taken.
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(f.issued(), 1u);
+}
+
+TEST(Filtered, LearnsToDropUselessPc) {
+  FilteredPrefetcher f(make_next_line(1));
+  std::vector<PrefetchRequest> out;
+  // Train: prefetches from this PC are always useless.
+  for (int i = 0; i < 100; ++i) {
+    out.clear();
+    const Addr a = 0x1000 + static_cast<Addr>(i) * 64;
+    f.observe(a, 0xBAD, true, out);
+    for (const auto& r : out) f.notify_useless(r.addr, r.pc);
+  }
+  out.clear();
+  f.observe(0x200000, 0xBAD, true, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_GT(f.dropped(), 0u);
+}
+
+TEST(Filtered, KeepsUsefulPc) {
+  FilteredPrefetcher f(make_next_line(1));
+  std::vector<PrefetchRequest> out;
+  for (int i = 0; i < 100; ++i) {
+    out.clear();
+    const Addr a = 0x1000 + static_cast<Addr>(i) * 64;
+    f.observe(a, 0x600D, true, out);
+    for (const auto& r : out) f.notify_useful(r.addr, r.pc);
+  }
+  out.clear();
+  f.observe(0x300000, 0x600D, true, out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Feedback, RampsUpOnAccurateStream) {
+  FeedbackPrefetcher::Config cfg;
+  cfg.sample_interval = 32;
+  FeedbackPrefetcher f(cfg);
+  const std::uint32_t start = f.current_degree();
+  std::vector<PrefetchRequest> out;
+  // A perfectly strideable stream whose prefetches always turn out useful.
+  for (int i = 0; i < 600; ++i) {
+    out.clear();
+    f.observe(0x10000 + static_cast<Addr>(i) * 64, 0x1, true, out);
+    for (const auto& r : out) f.notify_useful(r.addr, r.pc);
+  }
+  EXPECT_GT(f.current_degree(), start);
+  EXPECT_EQ(f.current_degree(), 8u);  // saturates at max
+}
+
+TEST(Feedback, ThrottlesOffOnPollution) {
+  FeedbackPrefetcher::Config cfg;
+  cfg.sample_interval = 32;
+  FeedbackPrefetcher f(cfg);
+  std::vector<PrefetchRequest> out;
+  for (int i = 0; i < 600; ++i) {
+    out.clear();
+    f.observe(0x10000 + static_cast<Addr>(i) * 64, 0x1, true, out);
+    for (const auto& r : out) f.notify_useless(r.addr, r.pc);
+  }
+  EXPECT_EQ(f.current_degree(), 0u);
+  // At degree 0 nothing is issued.
+  out.clear();
+  f.observe(0x90000, 0x1, true, out);
+  f.observe(0x90040, 0x1, true, out);
+  f.observe(0x90080, 0x1, true, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Feedback, RecoversAfterPhaseChange) {
+  FeedbackPrefetcher::Config cfg;
+  cfg.sample_interval = 32;
+  cfg.min_degree = 1;  // keep a probe prefetch alive so feedback continues
+  FeedbackPrefetcher f(cfg);
+  std::vector<PrefetchRequest> out;
+  for (int i = 0; i < 300; ++i) {  // polluting phase
+    out.clear();
+    f.observe(0x10000 + static_cast<Addr>(i) * 64, 0x1, true, out);
+    for (const auto& r : out) f.notify_useless(r.addr, r.pc);
+  }
+  EXPECT_EQ(f.current_degree(), cfg.min_degree);
+  for (int i = 0; i < 600; ++i) {  // accurate phase
+    out.clear();
+    f.observe(0x800000 + static_cast<Addr>(i) * 64, 0x2, true, out);
+    for (const auto& r : out) f.notify_useful(r.addr, r.pc);
+  }
+  EXPECT_GT(f.current_degree(), 4u);
+}
+
+TEST(NoPrefetcher, NeverEmits) {
+  auto p = make_no_prefetcher();
+  std::vector<PrefetchRequest> out;
+  for (int i = 0; i < 10; ++i) p->observe(static_cast<Addr>(i) * 64, 1, true, out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace ima::cache

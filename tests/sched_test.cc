@@ -1,0 +1,200 @@
+// Scheduler policy unit tests: each policy's signature behaviour on
+// hand-built queues against a real channel.
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dram/channel.hh"
+#include "mem/sched.hh"
+
+namespace ima::mem {
+namespace {
+
+struct SchedFixture : ::testing::Test {
+  dram::DramConfig cfg = dram::DramConfig::ddr4_2400();
+  dram::Channel chan{cfg, 0, nullptr};
+  std::vector<CoreState> cores{std::vector<CoreState>(4)};
+
+  SchedView view(Cycle now) { return SchedView{&chan, now, &cores}; }
+
+  QueuedRequest make(Addr row, std::uint32_t bank, std::uint32_t core, Cycle arrive,
+                     AccessType t = AccessType::Read) {
+    QueuedRequest q;
+    q.coord = dram::Coord{0, 0, bank, static_cast<std::uint32_t>(row), 0};
+    q.req.core = core;
+    q.req.arrive = arrive;
+    q.req.type = t;
+    return q;
+  }
+};
+
+TEST_F(SchedFixture, FactoryProducesAllKinds) {
+  for (auto kind : {SchedKind::Fcfs, SchedKind::FrFcfs, SchedKind::FrFcfsCap,
+                    SchedKind::ParBs, SchedKind::Atlas, SchedKind::Tcm, SchedKind::Bliss,
+                    SchedKind::Rl}) {
+    auto s = make_scheduler(kind, 4, 1);
+    ASSERT_NE(s, nullptr);
+    EXPECT_FALSE(s->name().empty());
+  }
+}
+
+TEST_F(SchedFixture, FcfsPicksOldest) {
+  auto s = make_scheduler(SchedKind::Fcfs, 4);
+  std::vector<QueuedRequest> q{make(1, 0, 0, 100), make(2, 1, 1, 50), make(3, 2, 2, 75)};
+  EXPECT_EQ(s->pick(q, view(200)), 1u);
+}
+
+TEST_F(SchedFixture, FrFcfsPrefersRowHitOverAge) {
+  auto s = make_scheduler(SchedKind::FrFcfs, 4);
+  // Open row 5 in bank 0.
+  chan.issue(dram::Cmd::Act, dram::Coord{0, 0, 0, 5, 0}, 0);
+  const Cycle now = cfg.timings.rcd;  // row hit is issuable now
+  std::vector<QueuedRequest> q{make(7, 1, 0, 10),   // older, bank 1 (closed)
+                               make(5, 0, 1, 50)};  // newer but row hit
+  EXPECT_EQ(s->pick(q, view(now)), 1u);
+}
+
+TEST_F(SchedFixture, FrFcfsFallsBackToOldestWhenNoHit) {
+  auto s = make_scheduler(SchedKind::FrFcfs, 4);
+  std::vector<QueuedRequest> q{make(7, 1, 0, 10), make(9, 2, 1, 5)};
+  EXPECT_EQ(s->pick(q, view(100)), 1u);
+}
+
+TEST_F(SchedFixture, FrFcfsCapBreaksStreak) {
+  auto s = make_scheduler(SchedKind::FrFcfsCap, 4);
+  chan.issue(dram::Cmd::Act, dram::Coord{0, 0, 0, 5, 0}, 0);
+  const Cycle now = cfg.timings.rcd;
+  std::vector<QueuedRequest> q{make(5, 0, 0, 50), make(7, 1, 1, 10)};
+  // Serve row hits up to the cap (streak counter trails services by one).
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(s->pick(q, view(now)), 0u) << "iteration " << i;
+    s->on_service(q[0], view(now));
+  }
+  // Past the cap the oldest non-hit wins.
+  EXPECT_EQ(s->pick(q, view(now)), 1u);
+}
+
+TEST_F(SchedFixture, BlissBlacklistsStreakyCore) {
+  auto s = make_scheduler(SchedKind::Bliss, 4);
+  chan.issue(dram::Cmd::Act, dram::Coord{0, 0, 0, 5, 0}, 0);
+  const Cycle now = cfg.timings.rcd;
+  std::vector<QueuedRequest> q{make(5, 0, 0, 1), make(7, 1, 1, 2)};
+  // Core 0 gets 4 consecutive services -> blacklisted.
+  for (int i = 0; i < 4; ++i) s->on_service(q[0], view(now));
+  EXPECT_EQ(s->pick(q, view(now)), 1u);
+}
+
+TEST_F(SchedFixture, BlissClearsBlacklistPeriodically) {
+  auto s = make_scheduler(SchedKind::Bliss, 4);
+  chan.issue(dram::Cmd::Act, dram::Coord{0, 0, 0, 5, 0}, 0);
+  const Cycle now = cfg.timings.rcd;
+  std::vector<QueuedRequest> q{make(5, 0, 0, 1), make(7, 1, 1, 2)};
+  for (int i = 0; i < 4; ++i) s->on_service(q[0], view(now));
+  // After the clearing interval, core 0's row hit wins again.
+  s->tick(view(20000), q);
+  EXPECT_EQ(s->pick(q, view(20000)), 0u);
+}
+
+TEST_F(SchedFixture, AtlasPrefersLeastAttainedService) {
+  auto s = make_scheduler(SchedKind::Atlas, 4);
+  cores[0].attained_service = 1000;
+  cores[1].attained_service = 10;
+  std::vector<QueuedRequest> q{make(5, 0, 0, 1), make(7, 1, 1, 50)};
+  EXPECT_EQ(s->pick(q, view(100)), 1u);
+}
+
+TEST_F(SchedFixture, ParBsMarksBatchAndServesItFirst) {
+  auto s = make_scheduler(SchedKind::ParBs, 4);
+  std::vector<QueuedRequest> q;
+  for (int i = 0; i < 8; ++i) q.push_back(make(5 + i, 0, 0, i));
+  s->tick(view(0), q);  // forms a batch
+  std::size_t marked = 0;
+  for (const auto& r : q) marked += r.marked ? 1 : 0;
+  EXPECT_EQ(marked, 5u);  // mark cap per (core, bank)
+
+  // A newer request from another core in another bank is NOT preferred over
+  // marked ones even if it would be a row hit.
+  q.push_back(make(9, 1, 1, 100));
+  const auto pick = s->pick(q, view(200));
+  ASSERT_NE(pick, kNoPick);
+  EXPECT_TRUE(q[pick].marked);
+}
+
+TEST_F(SchedFixture, ParBsShortestJobFirstRanking) {
+  auto s = make_scheduler(SchedKind::ParBs, 4);
+  std::vector<QueuedRequest> q;
+  // Core 0: heavy (5 requests to one bank); core 1: light (1 request).
+  for (int i = 0; i < 5; ++i) q.push_back(make(5 + i, 0, 0, i));
+  q.push_back(make(3, 1, 1, 10));
+  s->tick(view(0), q);
+  // Both marked; light core (1) should rank higher -> picked first when
+  // neither is a row hit.
+  const auto pick = s->pick(q, view(100));
+  ASSERT_NE(pick, kNoPick);
+  EXPECT_EQ(q[pick].req.core, 1u);
+}
+
+TEST_F(SchedFixture, TcmFavoursLatencySensitiveCluster) {
+  auto s = make_scheduler(SchedKind::Tcm, 2, 1);
+  // Core 0 consumed massive bandwidth in the last quantum; core 1 little.
+  std::vector<QueuedRequest> q{make(5, 0, 0, 1), make(7, 1, 1, 50)};
+  for (int i = 0; i < 100; ++i) s->on_service(q[0], view(0));
+  s->on_service(q[1], view(0));
+  s->tick(view(100001), q);  // quantum boundary -> recluster
+  EXPECT_EQ(s->pick(q, view(100002)), 1u);
+}
+
+TEST_F(SchedFixture, RlSchedulerPicksValidIndexAndLearns) {
+  auto s = make_rl(4, 1, 0.1, 0.1);
+  chan.issue(dram::Cmd::Act, dram::Coord{0, 0, 0, 5, 0}, 0);
+  const Cycle now = cfg.timings.rcd;
+  std::vector<QueuedRequest> q{make(5, 0, 0, 1), make(7, 1, 1, 2), make(9, 2, 2, 3)};
+  for (int i = 0; i < 200; ++i) {
+    const auto pick = s->pick(q, view(now + i));
+    ASSERT_NE(pick, kNoPick);
+    ASSERT_LT(pick, q.size());
+    if (i % 3 == 0) s->on_service(q[pick], view(now + i));
+  }
+}
+
+TEST_F(SchedFixture, AllSchedulersReturnValidIndicesUnderChurn) {
+  // Churn test: random queue mutations; every policy must return in-range
+  // indices or kNoPick, never crash.
+  Rng rng(3);
+  for (auto kind : {SchedKind::Fcfs, SchedKind::FrFcfs, SchedKind::FrFcfsCap,
+                    SchedKind::ParBs, SchedKind::Atlas, SchedKind::Tcm, SchedKind::Bliss,
+                    SchedKind::Rl}) {
+    auto s = make_scheduler(kind, 4, 7);
+    std::vector<QueuedRequest> q;
+    for (Cycle now = 0; now < 2000; ++now) {
+      if (q.size() < 16 && rng.chance(0.3))
+        q.push_back(make(rng.next_below(64), static_cast<std::uint32_t>(rng.next_below(8)),
+                         static_cast<std::uint32_t>(rng.next_below(4)), now));
+      s->tick(view(now), q);
+      const auto pick = s->pick(q, view(now));
+      if (q.empty()) {
+        EXPECT_EQ(pick, kNoPick) << to_string(kind);
+        continue;
+      }
+      if (pick != kNoPick) {
+        ASSERT_LT(pick, q.size()) << to_string(kind);
+        if (rng.chance(0.5)) {
+          s->on_service(q[pick], view(now));
+          q.erase(q.begin() + static_cast<std::ptrdiff_t>(pick));
+        }
+      }
+    }
+  }
+}
+
+TEST(SchedNames, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(SchedKind::Fcfs), "FCFS");
+  EXPECT_STREQ(to_string(SchedKind::FrFcfs), "FR-FCFS");
+  EXPECT_STREQ(to_string(SchedKind::ParBs), "PAR-BS");
+  EXPECT_STREQ(to_string(SchedKind::Atlas), "ATLAS");
+  EXPECT_STREQ(to_string(SchedKind::Tcm), "TCM");
+  EXPECT_STREQ(to_string(SchedKind::Bliss), "BLISS");
+  EXPECT_STREQ(to_string(SchedKind::Rl), "RL");
+}
+
+}  // namespace
+}  // namespace ima::mem

@@ -1,0 +1,136 @@
+// Virtual-memory tests: TLB behaviour, radix walks, huge pages, VBI.
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "vm/vm.hh"
+
+namespace ima::vm {
+namespace {
+
+constexpr Cycle kMemCost = 50;
+
+Mmu make_mmu(TranslationMode mode, std::uint32_t tlb_entries = 64) {
+  Mmu::Config cfg;
+  cfg.mode = mode;
+  cfg.tlb_entries = tlb_entries;
+  return Mmu(cfg, [](Addr) { return kMemCost; });
+}
+
+TEST(Tlb, HitAfterInsert) {
+  Tlb tlb(64, 4);
+  EXPECT_FALSE(tlb.lookup(42));
+  tlb.insert(42);
+  EXPECT_TRUE(tlb.lookup(42));
+  EXPECT_EQ(tlb.stats().hits, 1u);
+  EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(Tlb, CapacityEviction) {
+  Tlb tlb(16, 4);
+  // Fill one set (vpns congruent mod 4 sets).
+  for (std::uint64_t i = 0; i < 5; ++i) tlb.insert(i * 4);
+  // The LRU entry (vpn 0) must be gone; the newest present.
+  EXPECT_FALSE(tlb.lookup(0));
+  EXPECT_TRUE(tlb.lookup(16));
+}
+
+TEST(Walker, CostsFourAccessesCold) {
+  PageTableWalker w(4, [](Addr) { return kMemCost; }, /*walk_cache=*/false);
+  EXPECT_EQ(w.walk(0x12345), 4 * kMemCost);
+  EXPECT_EQ(w.memory_accesses(), 4u);
+}
+
+TEST(Walker, WalkCacheCutsUpperLevels) {
+  PageTableWalker w(4, [](Addr) { return kMemCost; }, /*walk_cache=*/true);
+  const Cycle first = w.walk(0x1000);
+  // A neighbouring page shares all upper-level entries: only the leaf.
+  const Cycle second = w.walk(0x1001);
+  EXPECT_GT(first, second);
+  EXPECT_EQ(second, kMemCost);
+}
+
+TEST(Mmu, TranslationDeterministicAndOffsetPreserving) {
+  auto mmu = make_mmu(TranslationMode::Radix4K);
+  const auto a = mmu.translate(0x12345678);
+  const auto b = mmu.translate(0x12345678);
+  EXPECT_EQ(a.paddr, b.paddr);
+  EXPECT_EQ(a.paddr & 0xFFF, 0x678u);
+  // Distinct pages get distinct frames.
+  const auto c = mmu.translate(0x99999000);
+  EXPECT_NE(c.paddr >> 12, a.paddr >> 12);
+}
+
+TEST(Mmu, SecondAccessIsTlbHit) {
+  auto mmu = make_mmu(TranslationMode::Radix4K);
+  const auto first = mmu.translate(0x1000);
+  const auto second = mmu.translate(0x1400);  // same page
+  EXPECT_GT(first.cycles, second.cycles);
+  EXPECT_EQ(second.cycles, 1u);
+  EXPECT_EQ(mmu.stats().tlb_misses, 1u);
+}
+
+TEST(Mmu, RandomBigFootprintThrashesTlb) {
+  auto mmu = make_mmu(TranslationMode::Radix4K, 64);
+  Rng rng(1);
+  for (int i = 0; i < 20'000; ++i) mmu.translate(rng.next_below(1ull << 32));
+  EXPECT_GT(mmu.tlb().stats().miss_rate(), 0.95);
+  EXPECT_GT(mmu.stats().walk_memory_accesses, 10'000u);
+}
+
+TEST(Mmu, HugePagesCutMissesOnMediumFootprint) {
+  auto small = make_mmu(TranslationMode::Radix4K, 64);
+  auto huge = make_mmu(TranslationMode::Radix2M, 64);
+  Rng rng(2);
+  for (int i = 0; i < 20'000; ++i) {
+    const Addr a = rng.next_below(64ull << 20);  // 64MB footprint
+    small.translate(a);
+    huge.translate(a);
+  }
+  // 64MB = 16K 4K-pages (thrash) but only 32 2M-pages (fits).
+  EXPECT_GT(small.tlb().stats().miss_rate(), 0.5);
+  EXPECT_LT(huge.tlb().stats().miss_rate(), 0.01);
+}
+
+TEST(Vbi, TranslatesWithinBlocks) {
+  auto mmu = make_mmu(TranslationMode::Vbi);
+  mmu.add_block(0x10000000, 1 << 20, 0x400000);
+  const auto r = mmu.translate(0x10000123);
+  EXPECT_FALSE(r.fault);
+  EXPECT_EQ(r.paddr, 0x400123u);
+  EXPECT_EQ(r.cycles, 2u);
+}
+
+TEST(Vbi, FaultsOutsideBlocks) {
+  auto mmu = make_mmu(TranslationMode::Vbi);
+  mmu.add_block(0x10000000, 1 << 20, 0x400000);
+  EXPECT_TRUE(mmu.translate(0x20000000).fault);
+  EXPECT_TRUE(mmu.translate(0x10000000 + (1 << 20)).fault);
+}
+
+TEST(Vbi, ConstantCostRegardlessOfFootprint) {
+  auto mmu = make_mmu(TranslationMode::Vbi);
+  mmu.add_block(0, 1ull << 32, 0);
+  Rng rng(3);
+  for (int i = 0; i < 20'000; ++i) {
+    const auto r = mmu.translate(rng.next_below(1ull << 32));
+    ASSERT_FALSE(r.fault);
+    ASSERT_EQ(r.cycles, 2u);
+  }
+  EXPECT_EQ(mmu.stats().walk_memory_accesses, 0u);
+}
+
+TEST(Comparison, VbiOrdersOfMagnitudeCheaperOnRandomAccess) {
+  auto radix = make_mmu(TranslationMode::Radix4K, 64);
+  auto vbi = make_mmu(TranslationMode::Vbi);
+  vbi.add_block(0, 1ull << 32, 0);
+  Rng rng(4);
+  for (int i = 0; i < 20'000; ++i) {
+    const Addr a = rng.next_below(1ull << 32);
+    radix.translate(a);
+    vbi.translate(a);
+  }
+  EXPECT_GT(radix.stats().translation_cycles, 10 * vbi.stats().translation_cycles);
+}
+
+}  // namespace
+}  // namespace ima::vm

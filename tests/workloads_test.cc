@@ -1,0 +1,239 @@
+// Workload generator tests: stream statistics, graph construction and
+// reference algorithms, genome/k-mer utilities, DB columns and bitmaps.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "workloads/consumer.hh"
+#include "workloads/dbtable.hh"
+#include "workloads/genome.hh"
+#include "workloads/graph.hh"
+#include "workloads/stream.hh"
+
+namespace ima::workloads {
+namespace {
+
+TEST(Streams, StreamingIsSequential) {
+  StreamParams p;
+  p.footprint = 1 << 20;
+  auto s = make_streaming(p);
+  Addr prev = s->next().addr;
+  for (int i = 0; i < 1000; ++i) {
+    const Addr a = s->next().addr;
+    EXPECT_EQ(a, prev + kLineBytes);
+    prev = a;
+  }
+}
+
+TEST(Streams, StreamingWrapsAtFootprint) {
+  StreamParams p;
+  p.footprint = 4 * kLineBytes;
+  auto s = make_streaming(p);
+  std::set<Addr> seen;
+  for (int i = 0; i < 16; ++i) seen.insert(s->next().addr);
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Streams, RandomStaysInFootprint) {
+  StreamParams p;
+  p.base = 1 << 20;
+  p.footprint = 1 << 16;
+  auto s = make_random(p);
+  for (int i = 0; i < 10'000; ++i) {
+    const Addr a = s->next().addr;
+    EXPECT_GE(a, p.base);
+    EXPECT_LT(a, p.base + p.footprint);
+  }
+}
+
+TEST(Streams, WriteFractionHonoured) {
+  StreamParams p;
+  p.write_fraction = 0.25;
+  auto s = make_random(p);
+  int writes = 0;
+  for (int i = 0; i < 20'000; ++i)
+    if (s->next().type == AccessType::Write) ++writes;
+  EXPECT_NEAR(writes / 20'000.0, 0.25, 0.02);
+}
+
+TEST(Streams, ZipfConcentratesAccesses) {
+  StreamParams p;
+  p.footprint = 1 << 22;
+  auto s = make_zipf(p, 0.95);
+  std::unordered_map<Addr, int> counts;
+  for (int i = 0; i < 50'000; ++i) ++counts[s->next().addr];
+  // Top line should be much hotter than average.
+  int max_count = 0;
+  for (const auto& [a, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 50'000 / (1 << 16) * 20);
+}
+
+TEST(Streams, RowLocalBurstsWithinRegion) {
+  StreamParams p;
+  p.footprint = 1 << 24;
+  auto s = make_row_local(p, 16, 8192);
+  // Within a burst, addresses stay in one 8KB region (bursts start at the
+  // region base and are shorter than a region).
+  for (int burst = 0; burst < 20; ++burst) {
+    const Addr first = s->next().addr;
+    for (int i = 1; i < 16; ++i) {
+      const Addr a = s->next().addr;
+      EXPECT_EQ(a / 8192, first / 8192) << "burst broke region";
+    }
+  }
+}
+
+TEST(Streams, PointerChaseIsDeterministicAndReadOnly) {
+  StreamParams p;
+  p.footprint = 1 << 20;
+  auto s1 = make_pointer_chase(p);
+  auto s2 = make_pointer_chase(p);
+  for (int i = 0; i < 1000; ++i) {
+    const auto e1 = s1->next();
+    const auto e2 = s2->next();
+    EXPECT_EQ(e1.addr, e2.addr);
+    EXPECT_EQ(e1.type, AccessType::Read);
+  }
+}
+
+TEST(Streams, MixRespectsWeights) {
+  StreamParams pa;
+  pa.base = 0;
+  pa.footprint = 1 << 16;
+  StreamParams pb;
+  pb.base = 1 << 30;
+  pb.footprint = 1 << 16;
+  std::vector<std::unique_ptr<AccessStream>> parts;
+  parts.push_back(make_streaming(pa));
+  parts.push_back(make_streaming(pb));
+  auto mix = make_mix(std::move(parts), {0.8, 0.2}, 3);
+  int from_b = 0;
+  for (int i = 0; i < 10'000; ++i)
+    if (mix->next().addr >= (1ull << 30)) ++from_b;
+  EXPECT_NEAR(from_b / 10'000.0, 0.2, 0.03);
+}
+
+TEST(Graph, UniformDegreeRoughlyAverage) {
+  const auto g = make_uniform_graph(1000, 8.0, 1);
+  EXPECT_EQ(g.num_vertices, 1000u);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()) / 1000.0, 8.0, 1.0);
+  EXPECT_EQ(g.row_ptr.size(), 1001u);
+  EXPECT_EQ(g.row_ptr.back(), g.num_edges());
+}
+
+TEST(Graph, PowerlawIsSkewed) {
+  const auto g = make_powerlaw_graph(2000, 8.0, 0.9, 1);
+  // In-degree skew: count occurrences of each target.
+  std::vector<int> indeg(g.num_vertices, 0);
+  for (auto v : g.col_idx) ++indeg[v];
+  int max_in = 0;
+  for (int d : indeg) max_in = std::max(max_in, d);
+  EXPECT_GT(max_in, 50);  // hubs exist
+}
+
+TEST(Graph, EdgesAreValidAndSorted) {
+  const auto g = make_uniform_graph(500, 4.0, 2);
+  for (std::uint32_t v = 0; v < g.num_vertices; ++v) {
+    for (std::uint64_t i = g.row_ptr[v]; i < g.row_ptr[v + 1]; ++i) {
+      EXPECT_LT(g.col_idx[i], g.num_vertices);
+      if (i > g.row_ptr[v]) {
+        EXPECT_LT(g.col_idx[i - 1], g.col_idx[i]);
+      }
+    }
+  }
+}
+
+TEST(Graph, BfsDepthsAreConsistent) {
+  const auto g = make_uniform_graph(2000, 8.0, 3);
+  const auto depth = bfs_reference(g, 0);
+  EXPECT_EQ(depth[0], 0);
+  // Edge relaxation property: depth[w] <= depth[v] + 1 for every edge.
+  for (std::uint32_t v = 0; v < g.num_vertices; ++v) {
+    if (depth[v] < 0) continue;
+    for (std::uint64_t i = g.row_ptr[v]; i < g.row_ptr[v + 1]; ++i) {
+      const auto w = g.col_idx[i];
+      ASSERT_GE(depth[w], 0);
+      EXPECT_LE(depth[w], depth[v] + 1);
+    }
+  }
+}
+
+TEST(Graph, PagerankSumsToOne) {
+  const auto g = make_uniform_graph(500, 6.0, 4);
+  const auto pr = pagerank_reference(g, 10);
+  double sum = 0;
+  for (double r : pr) {
+    EXPECT_GE(r, 0.0);
+    sum += r;
+  }
+  EXPECT_NEAR(sum, 1.0, 0.1);  // dangling nodes leak a little mass
+}
+
+TEST(Genome, ReadsComeFromReference) {
+  const auto g = make_genome(10'000, 50, 100, 0.0, 1);
+  EXPECT_EQ(g.reads.size(), 50u);
+  for (std::size_t i = 0; i < g.reads.size(); ++i)
+    EXPECT_EQ(g.reads[i], g.reference.substr(g.read_positions[i], 100));
+}
+
+TEST(Genome, ErrorsPerturbReads) {
+  const auto g = make_genome(10'000, 50, 100, 0.1, 1);
+  int mismatched_reads = 0;
+  for (std::size_t i = 0; i < g.reads.size(); ++i)
+    if (g.reads[i] != g.reference.substr(g.read_positions[i], 100)) ++mismatched_reads;
+  EXPECT_GT(mismatched_reads, 40);
+}
+
+TEST(Genome, KmerPackUnambiguous) {
+  EXPECT_EQ(pack_kmer("AAAA", 4), 0u);
+  EXPECT_EQ(pack_kmer("AAAC", 4), 1u);
+  EXPECT_EQ(pack_kmer("CAAA", 4), 1ull << 6);
+  EXPECT_NE(pack_kmer("ACGT", 4), pack_kmer("TGCA", 4));
+}
+
+TEST(Genome, KmersOfCountsWindows) {
+  const auto ks = kmers_of("ACGTACGT", 4);
+  EXPECT_EQ(ks.size(), 5u);
+  EXPECT_EQ(ks[0], ks[4]);  // periodic string repeats the first k-mer
+}
+
+TEST(DbTable, ColumnValuesInRange) {
+  ColumnParams p;
+  p.rows = 10'000;
+  p.distinct_values = 16;
+  const auto col = make_column(p);
+  for (auto v : col) EXPECT_LT(v, 16u);
+}
+
+TEST(DbTable, BitmapIndexIsExact) {
+  ColumnParams p;
+  p.rows = 1000;
+  p.distinct_values = 8;
+  const auto col = make_column(p);
+  const auto idx = build_bitmap_index(col, 8);
+  ASSERT_EQ(idx.size(), 8u);
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    for (std::uint32_t v = 0; v < 8; ++v) {
+      const bool bit = (idx[v][i / 64] >> (i % 64)) & 1;
+      EXPECT_EQ(bit, col[i] == v);
+    }
+  }
+}
+
+TEST(Consumer, AllProfilesProduceStreams) {
+  for (auto w : all_consumer_workloads()) {
+    auto s = make_consumer_stream(w, 1);
+    ASSERT_NE(s, nullptr);
+    const auto prof = profile_of(w);
+    EXPECT_FALSE(prof.name.empty());
+    EXPECT_GT(prof.paper_movement_frac, 0.5);  // the paper's >60% claim zone
+    for (int i = 0; i < 100; ++i) {
+      const auto e = s->next();
+      EXPECT_EQ(e.addr % kLineBytes, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ima::workloads

@@ -1,0 +1,178 @@
+// Data-aware interface tests: X-Mem attribute registry + hinted cache,
+// EDEN approximate memory, heterogeneous-reliability placement.
+#include <gtest/gtest.h>
+
+#include "aware/eden.hh"
+#include "aware/xmem.hh"
+#include "common/rng.hh"
+
+namespace ima::aware {
+namespace {
+
+TEST(AttributeRegistry, TagAndQuery) {
+  AttributeRegistry reg;
+  reg.tag(0x1000, 0x1000, {LocalityHint::Streaming, Criticality::Normal, true});
+  reg.tag(0x4000, 0x100, {LocalityHint::HighReuse, Criticality::Critical, false});
+
+  EXPECT_EQ(reg.query(0x1000).locality, LocalityHint::Streaming);
+  EXPECT_EQ(reg.query(0x1FFF).locality, LocalityHint::Streaming);
+  EXPECT_EQ(reg.query(0x2000).locality, LocalityHint::None);  // past the end
+  EXPECT_EQ(reg.query(0x4050).criticality, Criticality::Critical);
+  EXPECT_EQ(reg.query(0xFFF).locality, LocalityHint::None);   // before start
+  EXPECT_EQ(reg.atoms(), 2u);
+}
+
+TEST(AttributeRegistry, UntaggedDefaults) {
+  AttributeRegistry reg;
+  const auto a = reg.query(0x123456);
+  EXPECT_EQ(a.locality, LocalityHint::None);
+  EXPECT_EQ(a.criticality, Criticality::Normal);
+  EXPECT_FALSE(a.compressible);
+}
+
+cache::CacheConfig small_cache() {
+  cache::CacheConfig c;
+  c.size_bytes = 8 * 1024;
+  c.ways = 8;
+  return c;
+}
+
+TEST(HintedCache, StreamingBypassesAllocation) {
+  AttributeRegistry reg;
+  reg.tag(1 << 20, 1 << 20, {LocalityHint::Streaming, Criticality::Normal, false});
+  HintedCache hc(small_cache(), &reg);
+  for (Addr a = 1 << 20; a < (1 << 20) + 4096; a += kLineBytes) {
+    const auto r = hc.access(a, AccessType::Read);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.bypassed);
+  }
+  EXPECT_EQ(hc.stats().bypasses, 64u);
+  EXPECT_EQ(hc.stats().misses, 0u);
+}
+
+TEST(HintedCache, ProtectsReuseSetFromScans) {
+  // Workload: hot reuse set + huge streaming scan, interleaved.
+  auto run = [](bool with_hints) {
+    AttributeRegistry reg;
+    if (with_hints)
+      reg.tag(1 << 24, 64 << 20, {LocalityHint::Streaming, Criticality::Normal, false});
+    HintedCache hc(small_cache(), with_hints ? &reg : nullptr);
+    std::uint64_t reuse_hits = 0, reuse_total = 0;
+    Addr scan = 1 << 24;
+    for (int round = 0; round < 50; ++round) {
+      for (int s = 0; s < 256; ++s) {
+        hc.access(scan, AccessType::Read);
+        scan += kLineBytes;
+      }
+      for (Addr a = 0; a < 4096; a += kLineBytes) {
+        reuse_hits += hc.access(a, AccessType::Read).hit ? 1 : 0;
+        ++reuse_total;
+      }
+    }
+    return static_cast<double>(reuse_hits) / static_cast<double>(reuse_total);
+  };
+  const double blind = run(false);
+  const double hinted = run(true);
+  EXPECT_GT(hinted, 0.9);
+  EXPECT_GT(hinted, blind + 0.2);
+}
+
+TEST(ApproxTable, MonotoneTradeoffs) {
+  const auto table = approx_dram_table();
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    EXPECT_LT(table[i].trcd_scale, table[i - 1].trcd_scale);
+    EXPECT_GE(table[i].bit_error_rate, table[i - 1].bit_error_rate);
+    EXPECT_LE(table[i].energy_scale, table[i - 1].energy_scale);
+    EXPECT_LE(table[i].latency_scale, table[i - 1].latency_scale);
+  }
+}
+
+TEST(ApproxTable, OperatingPointLookup) {
+  EXPECT_DOUBLE_EQ(operating_point(1.0).bit_error_rate, 0.0);
+  EXPECT_DOUBLE_EQ(operating_point(0.8).trcd_scale, 0.8);
+  // Between entries: pick the safe (higher-scale) point.
+  EXPECT_DOUBLE_EQ(operating_point(0.85).trcd_scale, 0.9);
+}
+
+TEST(ApproxMemory, ExactAtNominal) {
+  ApproxMemory mem(1024, operating_point(1.0), 1);
+  Rng rng(1);
+  std::vector<std::uint64_t> vals(1024);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    vals[i] = rng.next();
+    mem.write(i, vals[i]);
+  }
+  for (std::size_t i = 0; i < vals.size(); ++i) EXPECT_EQ(mem.read(i), vals[i]);
+  EXPECT_EQ(mem.flips(), 0u);
+}
+
+TEST(ApproxMemory, FlipsAtAggressiveScaling) {
+  ApproxMemory mem(1024, operating_point(0.5), 1);
+  for (std::size_t i = 0; i < 1024; ++i) mem.write(i, 0);
+  std::uint64_t nonzero = 0;
+  for (int round = 0; round < 100; ++round)
+    for (std::size_t i = 0; i < 1024; ++i)
+      if (mem.read(i) != 0) ++nonzero;
+  EXPECT_GT(nonzero, 0u);
+  EXPECT_GT(mem.flips(), 0u);
+  // BER 5e-3/bit * 64 bits -> roughly a third of reads flip; sanity bound.
+  EXPECT_LT(static_cast<double>(nonzero) / (100.0 * 1024.0), 0.8);
+}
+
+TEST(ApproxMemory, ErrorRateScalesWithOperatingPoint) {
+  auto flips_at = [](double scale) {
+    ApproxMemory mem(4096, operating_point(scale), 7);
+    for (std::size_t i = 0; i < 4096; ++i) mem.write(i, 0);
+    for (int round = 0; round < 50; ++round)
+      for (std::size_t i = 0; i < 4096; ++i) (void)mem.read(i);
+    return mem.flips();
+  };
+  EXPECT_LE(flips_at(0.9), flips_at(0.7));
+  EXPECT_LT(flips_at(0.7), flips_at(0.5));
+}
+
+TEST(Placement, VulnerableObjectsGetReliableTier) {
+  std::vector<MemoryObject> objs = {
+      {"weights", 1ull << 30, 0.01},   // error-tolerant
+      {"pagetable", 1ull << 20, 100.0},  // critical
+  };
+  std::vector<ReliabilityTier> tiers = {
+      {"ecc", 2.0, 0.0, ~0ull},
+      {"cheap", 1.0, 1.0, ~0ull},
+  };
+  // Budget tight enough that the page table cannot live on cheap memory
+  // (impact 100 * 1MB/1GB ~= 0.098) but the weights can (0.01).
+  const auto r = plan_placement(objs, tiers, 0.05);
+  EXPECT_EQ(r.tier_of_object[1], 0u);  // critical object on ECC
+  EXPECT_EQ(r.tier_of_object[0], 1u);  // tolerant object on cheap memory
+  EXPECT_LE(r.expected_error_impact, 0.05);
+}
+
+TEST(Placement, CapacityLimitsRespected) {
+  std::vector<MemoryObject> objs = {
+      {"a", 1ull << 30, 10.0},
+      {"b", 1ull << 30, 10.0},
+  };
+  std::vector<ReliabilityTier> tiers = {
+      {"ecc", 2.0, 0.0, 1ull << 30},  // room for one object only
+      {"cheap", 1.0, 1.0, ~0ull},
+  };
+  // Zero budget: both want ECC, only one fits; the other falls back.
+  const auto r = plan_placement(objs, tiers, 0.0);
+  EXPECT_NE(r.tier_of_object[0], r.tier_of_object[1]);
+}
+
+TEST(Placement, AllCheapWhenBudgetLoose) {
+  std::vector<MemoryObject> objs = {{"a", 1ull << 30, 0.001}, {"b", 1ull << 30, 0.002}};
+  std::vector<ReliabilityTier> tiers = {
+      {"ecc", 2.0, 0.0, ~0ull},
+      {"cheap", 1.0, 1.0, ~0ull},
+  };
+  const auto r = plan_placement(objs, tiers, 10.0);
+  EXPECT_EQ(r.tier_of_object[0], 1u);
+  EXPECT_EQ(r.tier_of_object[1], 1u);
+  EXPECT_DOUBLE_EQ(r.total_cost, 2.0);
+}
+
+}  // namespace
+}  // namespace ima::aware
