@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c10_schedulers.dir/bench_c10_schedulers.cc.o"
+  "CMakeFiles/bench_c10_schedulers.dir/bench_c10_schedulers.cc.o.d"
+  "bench_c10_schedulers"
+  "bench_c10_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c10_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

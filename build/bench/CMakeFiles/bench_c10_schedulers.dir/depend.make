@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_c10_schedulers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c11_offload.dir/bench_c11_offload.cc.o"
+  "CMakeFiles/bench_c11_offload.dir/bench_c11_offload.cc.o.d"
+  "bench_c11_offload"
+  "bench_c11_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c11_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c12_eden.dir/bench_c12_eden.cc.o"
+  "CMakeFiles/bench_c12_eden.dir/bench_c12_eden.cc.o.d"
+  "bench_c12_eden"
+  "bench_c12_eden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c12_eden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_c12_eden.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c13_hybrid.dir/bench_c13_hybrid.cc.o"
+  "CMakeFiles/bench_c13_hybrid.dir/bench_c13_hybrid.cc.o.d"
+  "bench_c13_hybrid"
+  "bench_c13_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c13_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

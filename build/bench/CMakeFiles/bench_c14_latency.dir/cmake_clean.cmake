@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c14_latency.dir/bench_c14_latency.cc.o"
+  "CMakeFiles/bench_c14_latency.dir/bench_c14_latency.cc.o.d"
+  "bench_c14_latency"
+  "bench_c14_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c14_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c15_trng.dir/bench_c15_trng.cc.o"
+  "CMakeFiles/bench_c15_trng.dir/bench_c15_trng.cc.o.d"
+  "bench_c15_trng"
+  "bench_c15_trng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c15_trng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c16_genome.dir/bench_c16_genome.cc.o"
+  "CMakeFiles/bench_c16_genome.dir/bench_c16_genome.cc.o.d"
+  "bench_c16_genome"
+  "bench_c16_genome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c16_genome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c17_branch.dir/bench_c17_branch.cc.o"
+  "CMakeFiles/bench_c17_branch.dir/bench_c17_branch.cc.o.d"
+  "bench_c17_branch"
+  "bench_c17_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c17_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

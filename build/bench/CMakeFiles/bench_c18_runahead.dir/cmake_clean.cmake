@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c18_runahead.dir/bench_c18_runahead.cc.o"
+  "CMakeFiles/bench_c18_runahead.dir/bench_c18_runahead.cc.o.d"
+  "bench_c18_runahead"
+  "bench_c18_runahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c18_runahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

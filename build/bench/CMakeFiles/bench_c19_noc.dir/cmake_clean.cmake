@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c19_noc.dir/bench_c19_noc.cc.o"
+  "CMakeFiles/bench_c19_noc.dir/bench_c19_noc.cc.o.d"
+  "bench_c19_noc"
+  "bench_c19_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c19_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_energy_breakdown.dir/bench_c1_energy_breakdown.cc.o"
+  "CMakeFiles/bench_c1_energy_breakdown.dir/bench_c1_energy_breakdown.cc.o.d"
+  "bench_c1_energy_breakdown"
+  "bench_c1_energy_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_energy_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

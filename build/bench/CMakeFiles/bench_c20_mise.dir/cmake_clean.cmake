@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c20_mise.dir/bench_c20_mise.cc.o"
+  "CMakeFiles/bench_c20_mise.dir/bench_c20_mise.cc.o.d"
+  "bench_c20_mise"
+  "bench_c20_mise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c20_mise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c21_prefetch.dir/bench_c21_prefetch.cc.o"
+  "CMakeFiles/bench_c21_prefetch.dir/bench_c21_prefetch.cc.o.d"
+  "bench_c21_prefetch"
+  "bench_c21_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c21_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c22_vbi.dir/bench_c22_vbi.cc.o"
+  "CMakeFiles/bench_c22_vbi.dir/bench_c22_vbi.cc.o.d"
+  "bench_c22_vbi"
+  "bench_c22_vbi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c22_vbi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

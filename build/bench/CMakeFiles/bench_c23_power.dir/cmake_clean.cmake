@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c23_power.dir/bench_c23_power.cc.o"
+  "CMakeFiles/bench_c23_power.dir/bench_c23_power.cc.o.d"
+  "bench_c23_power"
+  "bench_c23_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c23_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_rowclone.dir/bench_c2_rowclone.cc.o"
+  "CMakeFiles/bench_c2_rowclone.dir/bench_c2_rowclone.cc.o.d"
+  "bench_c2_rowclone"
+  "bench_c2_rowclone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_rowclone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

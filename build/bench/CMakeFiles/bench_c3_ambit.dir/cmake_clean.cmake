@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_ambit.dir/bench_c3_ambit.cc.o"
+  "CMakeFiles/bench_c3_ambit.dir/bench_c3_ambit.cc.o.d"
+  "bench_c3_ambit"
+  "bench_c3_ambit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_ambit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_c3_ambit.
+# This may be replaced when dependencies are built.

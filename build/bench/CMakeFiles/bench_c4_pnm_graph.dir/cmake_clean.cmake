@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_pnm_graph.dir/bench_c4_pnm_graph.cc.o"
+  "CMakeFiles/bench_c4_pnm_graph.dir/bench_c4_pnm_graph.cc.o.d"
+  "bench_c4_pnm_graph"
+  "bench_c4_pnm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_pnm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

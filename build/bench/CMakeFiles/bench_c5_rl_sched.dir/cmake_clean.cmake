@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_rl_sched.dir/bench_c5_rl_sched.cc.o"
+  "CMakeFiles/bench_c5_rl_sched.dir/bench_c5_rl_sched.cc.o.d"
+  "bench_c5_rl_sched"
+  "bench_c5_rl_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_rl_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

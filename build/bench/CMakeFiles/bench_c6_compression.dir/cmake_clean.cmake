@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_compression.dir/bench_c6_compression.cc.o"
+  "CMakeFiles/bench_c6_compression.dir/bench_c6_compression.cc.o.d"
+  "bench_c6_compression"
+  "bench_c6_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c7_raidr.dir/bench_c7_raidr.cc.o"
+  "CMakeFiles/bench_c7_raidr.dir/bench_c7_raidr.cc.o.d"
+  "bench_c7_raidr"
+  "bench_c7_raidr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c7_raidr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

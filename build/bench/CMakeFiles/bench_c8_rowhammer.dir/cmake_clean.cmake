@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c8_rowhammer.dir/bench_c8_rowhammer.cc.o"
+  "CMakeFiles/bench_c8_rowhammer.dir/bench_c8_rowhammer.cc.o.d"
+  "bench_c8_rowhammer"
+  "bench_c8_rowhammer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c8_rowhammer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

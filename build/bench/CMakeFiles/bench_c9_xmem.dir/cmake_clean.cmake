@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c9_xmem.dir/bench_c9_xmem.cc.o"
+  "CMakeFiles/bench_c9_xmem.dir/bench_c9_xmem.cc.o.d"
+  "bench_c9_xmem"
+  "bench_c9_xmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c9_xmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

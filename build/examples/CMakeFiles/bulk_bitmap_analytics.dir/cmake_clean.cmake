@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_bitmap_analytics.dir/bulk_bitmap_analytics.cpp.o"
+  "CMakeFiles/bulk_bitmap_analytics.dir/bulk_bitmap_analytics.cpp.o.d"
+  "bulk_bitmap_analytics"
+  "bulk_bitmap_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_bitmap_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bulk_bitmap_analytics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_space_sweep.dir/design_space_sweep.cpp.o"
+  "CMakeFiles/design_space_sweep.dir/design_space_sweep.cpp.o.d"
+  "design_space_sweep"
+  "design_space_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_space_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

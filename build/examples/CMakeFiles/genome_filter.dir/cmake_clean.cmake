@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_filter.dir/genome_filter.cpp.o"
+  "CMakeFiles/genome_filter.dir/genome_filter.cpp.o.d"
+  "genome_filter"
+  "genome_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

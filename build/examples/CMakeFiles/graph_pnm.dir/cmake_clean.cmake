@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_pnm.dir/graph_pnm.cpp.o"
+  "CMakeFiles/graph_pnm.dir/graph_pnm.cpp.o.d"
+  "graph_pnm"
+  "graph_pnm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_pnm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

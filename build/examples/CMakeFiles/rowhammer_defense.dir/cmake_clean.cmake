@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rowhammer_defense.dir/rowhammer_defense.cpp.o"
+  "CMakeFiles/rowhammer_defense.dir/rowhammer_defense.cpp.o.d"
+  "rowhammer_defense"
+  "rowhammer_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rowhammer_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

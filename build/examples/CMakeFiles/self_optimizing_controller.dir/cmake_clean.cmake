@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_optimizing_controller.dir/self_optimizing_controller.cpp.o"
+  "CMakeFiles/self_optimizing_controller.dir/self_optimizing_controller.cpp.o.d"
+  "self_optimizing_controller"
+  "self_optimizing_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_optimizing_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

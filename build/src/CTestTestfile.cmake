@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("dram")
+subdirs("mem")
+subdirs("cache")
+subdirs("core")
+subdirs("pim")
+subdirs("noc")
+subdirs("pnm")
+subdirs("genomics")
+subdirs("hybrid")
+subdirs("learn")
+subdirs("aware")
+subdirs("workloads")
+subdirs("sim")
+subdirs("vm")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aware/compress.cc" "src/aware/CMakeFiles/ima_aware.dir/compress.cc.o" "gcc" "src/aware/CMakeFiles/ima_aware.dir/compress.cc.o.d"
+  "/root/repo/src/aware/compressed_cache.cc" "src/aware/CMakeFiles/ima_aware.dir/compressed_cache.cc.o" "gcc" "src/aware/CMakeFiles/ima_aware.dir/compressed_cache.cc.o.d"
+  "/root/repo/src/aware/eden.cc" "src/aware/CMakeFiles/ima_aware.dir/eden.cc.o" "gcc" "src/aware/CMakeFiles/ima_aware.dir/eden.cc.o.d"
+  "/root/repo/src/aware/hycomp.cc" "src/aware/CMakeFiles/ima_aware.dir/hycomp.cc.o" "gcc" "src/aware/CMakeFiles/ima_aware.dir/hycomp.cc.o.d"
+  "/root/repo/src/aware/lcp.cc" "src/aware/CMakeFiles/ima_aware.dir/lcp.cc.o" "gcc" "src/aware/CMakeFiles/ima_aware.dir/lcp.cc.o.d"
+  "/root/repo/src/aware/xmem.cc" "src/aware/CMakeFiles/ima_aware.dir/xmem.cc.o" "gcc" "src/aware/CMakeFiles/ima_aware.dir/xmem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ima_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ima_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/ima_learn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

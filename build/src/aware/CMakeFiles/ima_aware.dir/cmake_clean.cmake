@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ima_aware.dir/compress.cc.o"
+  "CMakeFiles/ima_aware.dir/compress.cc.o.d"
+  "CMakeFiles/ima_aware.dir/compressed_cache.cc.o"
+  "CMakeFiles/ima_aware.dir/compressed_cache.cc.o.d"
+  "CMakeFiles/ima_aware.dir/eden.cc.o"
+  "CMakeFiles/ima_aware.dir/eden.cc.o.d"
+  "CMakeFiles/ima_aware.dir/hycomp.cc.o"
+  "CMakeFiles/ima_aware.dir/hycomp.cc.o.d"
+  "CMakeFiles/ima_aware.dir/lcp.cc.o"
+  "CMakeFiles/ima_aware.dir/lcp.cc.o.d"
+  "CMakeFiles/ima_aware.dir/xmem.cc.o"
+  "CMakeFiles/ima_aware.dir/xmem.cc.o.d"
+  "libima_aware.a"
+  "libima_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ima_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ima_cache.dir/cache.cc.o"
+  "CMakeFiles/ima_cache.dir/cache.cc.o.d"
+  "CMakeFiles/ima_cache.dir/prefetch.cc.o"
+  "CMakeFiles/ima_cache.dir/prefetch.cc.o.d"
+  "libima_cache.a"
+  "libima_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ima_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ima_common.dir/rng.cc.o"
+  "CMakeFiles/ima_common.dir/rng.cc.o.d"
+  "CMakeFiles/ima_common.dir/stats.cc.o"
+  "CMakeFiles/ima_common.dir/stats.cc.o.d"
+  "CMakeFiles/ima_common.dir/table.cc.o"
+  "CMakeFiles/ima_common.dir/table.cc.o.d"
+  "libima_common.a"
+  "libima_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ima_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

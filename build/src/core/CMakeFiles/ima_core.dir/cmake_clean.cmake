@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ima_core.dir/core.cc.o"
+  "CMakeFiles/ima_core.dir/core.cc.o.d"
+  "libima_core.a"
+  "libima_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ima_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/addrmap.cc" "src/dram/CMakeFiles/ima_dram.dir/addrmap.cc.o" "gcc" "src/dram/CMakeFiles/ima_dram.dir/addrmap.cc.o.d"
+  "/root/repo/src/dram/channel.cc" "src/dram/CMakeFiles/ima_dram.dir/channel.cc.o" "gcc" "src/dram/CMakeFiles/ima_dram.dir/channel.cc.o.d"
+  "/root/repo/src/dram/config.cc" "src/dram/CMakeFiles/ima_dram.dir/config.cc.o" "gcc" "src/dram/CMakeFiles/ima_dram.dir/config.cc.o.d"
+  "/root/repo/src/dram/datastore.cc" "src/dram/CMakeFiles/ima_dram.dir/datastore.cc.o" "gcc" "src/dram/CMakeFiles/ima_dram.dir/datastore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ima_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

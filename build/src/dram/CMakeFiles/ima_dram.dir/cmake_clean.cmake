@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ima_dram.dir/addrmap.cc.o"
+  "CMakeFiles/ima_dram.dir/addrmap.cc.o.d"
+  "CMakeFiles/ima_dram.dir/channel.cc.o"
+  "CMakeFiles/ima_dram.dir/channel.cc.o.d"
+  "CMakeFiles/ima_dram.dir/config.cc.o"
+  "CMakeFiles/ima_dram.dir/config.cc.o.d"
+  "CMakeFiles/ima_dram.dir/datastore.cc.o"
+  "CMakeFiles/ima_dram.dir/datastore.cc.o.d"
+  "libima_dram.a"
+  "libima_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ima_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genomics/align.cc" "src/genomics/CMakeFiles/ima_genomics.dir/align.cc.o" "gcc" "src/genomics/CMakeFiles/ima_genomics.dir/align.cc.o.d"
+  "/root/repo/src/genomics/pipeline.cc" "src/genomics/CMakeFiles/ima_genomics.dir/pipeline.cc.o" "gcc" "src/genomics/CMakeFiles/ima_genomics.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ima_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ima_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

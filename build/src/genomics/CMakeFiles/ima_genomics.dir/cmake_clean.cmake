@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ima_genomics.dir/align.cc.o"
+  "CMakeFiles/ima_genomics.dir/align.cc.o.d"
+  "CMakeFiles/ima_genomics.dir/pipeline.cc.o"
+  "CMakeFiles/ima_genomics.dir/pipeline.cc.o.d"
+  "libima_genomics.a"
+  "libima_genomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ima_genomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

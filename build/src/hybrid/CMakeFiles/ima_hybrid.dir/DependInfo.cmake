@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hybrid/hybrid.cc" "src/hybrid/CMakeFiles/ima_hybrid.dir/hybrid.cc.o" "gcc" "src/hybrid/CMakeFiles/ima_hybrid.dir/hybrid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ima_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ima_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ima_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/ima_learn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

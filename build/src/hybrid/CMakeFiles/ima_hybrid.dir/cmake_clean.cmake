@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ima_hybrid.dir/hybrid.cc.o"
+  "CMakeFiles/ima_hybrid.dir/hybrid.cc.o.d"
+  "libima_hybrid.a"
+  "libima_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ima_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ima_hybrid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learn/bandit.cc" "src/learn/CMakeFiles/ima_learn.dir/bandit.cc.o" "gcc" "src/learn/CMakeFiles/ima_learn.dir/bandit.cc.o.d"
+  "/root/repo/src/learn/branch.cc" "src/learn/CMakeFiles/ima_learn.dir/branch.cc.o" "gcc" "src/learn/CMakeFiles/ima_learn.dir/branch.cc.o.d"
+  "/root/repo/src/learn/perceptron.cc" "src/learn/CMakeFiles/ima_learn.dir/perceptron.cc.o" "gcc" "src/learn/CMakeFiles/ima_learn.dir/perceptron.cc.o.d"
+  "/root/repo/src/learn/qlearn.cc" "src/learn/CMakeFiles/ima_learn.dir/qlearn.cc.o" "gcc" "src/learn/CMakeFiles/ima_learn.dir/qlearn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ima_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ima_learn.dir/bandit.cc.o"
+  "CMakeFiles/ima_learn.dir/bandit.cc.o.d"
+  "CMakeFiles/ima_learn.dir/branch.cc.o"
+  "CMakeFiles/ima_learn.dir/branch.cc.o.d"
+  "CMakeFiles/ima_learn.dir/perceptron.cc.o"
+  "CMakeFiles/ima_learn.dir/perceptron.cc.o.d"
+  "CMakeFiles/ima_learn.dir/qlearn.cc.o"
+  "CMakeFiles/ima_learn.dir/qlearn.cc.o.d"
+  "libima_learn.a"
+  "libima_learn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ima_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/controller.cc" "src/mem/CMakeFiles/ima_mem.dir/controller.cc.o" "gcc" "src/mem/CMakeFiles/ima_mem.dir/controller.cc.o.d"
+  "/root/repo/src/mem/memsys.cc" "src/mem/CMakeFiles/ima_mem.dir/memsys.cc.o" "gcc" "src/mem/CMakeFiles/ima_mem.dir/memsys.cc.o.d"
+  "/root/repo/src/mem/refresh.cc" "src/mem/CMakeFiles/ima_mem.dir/refresh.cc.o" "gcc" "src/mem/CMakeFiles/ima_mem.dir/refresh.cc.o.d"
+  "/root/repo/src/mem/rowhammer.cc" "src/mem/CMakeFiles/ima_mem.dir/rowhammer.cc.o" "gcc" "src/mem/CMakeFiles/ima_mem.dir/rowhammer.cc.o.d"
+  "/root/repo/src/mem/sched_basic.cc" "src/mem/CMakeFiles/ima_mem.dir/sched_basic.cc.o" "gcc" "src/mem/CMakeFiles/ima_mem.dir/sched_basic.cc.o.d"
+  "/root/repo/src/mem/sched_batch.cc" "src/mem/CMakeFiles/ima_mem.dir/sched_batch.cc.o" "gcc" "src/mem/CMakeFiles/ima_mem.dir/sched_batch.cc.o.d"
+  "/root/repo/src/mem/sched_mise.cc" "src/mem/CMakeFiles/ima_mem.dir/sched_mise.cc.o" "gcc" "src/mem/CMakeFiles/ima_mem.dir/sched_mise.cc.o.d"
+  "/root/repo/src/mem/sched_rl.cc" "src/mem/CMakeFiles/ima_mem.dir/sched_rl.cc.o" "gcc" "src/mem/CMakeFiles/ima_mem.dir/sched_rl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ima_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ima_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/ima_learn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

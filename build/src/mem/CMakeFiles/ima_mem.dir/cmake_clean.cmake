@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ima_mem.dir/controller.cc.o"
+  "CMakeFiles/ima_mem.dir/controller.cc.o.d"
+  "CMakeFiles/ima_mem.dir/memsys.cc.o"
+  "CMakeFiles/ima_mem.dir/memsys.cc.o.d"
+  "CMakeFiles/ima_mem.dir/refresh.cc.o"
+  "CMakeFiles/ima_mem.dir/refresh.cc.o.d"
+  "CMakeFiles/ima_mem.dir/rowhammer.cc.o"
+  "CMakeFiles/ima_mem.dir/rowhammer.cc.o.d"
+  "CMakeFiles/ima_mem.dir/sched_basic.cc.o"
+  "CMakeFiles/ima_mem.dir/sched_basic.cc.o.d"
+  "CMakeFiles/ima_mem.dir/sched_batch.cc.o"
+  "CMakeFiles/ima_mem.dir/sched_batch.cc.o.d"
+  "CMakeFiles/ima_mem.dir/sched_mise.cc.o"
+  "CMakeFiles/ima_mem.dir/sched_mise.cc.o.d"
+  "CMakeFiles/ima_mem.dir/sched_rl.cc.o"
+  "CMakeFiles/ima_mem.dir/sched_rl.cc.o.d"
+  "libima_mem.a"
+  "libima_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ima_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ima_mem.
+# This may be replaced when dependencies are built.

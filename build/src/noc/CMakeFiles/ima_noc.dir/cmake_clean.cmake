@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ima_noc.dir/mesh.cc.o"
+  "CMakeFiles/ima_noc.dir/mesh.cc.o.d"
+  "libima_noc.a"
+  "libima_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ima_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

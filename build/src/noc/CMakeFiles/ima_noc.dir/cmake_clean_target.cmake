@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libima_noc.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ima_pim.dir/arena.cc.o"
+  "CMakeFiles/ima_pim.dir/arena.cc.o.d"
+  "CMakeFiles/ima_pim.dir/pum.cc.o"
+  "CMakeFiles/ima_pim.dir/pum.cc.o.d"
+  "CMakeFiles/ima_pim.dir/trng.cc.o"
+  "CMakeFiles/ima_pim.dir/trng.cc.o.d"
+  "libima_pim.a"
+  "libima_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ima_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ima_pim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pnm/kernels.cc" "src/pnm/CMakeFiles/ima_pnm.dir/kernels.cc.o" "gcc" "src/pnm/CMakeFiles/ima_pnm.dir/kernels.cc.o.d"
+  "/root/repo/src/pnm/offload.cc" "src/pnm/CMakeFiles/ima_pnm.dir/offload.cc.o" "gcc" "src/pnm/CMakeFiles/ima_pnm.dir/offload.cc.o.d"
+  "/root/repo/src/pnm/stack.cc" "src/pnm/CMakeFiles/ima_pnm.dir/stack.cc.o" "gcc" "src/pnm/CMakeFiles/ima_pnm.dir/stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ima_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ima_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ima_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ima_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ima_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/ima_learn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

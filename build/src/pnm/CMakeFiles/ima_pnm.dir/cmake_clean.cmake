@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ima_pnm.dir/kernels.cc.o"
+  "CMakeFiles/ima_pnm.dir/kernels.cc.o.d"
+  "CMakeFiles/ima_pnm.dir/offload.cc.o"
+  "CMakeFiles/ima_pnm.dir/offload.cc.o.d"
+  "CMakeFiles/ima_pnm.dir/stack.cc.o"
+  "CMakeFiles/ima_pnm.dir/stack.cc.o.d"
+  "libima_pnm.a"
+  "libima_pnm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ima_pnm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ima_sim.dir/system.cc.o"
+  "CMakeFiles/ima_sim.dir/system.cc.o.d"
+  "libima_sim.a"
+  "libima_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ima_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ima_vm.dir/vm.cc.o"
+  "CMakeFiles/ima_vm.dir/vm.cc.o.d"
+  "libima_vm.a"
+  "libima_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ima_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/branches.cc" "src/workloads/CMakeFiles/ima_workloads.dir/branches.cc.o" "gcc" "src/workloads/CMakeFiles/ima_workloads.dir/branches.cc.o.d"
+  "/root/repo/src/workloads/consumer.cc" "src/workloads/CMakeFiles/ima_workloads.dir/consumer.cc.o" "gcc" "src/workloads/CMakeFiles/ima_workloads.dir/consumer.cc.o.d"
+  "/root/repo/src/workloads/dbtable.cc" "src/workloads/CMakeFiles/ima_workloads.dir/dbtable.cc.o" "gcc" "src/workloads/CMakeFiles/ima_workloads.dir/dbtable.cc.o.d"
+  "/root/repo/src/workloads/genome.cc" "src/workloads/CMakeFiles/ima_workloads.dir/genome.cc.o" "gcc" "src/workloads/CMakeFiles/ima_workloads.dir/genome.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/workloads/CMakeFiles/ima_workloads.dir/graph.cc.o" "gcc" "src/workloads/CMakeFiles/ima_workloads.dir/graph.cc.o.d"
+  "/root/repo/src/workloads/stream.cc" "src/workloads/CMakeFiles/ima_workloads.dir/stream.cc.o" "gcc" "src/workloads/CMakeFiles/ima_workloads.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ima_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ima_workloads.dir/branches.cc.o"
+  "CMakeFiles/ima_workloads.dir/branches.cc.o.d"
+  "CMakeFiles/ima_workloads.dir/consumer.cc.o"
+  "CMakeFiles/ima_workloads.dir/consumer.cc.o.d"
+  "CMakeFiles/ima_workloads.dir/dbtable.cc.o"
+  "CMakeFiles/ima_workloads.dir/dbtable.cc.o.d"
+  "CMakeFiles/ima_workloads.dir/genome.cc.o"
+  "CMakeFiles/ima_workloads.dir/genome.cc.o.d"
+  "CMakeFiles/ima_workloads.dir/graph.cc.o"
+  "CMakeFiles/ima_workloads.dir/graph.cc.o.d"
+  "CMakeFiles/ima_workloads.dir/stream.cc.o"
+  "CMakeFiles/ima_workloads.dir/stream.cc.o.d"
+  "libima_workloads.a"
+  "libima_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ima_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

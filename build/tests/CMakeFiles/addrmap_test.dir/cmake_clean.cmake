@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/addrmap_test.dir/addrmap_test.cc.o"
+  "CMakeFiles/addrmap_test.dir/addrmap_test.cc.o.d"
+  "addrmap_test"
+  "addrmap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/addrmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

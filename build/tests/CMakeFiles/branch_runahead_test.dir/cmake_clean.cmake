@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_runahead_test.dir/branch_runahead_test.cc.o"
+  "CMakeFiles/branch_runahead_test.dir/branch_runahead_test.cc.o.d"
+  "branch_runahead_test"
+  "branch_runahead_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_runahead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_test.dir/claims_test.cc.o"
+  "CMakeFiles/claims_test.dir/claims_test.cc.o.d"
+  "claims_test"
+  "claims_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datastore_test.dir/datastore_test.cc.o"
+  "CMakeFiles/datastore_test.dir/datastore_test.cc.o.d"
+  "datastore_test"
+  "datastore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datastore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

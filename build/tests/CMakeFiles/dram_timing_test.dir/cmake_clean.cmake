@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_timing_test.dir/dram_timing_test.cc.o"
+  "CMakeFiles/dram_timing_test.dir/dram_timing_test.cc.o.d"
+  "dram_timing_test"
+  "dram_timing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

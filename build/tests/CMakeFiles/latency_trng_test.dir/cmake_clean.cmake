@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_trng_test.dir/latency_trng_test.cc.o"
+  "CMakeFiles/latency_trng_test.dir/latency_trng_test.cc.o.d"
+  "latency_trng_test"
+  "latency_trng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_trng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learn_test.dir/learn_test.cc.o"
+  "CMakeFiles/learn_test.dir/learn_test.cc.o.d"
+  "learn_test"
+  "learn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

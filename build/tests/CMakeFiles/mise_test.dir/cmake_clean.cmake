@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mise_test.dir/mise_test.cc.o"
+  "CMakeFiles/mise_test.dir/mise_test.cc.o.d"
+  "mise_test"
+  "mise_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnm_test.dir/pnm_test.cc.o"
+  "CMakeFiles/pnm_test.dir/pnm_test.cc.o.d"
+  "pnm_test"
+  "pnm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

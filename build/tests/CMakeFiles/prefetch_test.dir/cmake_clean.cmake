@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_test.dir/prefetch_test.cc.o"
+  "CMakeFiles/prefetch_test.dir/prefetch_test.cc.o.d"
+  "prefetch_test"
+  "prefetch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pum_test.dir/pum_test.cc.o"
+  "CMakeFiles/pum_test.dir/pum_test.cc.o.d"
+  "pum_test"
+  "pum_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

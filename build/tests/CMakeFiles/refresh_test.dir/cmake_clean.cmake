@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refresh_test.dir/refresh_test.cc.o"
+  "CMakeFiles/refresh_test.dir/refresh_test.cc.o.d"
+  "refresh_test"
+  "refresh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refresh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rowhammer_test.dir/rowhammer_test.cc.o"
+  "CMakeFiles/rowhammer_test.dir/rowhammer_test.cc.o.d"
+  "rowhammer_test"
+  "rowhammer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rowhammer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starvation_test.dir/starvation_test.cc.o"
+  "CMakeFiles/starvation_test.dir/starvation_test.cc.o.d"
+  "starvation_test"
+  "starvation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starvation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

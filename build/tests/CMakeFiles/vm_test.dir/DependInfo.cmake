@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vm_test.cc" "tests/CMakeFiles/vm_test.dir/vm_test.cc.o" "gcc" "tests/CMakeFiles/vm_test.dir/vm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ima_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ima_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ima_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ima_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ima_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/ima_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pnm/CMakeFiles/ima_pnm.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/ima_learn.dir/DependInfo.cmake"
+  "/root/repo/build/src/aware/CMakeFiles/ima_aware.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ima_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ima_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/ima_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/ima_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ima_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ima_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

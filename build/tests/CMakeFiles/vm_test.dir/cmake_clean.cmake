@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_test.dir/vm_test.cc.o"
+  "CMakeFiles/vm_test.dir/vm_test.cc.o.d"
+  "vm_test"
+  "vm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

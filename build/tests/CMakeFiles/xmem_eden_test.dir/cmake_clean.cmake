@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmem_eden_test.dir/xmem_eden_test.cc.o"
+  "CMakeFiles/xmem_eden_test.dir/xmem_eden_test.cc.o.d"
+  "xmem_eden_test"
+  "xmem_eden_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmem_eden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
