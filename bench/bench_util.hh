@@ -4,26 +4,84 @@
 // index: it builds the workload, runs the simulator configurations, and
 // prints the paper-style table plus the expected "shape" so the output is
 // self-checking for a human reader.
+//
+// Alongside the console output, the helpers feed an implicit obs::Report:
+// print_header() opens it, print_table()/print_shape()/record_metric()
+// populate it, and it flushes to BENCH_<id>.json and BENCH_<id>.csv (in
+// $IMA_BENCH_OUT, else the cwd) when the process exits — so every bench run
+// leaves a machine-readable artifact without the harnesses changing.
 #pragma once
 
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "common/table.hh"
+#include "obs/report.hh"
 
 namespace ima::bench {
 
-inline void print_header(const std::string& id, const std::string& claim) {
-  std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
+namespace detail {
+
+/// "C7: RAIDR retention-aware refresh" -> "C7" (text before the first ':',
+/// spaces and slashes mapped to '_' so it is a safe file-name stem).
+inline std::string file_id_of(const std::string& header_id) {
+  std::string id = header_id.substr(0, header_id.find(':'));
+  for (char& c : id)
+    if (c == ' ' || c == '/' || c == '\t') c = '_';
+  return id.empty() ? "bench" : id;
 }
 
-inline void print_table(const Table& t) {
+/// The per-process report. A plain inline global: bench binaries are
+/// single-threaded main()s, and the destructor write at exit is the flush.
+struct Session {
+  std::unique_ptr<obs::Report> report;
+
+  ~Session() { flush(); }
+
+  void flush() {
+    if (!report) return;
+    const std::string dir = obs::Report::default_out_dir();
+    if (!report->write_files(dir))
+      std::cerr << "warning: could not write BENCH_" << report->id()
+                << ".{json,csv} to " << dir << "\n";
+    report.reset();
+  }
+};
+
+inline Session session;
+
+}  // namespace detail
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
+  detail::session.flush();  // a binary printing two headers gets two reports
+  detail::session.report =
+      std::make_unique<obs::Report>(detail::file_id_of(id), id, claim);
+}
+
+inline void print_table(const Table& t, std::string title = "") {
   t.print(std::cout);
   std::cout << std::flush;
+  if (detail::session.report) detail::session.report->add_table(t, std::move(title));
 }
 
 inline void print_shape(const std::string& expectation) {
   std::cout << "\nexpected shape: " << expectation << "\n";
+  if (detail::session.report) detail::session.report->set_shape(expectation);
+}
+
+/// Adds a scalar to the current report's "metrics" section (no console
+/// output — the tables already carry the human-readable numbers).
+inline void record_metric(std::string name, double value) {
+  if (detail::session.report)
+    detail::session.report->add_metric(std::move(name), value);
+}
+
+/// Attaches a registry snapshot to the current report's "stats" section.
+inline void record_snapshot(const obs::StatRegistry::Snapshot& snap) {
+  if (detail::session.report) detail::session.report->add_snapshot(snap);
 }
 
 }  // namespace ima::bench

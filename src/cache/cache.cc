@@ -3,8 +3,17 @@
 #include <cassert>
 
 #include "common/bits.hh"
+#include "obs/stat_registry.hh"
 
 namespace ima::cache {
+
+void Cache::register_stats(obs::StatRegistry& reg, const std::string& prefix) const {
+  reg.counter(obs::join_path(prefix, "hits"), &stats_.hits);
+  reg.counter(obs::join_path(prefix, "misses"), &stats_.misses);
+  reg.counter(obs::join_path(prefix, "evictions"), &stats_.evictions);
+  reg.counter(obs::join_path(prefix, "writebacks"), &stats_.writebacks);
+  reg.gauge(obs::join_path(prefix, "miss_rate"), [this] { return stats_.miss_rate(); });
+}
 
 const char* to_string(ReplPolicy p) {
   switch (p) {

@@ -16,6 +16,10 @@
 #include "common/rng.hh"
 #include "common/types.hh"
 
+namespace ima::obs {
+class StatRegistry;
+}  // namespace ima::obs
+
 namespace ima::cache {
 
 enum class ReplPolicy : std::uint8_t { Lru, Random, Srrip, Drrip, EafLru };
@@ -74,6 +78,9 @@ class Cache {
   };
   const Stats& stats() const { return stats_; }
   const CacheConfig& config() const { return cfg_; }
+
+  /// Hit/miss/eviction counters plus a live miss-rate gauge under `prefix`.
+  void register_stats(obs::StatRegistry& reg, const std::string& prefix) const;
 
  private:
   struct Line {

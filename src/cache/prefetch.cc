@@ -1,5 +1,7 @@
 #include "cache/prefetch.hh"
 
+#include "obs/stat_registry.hh"
+
 namespace ima::cache {
 
 namespace {
@@ -150,12 +152,22 @@ void FeedbackPrefetcher::observe(Addr addr, std::uint64_t pc, bool was_miss,
 
 void FeedbackPrefetcher::notify_useful(Addr, std::uint64_t) {
   ++useful_;
+  ++total_useful_;
   maybe_adjust();
 }
 
 void FeedbackPrefetcher::notify_useless(Addr, std::uint64_t) {
   ++useless_;
+  ++total_useless_;
   maybe_adjust();
+}
+
+void FeedbackPrefetcher::register_stats(obs::StatRegistry& reg,
+                                        const std::string& prefix) const {
+  reg.counter(obs::join_path(prefix, "useful"), &total_useful_);
+  reg.counter(obs::join_path(prefix, "useless"), &total_useless_);
+  reg.gauge(obs::join_path(prefix, "degree"),
+            [this] { return static_cast<double>(degree_); });
 }
 
 void FeedbackPrefetcher::maybe_adjust() {
@@ -203,6 +215,12 @@ void FilteredPrefetcher::notify_useful(Addr addr, std::uint64_t pc) {
 
 void FilteredPrefetcher::notify_useless(Addr addr, std::uint64_t pc) {
   perceptron_.train(features(addr, pc), false);
+}
+
+void FilteredPrefetcher::register_stats(obs::StatRegistry& reg,
+                                        const std::string& prefix) const {
+  reg.counter(obs::join_path(prefix, "issued"), &issued_);
+  reg.counter(obs::join_path(prefix, "dropped"), &dropped_);
 }
 
 }  // namespace ima::cache

@@ -17,6 +17,10 @@
 #include "common/types.hh"
 #include "learn/perceptron.hh"
 
+namespace ima::obs {
+class StatRegistry;
+}  // namespace ima::obs
+
 namespace ima::cache {
 
 struct PrefetchRequest {
@@ -31,6 +35,9 @@ class Prefetcher {
   /// Observes a demand access (post-L1) and appends prefetch candidates.
   virtual void observe(Addr addr, std::uint64_t pc, bool was_miss,
                        std::vector<PrefetchRequest>& out) = 0;
+
+  /// Prefetcher-internal counters under `prefix`. Default: none.
+  virtual void register_stats(obs::StatRegistry&, const std::string& /*prefix*/) const {}
 
   virtual std::string name() const = 0;
 };
@@ -74,13 +81,17 @@ class FeedbackPrefetcher final : public TrainablePrefetcher {
   std::string name() const override { return "feedback-stride"; }
   std::uint32_t current_degree() const { return degree_; }
 
+  void register_stats(obs::StatRegistry& reg, const std::string& prefix) const override;
+
  private:
   void maybe_adjust();
 
   Config cfg_;
   std::uint32_t degree_;
-  std::uint64_t useful_ = 0;
+  std::uint64_t useful_ = 0;   // within the current sampling interval
   std::uint64_t useless_ = 0;
+  std::uint64_t total_useful_ = 0;  // lifetime (for stat registration)
+  std::uint64_t total_useless_ = 0;
   // Inner stride detector state (per-PC), duplicated at max degree; the
   // throttle truncates candidates to the current degree.
   std::unique_ptr<Prefetcher> inner_;
@@ -105,6 +116,8 @@ class FilteredPrefetcher final : public TrainablePrefetcher {
 
   std::uint64_t dropped() const { return dropped_; }
   std::uint64_t issued() const { return issued_; }
+
+  void register_stats(obs::StatRegistry& reg, const std::string& prefix) const override;
 
  private:
   std::vector<std::uint64_t> features(Addr addr, std::uint64_t pc) const;

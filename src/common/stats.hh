@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -50,8 +51,11 @@ class RunningStat {
 /// the edge buckets. Used for latency distributions.
 class Histogram {
  public:
+  /// Degenerate shapes are repaired rather than UB: zero buckets becomes
+  /// one, and an empty/inverted range [lo, hi<=lo) widens to one unit so
+  /// add() never divides by zero.
   Histogram(double lo, double hi, std::size_t buckets)
-      : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+      : lo_(lo), hi_(hi > lo ? hi : lo + 1.0), counts_(std::max<std::size_t>(1, buckets), 0) {}
 
   void add(double x) {
     stat_.add(x);

@@ -31,6 +31,10 @@ class Table {
 
   std::size_t rows() const { return rows_.size(); }
 
+  // Structured access for the machine-readable report writers (obs/report).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& cells() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

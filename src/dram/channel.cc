@@ -3,7 +3,42 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
+
 namespace ima::dram {
+
+namespace {
+
+obs::EventKind event_kind_of(Cmd cmd) {
+  switch (cmd) {
+    case Cmd::Ref:
+    case Cmd::RefRow:
+      return obs::EventKind::Refresh;
+    case Cmd::AapFpm:
+    case Cmd::LisaRbm:
+    case Cmd::Tra:
+      return obs::EventKind::PimOp;
+    default:
+      return obs::EventKind::DramCmd;
+  }
+}
+
+Cycle event_span_of(Cmd cmd, const Timings& tm) {
+  switch (cmd) {
+    case Cmd::Rd:
+    case Cmd::Wr:
+      return tm.bl;
+    case Cmd::Ref:
+      return tm.rfc;
+    case Cmd::RefRow:
+      return tm.rc;
+    default:
+      return 0;  // instant
+  }
+}
+
+}  // namespace
 
 Channel::Channel(const DramConfig& cfg, std::uint32_t channel_id, DataStore* data)
     : cfg_(cfg),
@@ -300,6 +335,10 @@ void Channel::issue_salp(Cmd cmd, const Coord& c, Cycle now) {
 
 void Channel::issue(Cmd cmd, const Coord& c, Cycle now) {
   assert(can_issue(cmd, c, now));
+  IMA_TRACE(trace_, .cycle = now, .dur = event_span_of(cmd, cfg_.timings),
+            .kind = event_kind_of(cmd), .pid = static_cast<std::uint16_t>(id_),
+            .tid = static_cast<std::uint16_t>(c.rank * cfg_.geometry.banks + c.bank),
+            .arg0 = c.row, .arg1 = c.column, .name = to_string(cmd));
   if (cfg_.timings.salp) {
     issue_salp(cmd, c, now);
     return;
@@ -378,6 +417,10 @@ void Channel::issue(Cmd cmd, const Coord& c, Cycle now) {
 
 void Channel::issue_act_charged(const Coord& c, Cycle now) {
   assert(can_issue(Cmd::Act, c, now));
+  IMA_TRACE(trace_, .cycle = now, .kind = obs::EventKind::DramCmd,
+            .pid = static_cast<std::uint16_t>(id_),
+            .tid = static_cast<std::uint16_t>(c.rank * cfg_.geometry.banks + c.bank),
+            .arg0 = c.row, .name = "ACT-charged");
   assert(!cfg_.timings.salp && "ChargeCache+SALP composition not modeled");
   const Timings& tm = cfg_.timings;
   BankState& bk = bank(c);
@@ -394,6 +437,11 @@ void Channel::issue_act_charged(const Coord& c, Cycle now) {
 
 void Channel::issue_pim(Cmd cmd, const Coord& bank_coord, const PimArgs& args, Cycle now) {
   assert(can_issue(cmd, bank_coord, now));
+  IMA_TRACE(trace_, .cycle = now, .dur = pim_latency(cmd, args),
+            .kind = obs::EventKind::PimOp, .pid = static_cast<std::uint16_t>(id_),
+            .tid = static_cast<std::uint16_t>(bank_coord.rank * cfg_.geometry.banks +
+                                              bank_coord.bank),
+            .arg0 = args.src_row, .arg1 = args.dst_row, .name = to_string(cmd));
   const Timings& tm = cfg_.timings;
   const Energy& en = cfg_.energy;
   BankState& bk = bank(bank_coord);
@@ -449,6 +497,21 @@ void Channel::issue_pim(Cmd cmd, const Coord& bank_coord, const PimArgs& args, C
     default:
       assert(false && "not a PUM command");
   }
+}
+
+void Channel::register_stats(obs::StatRegistry& reg, const std::string& prefix) const {
+  reg.counter(obs::join_path(prefix, "acts"), &stats_.acts);
+  reg.counter(obs::join_path(prefix, "pres"), &stats_.pres);
+  reg.counter(obs::join_path(prefix, "rds"), &stats_.rds);
+  reg.counter(obs::join_path(prefix, "wrs"), &stats_.wrs);
+  reg.counter(obs::join_path(prefix, "charged_acts"), &stats_.charged_acts);
+  reg.counter(obs::join_path(prefix, "refs"), &stats_.refs);
+  reg.counter(obs::join_path(prefix, "ref_rows"), &stats_.ref_rows);
+  reg.counter(obs::join_path(prefix, "aaps"), &stats_.aaps);
+  reg.counter(obs::join_path(prefix, "lisa_hops"), &stats_.lisa_hops);
+  reg.counter(obs::join_path(prefix, "tras"), &stats_.tras);
+  reg.gauge(obs::join_path(prefix, "cmd_energy_pj"), [this] { return stats_.cmd_energy; });
+  reg.gauge(obs::join_path(prefix, "bus_energy_pj"), [this] { return stats_.bus_energy; });
 }
 
 }  // namespace ima::dram

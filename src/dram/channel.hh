@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -20,6 +21,11 @@
 #include "dram/command.hh"
 #include "dram/config.hh"
 #include "dram/datastore.hh"
+
+namespace ima::obs {
+class StatRegistry;
+class TraceSink;
+}  // namespace ima::obs
 
 namespace ima::dram {
 
@@ -83,6 +89,14 @@ class Channel {
     PicoJoule bus_energy = 0;   // included in cmd_energy; tracked separately
   };
   const Stats& stats() const { return stats_; }
+
+  /// Registers the per-command counters and energy gauges under `prefix`.
+  void register_stats(obs::StatRegistry& reg, const std::string& prefix) const;
+
+  /// Records every issued command (incl. refresh and PUM) into `sink`;
+  /// null detaches. The channel is the single funnel for DRAM commands, so
+  /// this one hook yields the full command-level timeline.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
   // --- rank power states (MemScale line [127,132]) ---
 
@@ -184,6 +198,7 @@ class Channel {
   Stats stats_;
   ActHook act_hook_;
   RefHook ref_hook_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace ima::dram

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
+
 namespace ima::mem {
 
 Controller::Controller(dram::Channel& chan, const dram::AddressMapper& mapper,
@@ -33,7 +36,16 @@ Controller::Controller(dram::Channel& chan, const dram::AddressMapper& mapper,
   });
 }
 
-void Controller::set_scheduler(std::unique_ptr<Scheduler> sched) { sched_ = std::move(sched); }
+void Controller::set_scheduler(std::unique_ptr<Scheduler> sched) {
+  sched_ = std::move(sched);
+  sched_->set_trace(trace_);
+}
+
+void Controller::set_trace(obs::TraceSink* sink) {
+  trace_ = sink;
+  chan_.set_trace(sink);
+  sched_->set_trace(sink);
+}
 
 void Controller::set_refresh_policy(std::unique_ptr<RefreshPolicy> refresh) {
   refresh_ = std::move(refresh);
@@ -93,6 +105,10 @@ bool Controller::try_issue_victim_refresh(Cycle now) {
     return true;
   }
   if (!chan_.can_issue(dram::Cmd::RefRow, c, now)) return false;
+  IMA_TRACE(trace_, .cycle = now, .kind = obs::EventKind::VictimRefresh,
+            .pid = static_cast<std::uint16_t>(chan_.id()),
+            .tid = static_cast<std::uint16_t>(c.rank * chan_.config().geometry.banks + c.bank),
+            .arg0 = c.row);
   chan_.issue(dram::Cmd::RefRow, c, now);
   ++stats_.victim_refreshes;
   victim_q_.pop_front();
@@ -128,6 +144,12 @@ void Controller::serve(std::vector<QueuedRequest>& q, std::size_t idx, dram::Cmd
   QueuedRequest& qr = q[idx];
   const auto& tm = chan_.config().timings;
   const Cycle done = cmd == dram::Cmd::Rd ? now + tm.cl + tm.bl : now + tm.cwl + tm.bl;
+
+  IMA_TRACE(trace_, .cycle = now, .kind = obs::EventKind::SchedDecision,
+            .pid = static_cast<std::uint16_t>(chan_.id()),
+            .tid = static_cast<std::uint16_t>(qr.req.core), .arg0 = qr.req.id,
+            .arg1 = qr.coord.row,
+            .name = cmd == dram::Cmd::Rd ? "serve-rd" : "serve-wr");
 
   SchedView view{&chan_, now, &cores_};
   sched_->on_service(qr, view);
@@ -249,12 +271,18 @@ void Controller::manage_power(Cycle now) {
     if (state == dram::Channel::PowerState::PowerDown && refresh_->rank_blocked(r)) {
       chan_.wake_rank(r, now);
       ++stats_.rank_wakes;
+      IMA_TRACE(trace_, .cycle = now, .kind = obs::EventKind::PowerState,
+                .pid = static_cast<std::uint16_t>(chan_.id()),
+                .tid = static_cast<std::uint16_t>(r), .name = "wake");
       continue;
     }
     if (busy[r]) {
       if (state != dram::Channel::PowerState::Active) {
         chan_.wake_rank(r, now);
         ++stats_.rank_wakes;
+        IMA_TRACE(trace_, .cycle = now, .kind = obs::EventKind::PowerState,
+                  .pid = static_cast<std::uint16_t>(chan_.id()),
+                  .tid = static_cast<std::uint16_t>(r), .name = "wake");
         rank_last_activity_[r] = now;
       }
       continue;
@@ -267,12 +295,18 @@ void Controller::manage_power(Cycle now) {
       if (chan_.all_banks_closed(r)) {
         chan_.enter_power_state(r, dram::Channel::PowerState::SelfRefresh, now);
         ++stats_.selfrefreshes;
+        IMA_TRACE(trace_, .cycle = now, .kind = obs::EventKind::PowerState,
+                  .pid = static_cast<std::uint16_t>(chan_.id()),
+                  .tid = static_cast<std::uint16_t>(r), .name = "selfrefresh");
       }
     } else if (cfg_.powerdown_timeout && idle >= cfg_.powerdown_timeout &&
                state == dram::Channel::PowerState::Active) {
       if (chan_.all_banks_closed(r)) {
         chan_.enter_power_state(r, dram::Channel::PowerState::PowerDown, now);
         ++stats_.powerdowns;
+        IMA_TRACE(trace_, .cycle = now, .kind = obs::EventKind::PowerState,
+                  .pid = static_cast<std::uint16_t>(chan_.id()),
+                  .tid = static_cast<std::uint16_t>(r), .name = "powerdown");
       }
     }
   }
@@ -285,6 +319,30 @@ void Controller::tick(Cycle now) {
   if (try_issue_victim_refresh(now)) return;
   if (try_issue_pim(now)) return;
   try_issue_request(now);
+}
+
+void Controller::register_stats(obs::StatRegistry& reg, const std::string& prefix) const {
+  reg.counter(obs::join_path(prefix, "reads_done"), &stats_.reads_done);
+  reg.counter(obs::join_path(prefix, "writes_done"), &stats_.writes_done);
+  reg.counter(obs::join_path(prefix, "row_hits"), &stats_.row_hits);
+  reg.counter(obs::join_path(prefix, "row_misses"), &stats_.row_misses);
+  reg.counter(obs::join_path(prefix, "row_conflicts"), &stats_.row_conflicts);
+  reg.counter(obs::join_path(prefix, "pim_ops_done"), &stats_.pim_ops_done);
+  reg.counter(obs::join_path(prefix, "victim_refreshes"), &stats_.victim_refreshes);
+  reg.counter(obs::join_path(prefix, "enqueue_rejects"), &stats_.enqueue_rejects);
+  reg.counter(obs::join_path(prefix, "charge_cache_hits"), &stats_.charge_cache_hits);
+  reg.counter(obs::join_path(prefix, "charge_cache_misses"), &stats_.charge_cache_misses);
+  reg.counter(obs::join_path(prefix, "powerdowns"), &stats_.powerdowns);
+  reg.counter(obs::join_path(prefix, "selfrefreshes"), &stats_.selfrefreshes);
+  reg.counter(obs::join_path(prefix, "rank_wakes"), &stats_.rank_wakes);
+  reg.running(obs::join_path(prefix, "read_latency"), &stats_.read_latency);
+  reg.gauge(obs::join_path(prefix, "read_queue_depth"),
+            [this] { return static_cast<double>(read_q_.size()); });
+  reg.gauge(obs::join_path(prefix, "write_queue_depth"),
+            [this] { return static_cast<double>(write_q_.size()); });
+  sched_->register_stats(reg, obs::join_path(prefix, "sched"));
+  refresh_->register_stats(reg, obs::join_path(prefix, "refresh"));
+  if (mitigation_) mitigation_->register_stats(reg, obs::join_path(prefix, "rowhammer"));
 }
 
 }  // namespace ima::mem

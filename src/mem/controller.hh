@@ -127,6 +127,15 @@ class Controller {
   const Stats& stats() const { return stats_; }
   const std::vector<CoreState>& cores() const { return cores_; }
   Scheduler& scheduler() { return *sched_; }
+
+  /// Registers the controller's own counters plus its scheduler's, refresh
+  /// policy's and RowHammer machinery's stats under `prefix`. Call after the
+  /// topology is final (policies installed) — the registry borrows pointers.
+  void register_stats(obs::StatRegistry& reg, const std::string& prefix) const;
+
+  /// Wires `sink` through the controller, its channel and its scheduler
+  /// (null detaches). Survives later set_scheduler() calls.
+  void set_trace(obs::TraceSink* sink);
   dram::Channel& channel() { return chan_; }
   const dram::Channel& channel() const { return chan_; }
 
@@ -174,6 +183,7 @@ class Controller {
   std::vector<CoreState> cores_;
   std::uint64_t next_req_id_ = 1;
   Stats stats_;
+  obs::TraceSink* trace_ = nullptr;
 
   // ChargeCache state: (rank,bank,row) -> charge expiry, FIFO-bounded with
   // stamped lazy eviction (re-inserted keys leave stale FIFO entries that

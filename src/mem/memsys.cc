@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/stat_registry.hh"
+
 namespace ima::mem {
 
 MemorySystem::MemorySystem(const dram::DramConfig& dram_cfg, const ControllerConfig& ctrl_cfg,
@@ -105,6 +107,18 @@ Controller::Stats MemorySystem::aggregate_stats() const {
     agg.enqueue_rejects += s.enqueue_rejects;
   }
   return agg;
+}
+
+void MemorySystem::register_stats(obs::StatRegistry& reg, const std::string& prefix) const {
+  for (std::size_t i = 0; i < ctrls_.size(); ++i) {
+    ctrls_[i]->register_stats(reg, obs::join_path(prefix, "ctrl" + std::to_string(i)));
+    chans_[i]->register_stats(reg, obs::join_path(prefix, "chan" + std::to_string(i)));
+  }
+}
+
+void MemorySystem::set_trace(obs::TraceSink* sink) {
+  // Controllers forward to their channel and scheduler.
+  for (auto& c : ctrls_) c->set_trace(sink);
 }
 
 }  // namespace ima::mem

@@ -62,6 +62,14 @@ class MemorySystem {
   /// Aggregate controller stats (summed over channels).
   Controller::Stats aggregate_stats() const;
 
+  /// Registers every controller (and its channel) under
+  /// `prefix + ".ctrl<i>"` / `prefix + ".chan<i>"`. Call once the topology
+  /// is final — the registry borrows pointers into the controllers.
+  void register_stats(obs::StatRegistry& reg, const std::string& prefix) const;
+
+  /// Attaches `sink` to every controller and channel (null detaches).
+  void set_trace(obs::TraceSink* sink);
+
  private:
   dram::DramConfig dram_cfg_;
   std::unique_ptr<dram::DataStore> data_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/stat_registry.hh"
+
 namespace ima::mem {
 
 RetentionProfile RetentionProfile::generate(std::uint64_t total_rows, double weak_frac,
@@ -56,12 +58,14 @@ class AllBankRefresh final : public RefreshPolicy {
       c.rank = r;
       if (chan.can_issue(dram::Cmd::Ref, c, now)) {
         chan.issue(dram::Cmd::Ref, c, now);
+        ++refs_issued_;
         next_due_[r] += interval_;
         return true;
       }
       // Banks still open: force them shut so the overdue REF can go.
       if (chan.can_issue(dram::Cmd::PreAll, c, now)) {
         chan.issue(dram::Cmd::PreAll, c, now);
+        ++prealls_forced_;
         return true;
       }
       return false;  // waiting on tRAS/tWR; hold the rank blocked
@@ -73,10 +77,17 @@ class AllBankRefresh final : public RefreshPolicy {
     return rank < next_due_.size() && next_due_[rank] <= last_seen_now_;
   }
 
+  void register_stats(obs::StatRegistry& reg, const std::string& prefix) const override {
+    reg.counter(obs::join_path(prefix, "refs_issued"), &refs_issued_);
+    reg.counter(obs::join_path(prefix, "prealls_forced"), &prealls_forced_);
+  }
+
   std::string name() const override { return "all-bank"; }
 
  private:
   Cycle interval_;
+  std::uint64_t refs_issued_ = 0;
+  std::uint64_t prealls_forced_ = 0;
   std::vector<Cycle> next_due_;
   // rank_blocked() needs "now"; the controller calls tick() first each
   // cycle, which caches it here.
@@ -117,6 +128,7 @@ class RaidrRefresh final : public RefreshPolicy {
       const dram::Coord c = coord_of(row_id);
       if (chan.can_issue(dram::Cmd::RefRow, c, now)) {
         chan.issue(dram::Cmd::RefRow, c, now);
+        ++row_refs_issued_;
         budget_[b] -= 1.0;
         cursor_[b] = (cursor_[b] + 1) % rows_by_bin_[b].size();
         return true;
@@ -128,6 +140,12 @@ class RaidrRefresh final : public RefreshPolicy {
   }
 
   bool rank_blocked(std::uint32_t) const override { return false; }
+
+  void register_stats(obs::StatRegistry& reg, const std::string& prefix) const override {
+    reg.counter(obs::join_path(prefix, "row_refs_issued"), &row_refs_issued_);
+    reg.gauge(obs::join_path(prefix, "row_refreshes_per_window"),
+              [this] { return row_refreshes_per_window(); });
+  }
 
   std::string name() const override { return "RAIDR"; }
 
@@ -153,6 +171,7 @@ class RaidrRefresh final : public RefreshPolicy {
 
   dram::DramConfig cfg_;
   RetentionProfile profile_;
+  std::uint64_t row_refs_issued_ = 0;
   Cycle base_window_ = 0;
   std::vector<std::vector<std::uint64_t>> rows_by_bin_;
   std::vector<std::size_t> cursor_;

@@ -16,6 +16,10 @@
 #include "common/types.hh"
 #include "dram/channel.hh"
 
+namespace ima::obs {
+class StatRegistry;
+}  // namespace ima::obs
+
 namespace ima::mem {
 
 /// Per-row retention bins. Interval multipliers are relative to the base
@@ -45,6 +49,10 @@ class RefreshPolicy {
 
   /// True if normal traffic to `rank` should be held back (refresh due).
   virtual bool rank_blocked(std::uint32_t rank) const = 0;
+
+  /// Exposes policy-internal counters (issued REFs, paced row refreshes)
+  /// under `prefix`. Default: none.
+  virtual void register_stats(obs::StatRegistry&, const std::string& /*prefix*/) const {}
 
   virtual std::string name() const = 0;
 };

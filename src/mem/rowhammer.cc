@@ -2,7 +2,17 @@
 
 #include <algorithm>
 
+#include "obs/stat_registry.hh"
+
 namespace ima::mem {
+
+void HammerVictimModel::register_stats(obs::StatRegistry& reg, const std::string& prefix) const {
+  reg.counter(obs::join_path(prefix, "flips"), &flips_);
+  reg.gauge(obs::join_path(prefix, "tracked_rows"),
+            [this] { return static_cast<double>(disturb_count_.size()); });
+  reg.gauge(obs::join_path(prefix, "threshold"),
+            [this] { return static_cast<double>(threshold_); });
+}
 
 void HammerVictimModel::disturb(const dram::Coord& c, std::uint32_t row) {
   auto& count = disturb_count_[key(c, row)];
@@ -50,8 +60,14 @@ class Para final : public RowHammerMitigation {
   Para(double p, std::uint64_t seed) : p_(p), rng_(seed) {}
 
   void on_act(const dram::Coord& c, Cycle, std::vector<dram::Coord>& out) override {
+    const std::size_t before = out.size();
     if (rng_.chance(p_ / 2.0) && c.row > 0) out.push_back(neighbor(c, -1));
     if (rng_.chance(p_ / 2.0)) out.push_back(neighbor(c, +1));
+    victims_requested_ += out.size() - before;
+  }
+
+  void register_stats(obs::StatRegistry& reg, const std::string& prefix) const override {
+    reg.counter(obs::join_path(prefix, "victims_requested"), &victims_requested_);
   }
 
   std::string name() const override { return "PARA"; }
@@ -59,6 +75,7 @@ class Para final : public RowHammerMitigation {
  private:
   double p_;
   Rng rng_;
+  std::uint64_t victims_requested_ = 0;
 };
 
 class TrrSample final : public RowHammerMitigation {
@@ -77,6 +94,7 @@ class TrrSample final : public RowHammerMitigation {
         dram::Coord base = c;
         if (c.row > 0) out.push_back(neighbor(base, -1));
         out.push_back(neighbor(base, +1));
+        victims_requested_ += c.row > 0 ? 2 : 1;
         it->count = 0;
       }
       return;
@@ -95,9 +113,15 @@ class TrrSample final : public RowHammerMitigation {
       for (auto& e : sampler) e.count = 0;
   }
 
+  void register_stats(obs::StatRegistry& reg, const std::string& prefix) const override {
+    reg.counter(obs::join_path(prefix, "victims_requested"), &victims_requested_);
+  }
+
   std::string name() const override { return "TRR-sample"; }
 
  private:
+  std::uint64_t victims_requested_ = 0;
+
   struct Entry {
     std::uint32_t row;
     std::uint64_t count;
@@ -122,6 +146,7 @@ class Graphene final : public RowHammerMitigation {
       if (++it->second >= trigger_ + table.spillover) {
         if (c.row > 0) out.push_back(neighbor(c, -1));
         out.push_back(neighbor(c, +1));
+        victims_requested_ += c.row > 0 ? 2 : 1;
         it->second = table.spillover;  // reset relative to the floor
       }
       return;
@@ -150,9 +175,15 @@ class Graphene final : public RowHammerMitigation {
     }
   }
 
+  void register_stats(obs::StatRegistry& reg, const std::string& prefix) const override {
+    reg.counter(obs::join_path(prefix, "victims_requested"), &victims_requested_);
+  }
+
   std::string name() const override { return "Graphene"; }
 
  private:
+  std::uint64_t victims_requested_ = 0;
+
   struct Table {
     std::unordered_map<std::uint32_t, std::uint64_t> counts;
     std::uint64_t spillover = 0;

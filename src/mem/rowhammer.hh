@@ -23,6 +23,10 @@
 #include "common/types.hh"
 #include "dram/command.hh"
 
+namespace ima::obs {
+class StatRegistry;
+}  // namespace ima::obs
+
 namespace ima::mem {
 
 /// Ground-truth disturbance bookkeeping. Rows are identified per-bank.
@@ -46,6 +50,9 @@ class HammerVictimModel {
 
   std::uint64_t flips() const { return flips_; }
   std::uint64_t threshold() const { return threshold_; }
+
+  /// Ground-truth observability: bit flips and currently tracked rows.
+  void register_stats(obs::StatRegistry& reg, const std::string& prefix) const;
 
  private:
   std::uint64_t key(const dram::Coord& c, std::uint32_t row) const {
@@ -71,6 +78,10 @@ class RowHammerMitigation {
 
   /// Blanket refresh resets per-window state.
   virtual void on_refresh_window() {}
+
+  /// Mitigation-internal counters (victim refreshes requested) under
+  /// `prefix`. Default: none.
+  virtual void register_stats(obs::StatRegistry&, const std::string& /*prefix*/) const {}
 
   virtual std::string name() const = 0;
 };

@@ -17,6 +17,11 @@
 #include "dram/channel.hh"
 #include "mem/request.hh"
 
+namespace ima::obs {
+class StatRegistry;
+class TraceSink;
+}  // namespace ima::obs
+
 namespace ima::mem {
 
 /// A request waiting in the controller queue, plus its decoded coordinates
@@ -73,6 +78,14 @@ class Scheduler {
 
   /// Periodic housekeeping (quantum boundaries etc.); called every cycle.
   virtual void tick(const SchedView&, std::vector<QueuedRequest>&) {}
+
+  /// Exposes policy-internal statistics (decision counts, learning state)
+  /// under `prefix`. Default: none.
+  virtual void register_stats(obs::StatRegistry&, const std::string& /*prefix*/) const {}
+
+  /// Routes per-decision trace events into `sink` (null detaches). Default:
+  /// no tracing; the controller still traces command issue.
+  virtual void set_trace(obs::TraceSink*) {}
 
   virtual std::string name() const = 0;
 };

@@ -15,6 +15,8 @@
 
 #include "learn/qlearn.hh"
 #include "mem/sched.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
 
 namespace ima::mem {
 
@@ -27,6 +29,9 @@ enum RlAction : std::uint32_t {
   kServeLoadedBank = 3,  // throughput: request on the deepest bank queue
   kNumActions = 4,
 };
+
+constexpr const char* kActionNames[kNumActions] = {"row_hit", "oldest", "least_served",
+                                                   "loaded_bank"};
 
 class RlScheduler final : public Scheduler {
  public:
@@ -49,6 +54,7 @@ class RlScheduler final : public Scheduler {
 
     if (have_prev_) {
       const double reward = static_cast<double>(served_since_decision_);
+      reward_.add(reward);
       agent_->learn(prev_state_, prev_action_, reward, s);
       // Decay exploration once learning is underway (GLIE-style schedule):
       // early decisions explore, steady state exploits.
@@ -61,6 +67,11 @@ class RlScheduler final : public Scheduler {
     prev_state_ = s;
     prev_action_ = a;
     have_prev_ = true;
+    ++decisions_;
+    ++action_counts_[a];
+    IMA_TRACE(trace_, .cycle = v.now, .kind = obs::EventKind::SchedDecision,
+              .tid = static_cast<std::uint16_t>(a), .arg0 = a, .arg1 = s,
+              .name = kActionNames[a]);
 
     std::size_t i = select(q, v, static_cast<RlAction>(a));
     if (i != kNoPick) return i;
@@ -76,6 +87,17 @@ class RlScheduler final : public Scheduler {
   }
 
   std::string name() const override { return "RL"; }
+
+  void register_stats(obs::StatRegistry& reg, const std::string& prefix) const override {
+    reg.counter(obs::join_path(prefix, "decisions"), &decisions_);
+    for (std::uint32_t a = 0; a < kNumActions; ++a)
+      reg.counter(obs::join_path(prefix, std::string("action.") + kActionNames[a]),
+                  &action_counts_[a]);
+    reg.gauge(obs::join_path(prefix, "epsilon"), [this] { return agent_->epsilon(); });
+    reg.running(obs::join_path(prefix, "reward"), &reward_);
+  }
+
+  void set_trace(obs::TraceSink* sink) override { trace_ = sink; }
 
   /// Freeze learning/exploration (evaluation mode).
   void freeze() { frozen_ = true; }
@@ -157,6 +179,10 @@ class RlScheduler final : public Scheduler {
   bool have_prev_ = false;
   bool frozen_ = false;
   std::uint64_t served_since_decision_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t action_counts_[kNumActions] = {};
+  RunningStat reward_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace

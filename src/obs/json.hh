@@ -1,0 +1,44 @@
+// Minimal streaming JSON writer shared by the report and trace exporters.
+// No DOM, no allocation beyond the nesting stack: callers emit tokens in
+// order and the writer manages commas, quoting and escaping.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+namespace ima::obs {
+
+/// Writes `s` as a quoted JSON string literal with escapes.
+void write_json_string(std::ostream& os, std::string_view s);
+/// Writes a finite double (NaN/inf degrade to null, which JSON lacks).
+void write_json_number(std::ostream& os, double v);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by exactly one value/container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+
+ private:
+  void separate();  // comma between siblings
+
+  std::ostream& os_;
+  std::vector<bool> has_sibling_;  // per open container
+  bool pending_value_ = false;     // a key was just written
+};
+
+}  // namespace ima::obs

@@ -1,0 +1,119 @@
+#include "obs/report.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.hh"
+
+namespace ima::obs {
+
+namespace {
+
+void write_csv_field(std::ostream& os, const std::string& f) {
+  if (f.find_first_of(",\"\n\r") == std::string::npos) {
+    os << f;
+    return;
+  }
+  os << '"';
+  for (const char c : f) {
+    if (c == '"') os << "\"\"";
+    else os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_csv_table(std::ostream& os, const std::vector<std::string>& headers,
+                     const std::vector<std::vector<std::string>>& rows) {
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    if (i) os << ',';
+    write_csv_field(os, headers[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      write_csv_field(os, row[i]);
+    }
+    os << '\n';
+  }
+}
+
+Report::Report(std::string id, std::string title, std::string claim)
+    : id_(std::move(id)), title_(std::move(title)), claim_(std::move(claim)) {}
+
+void Report::add_table(const Table& t, std::string title) {
+  tables_.push_back(NamedTable{std::move(title), t.headers(), t.cells()});
+}
+
+void Report::add_metric(std::string name, double value) {
+  metrics_.emplace_back(std::move(name), value);
+}
+
+void Report::add_snapshot(const StatRegistry::Snapshot& snap) {
+  for (const auto& v : snap.values) stats_.emplace_back(v.path, v.value);
+}
+
+void Report::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("id").value(id_);
+  w.key("title").value(title_);
+  w.key("claim").value(claim_);
+  w.key("shape").value(shape_);
+  w.key("metrics").begin_object();
+  for (const auto& [name, value] : metrics_) w.key(name).value(value);
+  w.end_object();
+  w.key("stats").begin_object();
+  for (const auto& [path, value] : stats_) w.key(path).value(value);
+  w.end_object();
+  w.key("tables").begin_array();
+  for (const auto& t : tables_) {
+    w.begin_object();
+    w.key("title").value(t.title);
+    w.key("headers").begin_array();
+    for (const auto& h : t.headers) w.value(h);
+    w.end_array();
+    w.key("rows").begin_array();
+    for (const auto& row : t.rows) {
+      w.begin_array();
+      for (const auto& cell : row) w.value(cell);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+void Report::write_csv(std::ostream& os) const {
+  bool first = true;
+  for (const auto& t : tables_) {
+    if (!first) os << '\n';
+    first = false;
+    if (!t.title.empty()) os << "# " << t.title << '\n';
+    write_csv_table(os, t.headers, t.rows);
+  }
+}
+
+bool Report::write_files(const std::string& dir) const {
+  const std::string base = (dir.empty() ? std::string(".") : dir) + "/BENCH_" + id_;
+  std::ofstream js(base + ".json");
+  if (!js) return false;
+  write_json(js);
+  std::ofstream cs(base + ".csv");
+  if (!cs) return false;
+  write_csv(cs);
+  return static_cast<bool>(js) && static_cast<bool>(cs);
+}
+
+std::string Report::default_out_dir() {
+  const char* d = std::getenv("IMA_BENCH_OUT");
+  return d && *d ? d : ".";
+}
+
+}  // namespace ima::obs

@@ -1,0 +1,69 @@
+// Machine-readable experiment reports.
+//
+// A Report collects what a bench binary used to only print — the claim
+// header, result tables, free-form metrics and a StatRegistry snapshot —
+// and serializes it as JSON (one self-describing document) and CSV (tables
+// only, for spreadsheet import). bench_util.hh routes every experiment
+// harness through this, so each run leaves a BENCH_<id>.json beside its
+// human-readable table and the ROADMAP perf trajectory can be tracked by
+// tooling instead of eyeballs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.hh"
+#include "obs/stat_registry.hh"
+
+namespace ima::obs {
+
+class Report {
+ public:
+  explicit Report(std::string id, std::string title = "", std::string claim = "");
+
+  void set_shape(std::string expectation) { shape_ = std::move(expectation); }
+  void add_table(const Table& t, std::string title = "");
+  void add_metric(std::string name, double value);
+  /// Flattens a registry snapshot into the "stats" section.
+  void add_snapshot(const StatRegistry::Snapshot& snap);
+
+  const std::string& id() const { return id_; }
+  std::size_t num_tables() const { return tables_.size(); }
+
+  void write_json(std::ostream& os) const;
+  /// Tables only; multiple tables are separated by a blank line and a
+  /// "# title" comment row.
+  void write_csv(std::ostream& os) const;
+
+  /// Writes BENCH_<id>.json and BENCH_<id>.csv into `dir` ("" = cwd).
+  /// Returns false on I/O failure.
+  bool write_files(const std::string& dir) const;
+
+  /// $IMA_BENCH_OUT when set, else "." — where write_files() should land
+  /// for bench binaries.
+  static std::string default_out_dir();
+
+ private:
+  struct NamedTable {
+    std::string title;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string id_;
+  std::string title_;
+  std::string claim_;
+  std::string shape_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, double>> stats_;
+  std::vector<NamedTable> tables_;
+};
+
+/// Writes one table in RFC-4180-style CSV (quote fields containing comma,
+/// quote or newline; embedded quotes double).
+void write_csv_table(std::ostream& os, const std::vector<std::string>& headers,
+                     const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace ima::obs

@@ -1,0 +1,82 @@
+// Hierarchical statistics registry — the enumeration layer promised by
+// common/stats.hh. Components keep owning their stats as plain value
+// members; register_stats() hands the registry *borrowed pointers* (or
+// closures) under dotted paths ("mem.ctrl0.row_hits", "cache.l2.miss_rate")
+// so reporters can enumerate, snapshot and diff them without knowing any
+// component's concrete Stats struct.
+//
+// Lifetime rule: register after the simulated topology is final (schedulers
+// swapped in, policies installed) and before the owning objects die — the
+// registry never copies the underlying storage.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace ima::obs {
+
+/// Counters are monotonic (diff subtracts), gauges are instantaneous levels
+/// (diff keeps the later value).
+enum class StatKind : std::uint8_t { Counter, Gauge };
+
+/// "mem" + "ctrl0" -> "mem.ctrl0"; empty prefix or name passes through.
+std::string join_path(std::string_view prefix, std::string_view name);
+
+class StatRegistry {
+ public:
+  struct Entry {
+    std::string path;
+    StatKind kind;
+    std::function<double()> read;
+  };
+
+  /// Monotonic counter backed by the component's own member.
+  void counter(std::string path, const std::uint64_t* v);
+  /// Counter whose value is computed on demand (e.g. a sum).
+  void counter_fn(std::string path, std::function<double()> fn);
+  /// Instantaneous level computed on demand.
+  void gauge(std::string path, std::function<double()> fn);
+  /// Expands a RunningStat into <path>.count/.mean/.min/.max/.stddev.
+  void running(const std::string& path, const RunningStat* rs);
+  /// Expands a Histogram into <path>.count/.mean/.p50/.p95/.p99.
+  void histogram(const std::string& path, const Histogram* h);
+
+  std::size_t size() const { return entries_.size(); }
+  bool contains(std::string_view path) const { return find(path) != nullptr; }
+  const Entry* find(std::string_view path) const;
+
+  /// Current value of one stat, if registered.
+  std::optional<double> value(std::string_view path) const;
+
+  /// Entries whose path starts with `prefix` ("" = all), registration order.
+  std::vector<const Entry*> match(std::string_view prefix = {}) const;
+
+  /// A cheap point-in-time copy of every value (sorted by path) — the
+  /// snapshot/diff pair is how per-phase statistics are taken.
+  struct Snapshot {
+    struct Value {
+      std::string path;
+      StatKind kind;
+      double value;
+    };
+    std::vector<Value> values;  // sorted by path
+    std::optional<double> at(std::string_view path) const;
+    std::size_t size() const { return values.size(); }
+  };
+  Snapshot snapshot(std::string_view prefix = {}) const;
+
+  /// Per-phase view: counters report after-before, gauges report their
+  /// `after` value; paths absent from `before` pass through unchanged.
+  static Snapshot diff(const Snapshot& before, const Snapshot& after);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ima::obs

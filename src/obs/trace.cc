@@ -1,0 +1,107 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.hh"
+
+namespace ima::obs {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::DramCmd: return "dram-cmd";
+    case EventKind::Refresh: return "refresh";
+    case EventKind::VictimRefresh: return "victim-refresh";
+    case EventKind::PimOp: return "pim-op";
+    case EventKind::SchedDecision: return "sched-decision";
+    case EventKind::PowerState: return "power-state";
+    case EventKind::PrefetchIssue: return "prefetch-issue";
+    case EventKind::PrefetchUseful: return "prefetch-useful";
+    case EventKind::PrefetchUseless: return "prefetch-useless";
+    case EventKind::OffloadDispatch: return "offload-dispatch";
+    case EventKind::OffloadComplete: return "offload-complete";
+    case EventKind::Custom: return "custom";
+  }
+  return "?";
+}
+
+const char* category_of(EventKind k) {
+  switch (k) {
+    case EventKind::DramCmd:
+    case EventKind::PimOp:
+      return "dram";
+    case EventKind::Refresh:
+    case EventKind::VictimRefresh:
+      return "refresh";
+    case EventKind::SchedDecision: return "sched";
+    case EventKind::PowerState: return "power";
+    case EventKind::PrefetchIssue:
+    case EventKind::PrefetchUseful:
+    case EventKind::PrefetchUseless:
+      return "prefetch";
+    case EventKind::OffloadDispatch:
+    case EventKind::OffloadComplete:
+      return "pnm";
+    case EventKind::Custom: return "custom";
+  }
+  return "?";
+}
+
+TraceSink::TraceSink(std::size_t capacity) : buf_(std::max<std::size_t>(1, capacity)) {}
+
+void TraceSink::clear() {
+  head_ = 0;
+  recorded_ = 0;
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::size_t start = recorded_ < buf_.size() ? 0 : head_;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(buf_[(start + i) % buf_.size()]);
+  return out;
+}
+
+void TraceSink::write_chrome_trace(std::ostream& os) const {
+  // One trace cycle maps to one microsecond of viewer time; the viewer only
+  // needs relative positions, and integral ts keeps files compact.
+  JsonWriter w(os);
+  w.begin_object().key("traceEvents").begin_array();
+  for (const TraceEvent& e : events()) {
+    w.begin_object();
+    w.key("name").value(e.name ? e.name : to_string(e.kind));
+    w.key("cat").value(category_of(e.kind));
+    if (e.dur > 0) {
+      w.key("ph").value("X");
+      w.key("dur").value(static_cast<std::uint64_t>(e.dur));
+    } else {
+      w.key("ph").value("i");
+      w.key("s").value("t");
+    }
+    w.key("ts").value(static_cast<std::uint64_t>(e.cycle));
+    w.key("pid").value(static_cast<std::uint64_t>(e.pid));
+    w.key("tid").value(static_cast<std::uint64_t>(e.tid));
+    w.key("args")
+        .begin_object()
+        .key("kind").value(to_string(e.kind))
+        .key("arg0").value(e.arg0)
+        .key("arg1").value(e.arg1)
+        .end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.end_object();
+  os << '\n';
+}
+
+bool TraceSink::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace ima::obs

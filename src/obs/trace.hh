@@ -1,0 +1,100 @@
+// Cycle-stamped simulation event tracing.
+//
+// TraceSink is a fixed-capacity ring buffer of small POD events — recording
+// is a bounds-free array store, so leaving a sink attached costs a pointer
+// test plus one copy per event, and the newest `capacity` events survive for
+// post-mortem inspection or export. The exporter emits Chrome trace-event
+// JSON, which loads directly in about:tracing or https://ui.perfetto.dev
+// for timeline visualization (pid/tid pick the timeline rows).
+//
+// Components hold a `TraceSink*` that defaults to null (tracing off). Use
+// the IMA_TRACE macro at record sites: with the CMake option IMA_TRACING=OFF
+// every trace point compiles out entirely (-DIMA_TRACE_DISABLED).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ima::obs {
+
+enum class EventKind : std::uint8_t {
+  DramCmd,         // ACT/PRE/RD/WR... issued on a channel
+  Refresh,         // REF / REFROW issued (refresh-policy work)
+  VictimRefresh,   // RowHammer mitigation neighbour refresh
+  PimOp,           // processing-using-memory command (AAP/LISA/TRA)
+  SchedDecision,   // scheduler picked a request / an RL action
+  PowerState,      // rank power-state transition
+  PrefetchIssue,   // prefetch request sent to memory
+  PrefetchUseful,  // prefetched line demanded before eviction
+  PrefetchUseless, // prefetched line evicted untouched
+  OffloadDispatch, // PNM kernel dispatched (host or near-memory)
+  OffloadComplete, // PNM kernel finished
+  Custom,
+};
+
+const char* to_string(EventKind k);
+/// Chrome trace "cat" (category) string for filtering in the viewer.
+const char* category_of(EventKind k);
+
+struct TraceEvent {
+  Cycle cycle = 0;
+  Cycle dur = 0;               // 0 => instant event; >0 => span
+  EventKind kind = EventKind::Custom;
+  std::uint16_t pid = 0;       // timeline process row (channel / stack id)
+  std::uint16_t tid = 0;       // timeline thread row (bank / core / vault)
+  std::uint64_t arg0 = 0;      // kind-specific payload (row, action, addr)
+  std::uint64_t arg1 = 0;
+  const char* name = nullptr;  // static-lifetime label; to_string(kind) if null
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity = 1 << 16);
+
+  void record(const TraceEvent& e) {
+    buf_[head_] = e;
+    head_ = head_ + 1 == buf_.size() ? 0 : head_ + 1;
+    ++recorded_;
+  }
+
+  std::uint64_t recorded() const { return recorded_; }          // total ever
+  std::uint64_t dropped() const { return recorded_ - size(); }  // overwritten
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t size() const {
+    return recorded_ < buf_.size() ? static_cast<std::size_t>(recorded_) : buf_.size();
+  }
+  void clear();
+
+  /// Retained events, oldest first (insertion order).
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}).
+  void write_chrome_trace(std::ostream& os) const;
+  /// Convenience: write_chrome_trace to `path`; false on I/O failure.
+  bool write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> buf_;
+  std::size_t head_ = 0;  // next write slot
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace ima::obs
+
+// Record-site macro: `IMA_TRACE(sink_ptr, .cycle = now, .kind = ...);`
+// compiles to a null test when tracing is built in, and to nothing when the
+// build disables tracing.
+#ifndef IMA_TRACE_DISABLED
+#define IMA_TRACE(sink, ...)                                          \
+  do {                                                                \
+    if (sink) (sink)->record(::ima::obs::TraceEvent{__VA_ARGS__});    \
+  } while (0)
+#else
+#define IMA_TRACE(sink, ...) \
+  do {                       \
+  } while (0)
+#endif

@@ -2,9 +2,20 @@
 
 #include <cassert>
 
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
+
 namespace ima::pnm {
 
 PnmStack::PnmStack(const PnmConfig& cfg) : cfg_(cfg) {}
+
+void PnmStack::register_stats(obs::StatRegistry& reg, const std::string& prefix) const {
+  reg.counter(obs::join_path(prefix, "runs_pnm"), &stats_.runs_pnm);
+  reg.counter(obs::join_path(prefix, "runs_host"), &stats_.runs_host);
+  reg.counter(obs::join_path(prefix, "instructions"), &stats_.instructions);
+  reg.counter(obs::join_path(prefix, "local_accesses"), &stats_.local_accesses);
+  reg.counter(obs::join_path(prefix, "remote_accesses"), &stats_.remote_accesses);
+}
 
 PnmStack::RunResult PnmStack::run_pnm(const std::vector<VaultTrace>& traces, Cycle max_cycles) {
   assert(traces.size() == cfg_.vaults);
@@ -40,6 +51,12 @@ PnmStack::RunResult PnmStack::run_traces(const std::vector<VaultTrace>& per_core
     std::vector<Cycle> releases;            // data-return cycles (incl. link/NoC)
   };
   std::vector<CoreState> cores(per_core.size());
+
+  std::uint64_t work_items = 0;
+  for (const auto& t : per_core) work_items += t.size();
+  IMA_TRACE(trace_, .cycle = 0, .kind = obs::EventKind::OffloadDispatch,
+            .tid = static_cast<std::uint16_t>(near_memory ? 1 : 0), .arg0 = work_items,
+            .arg1 = per_core.size(), .name = near_memory ? "run-pnm" : "run-host");
 
   RunResult res;
   std::uint64_t noc_lines = 0;
@@ -137,6 +154,14 @@ PnmStack::RunResult PnmStack::run_traces(const std::vector<VaultTrace>& per_core
   }
 
   res.cycles = now;
+  IMA_TRACE(trace_, .cycle = now, .kind = obs::EventKind::OffloadComplete,
+            .tid = static_cast<std::uint16_t>(near_memory ? 1 : 0),
+            .arg0 = res.instructions, .arg1 = now,
+            .name = near_memory ? "run-pnm-done" : "run-host-done");
+  ++(near_memory ? stats_.runs_pnm : stats_.runs_host);
+  stats_.instructions += res.instructions;
+  stats_.local_accesses += res.local_accesses;
+  stats_.remote_accesses += res.remote_accesses;
   for (auto& v : vaults) res.energy += v->total_energy(now);
   res.energy += static_cast<double>(noc_lines) * cfg_.e_noc_per_line;
   res.energy += static_cast<double>(host_lines) * cfg_.e_host_link_per_line;

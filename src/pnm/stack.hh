@@ -17,6 +17,11 @@
 #include "dram/config.hh"
 #include "mem/memsys.hh"
 
+namespace ima::obs {
+class StatRegistry;
+class TraceSink;
+}  // namespace ima::obs
+
 namespace ima::pnm {
 
 struct PnmConfig {
@@ -89,12 +94,31 @@ class PnmStack {
 
   const PnmConfig& config() const { return cfg_; }
 
+  /// Lifetime accounting accumulated across run_pnm()/run_host() calls
+  /// (per-run vault state is rebuilt, so the stack keeps the running sums).
+  struct Stats {
+    std::uint64_t runs_pnm = 0;
+    std::uint64_t runs_host = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t local_accesses = 0;
+    std::uint64_t remote_accesses = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Accumulated run counters under `prefix`.
+  void register_stats(obs::StatRegistry& reg, const std::string& prefix) const;
+
+  /// Dispatch/completion events for each run land in `sink` (null detaches).
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
  private:
   // Each run builds fresh vault state so successive runs are independent.
   RunResult run_traces(const std::vector<VaultTrace>& per_core, bool near_memory,
                        Cycle max_cycles);
 
   PnmConfig cfg_;
+  Stats stats_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace ima::pnm

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
+
 namespace ima::sim {
 
 const char* to_string(PrefetchKind k) {
@@ -51,6 +54,36 @@ System::System(const SystemConfig& cfg,
     cores_.push_back(std::make_unique<core::SimpleCore>(i, std::move(streams[i]), *this, cfg.core));
 }
 
+System::~System() = default;
+
+obs::TraceSink& System::enable_trace(std::size_t capacity) {
+  if (!trace_ || trace_->capacity() != capacity) {
+    trace_ = std::make_unique<obs::TraceSink>(capacity);
+    mem_->set_trace(trace_.get());
+  }
+  return *trace_;
+}
+
+void System::register_stats(obs::StatRegistry& reg, const std::string& prefix) const {
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    const std::string core_prefix = obs::join_path(prefix, "core" + std::to_string(i));
+    const auto& cs = cores_[i]->stats();
+    reg.counter(obs::join_path(core_prefix, "instructions"), &cs.instructions);
+    reg.counter(obs::join_path(core_prefix, "loads"), &cs.loads);
+    reg.counter(obs::join_path(core_prefix, "stores"), &cs.stores);
+    reg.counter(obs::join_path(core_prefix, "stall_cycles"), &cs.stall_cycles);
+    reg.counter(obs::join_path(core_prefix, "runahead_prefetches"), &cs.runahead_prefetches);
+    l1s_[i]->register_stats(reg, obs::join_path(core_prefix, "l1"));
+  }
+  l2_->register_stats(reg, obs::join_path(prefix, "l2"));
+  const std::string pf = obs::join_path(prefix, "prefetch");
+  reg.counter(obs::join_path(pf, "issued"), &pf_stats_.issued);
+  reg.counter(obs::join_path(pf, "useful"), &pf_stats_.useful);
+  reg.counter(obs::join_path(pf, "useless"), &pf_stats_.useless);
+  prefetcher_->register_stats(reg, pf);
+  mem_->register_stats(reg, obs::join_path(prefix, "mem"));
+}
+
 void System::enqueue_mem_write(Addr addr) {
   mem::Request wr;
   wr.addr = addr;
@@ -74,19 +107,29 @@ void System::flush_pending_writes() {
   }
 }
 
+void System::retire_prefetched(Addr line, bool useful) {
+  if (prefetched_.erase(line) == 0) return;
+  ++(useful ? pf_stats_.useful : pf_stats_.useless);
+  IMA_TRACE(trace_.get(), .cycle = now_,
+            .kind = useful ? obs::EventKind::PrefetchUseful : obs::EventKind::PrefetchUseless,
+            .arg0 = line, .name = useful ? "pf-useful" : "pf-useless");
+  std::uint64_t pc = 0;
+  if (const auto it = prefetch_pc_.find(line); it != prefetch_pc_.end()) {
+    pc = it->second;
+    prefetch_pc_.erase(it);
+  }
+  if (trainable_) {
+    if (useful) trainable_->notify_useful(line, pc);
+    else trainable_->notify_useless(line, pc);
+  }
+}
+
 void System::handle_l1_victim(std::uint32_t /*core*/, const cache::Cache::FillResult& fr) {
   if (!fr.evicted || !fr.evicted_dirty) return;
   // Dirty L1 victim writes back into L2; its own victim may cascade to DRAM.
   const auto l2fr = l2_->fill(*fr.evicted, /*dirty=*/true);
   if (l2fr.evicted) {
-    if (prefetched_.erase(*l2fr.evicted) > 0) {
-      ++pf_stats_.useless;
-      if (trainable_) {
-        const auto pc_it = prefetch_pc_.find(*l2fr.evicted);
-        trainable_->notify_useless(*l2fr.evicted, pc_it == prefetch_pc_.end() ? 0 : pc_it->second);
-        if (pc_it != prefetch_pc_.end()) prefetch_pc_.erase(pc_it);
-      }
-    }
+    retire_prefetched(*l2fr.evicted, /*useful=*/false);
     if (l2fr.evicted_dirty) enqueue_mem_write(*l2fr.evicted);
   }
 }
@@ -109,19 +152,15 @@ void System::issue_prefetches(Addr addr, std::uint64_t pc, bool was_miss) {
       prefetched_.insert(line);
       prefetch_pc_[line] = cpc;
       if (fr.evicted) {
-        if (prefetched_.erase(*fr.evicted) > 0) {
-          ++pf_stats_.useless;
-          if (trainable_) {
-            const auto pc_it = prefetch_pc_.find(*fr.evicted);
-            trainable_->notify_useless(*fr.evicted,
-                                      pc_it == prefetch_pc_.end() ? 0 : pc_it->second);
-            if (pc_it != prefetch_pc_.end()) prefetch_pc_.erase(pc_it);
-          }
-        }
+        retire_prefetched(*fr.evicted, /*useful=*/false);
         if (fr.evicted_dirty) enqueue_mem_write(*fr.evicted);
       }
     });
-    if (ok) ++pf_stats_.issued;
+    if (ok) {
+      ++pf_stats_.issued;
+      IMA_TRACE(trace_.get(), .cycle = now_, .kind = obs::EventKind::PrefetchIssue,
+                .arg0 = line, .arg1 = cpc, .name = "pf-issue");
+    }
   }
 }
 
@@ -170,27 +209,12 @@ std::optional<Cycle> System::issue(std::uint32_t core, const workloads::TraceEnt
 
   const auto l2res = l2_->access(line, AccessType::Read);
   if (l2res.hit) {
-    if (prefetched_.erase(line) > 0) {
-      ++pf_stats_.useful;
-      if (trainable_) {
-        const auto pc_it = prefetch_pc_.find(line);
-        trainable_->notify_useful(line, pc_it == prefetch_pc_.end() ? 0 : pc_it->second);
-        if (pc_it != prefetch_pc_.end()) prefetch_pc_.erase(pc_it);
-      }
-    }
+    retire_prefetched(line, /*useful=*/true);
     issue_prefetches(line, access.pc, /*was_miss=*/false);
     return now + cfg_.l2.hit_latency;
   }
   if (l2res.fill.evicted) {
-    if (prefetched_.erase(*l2res.fill.evicted) > 0) {
-      ++pf_stats_.useless;
-      if (trainable_) {
-        const auto pc_it = prefetch_pc_.find(*l2res.fill.evicted);
-        trainable_->notify_useless(*l2res.fill.evicted,
-                                  pc_it == prefetch_pc_.end() ? 0 : pc_it->second);
-        if (pc_it != prefetch_pc_.end()) prefetch_pc_.erase(pc_it);
-      }
-    }
+    retire_prefetched(*l2res.fill.evicted, /*useful=*/false);
     if (l2res.fill.evicted_dirty) enqueue_mem_write(*l2res.fill.evicted);
   }
 

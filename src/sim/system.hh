@@ -14,6 +14,11 @@
 #include "mem/memsys.hh"
 #include "workloads/stream.hh"
 
+namespace ima::obs {
+class StatRegistry;
+class TraceSink;
+}  // namespace ima::obs
+
 namespace ima::sim {
 
 enum class PrefetchKind : std::uint8_t { None, NextLine, Stride, Ghb, FilteredStride, Feedback };
@@ -44,6 +49,7 @@ class System final : public core::MemoryPort {
   /// One stream per core (cfg.num_cores of them).
   System(const SystemConfig& cfg,
          std::vector<std::unique_ptr<workloads::AccessStream>> streams);
+  ~System() override;  // out-of-line: TraceSink is forward-declared here
 
   /// Runs until every core hits its instruction limit or `max_cycles`
   /// elapses. Returns the final cycle count.
@@ -85,11 +91,24 @@ class System final : public core::MemoryPort {
   /// Per-core IPC over the whole run.
   std::vector<double> core_ipcs() const;
 
+  /// Registers the full hierarchy — cores, L1s, L2, prefetcher, memory
+  /// system — under `prefix` (default "sys"). Call once wiring is final.
+  void register_stats(obs::StatRegistry& reg, const std::string& prefix = "sys") const;
+
+  /// Allocates a ring-buffered trace sink of `capacity` events and attaches
+  /// it to the memory system and prefetch path. Idempotent per capacity.
+  obs::TraceSink& enable_trace(std::size_t capacity = 1 << 16);
+  obs::TraceSink* trace() { return trace_.get(); }
+
  private:
   void handle_l1_victim(std::uint32_t core, const cache::Cache::FillResult& fr);
   void enqueue_mem_write(Addr addr);
   void issue_prefetches(Addr addr, std::uint64_t pc, bool was_miss);
   void flush_pending_writes();
+  /// A prefetched L2 line left `prefetched_` (demanded or evicted): count
+  /// it, emit the trace event and train the prefetcher. No-op for lines the
+  /// prefetcher never brought in.
+  void retire_prefetched(Addr line, bool useful);
 
   SystemConfig cfg_;
   std::unique_ptr<mem::MemorySystem> mem_;
@@ -103,6 +122,7 @@ class System final : public core::MemoryPort {
   std::unordered_set<Addr> prefetched_;   // L2 lines filled by prefetch, untouched
   std::unordered_map<Addr, std::uint64_t> prefetch_pc_;  // training context
   PrefetchStats pf_stats_;
+  std::unique_ptr<obs::TraceSink> trace_;
   Cycle now_ = 0;
 };
 

@@ -1,0 +1,65 @@
+# Tier-1 smoke check for the telemetry pipeline: runs bench_smoke in a
+# scratch directory and fails if BENCH_smoke.json / BENCH_smoke.csv /
+# TRACE_smoke.json are missing or malformed. Invoked by ctest as
+#   cmake -DSMOKE_BIN=<path-to-bench_smoke> -P bench_smoke_check.cmake
+cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
+
+if(NOT SMOKE_BIN)
+  message(FATAL_ERROR "SMOKE_BIN not set")
+endif()
+
+set(out_dir "${CMAKE_CURRENT_BINARY_DIR}/smoke_out")
+file(REMOVE_RECURSE "${out_dir}")
+file(MAKE_DIRECTORY "${out_dir}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env IMA_BENCH_OUT=${out_dir} ${SMOKE_BIN}
+  RESULT_VARIABLE run_rc
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "bench_smoke exited with ${run_rc}:\n${run_out}\n${run_err}")
+endif()
+
+foreach(artifact BENCH_smoke.json BENCH_smoke.csv TRACE_smoke.json)
+  if(NOT EXISTS "${out_dir}/${artifact}")
+    message(FATAL_ERROR "bench_smoke did not write ${artifact}")
+  endif()
+endforeach()
+
+# The report must parse as JSON and carry the expected sections.
+file(READ "${out_dir}/BENCH_smoke.json" report_json)
+string(JSON report_id ERROR_VARIABLE json_err GET "${report_json}" id)
+if(json_err)
+  message(FATAL_ERROR "BENCH_smoke.json is not valid JSON: ${json_err}")
+endif()
+if(NOT report_id STREQUAL "smoke")
+  message(FATAL_ERROR "BENCH_smoke.json id is '${report_id}', expected 'smoke'")
+endif()
+string(JSON cycles ERROR_VARIABLE json_err GET "${report_json}" metrics cycles)
+if(json_err OR cycles LESS_EQUAL 0)
+  message(FATAL_ERROR "BENCH_smoke.json metrics.cycles missing or zero (${json_err})")
+endif()
+string(JSON n_tables ERROR_VARIABLE json_err LENGTH "${report_json}" tables)
+if(json_err OR n_tables LESS 1)
+  message(FATAL_ERROR "BENCH_smoke.json has no tables (${json_err})")
+endif()
+
+# The Chrome trace must parse and hold a non-empty traceEvents array with
+# the fields the trace viewers key on.
+file(READ "${out_dir}/TRACE_smoke.json" trace_json)
+string(JSON n_events ERROR_VARIABLE json_err LENGTH "${trace_json}" traceEvents)
+if(json_err)
+  message(FATAL_ERROR "TRACE_smoke.json is not valid JSON: ${json_err}")
+endif()
+if(n_events LESS 1)
+  message(FATAL_ERROR "TRACE_smoke.json has no events")
+endif()
+foreach(field name cat ph ts pid tid)
+  string(JSON value ERROR_VARIABLE json_err GET "${trace_json}" traceEvents 0 ${field})
+  if(json_err)
+    message(FATAL_ERROR "trace event missing '${field}': ${json_err}")
+  endif()
+endforeach()
+
+message(STATUS "bench_smoke artifacts OK: ${n_events} trace events, ${cycles} cycles")

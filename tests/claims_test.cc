@@ -13,6 +13,7 @@
 #include "learn/branch.hh"
 #include "mem/memsys.hh"
 #include "noc/mesh.hh"
+#include "obs/report.hh"
 #include "pim/pum.hh"
 #include "pnm/kernels.hh"
 #include "pnm/offload.hh"
@@ -205,6 +206,36 @@ TEST(Claims, C6_BdiTypicalDataInPaperBand) {
   EXPECT_GT(r, 1.5);
   EXPECT_LT(r, 4.0);
 }
+
+/// After the suite runs, every claim's outcome lands in a machine-readable
+/// BENCH_claims.json/.csv (in $IMA_BENCH_OUT, else the cwd) so the claim
+/// trajectory can be tracked by tooling across revisions, like the bench
+/// binaries' reports.
+class ClaimsReportEnvironment final : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    const auto& ut = *::testing::UnitTest::GetInstance();
+    obs::Report report("claims", "claim-direction regression suite",
+                       "Each reproduced C1..C22 claim keeps its published direction.");
+    Table t({"claim test", "result"});
+    for (int s = 0; s < ut.total_test_suite_count(); ++s) {
+      const auto& suite = *ut.GetTestSuite(s);
+      for (int i = 0; i < suite.total_test_count(); ++i) {
+        const auto& info = *suite.GetTestInfo(i);
+        if (!info.should_run()) continue;
+        t.add_row({std::string(suite.name()) + "." + info.name(),
+                   info.result()->Passed() ? "pass" : "FAIL"});
+      }
+    }
+    report.add_table(t, "claim outcomes");
+    report.add_metric("total", ut.test_to_run_count());
+    report.add_metric("failed", ut.failed_test_count());
+    report.write_files(obs::Report::default_out_dir());
+  }
+};
+
+const auto* const kClaimsReportEnv =
+    ::testing::AddGlobalTestEnvironment(new ClaimsReportEnvironment);
 
 }  // namespace
 }  // namespace ima

@@ -1,0 +1,317 @@
+// Telemetry-layer tests: StatRegistry registration/snapshot/diff semantics,
+// TraceSink ring behaviour and Chrome export, the JSON/CSV writers, and
+// Report file emission. JSON assertions are substring/structure checks —
+// the repo deliberately has no JSON parser dependency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "obs/json.hh"
+#include "obs/report.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
+
+namespace ima {
+namespace {
+
+TEST(JoinPath, JoinsWithDotAndPassesThroughEmpty) {
+  EXPECT_EQ(obs::join_path("mem", "ctrl0"), "mem.ctrl0");
+  EXPECT_EQ(obs::join_path("", "ctrl0"), "ctrl0");
+  EXPECT_EQ(obs::join_path("mem", ""), "mem");
+}
+
+TEST(StatRegistry, CounterGaugeAndFnRegisterAndRead) {
+  obs::StatRegistry reg;
+  std::uint64_t hits = 7;
+  double level = 0.25;
+  reg.counter("c.hits", &hits);
+  reg.gauge("c.level", [&] { return level; });
+  reg.counter_fn("c.twice", [&] { return static_cast<double>(2 * hits); });
+
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_TRUE(reg.contains("c.hits"));
+  EXPECT_FALSE(reg.contains("c.nope"));
+  EXPECT_EQ(reg.value("c.hits"), 7.0);
+  EXPECT_EQ(reg.value("c.twice"), 14.0);
+  hits = 9;
+  EXPECT_EQ(reg.value("c.hits"), 9.0);  // borrowed pointer, live value
+  EXPECT_EQ(reg.value("c.level"), 0.25);
+  EXPECT_FALSE(reg.value("c.nope").has_value());
+
+  ASSERT_NE(reg.find("c.hits"), nullptr);
+  EXPECT_EQ(reg.find("c.hits")->kind, obs::StatKind::Counter);
+  EXPECT_EQ(reg.find("c.level")->kind, obs::StatKind::Gauge);
+}
+
+TEST(StatRegistry, RunningStatExpandsToFiveEntries) {
+  obs::StatRegistry reg;
+  RunningStat rs;
+  rs.add(1.0);
+  rs.add(3.0);
+  reg.running("lat", &rs);
+  EXPECT_EQ(reg.value("lat.count"), 2.0);
+  EXPECT_EQ(reg.value("lat.mean"), 2.0);
+  EXPECT_EQ(reg.value("lat.min"), 1.0);
+  EXPECT_EQ(reg.value("lat.max"), 3.0);
+  EXPECT_TRUE(reg.contains("lat.stddev"));
+}
+
+TEST(StatRegistry, HistogramExpandsToPercentiles) {
+  obs::StatRegistry reg;
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  reg.histogram("dist", &h);
+  EXPECT_EQ(reg.value("dist.count"), 100.0);
+  EXPECT_NEAR(reg.value("dist.mean").value(), 49.5, 1e-9);
+  EXPECT_NEAR(reg.value("dist.p50").value(), 50.0, 2.0);
+  EXPECT_NEAR(reg.value("dist.p95").value(), 95.0, 2.0);
+  EXPECT_NEAR(reg.value("dist.p99").value(), 99.0, 2.0);
+}
+
+TEST(StatRegistry, MatchFiltersByPrefix) {
+  obs::StatRegistry reg;
+  std::uint64_t a = 1, b = 2, c = 3;
+  reg.counter("mem.ctrl0.reads", &a);
+  reg.counter("mem.ctrl1.reads", &b);
+  reg.counter("cache.l2.hits", &c);
+  EXPECT_EQ(reg.match("mem.").size(), 2u);
+  EXPECT_EQ(reg.match("cache").size(), 1u);
+  EXPECT_EQ(reg.match().size(), 3u);
+}
+
+TEST(StatRegistry, SnapshotIsSortedAndDiffSubtractsCounters) {
+  obs::StatRegistry reg;
+  std::uint64_t reads = 10;
+  double depth = 4.0;
+  reg.gauge("q.depth", [&] { return depth; });  // registered first on purpose
+  reg.counter("a.reads", &reads);
+
+  const auto before = reg.snapshot();
+  ASSERT_EQ(before.size(), 2u);
+  EXPECT_EQ(before.values[0].path, "a.reads");  // sorted despite reg order
+  EXPECT_EQ(before.at("a.reads"), 10.0);
+
+  reads = 25;
+  depth = 1.0;
+  const auto after = reg.snapshot();
+  const auto d = obs::StatRegistry::diff(before, after);
+  EXPECT_EQ(d.at("a.reads"), 15.0);  // counter: after - before
+  EXPECT_EQ(d.at("q.depth"), 1.0);   // gauge: after value
+}
+
+TEST(StatRegistry, DiffPassesThroughPathsMissingFromBefore) {
+  obs::StatRegistry reg;
+  std::uint64_t x = 5;
+  reg.counter("x", &x);
+  const obs::StatRegistry::Snapshot empty;
+  const auto d = obs::StatRegistry::diff(empty, reg.snapshot());
+  EXPECT_EQ(d.at("x"), 5.0);
+}
+
+TEST(StatRegistry, SnapshotPrefixSelectsSubtree) {
+  obs::StatRegistry reg;
+  std::uint64_t a = 1, b = 2;
+  reg.counter("mem.reads", &a);
+  reg.counter("cache.hits", &b);
+  const auto snap = reg.snapshot("mem");
+  EXPECT_EQ(snap.size(), 1u);
+  EXPECT_TRUE(snap.at("mem.reads").has_value());
+}
+
+TEST(StatRegistry, WorksAgainstARealComponent) {
+  cache::CacheConfig cfg;
+  cfg.size_bytes = 4 * 1024;
+  cfg.ways = 4;
+  cache::Cache c(cfg);
+  obs::StatRegistry reg;
+  c.register_stats(reg, "l1");
+  c.access(0x1000, AccessType::Read);   // miss
+  c.access(0x1000, AccessType::Read);   // hit
+  EXPECT_EQ(reg.value("l1.misses"), 1.0);
+  EXPECT_EQ(reg.value("l1.hits"), 1.0);
+  EXPECT_EQ(reg.value("l1.miss_rate"), 0.5);
+}
+
+TEST(Histogram, DegenerateRangesAndZeroBucketsAreRepaired) {
+  Histogram inverted(10.0, 5.0, 4);   // hi <= lo
+  inverted.add(7.0);                  // must not divide by zero / crash
+  EXPECT_EQ(inverted.stat().count(), 1u);
+
+  Histogram empty_range(3.0, 3.0, 4);
+  empty_range.add(3.0);
+  EXPECT_EQ(empty_range.stat().count(), 1u);
+
+  Histogram no_buckets(0.0, 1.0, 0);  // zero buckets becomes one
+  no_buckets.add(0.5);
+  no_buckets.add(2.0);                // clamps to the single bucket
+  EXPECT_EQ(no_buckets.counts().size(), 1u);
+  EXPECT_EQ(no_buckets.counts()[0], 2u);
+}
+
+TEST(TraceSink, RingWrapsKeepingNewestEvents) {
+  obs::TraceSink sink(8);
+  for (Cycle c = 0; c < 20; ++c)
+    sink.record(obs::TraceEvent{.cycle = c, .kind = obs::EventKind::DramCmd});
+  EXPECT_EQ(sink.recorded(), 20u);
+  EXPECT_EQ(sink.size(), 8u);
+  EXPECT_EQ(sink.dropped(), 12u);
+  const auto evs = sink.events();
+  ASSERT_EQ(evs.size(), 8u);
+  for (std::size_t i = 0; i < evs.size(); ++i)
+    EXPECT_EQ(evs[i].cycle, 12 + i);  // oldest retained first
+}
+
+TEST(TraceSink, PartiallyFilledReturnsInsertionOrder) {
+  obs::TraceSink sink(16);
+  sink.record(obs::TraceEvent{.cycle = 3});
+  sink.record(obs::TraceEvent{.cycle = 5});
+  EXPECT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  const auto evs = sink.events();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0].cycle, 3u);
+  EXPECT_EQ(evs[1].cycle, 5u);
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.recorded(), 0u);
+}
+
+TEST(TraceSink, ZeroCapacityIsClampedToOne) {
+  obs::TraceSink sink(0);
+  EXPECT_GE(sink.capacity(), 1u);
+  sink.record(obs::TraceEvent{.cycle = 1});
+  EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST(TraceSink, ChromeExportShapesSpansAndInstants) {
+  obs::TraceSink sink(8);
+  sink.record(obs::TraceEvent{.cycle = 100, .dur = 4, .kind = obs::EventKind::DramCmd,
+                              .pid = 1, .tid = 2, .arg0 = 42, .name = "RD"});
+  sink.record(obs::TraceEvent{.cycle = 200, .kind = obs::EventKind::SchedDecision});
+  std::ostringstream os;
+  sink.write_chrome_trace(os);
+  const std::string json = os.str();
+
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // Span: complete event with duration.
+  EXPECT_NE(json.find("\"name\":\"RD\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100"), std::string::npos);
+  // Instant: thread-scoped, name falls back to the kind.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"sched-decision\""), std::string::npos);
+  // Categories for viewer filtering.
+  EXPECT_NE(json.find("\"cat\":\"dram\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"sched\""), std::string::npos);
+}
+
+TEST(Json, StringEscaping) {
+  std::ostringstream os;
+  obs::write_json_string(os, "a\"b\\c\nd\te\x01");
+  EXPECT_EQ(os.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(Json, NumbersAreExactForIntegersAndNullForNonFinite) {
+  std::ostringstream os;
+  obs::write_json_number(os, 123456789.0);
+  os << " ";
+  obs::write_json_number(os, std::nan(""));
+  os << " ";
+  obs::write_json_number(os, 0.5);
+  EXPECT_EQ(os.str().substr(0, 10), "123456789 ");
+  EXPECT_NE(os.str().find("null"), std::string::npos);
+  EXPECT_NE(os.str().find("0.5"), std::string::npos);
+}
+
+TEST(Json, WriterNestsObjectsAndArraysWithCommas) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object()
+      .key("a").value(std::uint64_t{1})
+      .key("b").begin_array().value("x").value("y").end_array()
+      .key("c").begin_object().key("d").value(true).end_object()
+      .end_object();
+  EXPECT_EQ(os.str(), R"({"a":1,"b":["x","y"],"c":{"d":true}})");
+}
+
+TEST(Csv, QuotesFieldsWithSeparatorsAndQuotes) {
+  std::ostringstream os;
+  obs::write_csv_table(os, {"name", "note"},
+                       {{"plain", "a,b"}, {"qu\"ote", "line\nbreak"}});
+  EXPECT_EQ(os.str(),
+            "name,note\n"
+            "plain,\"a,b\"\n"
+            "\"qu\"\"ote\",\"line\nbreak\"\n");
+}
+
+TEST(Report, JsonCarriesAllSections) {
+  obs::Report rep("t1", "test report", "claim text");
+  rep.set_shape("shape text");
+  Table t({"col a", "col b"});
+  t.add_row({"1", "2"});
+  rep.add_table(t, "main");
+  rep.add_metric("speedup", 2.5);
+
+  obs::StatRegistry reg;
+  std::uint64_t n = 3;
+  reg.counter("x.n", &n);
+  rep.add_snapshot(reg.snapshot());
+
+  std::ostringstream os;
+  rep.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"id\":\"t1\""), std::string::npos);
+  EXPECT_NE(json.find("\"claim\":\"claim text\""), std::string::npos);
+  EXPECT_NE(json.find("\"shape\":\"shape text\""), std::string::npos);
+  EXPECT_NE(json.find("\"speedup\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"x.n\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"title\":\"main\""), std::string::npos);
+  EXPECT_NE(json.find("\"headers\":[\"col a\",\"col b\"]"), std::string::npos);
+  EXPECT_NE(json.find("[\"1\",\"2\"]"), std::string::npos);
+}
+
+TEST(Report, CsvSeparatesMultipleTables) {
+  obs::Report rep("t2");
+  Table a({"h1"});
+  a.add_row({"v1"});
+  Table b({"h2"});
+  b.add_row({"v2"});
+  rep.add_table(a, "first");
+  rep.add_table(b, "second");
+  std::ostringstream os;
+  rep.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("# first"), std::string::npos);
+  EXPECT_NE(csv.find("# second"), std::string::npos);
+  EXPECT_NE(csv.find("h1\nv1\n"), std::string::npos);
+  EXPECT_NE(csv.find("h2\nv2\n"), std::string::npos);
+}
+
+TEST(Report, WriteFilesEmitsJsonAndCsv) {
+  obs::Report rep("filetest", "file test");
+  Table t({"k"});
+  t.add_row({"v"});
+  rep.add_table(t);
+
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(rep.write_files(dir));
+  std::ifstream js(dir + "/BENCH_filetest.json");
+  std::ifstream cs(dir + "/BENCH_filetest.csv");
+  EXPECT_TRUE(js.good());
+  EXPECT_TRUE(cs.good());
+  std::string line;
+  std::getline(js, line);
+  EXPECT_EQ(line.substr(0, 1), "{");
+  std::remove((dir + "/BENCH_filetest.json").c_str());
+  std::remove((dir + "/BENCH_filetest.csv").c_str());
+}
+
+}  // namespace
+}  // namespace ima
