@@ -86,6 +86,34 @@ void BM_FullSystemCyclesPerSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSystemCyclesPerSecond);
 
+// The case the event kernel exists for: a low-MPKI core computing for
+// thousands of cycles between misses. PerCycle ticks every one of those
+// idle cycles; SkipAhead jumps between misses/refreshes, and the two are
+// cycle-exact (tests/clock_test.cc) so the speedup is free accuracy-wise.
+// The acceptance bar is skip_ahead >= 2x per_cycle in host time here.
+void BM_IdleHeavyClocking(benchmark::State& state, sim::ClockMode mode) {
+  sim::SystemConfig cfg;
+  cfg.num_cores = 1;
+  cfg.ctrl.num_cores = 1;
+  cfg.core.instr_limit = 0;  // unbounded; we run fixed cycles
+  cfg.clock = mode;
+  std::vector<std::unique_ptr<workloads::AccessStream>> streams;
+  workloads::StreamParams p;
+  p.footprint = 64 << 20;
+  p.compute_per_access = 5'000;  // ~kilocycle idle gaps between misses
+  p.seed = 9;
+  streams.push_back(workloads::make_random(p));
+  sim::System sys(cfg, std::move(streams));
+  Cycle target = 0;
+  for (auto _ : state) {
+    target += 100'000;
+    sys.run(target);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100'000);
+}
+BENCHMARK_CAPTURE(BM_IdleHeavyClocking, per_cycle, sim::ClockMode::PerCycle);
+BENCHMARK_CAPTURE(BM_IdleHeavyClocking, skip_ahead, sim::ClockMode::SkipAhead);
+
 void BM_SchedulerPick(benchmark::State& state) {
   const auto cfg = dram::DramConfig::ddr4_2400();
   dram::Channel chan(cfg, 0, nullptr);

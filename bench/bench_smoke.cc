@@ -3,6 +3,7 @@
 // TRACE_smoke.json Chrome trace. The smoke ctest target runs this binary
 // and validates both artifacts, so a broken exporter fails CI instead of
 // silently producing garbage artifacts for every real experiment.
+#include <chrono>
 #include <fstream>
 
 #include "bench/bench_util.hh"
@@ -37,7 +38,10 @@ int main() {
   auto& sink = sys.enable_trace(1 << 14);
 
   const auto before = reg.snapshot();
+  const auto host_start = std::chrono::steady_clock::now();
   const Cycle end = sys.run(10'000'000);
+  const double host_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - host_start).count();
   const auto after = reg.snapshot();
   const auto delta = obs::StatRegistry::diff(before, after);
 
@@ -49,10 +53,13 @@ int main() {
   t.add_row({"instructions", Table::fmt_si(instrs, 0)});
   t.add_row({"reads done", Table::fmt_si(reads, 0)});
   t.add_row({"trace events", Table::fmt_si(static_cast<double>(sink.recorded()), 0)});
+  const double host_rate = host_secs > 0 ? static_cast<double>(end) / host_secs : 0;
+  t.add_row({"host cycles/sec", Table::fmt_si(host_rate, 1)});
   bench::print_table(t, "run summary");
 
   bench::record_metric("cycles", static_cast<double>(end));
   bench::record_metric("trace_events", static_cast<double>(sink.recorded()));
+  bench::record_metric("host_cycles_per_sec", host_rate);
   bench::record_snapshot(after);
 
   const std::string dir = obs::Report::default_out_dir();

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/clock.hh"
 #include "mem/memsys.hh"
 #include "workloads/stream.hh"
 
@@ -49,34 +50,46 @@ inline McResult run_mc(const dram::DramConfig& dram_cfg, mem::ControllerConfig c
   };
   std::vector<CoreState> state(cores.size());
 
-  for (Cycle now = 0; now < cycles; ++now) {
-    for (std::size_t i = 0; i < cores.size(); ++i) {
-      auto& cs = state[i];
-      while (cs.outstanding < cores[i].mlp) {
-        const auto e = cores[i].stream->next();
-        mem::Request r;
-        r.addr = e.addr;
-        r.type = e.type;
-        r.core = static_cast<std::uint32_t>(i);
-        r.arrive = now;
-        if (!sys.can_accept(r.addr, r.type, static_cast<std::uint32_t>(i))) break;
-        ++cs.outstanding;
-        const bool ok = sys.enqueue(r, [&cs](const mem::Request& done) {
-          if (cs.outstanding > 0) --cs.outstanding;
-          ++cs.served;
-          if (done.type == AccessType::Read) {
-            cs.latency_sum += static_cast<double>(done.complete - done.arrive);
-            ++cs.reads_done;
+  // Injection then tick each active cycle, driven by the shared event
+  // kernel. A core below its MLP budget injects every cycle, so the loop
+  // can only skip while every window is full — exactly the cycles where
+  // the per-cycle loop's injection pass was a no-op.
+  sim::run_event_loop(
+      sim::default_clock_mode(), 0, cycles,
+      [&](Cycle now) {
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+          auto& cs = state[i];
+          while (cs.outstanding < cores[i].mlp) {
+            const auto e = cores[i].stream->next();
+            mem::Request r;
+            r.addr = e.addr;
+            r.type = e.type;
+            r.core = static_cast<std::uint32_t>(i);
+            r.arrive = now;
+            if (!sys.can_accept(r.addr, r.type, static_cast<std::uint32_t>(i))) break;
+            ++cs.outstanding;
+            const bool ok = sys.enqueue(r, [&cs](const mem::Request& done) {
+              if (cs.outstanding > 0) --cs.outstanding;
+              ++cs.served;
+              if (done.type == AccessType::Read) {
+                cs.latency_sum += static_cast<double>(done.complete - done.arrive);
+                ++cs.reads_done;
+              }
+            });
+            if (!ok) {
+              --cs.outstanding;
+              break;
+            }
           }
-        });
-        if (!ok) {
-          --cs.outstanding;
-          break;
         }
-      }
-    }
-    sys.tick(now);
-  }
+        sys.tick(now);
+      },
+      [] { return false; },
+      [&](Cycle now) {
+        for (std::size_t i = 0; i < cores.size(); ++i)
+          if (state[i].outstanding < cores[i].mlp) return now + 1;
+        return sys.next_event(now);
+      });
 
   McResult res;
   for (const auto& cs : state) {

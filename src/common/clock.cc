@@ -1,0 +1,26 @@
+#include "common/clock.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ima::sim {
+
+const char* to_string(ClockMode m) {
+  switch (m) {
+    case ClockMode::PerCycle: return "per-cycle";
+    case ClockMode::SkipAhead: return "skip-ahead";
+  }
+  return "?";
+}
+
+ClockMode default_clock_mode() {
+  static const ClockMode mode = [] {
+    const char* env = std::getenv("IMA_CLOCK");
+    if (env && (std::strcmp(env, "percycle") == 0 || std::strcmp(env, "per-cycle") == 0))
+      return ClockMode::PerCycle;
+    return ClockMode::SkipAhead;
+  }();
+  return mode;
+}
+
+}  // namespace ima::sim

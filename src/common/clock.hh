@@ -1,0 +1,73 @@
+// Event-driven clocking kernel.
+//
+// The per-cycle tick loop burns host time on idle gaps: DRAM banks waiting
+// out tRC/tRFC, cores stalled on misses, ranks sleeping between refreshes.
+// Ramulator-class simulators get their throughput from skip-ahead clocking:
+// every component reports the earliest future cycle at which its state can
+// change (`next_event`), and the driving loop jumps `now` straight there
+// instead of incrementing.
+//
+// The `next_event(now)` contract (see DESIGN.md "Clocking model"):
+//   - returns the earliest cycle > now at which ticking the component could
+//     change any observable state (stats, queues, callbacks, power states);
+//   - returning `now + 1` is always safe (degenerates to per-cycle);
+//   - returning kCycleNever means "nothing will ever happen without external
+//     input" (an enqueue between ticks re-arms the loop because next_event
+//     is re-evaluated after every tick);
+//   - all component state must be a function of `now`, never of how many
+//     times tick() was called, so skipped cycles are provably no-ops.
+//
+// ClockMode::PerCycle keeps the legacy cycle-by-cycle loop (tick every
+// cycle); it is the debugging reference that skip-ahead must match
+// cycle-exactly (tests/clock_test.cc proves identical cycle counts and
+// StatRegistry snapshots across both modes).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "common/types.hh"
+
+namespace ima::sim {
+
+enum class ClockMode : std::uint8_t {
+  PerCycle,   // legacy reference: tick every cycle
+  SkipAhead,  // event-driven: jump to the minimum next-event cycle
+};
+
+const char* to_string(ClockMode m);
+
+/// Process-wide default: SkipAhead, unless the environment overrides it
+/// with IMA_CLOCK=percycle (handy for bisecting a suspected kernel bug
+/// without rebuilding). Read once and cached.
+ClockMode default_clock_mode();
+
+/// The cycle the event loop advances to after ticking at `now`.
+/// `reported` is the component's next_event value; stale or degenerate
+/// reports (<= now) fall back to now + 1 so the loop always progresses.
+constexpr Cycle next_cycle(ClockMode mode, Cycle now, Cycle limit, Cycle reported) {
+  if (mode == ClockMode::PerCycle || reported <= now) return now + 1;
+  return std::min(reported, limit);
+}
+
+/// The shared run/drain loop shape: tick, check the stop predicate, advance.
+/// Mirrors the legacy loops exactly:
+///   - `done` is evaluated *after* each tick; when it fires the returned
+///     cycle is the cycle just ticked (System::run semantics);
+///   - when `limit` is reached without `done`, returns `limit`.
+/// Drain-style callers (stop-before-tick, return last+1) wrap this — see
+/// MemorySystem::drain.
+template <typename TickFn, typename DoneFn, typename NextFn>
+Cycle run_event_loop(ClockMode mode, Cycle from, Cycle limit, TickFn&& tick,
+                     DoneFn&& done, NextFn&& next) {
+  Cycle now = from;
+  while (now < limit) {
+    tick(now);
+    if (done()) break;
+    now = next_cycle(mode, now, limit, next(now));
+  }
+  return now;
+}
+
+}  // namespace ima::sim

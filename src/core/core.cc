@@ -47,22 +47,31 @@ void SimpleCore::runahead_step(Cycle now) {
 }
 
 void SimpleCore::tick(Cycle now) {
+  // Cycles of simulated time this tick covers (ticks may skip ahead; the
+  // first tick ever covers exactly one cycle).
+  Cycle elapsed = last_tick_ == kCycleNever ? 1 : now - last_tick_;
+  const Cycle prev = now - elapsed;
+  last_tick_ = now;
   if (done()) return;
 
   if (waiting_) {
     if (now < ready_at_) {
-      ++stats_.stall_cycles;
+      stats_.stall_cycles += elapsed;
       if (cfg_.runahead) runahead_step(now);
       return;
     }
+    // Waking: cycles (prev, ready_at_) stalled; [ready_at_, now] execute.
+    if (ready_at_ > prev + 1) stats_.stall_cycles += ready_at_ - 1 - prev;
+    elapsed = now - ready_at_ + 1;
     waiting_ = false;
     runahead_issued_ = 0;
     runahead_pos_ = 0;  // re-walk the lookahead architecturally
   }
 
-  // Retire compute instructions at pipeline width.
+  // Retire compute instructions at pipeline width per elapsed cycle.
   if (compute_left_ > 0) {
-    const std::uint32_t n = std::min(compute_left_, cfg_.width);
+    const std::uint32_t n = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        compute_left_, static_cast<std::uint64_t>(cfg_.width) * elapsed));
     compute_left_ -= n;
     stats_.instructions += n;
     stats_.finish_cycle = now;
@@ -104,6 +113,28 @@ void SimpleCore::tick(Cycle now) {
   // Stores are posted: never block.
 
   fetch_next();
+}
+
+Cycle SimpleCore::next_event(Cycle now) const {
+  if (done()) return kCycleNever;
+  if (waiting_) {
+    // Runahead issues one speculative access per stall cycle until the
+    // depth budget is spent: no skipping while it is active.
+    if (cfg_.runahead && runahead_issued_ < cfg_.runahead_depth) return now + 1;
+    return ready_at_;  // kCycleNever while an async miss is outstanding:
+                       // the controller's retire event drives the wake-up
+  }
+  if (compute_left_ > 0) {
+    // The next cycles retire cfg_.width instructions each; the interesting
+    // boundaries are compute exhaustion and the instruction-limit crossing.
+    Cycle steps = (compute_left_ + cfg_.width - 1) / cfg_.width;
+    if (cfg_.instr_limit != 0) {
+      const std::uint64_t left = cfg_.instr_limit - stats_.instructions;
+      steps = std::min<Cycle>(steps, (left + cfg_.width - 1) / cfg_.width);
+    }
+    return now + steps;
+  }
+  return now + 1;  // issue or retry next cycle
 }
 
 }  // namespace ima::core

@@ -52,7 +52,18 @@ class SimpleCore {
   SimpleCore(std::uint32_t id, std::unique_ptr<workloads::AccessStream> stream,
              MemoryPort& port, const CoreConfig& cfg);
 
+  /// Advance to cycle `now`. Ticks need not be consecutive: stall and
+  /// compute accounting is delta-based, so any tick schedule that includes
+  /// every cycle next_event() reports reproduces the per-cycle run exactly.
   void tick(Cycle now);
+
+  /// Earliest future cycle at which this core does something
+  /// (common/clock.hh contract): wake-up from a blocking load, the cycle
+  /// compute retirement exhausts the current entry or crosses the
+  /// instruction limit, or now + 1 while issuing/retrying/runahead is
+  /// active. kCycleNever while blocked on an asynchronous miss (the memory
+  /// system's retire event drives the wake-up) or when done.
+  Cycle next_event(Cycle now) const;
 
   bool done() const {
     return cfg_.instr_limit != 0 && stats_.instructions >= cfg_.instr_limit;
@@ -93,6 +104,7 @@ class SimpleCore {
   bool waiting_ = false;          // blocked on an outstanding load
   bool async_done_ = false;       // async completion already delivered
   Cycle ready_at_ = 0;            // wakeup cycle
+  Cycle last_tick_ = kCycleNever; // previous tick cycle (kCycleNever = none yet)
   Stats stats_;
 };
 

@@ -196,13 +196,20 @@ void HybridMemory::tick(Cycle now) {
   pcm_->tick(now);
 }
 
+Cycle HybridMemory::next_event(Cycle now) const {
+  // The epoch boundary is included even when on_epoch would be a no-op so
+  // next_epoch_ advances on the same schedule in every clock mode.
+  Cycle next = std::min(dram_->next_event(now), pcm_->next_event(now));
+  next = std::min(next, next_epoch_);
+  return next <= now ? now + 1 : next;
+}
+
 Cycle HybridMemory::drain(Cycle from, Cycle deadline) {
-  Cycle now = from;
-  while (!idle() && now < deadline) {
-    tick(now);
-    ++now;
-  }
-  return now;
+  if (idle() || from >= deadline) return from;
+  const Cycle end = sim::run_event_loop(
+      clock_mode_, from, deadline, [this](Cycle now) { tick(now); },
+      [this] { return idle(); }, [this](Cycle now) { return next_event(now); });
+  return end < deadline ? end + 1 : end;
 }
 
 bool HybridMemory::idle() const { return dram_->idle() && pcm_->idle(); }

@@ -55,8 +55,15 @@ class HybridMemory {
   bool can_accept(Addr addr, AccessType type) const;
 
   void tick(Cycle now);
+
+  /// Earliest future cycle with work in either tier or at the next
+  /// placement epoch (common/clock.hh contract).
+  Cycle next_event(Cycle now) const;
+
   Cycle drain(Cycle from, Cycle deadline = 200'000'000);
   bool idle() const;
+
+  void set_clock_mode(sim::ClockMode mode) { clock_mode_ = mode; }
 
   struct Stats {
     std::uint64_t dram_serviced = 0;
@@ -107,6 +114,7 @@ class HybridMemory {
   std::unordered_map<std::uint64_t, PageInfo> epoch_info_;
   std::uint64_t last_row_ = ~0ull;  // globally last-touched DRAM-row-sized region
   Cycle next_epoch_;
+  sim::ClockMode clock_mode_ = sim::default_clock_mode();
   Stats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "mem/controller.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include "obs/stat_registry.hh"
@@ -278,6 +279,11 @@ void Controller::manage_power(Cycle now) {
     }
     if (busy[r]) {
       if (state != dram::Channel::PowerState::Active) {
+        // A self-refreshing rank maintained its own cells until now: let
+        // the refresh policy re-arm its due time before normal scheduling
+        // resumes (identical in both clock modes — see refresh.hh).
+        if (state == dram::Channel::PowerState::SelfRefresh)
+          refresh_->on_rank_wake(r, now);
         chan_.wake_rank(r, now);
         ++stats_.rank_wakes;
         IMA_TRACE(trace_, .cycle = now, .kind = obs::EventKind::PowerState,
@@ -310,6 +316,34 @@ void Controller::manage_power(Cycle now) {
       }
     }
   }
+}
+
+Cycle Controller::next_event(Cycle now) const {
+  // Queued work of any kind: command-bus legality, scheduler bookkeeping
+  // and write-drain hysteresis can all change next cycle. Never skip.
+  if (!read_q_.empty() || !write_q_.empty() || !pim_q_.empty() || !victim_q_.empty())
+    return now + 1;
+
+  Cycle next = kCycleNever;
+  if (!inflight_.empty()) next = std::min(next, inflight_.top().done);
+  next = std::min(next, refresh_->next_event(now));
+
+  // Rank power management: the next threshold crossing. Only ranks whose
+  // banks are all closed can transition (manage_power requires it), and
+  // bank state cannot change while every queue is empty.
+  if (cfg_.powerdown_timeout || cfg_.selfrefresh_timeout) {
+    const std::uint32_t ranks = chan_.config().geometry.ranks;
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      if (!chan_.all_banks_closed(r)) continue;
+      const auto state = chan_.rank_power(r);
+      const Cycle rla = rank_last_activity_[r];
+      if (cfg_.selfrefresh_timeout && state != dram::Channel::PowerState::SelfRefresh)
+        next = std::min(next, rla + cfg_.selfrefresh_timeout);
+      if (cfg_.powerdown_timeout && state == dram::Channel::PowerState::Active)
+        next = std::min(next, rla + cfg_.powerdown_timeout);
+    }
+  }
+  return next <= now ? now + 1 : next;
 }
 
 void Controller::tick(Cycle now) {

@@ -101,8 +101,17 @@ class Controller {
   /// Advance one controller cycle.
   void tick(Cycle now);
 
+  /// Earliest future cycle at which ticking this controller could change
+  /// state (common/clock.hh contract). Conservative: any queued work means
+  /// now + 1, since command legality and scheduler state evolve per cycle.
+  Cycle next_event(Cycle now) const;
+
   bool idle() const {
-    return read_q_.empty() && write_q_.empty() && pim_q_.empty() && inflight_.empty();
+    // victim_q_ matters: pending RowHammer neighbour refreshes are real
+    // work and must not be skipped past just because the request queues
+    // drained.
+    return read_q_.empty() && write_q_.empty() && pim_q_.empty() && victim_q_.empty() &&
+           inflight_.empty();
   }
   std::size_t read_queue_depth() const { return read_q_.size(); }
   std::size_t write_queue_depth() const { return write_q_.size(); }
@@ -178,7 +187,6 @@ class Controller {
     bool operator>(const Inflight& o) const { return done > o.done; }
   };
   std::priority_queue<Inflight, std::vector<Inflight>, std::greater<>> inflight_;
-  std::vector<std::pair<Request, CompletionCallback>> pending_cbs_;
 
   std::vector<CoreState> cores_;
   std::uint64_t next_req_id_ = 1;

@@ -1,5 +1,6 @@
 #include "mem/memsys.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -27,13 +28,19 @@ void MemorySystem::tick(Cycle now) {
   for (auto& c : ctrls_) c->tick(now);
 }
 
+Cycle MemorySystem::next_event(Cycle now) const {
+  Cycle next = kCycleNever;
+  for (const auto& c : ctrls_) next = std::min(next, c->next_event(now));
+  return next;
+}
+
 Cycle MemorySystem::drain(Cycle from, Cycle deadline) {
-  Cycle now = from;
-  while (!idle() && now < deadline) {
-    tick(now);
-    ++now;
-  }
-  return now;
+  // Legacy shape: check idle *before* each tick, return last-ticked + 1.
+  if (idle() || from >= deadline) return from;
+  const Cycle end = sim::run_event_loop(
+      clock_mode_, from, deadline, [this](Cycle now) { tick(now); },
+      [this] { return idle(); }, [this](Cycle now) { return next_event(now); });
+  return end < deadline ? end + 1 : end;
 }
 
 bool MemorySystem::idle() const {

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "common/clock.hh"
 #include "dram/addrmap.hh"
 #include "dram/channel.hh"
 #include "dram/config.hh"
@@ -37,10 +38,19 @@ class MemorySystem {
   /// Advances all controllers one cycle.
   void tick(Cycle now);
 
+  /// Earliest future cycle at which any controller has work
+  /// (common/clock.hh contract).
+  Cycle next_event(Cycle now) const;
+
   /// Runs until all queues drain or `deadline` passes; returns final cycle.
+  /// Skip-ahead by default (cycle-exact vs. the per-cycle reference);
+  /// set_clock_mode(ClockMode::PerCycle) restores the legacy loop.
   Cycle drain(Cycle from, Cycle deadline = 100'000'000);
 
   bool idle() const;
+
+  void set_clock_mode(sim::ClockMode mode) { clock_mode_ = mode; }
+  sim::ClockMode clock_mode() const { return clock_mode_; }
 
   // --- functional access (no timing) ---
   void poke(Addr addr, std::span<const std::uint8_t> bytes);
@@ -76,6 +86,7 @@ class MemorySystem {
   std::unique_ptr<dram::AddressMapper> mapper_;
   std::vector<std::unique_ptr<dram::Channel>> chans_;
   std::vector<std::unique_ptr<Controller>> ctrls_;
+  sim::ClockMode clock_mode_ = sim::default_clock_mode();
 };
 
 }  // namespace ima::mem

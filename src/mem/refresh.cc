@@ -32,6 +32,7 @@ class NoRefresh final : public RefreshPolicy {
  public:
   bool tick(dram::Channel&, Cycle) override { return false; }
   bool rank_blocked(std::uint32_t) const override { return false; }
+  Cycle next_event(Cycle) const override { return kCycleNever; }
   std::string name() const override { return "none"; }
 };
 
@@ -40,6 +41,7 @@ class AllBankRefresh final : public RefreshPolicy {
   AllBankRefresh(const dram::DramConfig& cfg, double interval_scale)
       : interval_(static_cast<Cycle>(static_cast<double>(cfg.timings.refi) * interval_scale)) {
     next_due_.resize(cfg.geometry.ranks);
+    sr_at_last_tick_.assign(cfg.geometry.ranks, false);
     // Stagger ranks so their tRFC windows do not overlap.
     for (std::uint32_t r = 0; r < cfg.geometry.ranks; ++r)
       next_due_[r] = interval_ + r * (interval_ / std::max<Cycle>(1, cfg.geometry.ranks));
@@ -49,7 +51,9 @@ class AllBankRefresh final : public RefreshPolicy {
     last_seen_now_ = now;
     for (std::uint32_t r = 0; r < next_due_.size(); ++r) {
       // Self-refreshing ranks maintain their own cells.
-      if (chan.rank_power(r) == dram::Channel::PowerState::SelfRefresh) {
+      const bool sr = chan.rank_power(r) == dram::Channel::PowerState::SelfRefresh;
+      sr_at_last_tick_[r] = sr;
+      if (sr) {
         next_due_[r] = now + interval_;
         continue;
       }
@@ -77,6 +81,27 @@ class AllBankRefresh final : public RefreshPolicy {
     return rank < next_due_.size() && next_due_[rank] <= last_seen_now_;
   }
 
+  Cycle next_event(Cycle now) const override {
+    Cycle next = kCycleNever;
+    for (std::uint32_t r = 0; r < next_due_.size(); ++r) {
+      // Self-refreshing ranks maintain themselves; their due time is
+      // re-armed on wake (on_rank_wake), so they contribute no event.
+      if (sr_at_last_tick_.size() > r && sr_at_last_tick_[r]) continue;
+      if (next_due_[r] <= now) return now + 1;  // overdue/held: retry every cycle
+      next = std::min(next, next_due_[r]);
+    }
+    return next;
+  }
+
+  void on_rank_wake(std::uint32_t rank, Cycle now) override {
+    // The per-cycle loop slides a self-refreshing rank's due time forward
+    // every cycle; the last slide before a wake at `now` happened at
+    // now - 1. Re-arming to the same value keeps both clock modes — and
+    // the skip-ahead gap the slide never ran in — on one schedule.
+    if (rank < next_due_.size()) next_due_[rank] = now - 1 + interval_;
+    if (rank < sr_at_last_tick_.size()) sr_at_last_tick_[rank] = false;
+  }
+
   void register_stats(obs::StatRegistry& reg, const std::string& prefix) const override {
     reg.counter(obs::join_path(prefix, "refs_issued"), &refs_issued_);
     reg.counter(obs::join_path(prefix, "prealls_forced"), &prealls_forced_);
@@ -89,6 +114,7 @@ class AllBankRefresh final : public RefreshPolicy {
   std::uint64_t refs_issued_ = 0;
   std::uint64_t prealls_forced_ = 0;
   std::vector<Cycle> next_due_;
+  std::vector<bool> sr_at_last_tick_;  // ranks excluded from next_event
   // rank_blocked() needs "now"; the controller calls tick() first each
   // cycle, which caches it here.
   Cycle last_seen_now_ = 0;
@@ -96,7 +122,10 @@ class AllBankRefresh final : public RefreshPolicy {
 
 /// RAIDR. Refresh work is expressed as row refreshes per base window per
 /// bin, paced uniformly: bin k contributes rows_in_bin(k)/2^k row-refreshes
-/// per 64ms window.
+/// per 64ms window. Pacing is integer and closed-form — after `now` cycles
+/// bin b owes floor((now + 1) * rows_b / period_b) row refreshes — so the
+/// schedule is a pure function of `now` and identical under per-cycle and
+/// skip-ahead clocking.
 class RaidrRefresh final : public RefreshPolicy {
  public:
   RaidrRefresh(const dram::DramConfig& cfg, RetentionProfile profile)
@@ -109,37 +138,44 @@ class RaidrRefresh final : public RefreshPolicy {
     for (std::uint64_t row = 0; row < total_rows; ++row)
       rows_by_bin_[profile_.bin_of_row[row]].push_back(row);
     cursor_.assign(profile_.num_bins, 0);
-    budget_.assign(profile_.num_bins, 0.0);
-    // Per-cycle refresh rate for each bin.
-    rate_.resize(profile_.num_bins);
-    for (std::uint32_t b = 0; b < profile_.num_bins; ++b) {
-      const double interval = static_cast<double>(base_window_) * static_cast<double>(1u << b);
-      rate_[b] = rows_by_bin_[b].empty()
-                     ? 0.0
-                     : static_cast<double>(rows_by_bin_[b].size()) / interval;
-    }
+    issued_.assign(profile_.num_bins, 0);
+    period_.resize(profile_.num_bins);
+    for (std::uint32_t b = 0; b < profile_.num_bins; ++b)
+      period_[b] = base_window_ * (Cycle{1} << b);
   }
 
   bool tick(dram::Channel& chan, Cycle now) override {
     for (std::uint32_t b = 0; b < profile_.num_bins; ++b) {
-      budget_[b] += rate_[b];
-      if (budget_[b] < 1.0 || rows_by_bin_[b].empty()) continue;
+      if (rows_by_bin_[b].empty() || issued_[b] >= due(b, now)) continue;
       const std::uint64_t row_id = rows_by_bin_[b][cursor_[b]];
       const dram::Coord c = coord_of(row_id);
       if (chan.can_issue(dram::Cmd::RefRow, c, now)) {
         chan.issue(dram::Cmd::RefRow, c, now);
         ++row_refs_issued_;
-        budget_[b] -= 1.0;
+        ++issued_[b];
         cursor_[b] = (cursor_[b] + 1) % rows_by_bin_[b].size();
         return true;
       }
-      // Bank busy: try again next cycle (budget keeps the deficit).
+      // Bank busy: try again next cycle (the deficit persists in `due`).
       return false;
     }
     return false;
   }
 
   bool rank_blocked(std::uint32_t) const override { return false; }
+
+  Cycle next_event(Cycle now) const override {
+    Cycle next = kCycleNever;
+    for (std::uint32_t b = 0; b < profile_.num_bins; ++b) {
+      if (rows_by_bin_[b].empty()) continue;
+      if (issued_[b] < due(b, now)) return now + 1;  // backlog: retry every cycle
+      // Smallest t with due(b, t) > issued_[b]: (t + 1) * rows >= (issued + 1) * period.
+      const std::uint64_t rows = rows_by_bin_[b].size();
+      const Cycle t = (issued_[b] + 1) * period_[b] / rows + (((issued_[b] + 1) * period_[b]) % rows ? 1 : 0) - 1;
+      next = std::min(next, t);
+    }
+    return next;
+  }
 
   void register_stats(obs::StatRegistry& reg, const std::string& prefix) const override {
     reg.counter(obs::join_path(prefix, "row_refs_issued"), &row_refs_issued_);
@@ -169,14 +205,19 @@ class RaidrRefresh final : public RefreshPolicy {
     return c;
   }
 
+  /// Row refreshes bin b owes by the end of cycle `now`.
+  std::uint64_t due(std::uint32_t b, Cycle now) const {
+    return (now + 1) * rows_by_bin_[b].size() / period_[b];
+  }
+
   dram::DramConfig cfg_;
   RetentionProfile profile_;
   std::uint64_t row_refs_issued_ = 0;
   Cycle base_window_ = 0;
   std::vector<std::vector<std::uint64_t>> rows_by_bin_;
   std::vector<std::size_t> cursor_;
-  std::vector<double> budget_;
-  std::vector<double> rate_;
+  std::vector<std::uint64_t> issued_;
+  std::vector<Cycle> period_;
 };
 
 }  // namespace

@@ -50,6 +50,17 @@ class RefreshPolicy {
   /// True if normal traffic to `rank` should be held back (refresh due).
   virtual bool rank_blocked(std::uint32_t rank) const = 0;
 
+  /// Earliest future cycle at which this policy may want the command slot
+  /// (see common/clock.hh for the contract). Called after tick(now); the
+  /// conservative default degenerates the event loop to per-cycle.
+  virtual Cycle next_event(Cycle now) const { return now + 1; }
+
+  /// A self-refreshing rank is leaving self-refresh at `now` (the cells
+  /// were maintained internally up to this point). Policies that track
+  /// per-rank due times re-arm them here; called in every clock mode so
+  /// both modes see identical schedules.
+  virtual void on_rank_wake(std::uint32_t /*rank*/, Cycle /*now*/) {}
+
   /// Exposes policy-internal counters (issued REFs, paced row refreshes)
   /// under `prefix`. Default: none.
   virtual void register_stats(obs::StatRegistry&, const std::string& /*prefix*/) const {}

@@ -211,10 +211,7 @@ void Mesh::tick_bufferless(Cycle now) {
     routers_[n].arriving = std::move(next_arrivals[n]);
 }
 
-bool Mesh::idle() const {
-  if (in_flight_ != 0) return false;
-  return true;
-}
+bool Mesh::idle() const { return in_flight_ == 0; }
 
 Mesh run_uniform_traffic(const NocConfig& cfg, double rate, Cycle cycles,
                          std::uint64_t seed) {
@@ -234,12 +231,17 @@ Mesh run_uniform_traffic(const NocConfig& cfg, double rate, Cycle cycles,
     mesh.tick(now);
     mesh.take_delivered();
   }
-  // Drain.
+  // Drain through the shared event kernel (degenerates to per-cycle while
+  // flits are in flight, and stops the moment the mesh empties).
   const Cycle deadline = now + 100'000;
-  while (!mesh.idle() && now < deadline) {
-    mesh.tick(now);
-    mesh.take_delivered();
-    ++now;
+  if (!mesh.idle()) {
+    sim::run_event_loop(
+        sim::default_clock_mode(), now, deadline,
+        [&](Cycle t) {
+          mesh.tick(t);
+          mesh.take_delivered();
+        },
+        [&] { return mesh.idle(); }, [&](Cycle t) { return mesh.next_event(t); });
   }
   return mesh;
 }

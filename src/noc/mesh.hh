@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/clock.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -59,6 +60,10 @@ class Mesh {
 
   bool idle() const;
   std::uint64_t in_flight() const { return in_flight_; }
+
+  /// Flits move every cycle while any are in flight; an idle mesh only
+  /// changes state through inject() (common/clock.hh contract).
+  Cycle next_event(Cycle now) const { return in_flight_ ? now + 1 : kCycleNever; }
 
   struct Stats {
     std::uint64_t injected = 0;

@@ -1,5 +1,6 @@
 #include "sim/system.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include "obs/stat_registry.hh"
@@ -24,6 +25,7 @@ System::System(const SystemConfig& cfg,
     : cfg_(cfg) {
   assert(streams.size() == cfg.num_cores);
   mem_ = std::make_unique<mem::MemorySystem>(cfg.dram, cfg.ctrl, cfg.map);
+  mem_->set_clock_mode(cfg.clock);  // drains on memory() follow the system's mode
   for (std::uint32_t i = 0; i < cfg.num_cores; ++i) {
     cache::CacheConfig l1cfg = cfg.l1;
     l1cfg.seed = cfg.l1.seed + i;
@@ -194,7 +196,7 @@ std::optional<Cycle> System::issue(std::uint32_t core, const workloads::TraceEnt
   const bool l2_would_hit = l2_->contains(line);
   const bool needs_dram_read =
       access.type == AccessType::Read && !l1_would_hit && !l2_would_hit;
-  if (needs_dram_read && !mem_->can_accept(line, AccessType::Read)) return std::nullopt;
+  if (needs_dram_read && !mem_->can_accept(line, AccessType::Read, core)) return std::nullopt;
 
   const auto l1res = l1.access(line, access.type);
   if (l1res.hit) return now + cfg_.l1.hit_latency;
@@ -218,8 +220,10 @@ std::optional<Cycle> System::issue(std::uint32_t core, const workloads::TraceEnt
     if (l2res.fill.evicted_dirty) enqueue_mem_write(*l2res.fill.evicted);
   }
 
-  issue_prefetches(line, access.pc, /*was_miss=*/true);
-
+  // Demand read first: it must claim the queue slot reserved by the
+  // can_accept check above before prefetches can consume the remaining
+  // capacity (a dropped demand enqueue would lose the wake-up callback and
+  // wedge the core forever).
   mem::Request rd;
   rd.addr = line;
   rd.type = AccessType::Read;
@@ -231,21 +235,45 @@ std::optional<Cycle> System::issue(std::uint32_t core, const workloads::TraceEnt
   });
   assert(ok && "can_accept was checked above");
   (void)ok;
+
+  issue_prefetches(line, access.pc, /*was_miss=*/true);
   return kCycleNever;
 }
 
 Cycle System::run(Cycle max_cycles) {
-  for (; now_ < max_cycles; ++now_) {
-    mem_->tick(now_);
-    flush_pending_writes();
-    bool all_done = true;
-    for (auto& c : cores_) {
-      c->tick(now_);
-      all_done = all_done && c->done();
-    }
-    if (all_done) break;
-  }
+  Cycle last_ticked = kCycleNever;
+  const auto tick = [this, &last_ticked](Cycle now) {
+    now_ = now;
+    last_ticked = now;
+    mem_->tick(now);
+    // Writeback retries only happen on cycles where any are pending — the
+    // event kernel never wakes just for an empty deque.
+    if (!pending_writes_.empty()) flush_pending_writes();
+    for (auto& c : cores_) c->tick(now);
+  };
+  const Cycle end = sim::run_event_loop(
+      cfg_.clock, now_, max_cycles, tick,
+      [this] {
+        for (const auto& c : cores_)
+          if (!c->done()) return false;
+        return true;
+      },
+      [this](Cycle now) { return next_event(now); });
+  // Truncated at the limit with the next event beyond it: the per-cycle
+  // reference's final tick lands on max_cycles-1, so replay it here to
+  // bring time-accumulating stats (core stall/retire counts) up to the
+  // cut-off. Eventless by construction, hence cycle-exact.
+  if (end == max_cycles && last_ticked != kCycleNever && last_ticked + 1 < max_cycles)
+    tick(max_cycles - 1);
+  now_ = end;
   return now_;
+}
+
+Cycle System::next_event(Cycle now) const {
+  if (!pending_writes_.empty()) return now + 1;
+  Cycle next = mem_->next_event(now);
+  for (const auto& c : cores_) next = std::min(next, c->next_event(now));
+  return next;
 }
 
 System::EnergyBreakdown System::energy() const {

@@ -10,6 +10,7 @@
 
 #include "cache/cache.hh"
 #include "cache/prefetch.hh"
+#include "common/clock.hh"
 #include "core/core.hh"
 #include "mem/memsys.hh"
 #include "workloads/stream.hh"
@@ -37,6 +38,11 @@ struct SystemConfig {
                            .repl = cache::ReplPolicy::Lru, .hit_latency = 24};
   PrefetchKind prefetch = PrefetchKind::None;
 
+  // Clocking: SkipAhead is cycle-exact vs. PerCycle (tests/clock_test.cc)
+  // and much faster on idle-heavy runs; PerCycle is the debugging
+  // reference. IMA_CLOCK=percycle overrides the default process-wide.
+  ClockMode clock = default_clock_mode();
+
   // Energy model (pJ). Core energy per instruction covers fetch/decode/ALU;
   // movement energy is the caches + DRAM + off-chip bus.
   PicoJoule e_instr = 300.0;
@@ -52,8 +58,14 @@ class System final : public core::MemoryPort {
   ~System() override;  // out-of-line: TraceSink is forward-declared here
 
   /// Runs until every core hits its instruction limit or `max_cycles`
-  /// elapses. Returns the final cycle count.
+  /// elapses. Returns the final cycle count. Driven by the event kernel
+  /// (common/clock.hh) in the configured ClockMode.
   Cycle run(Cycle max_cycles);
+
+  /// Earliest future cycle at which any component has work: the memory
+  /// system's next event, pending writebacks (retried every cycle), and
+  /// each core's next event.
+  Cycle next_event(Cycle now) const;
 
   // MemoryPort
   std::optional<Cycle> issue(std::uint32_t core, const workloads::TraceEntry& access, Cycle now,
