@@ -4,12 +4,32 @@
 // cores starve random-access cores [59,61,64,65,70].
 //
 // Controller-level harness; fairness metrics computed against each core
-// running alone on the same memory system.
+// running alone on the same memory system. All twelve simulation points
+// (4 alone baselines + the 8-scheduler matrix) are independent, so they
+// fan out on the sweep engine ($IMA_JOBS wide); speedup/fairness rows are
+// assembled at the barrier, in submission order, from the returned
+// McResults — so the table is byte-identical at any worker count.
 #include "bench/bench_util.hh"
 #include "bench/mc_harness.hh"
 #include "common/stats.hh"
 
 using namespace ima;
+
+namespace {
+
+constexpr mem::SchedKind kKinds[] = {
+    mem::SchedKind::Fcfs,  mem::SchedKind::FrFcfs, mem::SchedKind::FrFcfsCap,
+    mem::SchedKind::ParBs, mem::SchedKind::Atlas,  mem::SchedKind::Tcm,
+    mem::SchedKind::Bliss, mem::SchedKind::Rl};
+constexpr std::size_t kNumKinds = std::size(kKinds);
+
+struct Job {
+  bool alone = false;
+  int core = 0;             // alone jobs: which stream runs solo
+  mem::SchedKind sched{};   // matrix jobs: which scheduler
+};
+
+}  // namespace
 
 int main() {
   bench::print_header(
@@ -20,25 +40,46 @@ int main() {
 
   auto dram_cfg = dram::DramConfig::ddr4_2400();
   mem::ControllerConfig ctrl;
-  const Cycle kCycles = 600'000;
+  const Cycle kCycles = bench::smoke_scaled(600'000, 60'000);
 
-  // Alone throughput per core type (fairness baseline).
+  // Submission order: 4 alone baselines, then the scheduler matrix in
+  // table order.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back({.alone = true, .core = i});
+  for (auto kind : kKinds) jobs.push_back({.alone = false, .sched = kind});
+
+  harness::SweepOptions opt;
+  opt.label = [&jobs](std::size_t i) {
+    return jobs[i].alone ? "alone core " + std::to_string(jobs[i].core)
+                         : std::string(mem::to_string(jobs[i].sched));
+  };
+  const auto res = bench::sweep(
+      "c10",
+      jobs,
+      [&](const Job& j, harness::JobContext& ctx) {
+        const auto r =
+            j.alone ? bench::run_mc(dram_cfg, ctrl, nullptr,
+                                    bench::hetero_single(21, j.core), kCycles)
+                    : bench::run_mc(dram_cfg, ctrl, mem::make_scheduler(j.sched, 4, 13),
+                                    bench::hetero_mix(21), kCycles);
+        ctx.fragment.metric("c10." + opt.label(ctx.index) + ".served_per_kcycle",
+                            r.total_served_per_kcycle);
+        return r;
+      },
+      opt);
+  if (!res.ok()) return 1;
+
   std::vector<double> alone;
-  for (int i = 0; i < 4; ++i) {
-    const auto r = bench::run_mc(dram_cfg, ctrl, nullptr, bench::hetero_single(21, i), kCycles);
-    alone.push_back(r.served_per_kcycle[0]);
-  }
+  for (std::size_t i = 0; i < 4; ++i) alone.push_back(res.at(i).served_per_kcycle[0]);
 
   Table t({"scheduler", "weighted speedup", "max slowdown", "harmonic speedup",
            "served/kcycle"});
-  for (auto kind : {mem::SchedKind::Fcfs, mem::SchedKind::FrFcfs, mem::SchedKind::FrFcfsCap,
-                    mem::SchedKind::ParBs, mem::SchedKind::Atlas, mem::SchedKind::Tcm,
-                    mem::SchedKind::Bliss, mem::SchedKind::Rl}) {
-    const auto r = bench::run_mc(dram_cfg, ctrl, mem::make_scheduler(kind, 4, 13),
-                                 bench::hetero_mix(21), kCycles);
+  for (std::size_t k = 0; k < kNumKinds; ++k) {
+    const auto& r = res.at(4 + k);
     std::vector<double> speedups;
     for (std::size_t i = 0; i < 4; ++i) speedups.push_back(r.served_per_kcycle[i] / alone[i]);
-    t.add_row({mem::to_string(kind), Table::fmt(weighted_speedup(r.served_per_kcycle, alone), 3),
+    t.add_row({mem::to_string(kKinds[k]),
+               Table::fmt(weighted_speedup(r.served_per_kcycle, alone), 3),
                Table::fmt_ratio(max_slowdown(r.served_per_kcycle, alone)),
                Table::fmt(harmonic_mean(speedups), 3),
                Table::fmt(r.total_served_per_kcycle, 2)});
@@ -47,10 +88,8 @@ int main() {
 
   std::cout << "\nPer-core service detail under FR-FCFS vs PAR-BS\n\n";
   Table d({"core (pattern)", "alone/kcyc", "FR-FCFS/kcyc", "PAR-BS/kcyc"});
-  const auto frf = bench::run_mc(dram_cfg, ctrl, mem::make_scheduler(mem::SchedKind::FrFcfs, 4),
-                                 bench::hetero_mix(21), kCycles);
-  const auto pbs = bench::run_mc(dram_cfg, ctrl, mem::make_scheduler(mem::SchedKind::ParBs, 4),
-                                 bench::hetero_mix(21), kCycles);
+  const auto& frf = res.at(4 + 1);  // kKinds[1] == FrFcfs
+  const auto& pbs = res.at(4 + 3);  // kKinds[3] == ParBs
   const char* names[] = {"0 (streaming)", "1 (random)", "2 (row-local)", "3 (zipf)"};
   for (int i = 0; i < 4; ++i)
     d.add_row({names[i], Table::fmt(alone[static_cast<std::size_t>(i)], 2),

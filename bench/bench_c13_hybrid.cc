@@ -5,7 +5,10 @@
 //
 // Zipf-skewed traffic over a footprint far larger than the DRAM tier;
 // compare all-PCM, static pinning, hot-page, and RBL-aware placement
-// against the all-DRAM upper bound, sweeping the DRAM fraction.
+// against the all-DRAM upper bound, sweeping the DRAM fraction. Every
+// point owns its HybridMemory and stream, so the 11-point sweep (2 bounds
+// + 3 capacities x 3 policies) fans out on the worker pool; each job
+// formats its own row into a report fragment, merged in submission order.
 #include "bench/bench_util.hh"
 #include "hybrid/hybrid.hh"
 #include "workloads/stream.hh"
@@ -89,11 +92,12 @@ int main() {
       "Claim: a small, intelligently managed DRAM tier in front of PCM captures "
       "most of all-DRAM performance at a fraction of the cost [22,89,92].");
 
-  const Cycle kCycles = 1'500'000;
+  const Cycle kCycles = bench::smoke_scaled(1'500'000, 150'000);
   hybrid::HybridConfig base;
   base.epoch = 25'000;
   base.hot_threshold = 2;
   base.max_migrations_per_epoch = 256;
+  const double theta = 0.95;
 
   // Bounds: all-DRAM (DRAM tier covers the footprint) and all-PCM (0 slots).
   auto all_dram = base;
@@ -103,33 +107,49 @@ int main() {
   all_pcm.policy = hybrid::Placement::HotPage;
   all_pcm.dram_bytes = 0;
 
-  Table t({"config", "DRAM capacity", "mean read lat (cyc)", "DRAM-served",
-           "PCM writes", "energy (uJ)"});
-  const double theta = 0.95;
-
-  const auto dram_bound = run(all_dram, theta, kCycles);
-  t.add_row({"all-DRAM (bound)", "footprint", Table::fmt(dram_bound.mean_read_latency, 1),
-             Table::fmt_pct(dram_bound.dram_fraction), "0",
-             Table::fmt(dram_bound.energy / 1e6, 1)});
-  const auto pcm_bound = run(all_pcm, theta, kCycles);
-  t.add_row({"all-PCM (bound)", "0", Table::fmt(pcm_bound.mean_read_latency, 1),
-             Table::fmt_pct(pcm_bound.dram_fraction),
-             Table::fmt_int(pcm_bound.pcm_writes), Table::fmt(pcm_bound.energy / 1e6, 1)});
-
+  struct Point {
+    hybrid::HybridConfig cfg;
+    std::string label;     // first table column
+    std::string capacity;  // second table column
+  };
+  std::vector<Point> points;
+  points.push_back({all_dram, "all-DRAM (bound)", "footprint"});
+  points.push_back({all_pcm, "all-PCM (bound)", "0"});
   for (const std::uint64_t mb : {8ull, 16ull, 32ull}) {
     for (auto policy : {hybrid::Placement::Static, hybrid::Placement::HotPage,
                         hybrid::Placement::RblAware}) {
       auto cfg = base;
       cfg.policy = policy;
       cfg.dram_bytes = mb << 20;
-      const auto o = run(cfg, theta, kCycles);
-      t.add_row({to_string(policy), std::to_string(mb) + "MB (" +
-                     Table::fmt(100.0 * static_cast<double>(mb << 20) / (128ull << 20), 1) +
-                     "% of footprint)",
-                 Table::fmt(o.mean_read_latency, 1), Table::fmt_pct(o.dram_fraction),
-                 Table::fmt_int(o.pcm_writes), Table::fmt(o.energy / 1e6, 1)});
+      points.push_back({cfg, to_string(policy),
+                        std::to_string(mb) + "MB (" +
+                            Table::fmt(100.0 * static_cast<double>(mb << 20) /
+                                       (128ull << 20), 1) +
+                            "% of footprint)"});
     }
   }
+
+  harness::SweepOptions opt;
+  opt.label = [&points](std::size_t i) { return points[i].label + " " + points[i].capacity; };
+  const auto res = bench::sweep(
+      "c13",
+      points,
+      [&](const Point& p, harness::JobContext& ctx) {
+        const auto o = run(p.cfg, theta, kCycles);
+        // The bounds rows format "PCM writes" differently (all-DRAM writes
+        // none by construction, printed as a plain "0").
+        ctx.fragment.row({p.label, p.capacity, Table::fmt(o.mean_read_latency, 1),
+                          Table::fmt_pct(o.dram_fraction),
+                          ctx.index == 0 ? "0" : Table::fmt_int(o.pcm_writes),
+                          Table::fmt(o.energy / 1e6, 1)});
+        return o;
+      },
+      opt);
+  if (!res.ok()) return 1;
+
+  Table t({"config", "DRAM capacity", "mean read lat (cyc)", "DRAM-served",
+           "PCM writes", "energy (uJ)"});
+  bench::add_sweep_rows(t, res);
   bench::print_table(t);
 
   bench::print_shape(

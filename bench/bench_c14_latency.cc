@@ -10,6 +10,12 @@
 //
 // Both are measured on a row-conflict-heavy dependent access pattern (the
 // pattern that exposes activation latency), alone and combined.
+//
+// The 13 simulation points behind the three tables (6 timing configs, 5
+// ChargeCache window sizes, 2 SALP settings) are independent MemorySystem
+// runs, so they fan out as one sweep; the "vs baseline" columns need the
+// baseline's result, so rows are assembled at the barrier from the
+// submission-ordered results rather than inside the jobs.
 #include "bench/bench_util.hh"
 #include "mem/memsys.hh"
 #include "workloads/stream.hh"
@@ -73,6 +79,33 @@ Out run(const dram::DramConfig& dram_cfg, bool charge_cache, Cycle reqs) {
   return o;
 }
 
+/// ChargeCache sensitivity: rotate over `rows` rows of bank 0 so the hot
+/// set either fits the 128-entry cache or thrashes it.
+Out run_window(const dram::DramConfig& dram_cfg, int rows, Cycle reqs) {
+  mem::ControllerConfig ctrl;
+  ctrl.sched = mem::SchedKind::Fcfs;
+  ctrl.charge_cache = true;
+  mem::MemorySystem sys(dram_cfg, ctrl);
+  const Addr row_stride =
+      static_cast<Addr>(dram_cfg.geometry.row_bytes()) * dram_cfg.geometry.banks;
+  Cycle now = 0;
+  for (Cycle i = 0; i < reqs; ++i) {
+    mem::Request r;
+    r.addr = (i % static_cast<Cycle>(rows)) * row_stride * 4;
+    r.arrive = now;
+    sys.enqueue(r);
+    // Think time between dependent misses: tRC is no longer the binding
+    // constraint, as in real (non-back-to-back) conflict patterns.
+    now = sys.drain(now) + 64;
+  }
+  Out o;
+  const auto& st = sys.controller(0).stats();
+  o.mean_read_latency = st.read_latency.mean();
+  const auto probes = st.charge_cache_hits + st.charge_cache_misses;
+  o.charge_hit_rate = probes ? static_cast<double>(st.charge_cache_hits) / probes : 0.0;
+  return o;
+}
+
 }  // namespace
 
 int main() {
@@ -83,66 +116,84 @@ int main() {
       "zero DRAM-chip cost [13,26].");
 
   const auto base = dram::DramConfig::ddr4_2400();
-  const Cycle kReqs = 300;
+  const Cycle kReqs = bench::smoke_scaled(300, 100);
+
+  // One sweep covers all three tables: timing configs, ChargeCache window
+  // sensitivity and SALP. The jobs share nothing — each builds its own
+  // MemorySystem — and rows are assembled from results at the barrier
+  // because the "vs baseline" columns reference job 0's latency.
+  struct Point {
+    enum Kind { Timing, Window, Salp } kind;
+    double scale = 1.0;       // Timing: AL-DRAM factor
+    bool charge_cache = false;
+    int rows = 0;             // Window: rotated rows per bank
+    bool salp = false;
+  };
+  const std::vector<Point> points = {
+      {Point::Timing, 1.0, false, 0, false},  // 0: baseline DDR4-2400
+      {Point::Timing, 0.9, false, 0, false},  // 1..3: AL-DRAM scales
+      {Point::Timing, 0.8, false, 0, false},
+      {Point::Timing, 0.7, false, 0, false},
+      {Point::Timing, 1.0, true, 0, false},   // 4: ChargeCache
+      {Point::Timing, 0.8, true, 0, false},   // 5: AL-DRAM 0.8x + CC
+      {Point::Window, 1.0, true, 2, false},   // 6..10: CC locality window
+      {Point::Window, 1.0, true, 3, false},
+      {Point::Window, 1.0, true, 8, false},
+      {Point::Window, 1.0, true, 64, false},
+      {Point::Window, 1.0, true, 512, false},
+      {Point::Salp, 1.0, false, 0, false},    // 11: one row buffer per bank
+      {Point::Salp, 1.0, false, 0, true},     // 12: per-subarray buffers
+  };
+
+  const auto res = bench::sweep("c14", points, [&](const Point& p) {
+    switch (p.kind) {
+      case Point::Window:
+        return run_window(base, p.rows, kReqs);
+      case Point::Salp: {
+        Out o;
+        o.mean_read_latency = run_salp(p.salp, kReqs);
+        return o;
+      }
+      case Point::Timing:
+      default:
+        return run(p.scale == 1.0 ? base : base.with_scaled_timings(p.scale),
+                   p.charge_cache, kReqs);
+    }
+  });
+  if (!res.ok()) return 1;
 
   Table t({"configuration", "mean read latency (cyc)", "vs baseline",
            "charge-cache hit rate"});
-  const auto baseline = run(base, false, kReqs);
+  const auto& baseline = res.at(0);
   t.add_row({"baseline DDR4-2400", Table::fmt(baseline.mean_read_latency, 1),
              Table::fmt_pct(0.0), "-"});
-
-  for (double scale : {0.9, 0.8, 0.7}) {
-    const auto o = run(base.with_scaled_timings(scale), false, kReqs);
-    t.add_row({"AL-DRAM " + Table::fmt(scale, 1) + "x timings",
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const auto& o = res.at(i);
+    t.add_row({"AL-DRAM " + Table::fmt(points[i].scale, 1) + "x timings",
                Table::fmt(o.mean_read_latency, 1),
                Table::fmt_pct(1.0 - o.mean_read_latency / baseline.mean_read_latency), "-"});
   }
-  {
-    const auto o = run(base, true, kReqs);
-    t.add_row({"ChargeCache", Table::fmt(o.mean_read_latency, 1),
-               Table::fmt_pct(1.0 - o.mean_read_latency / baseline.mean_read_latency),
-               Table::fmt_pct(o.charge_hit_rate)});
-  }
-  {
-    const auto o = run(base.with_scaled_timings(0.8), true, kReqs);
-    t.add_row({"AL-DRAM 0.8x + ChargeCache", Table::fmt(o.mean_read_latency, 1),
-               Table::fmt_pct(1.0 - o.mean_read_latency / baseline.mean_read_latency),
-               Table::fmt_pct(o.charge_hit_rate)});
-  }
+  t.add_row({"ChargeCache", Table::fmt(res.at(4).mean_read_latency, 1),
+             Table::fmt_pct(1.0 - res.at(4).mean_read_latency / baseline.mean_read_latency),
+             Table::fmt_pct(res.at(4).charge_hit_rate)});
+  t.add_row({"AL-DRAM 0.8x + ChargeCache", Table::fmt(res.at(5).mean_read_latency, 1),
+             Table::fmt_pct(1.0 - res.at(5).mean_read_latency / baseline.mean_read_latency),
+             Table::fmt_pct(res.at(5).charge_hit_rate)});
   bench::print_table(t);
 
   std::cout << "\nChargeCache sensitivity to access-locality window\n\n";
   Table s({"rows rotated per bank", "charge hit rate", "mean latency (cyc)"});
-  for (const int rows : {2, 3, 8, 64, 512}) {
-    mem::ControllerConfig ctrl;
-    ctrl.sched = mem::SchedKind::Fcfs;
-    ctrl.charge_cache = true;
-    mem::MemorySystem sys(base, ctrl);
-    const Addr row_stride =
-        static_cast<Addr>(base.geometry.row_bytes()) * base.geometry.banks;
-    Cycle now = 0;
-    for (Cycle i = 0; i < kReqs; ++i) {
-      mem::Request r;
-      r.addr = (i % static_cast<Cycle>(rows)) * row_stride * 4;
-      r.arrive = now;
-      sys.enqueue(r);
-      // Think time between dependent misses: tRC is no longer the binding
-    // constraint, as in real (non-back-to-back) conflict patterns.
-    now = sys.drain(now) + 64;
-    }
-    const auto& st = sys.controller(0).stats();
-    const auto probes = st.charge_cache_hits + st.charge_cache_misses;
-    s.add_row({Table::fmt_int(static_cast<std::uint64_t>(rows)),
-               Table::fmt_pct(probes ? static_cast<double>(st.charge_cache_hits) / probes : 0),
-               Table::fmt(st.read_latency.mean(), 1)});
-  }
+  for (std::size_t i = 6; i <= 10; ++i)
+    s.add_row({Table::fmt_int(static_cast<std::uint64_t>(points[i].rows)),
+               Table::fmt_pct(res.at(i).charge_hit_rate),
+               Table::fmt(res.at(i).mean_read_latency, 1)});
   bench::print_table(s);
 
   std::cout << "\nSALP: inter-subarray conflicts become row hits\n\n";
   Table sa({"configuration", "mean read latency (cyc)", "vs baseline"});
-  const double salp_base = run_salp(false, kReqs);
+  const double salp_base = res.at(11).mean_read_latency;
+  const double salp_on = res.at(12).mean_read_latency;
   sa.add_row({"baseline (one row buffer/bank)", Table::fmt(salp_base, 1), Table::fmt_pct(0.0)});
-  const double salp_on = run_salp(true, kReqs);
   sa.add_row({"SALP (per-subarray buffers)", Table::fmt(salp_on, 1),
               Table::fmt_pct(1.0 - salp_on / salp_base)});
   bench::print_table(sa);

@@ -5,11 +5,34 @@
 // cost, until the network approaches saturation.
 //
 // Latency/energy vs injection rate for buffered XY vs bufferless
-// deflection routing on an 8x8 mesh, uniform-random traffic.
+// deflection routing on an 8x8 mesh, uniform-random traffic. Each of the
+// 18 (rate, config) points simulates its own Mesh, so they fan out as one
+// sweep; jobs return a small stats aggregate (a Mesh is too heavy to keep
+// 18 of alive) and the rows — whose savings column pairs buffered with
+// bufferless results — are assembled at the barrier.
 #include "bench/bench_util.hh"
 #include "noc/mesh.hh"
 
 using namespace ima;
+
+namespace {
+
+struct Out {
+  double lat_mean = 0;
+  double lat_stddev = 0;
+  std::uint64_t deflections = 0;
+  std::uint64_t delivered = 0;
+  double energy = 0;
+
+  double energy_per_packet() const {
+    return energy / static_cast<double>(delivered);
+  }
+  /// Approximate p99 as mean + 2.33 sigma (latency is right-skewed; this
+  /// is a comparative, not absolute, number).
+  double p99() const { return lat_mean + 2.33 * lat_stddev; }
+};
+
+}  // namespace
 
 int main() {
   bench::print_header(
@@ -23,34 +46,67 @@ int main() {
   noc::NocConfig bufferless = buffered;
   bufferless.bufferless = true;
 
+  const Cycle kCycles = bench::smoke_scaled(20'000, 4'000);
+  constexpr double kSweepRates[] = {0.01, 0.05, 0.10, 0.20, 0.30, 0.40};
+  constexpr double kP99Rates[] = {0.10, 0.30, 0.45};
+
+  struct Point {
+    double rate;
+    bool bufferless;
+    std::uint64_t seed;
+  };
+  // Submission order: the 6x2 latency/energy grid (seed 9), then the 3x2
+  // p99 grid (seed 13), buffered before bufferless at each rate.
+  std::vector<Point> points;
+  for (const double rate : kSweepRates)
+    for (const bool dfl : {false, true}) points.push_back({rate, dfl, 9});
+  for (const double rate : kP99Rates)
+    for (const bool dfl : {false, true}) points.push_back({rate, dfl, 13});
+
+  harness::SweepOptions opt;
+  opt.label = [&points](std::size_t i) {
+    return std::string(points[i].bufferless ? "bufferless" : "buffered") + " @ " +
+           Table::fmt(points[i].rate, 2) + (points[i].seed == 13 ? " (p99)" : "");
+  };
+  const auto res = bench::sweep(
+      "c19",
+      points,
+      [&](const Point& p) {
+        const auto mesh = noc::run_uniform_traffic(
+            p.bufferless ? bufferless : buffered, p.rate, kCycles, p.seed);
+        Out o;
+        o.lat_mean = mesh.stats().latency.mean();
+        o.lat_stddev = mesh.stats().latency.stddev();
+        o.deflections = mesh.stats().deflections;
+        o.delivered = mesh.stats().delivered;
+        o.energy = mesh.stats().energy;
+        return o;
+      },
+      opt);
+  if (!res.ok()) return 1;
+
   Table t({"inject rate", "buffered lat", "bufferless lat", "defl/packet",
            "buffered pJ/pkt", "bufferless pJ/pkt", "energy saving"});
-  for (double rate : {0.01, 0.05, 0.10, 0.20, 0.30, 0.40}) {
-    const auto b = noc::run_uniform_traffic(buffered, rate, 20'000, 9);
-    const auto d = noc::run_uniform_traffic(bufferless, rate, 20'000, 9);
-    const double b_epp = b.stats().energy / static_cast<double>(b.stats().delivered);
-    const double d_epp = d.stats().energy / static_cast<double>(d.stats().delivered);
-    t.add_row({Table::fmt(rate, 2), Table::fmt(b.stats().latency.mean(), 1),
-               Table::fmt(d.stats().latency.mean(), 1),
-               Table::fmt(static_cast<double>(d.stats().deflections) /
-                              static_cast<double>(d.stats().delivered),
+  for (std::size_t i = 0; i < std::size(kSweepRates); ++i) {
+    const auto& b = res.at(2 * i);
+    const auto& d = res.at(2 * i + 1);
+    t.add_row({Table::fmt(kSweepRates[i], 2), Table::fmt(b.lat_mean, 1),
+               Table::fmt(d.lat_mean, 1),
+               Table::fmt(static_cast<double>(d.deflections) /
+                              static_cast<double>(d.delivered),
                           2),
-               Table::fmt(b_epp, 1), Table::fmt(d_epp, 1),
-               Table::fmt_pct(1.0 - d_epp / b_epp)});
+               Table::fmt(b.energy_per_packet(), 1), Table::fmt(d.energy_per_packet(), 1),
+               Table::fmt_pct(1.0 - d.energy_per_packet() / b.energy_per_packet())});
   }
   bench::print_table(t);
 
   std::cout << "\np99 latency near saturation\n\n";
   Table p({"inject rate", "buffered p99", "bufferless p99"});
-  for (double rate : {0.10, 0.30, 0.45}) {
-    const auto b = noc::run_uniform_traffic(buffered, rate, 20'000, 13);
-    const auto d = noc::run_uniform_traffic(bufferless, rate, 20'000, 13);
-    // Approximate p99 as mean + 2.33 sigma (latency is right-skewed; this
-    // is a comparative, not absolute, number).
-    auto p99 = [](const noc::Mesh& m) {
-      return m.stats().latency.mean() + 2.33 * m.stats().latency.stddev();
-    };
-    p.add_row({Table::fmt(rate, 2), Table::fmt(p99(b), 1), Table::fmt(p99(d), 1)});
+  const std::size_t p99_base = 2 * std::size(kSweepRates);
+  for (std::size_t i = 0; i < std::size(kP99Rates); ++i) {
+    const auto& b = res.at(p99_base + 2 * i);
+    const auto& d = res.at(p99_base + 2 * i + 1);
+    p.add_row({Table::fmt(kP99Rates[i], 2), Table::fmt(b.p99(), 1), Table::fmt(d.p99(), 1)});
   }
   bench::print_table(p);
 

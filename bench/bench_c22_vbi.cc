@@ -5,7 +5,10 @@
 // interface, cited directly by the paper's data-aware section.
 //
 // Translation overhead per memory access across footprints and access
-// patterns, for 4K radix, 2M radix (huge pages), and VBI.
+// patterns, for 4K radix, 2M radix (huge pages), and VBI. Each of the 18
+// (pattern, footprint, mode) points owns its Mmu and Rng, so the grid fans
+// out as one sweep; every job formats its own row into a report fragment
+// and the barrier appends them in submission order.
 #include "bench/bench_util.hh"
 #include "common/rng.hh"
 #include "vm/vm.hh"
@@ -62,20 +65,42 @@ int main() {
       "controller) eliminates per-page translation overhead that grows with "
       "footprint under conventional paging [56].");
 
+  struct Point {
+    bool sequential;
+    std::uint64_t mb;
+    vm::TranslationMode mode;
+  };
+  std::vector<Point> points;
+  for (const bool sequential : {true, false})
+    for (const std::uint64_t mb : {16ull, 256ull, 4096ull})
+      for (const auto mode : {vm::TranslationMode::Radix4K, vm::TranslationMode::Radix2M,
+                              vm::TranslationMode::Vbi})
+        points.push_back({sequential, mb, mode});
+
+  const Cycle kAccesses = bench::smoke_scaled(40'000, 8'000);
+  harness::SweepOptions opt;
+  opt.label = [&points](std::size_t i) {
+    return std::string(to_string(points[i].mode)) + " " + std::to_string(points[i].mb) +
+           "MB " + (points[i].sequential ? "sequential" : "random");
+  };
+  const auto res = bench::sweep(
+      "c22",
+      points,
+      [&](const Point& p, harness::JobContext& ctx) {
+        const auto o = run(p.mode, p.mb << 20, p.sequential, kAccesses);
+        ctx.fragment.row({p.sequential ? "sequential" : "random",
+                          std::to_string(p.mb) + "MB", to_string(p.mode),
+                          Table::fmt_pct(o.tlb_miss_rate),
+                          Table::fmt(o.cycles_per_access, 2),
+                          Table::fmt(o.walk_accesses_per_kaccess, 1)});
+        return o;
+      },
+      opt);
+  if (!res.ok()) return 1;
+
   Table t({"pattern", "footprint", "mode", "TLB miss rate", "xlat cyc/access",
            "PTE fetches/kaccess"});
-  for (const bool sequential : {true, false}) {
-    for (const std::uint64_t mb : {16ull, 256ull, 4096ull}) {
-      for (const auto mode : {vm::TranslationMode::Radix4K, vm::TranslationMode::Radix2M,
-                              vm::TranslationMode::Vbi}) {
-        const auto o = run(mode, mb << 20, sequential);
-        t.add_row({sequential ? "sequential" : "random", std::to_string(mb) + "MB",
-                   to_string(mode), Table::fmt_pct(o.tlb_miss_rate),
-                   Table::fmt(o.cycles_per_access, 2),
-                   Table::fmt(o.walk_accesses_per_kaccess, 1)});
-      }
-    }
-  }
+  bench::add_sweep_rows(t, res);
   bench::print_table(t);
   bench::print_shape(
       "radix-4K translation cost explodes with random access over large footprints "

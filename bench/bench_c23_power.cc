@@ -5,6 +5,13 @@
 // timeout per epoch against an energy-delay objective.
 //
 // Bursty workload with idle gaps; static timeout sweep + UCB1-adaptive.
+//
+// The static (gap x policy) grid and the bandit's per-arm EDP premeasure
+// are independent runs, so they fan out as one 20-job sweep; the "vs
+// never-sleep" column references the gap's never-sleep job, so rows are
+// assembled at the barrier. The bandit trial loop itself is inherently
+// sequential (each reward depends on the arm the bandit just picked) and
+// stays serial.
 #include "bench/bench_util.hh"
 #include "learn/bandit.hh"
 #include "mem/memsys.hh"
@@ -55,18 +62,52 @@ int main() {
       "decision: the best timeout depends on the idle-gap distribution, so a "
       "learning controller beats any fixed setting across workloads [127,132].");
 
+  constexpr Cycle kGaps[] = {2'000, 20'000, 200'000};
+  struct P {
+    const char* name;
+    Cycle pd, sr;
+  };
+  constexpr P kPolicies[] = {{"never sleep", 0, 0},
+                             {"PD after 200", 200, 0},
+                             {"PD after 3200", 3200, 0},
+                             {"PD 200 + SR 10k", 200, 10'000}};
+  const Cycle arms_pd[] = {0, 200, 3200, 200};
+  const Cycle arms_sr[] = {0, 0, 0, 10'000};
+  const char* arm_names[] = {"never", "PD 200", "PD 3200", "PD 200+SR 10k"};
+  constexpr Cycle kBanditGaps[] = {2'000, 200'000};
+
+  struct Point {
+    Cycle gap;
+    Cycle pd, sr;
+    const char* name;
+    int bursts;
+  };
+  // Submission order: the 3x4 static grid ("never sleep" first per gap so
+  // res.at(4*g) is the gap's reference), then the 2x4 arm premeasure.
+  std::vector<Point> points;
+  for (const Cycle gap : kGaps)
+    for (const P& p : kPolicies) points.push_back({gap, p.pd, p.sr, p.name, 20});
+  for (const Cycle gap : kBanditGaps)
+    for (int a = 0; a < 4; ++a)
+      points.push_back({gap, arms_pd[a], arms_sr[a], arm_names[a], 6});
+
+  harness::SweepOptions opt;
+  opt.label = [&points](std::size_t i) {
+    return std::string(points[i].name) + " @ gap " + std::to_string(points[i].gap) +
+           (points[i].bursts == 6 ? " (arm)" : "");
+  };
+  const auto res = bench::sweep(
+      "c23", points,
+      [](const Point& p) { return run(p.pd, p.sr, p.gap, p.bursts); }, opt);
+  if (!res.ok()) return 1;
+
   Table t({"idle gap", "policy", "energy (uJ)", "mean read lat", "wakes",
            "energy vs never-sleep"});
-  for (const Cycle gap : {2'000ull, 20'000ull, 200'000ull}) {
-    const auto never = run(0, 0, gap);
-    struct P {
-      const char* name;
-      Cycle pd, sr;
-    };
-    for (const P p : {P{"never sleep", 0, 0}, P{"PD after 200", 200, 0},
-                      P{"PD after 3200", 3200, 0}, P{"PD 200 + SR 10k", 200, 10'000}}) {
-      const auto o = run(p.pd, p.sr, gap);
-      t.add_row({Table::fmt_si(static_cast<double>(gap), 0), p.name,
+  for (std::size_t g = 0; g < std::size(kGaps); ++g) {
+    const auto& never = res.at(4 * g);
+    for (std::size_t k = 0; k < std::size(kPolicies); ++k) {
+      const auto& o = res.at(4 * g + k);
+      t.add_row({Table::fmt_si(static_cast<double>(kGaps[g]), 0), kPolicies[k].name,
                  Table::fmt(o.energy / 1e6, 1), Table::fmt(o.mean_read_latency, 1),
                  Table::fmt_int(o.wakes), Table::fmt_pct(1.0 - o.energy / never.energy)});
     }
@@ -75,14 +116,13 @@ int main() {
 
   std::cout << "\nBandit-adaptive timeout selection (per-workload convergence)\n\n";
   Table b({"idle gap", "arm chosen by UCB1", "its EDP vs best static"});
-  const Cycle arms_pd[] = {0, 200, 3200, 200};
-  const Cycle arms_sr[] = {0, 0, 0, 10'000};
-  const char* arm_names[] = {"never", "PD 200", "PD 3200", "PD 200+SR 10k"};
-  for (const Cycle gap : {2'000ull, 200'000ull}) {
-    // Measure each arm's EDP (the bandit's reward = -EDP, normalized).
+  const std::size_t arm_base = std::size(kGaps) * std::size(kPolicies);
+  for (std::size_t g = 0; g < std::size(kBanditGaps); ++g) {
+    const Cycle gap = kBanditGaps[g];
+    // Each arm's EDP was premeasured by the sweep (the bandit's reward =
+    // -EDP, normalized).
     std::array<double, 4> edp{};
-    for (int a = 0; a < 4; ++a) edp[static_cast<std::size_t>(a)] =
-        run(arms_pd[a], arms_sr[a], gap, 6).edp();
+    for (std::size_t a = 0; a < 4; ++a) edp[a] = res.at(arm_base + 4 * g + a).edp();
     const double best = *std::min_element(edp.begin(), edp.end());
     learn::Ucb1Bandit bandit(4, 2.0, 1);
     for (int trial = 0; trial < 60; ++trial) {

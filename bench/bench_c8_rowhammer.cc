@@ -5,7 +5,15 @@
 // at modest cost [99,104,105].
 //
 // Attack patterns drive the trackers directly (activation-level replay) so
-// millions of activations are simulated per point.
+// millions of activations are simulated per point. The 32-point
+// threshold × attack × mitigation grid is embarrassingly parallel: each
+// point owns its victim model and tracker, runs as one sweep job and
+// formats its own table row into a private report fragment; the barrier
+// appends rows in submission order, so the table and BENCH_C8.json are
+// byte-identical at any $IMA_JOBS width.
+#include <algorithm>
+#include <utility>
+
 #include "bench/bench_util.hh"
 #include "common/rng.hh"
 #include "mem/rowhammer.hh"
@@ -59,44 +67,57 @@ int main() {
       "pushing controllers from probabilistic refresh toward precise tracking; "
       "sampling TRR is defeated by many-sided patterns [99,104,105,106].");
 
-  constexpr std::uint64_t kActs = 4'000'000;
+  const std::uint64_t kActs = bench::smoke_scaled(4'000'000, 200'000);
+
+  enum class Mit { None, Para, TrrSample, Graphene };
+  struct Point {
+    std::uint64_t threshold;
+    std::uint32_t aggressors;
+    Mit mit;
+    const char* name;
+  };
+  // Grid in table order: threshold-major, attack, then the mitigation zoo.
+  std::vector<Point> points;
+  for (std::uint64_t threshold : {65536ull, 16384ull, 4096ull, 1024ull})
+    for (const std::uint32_t aggressors : {2u, 20u})
+      for (auto [mit, name] : {std::pair{Mit::None, "none"}, {Mit::Para, "PARA"},
+                               {Mit::TrrSample, "TRR-sample"}, {Mit::Graphene, "Graphene"}})
+        points.push_back({threshold, aggressors, mit, name});
+
+  harness::SweepOptions opt;
+  opt.label = [&points](std::size_t i) {
+    return std::string(points[i].name) + " @ " + std::to_string(points[i].threshold) + "/" +
+           std::to_string(points[i].aggressors) + "-sided";
+  };
+  const auto res = bench::sweep(
+      "c8",
+      points,
+      [&](const Point& p, harness::JobContext& ctx) {
+        // PARA probability tuned to the threshold: p ~ 20/threshold makes
+        // the per-window escape probability ~e^-10, negligible at this
+        // replay length (the published p=0.001 targets the 139K-era
+        // threshold).
+        const double para_p = std::min(0.5, 20.0 / static_cast<double>(p.threshold));
+        std::unique_ptr<mem::RowHammerMitigation> m;
+        switch (p.mit) {
+          case Mit::None: break;
+          case Mit::Para: m = mem::make_para(para_p, 1); break;
+          case Mit::TrrSample: m = mem::make_trr_sample(4, p.threshold / 4, 1); break;
+          case Mit::Graphene: m = mem::make_graphene(64, p.threshold); break;
+        }
+        const auto r = replay(m.get(), p.threshold, p.aggressors, kActs);
+        const char* attack = p.aggressors == 2 ? "double-sided" : "many-sided";
+        ctx.fragment.row(
+            {Table::fmt_si(static_cast<double>(p.threshold), 0), p.name, attack,
+             Table::fmt_si(static_cast<double>(r.flips), 1),
+             p.mit == Mit::None ? "0.0" : Table::fmt(1000.0 * r.victim_refreshes / kActs, 1)});
+        return r;
+      },
+      opt);
+  if (!res.ok()) return 1;
 
   Table t({"threshold", "mitigation", "attack", "flips", "overhead (refr/1k acts)"});
-  for (std::uint64_t threshold : {65536ull, 16384ull, 4096ull, 1024ull}) {
-    // PARA probability tuned to the threshold: p ~ 20/threshold makes the
-    // per-window escape probability ~e^-10, negligible at this replay
-    // length (the published p=0.001 targets the 139K-era threshold).
-    const double para_p = std::min(0.5, 20.0 / static_cast<double>(threshold));
-    for (const std::uint32_t aggressors : {2u, 20u}) {
-      const char* attack = aggressors == 2 ? "double-sided" : "many-sided";
-      {
-        auto r = replay(nullptr, threshold, aggressors, kActs);
-        t.add_row({Table::fmt_si(static_cast<double>(threshold), 0), "none", attack,
-                   Table::fmt_si(static_cast<double>(r.flips), 1), "0.0"});
-      }
-      {
-        auto m = mem::make_para(para_p, 1);
-        auto r = replay(m.get(), threshold, aggressors, kActs);
-        t.add_row({Table::fmt_si(static_cast<double>(threshold), 0), "PARA", attack,
-                   Table::fmt_si(static_cast<double>(r.flips), 1),
-                   Table::fmt(1000.0 * r.victim_refreshes / kActs, 1)});
-      }
-      {
-        auto m = mem::make_trr_sample(4, threshold / 4, 1);
-        auto r = replay(m.get(), threshold, aggressors, kActs);
-        t.add_row({Table::fmt_si(static_cast<double>(threshold), 0), "TRR-sample", attack,
-                   Table::fmt_si(static_cast<double>(r.flips), 1),
-                   Table::fmt(1000.0 * r.victim_refreshes / kActs, 1)});
-      }
-      {
-        auto m = mem::make_graphene(64, threshold);
-        auto r = replay(m.get(), threshold, aggressors, kActs);
-        t.add_row({Table::fmt_si(static_cast<double>(threshold), 0), "Graphene", attack,
-                   Table::fmt_si(static_cast<double>(r.flips), 1),
-                   Table::fmt(1000.0 * r.victim_refreshes / kActs, 1)});
-      }
-    }
-  }
+  bench::add_sweep_rows(t, res);
   bench::print_table(t);
   bench::print_shape(
       "no mitigation: flips explode as threshold falls; PARA: protective but its "

@@ -3,10 +3,18 @@
 // TRACE_smoke.json Chrome trace. The smoke ctest target runs this binary
 // and validates both artifacts, so a broken exporter fails CI instead of
 // silently producing garbage artifacts for every real experiment.
+//
+// It also smoke-tests the sweep engine: the same 8-point scheduler sweep
+// runs serial (jobs=1) and at the default width, the results must match
+// exactly (the determinism contract), and the wall clocks + worker count
+// land in BENCH_smoke.json so CI records the parallel speedup on whatever
+// machine ran it.
 #include <chrono>
+#include <cmath>
 #include <fstream>
 
 #include "bench/bench_util.hh"
+#include "bench/mc_harness.hh"
 #include "obs/stat_registry.hh"
 #include "obs/trace.hh"
 #include "sim/system.hh"
@@ -79,6 +87,52 @@ int main() {
   if (end == 0 || reads == 0 || !traced) {
     std::cerr << "smoke run produced no activity\n";
     return 1;
+  }
+
+  // Sweep-engine smoke: the 8-scheduler matrix serial vs parallel. Beyond
+  // recording the speedup, this is the in-binary determinism check — any
+  // cross-width divergence fails CI here.
+  {
+    const std::vector<mem::SchedKind> kinds = {
+        mem::SchedKind::Fcfs,  mem::SchedKind::FrFcfs, mem::SchedKind::FrFcfsCap,
+        mem::SchedKind::ParBs, mem::SchedKind::Atlas,  mem::SchedKind::Tcm,
+        mem::SchedKind::Bliss, mem::SchedKind::Rl};
+    auto dram_cfg = dram::DramConfig::ddr4_2400();
+    mem::ControllerConfig ctrl;
+    const auto job = [&](const mem::SchedKind& kind) {
+      return bench::run_mc(dram_cfg, ctrl, mem::make_scheduler(kind, 4, 13),
+                           bench::hetero_mix(21), 30'000);
+    };
+    harness::SweepOptions serial;
+    serial.jobs = 1;
+    const auto ref = harness::run_sweep(kinds, job, serial);
+    const auto par = harness::run_sweep(kinds, job);
+    if (!ref.ok() || !par.ok()) {
+      std::cerr << "sweep smoke: a job failed\n";
+      return 1;
+    }
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      if (ref.at(i).served_per_kcycle != par.at(i).served_per_kcycle) {
+        std::cerr << "sweep smoke: serial and " << par.workers
+                  << "-worker results diverge at job " << i << "\n";
+        return 1;
+      }
+    }
+    Table sw({"metric", "value"});
+    sw.add_row({"sweep jobs", Table::fmt_int(kinds.size())});
+    sw.add_row({"workers", Table::fmt_int(par.workers)});
+    sw.add_row({"serial wall (s)", Table::fmt(ref.wall_seconds, 3)});
+    sw.add_row({"parallel wall (s)", Table::fmt(par.wall_seconds, 3)});
+    const double speedup =
+        par.wall_seconds > 0 ? ref.wall_seconds / par.wall_seconds : 0;
+    sw.add_row({"speedup", Table::fmt_ratio(speedup)});
+    bench::print_table(sw, "sweep engine (serial vs parallel, results identical)");
+
+    bench::record_metric("sweep_jobs", static_cast<double>(kinds.size()));
+    bench::record_metric("sweep_workers", static_cast<double>(par.workers));
+    bench::record_metric("sweep_wall_seconds_serial", ref.wall_seconds);
+    bench::record_metric("sweep_wall_seconds", par.wall_seconds);
+    bench::record_metric("sweep_speedup", speedup);
   }
 
   bench::print_shape(

@@ -47,14 +47,37 @@ double Rng::next_double() {
 }
 
 double ZipfGenerator::zeta(std::uint64_t n, double theta) {
+  // Exact prefix sum up to the cutoff; for larger n, close the tail with
+  // the Euler–Maclaurin expansion of sum_{i=K+1..n} i^-theta:
+  //   integral_K^n x^-theta dx + (f(n) - f(K)) / 2 + (f'(n) - f'(K)) / 12
+  // which at K = 65536 is accurate to ~1e-12 relative — far below the
+  // resolution of any draw — while keeping setup bounded instead of O(n).
+  const std::uint64_t exact_n = n < kZetaExactCutoff ? n : kZetaExactCutoff;
   double sum = 0.0;
-  for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
-  return sum;
+  for (std::uint64_t i = 1; i <= exact_n; ++i)
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  if (n <= kZetaExactCutoff) return sum;
+
+  const double K = static_cast<double>(kZetaExactCutoff);
+  const double N = static_cast<double>(n);
+  const double fK = std::pow(K, -theta);
+  const double fN = std::pow(N, -theta);
+  const double integral = theta == 1.0
+                              ? std::log(N / K)
+                              : (std::pow(N, 1.0 - theta) - std::pow(K, 1.0 - theta)) /
+                                    (1.0 - theta);
+  const double trapezoid = 0.5 * (fN - fK);
+  const double derivative = -theta * (fN / N - fK / K) / 12.0;
+  return sum + integral + trapezoid + derivative;
 }
 
 ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed)
     : n_(n), theta_(theta), rng_(seed) {
   if (n_ == 0) n_ = 1;
+  // Guard the Gray et al. domain: alpha = 1/(1-theta) is infinite at
+  // theta == 1 and the draws silently become NaN. Clamp instead.
+  if (!(theta_ >= 0.0)) theta_ = 0.0;  // also catches NaN
+  if (theta_ >= 1.0) theta_ = kMaxTheta;
   zeta2_ = zeta(2, theta_);
   zetan_ = zeta(n_, theta_);
   alpha_ = 1.0 / (1.0 - theta_);

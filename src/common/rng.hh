@@ -42,9 +42,23 @@ class Rng {
 /// Zipfian distribution over [0, n) with skew parameter `theta` in [0, 1).
 /// theta = 0 degenerates to uniform; theta ~ 0.99 is the classic YCSB-style
 /// highly skewed distribution. Uses the Gray et al. rejection-free method
-/// with precomputed constants (O(1) per draw after O(n)-free setup).
+/// with precomputed constants: O(1) per draw after bounded setup — zeta(n)
+/// is summed exactly up to kZetaExactCutoff terms and closed with an
+/// Euler–Maclaurin tail beyond it, so construction stays O(cutoff) even
+/// for graph-scale n (millions of vertices).
+///
+/// Domain: theta must lie in [0, 1). The Gray et al. constants
+/// (alpha = 1/(1-theta)) blow up at theta == 1, so out-of-range values are
+/// clamped — negatives to 0 (uniform), >= 1 to kMaxTheta — instead of
+/// silently producing inf/NaN draws; theta() reports the clamped value.
 class ZipfGenerator {
  public:
+  /// Largest exactly-summed zeta prefix; above this the Euler–Maclaurin
+  /// closed form takes over (relative error < 1e-12 at this cutoff).
+  static constexpr std::uint64_t kZetaExactCutoff = 65536;
+  /// Highest representable skew; theta >= 1 clamps here.
+  static constexpr double kMaxTheta = 0.999999;
+
   ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed = 1);
 
   std::uint64_t next();

@@ -1,0 +1,67 @@
+#include "harness/sweep.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace ima::harness {
+
+namespace {
+
+unsigned parse_jobs_env() {
+  if (const char* env = std::getenv("IMA_JOBS"); env && *env) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end && *end == '\0' && v > 0) {
+      // Cap well above any sane machine so a typo ("IMA_JOBS=100000")
+      // cannot exhaust thread handles.
+      return static_cast<unsigned>(v < 1024 ? v : 1024);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+}  // namespace
+
+unsigned default_jobs() {
+  static const unsigned jobs = parse_jobs_env();
+  return jobs;
+}
+
+std::uint64_t job_seed(std::uint64_t base, std::size_t index) {
+  // splitmix64 over base + index: full-avalanche, so adjacent indices give
+  // uncorrelated seeds for xoshiro reseeding.
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+void run_indexed(std::size_t num_jobs, unsigned workers,
+                 const std::function<void(std::size_t, unsigned)>& body) {
+  if (num_jobs == 0) return;
+  if (workers <= 1 || num_jobs == 1) {
+    // Serial reference path: no threads, no atomics — IMA_JOBS=1 runs the
+    // exact code a pre-sweep bench ran.
+    for (std::size_t i = 0; i < num_jobs; ++i) body(i, 0);
+    return;
+  }
+
+  const unsigned n_workers =
+      static_cast<unsigned>(std::min<std::size_t>(workers, num_jobs));
+  std::atomic<std::size_t> next{0};
+  auto worker_loop = [&](unsigned worker) {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < num_jobs;
+         i = next.fetch_add(1, std::memory_order_relaxed))
+      body(i, worker);
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers - 1);
+  for (unsigned w = 1; w < n_workers; ++w) pool.emplace_back(worker_loop, w);
+  worker_loop(0);  // the calling thread is worker 0
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace ima::harness

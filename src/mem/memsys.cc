@@ -117,6 +117,7 @@ Controller::Stats MemorySystem::aggregate_stats() const {
 }
 
 void MemorySystem::register_stats(obs::StatRegistry& reg, const std::string& prefix) const {
+  const obs::StatRegistry::OwnerScope scope(reg, stats_alive_);
   for (std::size_t i = 0; i < ctrls_.size(); ++i) {
     ctrls_[i]->register_stats(reg, obs::join_path(prefix, "ctrl" + std::to_string(i)));
     chans_[i]->register_stats(reg, obs::join_path(prefix, "chan" + std::to_string(i)));

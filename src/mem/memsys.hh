@@ -87,6 +87,9 @@ class MemorySystem {
   std::vector<std::unique_ptr<dram::Channel>> chans_;
   std::vector<std::unique_ptr<Controller>> ctrls_;
   sim::ClockMode clock_mode_ = sim::default_clock_mode();
+  // Liveness token for the registry's registration-epoch check (see
+  // obs/stat_registry.hh): reads after this MemorySystem dies throw.
+  std::shared_ptr<const void> stats_alive_ = std::make_shared<int>(0);
 };
 
 }  // namespace ima::mem

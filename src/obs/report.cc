@@ -56,6 +56,11 @@ void Report::add_snapshot(const StatRegistry::Snapshot& snap) {
   for (const auto& v : snap.values) stats_.emplace_back(v.path, v.value);
 }
 
+void Report::merge(const ReportFragment& frag) {
+  for (const auto& [name, value] : frag.metrics()) metrics_.emplace_back(name, value);
+  for (const auto& [path, value] : frag.stats()) stats_.emplace_back(path, value);
+}
+
 void Report::write_json(std::ostream& os) const {
   JsonWriter w(os);
   w.begin_object();
@@ -63,6 +68,7 @@ void Report::write_json(std::ostream& os) const {
   w.key("title").value(title_);
   w.key("claim").value(claim_);
   w.key("shape").value(shape_);
+  w.key("complete").value(complete_);
   w.key("metrics").begin_object();
   for (const auto& [name, value] : metrics_) w.key(name).value(value);
   w.end_object();

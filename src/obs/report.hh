@@ -19,6 +19,36 @@
 
 namespace ima::obs {
 
+/// Per-job slice of a Report, fillable from a sweep worker with no shared
+/// state: one job records its metrics, pre-formatted table rows and stat
+/// snapshots here, and the sweep barrier merges the fragments into the
+/// parent Report *in submission order* — which is what makes merged
+/// reports byte-identical at any worker count (harness/sweep.hh).
+class ReportFragment {
+ public:
+  void metric(std::string name, double value) {
+    metrics_.emplace_back(std::move(name), value);
+  }
+  /// One already-formatted table row; the barrier appends rows job by job,
+  /// so formatting happens inside the job and merging is a pure append.
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+  /// Flattened registry values for the report's "stats" section. Take the
+  /// snapshot *inside the job*, while the job's System is alive.
+  void snapshot(const StatRegistry::Snapshot& snap) {
+    for (const auto& v : snap.values) stats_.emplace_back(v.path, v.value);
+  }
+
+  bool empty() const { return metrics_.empty() && rows_.empty() && stats_.empty(); }
+  const std::vector<std::pair<std::string, double>>& metrics() const { return metrics_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  const std::vector<std::pair<std::string, double>>& stats() const { return stats_; }
+
+ private:
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::pair<std::string, double>> stats_;
+};
+
 class Report {
  public:
   explicit Report(std::string id, std::string title = "", std::string claim = "");
@@ -28,6 +58,16 @@ class Report {
   void add_metric(std::string name, double value);
   /// Flattens a registry snapshot into the "stats" section.
   void add_snapshot(const StatRegistry::Snapshot& snap);
+  /// Appends a fragment's metrics and stats (table rows are the caller's
+  /// to place — they belong to a Table the caller assembles).
+  void merge(const ReportFragment& frag);
+
+  /// Orderly-completion stamp, serialized as "complete": an artifact from
+  /// a bench that died mid-run carries complete=false, so tooling can tell
+  /// a partial BENCH_<id>.json from a finished one (bench_util stamps this
+  /// on orderly flush only).
+  void set_complete(bool complete) { complete_ = complete; }
+  bool complete() const { return complete_; }
 
   const std::string& id() const { return id_; }
   std::size_t num_tables() const { return tables_.size(); }
@@ -56,6 +96,7 @@ class Report {
   std::string title_;
   std::string claim_;
   std::string shape_;
+  bool complete_ = false;
   std::vector<std::pair<std::string, double>> metrics_;
   std::vector<std::pair<std::string, double>> stats_;
   std::vector<NamedTable> tables_;

@@ -1,8 +1,23 @@
 #include "obs/stat_registry.hh"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace ima::obs {
+
+StatRegistry::OwnerScope::OwnerScope(StatRegistry& reg, std::weak_ptr<const void> alive)
+    : reg_(reg) {
+  reg_.owner_stack_.push_back(std::move(alive));
+}
+
+StatRegistry::OwnerScope::~OwnerScope() { reg_.owner_stack_.pop_back(); }
+
+void StatRegistry::check_alive(const Entry& e) {
+  if (e.watched && e.owner.expired())
+    throw std::logic_error("StatRegistry: stat '" + e.path +
+                           "' read after its owning component was destroyed "
+                           "(see the lifetime rule in obs/stat_registry.hh)");
+}
 
 std::string join_path(std::string_view prefix, std::string_view name) {
   if (prefix.empty()) return std::string(name);
@@ -16,16 +31,25 @@ std::string join_path(std::string_view prefix, std::string_view name) {
 }
 
 void StatRegistry::counter(std::string path, const std::uint64_t* v) {
-  entries_.push_back(Entry{std::move(path), StatKind::Counter,
-                           [v] { return static_cast<double>(*v); }});
+  counter_fn(std::move(path), [v] { return static_cast<double>(*v); });
 }
 
 void StatRegistry::counter_fn(std::string path, std::function<double()> fn) {
-  entries_.push_back(Entry{std::move(path), StatKind::Counter, std::move(fn)});
+  Entry e{std::move(path), StatKind::Counter, std::move(fn), {}, false};
+  if (!owner_stack_.empty()) {
+    e.owner = owner_stack_.back();
+    e.watched = true;
+  }
+  entries_.push_back(std::move(e));
 }
 
 void StatRegistry::gauge(std::string path, std::function<double()> fn) {
-  entries_.push_back(Entry{std::move(path), StatKind::Gauge, std::move(fn)});
+  Entry e{std::move(path), StatKind::Gauge, std::move(fn), {}, false};
+  if (!owner_stack_.empty()) {
+    e.owner = owner_stack_.back();
+    e.watched = true;
+  }
+  entries_.push_back(std::move(e));
 }
 
 void StatRegistry::running(const std::string& path, const RunningStat* rs) {
@@ -54,6 +78,7 @@ const StatRegistry::Entry* StatRegistry::find(std::string_view path) const {
 std::optional<double> StatRegistry::value(std::string_view path) const {
   const Entry* e = find(path);
   if (!e) return std::nullopt;
+  check_alive(*e);
   return e->read();
 }
 
@@ -68,8 +93,10 @@ std::vector<const StatRegistry::Entry*> StatRegistry::match(std::string_view pre
 StatRegistry::Snapshot StatRegistry::snapshot(std::string_view prefix) const {
   Snapshot snap;
   snap.values.reserve(entries_.size());
-  for (const Entry* e : match(prefix))
+  for (const Entry* e : match(prefix)) {
+    check_alive(*e);
     snap.values.push_back(Snapshot::Value{e->path, e->kind, e->read()});
+  }
   std::sort(snap.values.begin(), snap.values.end(),
             [](const auto& a, const auto& b) { return a.path < b.path; });
   return snap;

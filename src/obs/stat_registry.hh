@@ -8,10 +8,18 @@
 // Lifetime rule: register after the simulated topology is final (schedulers
 // swapped in, policies installed) and before the owning objects die — the
 // registry never copies the underlying storage.
+//
+// That rule is *enforced*, not just documented: top-level owners (System,
+// MemorySystem, HybridMemory) open an OwnerScope around their
+// register_stats() body, tagging every entry registered inside it with the
+// owner's liveness token. Reading a tagged entry after its owner died
+// throws std::logic_error — a sweep job that snapshots a destroyed System
+// becomes a loud per-job failure record instead of a garbage report row.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -34,6 +42,25 @@ class StatRegistry {
     std::string path;
     StatKind kind;
     std::function<double()> read;
+    /// Liveness of the registration epoch's owner; entries registered
+    /// outside any OwnerScope are unwatched (checked() is always true).
+    std::weak_ptr<const void> owner;
+    bool watched = false;
+  };
+
+  /// RAII registration epoch: entries registered while the scope is open
+  /// are tied to `alive` (a token the owning component resets on
+  /// destruction — see System::register_stats). Scopes nest; the innermost
+  /// open scope tags the entry.
+  class OwnerScope {
+   public:
+    OwnerScope(StatRegistry& reg, std::weak_ptr<const void> alive);
+    ~OwnerScope();
+    OwnerScope(const OwnerScope&) = delete;
+    OwnerScope& operator=(const OwnerScope&) = delete;
+
+   private:
+    StatRegistry& reg_;
   };
 
   /// Monotonic counter backed by the component's own member.
@@ -76,7 +103,12 @@ class StatRegistry {
   static Snapshot diff(const Snapshot& before, const Snapshot& after);
 
  private:
+  /// Throws std::logic_error when `e`'s registration epoch has ended (its
+  /// owner was destroyed) — the stale-pointer read would be garbage.
+  static void check_alive(const Entry& e);
+
   std::vector<Entry> entries_;
+  std::vector<std::weak_ptr<const void>> owner_stack_;  // open OwnerScopes
 };
 
 }  // namespace ima::obs

@@ -67,6 +67,7 @@ obs::TraceSink& System::enable_trace(std::size_t capacity) {
 }
 
 void System::register_stats(obs::StatRegistry& reg, const std::string& prefix) const {
+  const obs::StatRegistry::OwnerScope scope(reg, stats_alive_);
   for (std::size_t i = 0; i < cores_.size(); ++i) {
     const std::string core_prefix = obs::join_path(prefix, "core" + std::to_string(i));
     const auto& cs = cores_[i]->stats();

@@ -136,6 +136,9 @@ class System final : public core::MemoryPort {
   PrefetchStats pf_stats_;
   std::unique_ptr<obs::TraceSink> trace_;
   Cycle now_ = 0;
+  // Liveness token for the registry's registration-epoch check: resets on
+  // destruction, so stats read after this System dies fail loudly.
+  std::shared_ptr<const void> stats_alive_ = std::make_shared<int>(0);
 };
 
 }  // namespace ima::sim

@@ -45,6 +45,26 @@ if(json_err OR n_tables LESS 1)
   message(FATAL_ERROR "BENCH_smoke.json has no tables (${json_err})")
 endif()
 
+# Orderly-completion stamp: an artifact from a bench that died mid-run
+# carries complete=false; the smoke run finished, so it must say true.
+string(JSON complete ERROR_VARIABLE json_err GET "${report_json}" complete)
+if(json_err OR NOT complete STREQUAL "ON")
+  message(FATAL_ERROR "BENCH_smoke.json complete stamp is '${complete}', expected true (${json_err})")
+endif()
+
+# The sweep-engine smoke must have recorded its wall clocks and width
+# (the binary itself already failed if serial vs parallel diverged).
+foreach(metric sweep_jobs sweep_workers sweep_wall_seconds_serial sweep_wall_seconds sweep_speedup)
+  string(JSON value ERROR_VARIABLE json_err GET "${report_json}" metrics ${metric})
+  if(json_err)
+    message(FATAL_ERROR "BENCH_smoke.json metrics.${metric} missing (${json_err})")
+  endif()
+endforeach()
+string(JSON sweep_workers ERROR_VARIABLE json_err GET "${report_json}" metrics sweep_workers)
+if(sweep_workers LESS 1)
+  message(FATAL_ERROR "BENCH_smoke.json sweep_workers is ${sweep_workers}")
+endif()
+
 # The Chrome trace must parse and hold a non-empty traceEvents array with
 # the fields the trace viewers key on.
 file(READ "${out_dir}/TRACE_smoke.json" trace_json)

@@ -230,6 +230,7 @@ class ClaimsReportEnvironment final : public ::testing::Environment {
     report.add_table(t, "claim outcomes");
     report.add_metric("total", ut.test_to_run_count());
     report.add_metric("failed", ut.failed_test_count());
+    report.set_complete(true);  // TearDown only runs after an orderly suite
     report.write_files(obs::Report::default_out_dir());
   }
 };

@@ -1,6 +1,7 @@
 // Unit tests for src/common: RNG, distributions, statistics, tables, bits.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <sstream>
 
@@ -106,6 +107,65 @@ TEST(Zipf, SkewedHeadHeavy) {
 TEST(Zipf, InRange) {
   ZipfGenerator z(17, 0.7, 3);
   for (int i = 0; i < 10'000; ++i) EXPECT_LT(z.next(), 17u);
+}
+
+TEST(Zipf, GraphScaleSetupIsBoundedAndDrawsStayInRange) {
+  // 50M items: the old O(n) zeta sum took seconds here; the Euler–Maclaurin
+  // tail caps setup at kZetaExactCutoff terms.
+  const auto start = std::chrono::steady_clock::now();
+  ZipfGenerator z(50'000'000, 0.9, 5);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_LT(secs, 1.0);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(z.next(), 50'000'000u);
+}
+
+TEST(Zipf, ThetaOneIsClampedNotNaN) {
+  // theta == 1 makes alpha = 1/(1-theta) infinite in the Gray et al.
+  // constants; the clamp keeps draws finite and in range.
+  ZipfGenerator z(1000, 1.0, 7);
+  EXPECT_LT(z.theta(), 1.0);
+  std::uint64_t head = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = z.next();
+    EXPECT_LT(v, 1000u);
+    if (v < 10) ++head;
+  }
+  EXPECT_GT(head, 3000u);  // still strongly skewed after the clamp
+}
+
+TEST(Zipf, OutOfDomainThetaIsClamped) {
+  ZipfGenerator neg(100, -3.0, 1);
+  EXPECT_EQ(neg.theta(), 0.0);
+  ZipfGenerator nan(100, std::nan(""), 1);
+  EXPECT_EQ(nan.theta(), 0.0);
+  ZipfGenerator big(100, 7.5, 1);
+  EXPECT_LT(big.theta(), 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(neg.next(), 100u);
+    EXPECT_LT(nan.next(), 100u);
+    EXPECT_LT(big.next(), 100u);
+  }
+}
+
+TEST(Zipf, TailApproximationMatchesExactFrequencies) {
+  // Just above the cutoff the tail is approximated; the head frequency of
+  // item 0 must still match 1/zeta_exact(n) — a direct check that the
+  // Euler–Maclaurin closure agrees with the exact sum.
+  const std::uint64_t n = ZipfGenerator::kZetaExactCutoff * 4;
+  const double theta = 0.8;
+  double zetan_exact = 0;
+  for (std::uint64_t i = 1; i <= n; ++i)
+    zetan_exact += 1.0 / std::pow(static_cast<double>(i), theta);
+
+  ZipfGenerator z(n, theta, 9);
+  const int draws = 200'000;
+  int zeros = 0;
+  for (int i = 0; i < draws; ++i)
+    if (z.next() == 0) ++zeros;
+  const double expected = 1.0 / zetan_exact;
+  const double got = static_cast<double>(zeros) / draws;
+  EXPECT_NEAR(got, expected, 0.15 * expected);
 }
 
 TEST(RunningStat, BasicMoments) {
