@@ -7,7 +7,9 @@
 #include <array>
 
 #include "aware/compress.hh"
+#include "bench/mc_harness.hh"
 #include "cache/cache.hh"
+#include "common/clock.hh"
 #include "common/rng.hh"
 #include "dram/channel.hh"
 #include "mem/memsys.hh"
@@ -113,6 +115,90 @@ void BM_IdleHeavyClocking(benchmark::State& state, sim::ClockMode mode) {
 }
 BENCHMARK_CAPTURE(BM_IdleHeavyClocking, per_cycle, sim::ClockMode::PerCycle);
 BENCHMARK_CAPTURE(BM_IdleHeavyClocking, skip_ahead, sim::ClockMode::SkipAhead);
+
+// Shared driver for the loaded-controller benchmarks: MLP-window injectors
+// (bench::hetero_mix) keep the read+write queues saturated so host time is
+// dominated by the issue loop — scheduler passes and command-legality
+// queries — not by idle gaps. `mode` selects the clocking kernel;
+// `advance` mirrors run_mc's next-cycle rule (inject every cycle while any
+// window has room, else trust the controller's next_event bound).
+Cycle run_loaded(mem::MemorySystem& sys, std::vector<bench::InjectorSpec>& cores,
+                 std::vector<std::uint32_t>& outstanding, sim::ClockMode mode,
+                 Cycle from, Cycle to) {
+  return sim::run_event_loop(
+      mode, from, to,
+      [&](Cycle now) {
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+          while (outstanding[i] < cores[i].mlp) {
+            const auto e = cores[i].stream->next();
+            mem::Request r;
+            r.addr = e.addr;
+            r.type = e.type;
+            r.core = static_cast<std::uint32_t>(i);
+            r.arrive = now;
+            if (!sys.can_accept(r.addr, r.type, r.core)) break;
+            ++outstanding[i];
+            const bool ok = sys.enqueue(r, [&outstanding, i](const mem::Request&) {
+              if (outstanding[i] > 0) --outstanding[i];
+            });
+            if (!ok) {
+              --outstanding[i];
+              break;
+            }
+          }
+        }
+        sys.tick(now);
+      },
+      [] { return false; },
+      [&](Cycle now) {
+        for (std::size_t i = 0; i < cores.size(); ++i)
+          if (outstanding[i] < cores[i].mlp) return now + 1;
+        return sys.next_event(now);
+      });
+}
+
+// The anti-BM_IdleHeavyClocking: queues saturated the whole run, so the
+// pre-PR controller visited every single cycle and paid O(queue) timing
+// walks per scheduler pass. Runs under the default clock mode — the
+// conditions every real bench runs in — measuring the combined memoized
+// SchedView + busy skip-ahead + allocation-free serve()/manage_power()
+// win. FR-FCFS is the common case; TCM adds ranking-heavy pick loops.
+void BM_LoadedIssueLoop(benchmark::State& state, mem::SchedKind kind) {
+  const auto dram_cfg = dram::DramConfig::ddr4_2400();
+  auto cores = bench::hetero_mix(11);
+  mem::ControllerConfig ctrl;
+  ctrl.num_cores = static_cast<std::uint32_t>(cores.size());
+  mem::MemorySystem sys(dram_cfg, ctrl);
+  sys.controller(0).set_scheduler(mem::make_scheduler(kind, ctrl.num_cores, 7));
+  std::vector<std::uint32_t> outstanding(cores.size(), 0);
+  Cycle now = 0;
+  for (auto _ : state) {
+    now = run_loaded(sys, cores, outstanding, sim::default_clock_mode(), now, now + 10'000);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10'000);
+}
+BENCHMARK_CAPTURE(BM_LoadedIssueLoop, fr_fcfs, mem::SchedKind::FrFcfs);
+BENCHMARK_CAPTURE(BM_LoadedIssueLoop, tcm, mem::SchedKind::Tcm);
+
+// Same loaded system, both clock modes. With non-empty queues the old
+// next_event collapsed to now+1 and SkipAhead degenerated to PerCycle; the
+// precise busy lower bound lets the kernel jump bank-timing and refresh
+// waits even under load, cycle-exactly (tests/clock_test.cc LoadedMatrix).
+void BM_SkipAheadLoaded(benchmark::State& state, sim::ClockMode mode) {
+  const auto dram_cfg = dram::DramConfig::ddr4_2400();
+  auto cores = bench::hetero_mix(23);
+  mem::ControllerConfig ctrl;
+  ctrl.num_cores = static_cast<std::uint32_t>(cores.size());
+  mem::MemorySystem sys(dram_cfg, ctrl);
+  std::vector<std::uint32_t> outstanding(cores.size(), 0);
+  Cycle now = 0;
+  for (auto _ : state) {
+    now = run_loaded(sys, cores, outstanding, mode, now, now + 10'000);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10'000);
+}
+BENCHMARK_CAPTURE(BM_SkipAheadLoaded, per_cycle, sim::ClockMode::PerCycle);
+BENCHMARK_CAPTURE(BM_SkipAheadLoaded, skip_ahead, sim::ClockMode::SkipAhead);
 
 void BM_SchedulerPick(benchmark::State& state) {
   const auto cfg = dram::DramConfig::ddr4_2400();

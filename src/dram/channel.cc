@@ -145,6 +145,7 @@ void Channel::enter_power_state(std::uint32_t rank, PowerState state, Cycle now)
   RankState& rk = ranks_[rank];
   if (rk.power == state) return;
   assert(all_banks_closed(rank) && "close all banks before a low-power state");
+  ++state_version_;
   rk.bg_accum += static_cast<double>(now - rk.power_since) * cfg_.energy.standby_per_cycle *
                  power_scale(rk.power);
   rk.power = state;
@@ -154,6 +155,7 @@ void Channel::enter_power_state(std::uint32_t rank, PowerState state, Cycle now)
 void Channel::wake_rank(std::uint32_t rank, Cycle now) {
   RankState& rk = ranks_[rank];
   if (rk.power == PowerState::Active) return;
+  ++state_version_;
   rk.bg_accum += static_cast<double>(now - rk.power_since) * cfg_.energy.standby_per_cycle *
                  power_scale(rk.power);
   const Cycle exit_latency =
@@ -335,6 +337,7 @@ void Channel::issue_salp(Cmd cmd, const Coord& c, Cycle now) {
 
 void Channel::issue(Cmd cmd, const Coord& c, Cycle now) {
   assert(can_issue(cmd, c, now));
+  ++state_version_;
   IMA_TRACE(trace_, .cycle = now, .dur = event_span_of(cmd, cfg_.timings),
             .kind = event_kind_of(cmd), .pid = static_cast<std::uint16_t>(id_),
             .tid = static_cast<std::uint16_t>(c.rank * cfg_.geometry.banks + c.bank),
@@ -417,6 +420,7 @@ void Channel::issue(Cmd cmd, const Coord& c, Cycle now) {
 
 void Channel::issue_act_charged(const Coord& c, Cycle now) {
   assert(can_issue(Cmd::Act, c, now));
+  ++state_version_;
   IMA_TRACE(trace_, .cycle = now, .kind = obs::EventKind::DramCmd,
             .pid = static_cast<std::uint16_t>(id_),
             .tid = static_cast<std::uint16_t>(c.rank * cfg_.geometry.banks + c.bank),
@@ -437,6 +441,7 @@ void Channel::issue_act_charged(const Coord& c, Cycle now) {
 
 void Channel::issue_pim(Cmd cmd, const Coord& bank_coord, const PimArgs& args, Cycle now) {
   assert(can_issue(cmd, bank_coord, now));
+  ++state_version_;
   IMA_TRACE(trace_, .cycle = now, .dur = pim_latency(cmd, args),
             .kind = obs::EventKind::PimOp, .pid = static_cast<std::uint16_t>(id_),
             .tid = static_cast<std::uint16_t>(bank_coord.rank * cfg_.geometry.banks +

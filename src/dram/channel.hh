@@ -53,6 +53,13 @@ class Channel {
     return earliest(cmd, c, now) <= now;
   }
 
+  /// Monotonically increasing counter bumped by every mutation that can
+  /// change the answer of bank_open/open_row/required_cmd/earliest (command
+  /// issue, PUM issue, power-state transitions). Memoization layers key
+  /// their validity on (cycle, state_version): unchanged version within one
+  /// cycle means every timing query would return the same value again.
+  std::uint64_t state_version() const { return state_version_; }
+
   /// Issues `cmd` at cycle `now`. Preconditions checked with assert;
   /// callers must consult can_issue() first.
   void issue(Cmd cmd, const Coord& c, Cycle now);
@@ -191,6 +198,7 @@ class Channel {
   DramConfig cfg_;
   std::uint32_t id_;
   DataStore* data_;
+  std::uint64_t state_version_ = 0;
   std::vector<BankState> banks_;
   std::vector<RankState> ranks_;
   Cycle bus_next_rd_ = 0;

@@ -13,6 +13,8 @@ Controller::Controller(dram::Channel& chan, const dram::AddressMapper& mapper,
     : chan_(chan), mapper_(mapper), cfg_(cfg), cores_(cfg.num_cores) {
   read_q_count_.assign(cfg.num_cores, 0);
   rank_last_activity_.assign(chan.config().geometry.ranks, 0);
+  rank_work_.assign(chan.config().geometry.ranks, 0);
+  if (cfg.memoize_timing) timing_cache_.attach(chan);
   sched_ = make_scheduler(cfg.sched, cfg.num_cores, cfg.seed);
   refresh_ = make_all_bank_refresh(chan.config());
 
@@ -21,9 +23,12 @@ Controller::Controller(dram::Channel& chan, const dram::AddressMapper& mapper,
   chan_.set_act_hook([this](const dram::Coord& c, Cycle now) {
     if (victim_model_) victim_model_->on_act(c);
     if (mitigation_) {
-      std::vector<dram::Coord> victims;
-      mitigation_->on_act(c, now, victims);
-      for (const auto& v : victims) victim_q_.push_back(v);
+      victims_buf_.clear();
+      mitigation_->on_act(c, now, victims_buf_);
+      for (const auto& v : victims_buf_) {
+        victim_q_.push_back(v);
+        ++rank_work_[v.rank];
+      }
     }
   });
   chan_.set_ref_hook([this](std::uint32_t, Cycle) {
@@ -71,11 +76,26 @@ bool Controller::enqueue(Request req, CompletionCallback cb) {
   qr.cb = std::move(cb);
   assert(qr.coord.channel == chan_.id() && "request routed to wrong channel");
   if (req.core < cores_.size()) ++cores_[req.core].outstanding;
+  ++rank_work_[qr.coord.rank];
+  const bool is_read = req.type == AccessType::Read;
+  std::size_t& live = is_read ? read_q_live_ : write_q_live_;
+  bool& sorted = is_read ? read_q_sorted_ : write_q_sorted_;
+  Cycle& last = is_read ? read_q_last_arrive_ : write_q_last_arrive_;
+  // Order restarts when only tombstones remain; otherwise one
+  // out-of-order arrival pins the queue to the argmin scan path until it
+  // fully drains (tombstone compaction never reorders).
+  if (live == 0) sorted = true;
+  else if (req.arrive < last) sorted = false;
+  last = req.arrive;
+  ++live;
   q.push_back(std::move(qr));
   return true;
 }
 
-void Controller::enqueue_pim(PimOp op) { pim_q_.push_back(std::move(op)); }
+void Controller::enqueue_pim(PimOp op) {
+  ++rank_work_[op.bank.rank];
+  pim_q_.push_back(std::move(op));
+}
 
 void Controller::retire(Cycle now) {
   while (!inflight_.empty() && inflight_.top().done <= now) {
@@ -112,6 +132,7 @@ bool Controller::try_issue_victim_refresh(Cycle now) {
             .arg0 = c.row);
   chan_.issue(dram::Cmd::RefRow, c, now);
   ++stats_.victim_refreshes;
+  --rank_work_[c.rank];
   victim_q_.pop_front();
   return true;
 }
@@ -129,6 +150,7 @@ bool Controller::try_issue_pim(Cycle now) {
   chan_.issue_pim(op.cmd, op.bank, op.args, now);
   ++stats_.pim_ops_done;
   if (op.on_done) op.on_done(now + latency);
+  --rank_work_[op.bank.rank];
   pim_q_.pop_front();
   return true;
 }
@@ -152,8 +174,7 @@ void Controller::serve(std::vector<QueuedRequest>& q, std::size_t idx, dram::Cmd
             .arg1 = qr.coord.row,
             .name = cmd == dram::Cmd::Rd ? "serve-rd" : "serve-wr");
 
-  SchedView view{&chan_, now, &cores_};
-  sched_->on_service(qr, view);
+  sched_->on_service(qr, view(now));
   if (qr.req.core < cores_.size()) {
     cores_[qr.req.core].attained_service += tm.bl;
     ++cores_[qr.req.core].served_in_quantum;
@@ -163,38 +184,56 @@ void Controller::serve(std::vector<QueuedRequest>& q, std::size_t idx, dram::Cmd
     --read_q_count_[qr.req.core];
 
   inflight_.push(Inflight{done, qr.req, std::move(qr.cb)});
-  q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+  // Tombstone in place instead of a middle-of-vector erase: the slot keeps
+  // its index (oldest_where ties break by index, so survivors must not
+  // shift until a *stable* compaction) and the hot path stops paying
+  // O(queue) element moves per served request.
+  qr.live = false;
+  qr.marked = false;
+  qr.cb = nullptr;
+  --rank_work_[qr.coord.rank];
+  std::size_t& live = &q == &read_q_ ? read_q_live_ : write_q_live_;
+  --live;
+  constexpr std::size_t kCompactDead = 16;
+  if (q.size() - live >= kCompactDead) {
+    q.erase(std::remove_if(q.begin(), q.end(),
+                           [](const QueuedRequest& r) { return !r.live; }),
+            q.end());
+  }
 }
 
 bool Controller::try_issue_request(Cycle now) {
   if (draining_writes_) {
-    if (write_q_.size() <= cfg_.write_drain_low) draining_writes_ = false;
-  } else if (write_q_.size() >= cfg_.write_drain_high) {
+    if (write_q_live_ <= cfg_.write_drain_low) draining_writes_ = false;
+  } else if (write_q_live_ >= cfg_.write_drain_high) {
     draining_writes_ = true;
   }
-  const bool use_writes = draining_writes_ || (read_q_.empty() && !write_q_.empty());
-  if (try_issue_from(use_writes ? write_q_ : read_q_, now)) return true;
+  const bool use_writes = draining_writes_ || (read_q_live_ == 0 && write_q_live_ > 0);
+  if (use_writes ? try_issue_from(write_q_, write_q_live_, now)
+                 : try_issue_from(read_q_, read_q_live_, now))
+    return true;
   // If the scheduler declined every read (e.g. a QoS/sampling policy is
   // holding them back), drain writes opportunistically instead of idling —
   // otherwise held-back writers can deadlock against a non-empty read queue.
-  if (!use_writes && !write_q_.empty()) return try_issue_from(write_q_, now);
+  if (!use_writes && write_q_live_ > 0) return try_issue_from(write_q_, write_q_live_, now);
   return false;
 }
 
-bool Controller::try_issue_from(std::vector<QueuedRequest>& q, Cycle now) {
-  if (q.empty()) return false;
+bool Controller::try_issue_from(std::vector<QueuedRequest>& q, std::size_t live, Cycle now) {
+  if (live == 0) return false;
 
-  SchedView view{&chan_, now, &cores_};
-  sched_->tick(view, q);
-  const std::size_t idx = sched_->pick(q, view);
+  SchedView v = view(now);
+  v.arrive_sorted = &q == &read_q_ ? read_q_sorted_ : write_q_sorted_;
+  sched_->tick(v, q);
+  const std::size_t idx = sched_->pick(q, v);
   if (idx == kNoPick) return false;
-  assert(idx < q.size());
+  assert(idx < q.size() && q[idx].live);
 
   QueuedRequest& qr = q[idx];
   if (refresh_->rank_blocked(qr.coord.rank)) return false;
 
-  const dram::Cmd cmd = chan_.required_cmd(qr.coord, qr.req.type);
-  if (!chan_.can_issue(cmd, qr.coord, now)) return false;
+  const dram::Cmd cmd = v.required_cmd(qr);
+  if (!v.issuable(qr)) return false;
   classify_first_touch(qr);
   rank_last_activity_[qr.coord.rank] = now;
 
@@ -213,11 +252,13 @@ bool Controller::try_issue_from(std::vector<QueuedRequest>& q, Cycle now) {
   return true;
 }
 
-namespace {
-std::uint64_t charge_key(const dram::Coord& c, std::uint32_t row) {
-  return ((static_cast<std::uint64_t>(c.rank) * 64 + c.bank) << 32) | row;
+std::uint64_t Controller::charge_key(const dram::Coord& c, std::uint32_t row) const {
+  // Packing derived from the geometry, not a hard-coded 64-bank / 32-bit
+  // width: injective for every valid configuration, so charge-cache entries
+  // of distinct (rank, bank, row) triples can never alias.
+  const auto& g = chan_.config().geometry;
+  return (static_cast<std::uint64_t>(c.rank) * g.banks + c.bank) * g.rows_per_bank() + row;
 }
-}  // namespace
 
 void Controller::charge_cache_insert(const dram::Coord& c, std::uint32_t row, Cycle now) {
   const std::uint64_t key = charge_key(c, row);
@@ -256,13 +297,8 @@ bool Controller::charge_cache_hit(const dram::Coord& c, Cycle now) {
 
 void Controller::manage_power(Cycle now) {
   const std::uint32_t ranks = chan_.config().geometry.ranks;
-  // Which ranks have pending work?
-  std::vector<bool> busy(ranks, false);
-  for (const auto& r : read_q_) busy[r.coord.rank] = true;
-  for (const auto& r : write_q_) busy[r.coord.rank] = true;
-  for (const auto& op : pim_q_) busy[op.bank.rank] = true;
-  for (const auto& v : victim_q_) busy[v.rank] = true;
-
+  // rank_work_ (maintained on enqueue/dequeue) replaces the per-tick
+  // occupancy scan over all four queues.
   for (std::uint32_t r = 0; r < ranks; ++r) {
     const auto state = chan_.rank_power(r);
     // Power-down does not maintain the cells: wake for due refreshes
@@ -277,7 +313,7 @@ void Controller::manage_power(Cycle now) {
                 .tid = static_cast<std::uint16_t>(r), .name = "wake");
       continue;
     }
-    if (busy[r]) {
+    if (rank_work_[r] > 0) {
       if (state != dram::Channel::PowerState::Active) {
         // A self-refreshing rank maintained its own cells until now: let
         // the refresh policy re-arm its due time before normal scheduling
@@ -319,23 +355,71 @@ void Controller::manage_power(Cycle now) {
 }
 
 Cycle Controller::next_event(Cycle now) const {
-  // Queued work of any kind: command-bus legality, scheduler bookkeeping
-  // and write-drain hysteresis can all change next cycle. Never skip.
-  if (!read_q_.empty() || !write_q_.empty() || !pim_q_.empty() || !victim_q_.empty())
-    return now + 1;
-
+  // Conservative lower bound on the next cycle where ticking could change
+  // state. Sound because between visited cycles nothing else runs: queue
+  // contents, bank state and service accounting are all frozen unless one
+  // of the terms below fires first (DESIGN.md "Issue-loop fast path").
+  // Once the running min collapses to <= now + 1 no later term can lower
+  // it further (the caller clamps to now + 1), so every section below may
+  // return immediately — under saturation the queue scan usually stops
+  // within a handful of entries.
   Cycle next = kCycleNever;
   if (!inflight_.empty()) next = std::min(next, inflight_.top().done);
   next = std::min(next, refresh_->next_event(now));
+  if (next <= now + 1) return now + 1;
 
-  // Rank power management: the next threshold crossing. Only ranks whose
-  // banks are all closed can transition (manage_power requires it), and
-  // bank state cannot change while every queue is empty.
+  const bool queued =
+      read_q_live_ > 0 || write_q_live_ > 0 || !pim_q_.empty() || !victim_q_.empty();
+  if (queued) {
+    // Time-triggered policy state (quantum/shuffle boundaries, blacklist
+    // clears, per-cycle sampling or learning) must never be skipped past.
+    next = std::min(next, sched_->next_event(now));
+    if (next <= now + 1) return now + 1;
+    // Head-of-queue legality for the priority queues (they are strictly
+    // in-order, so only the head can act).
+    if (!victim_q_.empty()) {
+      const dram::Coord& c = victim_q_.front();
+      next = std::min(next, chan_.earliest(
+          chan_.bank_open(c) ? dram::Cmd::Pre : dram::Cmd::RefRow, c, now));
+    }
+    if (!pim_q_.empty()) {
+      const PimOp& op = pim_q_.front();
+      next = std::min(next, chan_.earliest(
+          chan_.bank_open(op.bank) ? dram::Cmd::Pre : op.cmd, op.bank, now));
+    }
+    if (next <= now + 1) return now + 1;
+    // Earliest legal cycle of each queued access's required command — a
+    // lower bound on any pick the scheduler could convert into an issue.
+    // Both queues always count: the drain-hysteresis flip and the
+    // opportunistic write fallback can select either one at the next
+    // issue opportunity. Per-bank results come memoized from the view.
+    const SchedView v = view(now);
+    for (const auto& r : read_q_) {
+      if (!r.live) continue;
+      const Cycle e = v.earliest(r);
+      if (e <= now + 1) return now + 1;
+      next = std::min(next, e);
+    }
+    for (const auto& r : write_q_) {
+      if (!r.live) continue;
+      const Cycle e = v.earliest(r);
+      if (e <= now + 1) return now + 1;
+      next = std::min(next, e);
+    }
+  }
+
+  // Rank power management: threshold crossings for idle ranks, a next-tick
+  // wake for sleeping ranks holding queued work (earliest() returned
+  // kCycleNever for those — manage_power wakes them on the next tick).
   if (cfg_.powerdown_timeout || cfg_.selfrefresh_timeout) {
     const std::uint32_t ranks = chan_.config().geometry.ranks;
     for (std::uint32_t r = 0; r < ranks; ++r) {
-      if (!chan_.all_banks_closed(r)) continue;
       const auto state = chan_.rank_power(r);
+      if (rank_work_[r] > 0) {
+        if (state != dram::Channel::PowerState::Active) return now + 1;
+        continue;  // busy Active rank: stale idle timer must not clamp us
+      }
+      if (!chan_.all_banks_closed(r)) continue;
       const Cycle rla = rank_last_activity_[r];
       if (cfg_.selfrefresh_timeout && state != dram::Channel::PowerState::SelfRefresh)
         next = std::min(next, rla + cfg_.selfrefresh_timeout);
@@ -371,9 +455,9 @@ void Controller::register_stats(obs::StatRegistry& reg, const std::string& prefi
   reg.counter(obs::join_path(prefix, "rank_wakes"), &stats_.rank_wakes);
   reg.running(obs::join_path(prefix, "read_latency"), &stats_.read_latency);
   reg.gauge(obs::join_path(prefix, "read_queue_depth"),
-            [this] { return static_cast<double>(read_q_.size()); });
+            [this] { return static_cast<double>(read_q_live_); });
   reg.gauge(obs::join_path(prefix, "write_queue_depth"),
-            [this] { return static_cast<double>(write_q_.size()); });
+            [this] { return static_cast<double>(write_q_live_); });
   sched_->register_stats(reg, obs::join_path(prefix, "sched"));
   refresh_->register_stats(reg, obs::join_path(prefix, "refresh"));
   if (mitigation_) mitigation_->register_stats(reg, obs::join_path(prefix, "rowhammer"));

@@ -57,6 +57,12 @@ struct ControllerConfig {
   bool charge_cache = false;
   std::size_t charge_cache_entries = 128;
   Cycle charge_retention = 1'200'000;  // ~1ms
+
+  // Per-cycle timing memoization (SchedTimingCache, sched.hh). On by
+  // default; the differential scheduler test forces it off to check the
+  // memoized picks against the direct-query reference. Self-disables under
+  // SALP regardless of this flag.
+  bool memoize_timing = true;
 };
 
 /// One queued PIM operation (RowClone / Ambit / LISA row-level command).
@@ -82,8 +88,8 @@ class Controller {
   /// True if a request of this type (from `core`, if quotas are enabled)
   /// can be accepted right now.
   bool can_accept(AccessType type, std::uint32_t core = kAnyCore) const {
-    if (type == AccessType::Write) return write_q_.size() < cfg_.write_queue_size;
-    if (read_q_.size() >= cfg_.read_queue_size) return false;
+    if (type == AccessType::Write) return write_q_live_ < cfg_.write_queue_size;
+    if (read_q_live_ >= cfg_.read_queue_size) return false;
     if (cfg_.per_core_read_quota > 0 && core != kAnyCore && core < read_q_count_.size())
       return read_q_count_[core] < cfg_.per_core_read_quota;
     return true;
@@ -102,19 +108,22 @@ class Controller {
   void tick(Cycle now);
 
   /// Earliest future cycle at which ticking this controller could change
-  /// state (common/clock.hh contract). Conservative: any queued work means
-  /// now + 1, since command legality and scheduler state evolve per cycle.
+  /// state (common/clock.hh contract). With queued work this is a true
+  /// conservative lower bound — min over per-request command legality,
+  /// victim/PIM head legality, retirements, refresh and time-triggered
+  /// scheduler state — rather than a blanket now + 1 (see DESIGN.md
+  /// "Issue-loop fast path" for the per-term argument).
   Cycle next_event(Cycle now) const;
 
   bool idle() const {
     // victim_q_ matters: pending RowHammer neighbour refreshes are real
     // work and must not be skipped past just because the request queues
     // drained.
-    return read_q_.empty() && write_q_.empty() && pim_q_.empty() && victim_q_.empty() &&
-           inflight_.empty();
+    return read_q_live_ == 0 && write_q_live_ == 0 && pim_q_.empty() &&
+           victim_q_.empty() && inflight_.empty();
   }
-  std::size_t read_queue_depth() const { return read_q_.size(); }
-  std::size_t write_queue_depth() const { return write_q_.size(); }
+  std::size_t read_queue_depth() const { return read_q_live_; }
+  std::size_t write_queue_depth() const { return write_q_live_; }
   std::size_t pim_queue_depth() const { return pim_q_.size(); }
 
   struct Stats {
@@ -159,9 +168,21 @@ class Controller {
   bool try_issue_victim_refresh(Cycle now);
   bool try_issue_pim(Cycle now);
   bool try_issue_request(Cycle now);
-  bool try_issue_from(std::vector<QueuedRequest>& q, Cycle now);
+  bool try_issue_from(std::vector<QueuedRequest>& q, std::size_t live, Cycle now);
   void serve(std::vector<QueuedRequest>& q, std::size_t idx, dram::Cmd cmd, Cycle now);
   void classify_first_touch(QueuedRequest& qr);
+  std::uint64_t charge_key(const dram::Coord& c, std::uint32_t row) const;
+
+  /// Builds the per-decision scheduler view, entering the timing-memo epoch
+  /// for `now` when memoization is enabled.
+  SchedView view(Cycle now) const {
+    SchedView v{&chan_, now, &cores_};
+    if (timing_cache_.enabled()) {
+      timing_cache_.begin(now);
+      v.cache = &timing_cache_;
+    }
+    return v;
+  }
 
   dram::Channel& chan_;
   const dram::AddressMapper& mapper_;
@@ -175,9 +196,27 @@ class Controller {
 
   std::vector<QueuedRequest> read_q_;
   std::vector<QueuedRequest> write_q_;
+  // Live (unserved) entries per queue. Served requests tombstone in place
+  // (stable index order preserves oldest_where tie-breaks) and compact in
+  // batches, so q.size() overstates occupancy between compactions.
+  std::size_t read_q_live_ = 0;
+  std::size_t write_q_live_ = 0;
+  // Per-queue arrive monotonicity (SchedView::arrive_sorted): requests are
+  // stamped with the enqueue cycle, so queues are sorted in practice and
+  // first-ready schedulers can stop at the first match.
+  bool read_q_sorted_ = true;
+  bool write_q_sorted_ = true;
+  Cycle read_q_last_arrive_ = 0;
+  Cycle write_q_last_arrive_ = 0;
   std::vector<std::uint32_t> read_q_count_;  // per-core read-queue occupancy
   std::deque<PimOp> pim_q_;
   std::deque<dram::Coord> victim_q_;  // pending RowHammer neighbour refreshes
+  // Queued work per rank across all four queues, maintained on
+  // enqueue/dequeue — replaces manage_power's per-tick occupancy vector and
+  // feeds next_event's power-threshold terms.
+  std::vector<std::uint32_t> rank_work_;
+  mutable SchedTimingCache timing_cache_;
+  std::vector<dram::Coord> victims_buf_;  // reused act-hook scratch
   bool draining_writes_ = false;
 
   struct Inflight {

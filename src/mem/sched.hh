@@ -29,6 +29,7 @@ namespace ima::mem {
 struct QueuedRequest {
   Request req;
   dram::Coord coord;
+  bool live = true;         // false = served tombstone awaiting compaction
   bool marked = false;      // PAR-BS batch membership
   bool classified = false;  // row hit/miss/conflict recorded at first command
   CompletionCallback cb;    // fires when the data burst completes
@@ -46,21 +47,135 @@ struct CoreState {
   std::uint32_t shuffle_rank = 0;      // TCM bandwidth-cluster shuffle order
 };
 
+/// Per-(rank,bank) memoization of the timing queries a scheduling decision
+/// makes. Within one decision epoch — a fixed cycle with no intervening
+/// command issue — bank_open/open_row and the earliest legal cycle of each
+/// command class are pure functions of channel state, so the first query
+/// per bank computes them and every later `oldest_where` pass (both queues,
+/// up to three passes per pick, plus the controller's own legality check
+/// and next_event scan) reuses the answer. Validity is keyed on
+/// (cycle, Channel::state_version()): `begin()` bumps the epoch whenever
+/// either moved, and entries lazily refill on first touch — the cache can
+/// never serve a value the channel would not return itself this cycle.
+///
+/// Disabled under SALP: there `earliest` depends on which subarray a row
+/// lives in, so one entry per bank is not a sound granularity.
+class SchedTimingCache {
+ public:
+  void attach(const dram::Channel& chan) {
+    chan_ = &chan;
+    enabled_ = !chan.config().timings.salp;
+    banks_ = chan.config().geometry.banks;
+    entries_.assign(
+        static_cast<std::size_t>(chan.config().geometry.ranks) * banks_, Entry{});
+  }
+  bool enabled() const { return chan_ != nullptr && enabled_; }
+
+  /// Enter the decision epoch for `now`. Cheap when nothing changed since
+  /// the last call; otherwise invalidates every entry (lazily, via epoch).
+  void begin(Cycle now) {
+    const std::uint64_t v = chan_->state_version();
+    if (now != now_ || v != version_) {
+      now_ = now;
+      version_ = v;
+      ++epoch_;
+    }
+  }
+
+  bool row_hit(const dram::Coord& c) const {
+    const Entry& e = entry(c);
+    return e.open && e.open_row == c.row;
+  }
+  dram::Cmd required_cmd(const dram::Coord& c, AccessType type) const {
+    const Entry& e = entry(c);
+    if (!e.open) return dram::Cmd::Act;
+    if (e.open_row == c.row)
+      return type == AccessType::Read ? dram::Cmd::Rd : dram::Cmd::Wr;
+    return dram::Cmd::Pre;
+  }
+  /// Earliest legal cycle of this access's required command. The Rd/Wr
+  /// slots are cacheable per bank because they are only ever queried when
+  /// the bank's open row matches the request's row.
+  Cycle earliest_required(const dram::Coord& c, AccessType type) const {
+    Entry& e = entry(c);
+    std::uint8_t slot;
+    dram::Cmd cmd;
+    if (!e.open) {
+      slot = 0;
+      cmd = dram::Cmd::Act;
+    } else if (e.open_row == c.row) {
+      slot = type == AccessType::Read ? 2 : 3;
+      cmd = type == AccessType::Read ? dram::Cmd::Rd : dram::Cmd::Wr;
+    } else {
+      slot = 1;
+      cmd = dram::Cmd::Pre;
+    }
+    if (!(e.filled & (1u << slot))) {
+      e.when[slot] = chan_->earliest(cmd, c, now_);
+      e.filled |= static_cast<std::uint8_t>(1u << slot);
+    }
+    return e.when[slot];
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t epoch = 0;
+    bool open = false;
+    std::uint8_t filled = 0;  // bit per when[] slot: Act, Pre, Rd, Wr
+    std::uint32_t open_row = 0;
+    Cycle when[4] = {};
+  };
+  Entry& entry(const dram::Coord& c) const {
+    Entry& e = entries_[static_cast<std::size_t>(c.rank) * banks_ + c.bank];
+    if (e.epoch != epoch_) {
+      e.epoch = epoch_;
+      e.open = chan_->bank_open(c);
+      e.open_row = e.open ? chan_->open_row(c) : 0;
+      e.filled = 0;
+    }
+    return e;
+  }
+
+  const dram::Channel* chan_ = nullptr;
+  bool enabled_ = false;
+  std::uint32_t banks_ = 0;
+  Cycle now_ = kCycleNever;
+  std::uint64_t version_ = ~std::uint64_t{0};
+  std::uint64_t epoch_ = 1;  // entries start at 0 => all initially stale
+  mutable std::vector<Entry> entries_;
+};
+
 /// Read-only view of controller state offered to a scheduler each decision.
 struct SchedView {
   const dram::Channel* chan = nullptr;
   Cycle now = 0;
   const std::vector<CoreState>* cores = nullptr;
+  SchedTimingCache* cache = nullptr;  // optional per-cycle timing memo
+  // True when the active queue's live entries have non-decreasing
+  // req.arrive (the controller tracks this per queue on enqueue; requests
+  // are stamped with the enqueue cycle, so it holds in practice). Then
+  // "oldest in class" = "first in class", and first-ready schedulers may
+  // return at the first match instead of completing an argmin scan.
+  // Hand-built views default to false and take the order-agnostic path.
+  bool arrive_sorted = false;
 
   bool row_hit(const QueuedRequest& q) const {
+    if (cache) return cache->row_hit(q.coord);
     return chan->bank_open(q.coord) && chan->open_row(q.coord) == q.coord.row;
   }
-  /// True if the next command this request needs can issue this cycle.
-  bool issuable(const QueuedRequest& q) const {
-    const auto cmd = chan->required_cmd(
-        q.coord, q.req.type);
-    return chan->can_issue(cmd, q.coord, now);
+  /// The command this request needs next (Act / Pre / Rd / Wr).
+  dram::Cmd required_cmd(const QueuedRequest& q) const {
+    if (cache) return cache->required_cmd(q.coord, q.req.type);
+    return chan->required_cmd(q.coord, q.req.type);
   }
+  /// Earliest legal cycle of that command (kCycleNever if the rank is in a
+  /// low-power state — the controller must wake it first).
+  Cycle earliest(const QueuedRequest& q) const {
+    if (cache) return cache->earliest_required(q.coord, q.req.type);
+    return chan->earliest(chan->required_cmd(q.coord, q.req.type), q.coord, now);
+  }
+  /// True if the next command this request needs can issue this cycle.
+  bool issuable(const QueuedRequest& q) const { return earliest(q) <= now; }
 };
 
 inline constexpr std::size_t kNoPick = static_cast<std::size_t>(-1);
@@ -78,6 +193,16 @@ class Scheduler {
 
   /// Periodic housekeeping (quantum boundaries etc.); called every cycle.
   virtual void tick(const SchedView&, std::vector<QueuedRequest>&) {}
+
+  /// Earliest cycle at which this policy's *time-triggered* state needs a
+  /// tick (quantum/shuffle boundaries, blacklist clears, sampling windows,
+  /// per-decision learning). One term of the controller's busy-queue
+  /// skip-ahead lower bound; values <= now mean "tick me next cycle" (the
+  /// controller clamps), kCycleNever means the policy has no time-triggered
+  /// state — its decisions depend only on queue/bank/service state, which
+  /// cannot change across a gap where no command can issue. The default
+  /// keeps unported schedulers on the always-safe per-cycle cadence.
+  virtual Cycle next_event(Cycle now) const { return now + 1; }
 
   /// Exposes policy-internal statistics (decision counts, learning state)
   /// under `prefix`. Default: none.
@@ -123,12 +248,15 @@ std::vector<double> mise_estimated_slowdowns(const Scheduler& sched);
 
 // --- shared helpers for scheduler implementations ---
 
-/// Oldest request by arrival among those satisfying `pred`; kNoPick if none.
+/// Oldest live request by arrival among those satisfying `pred`; kNoPick if
+/// none. Ties resolve to the lowest index (= insertion order), so served
+/// tombstones must be compacted stably — reordering survivors would change
+/// picks.
 template <typename Pred>
 std::size_t oldest_where(const std::vector<QueuedRequest>& q, Pred&& pred) {
   std::size_t best = kNoPick;
   for (std::size_t i = 0; i < q.size(); ++i) {
-    if (!pred(q[i])) continue;
+    if (!q[i].live || !pred(q[i])) continue;
     if (best == kNoPick || q[i].req.arrive < q[best].req.arrive) best = i;
   }
   return best;

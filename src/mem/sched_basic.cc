@@ -16,10 +16,32 @@ namespace {
 class FcfsScheduler final : public Scheduler {
  public:
   std::size_t pick(const std::vector<QueuedRequest>& q, const SchedView& v) override {
-    const std::size_t ready = oldest_where(q, [&](const QueuedRequest& r) { return v.issuable(r); });
-    if (ready != kNoPick) return ready;
-    return oldest_where(q, [](const QueuedRequest&) { return true; });
+    // One fused scan (hot path): issuable-set ⊆ live-set, so tracking both
+    // argmins in a single pass picks the same index as the two-pass form.
+    // On a sorted queue "oldest" = "first", so the first issuable wins.
+    if (v.arrive_sorted) {
+      std::size_t any = kNoPick;
+      for (std::size_t i = 0; i < q.size(); ++i) {
+        const QueuedRequest& r = q[i];
+        if (!r.live) continue;
+        if (any == kNoPick) any = i;
+        if (v.issuable(r)) return i;
+      }
+      return any;
+    }
+    std::size_t ready = kNoPick, any = kNoPick;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      const QueuedRequest& r = q[i];
+      if (!r.live) continue;
+      if (any == kNoPick || r.req.arrive < q[any].req.arrive) any = i;
+      if (v.issuable(r) && (ready == kNoPick || r.req.arrive < q[ready].req.arrive))
+        ready = i;
+    }
+    return ready != kNoPick ? ready : any;
   }
+  // Decisions depend only on queue/bank state, which is frozen across any
+  // gap where no command can issue.
+  Cycle next_event(Cycle) const override { return kCycleNever; }
   std::string name() const override { return "FCFS"; }
 };
 
@@ -27,14 +49,37 @@ class FcfsScheduler final : public Scheduler {
 class FrFcfsScheduler final : public Scheduler {
  public:
   std::size_t pick(const std::vector<QueuedRequest>& q, const SchedView& v) override {
-    const std::size_t hit = oldest_where(
-        q, [&](const QueuedRequest& r) { return v.row_hit(r) && v.issuable(r); });
+    // Fused hit/ready/any scan: each priority class is a subset of the
+    // next, so one pass tracking three argmins returns exactly what the
+    // three oldest_where passes did — at a third of the queue walks (this
+    // is the single hottest loop in a loaded simulation). On a sorted
+    // queue the scan returns at the first issuable row hit.
+    if (v.arrive_sorted) {
+      std::size_t ready = kNoPick, any = kNoPick;
+      for (std::size_t i = 0; i < q.size(); ++i) {
+        const QueuedRequest& r = q[i];
+        if (!r.live) continue;
+        if (any == kNoPick) any = i;
+        if (!v.issuable(r)) continue;
+        if (v.row_hit(r)) return i;
+        if (ready == kNoPick) ready = i;
+      }
+      return ready != kNoPick ? ready : any;
+    }
+    std::size_t hit = kNoPick, ready = kNoPick, any = kNoPick;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      const QueuedRequest& r = q[i];
+      if (!r.live) continue;
+      if (any == kNoPick || r.req.arrive < q[any].req.arrive) any = i;
+      if (!v.issuable(r)) continue;
+      if (ready == kNoPick || r.req.arrive < q[ready].req.arrive) ready = i;
+      if (v.row_hit(r) && (hit == kNoPick || r.req.arrive < q[hit].req.arrive))
+        hit = i;
+    }
     if (hit != kNoPick) return hit;
-    const std::size_t ready =
-        oldest_where(q, [&](const QueuedRequest& r) { return v.issuable(r); });
-    if (ready != kNoPick) return ready;
-    return oldest_where(q, [](const QueuedRequest&) { return true; });
+    return ready != kNoPick ? ready : any;
   }
+  Cycle next_event(Cycle) const override { return kCycleNever; }
   std::string name() const override { return "FR-FCFS"; }
 };
 
@@ -45,15 +90,32 @@ class FrFcfsCapScheduler final : public Scheduler {
   explicit FrFcfsCapScheduler(std::uint32_t cap) : cap_(cap) {}
 
   std::size_t pick(const std::vector<QueuedRequest>& q, const SchedView& v) override {
-    const std::size_t hit = oldest_where(q, [&](const QueuedRequest& r) {
-      if (!v.row_hit(r) || !v.issuable(r)) return false;
-      return streak_for(r.coord) < cap_;
-    });
+    // Fused capped-hit/ready/any scan (see FrFcfsScheduler::pick).
+    if (v.arrive_sorted) {
+      std::size_t ready = kNoPick, any = kNoPick;
+      for (std::size_t i = 0; i < q.size(); ++i) {
+        const QueuedRequest& r = q[i];
+        if (!r.live) continue;
+        if (any == kNoPick) any = i;
+        if (!v.issuable(r)) continue;
+        if (v.row_hit(r) && streak_for(r.coord) < cap_) return i;
+        if (ready == kNoPick) ready = i;
+      }
+      return ready != kNoPick ? ready : any;
+    }
+    std::size_t hit = kNoPick, ready = kNoPick, any = kNoPick;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      const QueuedRequest& r = q[i];
+      if (!r.live) continue;
+      if (any == kNoPick || r.req.arrive < q[any].req.arrive) any = i;
+      if (!v.issuable(r)) continue;
+      if (ready == kNoPick || r.req.arrive < q[ready].req.arrive) ready = i;
+      if (v.row_hit(r) && streak_for(r.coord) < cap_ &&
+          (hit == kNoPick || r.req.arrive < q[hit].req.arrive))
+        hit = i;
+    }
     if (hit != kNoPick) return hit;
-    const std::size_t ready =
-        oldest_where(q, [&](const QueuedRequest& r) { return v.issuable(r); });
-    if (ready != kNoPick) return ready;
-    return oldest_where(q, [](const QueuedRequest&) { return true; });
+    return ready != kNoPick ? ready : any;
   }
 
   void on_service(const QueuedRequest& r, const SchedView& v) override {
@@ -61,6 +123,9 @@ class FrFcfsCapScheduler final : public Scheduler {
     if (s.row == r.coord.row && v.row_hit(r)) ++s.count;
     else s = {r.coord.row, 0};
   }
+
+  // Streaks advance on service only; nothing is clocked.
+  Cycle next_event(Cycle) const override { return kCycleNever; }
 
   std::string name() const override { return "FR-FCFS-Cap" + std::to_string(cap_); }
 
@@ -70,7 +135,9 @@ class FrFcfsCapScheduler final : public Scheduler {
     std::uint32_t count = 0;
   };
   static std::uint64_t bank_key(const dram::Coord& c) {
-    return (static_cast<std::uint64_t>(c.rank) << 8) | c.bank;
+    // Full-width packing: bank in the low 32 bits, rank above. Injective
+    // for any geometry (no silent aliasing on >256-bank configs).
+    return (static_cast<std::uint64_t>(c.rank) << 32) | c.bank;
   }
   std::uint32_t streak_for(const dram::Coord& c) {
     auto it = streaks_.find(bank_key(c));
@@ -93,20 +160,51 @@ class BlissScheduler final : public Scheduler {
         clear_interval_(clear_interval) {}
 
   std::size_t pick(const std::vector<QueuedRequest>& q, const SchedView& v) override {
-    auto pick_pass = [&](bool allow_blacklisted) {
-      const std::size_t hit = oldest_where(q, [&](const QueuedRequest& r) {
-        return blacklist_ok(r, allow_blacklisted) && v.row_hit(r) && v.issuable(r);
-      });
+    // Fused form of the original five passes: whitelisted-hit >
+    // whitelisted-ready > any-hit > any-ready > oldest-live. Each class is
+    // a subset of a later one, so one scan tracking five argmins picks the
+    // same index the pass cascade did. On a sorted queue each argmin is
+    // the first member of its class, and a whitelisted hit ends the scan.
+    if (v.arrive_sorted) {
+      std::size_t wl_ready = kNoPick, hit = kNoPick, ready = kNoPick, any = kNoPick;
+      for (std::size_t i = 0; i < q.size(); ++i) {
+        const QueuedRequest& r = q[i];
+        if (!r.live) continue;
+        if (any == kNoPick) any = i;
+        if (!v.issuable(r)) continue;
+        const bool rh = v.row_hit(r);
+        if (blacklist_ok(r, /*allow=*/false)) {
+          if (rh) return i;
+          if (wl_ready == kNoPick) wl_ready = i;
+        }
+        if (rh && hit == kNoPick) hit = i;
+        if (ready == kNoPick) ready = i;
+      }
+      if (wl_ready != kNoPick) return wl_ready;
       if (hit != kNoPick) return hit;
-      return oldest_where(q, [&](const QueuedRequest& r) {
-        return blacklist_ok(r, allow_blacklisted) && v.issuable(r);
-      });
+      return ready != kNoPick ? ready : any;
+    }
+    std::size_t wl_hit = kNoPick, wl_ready = kNoPick;
+    std::size_t hit = kNoPick, ready = kNoPick, any = kNoPick;
+    auto older = [&](std::size_t i, std::size_t best) {
+      return best == kNoPick || q[i].req.arrive < q[best].req.arrive;
     };
-    std::size_t i = pick_pass(/*allow_blacklisted=*/false);
-    if (i != kNoPick) return i;
-    i = pick_pass(/*allow_blacklisted=*/true);
-    if (i != kNoPick) return i;
-    return oldest_where(q, [](const QueuedRequest&) { return true; });
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      const QueuedRequest& r = q[i];
+      if (!r.live) continue;
+      if (older(i, any)) any = i;
+      if (!v.issuable(r)) continue;
+      const bool wl = blacklist_ok(r, /*allow=*/false);
+      const bool rh = v.row_hit(r);
+      if (older(i, ready)) ready = i;
+      if (rh && older(i, hit)) hit = i;
+      if (wl && older(i, wl_ready)) wl_ready = i;
+      if (wl && rh && older(i, wl_hit)) wl_hit = i;
+    }
+    if (wl_hit != kNoPick) return wl_hit;
+    if (wl_ready != kNoPick) return wl_ready;
+    if (hit != kNoPick) return hit;
+    return ready != kNoPick ? ready : any;
   }
 
   void on_service(const QueuedRequest& r, const SchedView&) override {
@@ -125,6 +223,11 @@ class BlissScheduler final : public Scheduler {
       next_clear_ = v.now + clear_interval_;
     }
   }
+
+  // The blacklist clear is the only clocked state. A value <= now means an
+  // overdue clear has not run yet (the command slot was taken every cycle
+  // since); the controller clamps that to per-cycle until tick() fires.
+  Cycle next_event(Cycle) const override { return next_clear_; }
 
   std::string name() const override { return "BLISS"; }
 

@@ -22,14 +22,20 @@ class ParBsScheduler final : public Scheduler {
   explicit ParBsScheduler(std::uint32_t num_cores) : num_cores_(num_cores) {}
 
   void tick(const SchedView&, std::vector<QueuedRequest>& q) override {
-    const bool any_marked =
-        std::any_of(q.begin(), q.end(), [](const QueuedRequest& r) { return r.marked; });
-    if (any_marked || q.empty()) return;
+    bool any_marked = false, any_live = false;
+    for (const auto& r : q) {
+      if (!r.live) continue;
+      any_live = true;
+      if (r.marked) { any_marked = true; break; }
+    }
+    if (any_marked || !any_live) return;
 
     // Form a new batch: mark the kMarkCap oldest requests per (core, bank).
     std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint32_t> marked_count;
-    std::vector<std::size_t> order(q.size());
-    std::iota(order.begin(), order.end(), 0);
+    std::vector<std::size_t> order;
+    order.reserve(q.size());
+    for (std::size_t i = 0; i < q.size(); ++i)
+      if (q[i].live) order.push_back(i);
     std::sort(order.begin(), order.end(),
               [&](std::size_t a, std::size_t b) { return q[a].req.arrive < q[b].req.arrive; });
     for (std::size_t i : order) {
@@ -57,22 +63,41 @@ class ParBsScheduler final : public Scheduler {
 
   std::size_t pick(const std::vector<QueuedRequest>& q, const SchedView& v) override {
     // Priority: marked > row-hit > core rank > age; only issuable requests.
-    std::size_t best = kNoPick;
-    auto better = [&](const QueuedRequest& a, const QueuedRequest& b) {
-      if (a.marked != b.marked) return a.marked;
-      const bool ha = v.row_hit(a), hb = v.row_hit(b);
-      if (ha != hb) return ha;
-      const auto ra = rank_of(a.req.core), rb = rank_of(b.req.core);
-      if (ra != rb) return ra < rb;
-      return a.req.arrive < b.req.arrive;
-    };
+    // The best element's key lives in locals so each candidate is scored
+    // once (the old comparator re-derived row_hit/rank for both sides on
+    // every element — measurably hot under saturated queues).
+    std::size_t best = kNoPick, any = kNoPick;
+    bool b_marked = false, b_hit = false;
+    std::uint32_t b_rank = 0;
+    Cycle b_arrive = 0;
     for (std::size_t i = 0; i < q.size(); ++i) {
-      if (!v.issuable(q[i])) continue;
-      if (best == kNoPick || better(q[i], q[best])) best = i;
+      const QueuedRequest& r = q[i];
+      if (!r.live) continue;
+      if (any == kNoPick || r.req.arrive < q[any].req.arrive) any = i;
+      if (!v.issuable(r)) continue;
+      const bool hit = v.row_hit(r);
+      const std::uint32_t rank = rank_of(r.req.core);
+      const bool better = best == kNoPick ||
+          (r.marked != b_marked ? r.marked
+           : hit != b_hit       ? hit
+           : rank != b_rank     ? rank < b_rank
+                                : r.req.arrive < b_arrive);
+      if (better) {
+        best = i;
+        b_marked = r.marked;
+        b_hit = hit;
+        b_rank = rank;
+        b_arrive = r.req.arrive;
+      }
     }
-    if (best != kNoPick) return best;
-    return oldest_where(q, [](const QueuedRequest&) { return true; });
+    return best != kNoPick ? best : any;
   }
+
+  // Batch formation is arrival-time-sensitive: it fires on the first tick
+  // after the previous batch drains, and requests that arrive during a
+  // skipped gap would otherwise be marked into a batch that the per-cycle
+  // reference formed without them. Stay on the per-cycle cadence.
+  Cycle next_event(Cycle now) const override { return now + 1; }
 
   std::string name() const override { return "PAR-BS"; }
 
@@ -94,25 +119,39 @@ class ParBsScheduler final : public Scheduler {
 class AtlasScheduler final : public Scheduler {
  public:
   std::size_t pick(const std::vector<QueuedRequest>& q, const SchedView& v) override {
-    std::size_t best = kNoPick;
     auto service = [&](std::uint32_t core) -> std::uint64_t {
       if (!v.cores || core >= v.cores->size()) return 0;
       return (*v.cores)[core].attained_service;
     };
-    auto better = [&](const QueuedRequest& a, const QueuedRequest& b) {
-      const auto sa = service(a.req.core), sb = service(b.req.core);
-      if (sa != sb) return sa < sb;
-      const bool ha = v.row_hit(a), hb = v.row_hit(b);
-      if (ha != hb) return ha;
-      return a.req.arrive < b.req.arrive;
-    };
+    // Single scan, best key in locals (service asc, row-hit desc, age asc).
+    std::size_t best = kNoPick, any = kNoPick;
+    std::uint64_t b_service = 0;
+    bool b_hit = false;
+    Cycle b_arrive = 0;
     for (std::size_t i = 0; i < q.size(); ++i) {
-      if (!v.issuable(q[i])) continue;
-      if (best == kNoPick || better(q[i], q[best])) best = i;
+      const QueuedRequest& r = q[i];
+      if (!r.live) continue;
+      if (any == kNoPick || r.req.arrive < q[any].req.arrive) any = i;
+      if (!v.issuable(r)) continue;
+      const std::uint64_t s = service(r.req.core);
+      const bool hit = v.row_hit(r);
+      const bool better = best == kNoPick ||
+          (s != b_service ? s < b_service
+           : hit != b_hit ? hit
+                          : r.req.arrive < b_arrive);
+      if (better) {
+        best = i;
+        b_service = s;
+        b_hit = hit;
+        b_arrive = r.req.arrive;
+      }
     }
-    if (best != kNoPick) return best;
-    return oldest_where(q, [](const QueuedRequest&) { return true; });
+    return best != kNoPick ? best : any;
   }
+
+  // Attained service changes on service only (the controller updates it);
+  // nothing here is clocked.
+  Cycle next_event(Cycle) const override { return kCycleNever; }
 
   std::string name() const override { return "ATLAS"; }
 };
@@ -148,24 +187,44 @@ class TcmScheduler final : public Scheduler {
   }
 
   std::size_t pick(const std::vector<QueuedRequest>& q, const SchedView& v) override {
-    std::size_t best = kNoPick;
-    auto better = [&](const QueuedRequest& a, const QueuedRequest& b) {
-      const auto ca = cluster_of(a.req.core), cb = cluster_of(b.req.core);
-      if (ca != cb) return ca < cb;  // latency cluster (0) first
-      if (ca == 1) {                 // bandwidth cluster: shuffled ranking
-        const auto ra = shuffle_of(a.req.core), rb = shuffle_of(b.req.core);
-        if (ra != rb) return ra < rb;
-      }
-      const bool ha = v.row_hit(a), hb = v.row_hit(b);
-      if (ha != hb) return ha;
-      return a.req.arrive < b.req.arrive;
-    };
+    // Single scan with the best key in locals. Within the latency cluster
+    // the shuffle rank never participates in the old comparator, so the
+    // key maps cluster-0 cores to shuffle 0 — identical ordering.
+    std::size_t best = kNoPick, any = kNoPick;
+    std::uint8_t b_cluster = 0;
+    std::uint32_t b_shuffle = 0;
+    bool b_hit = false;
+    Cycle b_arrive = 0;
     for (std::size_t i = 0; i < q.size(); ++i) {
-      if (!v.issuable(q[i])) continue;
-      if (best == kNoPick || better(q[i], q[best])) best = i;
+      const QueuedRequest& r = q[i];
+      if (!r.live) continue;
+      if (any == kNoPick || r.req.arrive < q[any].req.arrive) any = i;
+      if (!v.issuable(r)) continue;
+      const std::uint8_t c = cluster_of(r.req.core);
+      const std::uint32_t s = c == 1 ? shuffle_of(r.req.core) : 0;
+      const bool hit = v.row_hit(r);
+      const bool better = best == kNoPick ||
+          (c != b_cluster   ? c < b_cluster  // latency cluster (0) first
+           : s != b_shuffle ? s < b_shuffle  // bandwidth cluster: shuffled
+           : hit != b_hit   ? hit
+                            : r.req.arrive < b_arrive);
+      if (better) {
+        best = i;
+        b_cluster = c;
+        b_shuffle = s;
+        b_hit = hit;
+        b_arrive = r.req.arrive;
+      }
     }
-    if (best != kNoPick) return best;
-    return oldest_where(q, [](const QueuedRequest&) { return true; });
+    return best != kNoPick ? best : any;
+  }
+
+  // Quantum recluster and rank shuffle fire at fixed boundaries; the
+  // shuffle consumes RNG draws, so both clock modes must run it at the
+  // exact same cycles. Values <= now (boundary passed, tick starved of the
+  // slot) degrade to per-cycle via the controller's clamp.
+  Cycle next_event(Cycle) const override {
+    return std::min(next_quantum_, next_shuffle_);
   }
 
   std::string name() const override { return "TCM"; }

@@ -86,6 +86,13 @@ class RlScheduler final : public Scheduler {
     ++served_since_decision_;
   }
 
+  // Every pick() is an RL step: it learns from the previous decision,
+  // decays epsilon and draws from the RNG. Skipping a busy cycle would
+  // drop a step and desynchronize the RNG stream between clock modes, so
+  // the RL scheduler stays on the per-cycle cadence (it still benefits
+  // from the memoized timing view).
+  Cycle next_event(Cycle now) const override { return now + 1; }
+
   std::string name() const override { return "RL"; }
 
   void register_stats(obs::StatRegistry& reg, const std::string& prefix) const override {
@@ -106,11 +113,13 @@ class RlScheduler final : public Scheduler {
 
  private:
   std::uint64_t state_hash(const std::vector<QueuedRequest>& q, const SchedView& v) const {
-    std::uint32_t hits = 0, issuable = 0;
+    std::uint32_t live = 0, hits = 0, issuable = 0;
     std::unordered_set<std::uint64_t> banks;
     std::uint32_t max_core_load = 0;
     std::vector<std::uint32_t> core_load(num_cores_, 0);
     for (const auto& r : q) {
+      if (!r.live) continue;
+      ++live;
       if (v.row_hit(r)) ++hits;
       if (v.issuable(r)) ++issuable;
       banks.insert((static_cast<std::uint64_t>(r.coord.rank) << 8) | r.coord.bank);
@@ -125,7 +134,7 @@ class RlScheduler final : public Scheduler {
       return b;
     };
     learn::StateHash h;
-    h.add(bucket(static_cast<std::uint32_t>(q.size())))
+    h.add(bucket(live))
         .add(bucket(hits))
         .add(bucket(issuable))
         .add(bucket(static_cast<std::uint32_t>(banks.size())))
@@ -146,18 +155,21 @@ class RlScheduler final : public Scheduler {
           return (*v.cores)[core].attained_service;
         };
         for (std::size_t i = 0; i < q.size(); ++i) {
-          if (!v.issuable(q[i])) continue;
+          if (!q[i].live || !v.issuable(q[i])) continue;
           if (best == kNoPick || service(q[i].req.core) < service(q[best].req.core)) best = i;
         }
         return best;
       }
       case kServeLoadedBank: {
         std::unordered_map<std::uint64_t, std::uint32_t> bank_load;
-        for (const auto& r : q) ++bank_load[(static_cast<std::uint64_t>(r.coord.rank) << 8) | r.coord.bank];
+        for (const auto& r : q) {
+          if (!r.live) continue;
+          ++bank_load[(static_cast<std::uint64_t>(r.coord.rank) << 8) | r.coord.bank];
+        }
         std::size_t best = kNoPick;
         std::uint32_t best_load = 0;
         for (std::size_t i = 0; i < q.size(); ++i) {
-          if (!v.issuable(q[i])) continue;
+          if (!q[i].live || !v.issuable(q[i])) continue;
           const auto load =
               bank_load[(static_cast<std::uint64_t>(q[i].coord.rank) << 8) | q[i].coord.bank];
           if (best == kNoPick || load > best_load) {

@@ -65,6 +65,28 @@ if(sweep_workers LESS 1)
   message(FATAL_ERROR "BENCH_smoke.json sweep_workers is ${sweep_workers}")
 endif()
 
+# Perf floor for the issue-loop fast path: the loaded host rate must be
+# recorded, and (outside sanitizer builds, which are legitimately slow)
+# must not regress more than 30% below the rate measured when the fast
+# path landed. IMA_PERF_FLOOR_CPS overrides the floor (0 disables) for
+# slow or shared machines.
+set(loaded_cps_recorded 3500000)  # cycles/sec, bench_smoke loaded phase
+math(EXPR loaded_cps_floor "${loaded_cps_recorded} * 7 / 10")
+if(DEFINED ENV{IMA_PERF_FLOOR_CPS})
+  set(loaded_cps_floor $ENV{IMA_PERF_FLOOR_CPS})
+endif()
+string(JSON loaded_cps ERROR_VARIABLE json_err GET "${report_json}" metrics
+       host_cycles_per_sec_loaded)
+if(json_err)
+  message(FATAL_ERROR "BENCH_smoke.json metrics.host_cycles_per_sec_loaded missing (${json_err})")
+endif()
+if(IMA_SANITIZE)
+  message(STATUS "sanitizer build (${IMA_SANITIZE}): perf floor skipped, loaded rate ${loaded_cps} cyc/s")
+elseif(loaded_cps LESS loaded_cps_floor)
+  message(FATAL_ERROR "loaded host rate regressed: ${loaded_cps} cyc/s < floor ${loaded_cps_floor} "
+                      "(recorded ${loaded_cps_recorded}; set IMA_PERF_FLOOR_CPS to override)")
+endif()
+
 # The Chrome trace must parse and hold a non-empty traceEvents array with
 # the fields the trace viewers key on.
 file(READ "${out_dir}/TRACE_smoke.json" trace_json)
@@ -82,4 +104,5 @@ foreach(field name cat ph ts pid tid)
   endif()
 endforeach()
 
-message(STATUS "bench_smoke artifacts OK: ${n_events} trace events, ${cycles} cycles")
+message(STATUS "bench_smoke artifacts OK: ${n_events} trace events, ${cycles} cycles, "
+               "${loaded_cps} loaded cyc/s")

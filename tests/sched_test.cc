@@ -2,9 +2,13 @@
 // hand-built queues against a real channel.
 #include <gtest/gtest.h>
 
+#include "common/clock.hh"
 #include "common/rng.hh"
 #include "dram/channel.hh"
+#include "mem/memsys.hh"
 #include "mem/sched.hh"
+#include "obs/stat_registry.hh"
+#include "workloads/stream.hh"
 
 namespace ima::mem {
 namespace {
@@ -182,6 +186,116 @@ TEST_F(SchedFixture, AllSchedulersReturnValidIndicesUnderChurn) {
           q.erase(q.begin() + static_cast<std::ptrdiff_t>(pick));
         }
       }
+    }
+  }
+}
+
+// Forwards every Scheduler call to the wrapped policy, logging each pick
+// as (cycle, request id) — the probe for the memoization differential.
+class RecordingScheduler final : public Scheduler {
+ public:
+  RecordingScheduler(std::unique_ptr<Scheduler> inner, std::vector<std::uint64_t>* log)
+      : inner_(std::move(inner)), log_(log) {}
+
+  std::size_t pick(const std::vector<QueuedRequest>& q, const SchedView& v) override {
+    const std::size_t idx = inner_->pick(q, v);
+    log_->push_back(v.now);
+    log_->push_back(idx == kNoPick ? ~std::uint64_t{0} : q[idx].req.id);
+    return idx;
+  }
+  void on_service(const QueuedRequest& r, const SchedView& v) override {
+    inner_->on_service(r, v);
+  }
+  void tick(const SchedView& v, std::vector<QueuedRequest>& q) override {
+    inner_->tick(v, q);
+  }
+  Cycle next_event(Cycle now) const override { return inner_->next_event(now); }
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+  std::vector<std::uint64_t>* log_;
+};
+
+// Differential check for the per-cycle timing memo (SchedTimingCache): with
+// ControllerConfig::memoize_timing on vs off, every policy must make the
+// *identical* pick sequence and end with identical stats on the same
+// saturated multi-core injection — the cache must be invisible except in
+// host time. Saturation matters: only full queues produce the repeated
+// same-cycle timing queries the memo actually serves.
+TEST(SchedMemoDifferential, AllKindsPickIdentically) {
+  // `sel` is a SchedKind, or -1 for MISE (not a factory kind).
+  const auto run_world = [](int sel, bool memoize) {
+    auto dram_cfg = dram::DramConfig::ddr4_2400();
+    ControllerConfig ctrl;
+    ctrl.num_cores = 4;
+    ctrl.memoize_timing = memoize;
+    if (sel >= 0) ctrl.sched = static_cast<SchedKind>(sel);
+    MemorySystem sys(dram_cfg, ctrl);
+    std::vector<std::uint64_t> log;
+    sys.controller(0).set_scheduler(std::make_unique<RecordingScheduler>(
+        sel < 0 ? make_mise(4) : make_scheduler(static_cast<SchedKind>(sel), 4, 7), &log));
+    obs::StatRegistry reg;
+    sys.register_stats(reg, "mem");
+
+    struct Injector {
+      std::unique_ptr<workloads::AccessStream> stream;
+      std::uint32_t mlp = 0;
+      std::uint32_t outstanding = 0;
+    };
+    std::vector<Injector> cores;
+    workloads::StreamParams p;
+    p.footprint = 48ull << 20;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      p.base = static_cast<Addr>(i) << 30;
+      p.seed = 51 + i;
+      if (i % 2 == 0) cores.push_back({workloads::make_streaming(p), 12, 0});
+      else cores.push_back({workloads::make_random(p), 4, 0});
+    }
+
+    sim::run_event_loop(
+        sys.clock_mode(), 0, 60'000,
+        [&](Cycle now) {
+          for (std::size_t i = 0; i < cores.size(); ++i) {
+            auto& c = cores[i];
+            while (c.outstanding < c.mlp) {
+              const auto e = c.stream->next();
+              Request r;
+              r.addr = e.addr;
+              r.type = e.type;
+              r.core = static_cast<std::uint32_t>(i);
+              r.arrive = now;
+              if (!sys.can_accept(r.addr, r.type, r.core)) break;
+              ++c.outstanding;
+              if (!sys.enqueue(r, [&c](const Request&) { --c.outstanding; })) {
+                --c.outstanding;
+                break;
+              }
+            }
+          }
+          sys.tick(now);
+        },
+        [] { return false; },
+        [&](Cycle now) {
+          for (const auto& c : cores)
+            if (c.outstanding < c.mlp) return now + 1;
+          return sys.next_event(now);
+        });
+    return std::pair<std::vector<std::uint64_t>, obs::StatRegistry::Snapshot>(
+        std::move(log), reg.snapshot());
+  };
+
+  for (int sel = -1; sel <= static_cast<int>(SchedKind::Rl); ++sel) {
+    SCOPED_TRACE(sel < 0 ? "MISE" : to_string(static_cast<SchedKind>(sel)));
+    const auto memo = run_world(sel, /*memoize=*/true);
+    const auto direct = run_world(sel, /*memoize=*/false);
+    ASSERT_FALSE(memo.first.empty());
+    ASSERT_EQ(memo.first, direct.first) << "pick sequence diverges with memoization";
+    ASSERT_EQ(memo.second.size(), direct.second.size());
+    for (std::size_t i = 0; i < memo.second.values.size(); ++i) {
+      EXPECT_EQ(memo.second.values[i].path, direct.second.values[i].path);
+      EXPECT_EQ(memo.second.values[i].value, direct.second.values[i].value)
+          << "stat diverges with memoization: " << memo.second.values[i].path;
     }
   }
 }
