@@ -15,8 +15,10 @@
 
 #include "bench/bench_util.hh"
 #include "bench/mc_harness.hh"
+#include "mem/memsys.hh"
 #include "obs/stat_registry.hh"
 #include "obs/trace.hh"
+#include "reliability/engine.hh"
 #include "sim/system.hh"
 
 using namespace ima;
@@ -164,8 +166,69 @@ int main() {
     bench::record_metric("host_cycles_per_sec_loaded", loaded_rate);
   }
 
+  // Reliability pipeline smoke: deterministic direct injection through the
+  // full corrupt -> demand-read -> decode path. A SECDED system must correct
+  // four single-bit lines and flag one double-bit word as DUE; an
+  // unprotected twin must serve the same corruption as silent data
+  // corruption. Exact counts — any drift in the injector, the codecs or the
+  // controller read hook fails CI here.
+  {
+    auto rel_cfg = dram::DramConfig::ddr4_2400();
+    rel_cfg.geometry.channels = 1;
+    rel_cfg.geometry.ranks = 1;
+    rel_cfg.geometry.banks = 2;
+    rel_cfg.geometry.subarrays = 2;
+    rel_cfg.geometry.rows_per_subarray = 64;
+    rel_cfg.geometry.columns = 16;
+    const auto inject_and_read = [&rel_cfg](reliability::EccKind ecc) {
+      mem::ControllerConfig cc;
+      cc.reliability.enabled = true;
+      cc.reliability.ecc = ecc;
+      cc.reliability.seed = 7;
+      mem::MemorySystem sys(rel_cfg, cc);
+      auto* eng = sys.controller(0).reliability_engine();
+      Cycle now = 0;
+      for (const std::uint32_t row : {10u, 11u, 12u, 13u, 20u}) {
+        const dram::Coord c{0, 0, 0, row, 0};
+        sys.poke_u64(sys.mapper().encode(c), 0xABCD0000ull + row);
+        eng->ensure_encoded(c);
+        if (row == 20)
+          eng->injector().corrupt_word_bits(c, 0, 2);  // two bits, one word
+        else
+          eng->injector().corrupt_line_bits(c, 1);
+        mem::Request r;
+        r.addr = sys.mapper().encode(c);
+        r.arrive = now;
+        sys.enqueue(r);
+        now = sys.drain(now);
+      }
+      return eng->stats();
+    };
+    const auto prot = inject_and_read(reliability::EccKind::Secded);
+    const auto bare = inject_and_read(reliability::EccKind::None);
+    if (prot.ce_words != 4 || prot.due_events != 1 || prot.sdc_reads != 0 ||
+        bare.sdc_reads == 0 || bare.ce_words != 0) {
+      std::cerr << "reliability smoke: wrong end-to-end ECC outcomes (secded ce="
+                << prot.ce_words << " due=" << prot.due_events
+                << " sdc=" << prot.sdc_reads << "; bare sdc=" << bare.sdc_reads
+                << ")\n";
+      return 1;
+    }
+    Table rt({"metric", "value"});
+    rt.add_row({"secded CE words", Table::fmt_int(prot.ce_words)});
+    rt.add_row({"secded DUE events", Table::fmt_int(prot.due_events)});
+    rt.add_row({"secded SDC reads", Table::fmt_int(prot.sdc_reads)});
+    rt.add_row({"unprotected SDC reads", Table::fmt_int(bare.sdc_reads)});
+    bench::print_table(rt, "reliability pipeline (direct injection, exact counts)");
+    bench::record_metric("reliability_ce", static_cast<double>(prot.ce_words));
+    bench::record_metric("reliability_due", static_cast<double>(prot.due_events));
+    bench::record_metric("reliability_sdc_unprotected",
+                         static_cast<double>(bare.sdc_reads));
+  }
+
   bench::print_shape(
-      "non-zero instructions, DRAM reads and trace events; BENCH_smoke.json and "
-      "TRACE_smoke.json written to $IMA_BENCH_OUT (else the current directory)");
+      "non-zero instructions, DRAM reads and trace events; reliability phase "
+      "with exact CE/DUE/SDC counts; BENCH_smoke.json and TRACE_smoke.json "
+      "written to $IMA_BENCH_OUT (else the current directory)");
   return 0;
 }

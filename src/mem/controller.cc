@@ -17,10 +17,15 @@ Controller::Controller(dram::Channel& chan, const dram::AddressMapper& mapper,
   if (cfg.memoize_timing) timing_cache_.attach(chan);
   sched_ = make_scheduler(cfg.sched, cfg.num_cores, cfg.seed);
   refresh_ = make_all_bank_refresh(chan.config());
+  if (cfg.reliability.enabled)
+    engine_ = std::make_unique<reliability::Engine>(chan, cfg.reliability);
 
   // Route every activation (including PUM-internal ones) through the
-  // RowHammer machinery when present.
+  // RowHammer machinery when present. The reliability engine observes
+  // first: a late row refresh must inject the decay the row accumulated
+  // *before* stamping it restored.
   chan_.set_act_hook([this](const dram::Coord& c, Cycle now) {
+    if (engine_) engine_->on_act(c, now);
     if (victim_model_) victim_model_->on_act(c);
     if (mitigation_) {
       victims_buf_.clear();
@@ -31,7 +36,8 @@ Controller::Controller(dram::Channel& chan, const dram::AddressMapper& mapper,
       }
     }
   });
-  chan_.set_ref_hook([this](std::uint32_t, Cycle) {
+  chan_.set_ref_hook([this](std::uint32_t rank, Cycle now) {
+    if (engine_) engine_->on_blanket_ref(rank, now);
     if (victim_model_) victim_model_->on_ref_command();
     // Mitigation per-window state resets on the same tREFW cadence as the
     // cells themselves; trackers count REFs internally if they need to.
@@ -51,6 +57,7 @@ void Controller::set_trace(obs::TraceSink* sink) {
   trace_ = sink;
   chan_.set_trace(sink);
   sched_->set_trace(sink);
+  if (engine_) engine_->set_trace(sink);
 }
 
 void Controller::set_refresh_policy(std::unique_ptr<RefreshPolicy> refresh) {
@@ -59,6 +66,16 @@ void Controller::set_refresh_policy(std::unique_ptr<RefreshPolicy> refresh) {
 
 void Controller::set_rowhammer(std::unique_ptr<RowHammerMitigation> mitigation) {
   mitigation_ = std::move(mitigation);
+}
+
+void Controller::set_victim_model(HammerVictimModel* model) {
+  victim_model_ = model;
+  // Close the loop: threshold crossings corrupt the real victim row's bits
+  // when the reliability engine models hammer flips.
+  if (victim_model_ && engine_ && engine_->config().hammer_flips) {
+    victim_model_->set_flip_sink(
+        [this](const dram::Coord& victim) { engine_->on_hammer_flip(victim); });
+  }
 }
 
 bool Controller::enqueue(Request req, CompletionCallback cb) {
@@ -166,7 +183,18 @@ void Controller::classify_first_touch(QueuedRequest& qr) {
 void Controller::serve(std::vector<QueuedRequest>& q, std::size_t idx, dram::Cmd cmd, Cycle now) {
   QueuedRequest& qr = q[idx];
   const auto& tm = chan_.config().timings;
-  const Cycle done = cmd == dram::Cmd::Rd ? now + tm.cl + tm.bl : now + tm.cwl + tm.bl;
+  Cycle done = cmd == dram::Cmd::Rd ? now + tm.cl + tm.bl : now + tm.cwl + tm.bl;
+
+  if (engine_) {
+    if (cmd == dram::Cmd::Rd) {
+      const auto rr = engine_->on_read(qr.coord, now);
+      done += rr.extra_latency;  // ECC decode sits on the return path
+      qr.req.poisoned = rr.poisoned;
+    } else {
+      engine_->on_write(qr.coord, now);
+      done += engine_->write_penalty();
+    }
+  }
 
   IMA_TRACE(trace_, .cycle = now, .kind = obs::EventKind::SchedDecision,
             .pid = static_cast<std::uint16_t>(chan_.id()),
@@ -366,6 +394,7 @@ Cycle Controller::next_event(Cycle now) const {
   Cycle next = kCycleNever;
   if (!inflight_.empty()) next = std::min(next, inflight_.top().done);
   next = std::min(next, refresh_->next_event(now));
+  if (engine_) next = std::min(next, engine_->next_event(now));
   if (next <= now + 1) return now + 1;
 
   const bool queued =
@@ -436,6 +465,11 @@ void Controller::tick(Cycle now) {
   if (refresh_->tick(chan_, now)) return;
   if (try_issue_victim_refresh(now)) return;
   if (try_issue_pim(now)) return;
+  // Patrol scrub borrows the command slot after correctness-critical work
+  // (refresh, victim refreshes, PIM order) but ahead of demand requests:
+  // its pacing owes so few rows per window that demand stalls are noise,
+  // and letting demand starve it would defeat the sweep guarantee.
+  if (engine_ && engine_->scrub_tick(now)) return;
   try_issue_request(now);
 }
 
@@ -461,6 +495,7 @@ void Controller::register_stats(obs::StatRegistry& reg, const std::string& prefi
   sched_->register_stats(reg, obs::join_path(prefix, "sched"));
   refresh_->register_stats(reg, obs::join_path(prefix, "refresh"));
   if (mitigation_) mitigation_->register_stats(reg, obs::join_path(prefix, "rowhammer"));
+  if (engine_) engine_->register_stats(reg, obs::join_path(prefix, "reliability"));
 }
 
 }  // namespace ima::mem

@@ -28,6 +28,7 @@
 #include "mem/request.hh"
 #include "mem/rowhammer.hh"
 #include "mem/sched.hh"
+#include "reliability/engine.hh"
 
 namespace ima::mem {
 
@@ -63,6 +64,12 @@ struct ControllerConfig {
   // memoized picks against the direct-query reference. Self-disables under
   // SALP regardless of this flag.
   bool memoize_timing = true;
+
+  // End-to-end reliability subsystem (fault injection, ECC, patrol scrub,
+  // row retirement). Off by default: a disabled config leaves the
+  // controller with no engine at all, so every existing experiment
+  // executes byte-identically.
+  reliability::Config reliability;
 };
 
 /// One queued PIM operation (RowClone / Ambit / LISA row-level command).
@@ -83,7 +90,12 @@ class Controller {
   void set_scheduler(std::unique_ptr<Scheduler> sched);
   void set_refresh_policy(std::unique_ptr<RefreshPolicy> refresh);
   void set_rowhammer(std::unique_ptr<RowHammerMitigation> mitigation);
-  void set_victim_model(HammerVictimModel* model) { victim_model_ = model; }
+  void set_victim_model(HammerVictimModel* model);
+
+  /// Reliability engine; null when ControllerConfig::reliability.enabled
+  /// is false (the default).
+  reliability::Engine* reliability_engine() { return engine_.get(); }
+  const reliability::Engine* reliability_engine() const { return engine_.get(); }
 
   /// True if a request of this type (from `core`, if quotas are enabled)
   /// can be accepted right now.
@@ -157,9 +169,11 @@ class Controller {
   dram::Channel& channel() { return chan_; }
   const dram::Channel& channel() const { return chan_; }
 
-  /// Total energy including background standby up to `now`.
+  /// Total energy including background standby up to `now` (plus ECC
+  /// encode/decode energy when the reliability engine is enabled).
   PicoJoule total_energy(Cycle now) const {
-    return chan_.stats().cmd_energy + chan_.background_energy(now);
+    return chan_.stats().cmd_energy + chan_.background_energy(now) +
+           (engine_ ? engine_->ecc_energy() : PicoJoule{0});
   }
 
  private:
@@ -191,6 +205,7 @@ class Controller {
   std::unique_ptr<RefreshPolicy> refresh_;
   std::unique_ptr<RowHammerMitigation> mitigation_;
   HammerVictimModel* victim_model_ = nullptr;
+  std::unique_ptr<reliability::Engine> engine_;
   std::uint32_t refs_for_mitigation_ = 0;
   std::vector<Cycle> rank_last_activity_;
 

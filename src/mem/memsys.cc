@@ -63,6 +63,11 @@ void MemorySystem::poke(Addr addr, std::span<const std::uint8_t> bytes) {
     const std::size_t n = std::min<std::size_t>(kLineBytes - in_line, bytes.size() - offset);
     std::memcpy(raw + in_line, bytes.data() + offset, n);
     data_->write_line(coord, line);
+    // A functional write is fresh data: the reliability engine clears any
+    // outstanding corruption/poison and re-encodes tracked check bits.
+    if (coord.channel < ctrls_.size()) {
+      if (auto* e = ctrls_[coord.channel]->reliability_engine()) e->on_write(coord, 0);
+    }
     offset += n;
   }
 }

@@ -149,6 +149,15 @@ class RaidrRefresh final : public RefreshPolicy {
       if (rows_by_bin_[b].empty() || issued_[b] >= due(b, now)) continue;
       const std::uint64_t row_id = rows_by_bin_[b][cursor_[b]];
       const dram::Coord c = coord_of(row_id);
+      // A drained burst can park the target bank open with no demand left
+      // to close it; without this preall the head RefRow (and with it every
+      // bin, weak rows first) deadlocks until unrelated traffic arrives.
+      if (chan.bank_open(c)) {
+        if (!chan.can_issue(dram::Cmd::Pre, c, now)) return false;
+        chan.issue(dram::Cmd::Pre, c, now);
+        ++prealls_forced_;
+        return true;
+      }
       if (chan.can_issue(dram::Cmd::RefRow, c, now)) {
         chan.issue(dram::Cmd::RefRow, c, now);
         ++row_refs_issued_;
@@ -179,6 +188,7 @@ class RaidrRefresh final : public RefreshPolicy {
 
   void register_stats(obs::StatRegistry& reg, const std::string& prefix) const override {
     reg.counter(obs::join_path(prefix, "row_refs_issued"), &row_refs_issued_);
+    reg.counter(obs::join_path(prefix, "prealls_forced"), &prealls_forced_);
     reg.gauge(obs::join_path(prefix, "row_refreshes_per_window"),
               [this] { return row_refreshes_per_window(); });
   }
@@ -213,6 +223,7 @@ class RaidrRefresh final : public RefreshPolicy {
   dram::DramConfig cfg_;
   RetentionProfile profile_;
   std::uint64_t row_refs_issued_ = 0;
+  std::uint64_t prealls_forced_ = 0;
   Cycle base_window_ = 0;
   std::vector<std::vector<std::uint64_t>> rows_by_bin_;
   std::vector<std::size_t> cursor_;

@@ -18,6 +18,7 @@ struct Request {
   Cycle complete = kCycleNever; // data-available cycle (filled at completion)
   bool is_prefetch = false;
   bool critical = true;         // data-aware criticality hint (X-Mem)
+  bool poisoned = false;        // reliability: detected-uncorrectable data
 };
 
 using CompletionCallback = std::function<void(const Request&)>;

@@ -19,6 +19,11 @@ void HammerVictimModel::disturb(const dram::Coord& c, std::uint32_t row) {
   if (++count >= threshold_) {
     ++flips_;
     count = 0;  // the flip happened; further counting models the next flip
+    if (flip_sink_) {
+      dram::Coord victim = c;
+      victim.row = row;
+      flip_sink_(victim);
+    }
   }
 }
 

@@ -19,9 +19,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include <functional>
+
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "dram/command.hh"
+#include "dram/config.hh"
 
 namespace ima::obs {
 class StatRegistry;
@@ -32,8 +35,22 @@ namespace ima::mem {
 /// Ground-truth disturbance bookkeeping. Rows are identified per-bank.
 class HammerVictimModel {
  public:
+  /// Geometry-aware constructor: victim counters are keyed by
+  /// (rank, bank, row) with strides taken from `g`, so wide-bank
+  /// (HBM-style, >64 banks) configurations cannot alias counters.
+  HammerVictimModel(const dram::Geometry& g, std::uint64_t threshold)
+      : rows_per_bank_(g.rows_per_bank()), banks_(g.banks), threshold_(threshold) {}
+
+  /// Legacy convenience for bank-count-agnostic tests: uses a stride wide
+  /// enough (2^16 banks per rank) that no real part can alias.
   HammerVictimModel(std::uint32_t rows_per_bank, std::uint64_t threshold)
-      : rows_per_bank_(rows_per_bank), threshold_(threshold) {}
+      : rows_per_bank_(rows_per_bank), banks_(1u << 16), threshold_(threshold) {}
+
+  /// Invoked when a victim row's disturbance crosses threshold — the
+  /// moment a real bit flip happens. The coordinate is the *victim* row.
+  /// The reliability engine taps in here to corrupt actual DataStore bits.
+  using FlipSink = std::function<void(const dram::Coord& victim)>;
+  void set_flip_sink(FlipSink sink) { flip_sink_ = std::move(sink); }
 
   /// An activation of `row` disturbs row-1 and row+1.
   void on_act(const dram::Coord& c);
@@ -55,16 +72,20 @@ class HammerVictimModel {
   void register_stats(obs::StatRegistry& reg, const std::string& prefix) const;
 
  private:
+  // Packing derived from the geometry, not a hard-coded 64-bank / 32-bit
+  // width: (rank, bank, row) stay injective for any bank count.
   std::uint64_t key(const dram::Coord& c, std::uint32_t row) const {
-    return ((static_cast<std::uint64_t>(c.rank) * 64 + c.bank) << 32) | row;
+    return (static_cast<std::uint64_t>(c.rank) * banks_ + c.bank) * rows_per_bank_ + row;
   }
   void disturb(const dram::Coord& c, std::uint32_t row);
 
   std::uint32_t rows_per_bank_;
+  std::uint32_t banks_;
   std::uint64_t threshold_;
   std::unordered_map<std::uint64_t, std::uint64_t> disturb_count_;
   std::uint64_t flips_ = 0;
   std::uint32_t refs_seen_ = 0;  // REF commands toward one tREFW window
+  FlipSink flip_sink_;
 };
 
 /// A mitigation observes activations and requests neighbour refreshes.

@@ -21,6 +21,10 @@ const char* to_string(EventKind k) {
     case EventKind::PrefetchUseless: return "prefetch-useless";
     case EventKind::OffloadDispatch: return "offload-dispatch";
     case EventKind::OffloadComplete: return "offload-complete";
+    case EventKind::FaultInject: return "fault-inject";
+    case EventKind::EccError: return "ecc-error";
+    case EventKind::Scrub: return "scrub";
+    case EventKind::RowRetire: return "row-retire";
     case EventKind::Custom: return "custom";
   }
   return "?";
@@ -43,6 +47,11 @@ const char* category_of(EventKind k) {
     case EventKind::OffloadDispatch:
     case EventKind::OffloadComplete:
       return "pnm";
+    case EventKind::FaultInject:
+    case EventKind::EccError:
+    case EventKind::Scrub:
+    case EventKind::RowRetire:
+      return "reliability";
     case EventKind::Custom: return "custom";
   }
   return "?";

@@ -33,6 +33,10 @@ enum class EventKind : std::uint8_t {
   PrefetchUseless, // prefetched line evicted untouched
   OffloadDispatch, // PNM kernel dispatched (host or near-memory)
   OffloadComplete, // PNM kernel finished
+  FaultInject,     // reliability: bits corrupted (hammer/retention/BER)
+  EccError,        // reliability: CE (arg1=0) or DUE (arg1=1) on a read
+  Scrub,           // reliability: patrol-scrub row sweep
+  RowRetire,       // reliability: row retired (PPR-style degradation)
   Custom,
 };
 

@@ -1,0 +1,162 @@
+#include "reliability/ecc.hh"
+
+#include <cstring>
+
+namespace ima::reliability {
+namespace {
+
+// --- SECDED position tables -------------------------------------------------
+//
+// Inner code: Hamming(71,64). Codeword positions are 1..71 (1-indexed);
+// check bits live at the power-of-two positions {1,2,4,8,16,32,64}, data
+// bits fill the remaining 64 positions in ascending order. The syndrome of
+// a single-bit error IS the 1-indexed position of the flipped bit — that
+// identity is what makes the decode table-free.
+struct SecdedTables {
+  std::uint8_t data_pos[64];  // data bit k -> codeword position
+  std::int8_t pos_data[72];   // codeword position -> data bit, -1 for checks
+  SecdedTables() {
+    for (int p = 0; p < 72; ++p) pos_data[p] = -1;
+    int k = 0;
+    for (int p = 1; p <= 71; ++p) {
+      if ((p & (p - 1)) == 0) continue;  // power of two: check-bit slot
+      data_pos[k] = static_cast<std::uint8_t>(p);
+      pos_data[p] = static_cast<std::int8_t>(k);
+      ++k;
+    }
+  }
+};
+const SecdedTables kSecded;
+
+// --- GF(2^8) arithmetic (poly x^8+x^4+x^3+x^2+1 = 0x11D, generator 2) ------
+struct Gf256 {
+  std::uint8_t exp[512];
+  std::uint8_t log[256];
+  Gf256() {
+    std::uint8_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = x;
+      log[x] = static_cast<std::uint8_t>(i);
+      x = static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1D : 0));
+    }
+    for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+    log[0] = 0;  // never consulted: callers guard against zero operands
+  }
+  std::uint8_t mul(std::uint8_t a, std::uint8_t b) const {
+    if (a == 0 || b == 0) return 0;
+    return exp[log[a] + log[b]];
+  }
+  std::uint8_t pow_alpha(unsigned e) const { return exp[e % 255]; }
+};
+const Gf256 kGf;
+
+}  // namespace
+
+const char* to_string(EccKind k) {
+  switch (k) {
+    case EccKind::None: return "none";
+    case EccKind::Secded: return "secded";
+    case EccKind::Chipkill: return "chipkill";
+  }
+  return "?";
+}
+
+std::uint8_t secded_encode(std::uint64_t data) {
+  std::uint32_t syn = 0;  // XOR of positions of set data bits == check bits
+  int ones = 0;
+  std::uint64_t d = data;
+  while (d != 0) {
+    const int k = __builtin_ctzll(d);
+    d &= d - 1;
+    syn ^= kSecded.data_pos[k];
+    ++ones;
+  }
+  const int check_ones = __builtin_popcount(syn);
+  // Overall parity covers all 71 inner-codeword bits (data + check).
+  const std::uint8_t overall = static_cast<std::uint8_t>((ones + check_ones) & 1);
+  return static_cast<std::uint8_t>(syn | (overall << 7));
+}
+
+SecdedResult secded_decode(std::uint64_t data, std::uint8_t check) {
+  SecdedResult r;
+  r.data = data;
+  const std::uint8_t recomputed = secded_encode(data);
+  const std::uint32_t syn = (recomputed ^ check) & 0x7f;
+  // Parity mismatch over the full 72-bit codeword: both the stored and the
+  // recomputed check byte fold the overall-parity bit in at bit 7, so the
+  // XOR's top bit plus the syndrome's own parity gives the codeword parity.
+  const std::uint32_t pm =
+      (((recomputed ^ check) >> 7) ^ static_cast<std::uint32_t>(__builtin_popcount(syn))) & 1;
+  if (syn == 0 && pm == 0) return r;  // clean
+  if (pm == 1) {
+    // Odd number of bit errors; assume one and repair it.
+    r.outcome = EccOutcome::Corrected;
+    if (syn == 0) return r;  // the overall-parity bit itself
+    if (syn > 71) {          // impossible position: >=3 errors aliased
+      r.outcome = EccOutcome::Uncorrectable;
+      return r;
+    }
+    const int k = kSecded.pos_data[syn];
+    if (k >= 0) {  // data bit (else: a Hamming check bit, storage-side fix)
+      r.data ^= (std::uint64_t{1} << k);
+      r.corrected_data_bit = k;
+    }
+    return r;
+  }
+  // Even parity but nonzero syndrome: double-bit error, detected.
+  r.outcome = EccOutcome::Uncorrectable;
+  return r;
+}
+
+ChipkillCheck chipkill_encode(const std::uint64_t* line8) {
+  std::uint8_t bytes[kChipkillDataBytes];
+  std::memcpy(bytes, line8, kChipkillDataBytes);
+  ChipkillCheck out;
+  for (unsigned i = 0; i < kChipkillDataBytes; ++i) {
+    const std::uint8_t d = bytes[i];
+    if (d == 0) continue;
+    out.c[0] ^= d;
+    out.c[1] ^= kGf.exp[(kGf.log[d] + i) % 255];
+    out.c[2] ^= kGf.exp[(kGf.log[d] + 2 * i) % 255];
+  }
+  return out;
+}
+
+ChipkillResult chipkill_decode(std::uint64_t* line8, const ChipkillCheck& stored) {
+  ChipkillResult r;
+  const ChipkillCheck now = chipkill_encode(line8);
+  const std::uint8_t s0 = static_cast<std::uint8_t>(now.c[0] ^ stored.c[0]);
+  const std::uint8_t s1 = static_cast<std::uint8_t>(now.c[1] ^ stored.c[1]);
+  const std::uint8_t s2 = static_cast<std::uint8_t>(now.c[2] ^ stored.c[2]);
+  if (s0 == 0 && s1 == 0 && s2 == 0) return r;  // clean
+  const int nonzero = (s0 != 0) + (s1 != 0) + (s2 != 0);
+  if (nonzero == 1) {
+    // A single check symbol disagrees: the error is in the stored check
+    // byte itself, the data is intact.
+    r.outcome = EccOutcome::Corrected;
+    return r;
+  }
+  if (s0 != 0 && s1 != 0 && s2 != 0) {
+    // Candidate single data-symbol error e at position j: s1 = a^j*e,
+    // s2 = a^2j*e, so consistency demands s1^2 == s0*s2. Any double-symbol
+    // error provably violates it (the cross term e1*e2*(a^j1 + a^j2)^2 is
+    // nonzero in characteristic 2), so this is a real distance-4 check.
+    if (kGf.mul(s1, s1) == kGf.mul(s0, s2)) {
+      const unsigned j = (kGf.log[s1] + 255u - kGf.log[s0]) % 255u;
+      if (j < kChipkillDataBytes) {
+        std::uint8_t bytes[kChipkillDataBytes];
+        std::memcpy(bytes, line8, kChipkillDataBytes);
+        bytes[j] ^= s0;
+        std::memcpy(line8, bytes, kChipkillDataBytes);
+        r.outcome = EccOutcome::Corrected;
+        r.corrected_byte = static_cast<int>(j);
+        r.error_pattern = s0;
+        return r;
+      }
+    }
+  }
+  r.outcome = EccOutcome::Uncorrectable;
+  return r;
+}
+
+}  // namespace ima::reliability

@@ -1,0 +1,73 @@
+// Error-correcting-code models for the DRAM reliability subsystem.
+//
+// Two real codecs — real in the sense that check bits are computed from the
+// data, stored separately, and decoding runs actual syndrome logic over
+// what is stored, so injected faults are detected/corrected (or missed) by
+// the mathematics, not by consulting the injector's ledger:
+//
+//   - SECDED(72,64): per-64-bit-word Hamming code with an overall parity
+//     bit (8 check bits per word, 12.5% storage overhead). Corrects any
+//     single-bit error, detects any double-bit error; triple-bit errors can
+//     alias to a "corrected" single-bit pattern — the classic silent
+//     miscorrection the end-to-end layer counts as SDC.
+//   - Chipkill-lite: a shortened Reed-Solomon-style code over GF(2^8) with
+//     three check symbols per 64-byte line (64 data bytes + 3 check bytes,
+//     ~4.7% overhead). Corrects any single-symbol (byte) error — a whole-
+//     chip failure within a beat — and is guaranteed to detect any
+//     double-symbol error (minimum distance 4).
+#pragma once
+
+#include <cstdint>
+
+namespace ima::reliability {
+
+enum class EccKind : std::uint8_t { None, Secded, Chipkill };
+
+const char* to_string(EccKind k);
+
+enum class EccOutcome : std::uint8_t {
+  Clean,          // syndromes zero: word/line accepted as-is
+  Corrected,      // single-bit / single-symbol error repaired
+  Uncorrectable,  // detected but beyond the code's correction power
+};
+
+// --- SECDED(72,64) ---
+
+/// Check byte for one 64-bit word: bits 0..6 are the Hamming check bits
+/// (positions 1,2,4,...,64 of the 71-bit inner codeword), bit 7 is the
+/// overall parity over all 71 data+check bits.
+std::uint8_t secded_encode(std::uint64_t data);
+
+struct SecdedResult {
+  EccOutcome outcome = EccOutcome::Clean;
+  std::uint64_t data = 0;       // post-correction data word
+  int corrected_data_bit = -1;  // 0..63 if a data bit was repaired, else -1
+};
+
+/// Decodes `data` against the stored check byte.
+SecdedResult secded_decode(std::uint64_t data, std::uint8_t check);
+
+// --- Chipkill-lite (RS-style over GF(2^8), 64+3 symbols per line) ---
+
+inline constexpr std::uint32_t kChipkillDataBytes = 64;
+inline constexpr std::uint32_t kChipkillCheckBytes = 3;
+
+struct ChipkillCheck {
+  std::uint8_t c[kChipkillCheckBytes] = {0, 0, 0};
+  bool operator==(const ChipkillCheck&) const = default;
+};
+
+/// Check symbols for one 64-byte line (passed as 8 little-endian words).
+ChipkillCheck chipkill_encode(const std::uint64_t* line8);
+
+struct ChipkillResult {
+  EccOutcome outcome = EccOutcome::Clean;
+  int corrected_byte = -1;         // 0..63 if a data symbol was repaired
+  std::uint8_t error_pattern = 0;  // XOR mask applied to that byte
+};
+
+/// Decodes the line in place against the stored check symbols; on a
+/// correctable data-symbol error the line is repaired.
+ChipkillResult chipkill_decode(std::uint64_t* line8, const ChipkillCheck& stored);
+
+}  // namespace ima::reliability

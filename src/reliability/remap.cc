@@ -1,0 +1,18 @@
+#include "reliability/remap.hh"
+
+namespace ima::reliability {
+
+std::size_t retire_row_pages(vm::Mmu& mmu, const dram::AddressMapper& mapper,
+                             dram::Coord row) {
+  std::size_t newly = 0;
+  for (std::uint32_t col = 0; col < mapper.geometry().columns; ++col) {
+    row.column = col;
+    const std::uint64_t pfn = mapper.encode(row) >> mmu.page_bits();
+    if (mmu.frame_retired(pfn)) continue;
+    mmu.retire_frame(pfn);
+    ++newly;
+  }
+  return newly;
+}
+
+}  // namespace ima::reliability

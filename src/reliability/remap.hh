@@ -1,0 +1,28 @@
+// Glue between row retirement and the VM layer.
+//
+// The reliability engine retires DRAM rows; the MMU retires physical page
+// frames. A row and a page are different extents (a row spans
+// columns * 64 bytes, a frame 2^page_bits bytes), so this helper walks the
+// retired row's lines through the address mapper, collects every physical
+// frame the row contributes bytes to, and retires each one — remapping any
+// live virtual page in the process. Wire it into the engine's retire hook:
+//
+//   engine.set_retire_hook([&](const dram::Coord& row) {
+//     reliability::retire_row_pages(mmu, mapper, row);
+//   });
+#pragma once
+
+#include <cstddef>
+
+#include "dram/addrmap.hh"
+#include "dram/command.hh"
+#include "vm/vm.hh"
+
+namespace ima::reliability {
+
+/// Retires every page frame touched by `row`; returns how many frames were
+/// newly retired.
+std::size_t retire_row_pages(vm::Mmu& mmu, const dram::AddressMapper& mapper,
+                             dram::Coord row);
+
+}  // namespace ima::reliability

@@ -84,10 +84,25 @@ void Mmu::add_block(Addr vbase, std::uint64_t size, Addr pbase) {
   blocks_.push_back({vbase, size, pbase});
 }
 
+std::uint64_t Mmu::alloc_frame() {
+  while (retired_.count(next_frame_) > 0) ++next_frame_;
+  return next_frame_++;
+}
+
 Addr Mmu::frame_of(std::uint64_t vpn) {
-  auto [it, fresh] = frames_.try_emplace(vpn, next_frame_);
-  if (fresh) ++next_frame_;
+  auto it = frames_.find(vpn);
+  if (it == frames_.end()) it = frames_.emplace(vpn, alloc_frame()).first;
   return it->second;
+}
+
+void Mmu::retire_frame(std::uint64_t pfn) {
+  if (!retired_.insert(pfn).second) return;
+  ++stats_.retired_frames;
+  for (auto& [vpn, frame] : frames_) {
+    if (frame != pfn) continue;
+    frame = alloc_frame();
+    ++stats_.remapped_pages;
+  }
 }
 
 Mmu::Result Mmu::translate(Addr vaddr) {

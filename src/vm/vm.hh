@@ -13,6 +13,7 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.hh"
@@ -110,6 +111,8 @@ class Mmu {
     std::uint64_t tlb_misses = 0;
     std::uint64_t walk_memory_accesses = 0;
     Cycle translation_cycles = 0;
+    std::uint64_t retired_frames = 0;   // frames excluded after DRAM faults
+    std::uint64_t remapped_pages = 0;   // live mappings moved off retired frames
   };
   const Stats& stats() const { return stats_; }
   const Tlb& tlb() const { return tlb_; }
@@ -118,13 +121,22 @@ class Mmu {
     return cfg_.mode == TranslationMode::Radix2M ? 21 : 12;
   }
 
+  /// PPR-style graceful degradation: excludes `pfn` from future frame
+  /// allocation and remaps any virtual page currently backed by it to a
+  /// fresh frame. Radix modes only (VBI blocks translate by base+bound and
+  /// carry no per-page mapping to move). Idempotent per frame.
+  void retire_frame(std::uint64_t pfn);
+  bool frame_retired(std::uint64_t pfn) const { return retired_.count(pfn) > 0; }
+
  private:
   Addr frame_of(std::uint64_t vpn);
+  std::uint64_t alloc_frame();
 
   Config cfg_;
   Tlb tlb_;
   PageTableWalker walker_;
   std::unordered_map<std::uint64_t, std::uint64_t> frames_;  // vpn -> pfn
+  std::unordered_set<std::uint64_t> retired_;                // pfns
   std::uint64_t next_frame_ = 1;
   struct Block {
     Addr vbase;

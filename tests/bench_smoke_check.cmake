@@ -65,6 +65,22 @@ if(sweep_workers LESS 1)
   message(FATAL_ERROR "BENCH_smoke.json sweep_workers is ${sweep_workers}")
 endif()
 
+# Reliability phase: the direct-injection counts are deterministic, so the
+# report must carry the exact expected values (the binary also self-checks;
+# this guards the metric names and the JSON plumbing).
+string(JSON rel_ce ERROR_VARIABLE json_err GET "${report_json}" metrics reliability_ce)
+if(json_err OR NOT rel_ce EQUAL 4)
+  message(FATAL_ERROR "BENCH_smoke.json metrics.reliability_ce is '${rel_ce}', expected 4 (${json_err})")
+endif()
+string(JSON rel_due ERROR_VARIABLE json_err GET "${report_json}" metrics reliability_due)
+if(json_err OR NOT rel_due EQUAL 1)
+  message(FATAL_ERROR "BENCH_smoke.json metrics.reliability_due is '${rel_due}', expected 1 (${json_err})")
+endif()
+string(JSON rel_sdc ERROR_VARIABLE json_err GET "${report_json}" metrics reliability_sdc_unprotected)
+if(json_err OR rel_sdc LESS 1)
+  message(FATAL_ERROR "BENCH_smoke.json metrics.reliability_sdc_unprotected is '${rel_sdc}', expected >= 1 (${json_err})")
+endif()
+
 # Perf floor for the issue-loop fast path: the loaded host rate must be
 # recorded, and (outside sanitizer builds, which are legitimately slow)
 # must not regress more than 30% below the rate measured when the fast

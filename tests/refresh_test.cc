@@ -124,6 +124,29 @@ TEST(Raidr, NeverBlocksRanks) {
   EXPECT_FALSE(pol->rank_blocked(0));
 }
 
+TEST(Raidr, ForcesPreallOnIdleOpenBankInsteadOfDeadlocking) {
+  // Regression: a drained burst can park a bank open with no demand left to
+  // close it. RAIDR's head row then waited on can_issue(RefRow) forever —
+  // and with it every bin, weak rows first — until unrelated traffic
+  // happened to precharge the bank. The policy must force the Pre itself,
+  // like all-bank refresh does.
+  auto cfg = cfg_small();
+  dram::Channel chan(cfg, 0, nullptr);
+  const std::uint64_t total_rows =
+      static_cast<std::uint64_t>(cfg.geometry.banks) * cfg.geometry.rows_per_bank();
+  auto profile = RetentionProfile::generate(total_rows, 1.0, 0.0, 5);  // all weak
+  auto pol = make_raidr(cfg, profile);
+  // Park bank 0 open (the head row's bank) and never close it.
+  const dram::Coord open{0, 0, 0, 1, 0};
+  chan.issue(dram::Cmd::Act, open, chan.earliest(dram::Cmd::Act, open, 0));
+  // Run a few per-row pacing intervals past the first due time.
+  const Cycle window = static_cast<Cycle>(cfg.timings.refi) * 8192;
+  const Cycle horizon = window / total_rows * 4;
+  for (Cycle now = 100; now < horizon; ++now) pol->tick(chan, now);
+  EXPECT_GE(chan.stats().pres, 1u);     // the forced preall
+  EXPECT_GT(chan.stats().ref_rows, 0u);  // ...unblocked the row refresh
+}
+
 TEST(Raidr, SkipsBusyBankWithoutLosingBudget) {
   auto cfg = cfg_small();
   dram::Channel chan(cfg, 0, nullptr);

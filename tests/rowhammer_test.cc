@@ -65,6 +65,39 @@ TEST(VictimModel, BlanketRefreshClearsAll) {
   EXPECT_EQ(vm.flips(), 0u);
 }
 
+TEST(VictimModel, WideBankGeometryDoesNotAliasCounters) {
+  // Regression: the old counter key hard-coded a 64-bank stride, so on
+  // >64-bank (HBM-style) parts (rank 0, bank 127) and (rank 1, bank 63)
+  // shared disturbance counters. With the geometry-derived packing an act
+  // in the aliasing bank must not complete another bank's hammer.
+  dram::Geometry g;
+  g.banks = 128;
+  g.subarrays = 2;
+  g.rows_per_subarray = 512;
+  HammerVictimModel vm(g, 1000);
+  const dram::Coord a{0, 0, 127, 10, 0};
+  const dram::Coord b{0, 1, 63, 10, 0};  // old key: 1*64+63 == 0*64+127
+  for (int i = 0; i < 999; ++i) vm.on_act(a);
+  vm.on_act(b);
+  EXPECT_EQ(vm.flips(), 0u);
+  vm.on_act(a);  // the genuine 1000th disturbance of a's neighbours
+  EXPECT_EQ(vm.flips(), 2u);
+}
+
+TEST(VictimModel, FlipSinkReceivesVictimCoordinates) {
+  dram::Geometry g;
+  HammerVictimModel vm(g, 10);
+  std::vector<dram::Coord> victims;
+  vm.set_flip_sink([&victims](const dram::Coord& v) { victims.push_back(v); });
+  const dram::Coord aggressor{0, 0, 3, 20, 0};
+  for (int i = 0; i < 10; ++i) vm.on_act(aggressor);
+  ASSERT_EQ(victims.size(), 2u);
+  EXPECT_EQ(victims[0].bank, 3u);
+  EXPECT_EQ(victims[0].row, 19u);
+  EXPECT_EQ(victims[1].bank, 3u);
+  EXPECT_EQ(victims[1].row, 21u);
+}
+
 TEST(Para, OverheadMatchesProbability) {
   auto para = make_para(0.01, 1);
   std::vector<dram::Coord> victims;

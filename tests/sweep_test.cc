@@ -13,8 +13,10 @@
 #include "common/rng.hh"
 #include "harness/sweep.hh"
 #include "mem/memsys.hh"
+#include "mem/rowhammer.hh"
 #include "obs/report.hh"
 #include "obs/stat_registry.hh"
+#include "reliability/engine.hh"
 
 using namespace ima;
 
@@ -81,6 +83,69 @@ TEST(Sweep, MergedReportsAreByteIdenticalAtWidth1And8) {
   EXPECT_EQ(a.workers, 1u);
   EXPECT_EQ(b.workers, 8u);
   for (std::size_t i = 0; i < configs.size(); ++i) EXPECT_EQ(a.at(i), b.at(i));
+  EXPECT_EQ(merged_json(a), merged_json(b));
+}
+
+TEST(Sweep, ReliabilityFaultStreamsAreWorkerCountInvariant) {
+  // The reliability engine's per-site RNG streams are derived from
+  // (job seed, site, event index) only, so a fault-injecting job must
+  // produce byte-identical corruption, ECC outcomes and stats at any
+  // worker width — the property bench_c24 depends on.
+  const auto job = [](const int&, harness::JobContext& ctx) {
+    auto cfg = dram::DramConfig::ddr4_2400();
+    cfg.geometry.banks = 2;
+    cfg.geometry.subarrays = 2;
+    cfg.geometry.rows_per_subarray = 64;
+    cfg.geometry.columns = 16;
+    mem::ControllerConfig cc;
+    cc.reliability.enabled = true;
+    cc.reliability.hammer_flips = true;
+    cc.reliability.seed = harness::job_seed(1234, ctx.index);
+    cc.reliability.ecc = static_cast<reliability::EccKind>(ctx.index % 3);
+    mem::MemorySystem sys(cfg, cc);
+    mem::HammerVictimModel vict(cfg.geometry, 16);
+    sys.controller(0).set_victim_model(&vict);
+
+    for (std::uint32_t col = 0; col < cfg.geometry.columns; ++col) {
+      const dram::Coord c{0, 0, 0, 50, col};
+      sys.poke_u64(sys.mapper().encode(c), 0xDEADBEEF00ull + col);
+    }
+    for (int i = 0; i < 16 * 6; ++i) {
+      vict.on_act(dram::Coord{0, 0, 0, 49, 0});
+      vict.on_act(dram::Coord{0, 0, 0, 51, 0});
+    }
+    Cycle now = 0;
+    for (std::uint32_t col = 0; col < cfg.geometry.columns; ++col) {
+      mem::Request r;
+      r.addr = sys.mapper().encode(dram::Coord{0, 0, 0, 50, col});
+      r.arrive = now;
+      sys.enqueue(r);
+      now = sys.drain(now);
+    }
+    const auto* eng = sys.controller(0).reliability_engine();
+    const auto& s = eng->stats();
+    const std::string p = "p" + std::to_string(ctx.index) + ".";
+    ctx.fragment.metric(p + "hammer_bits", static_cast<double>(s.hammer_bits));
+    ctx.fragment.metric(p + "ce", static_cast<double>(s.ce_words));
+    ctx.fragment.metric(p + "due", static_cast<double>(s.due_events));
+    ctx.fragment.metric(p + "sdc", static_cast<double>(s.sdc_reads));
+    // Fold the exact post-fault memory image into the result so any
+    // worker-count-dependent bit placement fails the byte comparison.
+    std::uint64_t image = 0;
+    for (std::uint32_t col = 0; col < cfg.geometry.columns; ++col)
+      image ^= sys.peek_u64(sys.mapper().encode(dram::Coord{0, 0, 0, 50, col}));
+    ctx.fragment.metric(p + "image", static_cast<double>(image % 1000003));
+    return static_cast<double>(s.hammer_bits);
+  };
+  const std::vector<int> configs(9, 0);
+  harness::SweepOptions serial;
+  serial.jobs = 1;
+  harness::SweepOptions wide;
+  wide.jobs = 8;
+  const auto a = harness::run_sweep(configs, job, serial);
+  const auto b = harness::run_sweep(configs, job, wide);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
   EXPECT_EQ(merged_json(a), merged_json(b));
 }
 
