@@ -11,12 +11,14 @@
 // machine ran it.
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 
 #include "bench/bench_util.hh"
 #include "bench/mc_harness.hh"
 #include "mem/memsys.hh"
 #include "obs/stat_registry.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 #include "reliability/engine.hh"
 #include "sim/system.hh"
@@ -34,6 +36,7 @@ int main() {
   cfg.ctrl.num_cores = 2;
   cfg.core.instr_limit = 20'000;
   cfg.prefetch = sim::PrefetchKind::Stride;
+  cfg.ctrl.record_spans = true;  // per-stage request lifecycle telemetry
 
   std::vector<std::unique_ptr<workloads::AccessStream>> streams;
   workloads::StreamParams p;
@@ -46,6 +49,20 @@ int main() {
   obs::StatRegistry reg;
   sys.register_stats(reg);
   auto& sink = sys.enable_trace(1 << 14);
+
+  // Windowed time-series sampler: registry paths plus a live queue-depth
+  // gauge, sampled every IMA_TIMESERIES cycles (clock-mode invariant).
+  const char* ts_env = std::getenv("IMA_TIMESERIES");
+  const Cycle ts_period =
+      ts_env && *ts_env ? std::strtoull(ts_env, nullptr, 10) : 16'384;
+  obs::TimeSeries ts("smoke", ts_period);
+  ts.track_path(reg, "sys.mem.ctrl0.reads_done");
+  ts.track_path(reg, "sys.core0.instructions");
+  ts.track_path(reg, "sys.core1.instructions");
+  ts.add_track("sys.mem.ctrl0.read_queue_depth", obs::StatKind::Gauge, [&sys] {
+    return static_cast<double>(sys.memory().controller(0).read_queue_depth());
+  });
+  sys.set_timeseries(&ts);
 
   const auto before = reg.snapshot();
   const auto host_start = std::chrono::steady_clock::now();
@@ -69,8 +86,30 @@ int main() {
 
   bench::record_metric("cycles", static_cast<double>(end));
   bench::record_metric("trace_events", static_cast<double>(sink.recorded()));
+  bench::record_metric("trace_dropped", static_cast<double>(sink.dropped()));
   bench::record_metric("host_cycles_per_sec", host_rate);
   bench::record_snapshot(after);
+  bench::record_timeseries(ts.data());
+
+  // Request lifecycle spans: tail percentiles plus the exact-decomposition
+  // invariant — per-stage latency sums must equal the end-to-end sum (the
+  // attribution loses nothing and double-counts nothing).
+  {
+    const auto& memsys = sys.memory();
+    double span_sum = 0, e2e_sum = 0;
+    for (std::uint32_t ch = 0; ch < memsys.num_channels(); ++ch) {
+      const auto& c = memsys.controller(ch);
+      const auto* sp = c.spans();
+      span_sum += sp->queue.sum() + sp->stall.sum() + sp->refresh.sum() + sp->xfer.sum();
+      e2e_sum += c.stats().read_latency.sum();
+    }
+    const auto& lat0 = memsys.controller(0).stats().read_latency;
+    bench::record_metric("read_latency_p50", lat0.percentile(0.50));
+    bench::record_metric("read_latency_p95", lat0.percentile(0.95));
+    bench::record_metric("read_latency_p99", lat0.percentile(0.99));
+    bench::record_metric("read_latency_p999", lat0.percentile(0.999));
+    bench::record_metric("span_stage_sum_error", span_sum - e2e_sum);
+  }
 
   const std::string dir = obs::Report::default_out_dir();
   const std::string trace_path = dir + "/TRACE_smoke.json";

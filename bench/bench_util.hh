@@ -115,6 +115,12 @@ inline void record_snapshot(const obs::StatRegistry::Snapshot& snap) {
   if (detail::session.report) detail::session.report->add_snapshot(snap);
 }
 
+/// Appends a windowed sampler's output to the current report's
+/// "timeseries" block (counter tracks are delta-encoded at export).
+inline void record_timeseries(const obs::TimeSeriesData& d) {
+  if (detail::session.report) detail::session.report->add_timeseries(d);
+}
+
 /// Fans `configs` out on the worker pool ($IMA_JOBS wide) and, at the
 /// barrier, merges every job's ReportFragment into the session report in
 /// submission order — so BENCH_<id>.json is byte-identical at any width.

@@ -74,4 +74,24 @@ Cycle run_event_loop(ClockMode mode, Cycle from, Cycle limit, TickFn&& tick,
   return now;
 }
 
+/// Watched variant: `watch(now)` runs at the top of every iteration, before
+/// the tick. The hook is a template callable (not an obs type) so the
+/// clocking kernel stays dependency-free; obs::Watchdog::iterate is the
+/// intended payload — it detects a loop that keeps iterating while the
+/// progress token is frozen, which is exactly the shape of a wedged
+/// refresh backlog crawling through `next = now + 1`.
+template <typename TickFn, typename DoneFn, typename NextFn, typename WatchFn>
+Cycle run_event_loop(ClockMode mode, Cycle from, Cycle limit, TickFn&& tick,
+                     DoneFn&& done, NextFn&& next, WatchFn&& watch) {
+  Cycle now = from;
+  while (now < limit) {
+    watch(now);
+    tick(now);
+    if (done()) break;
+    now = mode == ClockMode::PerCycle ? now + 1
+                                      : next_cycle(mode, now, limit, next(now));
+  }
+  return now;
+}
+
 }  // namespace ima::sim

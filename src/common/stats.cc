@@ -15,10 +15,13 @@ double Histogram::percentile(double q) const {
     seen += counts_[i];
     if (seen >= target) {
       const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-      return bucket_lo(i) + width * 0.5;
+      // Clamp the bucket midpoint into the observed range: a degenerate
+      // shape (single bucket, or all samples in one bucket) would otherwise
+      // report a midpoint no sample ever took — false precision.
+      return std::clamp(bucket_lo(i) + width * 0.5, stat_.min(), stat_.max());
     }
   }
-  return hi_;
+  return std::clamp(hi_, stat_.min(), stat_.max());
 }
 
 double harmonic_mean(const std::vector<double>& xs) {

@@ -1,6 +1,7 @@
 #include "core/core.hh"
 
 #include <algorithm>
+#include <ostream>
 
 namespace ima::core {
 
@@ -135,6 +136,19 @@ Cycle SimpleCore::next_event(Cycle now) const {
     return now + steps;
   }
   return now + 1;  // issue or retry next cycle
+}
+
+void SimpleCore::dump(std::ostream& os, Cycle now) const {
+  os << "core " << id_ << " @" << now << (done() ? " DONE" : "")
+     << (waiting_ ? " WAITING" : "") << (access_pending_ ? " ACCESS-PENDING" : "")
+     << " ready_at=";
+  if (ready_at_ == kCycleNever)
+    os << "never";
+  else
+    os << ready_at_;
+  os << " compute_left=" << compute_left_ << " instrs=" << stats_.instructions
+     << " loads=" << stats_.loads << " stores=" << stats_.stores
+     << " stalls=" << stats_.stall_cycles << "\n";
 }
 
 }  // namespace ima::core

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 
@@ -82,6 +83,10 @@ class SimpleCore {
   };
   const Stats& stats() const { return stats_; }
   std::uint32_t id() const { return id_; }
+
+  /// Flight-recorder dump: pipeline state flags, wake-up cycle and retire
+  /// counters (one line). Embedded in watchdog artifacts.
+  void dump(std::ostream& os, Cycle now) const;
 
  private:
   void fetch_next();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <ostream>
 
 #include "obs/stat_registry.hh"
 #include "obs/trace.hh"
@@ -517,6 +518,29 @@ void Channel::register_stats(obs::StatRegistry& reg, const std::string& prefix) 
   reg.counter(obs::join_path(prefix, "tras"), &stats_.tras);
   reg.gauge(obs::join_path(prefix, "cmd_energy_pj"), [this] { return stats_.cmd_energy; });
   reg.gauge(obs::join_path(prefix, "bus_energy_pj"), [this] { return stats_.bus_energy; });
+}
+
+void Channel::dump(std::ostream& os, Cycle now) const {
+  os << "channel " << id_ << " @" << now << " state_version=" << state_version_ << "\n";
+  for (std::uint32_t r = 0; r < cfg_.geometry.ranks; ++r) {
+    const RankState& rk = ranks_[r];
+    const char* power = rk.power == PowerState::Active ? "Active"
+                        : rk.power == PowerState::PowerDown ? "PowerDown"
+                                                            : "SelfRefresh";
+    os << "  rank " << r << " power=" << power << " ready=" << rk.ready
+       << (rk.ready > now ? " (busy)" : "") << " next_act=" << rk.next_act << "\n";
+    for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b) {
+      const BankState& bk = banks_[static_cast<std::size_t>(r) * cfg_.geometry.banks + b];
+      if (bk.open) {
+        os << "    bank " << b << " OPEN row=" << bk.row << " next_pre=" << bk.next_pre
+           << " next_rd=" << bk.next_rd << " next_wr=" << bk.next_wr << "\n";
+      }
+      for (const auto& [sa, sub] : bk.subs) {
+        if (sub.open)
+          os << "    bank " << b << " subarray " << sa << " OPEN row=" << sub.row << "\n";
+      }
+    }
+  }
 }
 
 }  // namespace ima::dram

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -99,6 +100,10 @@ class Channel {
 
   /// Registers the per-command counters and energy gauges under `prefix`.
   void register_stats(obs::StatRegistry& reg, const std::string& prefix) const;
+
+  /// Flight-recorder dump: per-rank power/ready state and every open bank's
+  /// row. Human-readable; embedded in watchdog artifacts.
+  void dump(std::ostream& os, Cycle now) const;
 
   /// Records every issued command (incl. refresh and PUM) into `sink`;
   /// null detaches. The channel is the single funnel for DRAM commands, so

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <ostream>
 
 #include "obs/stat_registry.hh"
 #include "obs/trace.hh"
@@ -15,6 +16,7 @@ Controller::Controller(dram::Channel& chan, const dram::AddressMapper& mapper,
   rank_last_activity_.assign(chan.config().geometry.ranks, 0);
   rank_work_.assign(chan.config().geometry.ranks, 0);
   if (cfg.memoize_timing) timing_cache_.attach(chan);
+  if (cfg.record_spans) spans_ = std::make_unique<SpanRecorders>();
   sched_ = make_scheduler(cfg.sched, cfg.num_cores, cfg.seed);
   refresh_ = make_all_bank_refresh(chan.config());
   if (cfg.reliability.enabled)
@@ -45,6 +47,9 @@ Controller::Controller(dram::Channel& chan, const dram::AddressMapper& mapper,
       refs_for_mitigation_ = 0;
       mitigation_->on_refresh_window();
     }
+    // The hook fires inside issue(Ref), before the policy re-arms its due
+    // time, so blocked_since() still reports the window being closed.
+    if (spans_) attribute_refresh_block(rank, now);
   });
 }
 
@@ -121,7 +126,21 @@ void Controller::retire(Cycle now) {
     top.req.complete = top.done;
     if (top.req.type == AccessType::Read) {
       ++stats_.reads_done;
-      stats_.read_latency.add(static_cast<double>(top.done - top.req.arrive));
+      stats_.read_latency.add(top.done - top.req.arrive);
+      if (spans_) {
+        // Integer stage decomposition; the four stages sum to done - arrive
+        // exactly (refresh = blocked_queue + blocked_prep):
+        //   queue + blocked_queue = first_cmd - arrive
+        //   stall + blocked_prep  = served - first_cmd
+        //   xfer                  = done - served
+        const Request& r = top.req;
+        const Cycle fc = r.first_cmd == kCycleNever ? r.arrive : r.first_cmd;
+        const Cycle sv = r.served == kCycleNever ? top.done : r.served;
+        spans_->queue.add((fc - r.arrive) - r.blocked_queue);
+        spans_->stall.add((sv - fc) - r.blocked_prep);
+        spans_->refresh.add(r.blocked_queue + r.blocked_prep);
+        spans_->xfer.add(top.done - sv);
+      }
     } else {
       ++stats_.writes_done;
     }
@@ -211,6 +230,7 @@ void Controller::serve(std::vector<QueuedRequest>& q, std::size_t idx, dram::Cmd
       read_q_count_[qr.req.core] > 0)
     --read_q_count_[qr.req.core];
 
+  qr.req.served = now;
   inflight_.push(Inflight{done, qr.req, std::move(qr.cb)});
   // Tombstone in place instead of a middle-of-vector erase: the slot keeps
   // its index (oldest_where ties break by index, so survivors must not
@@ -263,6 +283,7 @@ bool Controller::try_issue_from(std::vector<QueuedRequest>& q, std::size_t live,
   const dram::Cmd cmd = v.required_cmd(qr);
   if (!v.issuable(qr)) return false;
   classify_first_touch(qr);
+  if (qr.req.first_cmd == kCycleNever) qr.req.first_cmd = now;
   rank_last_activity_[qr.coord.rank] = now;
 
   if (cmd == dram::Cmd::Pre && cfg_.charge_cache) {
@@ -459,6 +480,66 @@ Cycle Controller::next_event(Cycle now) const {
   return next <= now ? now + 1 : next;
 }
 
+void Controller::attribute_refresh_block(std::uint32_t rank, Cycle now) {
+  // The rank was command-blocked over [blocked_since, now): rank_blocked()
+  // gated try_issue_from the whole window, so every live queued request of
+  // the rank lost those cycles to refresh, not to queueing or timing.
+  const Cycle since = refresh_->blocked_since(rank);
+  if (since == kCycleNever || since >= now) return;
+  const auto charge = [&](std::vector<QueuedRequest>& q) {
+    for (QueuedRequest& qr : q) {
+      if (!qr.live || qr.coord.rank != rank) continue;
+      // Half-open per-request window, clamped to the arrival and to the end
+      // of any previously charged window (REF catch-up backlogs can issue
+      // several REFs whose raw windows overlap).
+      const Cycle start = std::max({since, qr.req.arrive, qr.req.blocked_mark});
+      if (start >= now) continue;
+      const Cycle blocked = now - start;
+      if (qr.req.first_cmd == kCycleNever) qr.req.blocked_queue += blocked;
+      else qr.req.blocked_prep += blocked;
+      qr.req.blocked_mark = now;
+    }
+  };
+  charge(read_q_);
+  charge(write_q_);
+}
+
+void Controller::dump(std::ostream& os, Cycle now) const {
+  os << "controller chan" << chan_.id() << " @ cycle " << now << "\n"
+     << "  read_q: " << read_q_live_ << " live / " << read_q_.size()
+     << " slots, write_q: " << write_q_live_ << " live / " << write_q_.size()
+     << " slots" << (draining_writes_ ? " (draining writes)" : "") << "\n"
+     << "  inflight: " << inflight_.size() << ", victim_q: " << victim_q_.size()
+     << ", pim_q: " << pim_q_.size() << "\n";
+  const auto dump_q = [&](const char* name, const std::vector<QueuedRequest>& q) {
+    constexpr std::size_t kMaxEntries = 32;
+    std::size_t shown = 0;
+    for (const QueuedRequest& qr : q) {
+      if (!qr.live) continue;
+      if (++shown > kMaxEntries) {
+        os << "  " << name << "[...] (truncated)\n";
+        break;
+      }
+      os << "  " << name << " id=" << qr.req.id << " addr=0x" << std::hex
+         << qr.req.addr << std::dec << " rank=" << qr.coord.rank
+         << " bank=" << qr.coord.bank << " row=" << qr.coord.row
+         << " arrive=" << qr.req.arrive << " first_cmd=";
+      if (qr.req.first_cmd == kCycleNever) os << "-";
+      else os << qr.req.first_cmd;
+      os << " waited=" << (now - qr.req.arrive) << "\n";
+    }
+  };
+  dump_q("read", read_q_);
+  dump_q("write", write_q_);
+  refresh_->dump(os, now);
+  const std::uint32_t ranks = chan_.config().geometry.ranks;
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    os << "  rank" << r << ": work=" << rank_work_[r]
+       << " blocked=" << (refresh_->rank_blocked(r) ? "yes" : "no")
+       << " last_activity=" << rank_last_activity_[r] << "\n";
+  }
+}
+
 void Controller::tick(Cycle now) {
   retire(now);
   if (cfg_.powerdown_timeout || cfg_.selfrefresh_timeout) manage_power(now);
@@ -487,7 +568,20 @@ void Controller::register_stats(obs::StatRegistry& reg, const std::string& prefi
   reg.counter(obs::join_path(prefix, "powerdowns"), &stats_.powerdowns);
   reg.counter(obs::join_path(prefix, "selfrefreshes"), &stats_.selfrefreshes);
   reg.counter(obs::join_path(prefix, "rank_wakes"), &stats_.rank_wakes);
-  reg.running(obs::join_path(prefix, "read_latency"), &stats_.read_latency);
+  if (spans_) {
+    // Full latency-report shape, plus the per-stage recorders. The
+    // non-percentile read_latency paths carry the exact values running()
+    // would have registered (TailRecorder embeds the same RunningStat).
+    reg.tail(obs::join_path(prefix, "read_latency"), &stats_.read_latency);
+    reg.tail(obs::join_path(prefix, "span.queue"), &spans_->queue);
+    reg.tail(obs::join_path(prefix, "span.stall"), &spans_->stall);
+    reg.tail(obs::join_path(prefix, "span.refresh"), &spans_->refresh);
+    reg.tail(obs::join_path(prefix, "span.xfer"), &spans_->xfer);
+  } else {
+    // Spans off: register exactly the pre-telemetry paths so every
+    // existing BENCH artifact stays byte-identical.
+    reg.running(obs::join_path(prefix, "read_latency"), &stats_.read_latency.stat());
+  }
   reg.gauge(obs::join_path(prefix, "read_queue_depth"),
             [this] { return static_cast<double>(read_q_live_); });
   reg.gauge(obs::join_path(prefix, "write_queue_depth"),

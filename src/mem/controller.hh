@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <memory>
 #include <queue>
 #include <unordered_map>
@@ -22,6 +23,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/tail.hh"
 #include "dram/addrmap.hh"
 #include "dram/channel.hh"
 #include "mem/refresh.hh"
@@ -64,6 +66,13 @@ struct ControllerConfig {
   // memoized picks against the direct-query reference. Self-disables under
   // SALP regardless of this flag.
   bool memoize_timing = true;
+
+  // Request lifecycle spans: attribute each read's end-to-end latency into
+  // queueing / timing-stall / refresh-blocked / transfer stages, recorded
+  // into per-stage TailRecorders (p50..p999). Off by default: when off the
+  // controller allocates no recorders, registers no extra stat paths and
+  // existing BENCH artifacts stay byte-identical.
+  bool record_spans = false;
 
   // End-to-end reliability subsystem (fault injection, ECC, patrol scrub,
   // row retirement). Off by default: a disabled config leaves the
@@ -152,9 +161,27 @@ class Controller {
     std::uint64_t powerdowns = 0;
     std::uint64_t selfrefreshes = 0;
     std::uint64_t rank_wakes = 0;
-    RunningStat read_latency;  // arrive -> data
+    // arrive -> data. TailRecorder embeds the RunningStat this used to be
+    // (identical count/mean/min/max/stddev values) and adds p50..p999.
+    obs::TailRecorder read_latency;
   };
   const Stats& stats() const { return stats_; }
+
+  /// Per-stage read-latency recorders; the four stages sum exactly to the
+  /// end-to-end read latency (queue + stall + refresh + xfer == e2e for
+  /// every retired read, hence for the sums).
+  struct SpanRecorders {
+    obs::TailRecorder queue;    // arrive -> first command, minus refresh block
+    obs::TailRecorder stall;    // first command -> RD/WR, minus refresh block
+    obs::TailRecorder refresh;  // cycles a due-REF blocked rank held the request
+    obs::TailRecorder xfer;     // RD/WR -> data return (CL + burst + ECC)
+  };
+  /// Null unless ControllerConfig::record_spans.
+  const SpanRecorders* spans() const { return spans_.get(); }
+
+  /// Flight-recorder dump: queue contents with lifecycle stamps, inflight
+  /// and FSM summary — what the watchdog writes when the loop wedges.
+  void dump(std::ostream& os, Cycle now) const;
   const std::vector<CoreState>& cores() const { return cores_; }
   Scheduler& scheduler() { return *sched_; }
 
@@ -183,6 +210,10 @@ class Controller {
   bool try_issue_pim(Cycle now);
   bool try_issue_request(Cycle now);
   bool try_issue_from(std::vector<QueuedRequest>& q, std::size_t live, Cycle now);
+  /// Called from the ref_hook when a blanket REF finally issues on `rank`:
+  /// charges the [blocked_since, now) window to every live queued request
+  /// of that rank (span telemetry; no-op unless record_spans).
+  void attribute_refresh_block(std::uint32_t rank, Cycle now);
   void serve(std::vector<QueuedRequest>& q, std::size_t idx, dram::Cmd cmd, Cycle now);
   void classify_first_touch(QueuedRequest& qr);
   std::uint64_t charge_key(const dram::Coord& c, std::uint32_t row) const;
@@ -245,6 +276,7 @@ class Controller {
   std::vector<CoreState> cores_;
   std::uint64_t next_req_id_ = 1;
   Stats stats_;
+  std::unique_ptr<SpanRecorders> spans_;  // non-null iff cfg_.record_spans
   obs::TraceSink* trace_ = nullptr;
 
   // ChargeCache state: (rank,bank,row) -> charge expiry, FIFO-bounded with

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <ostream>
 
 #include "obs/stat_registry.hh"
+#include "obs/watchdog.hh"
 
 namespace ima::mem {
 
@@ -37,9 +39,15 @@ Cycle MemorySystem::next_event(Cycle now) const {
 Cycle MemorySystem::drain(Cycle from, Cycle deadline) {
   // Legacy shape: check idle *before* each tick, return last-ticked + 1.
   if (idle() || from >= deadline) return from;
-  const Cycle end = sim::run_event_loop(
-      clock_mode_, from, deadline, [this](Cycle now) { tick(now); },
-      [this] { return idle(); }, [this](Cycle now) { return next_event(now); });
+  const auto tick_fn = [this](Cycle now) { tick(now); };
+  const auto done_fn = [this] { return idle(); };
+  const auto next_fn = [this](Cycle now) { return next_event(now); };
+  const Cycle end =
+      watchdog_ ? sim::run_event_loop(clock_mode_, from, deadline, tick_fn, done_fn,
+                                      next_fn,
+                                      [this](Cycle now) { watchdog_->iterate(now); })
+                : sim::run_event_loop(clock_mode_, from, deadline, tick_fn, done_fn,
+                                      next_fn);
   return end < deadline ? end + 1 : end;
 }
 
@@ -132,6 +140,25 @@ void MemorySystem::register_stats(obs::StatRegistry& reg, const std::string& pre
 void MemorySystem::set_trace(obs::TraceSink* sink) {
   // Controllers forward to their channel and scheduler.
   for (auto& c : ctrls_) c->set_trace(sink);
+}
+
+std::uint64_t MemorySystem::progress_token() const {
+  // Command state-versions cover every issued DRAM command (including REF
+  // and prealls); retire counts cover the data-return side. Any observable
+  // forward motion bumps the digest.
+  std::uint64_t t = 0;
+  for (std::size_t i = 0; i < ctrls_.size(); ++i) {
+    const auto& s = ctrls_[i]->stats();
+    t += chans_[i]->state_version() + s.reads_done + s.writes_done + s.pim_ops_done;
+  }
+  return t;
+}
+
+void MemorySystem::dump(std::ostream& os, Cycle now) const {
+  for (std::size_t i = 0; i < ctrls_.size(); ++i) {
+    ctrls_[i]->dump(os, now);
+    chans_[i]->dump(os, now);
+  }
 }
 
 }  // namespace ima::mem

@@ -7,6 +7,7 @@
 // arrangement (cf. Ramulator).
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <vector>
@@ -17,6 +18,10 @@
 #include "dram/config.hh"
 #include "dram/datastore.hh"
 #include "mem/controller.hh"
+
+namespace ima::obs {
+class Watchdog;
+}  // namespace ima::obs
 
 namespace ima::mem {
 
@@ -80,12 +85,26 @@ class MemorySystem {
   /// Attaches `sink` to every controller and channel (null detaches).
   void set_trace(obs::TraceSink* sink);
 
+  /// Monotonic digest of observable work (command state-versions plus
+  /// retire counts): a frozen token while the event loop keeps iterating is
+  /// the watchdog's wedge signature.
+  std::uint64_t progress_token() const;
+
+  /// Arms `wd` on the drain() loop (null disarms). Borrowed pointer; the
+  /// watchdog throws obs::WatchdogError out of drain() when it fires.
+  void set_watchdog(obs::Watchdog* wd) { watchdog_ = wd; }
+
+  /// Flight-recorder dump: every controller's queues/FSM plus channel bank
+  /// state.
+  void dump(std::ostream& os, Cycle now) const;
+
  private:
   dram::DramConfig dram_cfg_;
   std::unique_ptr<dram::DataStore> data_;
   std::unique_ptr<dram::AddressMapper> mapper_;
   std::vector<std::unique_ptr<dram::Channel>> chans_;
   std::vector<std::unique_ptr<Controller>> ctrls_;
+  obs::Watchdog* watchdog_ = nullptr;
   sim::ClockMode clock_mode_ = sim::default_clock_mode();
   // Liveness token for the registry's registration-epoch check (see
   // obs/stat_registry.hh): reads after this MemorySystem dies throw.

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <ostream>
 
 #include "obs/stat_registry.hh"
 
 namespace ima::mem {
+
+void RefreshPolicy::dump(std::ostream& os, Cycle) const {
+  os << "  refresh policy: " << name() << "\n";
+}
 
 RetentionProfile RetentionProfile::generate(std::uint64_t total_rows, double weak_frac,
                                             double mid_frac, std::uint64_t seed) {
@@ -81,6 +86,23 @@ class AllBankRefresh final : public RefreshPolicy {
     return rank < next_due_.size() && next_due_[rank] <= last_seen_now_;
   }
 
+  Cycle blocked_since(std::uint32_t rank) const override {
+    // Inside the ref-hook the due time is not yet re-armed (tick() bumps it
+    // after issue() returns), so this is the start of the window just
+    // closed by the issuing REF.
+    return rank < next_due_.size() ? next_due_[rank] : kCycleNever;
+  }
+
+  void dump(std::ostream& os, Cycle now) const override {
+    os << "  refresh policy: all-bank, interval=" << interval_
+       << ", refs_issued=" << refs_issued_ << ", prealls_forced=" << prealls_forced_ << "\n";
+    for (std::uint32_t r = 0; r < next_due_.size(); ++r) {
+      os << "    rank" << r << " next_due=" << next_due_[r];
+      if (next_due_[r] <= now) os << " (overdue by " << now - next_due_[r] << ")";
+      os << "\n";
+    }
+  }
+
   Cycle next_event(Cycle now) const override {
     Cycle next = kCycleNever;
     for (std::uint32_t r = 0; r < next_due_.size(); ++r) {
@@ -128,8 +150,8 @@ class AllBankRefresh final : public RefreshPolicy {
 /// skip-ahead clocking.
 class RaidrRefresh final : public RefreshPolicy {
  public:
-  RaidrRefresh(const dram::DramConfig& cfg, RetentionProfile profile)
-      : cfg_(cfg), profile_(std::move(profile)) {
+  RaidrRefresh(const dram::DramConfig& cfg, RetentionProfile profile, bool force_preall)
+      : cfg_(cfg), profile_(std::move(profile)), force_preall_(force_preall) {
     // Base window: 8192 REF intervals = one full 64ms retention period.
     base_window_ = static_cast<Cycle>(cfg.timings.refi) * 8192;
     const std::uint64_t total_rows = profile_.bin_of_row.size();
@@ -152,7 +174,10 @@ class RaidrRefresh final : public RefreshPolicy {
       // A drained burst can park the target bank open with no demand left
       // to close it; without this preall the head RefRow (and with it every
       // bin, weak rows first) deadlocks until unrelated traffic arrives.
+      // force_preall_ is only ever false in the watchdog regression test,
+      // which reproduces exactly that wedge.
       if (chan.bank_open(c)) {
+        if (!force_preall_) return false;
         if (!chan.can_issue(dram::Cmd::Pre, c, now)) return false;
         chan.issue(dram::Cmd::Pre, c, now);
         ++prealls_forced_;
@@ -195,6 +220,25 @@ class RaidrRefresh final : public RefreshPolicy {
 
   std::string name() const override { return "RAIDR"; }
 
+  void dump(std::ostream& os, Cycle now) const override {
+    os << "  refresh policy: RAIDR, row_refs_issued=" << row_refs_issued_
+       << ", prealls_forced=" << prealls_forced_
+       << (force_preall_ ? "" : " (force_preall DISABLED)") << "\n";
+    for (std::uint32_t b = 0; b < profile_.num_bins; ++b) {
+      if (rows_by_bin_[b].empty()) continue;
+      const std::uint64_t owed = due(b, now);
+      os << "    bin" << b << ": rows=" << rows_by_bin_[b].size()
+         << " issued=" << issued_[b] << " due=" << owed;
+      if (owed > issued_[b]) {
+        const std::uint64_t row_id = rows_by_bin_[b][cursor_[b]];
+        const dram::Coord c = coord_of(row_id);
+        os << " BACKLOG=" << owed - issued_[b] << " head: rank=" << c.rank
+           << " bank=" << c.bank << " row=" << c.row;
+      }
+      os << "\n";
+    }
+  }
+
   /// Row refreshes per base window — the paper's headline metric.
   double row_refreshes_per_window() const {
     double total = 0.0;
@@ -222,6 +266,7 @@ class RaidrRefresh final : public RefreshPolicy {
 
   dram::DramConfig cfg_;
   RetentionProfile profile_;
+  bool force_preall_ = true;
   std::uint64_t row_refs_issued_ = 0;
   std::uint64_t prealls_forced_ = 0;
   Cycle base_window_ = 0;
@@ -240,8 +285,9 @@ std::unique_ptr<RefreshPolicy> make_all_bank_refresh(const dram::DramConfig& cfg
   return std::make_unique<AllBankRefresh>(cfg, interval_scale);
 }
 
-std::unique_ptr<RefreshPolicy> make_raidr(const dram::DramConfig& cfg, RetentionProfile profile) {
-  return std::make_unique<RaidrRefresh>(cfg, std::move(profile));
+std::unique_ptr<RefreshPolicy> make_raidr(const dram::DramConfig& cfg, RetentionProfile profile,
+                                          bool force_preall) {
+  return std::make_unique<RaidrRefresh>(cfg, std::move(profile), force_preall);
 }
 
 }  // namespace ima::mem

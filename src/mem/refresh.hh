@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -50,6 +51,17 @@ class RefreshPolicy {
   /// True if normal traffic to `rank` should be held back (refresh due).
   virtual bool rank_blocked(std::uint32_t rank) const = 0;
 
+  /// The cycle at which `rank` became blocked (the due time whose REF has
+  /// not issued yet), kCycleNever when the policy never blocks the rank.
+  /// Read from the channel's ref-hook — which fires inside issue(Ref),
+  /// before the policy re-arms the due time — to attribute the closed
+  /// blocked window to queued requests (span telemetry).
+  virtual Cycle blocked_since(std::uint32_t /*rank*/) const { return kCycleNever; }
+
+  /// Flight-recorder dump of the policy's schedule state (due times,
+  /// backlogs). Default: just the name.
+  virtual void dump(std::ostream& os, Cycle now) const;
+
   /// Earliest future cycle at which this policy may want the command slot
   /// (see common/clock.hh for the contract). Called after tick(now); the
   /// conservative default degenerates the event loop to per-cycle.
@@ -80,7 +92,14 @@ std::unique_ptr<RefreshPolicy> make_all_bank_refresh(const dram::DramConfig& cfg
 /// RAIDR: row-granularity refresh driven by a retention profile. Rows in
 /// bin k are refreshed every (2^k * base window). Issues RefRow commands
 /// paced evenly so refresh never bursts.
+///
+/// `force_preall` keeps the parked-bank escape hatch that closes an idle
+/// open bank standing in the head RefRow's way. Disabling it reintroduces
+/// the pre-fix wedge — the refresh backlog crawls forever without ever
+/// issuing — and exists only so the watchdog regression test can reproduce
+/// that wedge deterministically (tests/watchdog_test.cc).
 std::unique_ptr<RefreshPolicy> make_raidr(const dram::DramConfig& cfg,
-                                          RetentionProfile profile);
+                                          RetentionProfile profile,
+                                          bool force_preall = true);
 
 }  // namespace ima::mem

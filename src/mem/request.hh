@@ -16,6 +16,13 @@ struct Request {
   std::uint64_t id = 0;         // unique, assigned by the controller
   Cycle arrive = 0;             // enqueue cycle
   Cycle complete = kCycleNever; // data-available cycle (filled at completion)
+  // Lifecycle span stamps (telemetry; maintained only while the request is
+  // in flight, read back by the controller's span recorders at retire):
+  Cycle first_cmd = kCycleNever; // first DRAM command issued on its behalf
+  Cycle served = kCycleNever;    // RD/WR issued; data transfer begins
+  Cycle blocked_queue = 0;       // refresh-blocked cycles before first_cmd
+  Cycle blocked_prep = 0;        // refresh-blocked cycles after first_cmd
+  Cycle blocked_mark = 0;        // end of the last blocked window attributed
   bool is_prefetch = false;
   bool critical = true;         // data-aware criticality hint (X-Mem)
   bool poisoned = false;        // reliability: detected-uncorrectable data

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <ostream>
 #include <utility>
 
 namespace ima::noc {
@@ -212,6 +213,26 @@ void Mesh::tick_bufferless(Cycle now) {
 }
 
 bool Mesh::idle() const { return in_flight_ == 0; }
+
+void Mesh::dump(std::ostream& os, Cycle now) const {
+  os << "mesh " << cfg_.width << "x" << cfg_.height << " @" << now
+     << " in_flight=" << in_flight_ << " injected=" << stats_.injected
+     << " delivered=" << stats_.delivered << "\n";
+  static constexpr const char* kPortName[] = {"N", "S", "E", "W", "L"};
+  for (std::uint32_t y = 0; y < cfg_.height; ++y) {
+    for (std::uint32_t x = 0; x < cfg_.width; ++x) {
+      const Router& r = routers_[idx(x, y)];
+      std::size_t queued = r.inject_q.size() + r.arriving.size();
+      for (const auto& q : r.in) queued += q.size();
+      if (queued == 0) continue;
+      os << "  router (" << x << "," << y << ") inject_q=" << r.inject_q.size()
+         << " arriving=" << r.arriving.size();
+      for (int p = 0; p < kNumPorts; ++p)
+        if (!r.in[p].empty()) os << " in[" << kPortName[p] << "]=" << r.in[p].size();
+      os << "\n";
+    }
+  }
+}
 
 Mesh run_uniform_traffic(const NocConfig& cfg, double rate, Cycle cycles,
                          std::uint64_t seed) {

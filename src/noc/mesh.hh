@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <optional>
 #include <vector>
 
@@ -77,6 +78,10 @@ class Mesh {
   };
   const Stats& stats() const { return stats_; }
   const NocConfig& config() const { return cfg_; }
+
+  /// Flight-recorder dump: in-flight count plus every non-empty router
+  /// queue. Embedded in watchdog artifacts.
+  void dump(std::ostream& os, Cycle now) const;
 
  private:
   enum Port : std::uint8_t { kNorth = 0, kSouth, kEast, kWest, kLocal, kNumPorts };

@@ -56,9 +56,12 @@ void Report::add_snapshot(const StatRegistry::Snapshot& snap) {
   for (const auto& v : snap.values) stats_.emplace_back(v.path, v.value);
 }
 
+void Report::add_timeseries(TimeSeriesData d) { timeseries_.push_back(std::move(d)); }
+
 void Report::merge(const ReportFragment& frag) {
   for (const auto& [name, value] : frag.metrics()) metrics_.emplace_back(name, value);
   for (const auto& [path, value] : frag.stats()) stats_.emplace_back(path, value);
+  for (const auto& ts : frag.timeseries()) timeseries_.push_back(ts);
 }
 
 void Report::write_json(std::ostream& os) const {
@@ -75,6 +78,47 @@ void Report::write_json(std::ostream& os) const {
   w.key("stats").begin_object();
   for (const auto& [path, value] : stats_) w.key(path).value(value);
   w.end_object();
+  // Only serialized when something sampled: pre-telemetry artifacts (and
+  // benches that never attach a TimeSeries) stay byte-identical.
+  if (!timeseries_.empty()) {
+    w.key("timeseries").begin_array();
+    for (const auto& ts : timeseries_) {
+      w.begin_object();
+      w.key("label").value(ts.label);
+      w.key("period").value(static_cast<std::uint64_t>(ts.period));
+      w.key("emitted").value(ts.emitted);
+      w.key("dropped").value(ts.dropped);
+      w.key("tracks").begin_array();
+      for (const auto& t : ts.tracks) w.value(t);
+      w.end_array();
+      w.key("kinds").begin_array();
+      for (const StatKind k : ts.kinds)
+        w.value(k == StatKind::Counter ? "counter" : "gauge");
+      w.end_array();
+      // Counter tracks are delta-encoded here (first sample absolute):
+      // windowed rates read directly, and repeated values compress to 0.
+      w.key("samples").begin_array();
+      std::vector<double> prev(ts.tracks.size(), 0.0);
+      bool first = true;
+      for (const auto& s : ts.samples) {
+        w.begin_object();
+        w.key("cycle").value(static_cast<std::uint64_t>(s.cycle));
+        w.key("values").begin_array();
+        for (std::size_t i = 0; i < s.values.size(); ++i) {
+          const bool delta = !first && i < ts.kinds.size() &&
+                             ts.kinds[i] == StatKind::Counter;
+          w.value(delta ? s.values[i] - prev[i] : s.values[i]);
+        }
+        w.end_array();
+        w.end_object();
+        prev = s.values;
+        first = false;
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.key("tables").begin_array();
   for (const auto& t : tables_) {
     w.begin_object();

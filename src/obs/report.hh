@@ -16,6 +16,7 @@
 
 #include "common/table.hh"
 #include "obs/stat_registry.hh"
+#include "obs/timeseries.hh"
 
 namespace ima::obs {
 
@@ -37,16 +38,23 @@ class ReportFragment {
   void snapshot(const StatRegistry::Snapshot& snap) {
     for (const auto& v : snap.values) stats_.emplace_back(v.path, v.value);
   }
+  /// A finished sampling run for the report's "timeseries" block; take the
+  /// data inside the job like a snapshot (TimeSeriesData is plain values).
+  void timeseries(TimeSeriesData d) { timeseries_.push_back(std::move(d)); }
 
-  bool empty() const { return metrics_.empty() && rows_.empty() && stats_.empty(); }
+  bool empty() const {
+    return metrics_.empty() && rows_.empty() && stats_.empty() && timeseries_.empty();
+  }
   const std::vector<std::pair<std::string, double>>& metrics() const { return metrics_; }
   const std::vector<std::vector<std::string>>& rows() const { return rows_; }
   const std::vector<std::pair<std::string, double>>& stats() const { return stats_; }
+  const std::vector<TimeSeriesData>& timeseries() const { return timeseries_; }
 
  private:
   std::vector<std::pair<std::string, double>> metrics_;
   std::vector<std::vector<std::string>> rows_;
   std::vector<std::pair<std::string, double>> stats_;
+  std::vector<TimeSeriesData> timeseries_;
 };
 
 class Report {
@@ -58,6 +66,10 @@ class Report {
   void add_metric(std::string name, double value);
   /// Flattens a registry snapshot into the "stats" section.
   void add_snapshot(const StatRegistry::Snapshot& snap);
+  /// Appends one sampling run to the "timeseries" block. The block is only
+  /// serialized when at least one series was added, so reports from benches
+  /// that never sample stay byte-identical to pre-telemetry output.
+  void add_timeseries(TimeSeriesData d);
   /// Appends a fragment's metrics and stats (table rows are the caller's
   /// to place — they belong to a Table the caller assembles).
   void merge(const ReportFragment& frag);
@@ -99,6 +111,7 @@ class Report {
   bool complete_ = false;
   std::vector<std::pair<std::string, double>> metrics_;
   std::vector<std::pair<std::string, double>> stats_;
+  std::vector<TimeSeriesData> timeseries_;
   std::vector<NamedTable> tables_;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/tail.hh"
+
 namespace ima::obs {
 
 StatRegistry::OwnerScope::OwnerScope(StatRegistry& reg, std::weak_ptr<const void> alive)
@@ -67,6 +69,22 @@ void StatRegistry::histogram(const std::string& path, const Histogram* h) {
   gauge(join_path(path, "p50"), [h] { return h->percentile(0.50); });
   gauge(join_path(path, "p95"), [h] { return h->percentile(0.95); });
   gauge(join_path(path, "p99"), [h] { return h->percentile(0.99); });
+  gauge(join_path(path, "p999"), [h] { return h->percentile(0.999); });
+  gauge(join_path(path, "max"), [h] { return h->stat().max(); });
+}
+
+void StatRegistry::tail(const std::string& path, const TailRecorder* t) {
+  counter_fn(join_path(path, "count"),
+             [t] { return static_cast<double>(t->count()); });
+  gauge(join_path(path, "sum"), [t] { return t->sum(); });
+  gauge(join_path(path, "mean"), [t] { return t->mean(); });
+  gauge(join_path(path, "min"), [t] { return t->min(); });
+  gauge(join_path(path, "max"), [t] { return t->max(); });
+  gauge(join_path(path, "stddev"), [t] { return t->stat().stddev(); });
+  gauge(join_path(path, "p50"), [t] { return t->percentile(0.50); });
+  gauge(join_path(path, "p95"), [t] { return t->percentile(0.95); });
+  gauge(join_path(path, "p99"), [t] { return t->percentile(0.99); });
+  gauge(join_path(path, "p999"), [t] { return t->percentile(0.999); });
 }
 
 const StatRegistry::Entry* StatRegistry::find(std::string_view path) const {

@@ -29,6 +29,8 @@
 
 namespace ima::obs {
 
+class TailRecorder;
+
 /// Counters are monotonic (diff subtracts), gauges are instantaneous levels
 /// (diff keeps the later value).
 enum class StatKind : std::uint8_t { Counter, Gauge };
@@ -71,8 +73,12 @@ class StatRegistry {
   void gauge(std::string path, std::function<double()> fn);
   /// Expands a RunningStat into <path>.count/.mean/.min/.max/.stddev.
   void running(const std::string& path, const RunningStat* rs);
-  /// Expands a Histogram into <path>.count/.mean/.p50/.p95/.p99.
+  /// Expands a Histogram into
+  /// <path>.count/.mean/.p50/.p95/.p99/.p999/.max.
   void histogram(const std::string& path, const Histogram* h);
+  /// Expands a TailRecorder into the full latency-report shape:
+  /// <path>.count/.sum/.mean/.min/.max/.stddev/.p50/.p95/.p99/.p999.
+  void tail(const std::string& path, const TailRecorder* t);
 
   std::size_t size() const { return entries_.size(); }
   bool contains(std::string_view path) const { return find(path) != nullptr; }

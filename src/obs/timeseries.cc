@@ -1,0 +1,57 @@
+#include "obs/timeseries.hh"
+
+#include <utility>
+
+namespace ima::obs {
+
+TimeSeries::TimeSeries(std::string label, Cycle period, std::size_t max_samples)
+    : max_samples_(max_samples) {
+  data_.label = std::move(label);
+  data_.period = period;
+}
+
+void TimeSeries::add_track(std::string name, StatKind kind,
+                           std::function<double()> read) {
+  data_.tracks.push_back(std::move(name));
+  data_.kinds.push_back(kind);
+  reads_.push_back(std::move(read));
+}
+
+bool TimeSeries::track_path(const StatRegistry& reg, std::string_view path) {
+  const StatRegistry::Entry* e = reg.find(path);
+  if (!e) return false;
+  add_track(e->path, e->kind, [e] { return e->read(); });
+  return true;
+}
+
+void TimeSeries::advance(Cycle now) {
+  if (data_.period == 0 || reads_.empty()) return;
+  // First boundary strictly past the last one emitted. Boundaries are the
+  // positive multiples of the period.
+  const Cycle first = (last_boundary_ / data_.period + 1) * data_.period;
+  if (first > now) return;
+  const std::uint64_t crossed = (now - first) / data_.period + 1;
+  // All boundaries in (last, now] see the same values: no tick ran between
+  // them (PerCycle re-reads at each boundary, but the in-between cycles are
+  // state-neutral or this advance() would have run earlier). Read once.
+  std::vector<double> cur(reads_.size());
+  for (std::size_t i = 0; i < reads_.size(); ++i) cur[i] = reads_[i]();
+  data_.emitted += crossed;
+  if (!stored_any_ || cur != prev_) {
+    // Store at the *first* boundary where these values are observed; the
+    // rest of the crossed boundaries dedupe against it.
+    if (data_.samples.size() < max_samples_) {
+      data_.samples.push_back(TimeSeriesData::Sample{first, cur});
+      prev_ = std::move(cur);
+      stored_any_ = true;
+    } else {
+      // Nothing stored, so every crossed boundary still differs from the
+      // last stored sample — count them all, exactly as a PerCycle run
+      // (one advance per boundary) would.
+      data_.dropped += crossed;
+    }
+  }
+  last_boundary_ = first + (crossed - 1) * data_.period;
+}
+
+}  // namespace ima::obs

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
-#include <ostream>
+#include <iostream>
 
 #include "obs/json.hh"
 
@@ -102,6 +102,15 @@ void TraceSink::write_chrome_trace(std::ostream& os) const {
   }
   w.end_array();
   w.key("displayTimeUnit").value("ms");
+  // Ring-buffer accounting: a trace that silently overwrote its oldest
+  // events looks complete in the viewer; the metadata makes the loss
+  // visible to tooling (bench_smoke_check validates these fields).
+  w.key("metadata")
+      .begin_object()
+      .key("recorded").value(recorded_)
+      .key("dropped").value(dropped())
+      .key("capacity").value(static_cast<std::uint64_t>(buf_.size()))
+      .end_object();
   w.end_object();
   os << '\n';
 }
@@ -110,6 +119,10 @@ bool TraceSink::write_chrome_trace_file(const std::string& path) const {
   std::ofstream os(path);
   if (!os) return false;
   write_chrome_trace(os);
+  if (dropped() > 0)
+    std::cerr << "warning: trace ring dropped " << dropped() << " of "
+              << recorded_ << " events (capacity " << buf_.size() << "); "
+              << path << " holds only the newest window\n";
   return static_cast<bool>(os);
 }
 

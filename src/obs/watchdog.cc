@@ -1,0 +1,128 @@
+#include "obs/watchdog.hh"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.hh"
+#include "obs/report.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
+
+namespace ima::obs {
+
+Watchdog::Watchdog(Config cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.check_interval == 0) cfg_.check_interval = 1;
+}
+
+void Watchdog::set_progress(std::function<std::uint64_t()> token) {
+  progress_ = std::move(token);
+}
+
+void Watchdog::set_idle(std::function<bool()> idle) { idle_ = std::move(idle); }
+
+void Watchdog::add_dump(std::string name,
+                        std::function<void(std::ostream&, Cycle)> fn) {
+  dumps_.emplace_back(std::move(name), std::move(fn));
+}
+
+void Watchdog::check(Cycle now) {
+  const auto host_now = std::chrono::steady_clock::now();
+  if (idle_ && idle_()) {
+    baseline_set_ = false;  // quiescent: re-baseline on next check
+    return;
+  }
+  const std::uint64_t token = progress_ ? progress_() : 0;
+  if (!baseline_set_ || token != last_token_) {
+    baseline_set_ = true;
+    last_token_ = token;
+    anchor_cycle_ = now;
+    anchor_host_ = host_now;
+    return;
+  }
+  const Cycle stalled = now >= anchor_cycle_ ? now - anchor_cycle_ : 0;
+  if (progress_ && cfg_.stall_cycles > 0 && stalled >= cfg_.stall_cycles)
+    fire(now, stalled, "no progress for " + std::to_string(stalled) + " simulated cycles");
+  if (cfg_.host_seconds > 0) {
+    const double host_stalled =
+        std::chrono::duration<double>(host_now - anchor_host_).count();
+    if (host_stalled >= cfg_.host_seconds)
+      fire(now, stalled,
+           "no progress for " + std::to_string(host_stalled) + " host seconds");
+  }
+}
+
+std::string Watchdog::resolve_artifact_path() const {
+  if (!cfg_.artifact_path.empty()) return cfg_.artifact_path;
+  return Report::default_out_dir() + "/WATCHDOG_" + cfg_.id + ".json";
+}
+
+void Watchdog::fire(Cycle now, Cycle stalled_for, const std::string& why) {
+  fired_ = true;
+  const std::string path = resolve_artifact_path();
+  {
+    std::ofstream os(path);
+    JsonWriter w(os);
+    w.begin_object();
+    w.key("watchdog").begin_object();
+    w.key("id").value(cfg_.id);
+    w.key("reason").value(why);
+    w.key("fired_at_cycle").value(static_cast<std::uint64_t>(now));
+    w.key("stalled_cycles").value(static_cast<std::uint64_t>(stalled_for));
+    w.key("stall_cycles_limit").value(static_cast<std::uint64_t>(cfg_.stall_cycles));
+    w.key("host_seconds_limit").value(cfg_.host_seconds);
+    w.key("progress_token").value(last_token_);
+    w.key("iterations").value(iterations_);
+    w.end_object();
+
+    w.key("trace").begin_array();
+    if (trace_) {
+      for (const TraceEvent& e : trace_->events()) {
+        w.begin_object();
+        w.key("cycle").value(static_cast<std::uint64_t>(e.cycle));
+        w.key("kind").value(to_string(e.kind));
+        w.key("pid").value(static_cast<std::uint64_t>(e.pid));
+        w.key("tid").value(static_cast<std::uint64_t>(e.tid));
+        w.key("arg0").value(e.arg0);
+        w.key("arg1").value(e.arg1);
+        w.end_object();
+      }
+    }
+    w.end_array();
+
+    w.key("stats").begin_object();
+    if (registry_) {
+      // snapshot() can itself throw (owner-liveness guard); a watchdog
+      // firing must not be masked by a secondary failure, so degrade the
+      // stats section rather than propagate.
+      try {
+        for (const auto& v : registry_->snapshot().values)
+          w.key(v.path).value(v.value);
+      } catch (const std::exception&) {
+        w.key("error").value("registry snapshot failed");
+      }
+    }
+    w.end_object();
+
+    w.key("dumps").begin_object();
+    for (const auto& [name, fn] : dumps_) {
+      std::ostringstream text;
+      try {
+        fn(text, now);
+      } catch (const std::exception& e) {
+        text << "[dump threw: " << e.what() << "]";
+      }
+      w.key(name).value(text.str());
+    }
+    w.end_object();
+    w.end_object();
+    os << '\n';
+    if (os) artifact_written_ = path;
+  }
+  throw WatchdogError("watchdog '" + cfg_.id + "' fired at cycle " +
+                          std::to_string(now) + ": " + why +
+                          "; flight recorder: " + path,
+                      artifact_written_);
+}
+
+}  // namespace ima::obs

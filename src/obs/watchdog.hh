@@ -1,0 +1,106 @@
+// No-progress watchdog + flight recorder.
+//
+// A wedged event loop is the worst observability failure mode: the process
+// spins (or crawls cycle-by-cycle through a refresh backlog that can never
+// drain), produces no artifact, and leaves nothing to diagnose — the PR 5
+// RAIDR parked-bank deadlock had to be bisected by hand. The watchdog turns
+// that into a one-run diagnosis: hook iterate() into the event loop, give it
+// a progress token (any monotonic digest of observable work — command
+// state-versions, retire counts), and if the token freezes for more than
+// `stall_cycles` of simulated time — or, optionally, `host_seconds` of wall
+// time — while the loop keeps iterating, it writes a flight-recorder
+// artifact (last-K trace events, a StatRegistry snapshot, free-form
+// component dumps) and throws WatchdogError.
+//
+// Cost when armed: one increment and one predictable branch per loop
+// iteration; the real check runs every `check_interval` iterations. Not
+// armed (no Watchdog constructed / null pointer at the call site): nothing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ima::obs {
+
+class StatRegistry;
+class TraceSink;
+
+/// Thrown after the flight-recorder artifact is written; what() carries the
+/// artifact path so a CI log points straight at the evidence.
+class WatchdogError : public std::runtime_error {
+ public:
+  WatchdogError(const std::string& what, std::string artifact)
+      : std::runtime_error(what), artifact_(std::move(artifact)) {}
+  const std::string& artifact() const { return artifact_; }
+
+ private:
+  std::string artifact_;
+};
+
+class Watchdog {
+ public:
+  struct Config {
+    std::string id = "run";           // artifact name: WATCHDOG_<id>.json
+    Cycle stall_cycles = 2'000'000;   // sim cycles without progress => fire
+    double host_seconds = 0;          // wall-clock limit; 0 = disabled
+    std::uint64_t check_interval = 4096;  // iterate() calls between checks
+    std::string artifact_path;        // "" => $IMA_BENCH_OUT/WATCHDOG_<id>.json
+  };
+
+  explicit Watchdog(Config cfg);
+
+  /// Monotonic digest of observable work. Required for the sim-cycle stall
+  /// detector; without it only the host-seconds limit can fire.
+  void set_progress(std::function<std::uint64_t()> token);
+  /// Optional: while true, the system is legitimately quiescent and the
+  /// stall timers reset (a drained queue is not a wedge).
+  void set_idle(std::function<bool()> idle);
+  /// Named free-form dump included in the artifact (queue contents, FSM
+  /// state, ...). The cycle argument is the fire-time cycle.
+  void add_dump(std::string name, std::function<void(std::ostream&, Cycle)> fn);
+  /// Last-K events from this sink land in the artifact's "trace" array.
+  void set_trace(const TraceSink* sink) { trace_ = sink; }
+  /// Snapshot of this registry lands in the artifact's "stats" object.
+  void set_registry(const StatRegistry* reg) { registry_ = reg; }
+
+  /// Call once per event-loop iteration; cheap until check_interval elapses.
+  void iterate(Cycle now) {
+    if (++iterations_ % cfg_.check_interval == 0) check(now);
+  }
+
+  /// The actual stall test; writes the artifact and throws WatchdogError on
+  /// detection. Public so tests can force a check deterministically.
+  void check(Cycle now);
+
+  bool fired() const { return fired_; }
+  const std::string& artifact() const { return artifact_written_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  [[noreturn]] void fire(Cycle now, Cycle stalled_for, const std::string& why);
+  std::string resolve_artifact_path() const;
+
+  Config cfg_;
+  std::function<std::uint64_t()> progress_;
+  std::function<bool()> idle_;
+  std::vector<std::pair<std::string, std::function<void(std::ostream&, Cycle)>>> dumps_;
+  const TraceSink* trace_ = nullptr;
+  const StatRegistry* registry_ = nullptr;
+
+  std::uint64_t iterations_ = 0;
+  bool baseline_set_ = false;
+  std::uint64_t last_token_ = 0;
+  Cycle anchor_cycle_ = 0;  // cycle when the token last changed
+  std::chrono::steady_clock::time_point anchor_host_{};
+  bool fired_ = false;
+  std::string artifact_written_;
+};
+
+}  // namespace ima::obs

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <ostream>
 
 #include "obs/stat_registry.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
+#include "obs/watchdog.hh"
 
 namespace ima::sim {
 
@@ -241,9 +245,42 @@ std::optional<Cycle> System::issue(std::uint32_t core, const workloads::TraceEnt
   return kCycleNever;
 }
 
+obs::Watchdog& System::arm_watchdog(std::uint64_t stall_cycles) {
+  obs::Watchdog::Config wcfg;
+  if (stall_cycles > 0) wcfg.stall_cycles = stall_cycles;
+  watchdog_ = std::make_unique<obs::Watchdog>(wcfg);
+  // Private registry: the artifact's stats snapshot must not depend on
+  // whether the embedding harness registered this system anywhere.
+  wd_registry_ = std::make_unique<obs::StatRegistry>();
+  register_stats(*wd_registry_);
+  watchdog_->set_registry(wd_registry_.get());
+  if (trace_) watchdog_->set_trace(trace_.get());
+  watchdog_->set_progress([this] {
+    std::uint64_t t = mem_->progress_token();
+    for (const auto& c : cores_)
+      t += c->stats().instructions + c->stats().stall_cycles;
+    return t;
+  });
+  watchdog_->add_dump("memory", [this](std::ostream& os, Cycle now) { mem_->dump(os, now); });
+  watchdog_->add_dump("cores", [this](std::ostream& os, Cycle now) {
+    for (const auto& c : cores_) c->dump(os, now);
+    os << "pending_writes=" << pending_writes_.size() << "\n";
+  });
+  mem_->set_watchdog(watchdog_.get());
+  return *watchdog_;
+}
+
 Cycle System::run(Cycle max_cycles) {
+  if (!watchdog_) {
+    if (const char* env = std::getenv("IMA_WATCHDOG")) {
+      if (const std::uint64_t n = std::strtoull(env, nullptr, 10); n > 0) arm_watchdog(n);
+    }
+  }
   Cycle last_ticked = kCycleNever;
   const auto tick = [this, &last_ticked](Cycle now) {
+    // Sample *before* any state mutation: skipped cycles are state-neutral,
+    // so pre-tick sampling sees the same values in every clock mode.
+    if (timeseries_) timeseries_->advance(now);
     now_ = now;
     last_ticked = now;
     mem_->tick(now);
@@ -252,14 +289,16 @@ Cycle System::run(Cycle max_cycles) {
     if (!pending_writes_.empty()) flush_pending_writes();
     for (auto& c : cores_) c->tick(now);
   };
-  const Cycle end = sim::run_event_loop(
-      cfg_.clock, now_, max_cycles, tick,
-      [this] {
-        for (const auto& c : cores_)
-          if (!c->done()) return false;
-        return true;
-      },
-      [this](Cycle now) { return next_event(now); });
+  const auto done = [this] {
+    for (const auto& c : cores_)
+      if (!c->done()) return false;
+    return true;
+  };
+  const auto next = [this](Cycle now) { return next_event(now); };
+  const Cycle end =
+      watchdog_ ? sim::run_event_loop(cfg_.clock, now_, max_cycles, tick, done, next,
+                                      [this](Cycle now) { watchdog_->iterate(now); })
+                : sim::run_event_loop(cfg_.clock, now_, max_cycles, tick, done, next);
   // Truncated at the limit with the next event beyond it: the per-cycle
   // reference's final tick lands on max_cycles-1, so replay it here to
   // bring time-accumulating stats (core stall/retire counts) up to the
@@ -267,6 +306,10 @@ Cycle System::run(Cycle max_cycles) {
   if (end == max_cycles && last_ticked != kCycleNever && last_ticked + 1 < max_cycles)
     tick(max_cycles - 1);
   now_ = end;
+  // Boundaries between the last tick and the end cycle see no further state
+  // changes; flushing them here keeps the sample stream end identical
+  // across clock modes.
+  if (timeseries_) timeseries_->advance(end);
   return now_;
 }
 

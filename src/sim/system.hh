@@ -17,7 +17,9 @@
 
 namespace ima::obs {
 class StatRegistry;
+class TimeSeries;
 class TraceSink;
+class Watchdog;
 }  // namespace ima::obs
 
 namespace ima::sim {
@@ -112,6 +114,20 @@ class System final : public core::MemoryPort {
   obs::TraceSink& enable_trace(std::size_t capacity = 1 << 16);
   obs::TraceSink* trace() { return trace_.get(); }
 
+  /// Attaches a windowed sampler (borrowed; null detaches): advanced at the
+  /// top of every tick and once more at the end of run(), so the sample
+  /// stream is identical in every clock mode (see obs/timeseries.hh).
+  void set_timeseries(obs::TimeSeries* ts) { timeseries_ = ts; }
+
+  /// Arms an owned no-progress watchdog on the run() loop (and the memory
+  /// system's drains). Progress = memory-system token + core retire counts;
+  /// the crash artifact embeds this system's stats, trace tail (when
+  /// enabled) and the memory/core flight-recorder dumps. `stall_cycles` = 0
+  /// keeps the default threshold. run() arms one lazily when IMA_WATCHDOG
+  /// is set (value = stall threshold in cycles).
+  obs::Watchdog& arm_watchdog(std::uint64_t stall_cycles = 0);
+  obs::Watchdog* watchdog() { return watchdog_.get(); }
+
  private:
   void handle_l1_victim(std::uint32_t core, const cache::Cache::FillResult& fr);
   void enqueue_mem_write(Addr addr);
@@ -135,6 +151,9 @@ class System final : public core::MemoryPort {
   std::unordered_map<Addr, std::uint64_t> prefetch_pc_;  // training context
   PrefetchStats pf_stats_;
   std::unique_ptr<obs::TraceSink> trace_;
+  obs::TimeSeries* timeseries_ = nullptr;
+  std::unique_ptr<obs::Watchdog> watchdog_;
+  std::unique_ptr<obs::StatRegistry> wd_registry_;  // artifact stats snapshot
   Cycle now_ = 0;
   // Liveness token for the registry's registration-epoch check: resets on
   // destruction, so stats read after this System dies fail loudly.

@@ -81,6 +81,45 @@ if(json_err OR rel_sdc LESS 1)
   message(FATAL_ERROR "BENCH_smoke.json metrics.reliability_sdc_unprotected is '${rel_sdc}', expected >= 1 (${json_err})")
 endif()
 
+# Tail-latency percentiles: the log-bucketed recorder must surface both as
+# top-level metrics and as expanded StatRegistry entries (including the
+# lifecycle span stages), and the stage sums must reconcile exactly with
+# the end-to-end read latency.
+foreach(metric read_latency_p50 read_latency_p95 read_latency_p99 read_latency_p999 trace_dropped)
+  string(JSON value ERROR_VARIABLE json_err GET "${report_json}" metrics ${metric})
+  if(json_err)
+    message(FATAL_ERROR "BENCH_smoke.json metrics.${metric} missing (${json_err})")
+  endif()
+endforeach()
+string(JSON span_err ERROR_VARIABLE json_err GET "${report_json}" metrics span_stage_sum_error)
+if(json_err OR NOT span_err EQUAL 0)
+  message(FATAL_ERROR "span stages do not sum to end-to-end latency: "
+                      "span_stage_sum_error='${span_err}' (${json_err})")
+endif()
+foreach(stat sys.mem.ctrl0.read_latency.p999 sys.mem.ctrl0.span.queue.p50
+             sys.mem.ctrl0.span.stall.p99 sys.mem.ctrl0.span.refresh.count
+             sys.mem.ctrl0.span.xfer.max)
+  string(JSON value ERROR_VARIABLE json_err GET "${report_json}" stats ${stat})
+  if(json_err)
+    message(FATAL_ERROR "BENCH_smoke.json stats.${stat} missing (${json_err})")
+  endif()
+endforeach()
+
+# Windowed time-series: at least one block with a positive period and at
+# least one delta-encoded sample row.
+string(JSON n_ts ERROR_VARIABLE json_err LENGTH "${report_json}" timeseries)
+if(json_err OR n_ts LESS 1)
+  message(FATAL_ERROR "BENCH_smoke.json has no timeseries block (${json_err})")
+endif()
+string(JSON ts_period ERROR_VARIABLE json_err GET "${report_json}" timeseries 0 period)
+if(json_err OR ts_period LESS_EQUAL 0)
+  message(FATAL_ERROR "timeseries[0].period is '${ts_period}' (${json_err})")
+endif()
+string(JSON n_samples ERROR_VARIABLE json_err LENGTH "${report_json}" timeseries 0 samples)
+if(json_err OR n_samples LESS 1)
+  message(FATAL_ERROR "timeseries[0] has no samples (${json_err})")
+endif()
+
 # Perf floor for the issue-loop fast path: the loaded host rate must be
 # recorded, and (outside sanitizer builds, which are legitimately slow)
 # must not regress more than 30% below the rate measured when the fast
@@ -117,6 +156,15 @@ foreach(field name cat ph ts pid tid)
   string(JSON value ERROR_VARIABLE json_err GET "${trace_json}" traceEvents 0 ${field})
   if(json_err)
     message(FATAL_ERROR "trace event missing '${field}': ${json_err}")
+  endif()
+endforeach()
+
+# Drop accounting: the ring-buffer sink must report how much it kept and
+# how much it shed, so a truncated trace is never mistaken for a quiet run.
+foreach(field recorded dropped capacity)
+  string(JSON value ERROR_VARIABLE json_err GET "${trace_json}" metadata ${field})
+  if(json_err)
+    message(FATAL_ERROR "TRACE_smoke.json metadata missing '${field}': ${json_err}")
   endif()
 endforeach()
 

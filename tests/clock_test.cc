@@ -18,6 +18,7 @@
 #include "mem/refresh.hh"
 #include "mem/rowhammer.hh"
 #include "obs/stat_registry.hh"
+#include "obs/timeseries.hh"
 #include "sim/system.hh"
 #include "workloads/stream.hh"
 
@@ -63,6 +64,9 @@ RunResult run_system(sim::ClockMode mode, const std::function<void(sim::SystemCo
   cfg.core.instr_limit = 4'000;
   if (tweak) tweak(cfg);
   cfg.clock = mode;
+  // Lifecycle spans on in every golden run: the span recorders (and their
+  // registered percentile paths) must themselves be clock-mode invariant.
+  cfg.ctrl.record_spans = true;
   sim::System sys(cfg, make_streams(cfg.num_cores, compute));
   if (wire) wire(sys);
   obs::StatRegistry reg;
@@ -236,6 +240,7 @@ std::pair<Cycle, obs::StatRegistry::Snapshot> run_loaded(sim::ClockMode mode, in
   auto dram_cfg = dram::DramConfig::ddr4_2400();
   mem::ControllerConfig ctrl;
   ctrl.num_cores = 4;
+  ctrl.record_spans = true;
   ctrl.powerdown_timeout = 400;
   ctrl.selfrefresh_timeout = 4'000;
   if (sched_sel >= 0) ctrl.sched = static_cast<mem::SchedKind>(sched_sel);
@@ -316,6 +321,67 @@ TEST(ClockExact, LoadedQueueAllSchedulers) {
     EXPECT_GT(sa.second.at("mem.ctrl0.reads_done").value_or(0), 1000.0);
     EXPECT_GT(sa.second.at("mem.ctrl0.victim_refreshes").value_or(0), 0.0);
   }
+}
+
+TEST(Spans, StagesSumExactlyToEndToEnd) {
+  // The lifecycle decomposition must lose nothing and double-count
+  // nothing: queue + stall + refresh + xfer == end-to-end, summed over
+  // every retired read, in both clock modes.
+  for (const auto mode : {sim::ClockMode::PerCycle, sim::ClockMode::SkipAhead}) {
+    SCOPED_TRACE(mode == sim::ClockMode::PerCycle ? "PerCycle" : "SkipAhead");
+    sim::SystemConfig cfg;
+    cfg.num_cores = 2;
+    cfg.ctrl.num_cores = 2;
+    cfg.core.instr_limit = 4'000;
+    cfg.ctrl.record_spans = true;
+    cfg.clock = mode;
+    sim::System sys(cfg, make_streams(2, 4));
+    sys.run(5'000'000);
+    std::uint64_t reads = 0;
+    for (std::uint32_t ch = 0; ch < sys.memory().num_channels(); ++ch) {
+      const auto& c = sys.memory().controller(ch);
+      const auto* sp = c.spans();
+      ASSERT_NE(sp, nullptr);
+      const auto& e2e = c.stats().read_latency;
+      EXPECT_EQ(sp->queue.count(), e2e.count());
+      EXPECT_EQ(sp->xfer.count(), e2e.count());
+      EXPECT_EQ(sp->queue.sum() + sp->stall.sum() + sp->refresh.sum() + sp->xfer.sum(),
+                e2e.sum());
+      reads += e2e.count();
+    }
+    EXPECT_GT(reads, 0u);
+  }
+}
+
+TEST(ClockExact, TimeSeriesSamplesMatch) {
+  // The windowed sampler must produce an identical sample stream in both
+  // clock modes: same boundaries, same values, same emitted/dropped counts.
+  const auto run_ts = [](sim::ClockMode mode) {
+    sim::SystemConfig cfg;
+    cfg.num_cores = 2;
+    cfg.ctrl.num_cores = 2;
+    cfg.core.instr_limit = 4'000;
+    cfg.clock = mode;
+    sim::System sys(cfg, make_streams(2, 4));
+    obs::StatRegistry reg;
+    sys.register_stats(reg);
+    obs::TimeSeries ts("t", 1'000);
+    EXPECT_TRUE(ts.track_path(reg, "sys.mem.ctrl0.reads_done"));
+    EXPECT_TRUE(ts.track_path(reg, "sys.core0.instructions"));
+    sys.set_timeseries(&ts);
+    sys.run(5'000'000);
+    return ts.data();
+  };
+  const auto pc = run_ts(sim::ClockMode::PerCycle);
+  const auto sa = run_ts(sim::ClockMode::SkipAhead);
+  EXPECT_EQ(pc.emitted, sa.emitted);
+  EXPECT_EQ(pc.dropped, sa.dropped);
+  ASSERT_EQ(pc.samples.size(), sa.samples.size());
+  for (std::size_t i = 0; i < pc.samples.size(); ++i) {
+    EXPECT_EQ(pc.samples[i].cycle, sa.samples[i].cycle) << "sample " << i;
+    EXPECT_EQ(pc.samples[i].values, sa.samples[i].values) << "sample " << i;
+  }
+  EXPECT_GT(pc.samples.size(), 1u);
 }
 
 TEST(ClockExact, MemorySystemDrain) {

@@ -14,6 +14,8 @@
 #include "obs/json.hh"
 #include "obs/report.hh"
 #include "obs/stat_registry.hh"
+#include "obs/tail.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 
 namespace ima {
@@ -153,6 +155,176 @@ TEST(Histogram, DegenerateRangesAndZeroBucketsAreRepaired) {
   EXPECT_EQ(no_buckets.counts()[0], 2u);
 }
 
+TEST(StatRegistry, HistogramRegistersTailFields) {
+  obs::StatRegistry reg;
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  reg.histogram("dist", &h);
+  EXPECT_TRUE(reg.contains("dist.p999"));
+  EXPECT_EQ(reg.value("dist.max"), 99.0);
+  EXPECT_NEAR(reg.value("dist.p999").value(), 99.0, 2.0);
+}
+
+TEST(Histogram, PercentileClampsToObservedRange) {
+  // One sample in a wide bucket: the percentile must report the exact
+  // value, not the bucket midpoint with false precision.
+  Histogram h(0.0, 1000.0, 10);
+  h.add(430.0);
+  EXPECT_EQ(h.percentile(0.5), 430.0);
+  EXPECT_EQ(h.percentile(0.999), 430.0);
+}
+
+TEST(TailRecorder, SmallValuesAreBucketedExactly) {
+  obs::TailRecorder t;
+  for (std::uint64_t v = 1; v <= 31; ++v) t.add(v);  // all below 2^(p+1)
+  EXPECT_EQ(t.count(), 31u);
+  EXPECT_EQ(t.percentile(0.5), 16.0);   // ceil(0.5*31) = 16th sample
+  EXPECT_EQ(t.percentile(1.0), 31.0);
+  EXPECT_EQ(t.min(), 1.0);
+  EXPECT_EQ(t.max(), 31.0);
+}
+
+TEST(TailRecorder, AllEqualSamplesReportTheExactValue) {
+  obs::TailRecorder t;
+  for (int i = 0; i < 10; ++i) t.add(123456789);
+  EXPECT_EQ(t.percentile(0.5), 123456789.0);
+  EXPECT_EQ(t.percentile(0.999), 123456789.0);
+}
+
+TEST(TailRecorder, PercentilesAreMonotoneWithBoundedRelativeError) {
+  obs::TailRecorder t;
+  for (std::uint64_t i = 1; i <= 1000; ++i) t.add(i * 1000);
+  const double p50 = t.percentile(0.50);
+  const double p95 = t.percentile(0.95);
+  const double p99 = t.percentile(0.99);
+  const double p999 = t.percentile(0.999);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_LE(p999, t.max());
+  // Bucket relative width is bounded by 2^-precision_bits.
+  EXPECT_NEAR(p50, 500'000.0, 500'000.0 / 16.0);
+  EXPECT_NEAR(p999, 999'000.0, 999'000.0 / 16.0);
+}
+
+TEST(TailRecorder, EmbeddedStatIsValueIdenticalToARunningStat) {
+  obs::TailRecorder t;
+  RunningStat rs;
+  for (const std::uint64_t v : {5u, 9u, 1u, 77u, 77u, 1024u}) {
+    t.add(v);
+    rs.add(static_cast<double>(v));
+  }
+  EXPECT_EQ(t.stat().count(), rs.count());
+  EXPECT_EQ(t.stat().mean(), rs.mean());
+  EXPECT_EQ(t.stat().min(), rs.min());
+  EXPECT_EQ(t.stat().max(), rs.max());
+  EXPECT_EQ(t.stat().stddev(), rs.stddev());
+}
+
+TEST(StatRegistry, TailRecorderExpandsToPercentileEntries) {
+  obs::StatRegistry reg;
+  obs::TailRecorder t;
+  for (std::uint64_t v = 1; v <= 100; ++v) t.add(v);
+  reg.tail("lat", &t);
+  EXPECT_EQ(reg.value("lat.count"), 100.0);
+  EXPECT_EQ(reg.value("lat.sum"), 5050.0);
+  EXPECT_EQ(reg.value("lat.mean"), 50.5);
+  EXPECT_TRUE(reg.contains("lat.stddev"));
+  EXPECT_NEAR(reg.value("lat.p50").value(), 50.0, 4.0);
+  EXPECT_NEAR(reg.value("lat.p999").value(), 100.0, 8.0);
+  ASSERT_NE(reg.find("lat.count"), nullptr);
+  EXPECT_EQ(reg.find("lat.count")->kind, obs::StatKind::Counter);
+  EXPECT_EQ(reg.find("lat.p50")->kind, obs::StatKind::Gauge);
+}
+
+TEST(TimeSeries, EmitsOncePerBoundaryAndDedupesQuiescence) {
+  double v = 1.0;
+  obs::TimeSeries ts("t", 10);
+  ts.add_track("g", obs::StatKind::Gauge, [&v] { return v; });
+  ts.advance(5);  // no boundary crossed yet
+  EXPECT_EQ(ts.data().emitted, 0u);
+  EXPECT_TRUE(ts.data().samples.empty());
+  ts.advance(25);  // boundaries 10 and 20, same value: one stored sample
+  EXPECT_EQ(ts.data().emitted, 2u);
+  ASSERT_EQ(ts.data().samples.size(), 1u);
+  EXPECT_EQ(ts.data().samples[0].cycle, 10u);
+  EXPECT_EQ(ts.data().samples[0].values, std::vector<double>{1.0});
+  v = 2.0;
+  ts.advance(40);  // boundaries 30 and 40: change stored once, at 30
+  EXPECT_EQ(ts.data().emitted, 4u);
+  ASSERT_EQ(ts.data().samples.size(), 2u);
+  EXPECT_EQ(ts.data().samples[1].cycle, 30u);
+  EXPECT_EQ(ts.data().samples[1].values, std::vector<double>{2.0});
+  EXPECT_EQ(ts.data().dropped, 0u);
+}
+
+TEST(TimeSeries, CapacityBoundsStorageAndCountsDrops) {
+  double v = 0.0;
+  obs::TimeSeries ts("t", 10, /*max_samples=*/2);
+  ts.add_track("g", obs::StatKind::Gauge, [&v] { return v; });
+  for (Cycle c = 10; c <= 50; c += 10) {
+    v = static_cast<double>(c);  // changes at every boundary
+    ts.advance(c);
+  }
+  EXPECT_EQ(ts.data().emitted, 5u);
+  EXPECT_EQ(ts.data().samples.size(), 2u);
+  EXPECT_EQ(ts.data().dropped, 3u);
+}
+
+TEST(TimeSeries, OneJumpMatchesPerBoundaryAdvance) {
+  // A SkipAhead-style jump across many boundaries must leave the same data
+  // as advancing through each one (values constant across the jump).
+  const auto build = [](bool jump) {
+    obs::TimeSeries ts("t", 7);
+    double v = 3.0;
+    ts.add_track("g", obs::StatKind::Gauge, [&v] { return v; });
+    if (jump) {
+      ts.advance(100);
+    } else {
+      for (Cycle c = 1; c <= 100; ++c) ts.advance(c);
+    }
+    return ts.data();
+  };
+  const auto a = build(true);
+  const auto b = build(false);
+  EXPECT_EQ(a.emitted, b.emitted);
+  EXPECT_EQ(a.dropped, b.dropped);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].cycle, b.samples[i].cycle);
+    EXPECT_EQ(a.samples[i].values, b.samples[i].values);
+  }
+}
+
+TEST(Report, TimeSeriesBlockDeltaEncodesCounterTracks) {
+  obs::TimeSeriesData d;
+  d.label = "ts";
+  d.period = 10;
+  d.emitted = 3;
+  d.tracks = {"reads", "depth"};
+  d.kinds = {obs::StatKind::Counter, obs::StatKind::Gauge};
+  d.samples.push_back({10, {5.0, 2.0}});
+  d.samples.push_back({30, {12.0, 4.0}});
+  obs::Report rep("tsx");
+  rep.add_timeseries(d);
+  std::ostringstream os;
+  rep.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"timeseries\":["), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"ts\""), std::string::npos);
+  EXPECT_NE(json.find("\"kinds\":[\"counter\",\"gauge\"]"), std::string::npos);
+  // First sample absolute, second delta-encoded on the counter track only.
+  EXPECT_NE(json.find("\"values\":[5,2]"), std::string::npos);
+  EXPECT_NE(json.find("\"values\":[7,4]"), std::string::npos);
+}
+
+TEST(Report, NoTimeSeriesKeyWhenNoneRecorded) {
+  obs::Report rep("none");
+  std::ostringstream os;
+  rep.write_json(os);
+  EXPECT_EQ(os.str().find("\"timeseries\""), std::string::npos);
+}
+
 TEST(TraceSink, RingWrapsKeepingNewestEvents) {
   obs::TraceSink sink(8);
   for (Cycle c = 0; c < 20; ++c)
@@ -210,6 +382,19 @@ TEST(TraceSink, ChromeExportShapesSpansAndInstants) {
   // Categories for viewer filtering.
   EXPECT_NE(json.find("\"cat\":\"dram\""), std::string::npos);
   EXPECT_NE(json.find("\"cat\":\"sched\""), std::string::npos);
+}
+
+TEST(TraceSink, ChromeExportCarriesDropMetadata) {
+  obs::TraceSink sink(4);
+  for (Cycle c = 0; c < 10; ++c)
+    sink.record(obs::TraceEvent{.cycle = c, .kind = obs::EventKind::DramCmd});
+  std::ostringstream os;
+  sink.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"metadata\""), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"capacity\":4"), std::string::npos);
 }
 
 TEST(Json, StringEscaping) {

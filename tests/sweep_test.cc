@@ -16,6 +16,7 @@
 #include "mem/rowhammer.hh"
 #include "obs/report.hh"
 #include "obs/stat_registry.hh"
+#include "obs/timeseries.hh"
 #include "reliability/engine.hh"
 
 using namespace ima;
@@ -28,7 +29,12 @@ namespace {
 double run_point(std::size_t index, harness::JobContext& ctx) {
   auto cfg = dram::DramConfig::ddr4_2400();
   mem::ControllerConfig ctrl;
+  ctrl.record_spans = true;  // lifecycle spans ride the merged report too
   mem::MemorySystem sys(cfg, ctrl);
+  obs::TimeSeries ts("point" + std::to_string(index), 500);
+  ts.add_track("reads_done", obs::StatKind::Counter, [&sys] {
+    return static_cast<double>(sys.controller(0).stats().reads_done);
+  });
   Rng rng(harness::job_seed(42, index));
   Cycle now = 0;
   for (int i = 0; i < 32; ++i) {
@@ -37,14 +43,18 @@ double run_point(std::size_t index, harness::JobContext& ctx) {
     r.arrive = now;
     sys.enqueue(r);
     now = sys.drain(now);
+    ts.advance(now);
   }
   const double lat = sys.controller(0).stats().read_latency.mean();
   ctx.fragment.metric("point" + std::to_string(index) + ".mean_lat", lat);
+  ctx.fragment.metric("point" + std::to_string(index) + ".p99",
+                      sys.controller(0).stats().read_latency.percentile(0.99));
   ctx.fragment.row({std::to_string(index), std::to_string(lat)});
 
   obs::StatRegistry reg;
   sys.register_stats(reg, "job" + std::to_string(index));
   ctx.fragment.snapshot(reg.snapshot());
+  ctx.fragment.timeseries(ts.data());
   return lat;
 }
 
