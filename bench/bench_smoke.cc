@@ -13,9 +13,11 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 
 #include "bench/bench_util.hh"
 #include "bench/mc_harness.hh"
+#include "harness/pool.hh"
 #include "mem/memsys.hh"
 #include "obs/stat_registry.hh"
 #include "obs/timeseries.hh"
@@ -203,6 +205,95 @@ int main() {
 
     bench::record_metric("loaded_served_per_kcycle", res.total_served_per_kcycle);
     bench::record_metric("host_cycles_per_sec_loaded", loaded_rate);
+  }
+
+  // Sharded intra-sim execution smoke: one 8-channel machine drained by the
+  // epoch-barrier engine serial (1 shard) and wide (IMA_SHARDS, default 8).
+  // The in-binary cross-width determinism check — cycle count, completion
+  // checksum and StatRegistry snapshot must match exactly — plus the wall
+  // clocks, so CI records the intra-sim speedup on whatever host ran it.
+  {
+    struct ShardOutcome {
+      Cycle cycles = 0;
+      std::uint64_t checksum = 0;
+      std::string snapshot;
+      unsigned workers = 0;
+      double wall = 0;
+    };
+    const std::uint64_t ops = bench::smoke_scaled(20'000, 2'000);
+    const auto run = [ops](unsigned shards) {
+      auto dram_cfg = dram::DramConfig::ddr4_2400();
+      dram_cfg.geometry.channels = 8;
+      mem::MemorySystem sys(dram_cfg, mem::ControllerConfig{});
+      sys.set_shards(shards);
+      ShardOutcome out;
+      std::vector<std::uint64_t> cursor(sys.num_channels(), 0);
+      mem::MemorySystem::ChannelSource src;
+      src.next = [&sys, &cursor, ops](std::uint32_t ch, Cycle, mem::Request& r) {
+        std::uint64_t& i = cursor[ch];
+        if (i >= ops) return false;
+        const auto& g = sys.dram_config().geometry;
+        const std::uint64_t h = harness::job_seed(0x5AAD, ch * 0x10001ull + i);
+        dram::Coord c;
+        c.channel = ch;
+        c.rank = static_cast<std::uint32_t>(h) % g.ranks;
+        c.bank = static_cast<std::uint32_t>(h >> 8) % g.banks;
+        c.row = static_cast<std::uint32_t>(h >> 16) % g.rows_per_bank();
+        c.column = static_cast<std::uint32_t>(h >> 40) % g.columns;
+        r = mem::Request{};
+        r.addr = sys.mapper().encode(c);
+        r.type = i % 4 == 3 ? AccessType::Write : AccessType::Read;
+        ++i;
+        return true;
+      };
+      src.on_complete = [&out](std::uint32_t ch, const mem::Request& done) {
+        out.checksum = (out.checksum * 1099511628211ull) ^ done.addr ^
+                       (static_cast<std::uint64_t>(done.complete) << 1) ^ ch;
+      };
+      const auto start = std::chrono::steady_clock::now();
+      out.cycles = sys.drain_sourced(src, 0);
+      out.wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      out.workers = sys.shard_workers_used();
+      obs::StatRegistry sreg;
+      sys.register_stats(sreg, "m");
+      std::ostringstream os;
+      for (const auto& v : sreg.snapshot().values) os << v.path << '=' << v.value << '\n';
+      out.snapshot = os.str();
+      return out;
+    };
+    unsigned wide = harness::default_shards();
+    if (wide == 0) wide = 8;
+    const ShardOutcome serial = run(1);
+    const ShardOutcome sharded = run(wide);
+    const bool equal = serial.cycles == sharded.cycles &&
+                       serial.checksum == sharded.checksum &&
+                       serial.snapshot == sharded.snapshot;
+    if (!equal) {
+      std::cerr << "sharded smoke: 1-shard and " << wide
+                << "-shard results diverge (cycles " << serial.cycles << " vs "
+                << sharded.cycles << ")\n";
+      return 1;
+    }
+    const double shard_speedup = sharded.wall > 0 ? serial.wall / sharded.wall : 0;
+    Table st({"metric", "value"});
+    st.add_row({"channels", "8"});
+    st.add_row({"shards", Table::fmt_int(wide)});
+    st.add_row({"host workers used", Table::fmt_int(sharded.workers)});
+    st.add_row({"cycles", Table::fmt_si(static_cast<double>(sharded.cycles), 0)});
+    st.add_row({"serial wall (s)", Table::fmt(serial.wall, 3)});
+    st.add_row({"sharded wall (s)", Table::fmt(sharded.wall, 3)});
+    st.add_row({"speedup", Table::fmt_ratio(shard_speedup)});
+    bench::print_table(st, "sharded drain (1 vs wide, results byte-identical)");
+
+    bench::record_metric("shard_channels", 8);
+    bench::record_metric("shard_cycles", static_cast<double>(sharded.cycles));
+    bench::record_metric("shard_epoch", static_cast<double>(sim::default_shard_epoch()));
+    bench::record_metric("shard_equal", equal ? 1 : 0);
+    bench::record_metric("shard_workers", static_cast<double>(sharded.workers));
+    bench::record_metric("shard_wall_seconds_serial", serial.wall);
+    bench::record_metric("shard_wall_seconds", sharded.wall);
+    bench::record_metric("shard_speedup", shard_speedup);
   }
 
   // Reliability pipeline smoke: deterministic direct injection through the

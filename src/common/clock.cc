@@ -13,6 +13,25 @@ const char* to_string(ClockMode m) {
   return "?";
 }
 
+Cycle default_shard_epoch() {
+  static const Cycle epoch = [] {
+    if (const char* env = std::getenv("IMA_SHARD_EPOCH"); env && *env) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end && *end == '\0' && v > 0) return static_cast<Cycle>(v);
+    }
+    return Cycle{8192};
+  }();
+  return epoch;
+}
+
+Cycle conservative_epoch(std::initializer_list<Cycle> latencies, Cycle fallback) {
+  Cycle bound = 0;
+  for (const Cycle l : latencies)
+    if (l > 0 && (bound == 0 || l < bound)) bound = l;
+  return bound > 0 ? bound : (fallback > 0 ? fallback : 1);
+}
+
 ClockMode default_clock_mode() {
   static const ClockMode mode = [] {
     const char* env = std::getenv("IMA_CLOCK");

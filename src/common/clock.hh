@@ -25,6 +25,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <initializer_list>
 #include <utility>
 
 #include "common/types.hh"
@@ -70,6 +71,61 @@ Cycle run_event_loop(ClockMode mode, Cycle from, Cycle limit, TickFn&& tick,
     // discard every cycle of the reference mode.
     now = mode == ClockMode::PerCycle ? now + 1
                                       : next_cycle(mode, now, limit, next(now));
+  }
+  return now;
+}
+
+// --- sharded execution (epoch barriers) ------------------------------------
+//
+// Sharded drains partition a memory system's channels into per-shard groups
+// and advance each group independently through fixed-length epochs, with a
+// global barrier at every epoch boundary (DESIGN.md "Sharded execution").
+// Between barriers a shard runs its own run_event_loop over its own
+// channels' next_event contracts; cross-shard effects (completion
+// callbacks) are deferred to per-channel mailboxes drained in canonical
+// order at the barrier. Correctness rests on the same invariant PerCycle vs
+// SkipAhead equality already proves: ticking a component at a non-event
+// cycle is observably a no-op, so each channel's state evolution is a
+// function of its own event set, not of which shard group (and therefore
+// which union of tick cycles) it lands in.
+
+/// Default epoch length between shard barriers: $IMA_SHARD_EPOCH when set
+/// to a positive integer, else 8192 cycles. Open-loop drains are exact at
+/// any epoch length (deferred callbacks never feed back into the epoch);
+/// the default just trades barrier overhead against callback-delivery
+/// granularity. Read once and cached.
+Cycle default_shard_epoch();
+
+/// Conservative-lookahead epoch bound for *closed-loop* co-simulation: the
+/// minimum positive cross-shard latency among `latencies` (0 entries mean
+/// "component not present"), clamped to at least 1. A consumer that
+/// re-injects work in reaction to a completion can never observe a
+/// cross-shard effect earlier than the fastest such path — the memory
+/// system's minimum callback latency (CL + BL), a NoC hop time — so an
+/// epoch no longer than that bound delivers every cross-shard interaction
+/// before it could matter. Returns `fallback` when no latency is positive.
+Cycle conservative_epoch(std::initializer_list<Cycle> latencies, Cycle fallback);
+
+/// The epoch-barrier driver: advances [from, limit) in epochs of `epoch`
+/// cycles. Per epoch: run_shards(begin, end) must advance every shard to
+/// `end` (parallel inside — this function never touches threads);
+/// barrier(end) runs on the calling thread with all shards quiescent
+/// (mailbox delivery, watchdog checks); done() stops the loop at a
+/// barrier when the whole system is idle. Returns the cycle reached — an
+/// epoch boundary, or `limit`. Identical at any shard width by
+/// construction: every shard ticks the same epoch spans regardless of how
+/// many host threads execute them.
+template <typename RunShardsFn, typename BarrierFn, typename DoneFn>
+Cycle run_epoch_barriers(Cycle from, Cycle limit, Cycle epoch, RunShardsFn&& run_shards,
+                         BarrierFn&& barrier, DoneFn&& done) {
+  Cycle now = from;
+  const Cycle step = epoch > 0 ? epoch : 1;
+  while (now < limit) {
+    const Cycle end = limit - now > step ? now + step : limit;
+    run_shards(now, end);
+    now = end;
+    barrier(now);
+    if (done()) break;
   }
   return now;
 }

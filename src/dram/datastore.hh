@@ -5,6 +5,15 @@
 // The data store is what makes the PUM model *functional*: RowClone and
 // Ambit operations transform actual bits, so their results can be checked
 // against software oracles in tests.
+//
+// Sharding contract: the sparse store is partitioned per channel, and
+// every accessor touches only its coordinate's partition (all row-level
+// PUM operations are intra-channel by construction — PimArgs name rows
+// within one bank). Concurrent access from different channels is therefore
+// safe with no locking: a lazy allocation in one channel's map can never
+// rehash another channel's (the pre-partition single map could, which is
+// exactly the race sharded drains would have hit). Same-channel access
+// stays single-threaded because a channel belongs to exactly one shard.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +29,9 @@ namespace ima::dram {
 class DataStore {
  public:
   explicit DataStore(const Geometry& g)
-      : geom_(g), words_per_row_(g.row_bytes() / sizeof(std::uint64_t)) {}
+      : geom_(g),
+        words_per_row_(g.row_bytes() / sizeof(std::uint64_t)),
+        channels_(g.channels ? g.channels : 1) {}
 
   /// Mutable view of a row's words; allocates (zero-filled) on first touch.
   std::vector<std::uint64_t>& row(const Coord& c) { return ensure_row(c); }
@@ -39,22 +50,34 @@ class DataStore {
   void fill_row(const Coord& c, std::uint64_t pattern);
 
   std::size_t words_per_row() const { return words_per_row_; }
-  std::size_t allocated_rows() const { return rows_.size(); }
+  std::size_t allocated_rows() const {
+    std::size_t n = 0;
+    for (const auto& m : channels_) n += m.size();
+    return n;
+  }
 
  private:
+  /// Channel-local key: the channel selects the partition instead.
   std::uint64_t row_key(const Coord& c) const {
-    std::uint64_t k = c.channel;
-    k = k * geom_.ranks + c.rank;
+    std::uint64_t k = c.rank;
     k = k * geom_.banks + c.bank;
     k = k * geom_.rows_per_bank() + c.row;
     return k;
+  }
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>& part(const Coord& c) {
+    return channels_[c.channel < channels_.size() ? c.channel : 0];
+  }
+  const std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>& part(
+      const Coord& c) const {
+    return channels_[c.channel < channels_.size() ? c.channel : 0];
   }
 
   std::vector<std::uint64_t>& ensure_row(const Coord& c);
 
   Geometry geom_;
   std::size_t words_per_row_;
-  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> rows_;
+  // One sparse map per channel — see the sharding contract above.
+  std::vector<std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>> channels_;
 };
 
 }  // namespace ima::dram

@@ -1,8 +1,10 @@
 #include "harness/sweep.hh"
 
-#include <atomic>
+#include <algorithm>
 #include <cstdlib>
 #include <thread>
+
+#include "harness/pool.hh"
 
 namespace ima::harness {
 
@@ -43,25 +45,18 @@ void run_indexed(std::size_t num_jobs, unsigned workers,
   if (num_jobs == 0) return;
   if (workers <= 1 || num_jobs == 1) {
     // Serial reference path: no threads, no atomics — IMA_JOBS=1 runs the
-    // exact code a pre-sweep bench ran.
+    // exact code a pre-sweep bench ran. Deliberately not marked on_worker:
+    // a serial sweep leaves the host cores to any sharded drains inside
+    // the jobs (results are width-invariant either way).
     for (std::size_t i = 0; i < num_jobs; ++i) body(i, 0);
     return;
   }
-
-  const unsigned n_workers =
-      static_cast<unsigned>(std::min<std::size_t>(workers, num_jobs));
-  std::atomic<std::size_t> next{0};
-  auto worker_loop = [&](unsigned worker) {
-    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < num_jobs;
-         i = next.fetch_add(1, std::memory_order_relaxed))
-      body(i, worker);
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(n_workers - 1);
-  for (unsigned w = 1; w < n_workers; ++w) pool.emplace_back(worker_loop, w);
-  worker_loop(0);  // the calling thread is worker 0
-  for (auto& t : pool) t.join();
+  // One ephemeral pool per sweep — the sweep's lifetime IS the parallel
+  // region, unlike a memory system's epoch loop which re-dispatches one
+  // long-lived pool. Jobs see WorkerPool::on_worker() == true, which is
+  // what collapses nested sharded drains to serial.
+  WorkerPool pool(static_cast<unsigned>(std::min<std::size_t>(workers, num_jobs)));
+  pool.parallel_for(num_jobs, body);
 }
 
 }  // namespace ima::harness

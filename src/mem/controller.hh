@@ -100,6 +100,10 @@ class Controller {
   void set_refresh_policy(std::unique_ptr<RefreshPolicy> refresh);
   void set_rowhammer(std::unique_ptr<RowHammerMitigation> mitigation);
   void set_victim_model(HammerVictimModel* model);
+  /// Borrowed victim model (null if none). MemorySystem's sharded drain
+  /// inspects this: a model shared across controllers forces the epochs
+  /// onto one host thread (cross-shard on_act calls would race).
+  const HammerVictimModel* victim_model() const { return victim_model_; }
 
   /// Reliability engine; null when ControllerConfig::reliability.enabled
   /// is false (the default).

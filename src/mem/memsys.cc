@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cstring>
 #include <ostream>
+#include <stdexcept>
 
+#include "harness/pool.hh"
 #include "obs/stat_registry.hh"
 #include "obs/watchdog.hh"
 
@@ -21,8 +23,11 @@ MemorySystem::MemorySystem(const dram::DramConfig& dram_cfg, const ControllerCon
   }
 }
 
+MemorySystem::~MemorySystem() = default;
+
 bool MemorySystem::enqueue(Request req, CompletionCallback cb) {
   const auto coord = mapper_->decode(req.addr);
+  if (shards_ > 0) cb = defer_to_mailbox(coord.channel, std::move(cb));
   return ctrls_[coord.channel]->enqueue(req, std::move(cb));
 }
 
@@ -37,6 +42,7 @@ Cycle MemorySystem::next_event(Cycle now) const {
 }
 
 Cycle MemorySystem::drain(Cycle from, Cycle deadline) {
+  if (shards_ > 0) return drain_epochs(from, deadline, nullptr);
   // Legacy shape: check idle *before* each tick, return last-ticked + 1.
   if (idle() || from >= deadline) return from;
   const auto tick_fn = [this](Cycle now) { tick(now); };
@@ -49,6 +55,208 @@ Cycle MemorySystem::drain(Cycle from, Cycle deadline) {
                 : sim::run_event_loop(clock_mode_, from, deadline, tick_fn, done_fn,
                                       next_fn);
   return end < deadline ? end + 1 : end;
+}
+
+// --- sharded execution ------------------------------------------------------
+
+void MemorySystem::set_shards(unsigned shards, Cycle epoch) {
+  shards_ = std::min<unsigned>(shards, static_cast<unsigned>(ctrls_.size()));
+  shard_epoch_ = epoch;
+  if (shards_ == 0) {
+    pool_.reset();
+    groups_.clear();
+  }
+}
+
+Cycle MemorySystem::shard_epoch() const {
+  return shard_epoch_ > 0 ? shard_epoch_ : sim::default_shard_epoch();
+}
+
+Cycle MemorySystem::drain_sourced(const ChannelSource& src, Cycle from, Cycle deadline) {
+  if (shards_ == 0)
+    throw std::logic_error("drain_sourced requires an armed shard plan (set_shards)");
+  if (!src.next)
+    throw std::logic_error("drain_sourced: ChannelSource::next is required");
+  feeds_.assign(ctrls_.size(), Feed{});
+  return drain_epochs(from, deadline, &src);
+}
+
+CompletionCallback MemorySystem::defer_to_mailbox(std::uint32_t ch, CompletionCallback cb) {
+  if (!cb) return nullptr;
+  if (mail_.size() != ctrls_.size()) mail_.resize(ctrls_.size());
+  // Fires exactly once, on the owning shard's thread, into the channel's
+  // private mailbox; the barrier delivers it on the coordinator.
+  return [this, ch, inner = std::move(cb)](const Request& r) {
+    mail_[ch].push_back(Mail{r, inner});
+  };
+}
+
+void MemorySystem::deliver_mail() {
+  if (mail_.empty()) return;
+  mail_order_.clear();
+  for (std::uint32_t ch = 0; ch < mail_.size(); ++ch)
+    for (std::uint32_t i = 0; i < mail_[ch].size(); ++i) mail_order_.emplace_back(ch, i);
+  if (mail_order_.empty()) return;
+  // Per-channel boxes are already completion-ordered (retire pops the
+  // inflight heap in done order), and the scratch list is built in channel
+  // order, so a stable sort on the completion cycle yields the canonical
+  // (cycle, channel, arrival) order — byte-for-byte the legacy serial
+  // callback order.
+  std::stable_sort(mail_order_.begin(), mail_order_.end(),
+                   [this](const auto& a, const auto& b) {
+                     return mail_[a.first][a.second].req.complete <
+                            mail_[b.first][b.second].req.complete;
+                   });
+  for (const auto& [ch, i] : mail_order_) {
+    Mail& m = mail_[ch][i];
+    m.cb(m.req);
+  }
+  for (auto& box : mail_) box.clear();
+}
+
+void MemorySystem::feed_channel(const ChannelSource& src, std::uint32_t c, Cycle now) {
+  Feed& f = feeds_[c];
+  while (!f.exhausted) {
+    if (!f.has_pending) {
+      Request r;
+      if (!src.next(c, now, r)) {
+        f.exhausted = true;
+        break;
+      }
+      f.pending = std::move(r);
+      f.has_pending = true;
+    }
+    if (!ctrls_[c]->can_accept(f.pending.type, f.pending.core)) break;
+    assert(mapper_->decode(f.pending.addr).channel == c &&
+           "ChannelSource produced an address outside its channel");
+    Request req = std::move(f.pending);
+    f.has_pending = false;
+    req.arrive = now;
+    CompletionCallback cb;
+    if (src.on_complete) {
+      cb = [fn = src.on_complete, c](const Request& done) { fn(c, done); };
+    }
+    ctrls_[c]->enqueue(std::move(req), defer_to_mailbox(c, std::move(cb)));
+  }
+}
+
+void MemorySystem::run_shard_span(std::size_t g, Cycle from, Cycle limit,
+                                  const ChannelSource* src) {
+  const auto [beg, end] = groups_[g];
+  const auto tick_fn = [&](Cycle now) {
+    for (std::uint32_t c = beg; c < end; ++c) {
+      if (src) feed_channel(*src, c, now);
+      ctrls_[c]->tick(now);
+    }
+  };
+  const auto next_fn = [&](Cycle now) {
+    Cycle nxt = kCycleNever;
+    for (std::uint32_t c = beg; c < end; ++c) {
+      // A channel with a live feeder runs per-cycle: "when can the queue
+      // accept again" has no cheap closed form, and crucially now + 1 makes
+      // the channel's tick set a function of its own feed state alone —
+      // never of which group (and so which union of event cycles) it
+      // shares. That independence is what keeps results width-invariant.
+      if (src && !feeds_[c].exhausted) return now + 1;
+      nxt = std::min(nxt, ctrls_[c]->next_event(now));
+    }
+    return nxt;
+  };
+  // done is never true: every shard runs the full epoch span so idle-early
+  // shards keep ticking refresh/power state exactly like the legacy global
+  // loop does while other channels stay busy.
+  sim::run_event_loop(clock_mode_, from, limit, tick_fn, [] { return false; }, next_fn);
+}
+
+unsigned MemorySystem::decide_shard_workers() const {
+  unsigned want = shards_;
+  if (want <= 1) return 1;
+  // Nested in a sweep job: the pool is already saturated — run the epochs
+  // inline rather than oversubscribing shards-per-job x jobs threads.
+  if (harness::WorkerPool::on_worker()) return 1;
+  // A trace sink is one shared ring across all controllers; keep its
+  // writers on one thread (results are width-invariant, so this only
+  // changes the host-thread count).
+  if (trace_attached_) return 1;
+  // One HammerVictimModel shared by several controllers would see
+  // cross-shard on_act calls; collapse rather than race.
+  for (std::size_t i = 0; i < ctrls_.size(); ++i) {
+    const auto* m = ctrls_[i]->victim_model();
+    if (!m) continue;
+    for (std::size_t j = i + 1; j < ctrls_.size(); ++j)
+      if (ctrls_[j]->victim_model() == m) return 1;
+  }
+  return want;
+}
+
+Cycle MemorySystem::drain_epochs(Cycle from, Cycle deadline, const ChannelSource* src) {
+  if (from >= deadline) return from;
+  if (!src && idle()) return from;
+  if (mail_.size() != ctrls_.size()) mail_.resize(ctrls_.size());
+
+  // Shard groups: `shards_` contiguous channel blocks. The partition is
+  // part of the simulated configuration (it decides nothing — per-channel
+  // execution is group-invariant — but keeping it fixed per plan makes the
+  // engine's behaviour easy to reason about); only the host-thread width
+  // below varies with context.
+  groups_.clear();
+  const auto nch = static_cast<std::uint32_t>(ctrls_.size());
+  for (unsigned g = 0; g < shards_; ++g) {
+    const std::uint32_t beg = static_cast<std::uint32_t>(std::uint64_t{nch} * g / shards_);
+    const std::uint32_t end =
+        static_cast<std::uint32_t>(std::uint64_t{nch} * (g + 1) / shards_);
+    if (beg < end) groups_.emplace_back(beg, end);
+  }
+
+  const unsigned workers = decide_shard_workers();
+  shard_workers_used_ = workers;
+  if (workers > 1 && (!pool_ || pool_->width() != workers))
+    pool_ = std::make_unique<harness::WorkerPool>(workers);
+  if (watchdog_)
+    watchdog_->set_shard_progress(
+        [this](std::vector<obs::ShardProgress>& out) { shard_progress(out); });
+
+  const auto run_shards = [&](Cycle begin, Cycle end) {
+    if (workers > 1) {
+      pool_->parallel_for(groups_.size(), [&](std::size_t g, unsigned) {
+        run_shard_span(g, begin, end, src);
+      });
+    } else {
+      for (std::size_t g = 0; g < groups_.size(); ++g) run_shard_span(g, begin, end, src);
+    }
+  };
+  const auto barrier = [&](Cycle now) {
+    deliver_mail();
+    if (watchdog_) watchdog_->check(now);
+  };
+  const auto done = [&] {
+    if (!idle()) return false;
+    if (src)
+      for (const Feed& f : feeds_)
+        if (!f.exhausted || f.has_pending) return false;
+    return true;
+  };
+  return sim::run_epoch_barriers(from, deadline, shard_epoch(), run_shards, barrier, done);
+}
+
+void MemorySystem::shard_progress(std::vector<obs::ShardProgress>& out) const {
+  const auto sample = [this](std::uint32_t beg, std::uint32_t end) {
+    obs::ShardProgress p;
+    p.idle = true;
+    for (std::uint32_t c = beg; c < end; ++c) {
+      const auto& s = ctrls_[c]->stats();
+      p.token += chans_[c]->state_version() + s.reads_done + s.writes_done + s.pim_ops_done;
+      if (!ctrls_[c]->idle()) p.idle = false;
+    }
+    return p;
+  };
+  if (!groups_.empty()) {
+    for (const auto& [beg, end] : groups_) out.push_back(sample(beg, end));
+    return;
+  }
+  // No shard plan: per-channel granularity, so a single wedged channel in
+  // an unsharded run is just as visible.
+  for (std::uint32_t c = 0; c < ctrls_.size(); ++c) out.push_back(sample(c, c + 1));
 }
 
 bool MemorySystem::idle() const {
@@ -138,7 +346,10 @@ void MemorySystem::register_stats(obs::StatRegistry& reg, const std::string& pre
 }
 
 void MemorySystem::set_trace(obs::TraceSink* sink) {
-  // Controllers forward to their channel and scheduler.
+  // Controllers forward to their channel and scheduler. The sink is one
+  // shared ring: while attached, sharded drains collapse to one host thread
+  // (decide_shard_workers) so its writers never race.
+  trace_attached_ = sink != nullptr;
   for (auto& c : ctrls_) c->set_trace(sink);
 }
 

@@ -5,11 +5,21 @@
 // straight to the data store; timing requests flow through the controllers.
 // This timing/functional split is the standard trace-driven-simulator
 // arrangement (cf. Ramulator).
+// Sharded execution (DESIGN.md "Sharded execution"): set_shards() switches
+// drain() onto an epoch-barrier engine that partitions the channels into
+// contiguous per-shard groups, advances each group independently on a
+// harness::WorkerPool between barriers, and defers completion callbacks to
+// per-channel mailboxes delivered in canonical (completion cycle, channel,
+// arrival) order at each barrier. Results are byte-identical at any shard
+// width — IMA_SHARDS=1 and IMA_SHARDS=8 produce the same cycle counts,
+// StatRegistry snapshots and corruption ledgers (tests/shard_test.cc).
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/clock.hh"
@@ -21,7 +31,12 @@
 
 namespace ima::obs {
 class Watchdog;
+struct ShardProgress;
 }  // namespace ima::obs
+
+namespace ima::harness {
+class WorkerPool;
+}  // namespace ima::harness
 
 namespace ima::mem {
 
@@ -29,6 +44,7 @@ class MemorySystem {
  public:
   MemorySystem(const dram::DramConfig& dram_cfg, const ControllerConfig& ctrl_cfg,
                dram::MapScheme scheme = dram::MapScheme::RoBaRaCoCh);
+  ~MemorySystem();  // out-of-line: WorkerPool is forward-declared here
 
   /// Routes the request to its channel's controller.
   bool enqueue(Request req, CompletionCallback cb = nullptr);
@@ -49,10 +65,60 @@ class MemorySystem {
 
   /// Runs until all queues drain or `deadline` passes; returns final cycle.
   /// Skip-ahead by default (cycle-exact vs. the per-cycle reference);
-  /// set_clock_mode(ClockMode::PerCycle) restores the legacy loop.
+  /// set_clock_mode(ClockMode::PerCycle) restores the legacy loop. With a
+  /// shard plan armed (set_shards) this routes to the epoch-barrier engine
+  /// instead; the returned cycle is then epoch-quantized (the first barrier
+  /// at which the system is idle) but identical at every shard width.
   Cycle drain(Cycle from, Cycle deadline = 100'000'000);
 
   bool idle() const;
+
+  // --- sharded execution ---
+
+  /// Arms the epoch-barrier drain engine: `shards` contiguous channel
+  /// groups (clamped to the channel count) advanced between barriers every
+  /// `epoch` cycles (0 = sim::default_shard_epoch()). shards = 0 disarms
+  /// (legacy serial drain). Call before enqueueing: with a plan armed,
+  /// completion callbacks are deferred to the barrier mailboxes from
+  /// enqueue time on. The host-thread width actually used can be lower
+  /// than `shards` — nested inside a sweep job (WorkerPool::on_worker()),
+  /// with a trace sink attached, or with one HammerVictimModel shared by
+  /// several controllers, the epochs run inline on the caller — but the
+  /// simulated results never depend on that (shard_workers_used() tells).
+  void set_shards(unsigned shards, Cycle epoch = 0);
+  unsigned shards() const { return shards_; }
+  Cycle shard_epoch() const;
+  /// Host-thread width of the most recent sharded drain (diagnostics: the
+  /// oversubscription test asserts 1 inside sweep jobs).
+  unsigned shard_workers_used() const { return shard_workers_used_; }
+
+  /// Minimum completion-callback latency (CL + BL): the earliest a
+  /// cross-shard effect routed through this memory system can matter, i.e.
+  /// the memsys term of sim::conservative_epoch for closed-loop callers.
+  Cycle min_callback_latency() const {
+    return dram_cfg_.timings.cl + dram_cfg_.timings.bl;
+  }
+
+  /// Per-channel open-loop feeder for sharded drains: next(ch, now, out)
+  /// produces the channel's next request (addresses must decode to `ch`;
+  /// returning false means the channel's stream is exhausted for good) and
+  /// is called from the owning shard's thread, so it may only touch
+  /// per-channel state. on_complete (optional) is delivered through the
+  /// barrier mailboxes in canonical order on the coordinating thread.
+  struct ChannelSource {
+    std::function<bool(std::uint32_t ch, Cycle now, Request& out)> next;
+    std::function<void(std::uint32_t ch, const Request& done)> on_complete;
+  };
+
+  /// Epoch-barrier drain with per-channel feeders: runs until every source
+  /// is exhausted and every queue drained (or `deadline`). Requires an
+  /// armed shard plan (set_shards; shards = 1 is the serial reference —
+  /// byte-identical to any wider plan).
+  Cycle drain_sourced(const ChannelSource& src, Cycle from, Cycle deadline = 100'000'000);
+
+  /// Appends one ShardProgress per shard group (per channel when no plan
+  /// is armed): the obs::Watchdog::set_shard_progress payload.
+  void shard_progress(std::vector<obs::ShardProgress>& out) const;
 
   void set_clock_mode(sim::ClockMode mode) { clock_mode_ = mode; }
   sim::ClockMode clock_mode() const { return clock_mode_; }
@@ -99,6 +165,35 @@ class MemorySystem {
   void dump(std::ostream& os, Cycle now) const;
 
  private:
+  // --- sharded-drain machinery (all coordinator-side unless noted) ---
+  struct Mail {
+    Request req;
+    CompletionCallback cb;
+  };
+  struct Feed {
+    bool exhausted = false;
+    bool has_pending = false;
+    Request pending;
+  };
+
+  /// Wraps a callback so it lands in channel `ch`'s barrier mailbox
+  /// instead of firing on the shard thread. Null stays null.
+  CompletionCallback defer_to_mailbox(std::uint32_t ch, CompletionCallback cb);
+  /// Delivers all mailboxes in canonical (completion cycle, channel,
+  /// arrival) order — exactly the order the legacy serial drain fires
+  /// callbacks in — then clears them.
+  void deliver_mail();
+  /// Advances shard group `g` from `from` to `limit` via its own event
+  /// loop (runs on a pool worker; touches only the group's channels).
+  void run_shard_span(std::size_t g, Cycle from, Cycle limit, const ChannelSource* src);
+  /// Feeds channel `c` from `src` until its queue rejects or the stream
+  /// exhausts (shard-thread side).
+  void feed_channel(const ChannelSource& src, std::uint32_t c, Cycle now);
+  /// Host-thread width for this drain: the armed shard count, collapsed to
+  /// 1 when nested in a pool region, tracing, or sharing a victim model.
+  unsigned decide_shard_workers() const;
+  Cycle drain_epochs(Cycle from, Cycle deadline, const ChannelSource* src);
+
   dram::DramConfig dram_cfg_;
   std::unique_ptr<dram::DataStore> data_;
   std::unique_ptr<dram::AddressMapper> mapper_;
@@ -106,6 +201,16 @@ class MemorySystem {
   std::vector<std::unique_ptr<Controller>> ctrls_;
   obs::Watchdog* watchdog_ = nullptr;
   sim::ClockMode clock_mode_ = sim::default_clock_mode();
+
+  unsigned shards_ = 0;  // 0 = legacy serial drain
+  Cycle shard_epoch_ = 0;
+  unsigned shard_workers_used_ = 0;
+  bool trace_attached_ = false;
+  std::unique_ptr<harness::WorkerPool> pool_;          // lazily built, reused
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> groups_;  // [begin,end) per shard
+  std::vector<std::vector<Mail>> mail_;                // per channel, shard-written
+  std::vector<Feed> feeds_;                            // per channel, shard-written
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> mail_order_;  // scratch
   // Liveness token for the registry's registration-epoch check (see
   // obs/stat_registry.hh): reads after this MemorySystem dies throw.
   std::shared_ptr<const void> stats_alive_ = std::make_shared<int>(0);

@@ -33,6 +33,12 @@ struct NocConfig {
   PicoJoule e_link = 12.0;     // one hop traversal
   PicoJoule e_buffer = 8.0;    // one buffer write+read (buffered only)
   PicoJoule e_router = 4.0;    // arbitration/crossbar per flit per hop
+
+  /// Minimum cycles before an injected packet can influence any other
+  /// node: one hop traversal. This is the mesh's lookahead term for
+  /// sim::conservative_epoch when a NoC couples sharded components —
+  /// cross-shard effects routed over the mesh cannot matter sooner.
+  Cycle min_hop_latency() const { return 1; }
 };
 
 struct Packet {

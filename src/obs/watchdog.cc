@@ -21,6 +21,11 @@ void Watchdog::set_progress(std::function<std::uint64_t()> token) {
 
 void Watchdog::set_idle(std::function<bool()> idle) { idle_ = std::move(idle); }
 
+void Watchdog::set_shard_progress(std::function<void(std::vector<ShardProgress>&)> fill) {
+  shard_fill_ = std::move(fill);
+  shard_anchors_.clear();
+}
+
 void Watchdog::add_dump(std::string name,
                         std::function<void(std::ostream&, Cycle)> fn) {
   dumps_.emplace_back(std::move(name), std::move(fn));
@@ -30,8 +35,13 @@ void Watchdog::check(Cycle now) {
   const auto host_now = std::chrono::steady_clock::now();
   if (idle_ && idle_()) {
     baseline_set_ = false;  // quiescent: re-baseline on next check
+    shard_anchors_.clear();
     return;
   }
+  // Per-shard stall test first: the global token below keeps changing as
+  // long as ANY shard progresses, which is exactly how one wedged shard
+  // hides in a sharded run.
+  check_shards(now);
   const std::uint64_t token = progress_ ? progress_() : 0;
   if (!baseline_set_ || token != last_token_) {
     baseline_set_ = true;
@@ -49,6 +59,36 @@ void Watchdog::check(Cycle now) {
     if (host_stalled >= cfg_.host_seconds)
       fire(now, stalled,
            "no progress for " + std::to_string(host_stalled) + " host seconds");
+  }
+}
+
+void Watchdog::check_shards(Cycle now) {
+  if (!shard_fill_) return;
+  shard_buf_.clear();
+  shard_fill_(shard_buf_);
+  if (shard_anchors_.size() != shard_buf_.size()) {
+    shard_anchors_.assign(shard_buf_.size(), ShardAnchor{});
+  }
+  for (std::size_t s = 0; s < shard_buf_.size(); ++s) {
+    const ShardProgress& p = shard_buf_[s];
+    ShardAnchor& a = shard_anchors_[s];
+    if (!a.set || p.token != a.token) {
+      a.set = true;
+      a.token = p.token;
+      a.cycle = now;
+      continue;
+    }
+    if (p.idle) {
+      // A drained shard with a frozen token is quiescent, not wedged.
+      a.cycle = now;
+      continue;
+    }
+    const Cycle stalled = now >= a.cycle ? now - a.cycle : 0;
+    if (cfg_.stall_cycles > 0 && stalled >= cfg_.stall_cycles)
+      fire(now, stalled,
+           "shard " + std::to_string(s) + " made no progress for " +
+               std::to_string(stalled) + " simulated cycles (" +
+               std::to_string(shard_buf_.size()) + " shards total)");
   }
 }
 

@@ -44,6 +44,14 @@ class WatchdogError : public std::runtime_error {
   std::string artifact_;
 };
 
+/// One shard's progress sample for the shard-aware stall detector: a
+/// monotonic per-shard work digest plus whether that shard is legitimately
+/// quiescent right now.
+struct ShardProgress {
+  std::uint64_t token = 0;
+  bool idle = false;
+};
+
 class Watchdog {
  public:
   struct Config {
@@ -62,6 +70,14 @@ class Watchdog {
   /// Optional: while true, the system is legitimately quiescent and the
   /// stall timers reset (a drained queue is not a wedge).
   void set_idle(std::function<bool()> idle);
+  /// Shard-aware progress: `fill` appends one ShardProgress per shard
+  /// (MemorySystem::shard_progress is the intended payload). Each shard
+  /// gets its own stall anchor, so one wedged shard fires even while the
+  /// aggregate token keeps rising from the other shards' refresh traffic —
+  /// the blind spot a single summed token has under sharded execution.
+  /// Null disables. Checked on the same check()/iterate() cadence as the
+  /// global token.
+  void set_shard_progress(std::function<void(std::vector<ShardProgress>&)> fill);
   /// Named free-form dump included in the artifact (queue contents, FSM
   /// state, ...). The cycle argument is the fire-time cycle.
   void add_dump(std::string name, std::function<void(std::ostream&, Cycle)> fn);
@@ -87,9 +103,19 @@ class Watchdog {
   [[noreturn]] void fire(Cycle now, Cycle stalled_for, const std::string& why);
   std::string resolve_artifact_path() const;
 
+  void check_shards(Cycle now);
+
   Config cfg_;
   std::function<std::uint64_t()> progress_;
   std::function<bool()> idle_;
+  std::function<void(std::vector<ShardProgress>&)> shard_fill_;
+  struct ShardAnchor {
+    bool set = false;
+    std::uint64_t token = 0;
+    Cycle cycle = 0;
+  };
+  std::vector<ShardProgress> shard_buf_;
+  std::vector<ShardAnchor> shard_anchors_;
   std::vector<std::pair<std::string, std::function<void(std::ostream&, Cycle)>>> dumps_;
   const TraceSink* trace_ = nullptr;
   const StatRegistry* registry_ = nullptr;

@@ -16,11 +16,16 @@ file(REMOVE_RECURSE "${base_dir}")
 
 # label -> extra environment for that run. The baseline uses the suite's
 # default environment; the variants pin the knobs the report must not see.
-set(runs baseline jobs1 jobs8 percycle)
+set(runs baseline jobs1 jobs8 percycle shards1 shards8)
 set(env_baseline "")
 set(env_jobs1 "IMA_JOBS=1")
 set(env_jobs8 "IMA_JOBS=8")
 set(env_percycle "IMA_CLOCK=percycle")
+# Intra-sim shard width: the sharded smoke phase must emit an equivalent
+# report (shard_workers/wall/speedup are host-time keys the tool masks;
+# shard_cycles and the stats snapshot are compared exactly).
+set(env_shards1 "IMA_SHARDS=1")
+set(env_shards8 "IMA_SHARDS=8")
 
 foreach(run ${runs})
   set(out_dir "${base_dir}/${run}")
@@ -36,7 +41,7 @@ foreach(run ${runs})
   endif()
 endforeach()
 
-foreach(run jobs1 jobs8 percycle)
+foreach(run jobs1 jobs8 percycle shards1 shards8)
   execute_process(
     COMMAND ${PYTHON} ${DIFF_TOOL}
             ${base_dir}/baseline/BENCH_smoke.json

@@ -65,6 +65,34 @@ if(sweep_workers LESS 1)
   message(FATAL_ERROR "BENCH_smoke.json sweep_workers is ${sweep_workers}")
 endif()
 
+# Sharded-drain phase: the binary already failed if 1-shard and wide-shard
+# runs diverged; here guard the metric names, the equality stamp and the
+# wall clocks. shard_speedup is recorded, not floored — single-core CI
+# hosts legitimately see <= 1x (same policy as sweep_speedup).
+foreach(metric shard_channels shard_cycles shard_epoch shard_workers
+               shard_wall_seconds_serial shard_wall_seconds shard_speedup)
+  string(JSON value ERROR_VARIABLE json_err GET "${report_json}" metrics ${metric})
+  if(json_err)
+    message(FATAL_ERROR "BENCH_smoke.json metrics.${metric} missing (${json_err})")
+  endif()
+endforeach()
+string(JSON shard_equal ERROR_VARIABLE json_err GET "${report_json}" metrics shard_equal)
+if(json_err OR NOT shard_equal EQUAL 1)
+  message(FATAL_ERROR "BENCH_smoke.json metrics.shard_equal is '${shard_equal}', expected 1 (${json_err})")
+endif()
+string(JSON shard_cycles ERROR_VARIABLE json_err GET "${report_json}" metrics shard_cycles)
+if(shard_cycles LESS_EQUAL 0)
+  message(FATAL_ERROR "BENCH_smoke.json shard_cycles is ${shard_cycles}")
+endif()
+string(JSON shard_workers ERROR_VARIABLE json_err GET "${report_json}" metrics shard_workers)
+if(shard_workers LESS 1)
+  message(FATAL_ERROR "BENCH_smoke.json shard_workers is ${shard_workers}")
+endif()
+string(JSON shard_speedup ERROR_VARIABLE json_err GET "${report_json}" metrics shard_speedup)
+if(shard_speedup LESS_EQUAL 0)
+  message(FATAL_ERROR "BENCH_smoke.json shard_speedup is ${shard_speedup}")
+endif()
+
 # Reliability phase: the direct-injection counts are deterministic, so the
 # report must carry the exact expected values (the binary also self-checks;
 # this guards the metric names and the JSON plumbing).

@@ -1,0 +1,357 @@
+// Sharded-execution golden matrix: one simulated machine advanced by the
+// epoch-barrier engine must produce byte-identical results at every shard
+// width. Each leg runs the same configuration at IMA-style widths 1, 2 and
+// 8 and compares cycle counts, StatRegistry snapshots, completion-stream
+// checksums and (where armed) the reliability corruption ledger — across
+// all 8 scheduler kinds, RAIDR row refresh, PARA RowHammer mitigation and
+// the PNM vault fabric. A separate leg proves IMA_SHARDS composes with
+// IMA_JOBS: nested inside a sweep job the drain collapses to one host
+// thread (no pool oversubscription) with, by construction, the same bytes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/clock.hh"
+#include "harness/pool.hh"
+#include "harness/sweep.hh"
+#include "mem/memsys.hh"
+#include "mem/refresh.hh"
+#include "mem/rowhammer.hh"
+#include "noc/mesh.hh"
+#include "obs/stat_registry.hh"
+#include "pnm/fabric.hh"
+#include "reliability/engine.hh"
+
+namespace ima {
+namespace {
+
+/// Everything a leg compares across widths, rendered comparable.
+struct Outcome {
+  Cycle cycles = 0;
+  std::uint64_t checksum = 0;  // completion stream in canonical order
+  std::string snapshot;        // full StatRegistry rendering
+  unsigned workers_used = 0;   // host detail — NOT compared
+
+  bool operator==(const Outcome& o) const {
+    return cycles == o.cycles && checksum == o.checksum && snapshot == o.snapshot;
+  }
+};
+
+std::string render(const mem::MemorySystem& sys) {
+  obs::StatRegistry reg;
+  sys.register_stats(reg, "m");
+  std::ostringstream os;
+  for (const auto& v : reg.snapshot().values) os << v.path << '=' << v.value << '\n';
+  return os.str();
+}
+
+dram::DramConfig matrix_dram(std::uint32_t channels) {
+  auto cfg = dram::DramConfig::ddr4_2400();
+  cfg.geometry.channels = channels;
+  cfg.geometry.banks = 4;
+  cfg.geometry.subarrays = 4;
+  cfg.geometry.rows_per_subarray = 128;
+  cfg.geometry.columns = 32;
+  return cfg;
+}
+
+/// Deterministic per-channel feeder: `ops` accesses per channel, one in
+/// four a write, addresses a pure function of (seed, channel, index).
+mem::MemorySystem::ChannelSource make_source(mem::MemorySystem& sys,
+                                             std::vector<std::uint64_t>& cursor,
+                                             std::uint64_t ops, std::uint64_t seed,
+                                             Outcome& out) {
+  mem::MemorySystem::ChannelSource src;
+  src.next = [&sys, &cursor, ops, seed](std::uint32_t ch, Cycle, mem::Request& r) {
+    std::uint64_t& i = cursor[ch];
+    if (i >= ops) return false;
+    const auto& g = sys.dram_config().geometry;
+    const std::uint64_t h = harness::job_seed(seed, ch * 0x10001ull + i);
+    dram::Coord c;
+    c.channel = ch;
+    c.rank = static_cast<std::uint32_t>(h) % g.ranks;
+    c.bank = static_cast<std::uint32_t>(h >> 8) % g.banks;
+    c.row = static_cast<std::uint32_t>(h >> 16) % g.rows_per_bank();
+    c.column = static_cast<std::uint32_t>(h >> 40) % g.columns;
+    r = mem::Request{};
+    r.addr = sys.mapper().encode(c);
+    r.type = i % 4 == 3 ? AccessType::Write : AccessType::Read;
+    r.core = ch % 4;
+    ++i;
+    return true;
+  };
+  src.on_complete = [&out](std::uint32_t ch, const mem::Request& done) {
+    out.checksum = (out.checksum * 1099511628211ull) ^ done.addr ^
+                   (static_cast<std::uint64_t>(done.complete) << 1) ^ ch;
+  };
+  return src;
+}
+
+Outcome run_matrix_point(mem::SchedKind kind, unsigned shards, Cycle epoch = 0) {
+  const auto dram_cfg = matrix_dram(8);
+  mem::ControllerConfig ctrl;
+  ctrl.sched = kind;
+  mem::MemorySystem sys(dram_cfg, ctrl);
+  sys.set_shards(shards, epoch);
+
+  Outcome out;
+  std::vector<std::uint64_t> cursor(sys.num_channels(), 0);
+  const auto src = make_source(sys, cursor, 300, 0xC0FFEEull + static_cast<int>(kind), out);
+  out.cycles = sys.drain_sourced(src, 0);
+  out.workers_used = sys.shard_workers_used();
+  out.snapshot = render(sys);
+  EXPECT_TRUE(sys.idle());
+  return out;
+}
+
+TEST(Shard, AllSchedulerKindsAreByteIdenticalAtWidths1_2_8) {
+  const mem::SchedKind kinds[] = {
+      mem::SchedKind::Fcfs,  mem::SchedKind::FrFcfs, mem::SchedKind::FrFcfsCap,
+      mem::SchedKind::ParBs, mem::SchedKind::Atlas,  mem::SchedKind::Tcm,
+      mem::SchedKind::Bliss, mem::SchedKind::Rl};
+  for (const auto kind : kinds) {
+    const Outcome w1 = run_matrix_point(kind, 1);
+    const Outcome w2 = run_matrix_point(kind, 2);
+    const Outcome w8 = run_matrix_point(kind, 8);
+    EXPECT_EQ(w1, w2) << "scheduler " << mem::to_string(kind);
+    EXPECT_EQ(w1, w8) << "scheduler " << mem::to_string(kind);
+    EXPECT_GT(w1.cycles, 0u);
+    EXPECT_NE(w1.checksum, 0u);
+    // The width-8 run really used 8 host threads (nothing forced collapse).
+    EXPECT_EQ(w8.workers_used, 8u) << "scheduler " << mem::to_string(kind);
+  }
+}
+
+TEST(Shard, EpochSizeDoesNotChangeTheBytesEither) {
+  // Open-loop drains are exact at any epoch: barrier placement only decides
+  // when mailboxes drain, never what they contain or in what order.
+  const Outcome a = run_matrix_point(mem::SchedKind::FrFcfs, 2, 512);
+  const Outcome b = run_matrix_point(mem::SchedKind::FrFcfs, 2, 8192);
+  const Outcome c = run_matrix_point(mem::SchedKind::FrFcfs, 8, 1024);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.snapshot, b.snapshot);
+  EXPECT_EQ(a.checksum, c.checksum);
+  EXPECT_EQ(a.snapshot, c.snapshot);
+}
+
+TEST(Shard, RaidrRefreshAndParaMitigationShardIdentically) {
+  const auto run = [](unsigned shards) {
+    const auto dram_cfg = matrix_dram(4);
+    mem::ControllerConfig ctrl;
+    mem::MemorySystem sys(dram_cfg, ctrl);
+    const auto& g = dram_cfg.geometry;
+    const auto profile =
+        mem::RetentionProfile::generate(std::uint64_t{g.rows_per_bank()} * g.banks * g.ranks,
+                                        0.02, 0.1, 11);
+    for (std::uint32_t c = 0; c < sys.num_channels(); ++c) {
+      sys.controller(c).set_refresh_policy(
+          mem::make_raidr(dram_cfg, profile, /*force_preall=*/true));
+      sys.controller(c).set_rowhammer(mem::make_para(0.5, 77 + c));
+    }
+    sys.set_shards(shards);
+
+    Outcome out;
+    std::vector<std::uint64_t> cursor(sys.num_channels(), 0);
+    const auto src = make_source(sys, cursor, 600, 0xAB1Dull, out);
+    out.cycles = sys.drain_sourced(src, 0);
+    out.snapshot = render(sys);
+    return out;
+  };
+  const Outcome w1 = run(1);
+  const Outcome w2 = run(2);
+  const Outcome w4 = run(4);
+  EXPECT_EQ(w1, w2);
+  EXPECT_EQ(w1, w4);
+  // PARA at p=0.5 over 2400 accesses must actually have refreshed victims —
+  // otherwise this leg proves nothing about mitigation determinism.
+  EXPECT_NE(w1.snapshot.find("victim_refreshes"), std::string::npos);
+}
+
+TEST(Shard, ReliabilityCorruptionLedgerIsWidthInvariant) {
+  const auto run = [](unsigned shards) {
+    auto dram_cfg = matrix_dram(4);
+    mem::ControllerConfig ctrl;
+    ctrl.reliability.enabled = true;
+    ctrl.reliability.ecc = reliability::EccKind::Secded;
+    ctrl.reliability.seed = 5;
+    mem::MemorySystem sys(dram_cfg, ctrl);
+    sys.set_shards(shards);
+
+    // Pre-corrupt lines in every channel (coordinator side), then read them
+    // back through the sharded drain: decode outcomes, ledger state and the
+    // post-run memory image must not depend on the width.
+    const auto& g = dram_cfg.geometry;
+    for (std::uint32_t ch = 0; ch < sys.num_channels(); ++ch) {
+      auto* eng = sys.controller(ch).reliability_engine();
+      for (std::uint32_t row : {10u, 20u, 30u}) {
+        const dram::Coord c{ch, 0, ch % g.banks, row, row % g.columns};
+        sys.poke_u64(sys.mapper().encode(c), 0xF00D0000ull + ch * 100 + row);
+        eng->ensure_encoded(c);
+        eng->injector().corrupt_line_bits(c, row == 20 ? 2 : 1);
+      }
+    }
+    Outcome out;
+    std::vector<std::uint64_t> cursor(sys.num_channels(), 0);
+    mem::MemorySystem::ChannelSource src;
+    src.next = [&sys, &cursor, &g](std::uint32_t ch, Cycle, mem::Request& r) {
+      static constexpr std::uint32_t kRows[] = {10, 20, 30};
+      std::uint64_t& i = cursor[ch];
+      if (i >= 3) return false;
+      const std::uint32_t row = kRows[i];
+      r = mem::Request{};
+      r.addr = sys.mapper().encode(dram::Coord{ch, 0, ch % g.banks, row, row % g.columns});
+      ++i;
+      return true;
+    };
+    out.cycles = sys.drain_sourced(src, 0);
+    // Fold ledger + stats + image into the digest.
+    for (std::uint32_t ch = 0; ch < sys.num_channels(); ++ch) {
+      const auto* eng = sys.controller(ch).reliability_engine();
+      const auto& s = eng->stats();
+      out.checksum = out.checksum * 31 + s.ce_words * 7 + s.due_events * 11 +
+                     s.sdc_reads * 13 + eng->injector().corrupt_lines() * 17 +
+                     eng->injector().total_bits_injected();
+      for (std::uint32_t row : {10u, 20u, 30u})
+        out.checksum ^= sys.peek_u64(sys.mapper().encode(
+            dram::Coord{ch, 0, ch % g.banks, row, row % g.columns}));
+    }
+    out.snapshot = render(sys);
+    return out;
+  };
+  const Outcome w1 = run(1);
+  const Outcome w2 = run(2);
+  const Outcome w4 = run(4);
+  EXPECT_EQ(w1, w2);
+  EXPECT_EQ(w1, w4);
+}
+
+TEST(Shard, PnmVaultFabricIsWidthInvariant) {
+  const auto run = [](unsigned shards) {
+    pnm::FabricConfig cfg;
+    cfg.vaults = 8;
+    cfg.shards = shards;
+    pnm::VaultFabric fab(cfg);
+    return fab.run_stream(/*ops_per_vault=*/200, /*write_every=*/4, /*pim_every=*/16,
+                          /*seed=*/3);
+  };
+  const auto w1 = run(1);
+  const auto w2 = run(2);
+  const auto w8 = run(8);
+  EXPECT_EQ(w1.cycles, w2.cycles);
+  EXPECT_EQ(w1.cycles, w8.cycles);
+  EXPECT_EQ(w1.checksum, w2.checksum);
+  EXPECT_EQ(w1.checksum, w8.checksum);
+  EXPECT_EQ(w1.energy, w2.energy);
+  EXPECT_EQ(w1.energy, w8.energy);
+  EXPECT_EQ(w1.reads, 8u * 150u);
+  EXPECT_EQ(w1.writes, 8u * 50u);
+  EXPECT_EQ(w1.pim_ops, 8u * 12u);
+}
+
+TEST(Shard, ClosedLoopEnqueueDrainMatchesAcrossWidths) {
+  // The System-style closed loop: enqueue on the coordinator, drain, let
+  // the (mailbox-deferred) callback enqueue the next dependent request.
+  const auto run = [](unsigned shards) {
+    mem::MemorySystem sys(matrix_dram(8), mem::ControllerConfig{});
+    sys.set_shards(shards, sim::conservative_epoch({sys.min_callback_latency()}, 0));
+    Outcome out;
+    Cycle now = 0;
+    for (int i = 0; i < 40; ++i) {
+      const auto& g = sys.dram_config().geometry;
+      const std::uint64_t h = harness::job_seed(9, static_cast<std::size_t>(i));
+      dram::Coord c;
+      c.channel = static_cast<std::uint32_t>(h >> 4) % g.channels;
+      c.bank = static_cast<std::uint32_t>(h >> 8) % g.banks;
+      c.row = static_cast<std::uint32_t>(h >> 16) % g.rows_per_bank();
+      mem::Request r;
+      r.addr = sys.mapper().encode(c);
+      r.arrive = now;
+      EXPECT_TRUE(sys.enqueue(r, [&out](const mem::Request& done) {
+        out.checksum = (out.checksum * 16777619) ^ done.complete;
+      }));
+      now = sys.drain(now);
+    }
+    out.cycles = now;
+    out.snapshot = render(sys);
+    return out;
+  };
+  const auto w1 = run(1);
+  const auto w4 = run(4);
+  const auto w8 = run(8);
+  EXPECT_EQ(w1, w4);
+  EXPECT_EQ(w1, w8);
+}
+
+TEST(Shard, ComposesWithSweepJobsWithoutOversubscription) {
+  // Four sweep jobs, each draining its own 8-shard memory system. Nested
+  // inside a multi-worker sweep the drain must collapse to one host thread
+  // per job (no shards x jobs thread explosion) — and collapse is invisible
+  // in the results.
+  const auto job = [](const int& seed) {
+    mem::MemorySystem sys(matrix_dram(8), mem::ControllerConfig{});
+    sys.set_shards(8);
+    Outcome out;
+    std::vector<std::uint64_t> cursor(sys.num_channels(), 0);
+    const auto src = make_source(sys, cursor, 150, static_cast<std::uint64_t>(seed), out);
+    out.cycles = sys.drain_sourced(src, 0);
+    out.workers_used = sys.shard_workers_used();
+    out.snapshot = render(sys);
+    return out;
+  };
+  const std::vector<int> configs = {1, 2, 3, 4};
+  harness::SweepOptions serial;
+  serial.jobs = 1;
+  harness::SweepOptions wide;
+  wide.jobs = 4;
+  const auto ref = harness::run_sweep(configs, job, serial);
+  const auto par = harness::run_sweep(configs, job, wide);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_TRUE(par.ok());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(ref.at(i), par.at(i));
+    // Serial sweep runs jobs inline (not a pool region): shards fan out.
+    EXPECT_EQ(ref.at(i).workers_used, 8u);
+    // Nested in the 4-worker pool: collapsed to 1, same bytes.
+    EXPECT_EQ(par.at(i).workers_used, 1u);
+  }
+}
+
+TEST(Shard, TraceSinkAndSharedVictimModelForceSerialEpochs) {
+  // Shared-state guards: same results, one host thread.
+  mem::MemorySystem sys(matrix_dram(4), mem::ControllerConfig{});
+  mem::HammerVictimModel shared(sys.dram_config().geometry, 64);
+  sys.controller(0).set_victim_model(&shared);
+  sys.controller(1).set_victim_model(&shared);
+  sys.set_shards(4);
+  Outcome out;
+  std::vector<std::uint64_t> cursor(sys.num_channels(), 0);
+  const auto src = make_source(sys, cursor, 50, 21, out);
+  (void)sys.drain_sourced(src, 0);
+  EXPECT_EQ(sys.shard_workers_used(), 1u);
+}
+
+TEST(Shard, ConservativeEpochDerivation) {
+  // min positive latency wins; zeros are ignored; empty/all-zero falls back.
+  EXPECT_EQ(sim::conservative_epoch({0, 20, 6}, 100), 6u);
+  EXPECT_EQ(sim::conservative_epoch({}, 100), 100u);
+  EXPECT_EQ(sim::conservative_epoch({0, 0}, 0), 1u);
+  EXPECT_GT(sim::default_shard_epoch(), 0u);
+  // The memsys term is CL + BL — the soonest a completion can round-trip.
+  const mem::MemorySystem sys(matrix_dram(1), mem::ControllerConfig{});
+  EXPECT_EQ(sys.min_callback_latency(),
+            sys.dram_config().timings.cl + sys.dram_config().timings.bl);
+  // The NoC term: nothing crosses the mesh in under one hop.
+  EXPECT_GE(noc::NocConfig{}.min_hop_latency(), 1u);
+}
+
+TEST(Shard, DefaultShardsReadsEnvironmentContract) {
+  // Not a pool region here; on_worker() must be false on the main thread.
+  EXPECT_FALSE(harness::WorkerPool::on_worker());
+  // default_shards() is capped and non-throwing whatever the env says.
+  EXPECT_LE(harness::default_shards(), 64u);
+}
+
+}  // namespace
+}  // namespace ima

@@ -101,6 +101,77 @@ TEST(Watchdog, ArtifactCarriesNamedDumpsAndStats) {
   EXPECT_NE(json.find("queue dump at cycle 100"), std::string::npos);
 }
 
+TEST(Watchdog, WedgedShardFiresWhileAggregateTokenKeepsRising) {
+  // The sharded blind spot: shard 1 keeps making progress, so a summed
+  // global token never freezes — but shard 0 is wedged. The per-shard
+  // anchors must catch it.
+  auto cfg = base_cfg("shard_wedge");
+  cfg.stall_cycles = 100;
+  obs::Watchdog wd(cfg);
+  std::uint64_t live_token = 0;
+  wd.set_progress([&live_token] { return 1000 + live_token; });  // always rising
+  wd.set_shard_progress([&live_token](std::vector<obs::ShardProgress>& out) {
+    out.push_back({std::uint64_t{7}, /*idle=*/false});  // shard 0: frozen, busy
+    out.push_back({live_token, /*idle=*/false});        // shard 1: progressing
+  });
+  for (Cycle now = 0; now < 90; now += 30) {
+    ++live_token;
+    wd.check(now);
+  }
+  EXPECT_FALSE(wd.fired());
+  ++live_token;
+  EXPECT_THROW(wd.check(150), obs::WatchdogError);
+  const std::string json = slurp(wd.artifact());
+  EXPECT_NE(json.find("shard 0 made no progress"), std::string::npos);
+  EXPECT_NE(json.find("2 shards total"), std::string::npos);
+}
+
+TEST(Watchdog, IdleShardWithFrozenTokenIsQuiescentNotWedged) {
+  auto cfg = base_cfg("shard_idle");
+  cfg.stall_cycles = 100;
+  obs::Watchdog wd(cfg);
+  std::uint64_t live_token = 0;
+  wd.set_progress([&live_token] { return live_token; });
+  wd.set_shard_progress([&live_token](std::vector<obs::ShardProgress>& out) {
+    out.push_back({std::uint64_t{7}, /*idle=*/true});  // drained early: fine
+    out.push_back({live_token, false});
+  });
+  for (Cycle now = 0; now < 10'000; now += 50) {
+    ++live_token;
+    wd.check(now);
+  }
+  EXPECT_FALSE(wd.fired());
+}
+
+TEST(Watchdog, ShardedDrainArmsPerShardAnchors) {
+  // End-to-end: a sharded drain wires MemorySystem::shard_progress into the
+  // watchdog at its barriers, and a healthy drain never fires.
+  auto dram_cfg = dram::DramConfig::ddr4_2400();
+  dram_cfg.geometry.channels = 2;
+  dram_cfg.geometry.banks = 2;
+  dram_cfg.geometry.subarrays = 2;
+  dram_cfg.geometry.rows_per_subarray = 64;
+  dram_cfg.geometry.columns = 16;
+  mem::MemorySystem sys(dram_cfg, mem::ControllerConfig{});
+  sys.set_shards(2, 256);
+  obs::Watchdog::Config wcfg = base_cfg("shard_drain");
+  wcfg.stall_cycles = 500'000;
+  obs::Watchdog wd(wcfg);
+  wd.set_progress([&sys] { return sys.progress_token(); });
+  sys.set_watchdog(&wd);
+  for (std::uint32_t row = 0; row < 16; ++row) {
+    for (std::uint32_t ch = 0; ch < 2; ++ch) {
+      mem::Request r;
+      r.addr = sys.mapper().encode(dram::Coord{ch, 0, 0, row, 0});
+      r.arrive = 0;
+      ASSERT_TRUE(sys.enqueue(r));
+    }
+  }
+  EXPECT_NO_THROW((void)sys.drain(0));
+  EXPECT_TRUE(sys.idle());
+  EXPECT_FALSE(wd.fired());
+}
+
 // --- the PR 5 regression: RAIDR parked-bank wedge -------------------------
 
 dram::DramConfig wedge_dram() {

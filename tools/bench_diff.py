@@ -26,6 +26,9 @@ VOLATILE = (
     "host cycles/sec",
     "speedup",
     "workers",
+    # Resolved intra-sim shard width (IMA_SHARDS): a host-parallelism knob —
+    # the simulated results are provably width-invariant, the width is not.
+    "shards",
 )
 
 
