@@ -66,7 +66,7 @@ Out run(hybrid::HybridConfig cfg, double zipf_theta, Cycle cycles) {
       r.type = e.type;
       r.arrive = now;
       ++outstanding;
-      mem.enqueue(r, [&](const mem::Request& done) {
+      bench::enqueue_or_die(mem, r, [&](const mem::Request& done) {
         --outstanding;
         if (done.type == AccessType::Read) {
           latency_sum += static_cast<double>(done.complete - done.arrive);

@@ -45,7 +45,7 @@ double run_salp(bool salp, Cycle reqs) {
     mem::Request r;
     r.addr = (i % 3) * subarray_stride;  // three rows, three subarrays
     r.arrive = now;
-    sys.enqueue(r);
+    bench::enqueue_or_die(sys, r);
     now = sys.drain(now) + 64;
   }
   return sys.controller(0).stats().read_latency.mean();
@@ -66,7 +66,7 @@ Out run(const dram::DramConfig& dram_cfg, bool charge_cache, Cycle reqs) {
     mem::Request r;
     r.addr = (i % 3) * row_stride * 4;  // rotate over 3 rows of bank 0
     r.arrive = now;
-    sys.enqueue(r);
+    bench::enqueue_or_die(sys, r);
     // Think time between dependent misses: tRC is no longer the binding
     // constraint, as in real (non-back-to-back) conflict patterns.
     now = sys.drain(now) + 64;
@@ -93,7 +93,7 @@ Out run_window(const dram::DramConfig& dram_cfg, int rows, Cycle reqs) {
     mem::Request r;
     r.addr = (i % static_cast<Cycle>(rows)) * row_stride * 4;
     r.arrive = now;
-    sys.enqueue(r);
+    bench::enqueue_or_die(sys, r);
     // Think time between dependent misses: tRC is no longer the binding
     // constraint, as in real (non-back-to-back) conflict patterns.
     now = sys.drain(now) + 64;

@@ -57,7 +57,7 @@ int main() {
         r.core = static_cast<std::uint32_t>(i);
         r.arrive = now;
         ++c.outstanding;
-        sys.enqueue(r, [&c](const mem::Request&) {
+        bench::enqueue_or_die(sys, r, [&c](const mem::Request&) {
           --c.outstanding;
           ++c.served;
         });

@@ -40,7 +40,7 @@ Out run(Cycle pd_timeout, Cycle sr_timeout, Cycle gap, int bursts = 20) {
       mem::Request r;
       r.addr = (static_cast<Addr>(b * 31 + i) * 4096) % (1ull << 28);
       r.arrive = now;
-      sys.enqueue(r);
+      bench::enqueue_or_die(sys, r);
       sys.tick(now++);
     }
     now = sys.drain(now);

@@ -124,7 +124,7 @@ PointResult run_point(const Point& p, std::uint64_t seed, std::uint64_t pairs_pe
             dram::Coord{0, 0, 0, aggressor,
                         static_cast<std::uint32_t>(pair % cfg.geometry.columns)});
         r.arrive = now;
-        sys.enqueue(r);
+        bench::enqueue_or_die(sys, r);
       }
       // Drain per pair: batched enqueues would let FR-FCFS coalesce each
       // aggressor's reads into one row-hit chain (~2 ACTs per batch), and
@@ -140,7 +140,7 @@ PointResult run_point(const Point& p, std::uint64_t seed, std::uint64_t pairs_pe
         mem::Request r;
         r.addr = sys.mapper().encode(dram::Coord{0, 0, o.bank, o.row, col});
         r.arrive = now;
-        sys.enqueue(r);
+        bench::enqueue_or_die(sys, r);
       }
       now = sys.drain(now);
     }

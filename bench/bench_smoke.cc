@@ -9,21 +9,27 @@
 // exactly (the determinism contract), and the wall clocks + worker count
 // land in BENCH_smoke.json so CI records the parallel speedup on whatever
 // machine ran it.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "bench/bench_util.hh"
 #include "bench/mc_harness.hh"
+#include "common/rng.hh"
 #include "harness/pool.hh"
+#include "obs/tail.hh"
 #include "mem/memsys.hh"
 #include "obs/stat_registry.hh"
 #include "obs/timeseries.hh"
 #include "obs/trace.hh"
 #include "reliability/engine.hh"
+#include "service/facade.hh"
 #include "sim/system.hh"
+#include "workloads/tensor.hh"
 
 using namespace ima;
 
@@ -329,7 +335,7 @@ int main() {
         mem::Request r;
         r.addr = sys.mapper().encode(c);
         r.arrive = now;
-        sys.enqueue(r);
+        bench::enqueue_or_die(sys, r);
         now = sys.drain(now);
       }
       return eng->stats();
@@ -354,6 +360,94 @@ int main() {
     bench::record_metric("reliability_due", static_cast<double>(prot.due_events));
     bench::record_metric("reliability_sdc_unprotected",
                          static_cast<double>(bare.sdc_reads));
+  }
+
+  // Serving smoke: open-loop Poisson tensor traffic through the service
+  // facade (the C25 path in miniature). The loss contract is exact —
+  // every arrival the sources produced must complete and be delivered —
+  // and the lifecycle span decomposition must stay exact under facade
+  // traffic, so CI pins both before the full serving bench ever runs.
+  {
+    auto srv_cfg = dram::DramConfig::ddr4_2400();
+    srv_cfg.geometry.channels = 2;
+    mem::ControllerConfig cc;
+    cc.record_spans = true;
+    mem::MemorySystem sys(srv_cfg, cc);
+    sys.set_shards(std::max(1u, harness::default_shards()));
+    service::MemoryService svc(sys);
+
+    workloads::TensorConfig tc;
+    tc.m = tc.n = 16;
+    tc.k = 32;
+    tc.tile_m = tc.tile_n = 8;
+    tc.tile_k = 16;
+    const workloads::TensorTraffic traffic(tc);
+    const std::uint32_t nch = sys.num_channels();
+    struct Inst {
+      Rng rng;
+      Cycle t = 0;
+      std::uint64_t cursor = 0;
+      std::uint64_t done = 0;
+    };
+    const std::uint64_t kPasses = 3;
+    std::vector<Inst> inst(nch);  // one instance per channel: state stays
+                                  // channel-local for the sharded feed
+    for (std::uint32_t ch = 0; ch < nch; ++ch) {
+      inst[ch].rng.reseed(harness::job_seed(0x5e11, ch));
+      inst[ch].t = 1 + inst[ch].rng.next_below(2000);
+    }
+    const auto& g = srv_cfg.geometry;
+    mem::MemorySystem::ChannelSource src;
+    src.next = [&](std::uint32_t ch, Cycle, mem::Request& r) {
+      Inst& in = inst[ch];
+      if (in.done == kPasses) return false;
+      const auto acc = traffic.at(in.cursor);
+      std::uint64_t l = acc.offset / kLineBytes;
+      dram::Coord c{};
+      c.channel = ch;
+      c.column = static_cast<std::uint32_t>(l % g.columns);
+      c.row = static_cast<std::uint32_t>(l / g.columns);
+      r = mem::Request{};
+      r.addr = sys.mapper().encode(c);
+      r.type = acc.type;
+      r.arrive = in.t;
+      r.tag = in.t;
+      if (++in.cursor == traffic.accesses_per_pass()) {
+        in.cursor = 0;
+        in.t += 1 + in.rng.next_below(4000);  // next inference arrival
+        ++in.done;
+      }
+      return true;
+    };
+    obs::TailRecorder lat;
+    src.on_complete = [&](std::uint32_t, const mem::Request& done) {
+      lat.add(done.complete - done.tag);
+    };
+    svc.pump(src, 0);
+    double span_sum = 0, e2e_sum = 0;
+    for (std::uint32_t ch = 0; ch < nch; ++ch) {
+      const auto* sp = sys.controller(ch).spans();
+      span_sum += sp->queue.sum() + sp->stall.sum() + sp->refresh.sum() + sp->xfer.sum();
+      e2e_sum += sys.controller(ch).stats().read_latency.sum();
+    }
+    const std::uint64_t expect = nch * kPasses * traffic.accesses_per_pass();
+    if (svc.pushed() != expect || svc.completed() != expect ||
+        svc.in_flight() != 0 || sys.last_drain_clipped() || span_sum != e2e_sum) {
+      std::cerr << "serving smoke: lost requests or broken spans (pushed="
+                << svc.pushed() << " completed=" << svc.completed()
+                << " expect=" << expect << " span_err=" << (span_sum - e2e_sum)
+                << ")\n";
+      return 1;
+    }
+    Table st({"metric", "value"});
+    st.add_row({"arrivals", Table::fmt_int(svc.pushed())});
+    st.add_row({"completions", Table::fmt_int(svc.completed())});
+    st.add_row({"p99 latency (cycles)", Table::fmt(lat.percentile(0.99), 0)});
+    bench::print_table(st, "serving facade (open-loop tensor traffic, loss-free)");
+    bench::record_metric("serving_arrivals", static_cast<double>(svc.pushed()));
+    bench::record_metric("serving_completions", static_cast<double>(svc.completed()));
+    bench::record_metric("serving_p99", lat.percentile(0.99));
+    bench::record_metric("serving_span_stage_sum_error", span_sum - e2e_sum);
   }
 
   bench::print_shape(

@@ -31,6 +31,7 @@
 #include "common/table.hh"
 #include "common/types.hh"
 #include "harness/sweep.hh"
+#include "mem/request.hh"
 #include "obs/report.hh"
 
 namespace ima::bench {
@@ -74,6 +75,21 @@ struct Session {
 inline Session session;
 
 }  // namespace detail
+
+/// Closed-loop bench feed: the caller has already sized its in-flight
+/// window against the queue depth, so a reject means the bench's own
+/// pacing logic is broken — fail loudly instead of silently dropping the
+/// request (and under-counting exactly the congested samples a latency
+/// bench exists to measure).
+template <typename Sys>
+inline void enqueue_or_die(Sys& sys, const mem::Request& req,
+                           mem::CompletionCallback cb = nullptr) {
+  if (!sys.enqueue(req, std::move(cb))) {
+    std::cerr << "bench: enqueue rejected at addr 0x" << std::hex << req.addr
+              << std::dec << " — pacing bug, aborting\n";
+    std::abort();
+  }
+}
 
 inline void print_header(const std::string& id, const std::string& claim) {
   std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";

@@ -4,6 +4,7 @@
 // intelligent memory controllers from the "bottom-up push" [99,102,104].
 //
 //   $ ./build/examples/rowhammer_defense
+#include <cstdlib>
 #include <iostream>
 
 #include "mem/memsys.hh"
@@ -37,7 +38,10 @@ Outcome attack(std::unique_ptr<mem::RowHammerMitigation> mitigation,
     mem::Request r;
     r.addr = (i % 2) ? row_stride * 99 : row_stride * 101;  // victim: row 100
     r.arrive = now;
-    sys.enqueue(r);
+    if (!sys.enqueue(r)) {  // drained queue: a reject is a harness bug
+      std::cerr << "hammer enqueue rejected on a drained queue\n";
+      std::abort();
+    }
     now = sys.drain(now);
   }
   return {victims.flips(), sys.aggregate_stats().victim_refreshes, now};

@@ -37,10 +37,13 @@ double run_window(mem::MemorySystem& sys, std::vector<Injector>& cores, Cycle fr
         r.core = static_cast<std::uint32_t>(i);
         r.arrive = now;
         ++c.outstanding;
-        sys.enqueue(r, [&c](const mem::Request&) {
-          --c.outstanding;
-          ++c.served;
-        });
+        if (!sys.enqueue(r, [&c](const mem::Request&) {
+              --c.outstanding;
+              ++c.served;
+            })) {
+          --c.outstanding;  // rejected: the window slot stays free
+          break;
+        }
       }
     }
     sys.tick(now);

@@ -99,8 +99,12 @@ bool HybridMemory::enqueue(mem::Request req, mem::CompletionCallback cb) {
 
 void HybridMemory::migrate_lines(std::uint64_t page, bool to_dram, Cycle now) {
   // One read per line from the source tier, one posted write to the
-  // destination. Queue-full drops are acceptable (best-effort model — the
-  // data-movement *cost* is what matters here).
+  // destination. Queue-full drops are tolerated (best-effort model — the
+  // data-movement *cost* is what matters here) but counted into
+  // stats_.migration_drops so the loss is visible, never silent.
+  const auto post = [this](mem::MemorySystem& sys, const mem::Request& r) {
+    if (!sys.enqueue(r)) ++stats_.migration_drops;
+  };
   const std::uint64_t lines = cfg_.page_bytes / kLineBytes;
   for (std::uint64_t l = 0; l < lines; ++l) {
     const Addr offset = page * cfg_.page_bytes + l * kLineBytes;
@@ -113,13 +117,13 @@ void HybridMemory::migrate_lines(std::uint64_t page, bool to_dram, Cycle now) {
     wr.type = AccessType::Write;
     wr.arrive = now;
     if (to_dram) {
-      pcm_->enqueue(rd);
-      dram_->enqueue(wr);
+      post(*pcm_, rd);
+      post(*dram_, wr);
     } else {
-      dram_->enqueue(rd);
+      post(*dram_, rd);
       mem::Request pcm_wr = wr;
       pcm_wr.addr = offset % cfg_.pcm.geometry.total_bytes();
-      pcm_->enqueue(pcm_wr);
+      post(*pcm_, pcm_wr);
       ++stats_.pcm_writes;
     }
     ++stats_.migration_lines;

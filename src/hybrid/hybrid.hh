@@ -51,7 +51,9 @@ class HybridMemory {
   explicit HybridMemory(const HybridConfig& cfg);
 
   /// Application address space = PCM capacity. Routed by the page table.
-  bool enqueue(mem::Request req, mem::CompletionCallback cb = nullptr);
+  /// False = not admitted, `cb` never fires (same contract as
+  /// mem::MemorySystem::enqueue — gate on can_accept or retry).
+  [[nodiscard]] bool enqueue(mem::Request req, mem::CompletionCallback cb = nullptr);
   bool can_accept(Addr addr, AccessType type) const;
 
   void tick(Cycle now);
@@ -71,6 +73,11 @@ class HybridMemory {
     std::uint64_t promotions = 0;
     std::uint64_t demotions = 0;
     std::uint64_t migration_lines = 0;
+    // Migration traffic the tiers' queues rejected. The best-effort model
+    // tolerates drops (the movement *cost* is what is simulated), but they
+    // are counted, never silent: a policy thrashing against full queues
+    // shows up here instead of under-reporting its own overhead.
+    std::uint64_t migration_drops = 0;
     std::uint64_t pcm_writes = 0;  // endurance-relevant
     double dram_fraction() const {
       const auto total = dram_serviced + pcm_serviced;

@@ -123,8 +123,11 @@ class Controller {
   static constexpr std::uint32_t kAnyCore = ~0u;
 
   /// Enqueue a memory request; returns false if the queue is full (caller
-  /// must retry). `cb` fires when the data burst completes.
-  bool enqueue(Request req, CompletionCallback cb = nullptr);
+  /// must retry — gate on can_accept(), which this agrees with exactly).
+  /// On a false return `cb` will never fire: discarding the result loses
+  /// the request and its completion accounting silently, hence
+  /// [[nodiscard]].
+  [[nodiscard]] bool enqueue(Request req, CompletionCallback cb = nullptr);
 
   /// Enqueue a PIM operation (executes after all earlier PIM ops).
   void enqueue_pim(PimOp op);

@@ -44,7 +44,10 @@ Cycle MemorySystem::next_event(Cycle now) const {
 Cycle MemorySystem::drain(Cycle from, Cycle deadline) {
   if (shards_ > 0) return drain_epochs(from, deadline, nullptr);
   // Legacy shape: check idle *before* each tick, return last-ticked + 1.
-  if (idle() || from >= deadline) return from;
+  if (idle() || from >= deadline) {
+    note_drain_end(/*clipped=*/!idle(), /*quantized=*/false, from);
+    return from;
+  }
   const auto tick_fn = [this](Cycle now) { tick(now); };
   const auto done_fn = [this] { return idle(); };
   const auto next_fn = [this](Cycle now) { return next_event(now); };
@@ -54,7 +57,24 @@ Cycle MemorySystem::drain(Cycle from, Cycle deadline) {
                                       [this](Cycle now) { watchdog_->iterate(now); })
                 : sim::run_event_loop(clock_mode_, from, deadline, tick_fn, done_fn,
                                       next_fn);
-  return end < deadline ? end + 1 : end;
+  const Cycle ret = end < deadline ? end + 1 : end;
+  note_drain_end(/*clipped=*/!idle(), /*quantized=*/false, ret);
+  return ret;
+}
+
+void MemorySystem::note_drain_end(bool clipped, bool quantized, Cycle now) {
+  last_drain_quantized_ = quantized;
+  last_drain_clipped_ = clipped;
+  if (!clipped) return;
+  ++drain_clips_;
+  if (deadline_policy_ != DeadlinePolicy::Throw) return;
+  const std::string why =
+      "drain deadline exhausted at cycle " + std::to_string(now) +
+      " with work still pending (clip #" + std::to_string(drain_clips_) + ")";
+  // Route through the watchdog when armed so the failure leaves the same
+  // flight-recorder artifact a stall would; otherwise throw bare.
+  if (watchdog_) watchdog_->fail(now, why);
+  throw obs::WatchdogError(why, "");
 }
 
 // --- sharded execution ------------------------------------------------------
@@ -126,6 +146,10 @@ void MemorySystem::feed_channel(const ChannelSource& src, std::uint32_t c, Cycle
       f.pending = std::move(r);
       f.has_pending = true;
     }
+    // Time-dated feed: a future-dated request is held here until its cycle
+    // comes (the held request is this channel's state alone, so the hold
+    // never depends on shard grouping).
+    if (f.pending.arrive > now) break;
     if (!ctrls_[c]->can_accept(f.pending.type, f.pending.core)) break;
     assert(mapper_->decode(f.pending.addr).channel == c &&
            "ChannelSource produced an address outside its channel");
@@ -136,7 +160,12 @@ void MemorySystem::feed_channel(const ChannelSource& src, std::uint32_t c, Cycle
     if (src.on_complete) {
       cb = [fn = src.on_complete, c](const Request& done) { fn(c, done); };
     }
-    ctrls_[c]->enqueue(std::move(req), defer_to_mailbox(c, std::move(cb)));
+    // can_accept passed, so admission cannot fail; a reject here would mean
+    // the two checks disagree and the request (plus its callback) would
+    // vanish — exactly the silent-loss bug the bool return exists to catch.
+    const bool ok = ctrls_[c]->enqueue(std::move(req), defer_to_mailbox(c, std::move(cb)));
+    assert(ok && "controller rejected a request can_accept() admitted");
+    (void)ok;
   }
 }
 
@@ -152,12 +181,17 @@ void MemorySystem::run_shard_span(std::size_t g, Cycle from, Cycle limit,
   const auto next_fn = [&](Cycle now) {
     Cycle nxt = kCycleNever;
     for (std::uint32_t c = beg; c < end; ++c) {
-      // A channel with a live feeder runs per-cycle: "when can the queue
-      // accept again" has no cheap closed form, and crucially now + 1 makes
-      // the channel's tick set a function of its own feed state alone —
-      // never of which group (and so which union of event cycles) it
-      // shares. That independence is what keeps results width-invariant.
-      if (src && !feeds_[c].exhausted) return now + 1;
+      if (src && !feeds_[c].exhausted) {
+        const Feed& f = feeds_[c];
+        // A future-dated held request lets the channel skip ahead to its
+        // arrival cycle; otherwise a live feeder runs per-cycle — "when can
+        // the queue accept again" has no cheap closed form. Either way the
+        // channel's tick set is a function of its own feed state alone —
+        // never of which group (and so which union of event cycles) it
+        // shares. That independence is what keeps results width-invariant.
+        if (!f.has_pending || f.pending.arrive <= now) return now + 1;
+        nxt = std::min(nxt, f.pending.arrive);
+      }
       nxt = std::min(nxt, ctrls_[c]->next_event(now));
     }
     return nxt;
@@ -190,8 +224,16 @@ unsigned MemorySystem::decide_shard_workers() const {
 }
 
 Cycle MemorySystem::drain_epochs(Cycle from, Cycle deadline, const ChannelSource* src) {
-  if (from >= deadline) return from;
-  if (!src && idle()) return from;
+  if (!src && idle()) {
+    note_drain_end(/*clipped=*/false, /*quantized=*/true, from);
+    return from;
+  }
+  if (from >= deadline) {
+    // A zero-length window with work pending (queued requests or a live
+    // source) is a degenerate clip, not a clean finish.
+    note_drain_end(/*clipped=*/true, /*quantized=*/true, from);
+    return from;
+  }
   if (mail_.size() != ctrls_.size()) mail_.resize(ctrls_.size());
 
   // Shard groups: `shards_` contiguous channel blocks. The partition is
@@ -236,7 +278,10 @@ Cycle MemorySystem::drain_epochs(Cycle from, Cycle deadline, const ChannelSource
         if (!f.exhausted || f.has_pending) return false;
     return true;
   };
-  return sim::run_epoch_barriers(from, deadline, shard_epoch(), run_shards, barrier, done);
+  const Cycle end =
+      sim::run_epoch_barriers(from, deadline, shard_epoch(), run_shards, barrier, done);
+  note_drain_end(/*clipped=*/!done(), /*quantized=*/true, end);
+  return end;
 }
 
 void MemorySystem::shard_progress(std::vector<obs::ShardProgress>& out) const {
@@ -339,6 +384,7 @@ Controller::Stats MemorySystem::aggregate_stats() const {
 
 void MemorySystem::register_stats(obs::StatRegistry& reg, const std::string& prefix) const {
   const obs::StatRegistry::OwnerScope scope(reg, stats_alive_);
+  reg.counter(obs::join_path(prefix, "drain_deadline_clips"), &drain_clips_);
   for (std::size_t i = 0; i < ctrls_.size(); ++i) {
     ctrls_[i]->register_stats(reg, obs::join_path(prefix, "ctrl" + std::to_string(i)));
     chans_[i]->register_stats(reg, obs::join_path(prefix, "chan" + std::to_string(i)));

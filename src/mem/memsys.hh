@@ -46,8 +46,13 @@ class MemorySystem {
                dram::MapScheme scheme = dram::MapScheme::RoBaRaCoCh);
   ~MemorySystem();  // out-of-line: WorkerPool is forward-declared here
 
-  /// Routes the request to its channel's controller.
-  bool enqueue(Request req, CompletionCallback cb = nullptr);
+  /// Routes the request to its channel's controller. A false return means
+  /// the queue rejected the request: it was NOT admitted and `cb` will
+  /// never fire — discarding the result silently loses the request and its
+  /// completion accounting (the congested-tail under-count bug), hence
+  /// [[nodiscard]]. Gate on can_accept() or retry; service::MemoryService
+  /// wraps this in a push/is_full interface that can never silently drop.
+  [[nodiscard]] bool enqueue(Request req, CompletionCallback cb = nullptr);
 
   /// True if the owning controller can accept this request right now
   /// (`core` participates in per-core quota checks when enabled).
@@ -67,8 +72,20 @@ class MemorySystem {
   /// Skip-ahead by default (cycle-exact vs. the per-cycle reference);
   /// set_clock_mode(ClockMode::PerCycle) restores the legacy loop. With a
   /// shard plan armed (set_shards) this routes to the epoch-barrier engine
-  /// instead; the returned cycle is then epoch-quantized (the first barrier
+  /// instead; the returned cycle is then EPOCH-QUANTIZED (the first barrier
   /// at which the system is idle) but identical at every shard width.
+  /// Because of that quantization the return value is a scheduling
+  /// coordinate, NOT a latency endpoint: never subtract it from request
+  /// timestamps — per-request latency must come from the Request::complete
+  /// / arrive / tag stamps delivered to completion callbacks, which are
+  /// exact at any width (last_drain_quantized() tells which regime the
+  /// previous drain ran in).
+  ///
+  /// Hitting `deadline` with work still queued is recorded, never silent:
+  /// last_drain_clipped() flips true, the drain_deadline_clips counter
+  /// (registered under `<prefix>.drain_deadline_clips`) increments, and
+  /// with DeadlinePolicy::Throw armed the run aborts through the watchdog
+  /// flight recorder instead of quietly reporting a truncated tail.
   Cycle drain(Cycle from, Cycle deadline = 100'000'000);
 
   bool idle() const;
@@ -105,6 +122,15 @@ class MemorySystem {
   /// is called from the owning shard's thread, so it may only touch
   /// per-channel state. on_complete (optional) is delivered through the
   /// barrier mailboxes in canonical order on the coordinating thread.
+  ///
+  /// Time-dated feeds: a produced request whose `arrive` lies in the
+  /// future is held back and admitted at exactly that cycle (or at the
+  /// first later cycle the queue accepts it, under backpressure) — the
+  /// open-loop arrival-process hook the serving benches use. `arrive` is
+  /// re-stamped with the true admission cycle at enqueue; stamp the
+  /// intended arrival into `tag` to measure source-to-data latency.
+  /// Requests dated at or before `now` (including the default arrive = 0)
+  /// feed as fast as the queue accepts, as before.
   struct ChannelSource {
     std::function<bool(std::uint32_t ch, Cycle now, Request& out)> next;
     std::function<void(std::uint32_t ch, const Request& done)> on_complete;
@@ -113,8 +139,36 @@ class MemorySystem {
   /// Epoch-barrier drain with per-channel feeders: runs until every source
   /// is exhausted and every queue drained (or `deadline`). Requires an
   /// armed shard plan (set_shards; shards = 1 is the serial reference —
-  /// byte-identical to any wider plan).
+  /// byte-identical to any wider plan). The returned cycle is
+  /// epoch-quantized — see drain() for why it must never be used as a
+  /// latency endpoint — and deadline exhaustion is surfaced exactly like
+  /// drain()'s (clip counter + optional throw): a low-rate open-loop run
+  /// that cannot finish inside `deadline` must never silently report a
+  /// truncated latency tail. A clipped sourced drain is not losslessly
+  /// resumable, either: each call resets the feed state, so a produced but
+  /// not-yet-admitted time-dated request from the clipped run is gone —
+  /// treat a clip as fatal for the measurement (or restart the source).
   Cycle drain_sourced(const ChannelSource& src, Cycle from, Cycle deadline = 100'000'000);
+
+  // --- drain-deadline accounting ---
+
+  /// What to do when drain()/drain_sourced() hits its deadline with work
+  /// still pending (queued requests, in-flight bursts, or an unexhausted
+  /// source): Record (default) just counts the clip; Throw additionally
+  /// aborts through the armed watchdog's flight recorder (or a bare
+  /// obs::WatchdogError when none is armed).
+  enum class DeadlinePolicy : std::uint8_t { Record, Throw };
+  void set_deadline_policy(DeadlinePolicy p) { deadline_policy_ = p; }
+  DeadlinePolicy deadline_policy() const { return deadline_policy_; }
+  /// True iff the most recent drain()/drain_sourced() returned because the
+  /// deadline expired, not because the system went idle.
+  bool last_drain_clipped() const { return last_drain_clipped_; }
+  /// Total deadline clips over this system's lifetime (also registered as
+  /// the `<prefix>.drain_deadline_clips` counter).
+  std::uint64_t drain_deadline_clips() const { return drain_clips_; }
+  /// True iff the most recent drain ran on the epoch-barrier engine, i.e.
+  /// its return value was epoch-quantized.
+  bool last_drain_quantized() const { return last_drain_quantized_; }
 
   /// Appends one ShardProgress per shard group (per channel when no plan
   /// is armed): the obs::Watchdog::set_shard_progress payload.
@@ -201,6 +255,15 @@ class MemorySystem {
   std::vector<std::unique_ptr<Controller>> ctrls_;
   obs::Watchdog* watchdog_ = nullptr;
   sim::ClockMode clock_mode_ = sim::default_clock_mode();
+
+  /// Records the outcome of a finished drain (clipped = deadline expired
+  /// with work pending); enforces DeadlinePolicy::Throw via the watchdog.
+  void note_drain_end(bool clipped, bool quantized, Cycle now);
+
+  DeadlinePolicy deadline_policy_ = DeadlinePolicy::Record;
+  bool last_drain_clipped_ = false;
+  bool last_drain_quantized_ = false;
+  std::uint64_t drain_clips_ = 0;
 
   unsigned shards_ = 0;  // 0 = legacy serial drain
   Cycle shard_epoch_ = 0;

@@ -14,6 +14,14 @@ struct Request {
   AccessType type = AccessType::Read;
   std::uint32_t core = 0;       // requesting core / agent id
   std::uint64_t id = 0;         // unique, assigned by the controller
+  // Caller-owned cookie, carried untouched through the queue and handed
+  // back in the completion callback. Open-loop feeders stamp the *intended*
+  // arrival cycle here: when backpressure admits a request late, `arrive`
+  // records the admission cycle (what the controller saw) while `tag`
+  // preserves the offered-load timestamp, so serving benches can account
+  // the full source-to-data latency including the time spent waiting for a
+  // queue slot — exactly the congested tail an admission-based clock hides.
+  std::uint64_t tag = 0;
   Cycle arrive = 0;             // enqueue cycle
   Cycle complete = kCycleNever; // data-available cycle (filled at completion)
   // Lifecycle span stamps (telemetry; maintained only while the request is

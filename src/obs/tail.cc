@@ -12,6 +12,11 @@ TailRecorder::TailRecorder(unsigned precision_bits) : p_(precision_bits) {
 double TailRecorder::percentile(double q) const {
   const std::uint64_t n = stat_.count();
   if (n == 0) return 0.0;
+  // Domain clamp (see header): q lives on (0, 1]. The comparison is
+  // written so NaN falls into the q <= 0 branch — ceil(NaN * n) cast to
+  // uint64 would be undefined behaviour, not a clamp.
+  if (!(q > 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
   // Rank of the q-th sample, 1-based: the smallest value v such that at
   // least ceil(q * n) samples are <= v.
   auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));

@@ -34,10 +34,18 @@ class TailRecorder {
     ++counts_[bucket_of(v)];
   }
 
-  /// Value below which fraction `q` (0..1] of samples fall: the upper bound
-  /// of the bucket holding the q-th sample, clamped into [min(), max()] so
+  /// Value below which fraction `q` of samples fall: the upper bound of
+  /// the bucket holding the q-th sample, clamped into [min(), max()] so
   /// degenerate distributions (all samples equal) report the exact value
   /// rather than bucket edges with false precision.
+  ///
+  /// Domain contract: q is meaningful on (0, 1]. Out-of-range arguments
+  /// are clamped rather than silently reinterpreted — q <= 0 (and NaN)
+  /// reports the rank-1 sample (the minimum's bucket), q > 1 reports the
+  /// rank-n sample (== percentile(1.0), never beyond max()). The clamp is
+  /// part of the contract so a mistyped quantile (p99 passed as 99.0)
+  /// saturates visibly at the distribution max instead of reading past the
+  /// bucket array or fabricating a value.
   double percentile(double q) const;
 
   std::uint64_t count() const { return stat_.count(); }

@@ -95,6 +95,13 @@ class Watchdog {
   /// detection. Public so tests can force a check deterministically.
   void check(Cycle now);
 
+  /// Externally-detected failure (e.g. MemorySystem's drain-deadline
+  /// exhaustion with DeadlinePolicy::Throw): writes the same flight-recorder
+  /// artifact as a stall detection — reason, trace tail, stats snapshot,
+  /// component dumps — and throws WatchdogError. The loop was making
+  /// progress, so no stalled-cycle count is reported.
+  [[noreturn]] void fail(Cycle now, const std::string& why) { fire(now, 0, why); }
+
   bool fired() const { return fired_; }
   const std::string& artifact() const { return artifact_written_; }
   const Config& config() const { return cfg_; }

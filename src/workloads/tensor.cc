@@ -1,0 +1,107 @@
+#include "workloads/tensor.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ima::workloads {
+
+namespace {
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) { return (a + b - 1) / b; }
+
+std::uint64_t lines_of(std::uint64_t bytes) { return ceil_div(bytes, kLineBytes); }
+
+}  // namespace
+
+TensorTraffic::TensorTraffic(const TensorConfig& cfg) : cfg_(cfg) {
+  if (cfg.tile_m == 0 || cfg.tile_n == 0 || cfg.tile_k == 0 || cfg.elem_bytes == 0 ||
+      cfg.act_streams == 0)
+    throw std::invalid_argument("TensorTraffic: tile dims, elem_bytes and act_streams "
+                                "must be nonzero");
+  tiles_m_ = static_cast<std::uint32_t>(ceil_div(std::max(1u, cfg.m), cfg.tile_m));
+  tiles_n_ = static_cast<std::uint32_t>(ceil_div(std::max(1u, cfg.n), cfg.tile_n));
+  tiles_k_ = static_cast<std::uint32_t>(ceil_div(std::max(1u, cfg.k), cfg.tile_k));
+
+  const std::uint64_t eb = cfg.elem_bytes;
+  w_tile_lines_ = lines_of(std::uint64_t{cfg.tile_k} * cfg.tile_n * eb);
+  a_tile_lines_ = lines_of(std::uint64_t{cfg.tile_m} * cfg.tile_k * eb);
+  o_tile_lines_ = lines_of(std::uint64_t{cfg.tile_m} * cfg.tile_n * eb);
+
+  per_k_lines_ = w_tile_lines_ + a_tile_lines_ * cfg.act_streams;
+  per_out_lines_ = per_k_lines_ * tiles_k_ + o_tile_lines_;
+  per_pass_ = per_out_lines_ * tiles_m_ * tiles_n_;
+
+  // Region layout: weights | activations | outputs, each tile-line aligned
+  // so a tile's lines never straddle a region boundary.
+  w_region_ = w_tile_lines_ * kLineBytes * tiles_k_ * tiles_n_;
+  a_region_ = a_tile_lines_ * kLineBytes * tiles_k_ * tiles_m_;
+  footprint_ = w_region_ + a_region_ + o_tile_lines_ * kLineBytes * tiles_m_ * tiles_n_;
+}
+
+TensorAccess TensorTraffic::at(std::uint64_t i) const {
+  if (i >= per_pass_)
+    throw std::out_of_range("TensorTraffic::at: index beyond one pass");
+  // Decompose i along the loop nest: (mt, nt) output tile, then position
+  // within that tile's K loop or its output write-back.
+  const std::uint64_t out_tile = i / per_out_lines_;
+  const std::uint32_t mt = static_cast<std::uint32_t>(out_tile / tiles_n_);
+  const std::uint32_t nt = static_cast<std::uint32_t>(out_tile % tiles_n_);
+  std::uint64_t rem = i % per_out_lines_;
+
+  TensorAccess acc;
+  if (rem >= per_k_lines_ * tiles_k_) {
+    // Output write-back: line `rem'` of tile (mt, nt) in the output region.
+    const std::uint64_t line = rem - per_k_lines_ * tiles_k_;
+    const std::uint64_t tile_index = std::uint64_t{mt} * tiles_n_ + nt;
+    acc.offset = w_region_ + a_region_ + (tile_index * o_tile_lines_ + line) * kLineBytes;
+    acc.type = AccessType::Write;
+    return acc;
+  }
+  const std::uint32_t kt = static_cast<std::uint32_t>(rem / per_k_lines_);
+  rem %= per_k_lines_;
+  if (rem < w_tile_lines_) {
+    // Weight tile (nt, kt): shared across mt, so its address ignores mt —
+    // re-reads across output rows are the weight-reuse traffic.
+    const std::uint64_t tile_index = std::uint64_t{nt} * tiles_k_ + kt;
+    acc.offset = (tile_index * w_tile_lines_ + rem) * kLineBytes;
+  } else {
+    // Activation tile (mt, kt), possibly re-streamed: the stream number
+    // does not change the address, only the repetition.
+    const std::uint64_t line = (rem - w_tile_lines_) % a_tile_lines_;
+    const std::uint64_t tile_index = std::uint64_t{mt} * tiles_k_ + kt;
+    acc.offset = w_region_ + (tile_index * a_tile_lines_ + line) * kLineBytes;
+  }
+  acc.type = AccessType::Read;
+  return acc;
+}
+
+namespace {
+
+class TensorStream final : public AccessStream {
+ public:
+  TensorStream(const TensorConfig& cfg, Addr base) : traffic_(cfg), base_(base) {}
+
+  TraceEntry next() override {
+    const auto acc = traffic_.at(i_);
+    if (++i_ == traffic_.accesses_per_pass()) i_ = 0;
+    TraceEntry e;
+    e.addr = base_ + acc.offset;
+    e.type = acc.type;
+    return e;
+  }
+
+  std::string name() const override { return "tensor"; }
+
+ private:
+  TensorTraffic traffic_;
+  Addr base_;
+  std::uint64_t i_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<AccessStream> make_tensor(const TensorConfig& cfg, Addr base) {
+  return std::make_unique<TensorStream>(cfg, base);
+}
+
+}  // namespace ima::workloads

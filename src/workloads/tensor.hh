@@ -1,0 +1,82 @@
+// Tiled tensor (GEMM / conv-as-GEMM) traffic generator.
+//
+// Accelerator serving traffic is not a generic stream: an NPU core executes
+// a tiled matrix multiply C[M,N] += A[M,K] x B[K,N], streaming weight and
+// activation tiles from DRAM and writing output tiles back (ONNXim's
+// ConvOS-style tiling). What the memory system sees per inference is a
+// deterministic sequence of line reads over three disjoint regions —
+// weights, activations, outputs — whose order and reuse are fixed by the
+// tile geometry:
+//
+//   for each output tile (mt, nt):            // weight-stationary order
+//     for each kt:
+//       read the B weight tile  [tile_k x tile_n]   (once per (nt, kt))
+//       read the A activation tile [tile_m x tile_k], act_streams times
+//         (re-streamed when the on-chip buffer cannot hold it — the
+//          buffer-pressure knob, not a cache model)
+//     write the C output tile [tile_m x tile_n]
+//
+// The generator is *stateless by index*: at(i) computes the i-th access of
+// the pass from the loop structure alone, so per-channel open-loop sources
+// (service facade, C25 serving bench) can replay or interleave instances
+// without shared cursors, and any slice of the pass is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hh"
+#include "workloads/stream.hh"
+
+namespace ima::workloads {
+
+struct TensorConfig {
+  // Problem shape in elements (rounded up to whole tiles).
+  std::uint32_t m = 64, n = 64, k = 256;
+  // Tile geometry in elements.
+  std::uint32_t tile_m = 16, tile_n = 16, tile_k = 64;
+  std::uint32_t elem_bytes = 2;  // fp16/bf16 serving default
+  // Total streams of each activation tile (>= 1): 1 models a buffer large
+  // enough to hold the tile across the whole K loop; higher values model
+  // re-fetch under buffer pressure.
+  std::uint32_t act_streams = 1;
+};
+
+/// One line-granular access of a tensor pass.
+struct TensorAccess {
+  std::uint64_t offset = 0;  // byte offset within the instance's footprint
+  AccessType type = AccessType::Read;
+};
+
+class TensorTraffic {
+ public:
+  explicit TensorTraffic(const TensorConfig& cfg);
+
+  /// Line accesses in one full pass (one inference's worth of traffic).
+  std::uint64_t accesses_per_pass() const { return per_pass_; }
+  /// Footprint in bytes (weights + activations + outputs), line-aligned.
+  std::uint64_t footprint_bytes() const { return footprint_; }
+
+  /// The i-th access of a pass, i in [0, accesses_per_pass()). Pure
+  /// function of (cfg, i): no cursor, no state.
+  TensorAccess at(std::uint64_t i) const;
+
+  const TensorConfig& config() const { return cfg_; }
+
+ private:
+  TensorConfig cfg_;
+  std::uint32_t tiles_m_, tiles_n_, tiles_k_;
+  std::uint64_t w_tile_lines_, a_tile_lines_, o_tile_lines_;
+  std::uint64_t per_k_lines_;    // one kt step: weight tile + streamed act tile
+  std::uint64_t per_out_lines_;  // one (mt, nt) tile: K loop + output write
+  std::uint64_t per_pass_;
+  std::uint64_t w_region_, a_region_;  // region sizes in bytes (o follows)
+  std::uint64_t footprint_;
+};
+
+/// AccessStream adapter: replays passes back to back at `base` (for the
+/// generic bench/test harnesses; the serving bench uses TensorTraffic::at
+/// directly for indexed per-channel replay).
+std::unique_ptr<AccessStream> make_tensor(const TensorConfig& cfg, Addr base = 0);
+
+}  // namespace ima::workloads

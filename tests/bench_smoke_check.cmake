@@ -109,6 +109,29 @@ if(json_err OR rel_sdc LESS 1)
   message(FATAL_ERROR "BENCH_smoke.json metrics.reliability_sdc_unprotected is '${rel_sdc}', expected >= 1 (${json_err})")
 endif()
 
+# Serving phase: the open-loop facade pump is loss-free by contract —
+# arrivals and completions must agree exactly, the span decomposition must
+# stay exact under serving traffic, and the tail percentile must be there
+# (the C25 bench builds on all three).
+string(JSON srv_arrivals ERROR_VARIABLE json_err GET "${report_json}" metrics serving_arrivals)
+if(json_err OR srv_arrivals LESS_EQUAL 0)
+  message(FATAL_ERROR "BENCH_smoke.json metrics.serving_arrivals is '${srv_arrivals}' (${json_err})")
+endif()
+string(JSON srv_completions ERROR_VARIABLE json_err GET "${report_json}" metrics serving_completions)
+if(json_err OR NOT srv_completions EQUAL ${srv_arrivals})
+  message(FATAL_ERROR "serving phase lost requests: arrivals=${srv_arrivals} "
+                      "completions='${srv_completions}' (${json_err})")
+endif()
+string(JSON srv_p99 ERROR_VARIABLE json_err GET "${report_json}" metrics serving_p99)
+if(json_err OR srv_p99 LESS_EQUAL 0)
+  message(FATAL_ERROR "BENCH_smoke.json metrics.serving_p99 is '${srv_p99}' (${json_err})")
+endif()
+string(JSON srv_span_err ERROR_VARIABLE json_err GET "${report_json}" metrics serving_span_stage_sum_error)
+if(json_err OR NOT srv_span_err EQUAL 0)
+  message(FATAL_ERROR "serving span stages do not reconcile: "
+                      "serving_span_stage_sum_error='${srv_span_err}' (${json_err})")
+endif()
+
 # Tail-latency percentiles: the log-bucketed recorder must surface both as
 # top-level metrics and as expanded StatRegistry entries (including the
 # lifecycle span stages), and the stage sums must reconcile exactly with

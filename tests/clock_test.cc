@@ -304,7 +304,8 @@ std::pair<Cycle, obs::StatRegistry::Snapshot> run_loaded(sim::ClockMode mode, in
   now += 20'000;
   const auto& g = dram_cfg.geometry;
   for (int i = 0; i < 8; ++i)
-    sys.enqueue(make_req(static_cast<Addr>(i) * g.row_bytes() * 5, AccessType::Read, now));
+    EXPECT_TRUE(
+        sys.enqueue(make_req(static_cast<Addr>(i) * g.row_bytes() * 5, AccessType::Read, now)));
   now = sys.drain(now);
   return {now, reg.snapshot()};
 }
@@ -433,7 +434,8 @@ TEST(ClockExact, HybridMemoryDrain) {
     for (int burst = 0; burst < 6; ++burst) {
       for (int i = 0; i < 32; ++i) {
         const Addr addr = rng.next_below(64ull << 10);
-        hm.enqueue(make_req(line_base(addr), i % 3 ? AccessType::Read : AccessType::Write, now));
+        EXPECT_TRUE(hm.enqueue(
+            make_req(line_base(addr), i % 3 ? AccessType::Read : AccessType::Write, now)));
       }
       now = hm.drain(now);
       now += 7'000;

@@ -49,14 +49,14 @@ TEST(Controller, RowHitLatencyLowerThanConflict) {
   std::vector<Cycle> done(3, 0);
   Request a;
   a.addr = 0;
-  sys.enqueue(a, [&](const Request& r) { done[0] = r.complete; });
+  ASSERT_TRUE(sys.enqueue(a, [&](const Request& r) { done[0] = r.complete; }));
   sys.drain(0);
   Cycle now = done[0] + 1;
 
   Request b;
   b.addr = kLineBytes;  // same row, next column
   b.arrive = now;
-  sys.enqueue(b, [&](const Request& r) { done[1] = r.complete; });
+  ASSERT_TRUE(sys.enqueue(b, [&](const Request& r) { done[1] = r.complete; }));
   now = sys.drain(now);
   const Cycle hit_latency = done[1] - b.arrive;
 
@@ -65,7 +65,7 @@ TEST(Controller, RowHitLatencyLowerThanConflict) {
   c.addr = static_cast<Addr>(small_dram().geometry.row_bytes()) *
            small_dram().geometry.banks * 2;  // same bank (RoBaRaCoCh), different row
   c.arrive = now + 1;
-  sys.enqueue(c, [&](const Request& r) { done[2] = r.complete; });
+  ASSERT_TRUE(sys.enqueue(c, [&](const Request& r) { done[2] = r.complete; }));
   sys.drain(now + 1);
   const Cycle conflict_latency = done[2] - c.arrive;
   EXPECT_LT(hit_latency, conflict_latency);
@@ -136,12 +136,12 @@ TEST(Controller, ReadsPrioritizedOverWrites) {
     Request w;
     w.addr = static_cast<Addr>(i) * 4096 + (1 << 20);
     w.type = AccessType::Write;
-    sys.enqueue(w);
+    ASSERT_TRUE(sys.enqueue(w));
   }
   Cycle read_done = 0;
   Request r;
   r.addr = 0;
-  sys.enqueue(r, [&](const Request& req) { read_done = req.complete; });
+  ASSERT_TRUE(sys.enqueue(r, [&](const Request& req) { read_done = req.complete; }));
   const Cycle end = sys.drain(0);
   EXPECT_LT(read_done, end);
 }
@@ -159,7 +159,7 @@ TEST(Controller, RefreshForcesPrechargeOfOpenBanks) {
   // Open a row just before refresh is due, then stop sending traffic.
   Request r;
   r.addr = 0;
-  sys.enqueue(r);
+  ASSERT_TRUE(sys.enqueue(r));
   const Cycle horizon = small_dram().timings.refi + 2000;
   for (Cycle now = 0; now < horizon; ++now) sys.tick(now);
   EXPECT_GE(sys.channel(0).stats().refs, 1u);
@@ -203,7 +203,7 @@ TEST(Controller, PimInterleavesWithTraffic) {
     Request r;
     r.addr = line_base(rng.next_below(1 << 22));
     r.arrive = now;
-    sys.enqueue(r, [&](const Request&) { ++reads_done; });
+    ASSERT_TRUE(sys.enqueue(r, [&](const Request&) { ++reads_done; }));
     sys.tick(now++);
   }
   sys.drain(now);
@@ -235,7 +235,7 @@ TEST(Controller, EnergyIncludesBackground) {
   EXPECT_DOUBLE_EQ(idle, sys.channel(0).background_energy(10000));
   Request r;
   r.addr = 0;
-  sys.enqueue(r);
+  ASSERT_TRUE(sys.enqueue(r));
   sys.drain(0);
   EXPECT_GT(sys.total_energy(10000), idle);
 }
@@ -245,7 +245,7 @@ TEST(Controller, CoreAccountingTracksService) {
   Request r;
   r.addr = 0;
   r.core = 2;
-  sys.enqueue(r);
+  ASSERT_TRUE(sys.enqueue(r));
   sys.drain(0);
   const auto& cores = sys.controller(0).cores();
   EXPECT_EQ(cores[2].served, 1u);
@@ -258,8 +258,8 @@ TEST(Controller, MultiChannelRouting) {
   dram_cfg.geometry.channels = 2;
   MemorySystem sys(dram_cfg, small_ctrl());
   // Consecutive lines alternate channels under RoBaRaCoCh.
-  sys.enqueue([] { Request r; r.addr = 0; return r; }());
-  sys.enqueue([] { Request r; r.addr = kLineBytes; return r; }());
+  ASSERT_TRUE(sys.enqueue([] { Request r; r.addr = 0; return r; }()));
+  ASSERT_TRUE(sys.enqueue([] { Request r; r.addr = kLineBytes; return r; }()));
   sys.drain(0);
   EXPECT_EQ(sys.controller(0).stats().reads_done, 1u);
   EXPECT_EQ(sys.controller(1).stats().reads_done, 1u);
@@ -287,7 +287,7 @@ TEST(MemSys, SchedulerSwapBeforeUse) {
   sys.controller(0).set_scheduler(make_scheduler(SchedKind::ParBs, 4));
   Request r;
   r.addr = 0;
-  sys.enqueue(r);
+  ASSERT_TRUE(sys.enqueue(r));
   sys.drain(0);
   EXPECT_EQ(sys.aggregate_stats().reads_done, 1u);
 }

@@ -61,12 +61,12 @@ TEST(Hybrid, PcmReadsSlowerThanDram) {
   Cycle dram_done = 0, pcm_done = 0;
   mem::Request lo;
   lo.addr = 0;
-  mem.enqueue(lo, [&](const mem::Request& r) { dram_done = r.complete; });
+  ASSERT_TRUE(mem.enqueue(lo, [&](const mem::Request& r) { dram_done = r.complete; }));
   mem.drain(0);
   mem::Request hi;
   hi.addr = 100 * 4096;
   hi.arrive = 10'000;
-  mem.enqueue(hi, [&](const mem::Request& r) { pcm_done = r.complete; });
+  ASSERT_TRUE(mem.enqueue(hi, [&](const mem::Request& r) { pcm_done = r.complete; }));
   mem.drain(10'000);
   EXPECT_GT(pcm_done - 10'000, dram_done);
 }
@@ -84,7 +84,7 @@ TEST(Hybrid, HotPagePromotionHappens) {
     r.addr = hot_page_addr + (i % 64) * kLineBytes;
     r.arrive = now;
     while (!mem.can_accept(r.addr, r.type)) mem.tick(now++);
-    mem.enqueue(r);
+    ASSERT_TRUE(mem.enqueue(r));
     for (int t = 0; t < 300; ++t) mem.tick(now++);
   }
   EXPECT_TRUE(mem.in_dram(hot_page_addr));
@@ -102,7 +102,7 @@ TEST(Hybrid, PromotedPageServedFromDram) {
     r.addr = hot;
     r.arrive = now;
     while (!mem.can_accept(r.addr, r.type)) mem.tick(now++);
-    mem.enqueue(r);
+    ASSERT_TRUE(mem.enqueue(r));
     for (int t = 0; t < 400; ++t) mem.tick(now++);
   }
   ASSERT_TRUE(mem.in_dram(hot));
@@ -110,7 +110,7 @@ TEST(Hybrid, PromotedPageServedFromDram) {
   mem::Request r;
   r.addr = hot;
   r.arrive = now;
-  mem.enqueue(r);
+  ASSERT_TRUE(mem.enqueue(r));
   mem.drain(now);
   EXPECT_EQ(mem.stats().dram_serviced, before + 1);
 }
@@ -130,7 +130,7 @@ TEST(Hybrid, ColdPagesDemotedWhenSlotsNeeded) {
         r.addr = (base_page + p) * 4096 + (i % 32) * kLineBytes;
         r.arrive = now;
         while (!mem.can_accept(r.addr, r.type)) mem.tick(now++);
-        mem.enqueue(r);
+        ASSERT_TRUE(mem.enqueue(r));
         for (int t = 0; t < 100; ++t) mem.tick(now++);
       }
     }
@@ -161,14 +161,14 @@ TEST(Hybrid, RblAwarePrefersRowMissPages) {
     a.addr = 100 * 4096 + (i % 64) * kLineBytes;  // page A, sequential
     a.arrive = now;
     while (!mem.can_accept(a.addr, a.type)) mem.tick(now++);
-    mem.enqueue(a);
+    ASSERT_TRUE(mem.enqueue(a));
     mem::Request b;
     // Page B partner region: alternate far apart so consecutive accesses
     // to the page change DRAM row.
     b.addr = 200 * 4096 + ((i % 2) ? 0 : 32 * kLineBytes);
     b.arrive = now;
     while (!mem.can_accept(b.addr, b.type)) mem.tick(now++);
-    mem.enqueue(b);
+    ASSERT_TRUE(mem.enqueue(b));
     for (int t = 0; t < 150; ++t) mem.tick(now++);
   }
   // Both hot; under RblAware the row-missing page must be resident.
@@ -184,7 +184,7 @@ TEST(Hybrid, EnduranceCounterTracksPcmWrites) {
     w.type = AccessType::Write;
     w.arrive = now;
     while (!mem.can_accept(w.addr, w.type)) mem.tick(now++);
-    mem.enqueue(w);
+    ASSERT_TRUE(mem.enqueue(w));
     mem.tick(now++);
   }
   mem.drain(now);
@@ -197,7 +197,7 @@ TEST(Hybrid, EnergyAggregatesBothTiers) {
   EXPECT_GT(idle, 0.0);
   mem::Request r;
   r.addr = 0;
-  mem.enqueue(r);
+  ASSERT_TRUE(mem.enqueue(r));
   mem.drain(0);
   EXPECT_GT(mem.total_energy(1000), idle);
 }

@@ -50,7 +50,7 @@ TEST(Integration, AmbitProgramCorrectUnderConcurrentTraffic) {
     r.addr = line_base(rng.next_below(cfg.geometry.total_bytes()));
     if (sys.mapper().decode(r.addr).bank == 0) continue;
     r.arrive = now;
-    sys.enqueue(r);
+    while (!sys.enqueue(r)) sys.tick(now++);  // retry on full queue
     sys.tick(now++);
   }
   sys.drain(now);
@@ -77,7 +77,7 @@ TEST(Integration, RefreshHammerChargeCacheCoexist) {
     mem::Request r;
     r.addr = (i % 2) ? row_stride * 9 : row_stride * 11;
     r.arrive = now;
-    sys.enqueue(r);
+    ASSERT_TRUE(sys.enqueue(r));
     now = sys.drain(now);
   }
   EXPECT_EQ(vm.flips(), 0u);                                    // Graphene protected
@@ -161,7 +161,7 @@ TEST(Integration, RowCloneThroughControllerPreservesTimingSanity) {
     mem::Request req;
     req.addr = line_base(rng.next_below(1 << 20));
     req.arrive = now;
-    sys.enqueue(req);
+    while (!sys.enqueue(req)) sys.tick(now++);  // retry on full queue
     sys.tick(now++);
   }
   sys.drain(now);

@@ -36,7 +36,7 @@ TEST(AlDram, ScaledConfigReducesMissLatency) {
     Cycle done = 0;
     mem::Request r;
     r.addr = 0;
-    sys.enqueue(r, [&](const mem::Request& req) { done = req.complete; });
+    EXPECT_TRUE(sys.enqueue(r, [&](const mem::Request& req) { done = req.complete; }));
     sys.drain(0);
     return done;
   };
@@ -92,7 +92,7 @@ TEST(ChargeCache, ReducesConflictLatency) {
       mem::Request r;
       r.addr = (i % 2) ? row4 : 0;
       r.arrive = now;
-      sys.enqueue(r);
+      EXPECT_TRUE(sys.enqueue(r));
       now = sys.drain(now);
     }
     return sys.controller(0).stats().read_latency.mean();
@@ -114,7 +114,7 @@ TEST(ChargeCache, ExpiredEntriesMiss) {
     mem::Request r;
     r.addr = (i % 2) ? row4 : 0;
     r.arrive = now;
-    sys.enqueue(r);
+    ASSERT_TRUE(sys.enqueue(r));
     now = sys.drain(now) + 500;  // far beyond retention
   }
   EXPECT_EQ(sys.controller(0).stats().charge_cache_hits, 0u);

@@ -29,10 +29,13 @@ double run(MemorySystem& sys, std::vector<Injector>& cores, Cycle cycles,
         r.core = static_cast<std::uint32_t>(i);
         r.arrive = now;
         ++c.outstanding;
-        sys.enqueue(r, [&c](const Request&) {
-          --c.outstanding;
-          ++c.served;
-        });
+        if (!sys.enqueue(r, [&c](const Request&) {
+              --c.outstanding;
+              ++c.served;
+            })) {
+          --c.outstanding;  // rejected: the window slot stays free
+          break;
+        }
       }
     }
     sys.tick(now);

@@ -4,10 +4,13 @@
 // the repo deliberately has no JSON parser dependency.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <vector>
 
 #include "cache/cache.hh"
 #include "common/stats.hh"
@@ -205,6 +208,87 @@ TEST(TailRecorder, PercentilesAreMonotoneWithBoundedRelativeError) {
   // Bucket relative width is bounded by 2^-precision_bits.
   EXPECT_NEAR(p50, 500'000.0, 500'000.0 / 16.0);
   EXPECT_NEAR(p999, 999'000.0, 999'000.0 / 16.0);
+}
+
+TEST(TailRecorder, PercentileDomainIsClampedNotUndefined) {
+  // Contract: q lives on (0, 1]. Out-of-domain queries clamp — q <= 0 (and
+  // NaN, whose every comparison is false) to the rank-1 sample, q > 1 to
+  // the rank-n sample — instead of feeding ceil(q * n) garbage into a
+  // uint64 cast (UB for NaN and negative arguments).
+  obs::TailRecorder t;
+  for (std::uint64_t v = 1; v <= 31; ++v) t.add(v);  // exact buckets
+  EXPECT_EQ(t.percentile(0.0), 1.0);
+  EXPECT_EQ(t.percentile(-3.0), 1.0);
+  EXPECT_EQ(t.percentile(std::nan("")), 1.0);
+  EXPECT_EQ(t.percentile(1.0), 31.0);
+  EXPECT_EQ(t.percentile(1.5), 31.0);
+  EXPECT_EQ(t.percentile(std::numeric_limits<double>::infinity()), 31.0);
+  const double tiny = std::numeric_limits<double>::denorm_min();
+  EXPECT_EQ(t.percentile(tiny), 1.0);  // ceil rounds any q > 0 up to rank 1
+  // Empty recorder: every query, in or out of domain, reports 0.
+  obs::TailRecorder e;
+  EXPECT_EQ(e.percentile(0.5), 0.0);
+  EXPECT_EQ(e.percentile(std::nan("")), 0.0);
+}
+
+TEST(TailRecorder, BucketInversionIsExactAtEveryPrecision) {
+  // Exhaustive small-value check of bucket_of and its inversion in
+  // percentile(): for every value below 2^(p+1) the recorder is exact, so
+  // a single-sample recorder must hand back precisely that sample at any
+  // quantile — at the default precision and at the extremes.
+  for (const unsigned p : {1u, 4u, 6u}) {
+    const std::uint64_t exact_limit = 1ull << (p + 1);
+    for (std::uint64_t v = 0; v < exact_limit; ++v) {
+      obs::TailRecorder t(p);
+      t.add(v);
+      EXPECT_EQ(t.percentile(0.001), static_cast<double>(v)) << "p=" << p << " v=" << v;
+      EXPECT_EQ(t.percentile(1.0), static_cast<double>(v)) << "p=" << p << " v=" << v;
+    }
+  }
+}
+
+TEST(TailRecorder, RankSelectionIsExactWhenBucketsAre) {
+  // With all samples in the exact range, percentile() degenerates to true
+  // order statistics: cross-check every rank against a sorted copy, at a
+  // coarse and a fine precision.
+  for (const unsigned p : {1u, 6u}) {
+    obs::TailRecorder t(p);
+    std::vector<std::uint64_t> vals;
+    std::uint64_t x = 12345;
+    const std::uint64_t exact_limit = 1ull << (p + 1);
+    for (int i = 0; i < 200; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;  // LCG, any dist
+      vals.push_back(x % exact_limit);
+      t.add(vals.back());
+    }
+    std::sort(vals.begin(), vals.end());
+    for (std::size_t r = 1; r <= vals.size(); ++r) {
+      // (r - 0.5) / n lands mid-gap so ceil(q * n) == r exactly, immune to
+      // the q = r/n representation error that could bump the rank by one.
+      const double q =
+          (static_cast<double>(r) - 0.5) / static_cast<double>(vals.size());
+      EXPECT_EQ(t.percentile(q), static_cast<double>(vals[r - 1]))
+          << "p=" << p << " rank=" << r;
+    }
+  }
+}
+
+TEST(TailRecorder, WideBucketsReportUpperEdgeClampedToObservedRange) {
+  // Above the exact range a bucket spans [m<<s, ((m+1)<<s)-1]; percentile
+  // reports the upper edge clamped into [min, max] — never a value outside
+  // what was observed, never below a smaller sample's bucket.
+  for (const unsigned p : {1u, 4u, 6u}) {
+    obs::TailRecorder t(p);
+    t.add(1'000'000);
+    EXPECT_EQ(t.percentile(0.5), 1'000'000.0) << "single sample must clamp to itself";
+    t.add(1'000'000);
+    t.add(3);
+    EXPECT_LE(t.percentile(1.0), 1'000'000.0);
+    EXPECT_GE(t.percentile(0.001), 3.0);
+    // Relative error of the p50/p99 band is bounded by 2^-p.
+    const double err = std::ldexp(1.0, -static_cast<int>(p));
+    EXPECT_NEAR(t.percentile(0.9), 1'000'000.0, 1'000'000.0 * err);
+  }
 }
 
 TEST(TailRecorder, EmbeddedStatIsValueIdenticalToARunningStat) {

@@ -58,7 +58,7 @@ TEST(PowerMgmt, ControllerPowersDownIdleRankAndWakesOnDemand) {
   Cycle done1 = 0, done2 = 0;
   mem::Request r;
   r.addr = 0;
-  sys.enqueue(r, [&](const mem::Request& q) { done1 = q.complete; });
+  ASSERT_TRUE(sys.enqueue(r, [&](const mem::Request& q) { done1 = q.complete; }));
   Cycle now = sys.drain(0);
   for (; now < 20'000; ++now) sys.tick(now);  // idle: should power down
 
@@ -68,7 +68,7 @@ TEST(PowerMgmt, ControllerPowersDownIdleRankAndWakesOnDemand) {
   mem::Request r2;
   r2.addr = 1 << 20;
   r2.arrive = now;
-  sys.enqueue(r2, [&](const mem::Request& q) { done2 = q.complete; });
+  ASSERT_TRUE(sys.enqueue(r2, [&](const mem::Request& q) { done2 = q.complete; }));
   now = sys.drain(now);
   EXPECT_GT(done2, 0u);  // served despite the nap
   EXPECT_EQ(sys.channel(0).rank_power(0), dram::Channel::PowerState::Active);
@@ -86,7 +86,7 @@ TEST(PowerMgmt, SelfRefreshAfterLongerIdle) {
   mem::MemorySystem sys(dram_cfg, ctrl);
   mem::Request r;
   r.addr = 0;
-  sys.enqueue(r);
+  ASSERT_TRUE(sys.enqueue(r));
   Cycle now = sys.drain(0);
   for (; now < 100'000; ++now) sys.tick(now);
   EXPECT_EQ(sys.channel(0).rank_power(0), dram::Channel::PowerState::SelfRefresh);
@@ -109,7 +109,7 @@ TEST(PowerMgmt, SavesBackgroundEnergyOnIdleWorkload) {
         mem::Request r;
         r.addr = static_cast<Addr>(burst) << 20 | (static_cast<Addr>(i) * kLineBytes);
         r.arrive = now;
-        sys.enqueue(r);
+        EXPECT_TRUE(sys.enqueue(r));
         sys.tick(now++);
       }
       now = sys.drain(now);

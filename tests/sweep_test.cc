@@ -41,7 +41,7 @@ double run_point(std::size_t index, harness::JobContext& ctx) {
     mem::Request r;
     r.addr = rng.next_below(1ull << 24) & ~Addr{63};
     r.arrive = now;
-    sys.enqueue(r);
+    if (!sys.enqueue(r)) throw std::runtime_error("enqueue rejected on drained queue");
     now = sys.drain(now);
     ts.advance(now);
   }
@@ -129,7 +129,7 @@ TEST(Sweep, ReliabilityFaultStreamsAreWorkerCountInvariant) {
       mem::Request r;
       r.addr = sys.mapper().encode(dram::Coord{0, 0, 0, 50, col});
       r.arrive = now;
-      sys.enqueue(r);
+      if (!sys.enqueue(r)) throw std::runtime_error("enqueue rejected on drained queue");
       now = sys.drain(now);
     }
     const auto* eng = sys.controller(0).reliability_engine();

@@ -2,14 +2,18 @@
 // reference algorithms, genome/k-mer utilities, DB columns and bitmaps.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <stdexcept>
 #include <unordered_set>
+#include <vector>
 
 #include "workloads/consumer.hh"
 #include "workloads/dbtable.hh"
 #include "workloads/genome.hh"
 #include "workloads/graph.hh"
 #include "workloads/stream.hh"
+#include "workloads/tensor.hh"
 
 namespace ima::workloads {
 namespace {
@@ -233,6 +237,124 @@ TEST(Consumer, AllProfilesProduceStreams) {
       EXPECT_EQ(e.addr % kLineBytes, 0u);
     }
   }
+}
+
+TEST(Tensor, PassLengthMatchesTheLoopNest) {
+  // 32x32x64 at 16/16/32 tiles: 2x2 output tiles, 2 K steps each.
+  TensorConfig c;
+  c.m = c.n = 32;
+  c.k = 64;
+  c.tile_m = c.tile_n = 16;
+  c.tile_k = 32;
+  c.elem_bytes = 2;
+  TensorTraffic t(c);
+  // Per K step: weight tile 32x16x2 = 1024 B = 16 lines, activation tile
+  // 16x32x2 = 1024 B = 16 lines. Per output tile: 2*(16+16) + output
+  // 16x16x2 = 512 B = 8 lines. 4 output tiles.
+  EXPECT_EQ(t.accesses_per_pass(), 4u * (2 * 32 + 8));
+  // act_streams re-streams activations only.
+  c.act_streams = 3;
+  TensorTraffic t3(c);
+  EXPECT_EQ(t3.accesses_per_pass(), 4u * (2 * (16 + 3 * 16) + 8));
+  EXPECT_EQ(t3.footprint_bytes(), t.footprint_bytes())
+      << "re-streaming adds traffic, not footprint";
+}
+
+TEST(Tensor, AtIsAStatelessPureFunctionOfTheIndex) {
+  TensorConfig c;
+  c.m = 24;  // non-multiple of tile: rounds up to whole tiles
+  c.n = 40;
+  c.k = 48;
+  c.tile_m = c.tile_n = 16;
+  c.tile_k = 32;
+  TensorTraffic t(c);
+  const auto n = t.accesses_per_pass();
+  ASSERT_GT(n, 0u);
+  // Two interleaved walks and a fresh object agree at every index.
+  TensorTraffic t2(c);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto a = t.at(i);
+    const auto b = t.at(n - 1 - i);
+    const auto a2 = t2.at(i);
+    EXPECT_EQ(a.offset, a2.offset);
+    EXPECT_EQ(a.type, a2.type);
+    EXPECT_EQ(b.offset, t.at(n - 1 - i).offset);
+  }
+  EXPECT_THROW((void)t.at(n), std::out_of_range);
+}
+
+TEST(Tensor, RegionsAreDisjointAndTyped) {
+  TensorConfig c;
+  c.m = c.n = 32;
+  c.k = 64;
+  c.tile_m = c.tile_n = 16;
+  c.tile_k = 32;
+  c.act_streams = 2;
+  TensorTraffic t(c);
+  std::set<std::uint64_t> write_lines, read_lines;
+  for (std::uint64_t i = 0; i < t.accesses_per_pass(); ++i) {
+    const auto a = t.at(i);
+    EXPECT_EQ(a.offset % kLineBytes, 0u);
+    EXPECT_LT(a.offset, t.footprint_bytes());
+    (a.type == AccessType::Write ? write_lines : read_lines).insert(a.offset);
+  }
+  EXPECT_FALSE(write_lines.empty());
+  EXPECT_FALSE(read_lines.empty());
+  for (const auto w : write_lines)
+    EXPECT_EQ(read_lines.count(w), 0u) << "output region overlaps an input region";
+}
+
+TEST(Tensor, WeightReuseAcrossOutputRowsRereadsTheSameLines) {
+  // Weight tile (nt, kt) ignores mt: the same weight lines must appear for
+  // every mt — that repetition is the weight-reuse DRAM traffic.
+  TensorConfig c;
+  c.m = 32;
+  c.n = c.k = 16;  // single nt/kt tile, two mt tiles
+  c.tile_m = c.tile_n = c.tile_k = 16;
+  TensorTraffic t(c);
+  std::set<std::uint64_t> first_mt, second_mt;
+  const auto per_out = t.accesses_per_pass() / 2;
+  for (std::uint64_t i = 0; i < per_out; ++i) {
+    const auto a = t.at(i);
+    const auto b = t.at(per_out + i);
+    if (a.type == AccessType::Read && t.at(i).offset < t.footprint_bytes())
+      first_mt.insert(a.offset);
+    if (b.type == AccessType::Read) second_mt.insert(b.offset);
+  }
+  // Weight lines (the shared subset) appear in both output-row walks.
+  std::vector<std::uint64_t> shared;
+  std::set_intersection(first_mt.begin(), first_mt.end(), second_mt.begin(),
+                        second_mt.end(), std::back_inserter(shared));
+  EXPECT_FALSE(shared.empty());
+}
+
+TEST(Tensor, StreamAdapterReplaysPassesBackToBack) {
+  TensorConfig c;
+  c.m = c.n = 16;
+  c.k = 32;
+  c.tile_m = c.tile_n = 16;
+  c.tile_k = 32;
+  TensorTraffic t(c);
+  auto s = make_tensor(c, /*base=*/1 << 20);
+  const auto n = t.accesses_per_pass();
+  for (std::uint64_t i = 0; i < 2 * n; ++i) {
+    const auto e = s->next();
+    const auto ref = t.at(i % n);
+    EXPECT_EQ(e.addr, (1u << 20) + ref.offset);
+    EXPECT_EQ(e.type, ref.type);
+  }
+}
+
+TEST(Tensor, ZeroDimensionsAreRejectedLoudly) {
+  TensorConfig c;
+  c.tile_k = 0;
+  EXPECT_THROW(TensorTraffic{c}, std::invalid_argument);
+  TensorConfig c2;
+  c2.elem_bytes = 0;
+  EXPECT_THROW(TensorTraffic{c2}, std::invalid_argument);
+  TensorConfig c3;
+  c3.act_streams = 0;
+  EXPECT_THROW(TensorTraffic{c3}, std::invalid_argument);
 }
 
 }  // namespace
