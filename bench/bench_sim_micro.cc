@@ -124,37 +124,45 @@ BENCHMARK_CAPTURE(BM_IdleHeavyClocking, skip_ahead, sim::ClockMode::SkipAhead);
 // window has room, else trust the controller's next_event bound).
 Cycle run_loaded(mem::MemorySystem& sys, std::vector<bench::InjectorSpec>& cores,
                  std::vector<std::uint32_t>& outstanding, sim::ClockMode mode,
-                 Cycle from, Cycle to) {
+                 Cycle from, Cycle to, std::uint32_t& below_mlp) {
+  // below_mlp counts cores with window room (run_mc keeps the same
+  // aggregate): the injection pass and the advance hook become one compare
+  // while every window is full, with injection order unchanged.
   return sim::run_event_loop(
       mode, from, to,
       [&](Cycle now) {
-        for (std::size_t i = 0; i < cores.size(); ++i) {
-          while (outstanding[i] < cores[i].mlp) {
-            const auto e = cores[i].stream->next();
-            mem::Request r;
-            r.addr = e.addr;
-            r.type = e.type;
-            r.core = static_cast<std::uint32_t>(i);
-            r.arrive = now;
-            if (!sys.can_accept(r.addr, r.type, r.core)) break;
-            ++outstanding[i];
-            const bool ok = sys.enqueue(r, [&outstanding, i](const mem::Request&) {
-              if (outstanding[i] > 0) --outstanding[i];
-            });
-            if (!ok) {
-              --outstanding[i];
-              break;
+        if (below_mlp > 0) {
+          for (std::size_t i = 0; i < cores.size(); ++i) {
+            const std::uint32_t mlp = cores[i].mlp;
+            while (outstanding[i] < mlp) {
+              const auto e = cores[i].stream->next();
+              mem::Request r;
+              r.addr = e.addr;
+              r.type = e.type;
+              r.core = static_cast<std::uint32_t>(i);
+              r.arrive = now;
+              if (!sys.can_accept(r.addr, r.type, r.core)) break;
+              ++outstanding[i];
+              if (outstanding[i] == mlp) --below_mlp;
+              const bool ok =
+                  sys.enqueue(r, [&outstanding, &below_mlp, i, mlp](const mem::Request&) {
+                    if (outstanding[i] > 0) {
+                      if (outstanding[i] == mlp) ++below_mlp;
+                      --outstanding[i];
+                    }
+                  });
+              if (!ok) {
+                if (outstanding[i] == mlp) ++below_mlp;
+                --outstanding[i];
+                break;
+              }
             }
           }
         }
         sys.tick(now);
       },
       [] { return false; },
-      [&](Cycle now) {
-        for (std::size_t i = 0; i < cores.size(); ++i)
-          if (outstanding[i] < cores[i].mlp) return now + 1;
-        return sys.next_event(now);
-      });
+      [&](Cycle now) { return below_mlp > 0 ? now + 1 : sys.next_event(now); });
 }
 
 // The anti-BM_IdleHeavyClocking: queues saturated the whole run, so the
@@ -171,9 +179,11 @@ void BM_LoadedIssueLoop(benchmark::State& state, mem::SchedKind kind) {
   mem::MemorySystem sys(dram_cfg, ctrl);
   sys.controller(0).set_scheduler(mem::make_scheduler(kind, ctrl.num_cores, 7));
   std::vector<std::uint32_t> outstanding(cores.size(), 0);
+  std::uint32_t below_mlp = static_cast<std::uint32_t>(cores.size());
   Cycle now = 0;
   for (auto _ : state) {
-    now = run_loaded(sys, cores, outstanding, sim::default_clock_mode(), now, now + 10'000);
+    now = run_loaded(sys, cores, outstanding, sim::default_clock_mode(), now, now + 10'000,
+                     below_mlp);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10'000);
 }
@@ -191,14 +201,45 @@ void BM_SkipAheadLoaded(benchmark::State& state, sim::ClockMode mode) {
   ctrl.num_cores = static_cast<std::uint32_t>(cores.size());
   mem::MemorySystem sys(dram_cfg, ctrl);
   std::vector<std::uint32_t> outstanding(cores.size(), 0);
+  std::uint32_t below_mlp = static_cast<std::uint32_t>(cores.size());
   Cycle now = 0;
   for (auto _ : state) {
-    now = run_loaded(sys, cores, outstanding, mode, now, now + 10'000);
+    now = run_loaded(sys, cores, outstanding, mode, now, now + 10'000, below_mlp);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10'000);
 }
 BENCHMARK_CAPTURE(BM_SkipAheadLoaded, per_cycle, sim::ClockMode::PerCycle);
 BENCHMARK_CAPTURE(BM_SkipAheadLoaded, skip_ahead, sim::ClockMode::SkipAhead);
+
+// The SoA timing kernels at thousand-bank scale: whole-rank linear sweeps
+// over the dense per-unit arrays — earliest(PreAll) (max-fold over open
+// units) and min_next_ready (the Ref-readiness fold) — on a channel with
+// every other bank open. Items = units scanned, so items/sec is sweep
+// bandwidth: it should hold roughly flat from 64 to 4096 banks if the
+// scans are truly linear and branch-light, whereas the pre-SoA pointer-
+// chasing walk lost bandwidth as the bank map outgrew the cache.
+void BM_BankScan(benchmark::State& state) {
+  auto cfg = dram::DramConfig::ddr4_2400();
+  cfg.geometry.ranks = 1;
+  cfg.geometry.banks = static_cast<std::uint32_t>(state.range(0));
+  dram::Channel chan(cfg, 0, nullptr);
+  Cycle now = 1;
+  for (std::uint32_t b = 0; b < cfg.geometry.banks; b += 2) {
+    const dram::Coord c{0, 0, b, (b * 37) % cfg.geometry.rows_per_bank(), 0};
+    const Cycle t = chan.earliest(dram::Cmd::Act, c, now);
+    chan.issue(dram::Cmd::Act, c, t);
+    now = t + 1;
+  }
+  const dram::Coord any{0, 0, 0, 0, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chan.earliest(dram::Cmd::PreAll, any, now));
+    benchmark::DoNotOptimize(chan.min_next_ready(0, now));
+    ++now;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          cfg.geometry.banks);
+}
+BENCHMARK(BM_BankScan)->Arg(64)->Arg(512)->Arg(4096);
 
 void BM_SchedulerPick(benchmark::State& state) {
   const auto cfg = dram::DramConfig::ddr4_2400();

@@ -50,6 +50,16 @@ inline McResult run_mc(const dram::DramConfig& dram_cfg, mem::ControllerConfig c
   };
   std::vector<CoreState> state(cores.size());
 
+  // Count of cores whose MLP window has room: both the injection pass and
+  // the advance hook reduce to one compare while every window is full,
+  // instead of rescanning all cores each visited cycle. Transitions are
+  // exact (enqueue success filling the window, completion reopening it),
+  // so the skip fires precisely on the cycles where the scans were no-ops
+  // — injection order and stream draws are unchanged.
+  std::uint32_t below_mlp = 0;
+  for (const auto& c : cores)
+    if (c.mlp > 0) ++below_mlp;
+
   // Injection then tick each active cycle, driven by the shared event
   // kernel. A core below its MLP budget injects every cycle, so the loop
   // can only skip while every window is full — exactly the cycles where
@@ -57,39 +67,44 @@ inline McResult run_mc(const dram::DramConfig& dram_cfg, mem::ControllerConfig c
   sim::run_event_loop(
       sim::default_clock_mode(), 0, cycles,
       [&](Cycle now) {
-        for (std::size_t i = 0; i < cores.size(); ++i) {
-          auto& cs = state[i];
-          while (cs.outstanding < cores[i].mlp) {
-            const auto e = cores[i].stream->next();
-            mem::Request r;
-            r.addr = e.addr;
-            r.type = e.type;
-            r.core = static_cast<std::uint32_t>(i);
-            r.arrive = now;
-            if (!sys.can_accept(r.addr, r.type, static_cast<std::uint32_t>(i))) break;
-            ++cs.outstanding;
-            const bool ok = sys.enqueue(r, [&cs](const mem::Request& done) {
-              if (cs.outstanding > 0) --cs.outstanding;
-              ++cs.served;
-              if (done.type == AccessType::Read) {
-                cs.latency_sum += static_cast<double>(done.complete - done.arrive);
-                ++cs.reads_done;
+        if (below_mlp > 0) {
+          for (std::size_t i = 0; i < cores.size(); ++i) {
+            auto& cs = state[i];
+            const std::uint32_t mlp = cores[i].mlp;
+            while (cs.outstanding < mlp) {
+              const auto e = cores[i].stream->next();
+              mem::Request r;
+              r.addr = e.addr;
+              r.type = e.type;
+              r.core = static_cast<std::uint32_t>(i);
+              r.arrive = now;
+              if (!sys.can_accept(r.addr, r.type, static_cast<std::uint32_t>(i))) break;
+              ++cs.outstanding;
+              if (cs.outstanding == mlp) --below_mlp;
+              const bool ok =
+                  sys.enqueue(r, [&cs, &below_mlp, mlp](const mem::Request& done) {
+                    if (cs.outstanding > 0) {
+                      if (cs.outstanding == mlp) ++below_mlp;
+                      --cs.outstanding;
+                    }
+                    ++cs.served;
+                    if (done.type == AccessType::Read) {
+                      cs.latency_sum += static_cast<double>(done.complete - done.arrive);
+                      ++cs.reads_done;
+                    }
+                  });
+              if (!ok) {
+                if (cs.outstanding == mlp) ++below_mlp;
+                --cs.outstanding;
+                break;
               }
-            });
-            if (!ok) {
-              --cs.outstanding;
-              break;
             }
           }
         }
         sys.tick(now);
       },
       [] { return false; },
-      [&](Cycle now) {
-        for (std::size_t i = 0; i < cores.size(); ++i)
-          if (state[i].outstanding < cores[i].mlp) return now + 1;
-        return sys.next_event(now);
-      });
+      [&](Cycle now) { return below_mlp > 0 ? now + 1 : sys.next_event(now); });
 
   McResult res;
   for (const auto& cs : state) {

@@ -1,0 +1,71 @@
+// Growable power-of-two ring buffer with a FIFO (deque-front) interface.
+//
+// std::deque allocates and frees fixed-size blocks as elements flow
+// through, so a steady-state producer/consumer pair — the controller's
+// PIM queue, RowHammer victim queue and ChargeCache FIFO, the system's
+// writeback spill queue — churns the allocator forever even when the
+// queue's depth is bounded. This ring reaches its high-water capacity
+// once and then recycles the same storage: push/pop are an index mask
+// and a move, with no allocation on any path after warm-up.
+//
+// Only the operations those queues use are provided (push_back /
+// emplace_back / front / pop_front / empty / size / clear). T must be
+// movable and default-constructible: pop_front() resets the vacated
+// slot to T{} so resources held by the element (e.g. std::function
+// captures in PimOp::on_done) release at pop time, matching deque
+// destruction semantics, not at overwrite time.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ima {
+
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  T& front() { return buf_[head_]; }
+  const T& front() const { return buf_[head_]; }
+
+  void push_back(T v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = T(std::forward<Args>(args)...);
+    ++size_;
+  }
+
+  void pop_front() {
+    buf_[head_] = T{};
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void clear() {
+    while (size_ > 0) pop_front();
+    head_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i)
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace ima

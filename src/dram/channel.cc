@@ -1,6 +1,7 @@
 #include "dram/channel.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <ostream>
 
@@ -42,102 +43,66 @@ Cycle event_span_of(Cmd cmd, const Timings& tm) {
 }  // namespace
 
 Channel::Channel(const DramConfig& cfg, std::uint32_t channel_id, DataStore* data)
-    : cfg_(cfg),
-      id_(channel_id),
-      data_(data),
-      banks_(static_cast<std::size_t>(cfg.geometry.ranks) * cfg.geometry.banks),
-      ranks_(cfg.geometry.ranks) {
+    : cfg_(cfg), id_(channel_id), data_(data), ranks_(cfg.geometry.ranks) {
   assert(cfg_.geometry.valid());
-}
+  const auto& g = cfg_.geometry;
+  salp_ = cfg_.timings.salp;
+  const std::uint32_t units_per_bank = salp_ ? g.subarrays : 1;
+  units_per_rank_ = g.banks * units_per_bank;
+  sub_shift_ = static_cast<std::uint32_t>(std::countr_zero(units_per_bank));
+  sub_row_shift_ = static_cast<std::uint32_t>(std::countr_zero(g.rows_per_subarray));
+  rank_shift_ = static_cast<std::uint32_t>(std::countr_zero(units_per_rank_));
 
-bool Channel::bank_open(const Coord& c) const {
-  const BankState& bk = bank(c);
-  if (!cfg_.timings.salp) return bk.open;
-  const auto it = bk.subs.find(cfg_.geometry.subarray_of_row(c.row));
-  return it != bk.subs.end() && it->second.open;
-}
-
-std::uint32_t Channel::open_row(const Coord& c) const {
-  const BankState& bk = bank(c);
-  if (!cfg_.timings.salp) return bk.row;
-  const auto it = bk.subs.find(cfg_.geometry.subarray_of_row(c.row));
-  return it != bk.subs.end() ? it->second.row : 0;
-}
-
-bool Channel::all_banks_closed(std::uint32_t rank) const {
-  for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b) {
-    const BankState& bk = banks_[rank * cfg_.geometry.banks + b];
-    if (bk.open) return false;
-    if (cfg_.timings.salp) {
-      for (const auto& [sa, sub] : bk.subs)
-        if (sub.open) return false;
-    }
-  }
-  return true;
-}
-
-Cmd Channel::required_cmd(const Coord& c, AccessType type) const {
-  if (!bank_open(c)) return Cmd::Act;
-  if (open_row(c) == c.row) return type == AccessType::Read ? Cmd::Rd : Cmd::Wr;
-  return Cmd::Pre;
-}
-
-bool Channel::bank_fully_closed(const BankState& bk) const {
-  if (bk.open) return false;
-  for (const auto& [sa, sub] : bk.subs)
-    if (sub.open) return false;
-  return true;
-}
-
-Cycle Channel::faw_earliest(const RankState& r) const {
-  if (r.act_window.size() < 4) return 0;
-  return r.act_window[r.act_window.size() - 4] + cfg_.timings.faw;
+  const std::size_t units = static_cast<std::size_t>(g.ranks) * units_per_rank_;
+  unit_open_.assign(units, 0);
+  unit_row_.assign(units, 0);
+  unit_next_act_.assign(units, 0);
+  unit_next_pre_.assign(units, 0);
+  unit_next_rd_.assign(units, 0);
+  unit_next_wr_.assign(units, 0);
+  bank_open_units_.assign(static_cast<std::size_t>(g.ranks) * g.banks, 0);
+  rank_open_units_.assign(g.ranks, 0);
 }
 
 Cycle Channel::earliest(Cmd cmd, const Coord& c, Cycle now) const {
-  if (ranks_[c.rank].power != PowerState::Active)
-    return kCycleNever;  // the controller must wake the rank first
-  if (cfg_.timings.salp) return earliest_salp(cmd, c, now);
-  const BankState& bk = bank(c);
   const RankState& rk = ranks_[c.rank];
-  Cycle t = std::max(now, rk.ready);
+  if (rk.power != PowerState::Active)
+    return kCycleNever;  // the controller must wake the rank first
+  const std::size_t u = unit_of(c);
+  const Cycle t = std::max(now, rk.ready);
 
   switch (cmd) {
     case Cmd::Act:
-      if (bk.open) return kCycleNever;
-      return std::max({t, bk.next_act, rk.next_act, faw_earliest(rk)});
+      if (unit_open_[u]) return kCycleNever;
+      return std::max({t, unit_next_act_[u], rk.next_act, faw_earliest(rk)});
     case Cmd::Pre:
-      if (!bk.open) return kCycleNever;
-      return std::max(t, bk.next_pre);
+      if (!unit_open_[u]) return kCycleNever;
+      return std::max(t, unit_next_pre_[u]);
     case Cmd::PreAll: {
+      // Linear sweep over the rank's contiguous unit slice.
       Cycle e = t;
-      for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b) {
-        const BankState& s = banks_[c.rank * cfg_.geometry.banks + b];
-        if (s.open) e = std::max(e, s.next_pre);
-      }
+      const std::size_t base = static_cast<std::size_t>(c.rank) * units_per_rank_;
+      for (std::size_t i = base; i < base + units_per_rank_; ++i)
+        if (unit_open_[i]) e = std::max(e, unit_next_pre_[i]);
       return e;
     }
     case Cmd::Rd:
-      if (!bk.open || bk.row != c.row) return kCycleNever;
-      return std::max({t, bk.next_rd, bus_next_rd_});
+      if (!unit_open_[u] || unit_row_[u] != c.row) return kCycleNever;
+      return std::max({t, unit_next_rd_[u], bus_next_rd_});
     case Cmd::Wr:
-      if (!bk.open || bk.row != c.row) return kCycleNever;
-      return std::max({t, bk.next_wr, bus_next_wr_});
-    case Cmd::Ref: {
-      if (!all_banks_closed(c.rank)) return kCycleNever;
-      Cycle e = t;
-      for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b)
-        e = std::max(e, banks_[c.rank * cfg_.geometry.banks + b].next_act);
-      return e;
-    }
+      if (!unit_open_[u] || unit_row_[u] != c.row) return kCycleNever;
+      return std::max({t, unit_next_wr_[u], bus_next_wr_});
+    case Cmd::Ref:
+      if (rank_open_units_[c.rank] != 0) return kCycleNever;
+      return min_next_ready(c.rank, now);
     case Cmd::RefRow:
     case Cmd::AapFpm:
     case Cmd::LisaRbm:
     case Cmd::Tra:
       // All PUM / row-refresh commands behave like an ACT(+PRE) burst on a
-      // fully precharged bank.
-      if (bk.open) return kCycleNever;
-      return std::max({t, bk.next_act, rk.next_act, faw_earliest(rk)});
+      // fully precharged bank (every subarray quiet, under SALP).
+      if (bank_open_units_[u >> sub_shift_] != 0) return kCycleNever;
+      return std::max({t, unit_next_act_[u], rk.next_act, faw_earliest(rk)});
   }
   return kCycleNever;
 }
@@ -189,150 +154,14 @@ Cycle Channel::pim_latency(Cmd cmd, const PimArgs& args) const {
 
 void Channel::record_act(const Coord& c, std::uint32_t row, Cycle now) {
   RankState& rk = ranks_[c.rank];
-  rk.act_window.push_back(now);
-  while (rk.act_window.size() > 4) rk.act_window.pop_front();
+  rk.act_ring[rk.acts % kFawWindow] = now;
+  ++rk.acts;
   rk.next_act = std::max(rk.next_act, now + cfg_.timings.rrd);
   ++stats_.acts;
   if (act_hook_) {
     Coord rc = c;
     rc.row = row;
     act_hook_(rc, now);
-  }
-}
-
-Cycle Channel::earliest_salp(Cmd cmd, const Coord& c, Cycle now) const {
-  const BankState& bk = bank(c);
-  const RankState& rk = ranks_[c.rank];
-  const std::uint32_t sa = cfg_.geometry.subarray_of_row(c.row);
-  const auto sub_it = bk.subs.find(sa);
-  const SubarrayState* sub = sub_it != bk.subs.end() ? &sub_it->second : nullptr;
-  Cycle t = std::max(now, rk.ready);
-
-  switch (cmd) {
-    case Cmd::Act:
-      if (sub && sub->open) return kCycleNever;
-      return std::max({t, sub ? sub->next_act : 0, rk.next_act, faw_earliest(rk)});
-    case Cmd::Pre:
-      if (!sub || !sub->open) return kCycleNever;
-      return std::max(t, sub->next_pre);
-    case Cmd::PreAll: {
-      Cycle e = t;
-      for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b) {
-        const BankState& s = banks_[c.rank * cfg_.geometry.banks + b];
-        for (const auto& [si, ss] : s.subs)
-          if (ss.open) e = std::max(e, ss.next_pre);
-      }
-      return e;
-    }
-    case Cmd::Rd:
-      if (!sub || !sub->open || sub->row != c.row) return kCycleNever;
-      return std::max({t, sub->next_rd, bus_next_rd_});
-    case Cmd::Wr:
-      if (!sub || !sub->open || sub->row != c.row) return kCycleNever;
-      return std::max({t, sub->next_wr, bus_next_wr_});
-    case Cmd::Ref: {
-      if (!all_banks_closed(c.rank)) return kCycleNever;
-      Cycle e = t;
-      for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b) {
-        const BankState& s = banks_[c.rank * cfg_.geometry.banks + b];
-        for (const auto& [si, ss] : s.subs) e = std::max(e, ss.next_act);
-      }
-      return e;
-    }
-    case Cmd::RefRow:
-    case Cmd::AapFpm:
-    case Cmd::LisaRbm:
-    case Cmd::Tra:
-      // PUM commands and row refresh need a quiet bank.
-      if (!bank_fully_closed(bk)) return kCycleNever;
-      return std::max({t, sub ? sub->next_act : 0, rk.next_act, faw_earliest(rk)});
-  }
-  return kCycleNever;
-}
-
-void Channel::issue_salp(Cmd cmd, const Coord& c, Cycle now) {
-  const Timings& tm = cfg_.timings;
-  const Energy& en = cfg_.energy;
-  BankState& bk = bank(c);
-  RankState& rk = ranks_[c.rank];
-  const std::uint32_t sa = cfg_.geometry.subarray_of_row(c.row);
-
-  switch (cmd) {
-    case Cmd::Act: {
-      SubarrayState& sub = bk.subs[sa];
-      sub.open = true;
-      sub.row = c.row;
-      sub.next_rd = sub.next_wr = now + tm.rcd;
-      sub.next_pre = now + tm.ras;
-      sub.next_act = now + tm.rc;
-      record_act(c, c.row, now);
-      stats_.cmd_energy += en.act;
-      break;
-    }
-    case Cmd::Pre: {
-      SubarrayState& sub = bk.subs[sa];
-      sub.open = false;
-      sub.next_act = std::max(sub.next_act, now + tm.rp);
-      ++stats_.pres;
-      stats_.cmd_energy += en.pre;
-      break;
-    }
-    case Cmd::PreAll:
-      for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b) {
-        BankState& s = banks_[c.rank * cfg_.geometry.banks + b];
-        for (auto& [si, ss] : s.subs) {
-          if (!ss.open) continue;
-          ss.open = false;
-          ss.next_act = std::max(ss.next_act, now + tm.rp);
-          ++stats_.pres;
-          stats_.cmd_energy += en.pre;
-        }
-      }
-      break;
-    case Cmd::Rd: {
-      SubarrayState& sub = bk.subs[sa];
-      bus_next_rd_ = std::max(bus_next_rd_, now + tm.ccd);
-      bus_next_wr_ = std::max(bus_next_wr_, now + tm.rtw);
-      sub.next_pre = std::max(sub.next_pre, now + tm.rtp);
-      ++stats_.rds;
-      stats_.cmd_energy += en.rd + en.bus_per_line;
-      stats_.bus_energy += en.bus_per_line;
-      break;
-    }
-    case Cmd::Wr: {
-      SubarrayState& sub = bk.subs[sa];
-      bus_next_wr_ = std::max(bus_next_wr_, now + tm.ccd);
-      bus_next_rd_ = std::max(bus_next_rd_, now + tm.cwl + tm.bl + tm.wtr);
-      sub.next_pre = std::max(sub.next_pre, now + tm.cwl + tm.bl + tm.wr);
-      ++stats_.wrs;
-      stats_.cmd_energy += en.wr + en.bus_per_line;
-      stats_.bus_energy += en.bus_per_line;
-      break;
-    }
-    case Cmd::Ref:
-      rk.ready = now + tm.rfc;
-      for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b) {
-        BankState& s = banks_[c.rank * cfg_.geometry.banks + b];
-        s.next_act = std::max(s.next_act, now + tm.rfc);
-        for (auto& [si, ss] : s.subs) ss.next_act = std::max(ss.next_act, now + tm.rfc);
-      }
-      ++stats_.refs;
-      stats_.cmd_energy += en.ref;
-      if (ref_hook_) ref_hook_(c.rank, now);
-      break;
-    case Cmd::RefRow: {
-      SubarrayState& sub = bk.subs[sa];
-      sub.next_act = std::max(sub.next_act, now + tm.rc);
-      record_act(c, c.row, now);
-      ++stats_.ref_rows;
-      stats_.cmd_energy += en.ref_row;
-      break;
-    }
-    case Cmd::AapFpm:
-    case Cmd::LisaRbm:
-    case Cmd::Tra:
-      assert(false && "use issue_pim for multi-row commands");
-      break;
   }
 }
 
@@ -343,45 +172,41 @@ void Channel::issue(Cmd cmd, const Coord& c, Cycle now) {
             .kind = event_kind_of(cmd), .pid = static_cast<std::uint16_t>(id_),
             .tid = static_cast<std::uint16_t>(c.rank * cfg_.geometry.banks + c.bank),
             .arg0 = c.row, .arg1 = c.column, .name = to_string(cmd));
-  if (cfg_.timings.salp) {
-    issue_salp(cmd, c, now);
-    return;
-  }
   const Timings& tm = cfg_.timings;
   const Energy& en = cfg_.energy;
-  BankState& bk = bank(c);
   RankState& rk = ranks_[c.rank];
+  const std::size_t u = unit_of(c);
 
   switch (cmd) {
     case Cmd::Act:
-      bk.open = true;
-      bk.row = c.row;
-      bk.next_rd = bk.next_wr = now + tm.rcd;
-      bk.next_pre = now + tm.ras;
-      bk.next_act = now + tm.rc;
+      open_unit(u, c.row);
+      unit_next_rd_[u] = unit_next_wr_[u] = now + tm.rcd;
+      unit_next_pre_[u] = now + tm.ras;
+      unit_next_act_[u] = now + tm.rc;
       record_act(c, c.row, now);
       stats_.cmd_energy += en.act;
       break;
     case Cmd::Pre:
-      bk.open = false;
-      bk.next_act = std::max(bk.next_act, now + tm.rp);
+      close_unit(u);
+      unit_next_act_[u] = std::max(unit_next_act_[u], now + tm.rp);
       ++stats_.pres;
       stats_.cmd_energy += en.pre;
       break;
-    case Cmd::PreAll:
-      for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b) {
-        BankState& s = banks_[c.rank * cfg_.geometry.banks + b];
-        if (!s.open) continue;
-        s.open = false;
-        s.next_act = std::max(s.next_act, now + tm.rp);
+    case Cmd::PreAll: {
+      const std::size_t base = static_cast<std::size_t>(c.rank) * units_per_rank_;
+      for (std::size_t i = base; i < base + units_per_rank_; ++i) {
+        if (!unit_open_[i]) continue;
+        close_unit(i);
+        unit_next_act_[i] = std::max(unit_next_act_[i], now + tm.rp);
         ++stats_.pres;
         stats_.cmd_energy += en.pre;
       }
       break;
+    }
     case Cmd::Rd:
       bus_next_rd_ = std::max(bus_next_rd_, now + tm.ccd);
       bus_next_wr_ = std::max(bus_next_wr_, now + tm.rtw);
-      bk.next_pre = std::max(bk.next_pre, now + tm.rtp);
+      unit_next_pre_[u] = std::max(unit_next_pre_[u], now + tm.rtp);
       ++stats_.rds;
       stats_.cmd_energy += en.rd + en.bus_per_line;
       stats_.bus_energy += en.bus_per_line;
@@ -389,24 +214,28 @@ void Channel::issue(Cmd cmd, const Coord& c, Cycle now) {
     case Cmd::Wr:
       bus_next_wr_ = std::max(bus_next_wr_, now + tm.ccd);
       bus_next_rd_ = std::max(bus_next_rd_, now + tm.cwl + tm.bl + tm.wtr);
-      bk.next_pre = std::max(bk.next_pre, now + tm.cwl + tm.bl + tm.wr);
+      unit_next_pre_[u] = std::max(unit_next_pre_[u], now + tm.cwl + tm.bl + tm.wr);
       ++stats_.wrs;
       stats_.cmd_energy += en.wr + en.bus_per_line;
       stats_.bus_energy += en.bus_per_line;
       break;
-    case Cmd::Ref:
+    case Cmd::Ref: {
       rk.ready = now + tm.rfc;
-      for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b) {
-        BankState& s = banks_[c.rank * cfg_.geometry.banks + b];
-        s.next_act = std::max(s.next_act, now + tm.rfc);
-      }
+      // Every unit of the rank sits out tRFC. (Equivalent to the legacy
+      // per-existing-entry update: t >= rank ready dominates any unit-level
+      // now + tRFC term in later queries, so blanketing all units is
+      // observably identical and keeps the write a linear sweep.)
+      const std::size_t base = static_cast<std::size_t>(c.rank) * units_per_rank_;
+      for (std::size_t i = base; i < base + units_per_rank_; ++i)
+        unit_next_act_[i] = std::max(unit_next_act_[i], now + tm.rfc);
       ++stats_.refs;
       stats_.cmd_energy += en.ref;
       if (ref_hook_) ref_hook_(c.rank, now);
       break;
+    }
     case Cmd::RefRow:
       // Internally an ACT+PRE of one row; bank occupied for tRC.
-      bk.next_act = std::max(bk.next_act, now + tm.rc);
+      unit_next_act_[u] = std::max(unit_next_act_[u], now + tm.rc);
       record_act(c, c.row, now);
       ++stats_.ref_rows;
       stats_.cmd_energy += en.ref_row;
@@ -426,14 +255,13 @@ void Channel::issue_act_charged(const Coord& c, Cycle now) {
             .pid = static_cast<std::uint16_t>(id_),
             .tid = static_cast<std::uint16_t>(c.rank * cfg_.geometry.banks + c.bank),
             .arg0 = c.row, .name = "ACT-charged");
-  assert(!cfg_.timings.salp && "ChargeCache+SALP composition not modeled");
+  assert(!salp_ && "ChargeCache+SALP composition not modeled");
   const Timings& tm = cfg_.timings;
-  BankState& bk = bank(c);
-  bk.open = true;
-  bk.row = c.row;
-  bk.next_rd = bk.next_wr = now + tm.rcd_charged;
-  bk.next_pre = now + tm.ras_charged;
-  bk.next_act = now + tm.rc;
+  const std::size_t u = unit_of(c);
+  open_unit(u, c.row);
+  unit_next_rd_[u] = unit_next_wr_[u] = now + tm.rcd_charged;
+  unit_next_pre_[u] = now + tm.ras_charged;
+  unit_next_act_[u] = now + tm.rc;
   record_act(c, c.row, now);
   // Sensing a charged row moves less charge: slightly cheaper activation.
   stats_.cmd_energy += cfg_.energy.act * 0.8;
@@ -450,26 +278,23 @@ void Channel::issue_pim(Cmd cmd, const Coord& bank_coord, const PimArgs& args, C
             .arg0 = args.src_row, .arg1 = args.dst_row, .name = to_string(cmd));
   const Timings& tm = cfg_.timings;
   const Energy& en = cfg_.energy;
-  BankState& bk = bank(bank_coord);
 
   Coord src = bank_coord, dst = bank_coord, third = bank_coord;
   src.row = args.src_row;
   dst.row = args.dst_row;
   third.row = args.row_c;
 
-  // SALP: the occupied subarray's timing gates the next activation there.
-  auto salp_occupy = [&](Cycle until) {
-    if (!cfg_.timings.salp) return;
-    const std::uint32_t sa = cfg_.geometry.subarray_of_row(args.src_row);
-    auto& sub = bk.subs[sa];
-    sub.next_act = std::max(sub.next_act, until);
+  // The occupied unit: the bank, or under SALP the source row's subarray
+  // (whose row buffer the PUM operation monopolizes).
+  const std::size_t u = unit_of(src);
+  const auto occupy = [&](Cycle until) {
+    unit_next_act_[u] = std::max(unit_next_act_[u], until);
   };
 
   switch (cmd) {
     case Cmd::AapFpm:
       // Two back-to-back activations (source then destination) + precharge.
-      bk.next_act = std::max(bk.next_act, now + tm.rc_fpm);
-      salp_occupy(now + tm.rc_fpm);
+      occupy(now + tm.rc_fpm);
       record_act(bank_coord, args.src_row, now);
       record_act(bank_coord, args.dst_row, now + tm.ras / 2);
       ++stats_.aaps;
@@ -480,9 +305,7 @@ void Channel::issue_pim(Cmd cmd, const Coord& bank_coord, const PimArgs& args, C
       }
       break;
     case Cmd::LisaRbm:
-      bk.next_act = std::max(bk.next_act, now + tm.rc_fpm +
-                                              static_cast<Cycle>(args.hops) * tm.lisa_hop);
-      salp_occupy(now + tm.rc_fpm + static_cast<Cycle>(args.hops) * tm.lisa_hop);
+      occupy(now + tm.rc_fpm + static_cast<Cycle>(args.hops) * tm.lisa_hop);
       record_act(bank_coord, args.src_row, now);
       record_act(bank_coord, args.dst_row, now + tm.ras / 2);
       stats_.lisa_hops += args.hops;
@@ -491,8 +314,7 @@ void Channel::issue_pim(Cmd cmd, const Coord& bank_coord, const PimArgs& args, C
       if (data_) data_->copy_row(src, dst);
       break;
     case Cmd::Tra:
-      bk.next_act = std::max(bk.next_act, now + tm.tra + tm.rp);
-      salp_occupy(now + tm.tra + tm.rp);
+      occupy(now + tm.tra + tm.rp);
       record_act(bank_coord, args.src_row, now);
       record_act(bank_coord, args.dst_row, now);
       record_act(bank_coord, args.row_c, now);
@@ -530,14 +352,20 @@ void Channel::dump(std::ostream& os, Cycle now) const {
     os << "  rank " << r << " power=" << power << " ready=" << rk.ready
        << (rk.ready > now ? " (busy)" : "") << " next_act=" << rk.next_act << "\n";
     for (std::uint32_t b = 0; b < cfg_.geometry.banks; ++b) {
-      const BankState& bk = banks_[static_cast<std::size_t>(r) * cfg_.geometry.banks + b];
-      if (bk.open) {
-        os << "    bank " << b << " OPEN row=" << bk.row << " next_pre=" << bk.next_pre
-           << " next_rd=" << bk.next_rd << " next_wr=" << bk.next_wr << "\n";
+      const std::size_t base =
+          (static_cast<std::size_t>(r) * cfg_.geometry.banks + b) << sub_shift_;
+      if (!salp_) {
+        if (unit_open_[base]) {
+          os << "    bank " << b << " OPEN row=" << unit_row_[base]
+             << " next_pre=" << unit_next_pre_[base] << " next_rd=" << unit_next_rd_[base]
+             << " next_wr=" << unit_next_wr_[base] << "\n";
+        }
+        continue;
       }
-      for (const auto& [sa, sub] : bk.subs) {
-        if (sub.open)
-          os << "    bank " << b << " subarray " << sa << " OPEN row=" << sub.row << "\n";
+      for (std::uint32_t sa = 0; sa < cfg_.geometry.subarrays; ++sa) {
+        if (unit_open_[base + sa])
+          os << "    bank " << b << " subarray " << sa
+             << " OPEN row=" << unit_row_[base + sa] << "\n";
       }
     }
   }

@@ -5,17 +5,22 @@
 // commands it constrains (tRCD, tRAS, tRP, tRC, tCCD, tRRD, tFAW, tWR, tWTR,
 // tRTP, tRFC, ...).
 //
+// Timing state lives in structure-of-arrays form (DESIGN.md "SoA timing
+// kernel"): one dense "unit" per independent row buffer — a bank, or a
+// (bank, subarray) under SALP — with the open flag, open row and the four
+// next-allowed cycles each in their own contiguous array. Whole-rank
+// questions (PreAll, REF readiness, the controller's next_event scan) are
+// linear sweeps over a contiguous slice, not walks of per-bank structs.
+//
 // Processing-using-memory commands (RowClone FPM, LISA, Ambit TRA) are
 // first-class commands with their own timing/energy and functional effects
 // on the DataStore.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <iosfwd>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -78,13 +83,106 @@ class Channel {
   // Under SALP, "open" is per subarray: the coordinate's row selects which
   // subarray's row buffer is consulted.
 
-  bool bank_open(const Coord& c) const;
-  std::uint32_t open_row(const Coord& c) const;
-  bool all_banks_closed(std::uint32_t rank) const;
+  bool bank_open(const Coord& c) const { return unit_open_[unit_of(c)] != 0; }
+  std::uint32_t open_row(const Coord& c) const { return unit_row_[unit_of(c)]; }
+  bool all_banks_closed(std::uint32_t rank) const { return rank_open_units_[rank] == 0; }
 
   /// The command needed to make progress on an access to `c`:
   /// Act if closed, Rd/Wr if the right row is open, Pre on conflict.
-  Cmd required_cmd(const Coord& c, AccessType type) const;
+  Cmd required_cmd(const Coord& c, AccessType type) const {
+    const std::size_t u = unit_of(c);
+    if (!unit_open_[u]) return Cmd::Act;
+    if (unit_row_[u] == c.row) return type == AccessType::Read ? Cmd::Rd : Cmd::Wr;
+    return Cmd::Pre;
+  }
+
+  // --- SoA scan interface (hot-path kernels) ---
+  // A "unit" is one independent row buffer: a bank, or a (bank, subarray)
+  // pair under SALP. Units of one rank are contiguous:
+  //   unit = ((rank * banks + bank) << sub_shift) | subarray_of_row(row)
+  // so whole-rank sweeps are linear passes over [rank * units_per_rank,
+  // (rank + 1) * units_per_rank). The controller's next_event kernel
+  // classifies queued requests from unit_open/unit_row and then folds the
+  // per-class minima with earliest_*_at — exactly earliest()'s arithmetic
+  // with the rank-level terms hoisted out via scan_gates().
+
+  std::size_t unit_count() const { return unit_open_.size(); }
+  std::uint32_t units_per_rank() const { return units_per_rank_; }
+  std::size_t unit_of(const Coord& c) const {
+    const std::size_t bank = static_cast<std::size_t>(c.rank) * cfg_.geometry.banks + c.bank;
+    return (bank << sub_shift_) | (salp_ ? (c.row >> sub_row_shift_) : 0u);
+  }
+  bool unit_open(std::size_t u) const { return unit_open_[u] != 0; }
+  std::uint32_t unit_row(std::size_t u) const { return unit_row_[u]; }
+  std::uint32_t unit_rank(std::size_t u) const {
+    return static_cast<std::uint32_t>(u >> rank_shift_);
+  }
+
+  /// Rank-level gates shared by every unit of a rank, folded once per scan:
+  /// `t` = max(now, rank ready), the ACT-class gate (tRRD + tFAW), the bus
+  /// gates, and whether the rank is awake (asleep => every command is
+  /// kCycleNever until the controller wakes it).
+  struct ScanGates {
+    Cycle t = 0;
+    Cycle act = 0;     // max(t, rank next_act, tFAW earliest)
+    Cycle bus_rd = 0;  // channel-global RD bus gate
+    Cycle bus_wr = 0;
+    bool active = false;
+  };
+  ScanGates scan_gates(std::uint32_t rank, Cycle now) const {
+    const RankState& rk = ranks_[rank];
+    ScanGates g;
+    g.active = rk.power == PowerState::Active;
+    g.t = std::max(now, rk.ready);
+    g.act = std::max({g.t, rk.next_act, faw_earliest(rk)});
+    g.bus_rd = std::max(g.t, bus_next_rd_);
+    g.bus_wr = std::max(g.t, bus_next_wr_);
+    return g;
+  }
+
+  // Class-specific earliest at unit `u`. The caller derived the class from
+  // unit_open/unit_row, so the state precondition (closed for Act, open for
+  // Pre, matching row for Rd/Wr) holds by construction; `g` must be
+  // scan_gates(unit_rank(u), now) of an active rank.
+  Cycle earliest_act_at(std::size_t u, const ScanGates& g) const {
+    return std::max(g.act, unit_next_act_[u]);
+  }
+  Cycle earliest_pre_at(std::size_t u, const ScanGates& g) const {
+    return std::max(g.t, unit_next_pre_[u]);
+  }
+  Cycle earliest_rd_at(std::size_t u, const ScanGates& g) const {
+    return std::max(g.bus_rd, unit_next_rd_[u]);
+  }
+  Cycle earliest_wr_at(std::size_t u, const ScanGates& g) const {
+    return std::max(g.bus_wr, unit_next_wr_[u]);
+  }
+
+  /// All four class-earliest values of one unit in a single pass (the
+  /// SchedTimingCache refill kernel). Slots whose state precondition does
+  /// not hold carry the unchecked arithmetic value; callers only consult
+  /// legal slots (the cache keys the slot off open/open_row itself).
+  struct UnitTimes {
+    Cycle act, pre, rd, wr;
+  };
+  UnitTimes unit_times(const Coord& c, Cycle now) const {
+    const ScanGates g = scan_gates(c.rank, now);
+    const std::size_t u = unit_of(c);
+    if (!g.active) return UnitTimes{kCycleNever, kCycleNever, kCycleNever, kCycleNever};
+    return UnitTimes{earliest_act_at(u, g), earliest_pre_at(u, g), earliest_rd_at(u, g),
+                     earliest_wr_at(u, g)};
+  }
+
+  /// Bulk kernel behind earliest(Ref): the cycle every unit of `rank` has
+  /// cleared its ACT gate — a linear max-sweep over the rank's contiguous
+  /// next_act slice. Refresh policies hit this via can_issue(Ref) on every
+  /// overdue cycle; the skip-ahead clock sees it through their next_event.
+  Cycle min_next_ready(std::uint32_t rank, Cycle now) const {
+    Cycle e = std::max(now, ranks_[rank].ready);
+    const std::size_t base = static_cast<std::size_t>(rank) * units_per_rank_;
+    for (std::size_t u = base; u < base + units_per_rank_; ++u)
+      e = std::max(e, unit_next_act_[u]);
+    return e;
+  }
 
   // --- bookkeeping ---
 
@@ -148,33 +246,19 @@ class Channel {
   Cycle read_latency() const { return cfg_.timings.read_latency(); }
 
  private:
-  struct SubarrayState {
-    bool open = false;
-    std::uint32_t row = 0;
-    Cycle next_act = 0;
-    Cycle next_pre = 0;
-    Cycle next_rd = 0;
-    Cycle next_wr = 0;
-  };
-
-  struct BankState {
-    bool open = false;
-    std::uint32_t row = 0;
-    Cycle next_act = 0;
-    Cycle next_pre = 0;
-    Cycle next_rd = 0;
-    Cycle next_wr = 0;
-    // SALP mode: per-subarray row buffers and timing (lazily allocated).
-    std::unordered_map<std::uint32_t, SubarrayState> subs;
-  };
+  // tFAW constrains the fifth activation in any window of four: a 4-slot
+  // ring indexed by the running activation count replaces the deque the
+  // hot ACT path used to reallocate.
+  static constexpr std::uint32_t kFawWindow = 4;
 
   struct RankState {
-    Cycle next_act = 0;           // tRRD
-    Cycle ready = 0;              // tRFC after REF / power-state exit
-    std::deque<Cycle> act_window; // recent ACT cycles for tFAW
+    Cycle next_act = 0;               // tRRD
+    Cycle ready = 0;                  // tRFC after REF / power-state exit
+    Cycle act_ring[kFawWindow] = {};  // last kFawWindow ACT cycles
+    std::uint64_t acts = 0;           // ring write cursor = acts % kFawWindow
     PowerState power = PowerState::Active;
-    Cycle power_since = 0;        // start of the current power-state segment
-    PicoJoule bg_accum = 0;       // background energy of finished segments
+    Cycle power_since = 0;            // start of the current power-state segment
+    PicoJoule bg_accum = 0;           // background energy of finished segments
   };
 
   double power_scale(PowerState s) const {
@@ -185,26 +269,56 @@ class Channel {
     }
   }
 
-  BankState& bank(const Coord& c) {
-    return banks_[c.rank * cfg_.geometry.banks + c.bank];
-  }
-  const BankState& bank(const Coord& c) const {
-    return banks_[c.rank * cfg_.geometry.banks + c.bank];
+  Cycle faw_earliest(const RankState& r) const {
+    if (r.acts < kFawWindow) return 0;
+    // Oldest of the last kFawWindow ACTs = the slot the next ACT overwrites.
+    return r.act_ring[r.acts % kFawWindow] + cfg_.timings.faw;
   }
 
-  Cycle faw_earliest(const RankState& r) const;
   void record_act(const Coord& c, std::uint32_t row, Cycle now);
 
-  // SALP-mode variants (per-subarray row buffers).
-  Cycle earliest_salp(Cmd cmd, const Coord& c, Cycle now) const;
-  void issue_salp(Cmd cmd, const Coord& c, Cycle now);
-  bool bank_fully_closed(const BankState& bk) const;
+  std::uint32_t bank_of_unit(std::size_t u) const {
+    return static_cast<std::uint32_t>(u >> sub_shift_);
+  }
+  void open_unit(std::size_t u, std::uint32_t row) {
+    if (!unit_open_[u]) {
+      unit_open_[u] = 1;
+      ++bank_open_units_[bank_of_unit(u)];
+      ++rank_open_units_[unit_rank(u)];
+    }
+    unit_row_[u] = row;
+  }
+  void close_unit(std::size_t u) {
+    if (unit_open_[u]) {
+      unit_open_[u] = 0;
+      --bank_open_units_[bank_of_unit(u)];
+      --rank_open_units_[unit_rank(u)];
+    }
+  }
 
   DramConfig cfg_;
   std::uint32_t id_;
   DataStore* data_;
   std::uint64_t state_version_ = 0;
-  std::vector<BankState> banks_;
+
+  // SoA unit state: parallel arrays indexed by the flat unit id.
+  std::vector<std::uint8_t> unit_open_;
+  std::vector<std::uint32_t> unit_row_;
+  std::vector<Cycle> unit_next_act_;
+  std::vector<Cycle> unit_next_pre_;
+  std::vector<Cycle> unit_next_rd_;
+  std::vector<Cycle> unit_next_wr_;
+  // Open-unit counters: all_banks_closed and the SALP "bank fully closed"
+  // PUM precondition in O(1) instead of a unit sweep.
+  std::vector<std::uint32_t> bank_open_units_;  // per flat (rank, bank)
+  std::vector<std::uint32_t> rank_open_units_;  // per rank
+
+  bool salp_ = false;
+  std::uint32_t units_per_rank_ = 0;
+  std::uint32_t sub_shift_ = 0;      // log2(units per bank)
+  std::uint32_t sub_row_shift_ = 0;  // log2(rows per subarray)
+  std::uint32_t rank_shift_ = 0;     // log2(units per rank)
+
   std::vector<RankState> ranks_;
   Cycle bus_next_rd_ = 0;
   Cycle bus_next_wr_ = 0;

@@ -9,15 +9,39 @@
 
 namespace ima::mem {
 
+// Tombstone-compaction threshold for the request queues (serve()): a queue
+// vector holds at most queue_size live + kCompactDead dead slots, so the
+// constructor can reserve the high-water mark once and steady-state
+// enqueue/compaction never reallocates.
+constexpr std::size_t kCompactDead = 16;
+
 Controller::Controller(dram::Channel& chan, const dram::AddressMapper& mapper,
                        const ControllerConfig& cfg)
     : chan_(chan), mapper_(mapper), cfg_(cfg), cores_(cfg.num_cores) {
+  read_q_.reserve(cfg.read_queue_size + kCompactDead);
+  write_q_.reserve(cfg.write_queue_size + kCompactDead);
+  read_meta_.reserve(cfg.read_queue_size + kCompactDead);
+  write_meta_.reserve(cfg.write_queue_size + kCompactDead);
+  for (auto& oc : occ_) {
+    oc.cnt.assign(chan.unit_count(), UnitCnt{});
+    oc.listed.assign(chan.unit_count(), 0);
+    oc.units.reserve(chan.unit_count());
+  }
+  {
+    // One burst issues per cycle and completes within a fixed latency, so
+    // the inflight heap stays far below the combined queue capacity:
+    // reserving that up front makes heap growth a cold path.
+    std::vector<Inflight> backing;
+    backing.reserve(cfg.read_queue_size + cfg.write_queue_size);
+    inflight_ = decltype(inflight_)(std::greater<>{}, std::move(backing));
+  }
   read_q_count_.assign(cfg.num_cores, 0);
   rank_last_activity_.assign(chan.config().geometry.ranks, 0);
   rank_work_.assign(chan.config().geometry.ranks, 0);
   if (cfg.memoize_timing) timing_cache_.attach(chan);
   if (cfg.record_spans) spans_ = std::make_unique<SpanRecorders>();
   sched_ = make_scheduler(cfg.sched, cfg.num_cores, cfg.seed);
+  sched_pick_pure_ = sched_->pick_is_pure();
   refresh_ = make_all_bank_refresh(chan.config());
   if (cfg.reliability.enabled)
     engine_ = std::make_unique<reliability::Engine>(chan, cfg.reliability);
@@ -55,6 +79,7 @@ Controller::Controller(dram::Channel& chan, const dram::AddressMapper& mapper,
 
 void Controller::set_scheduler(std::unique_ptr<Scheduler> sched) {
   sched_ = std::move(sched);
+  sched_pick_pure_ = sched_->pick_is_pure();
   sched_->set_trace(trace_);
 }
 
@@ -111,6 +136,24 @@ bool Controller::enqueue(Request req, CompletionCallback cb) {
   last = req.arrive;
   ++live;
   q.push_back(std::move(qr));
+  auto& meta = is_read ? read_meta_ : write_meta_;
+  meta.push_back(QueueScanMeta{static_cast<std::uint32_t>(chan_.unit_of(q.back().coord)),
+                               q.back().coord.row,
+                               QueueScanMeta::kLive |
+                                   (is_read ? 0u : QueueScanMeta::kWrite)});
+  UnitOcc& oc = occ_[is_read ? 0 : 1];
+  const std::uint32_t u = meta.back().unit;
+  if (!oc.listed[u]) {
+    oc.listed[u] = 1;
+    // Sorted insertion (rare: first touch of a drained unit). Unit ids
+    // carry the rank in their high bits, so iterating in id order groups
+    // ranks and the kernel's scan_gates memo fires once per rank.
+    oc.units.insert(std::lower_bound(oc.units.begin(), oc.units.end(), u), u);
+  }
+  ++oc.cnt[u].total;
+  if (chan_.unit_open(u) && chan_.unit_row(u) == meta.back().row) ++oc.cnt[u].match;
+  // This queue's stashed min does not cover the new request.
+  issue_min_valid_[is_read ? 0 : 1] = false;
   return true;
 }
 
@@ -155,7 +198,9 @@ void Controller::retire(Cycle now) {
 
 bool Controller::try_issue_victim_refresh(Cycle now) {
   if (victim_q_.empty()) return false;
-  const dram::Coord& c = victim_q_.front();
+  // By value: issue(RefRow) fires the activate hook, which may push fresh
+  // victims and grow the ring under this element.
+  const dram::Coord c = victim_q_.front();
   if (chan_.bank_open(c)) {
     if (!chan_.can_issue(dram::Cmd::Pre, c, now)) return false;
     chan_.issue(dram::Cmd::Pre, c, now);
@@ -184,9 +229,18 @@ bool Controller::try_issue_pim(Cycle now) {
   if (!chan_.can_issue(op.cmd, op.bank, now)) return false;
   const Cycle latency = chan_.pim_latency(op.cmd, op.args);
   chan_.issue_pim(op.cmd, op.bank, op.args, now);
+  // PIM command sequences open/close rows internally (possibly several
+  // units); rather than track their effects, mark the row-match counts
+  // stale and rebuild them at the next kernel run.
+  occ_dirty_ = true;
   ++stats_.pim_ops_done;
-  if (op.on_done) op.on_done(now + latency);
-  --rank_work_[op.bank.rank];
+  // Move out before the callback: on_done may enqueue another PIM op and
+  // grow the ring, invalidating this front reference. The call order
+  // (callback, then accounting, then pop) is unchanged.
+  const std::uint32_t op_rank = op.bank.rank;
+  auto on_done = std::move(op.on_done);
+  if (on_done) on_done(now + latency);
+  --rank_work_[op_rank];
   pim_q_.pop_front();
   return true;
 }
@@ -240,13 +294,127 @@ void Controller::serve(std::vector<QueuedRequest>& q, std::size_t idx, dram::Cmd
   qr.marked = false;
   qr.cb = nullptr;
   --rank_work_[qr.coord.rank];
-  std::size_t& live = &q == &read_q_ ? read_q_live_ : write_q_live_;
+  const bool is_read = &q == &read_q_;
+  std::vector<QueueScanMeta>& meta = is_read ? read_meta_ : write_meta_;
+  meta[idx].flags = 0;
+  // A RD/WR only ever serves a row hit at an open unit, so the entry is
+  // counted in match (exact while clean; garbage-tolerant while occ_dirty_,
+  // which the next rebuild overwrites).
+  UnitCnt& c = occ_[is_read ? 0 : 1].cnt[meta[idx].unit];
+  --c.total;
+  --c.match;
+  std::size_t& live = is_read ? read_q_live_ : write_q_live_;
   --live;
-  constexpr std::size_t kCompactDead = 16;
   if (q.size() - live >= kCompactDead) {
-    q.erase(std::remove_if(q.begin(), q.end(),
-                           [](const QueuedRequest& r) { return !r.live; }),
-            q.end());
+    // Stable in-place compaction of the queue and its scan metadata in
+    // lockstep (remove_if is stable; this is the same survivor order).
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (!q[i].live) continue;
+      if (w != i) {
+        q[w] = std::move(q[i]);
+        meta[w] = meta[i];
+      }
+      ++w;
+    }
+    q.resize(w);
+    meta.resize(w);
+  }
+}
+
+void Controller::refresh_unit_occ(std::uint32_t unit) {
+  // An ACT changed which row this unit exposes: recount, per queue, how
+  // many live requests at the unit target it. total is untouched (ACT
+  // neither adds nor removes requests); closed units never reach here
+  // (match is unused until the next ACT recomputes it).
+  const bool open = chan_.unit_open(unit);
+  const std::uint32_t row = open ? chan_.unit_row(unit) : 0;
+  for (std::size_t qi = 0; qi < 2; ++qi) {
+    UnitOcc& oc = occ_[qi];
+    if (oc.cnt[unit].total == 0) {
+      oc.cnt[unit].match = 0;
+      continue;
+    }
+    std::uint32_t m = 0;
+    if (open) {
+      const auto& meta = qi == 0 ? read_meta_ : write_meta_;
+      // total bounds how many live entries the unit holds — stop at
+      // the last one instead of sweeping the whole queue.
+      std::uint32_t remaining = oc.cnt[unit].total;
+      for (const QueueScanMeta& e : meta) {
+        if (!(e.flags & QueueScanMeta::kLive) || e.unit != unit) continue;
+        if (e.row == row) ++m;
+        if (--remaining == 0) break;
+      }
+    }
+    oc.cnt[unit].match = m;
+  }
+}
+
+Cycle Controller::queue_kernel_min(std::size_t qi, Cycle now) const {
+  Cycle qmin = kCycleNever;
+  UnitOcc& oc = occ_[qi];
+  std::uint32_t gates_rank = ~0u;
+  dram::Channel::ScanGates g{};
+  for (std::size_t k = 0; k < oc.units.size();) {
+    const std::uint32_t u = oc.units[k];
+    const UnitCnt c = oc.cnt[u];
+    if (c.total == 0) {  // drained unit: lazy stable erase (keeps order)
+      oc.listed[u] = 0;
+      oc.units.erase(oc.units.begin() + static_cast<std::ptrdiff_t>(k));
+      continue;
+    }
+    ++k;
+    const std::uint32_t rank = chan_.unit_rank(u);
+    if (rank != gates_rank) {
+      gates_rank = rank;
+      g = chan_.scan_gates(rank, now);
+    }
+    if (!g.active) continue;  // asleep: every command is kCycleNever
+    if (!chan_.unit_open(u)) {
+      qmin = std::min(qmin, chan_.earliest_act_at(u, g));
+      continue;
+    }
+    if (c.match > 0)
+      qmin = std::min(qmin, qi == 0 ? chan_.earliest_rd_at(u, g)
+                                    : chan_.earliest_wr_at(u, g));
+    if (c.total > c.match)
+      qmin = std::min(qmin, chan_.earliest_pre_at(u, g));
+  }
+  return qmin;
+}
+
+Cycle Controller::stashed_issue_min(std::size_t qi, Cycle now) const {
+  // While the version matches (no channel mutation) and the valid flag
+  // holds (no enqueue), the stash is not merely a bound — it is exact for
+  // any later cycle. Every kernel term is max(now, h) with h fixed under
+  // the version, so min over the queue is max(now, stash): callers that
+  // clamp to now + 1 (next_event) or compare against now (pick elision)
+  // get precisely the recomputed answer without the scan.
+  const std::uint64_t ver = chan_.state_version();
+  if (issue_min_valid_[qi] && issue_min_version_[qi] == ver) return issue_min_[qi];
+  if (occ_dirty_) {
+    rebuild_occ();
+    occ_dirty_ = false;
+  }
+  issue_min_[qi] = queue_kernel_min(qi, now);
+  issue_min_version_[qi] = ver;
+  issue_min_valid_[qi] = true;
+  return issue_min_[qi];
+}
+
+void Controller::rebuild_occ() const {
+  // PIM rewrote row state underneath the counts. total/listed stay exact
+  // (PIM never consumes demand queue entries); only the row-match counts
+  // need recomputing against the channel's current open rows.
+  for (std::size_t qi = 0; qi < 2; ++qi) {
+    UnitOcc& oc = occ_[qi];
+    for (const std::uint32_t u : oc.units) oc.cnt[u].match = 0;
+    const auto& meta = qi == 0 ? read_meta_ : write_meta_;
+    for (const QueueScanMeta& m : meta) {
+      if (!(m.flags & QueueScanMeta::kLive)) continue;
+      if (chan_.unit_open(m.unit) && chan_.unit_row(m.unit) == m.row) ++oc.cnt[m.unit].match;
+    }
   }
 }
 
@@ -271,8 +439,17 @@ bool Controller::try_issue_from(std::vector<QueuedRequest>& q, std::size_t live,
   if (live == 0) return false;
 
   SchedView v = view(now);
-  v.arrive_sorted = &q == &read_q_ ? read_q_sorted_ : write_q_sorted_;
+  const bool is_read = &q == &read_q_;
+  v.arrive_sorted = is_read ? read_q_sorted_ : write_q_sorted_;
+  v.meta = (is_read ? read_meta_ : write_meta_).data();
   sched_->tick(v, q);
+  // Proven-idle skip: while the stashed queue-kernel min (which covers
+  // BOTH queues) lies in the future, no queued command is legal, so a pick
+  // could only return a request the issuable() gate below rejects — with
+  // zero state change. Eliding the scan is observably identical for pure
+  // picks; impure policies (RL) keep their exact call cadence.
+  const std::size_t qi = is_read ? 0 : 1;
+  if (sched_pick_pure_ && stashed_issue_min(qi, now) > now) return false;
   const std::size_t idx = sched_->pick(q, v);
   if (idx == kNoPick) return false;
   assert(idx < q.size() && q[idx].live);
@@ -294,9 +471,13 @@ bool Controller::try_issue_from(std::vector<QueuedRequest>& q, std::size_t live,
   }
   if (cmd == dram::Cmd::Act && cfg_.charge_cache && charge_cache_hit(qr.coord, now)) {
     chan_.issue_act_charged(qr.coord, now);
+    refresh_unit_occ(chan_.unit_of(qr.coord));
     return true;
   }
   chan_.issue(cmd, qr.coord, now);
+  // The one mutation that redefines which queued rows match the open row:
+  // an ACT installing a (possibly different) row at this unit.
+  if (cmd == dram::Cmd::Act) refresh_unit_occ(chan_.unit_of(qr.coord));
   if (cmd == dram::Cmd::Rd || cmd == dram::Cmd::Wr) serve(q, idx, cmd, now);
   return true;
 }
@@ -412,14 +593,15 @@ Cycle Controller::next_event(Cycle now) const {
   // it further (the caller clamps to now + 1), so every section below may
   // return immediately — under saturation the queue scan usually stops
   // within a handful of entries.
+  const bool queued =
+      read_q_live_ > 0 || write_q_live_ > 0 || !pim_q_.empty() || !victim_q_.empty();
+
   Cycle next = kCycleNever;
   if (!inflight_.empty()) next = std::min(next, inflight_.top().done);
   next = std::min(next, refresh_->next_event(now));
   if (engine_) next = std::min(next, engine_->next_event(now));
   if (next <= now + 1) return now + 1;
 
-  const bool queued =
-      read_q_live_ > 0 || write_q_live_ > 0 || !pim_q_.empty() || !victim_q_.empty();
   if (queued) {
     // Time-triggered policy state (quantum/shuffle boundaries, blacklist
     // clears, per-cycle sampling or learning) must never be skipped past.
@@ -442,20 +624,27 @@ Cycle Controller::next_event(Cycle now) const {
     // lower bound on any pick the scheduler could convert into an issue.
     // Both queues always count: the drain-hysteresis flip and the
     // opportunistic write fallback can select either one at the next
-    // issue opportunity. Per-bank results come memoized from the view.
-    const SchedView v = view(now);
-    for (const auto& r : read_q_) {
-      if (!r.live) continue;
-      const Cycle e = v.earliest(r);
-      if (e <= now + 1) return now + 1;
-      next = std::min(next, e);
-    }
-    for (const auto& r : write_q_) {
-      if (!r.live) continue;
-      const Cycle e = v.earliest(r);
-      if (e <= now + 1) return now + 1;
-      next = std::min(next, e);
-    }
+    // issue opportunity.
+    //
+    // Occupancy-count SoA kernel: the per-queue UnitOcc aggregates (see
+    // controller.hh) already know, per occupied unit, how many live
+    // requests sit there and how many target the open row, so the fold
+    // visits occupied units — O(banks touched), no per-request classify
+    // pass. A closed unit contributes its ACT earliest; an open one its
+    // RD/WR earliest when match > 0 and its PRE earliest when some queued
+    // row mismatches. Identical to the per-request v.earliest() scan by
+    // construction — the counts encode exactly which command classes the
+    // queue's requests need at each unit.
+    //
+    // The fold is stashed (issue_min_, see controller.hh): while nothing
+    // that feeds it moved, repeat calls reuse the stashed min instead of
+    // re-scanning — on stall stretches (injector-forced visits, held-back
+    // queues) this collapses next_event to a version compare. Reuse
+    // requires stash > now + 1: a reusable-but-clamping value would return
+    // now + 1 here forever without ever recomputing a tighter bound.
+    next = std::min(next, stashed_issue_min(0, now));
+    next = std::min(next, stashed_issue_min(1, now));
+    if (next <= now + 1) return now + 1;
   }
 
   // Rank power management: threshold crossings for idle ranks, a next-tick

@@ -14,13 +14,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <iosfwd>
 #include <memory>
 #include <queue>
 #include <unordered_map>
 #include <vector>
 
+#include "common/ring_queue.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "obs/tail.hh"
@@ -262,14 +262,75 @@ class Controller {
   Cycle read_q_last_arrive_ = 0;
   Cycle write_q_last_arrive_ = 0;
   std::vector<std::uint32_t> read_q_count_;  // per-core read-queue occupancy
-  std::deque<PimOp> pim_q_;
-  std::deque<dram::Coord> victim_q_;  // pending RowHammer neighbour refreshes
+  // Compact per-queue scan metadata (QueueScanMeta, sched.hh), index-
+  // parallel to read_q_/write_q_ including tombstones: feeds next_event's
+  // classify pass and the schedulers' pick scans without touching the fat
+  // queue structs. flags go dead in serve() and both arrays compact
+  // together. In-repo schedulers only flip `marked` on queue entries; a
+  // custom tick() that reordered or erased entries would desync these
+  // (none does — the queue is compacted only in serve()).
+  std::vector<QueueScanMeta> read_meta_;
+  std::vector<QueueScanMeta> write_meta_;
+  // Per-queue per-unit occupancy aggregates: how many live requests sit at
+  // each unit (`total`) and how many of them target the unit's currently
+  // open row (`match`). With them the next_event kernel folds over
+  // *occupied units* — O(banks touched) — instead of classifying every
+  // queue entry: a closed unit contributes its ACT earliest once, an open
+  // one its RD/WR earliest when match > 0 and its PRE earliest when some
+  // queued row mismatches. Exactly the classify pass's classes, derived
+  // incrementally: enqueue/serve adjust the counts in O(1), the one
+  // mutation that redefines `match` (an ACT changing the open row) rescans
+  // the queues for that single unit, and PIM/scrub commands — whose row-
+  // state effects are not worth tracking — set occ_dirty_ to force a full
+  // rebuild at the next kernel run. PRE needs no bookkeeping: a closed
+  // unit's match is simply unused until the next ACT recomputes it.
+  struct UnitCnt {
+    std::uint32_t total = 0;
+    std::uint32_t match = 0;
+  };
+  struct UnitOcc {
+    std::vector<UnitCnt> cnt;           // both counts in one 8-byte slot
+    std::vector<std::uint8_t> listed;   // unit present in `units`
+    std::vector<std::uint32_t> units;   // occupied units, kept sorted
+  };
+  mutable UnitOcc occ_[2];  // 0 = read queue, 1 = write queue
+  mutable bool occ_dirty_ = false;
+  void refresh_unit_occ(std::uint32_t unit);
+  void rebuild_occ() const;
+  Cycle queue_kernel_min(std::size_t qi, Cycle now) const;
+  // Refresh (if needed) and return the queue's stashed kernel min; shared
+  // by next_event and the pick-elision gate in try_issue_from.
+  Cycle stashed_issue_min(std::size_t qi, Cycle now) const;
+  // Steady-state FIFOs use RingQueue (common/ring_queue.hh): depth is
+  // bounded in practice, so the storage is touched once and recycled —
+  // no deque block churn on the enqueue/issue path.
+  RingQueue<PimOp> pim_q_;
+  RingQueue<dram::Coord> victim_q_;  // pending RowHammer neighbour refreshes
   // Queued work per rank across all four queues, maintained on
   // enqueue/dequeue — replaces manage_power's per-tick occupancy vector and
   // feeds next_event's power-threshold terms.
   std::vector<std::uint32_t> rank_work_;
   mutable SchedTimingCache timing_cache_;
   std::vector<dram::Coord> victims_buf_;  // reused act-hook scratch
+  // Issue lower-bound stash: the queue kernel's min over both request
+  // queues, computed by next_event and reused while nothing that feeds it
+  // moved. Channel timing is keyed by state_version() (every channel
+  // mutation bumps it); queue membership changes clear the valid flag
+  // directly on enqueue (serves bump state_version via issue). Every
+  // earliest() term is nondecreasing in `now`, so a stash computed at an
+  // earlier cycle under the same version stays a sound lower bound: while
+  // issue_min_ > now, no queued request's command is legal, and
+  //   - next_event reuses it instead of re-running the kernel,
+  //   - try_issue_from skips the scheduler's pick scan outright (pure-pick
+  //     policies only — see Scheduler::pick_is_pure).
+  // Index 0 = read queue, 1 = write queue: per-queue stashes let a
+  // ready write skip only the write pick while the idle read queue keeps
+  // its (still valid) stash, and an enqueue invalidates only the queue it
+  // joined.
+  mutable Cycle issue_min_[2] = {0, 0};
+  mutable std::uint64_t issue_min_version_[2] = {0, 0};
+  mutable bool issue_min_valid_[2] = {false, false};
+  bool sched_pick_pure_ = false;  // cached sched_->pick_is_pure()
   bool draining_writes_ = false;
 
   struct Inflight {
@@ -296,7 +357,7 @@ class Controller {
   void charge_cache_insert(const dram::Coord& c, std::uint32_t row, Cycle now);
   bool charge_cache_hit(const dram::Coord& c, Cycle now);
   std::unordered_map<std::uint64_t, ChargeEntry> charge_map_;
-  std::deque<std::pair<std::uint64_t, std::uint64_t>> charge_fifo_;  // (key, stamp)
+  RingQueue<std::pair<std::uint64_t, std::uint64_t>> charge_fifo_;  // (key, stamp)
   std::uint64_t charge_stamp_ = 0;
 };
 

@@ -35,6 +35,21 @@ struct QueuedRequest {
   CompletionCallback cb;    // fires when the data burst completes
 };
 
+/// Compact scan metadata the controller maintains index-parallel to each
+/// request queue (tombstones included): exactly the values a legality /
+/// row-hit query needs, 12 bytes per entry instead of a whole
+/// QueuedRequest, so the hot scheduler and next_event scans touch a tenth
+/// of the cache lines. `unit` is immutable per request (Channel::unit_of
+/// depends only on the geometry); `flags` go dead when the request is
+/// served.
+struct QueueScanMeta {
+  std::uint32_t unit;
+  std::uint32_t row;
+  std::uint32_t flags;  // kLive | kWrite
+  static constexpr std::uint32_t kLive = 1;
+  static constexpr std::uint32_t kWrite = 2;
+};
+
 /// Per-core accounting the fairness-oriented schedulers need.
 struct CoreState {
   std::uint64_t attained_service = 0;  // bus cycles of service (ATLAS LAS)
@@ -47,32 +62,43 @@ struct CoreState {
   std::uint32_t shuffle_rank = 0;      // TCM bandwidth-cluster shuffle order
 };
 
-/// Per-(rank,bank) memoization of the timing queries a scheduling decision
-/// makes. Within one decision epoch — a fixed cycle with no intervening
-/// command issue — bank_open/open_row and the earliest legal cycle of each
-/// command class are pure functions of channel state, so the first query
-/// per bank computes them and every later `oldest_where` pass (both queues,
-/// up to three passes per pick, plus the controller's own legality check
-/// and next_event scan) reuses the answer. Validity is keyed on
+/// Per-rank memoization of the timing queries a scheduling decision makes.
+/// Within one decision epoch — a fixed cycle with no intervening command
+/// issue — everything a legality query needs splits into (a) per-unit
+/// values that are direct loads from the channel's SoA timing arrays
+/// (open flag, open row, per-class next-legal cycles) and (b) rank-level
+/// gates (tRRD/tFAW ACT gate, bus turnaround, power state) shared by every
+/// unit of the rank. Only (b) is worth memoizing: this cache folds
+/// scan_gates() once per rank per epoch and answers every query as two or
+/// three dense loads plus a max() against the cached gates — exactly the
+/// values Channel::earliest() computes, by shared construction
+/// (earliest_*_at IS earliest()'s arithmetic). Validity is keyed on
 /// (cycle, Channel::state_version()): `begin()` bumps the epoch whenever
-/// either moved, and entries lazily refill on first touch — the cache can
-/// never serve a value the channel would not return itself this cycle.
+/// either moved, so the cache can never serve a value the channel would
+/// not return itself this cycle.
 ///
-/// Disabled under SALP: there `earliest` depends on which subarray a row
-/// lives in, so one entry per bank is not a sound granularity.
+/// An earlier incarnation cached per-bank entries (open/open_row plus all
+/// four class-earliest slots). With the SoA arrays those per-bank values
+/// are plain loads, and refilling entries on every epoch — every issued
+/// command — cost more than it saved; only the rank gates survived.
+///
+/// Disabled under SALP: historically one entry per bank was not a sound
+/// granularity there. The gates rewrite would be sound under SALP too
+/// (gates are per rank, unit_of resolves the subarray), but the dense
+/// uncached path is just as fast, so it stays self-disabled rather than
+/// re-validating every SALP golden for zero win.
 class SchedTimingCache {
  public:
   void attach(const dram::Channel& chan) {
     chan_ = &chan;
     enabled_ = !chan.config().timings.salp;
-    banks_ = chan.config().geometry.banks;
-    entries_.assign(
-        static_cast<std::size_t>(chan.config().geometry.ranks) * banks_, Entry{});
+    gates_.assign(chan.config().geometry.ranks, dram::Channel::ScanGates{});
+    gate_epoch_.assign(chan.config().geometry.ranks, 0);
   }
   bool enabled() const { return chan_ != nullptr && enabled_; }
 
   /// Enter the decision epoch for `now`. Cheap when nothing changed since
-  /// the last call; otherwise invalidates every entry (lazily, via epoch).
+  /// the last call; otherwise invalidates every rank's gates (lazily).
   void begin(Cycle now) {
     const std::uint64_t v = chan_->state_version();
     if (now != now_ || v != version_) {
@@ -83,66 +109,73 @@ class SchedTimingCache {
   }
 
   bool row_hit(const dram::Coord& c) const {
-    const Entry& e = entry(c);
-    return e.open && e.open_row == c.row;
+    const std::size_t u = chan_->unit_of(c);
+    return chan_->unit_open(u) && chan_->unit_row(u) == c.row;
   }
   dram::Cmd required_cmd(const dram::Coord& c, AccessType type) const {
-    const Entry& e = entry(c);
-    if (!e.open) return dram::Cmd::Act;
-    if (e.open_row == c.row)
-      return type == AccessType::Read ? dram::Cmd::Rd : dram::Cmd::Wr;
-    return dram::Cmd::Pre;
+    return chan_->required_cmd(c, type);
   }
-  /// Earliest legal cycle of this access's required command. The Rd/Wr
-  /// slots are cacheable per bank because they are only ever queried when
-  /// the bank's open row matches the request's row.
+  /// Earliest legal cycle of this access's required command (kCycleNever
+  /// when the rank is asleep, matching Channel::earliest()).
   Cycle earliest_required(const dram::Coord& c, AccessType type) const {
-    Entry& e = entry(c);
-    std::uint8_t slot;
-    dram::Cmd cmd;
-    if (!e.open) {
-      slot = 0;
-      cmd = dram::Cmd::Act;
-    } else if (e.open_row == c.row) {
-      slot = type == AccessType::Read ? 2 : 3;
-      cmd = type == AccessType::Read ? dram::Cmd::Rd : dram::Cmd::Wr;
-    } else {
-      slot = 1;
-      cmd = dram::Cmd::Pre;
+    const dram::Channel::ScanGates& g = gates(c.rank);
+    if (!g.active) return kCycleNever;
+    const std::size_t u = chan_->unit_of(c);
+    if (!chan_->unit_open(u)) return chan_->earliest_act_at(u, g);
+    if (chan_->unit_row(u) == c.row)
+      return type == AccessType::Read ? chan_->earliest_rd_at(u, g)
+                                      : chan_->earliest_wr_at(u, g);
+    return chan_->earliest_pre_at(u, g);
+  }
+  /// Fused legality + row-hit classification: 0 = the required command is
+  /// not legal at now_, 1 = legal, 2 = legal and a row hit. One unit lookup
+  /// where the issuable()/row_hit() pair cost two.
+  int issue_class(const dram::Coord& c, AccessType type) const {
+    const dram::Channel::ScanGates& g = gates(c.rank);
+    if (!g.active) return 0;
+    const std::size_t u = chan_->unit_of(c);
+    if (!chan_->unit_open(u)) return chan_->earliest_act_at(u, g) <= now_ ? 1 : 0;
+    if (chan_->unit_row(u) == c.row) {
+      const Cycle e = type == AccessType::Read ? chan_->earliest_rd_at(u, g)
+                                               : chan_->earliest_wr_at(u, g);
+      return e <= now_ ? 2 : 0;
     }
-    if (!(e.filled & (1u << slot))) {
-      e.when[slot] = chan_->earliest(cmd, c, now_);
-      e.filled |= static_cast<std::uint8_t>(1u << slot);
+    return chan_->earliest_pre_at(u, g) <= now_ ? 1 : 0;
+  }
+  /// issue_class off a QueueScanMeta entry: identical classification (the
+  /// meta carries this request's precomputed unit_of, row and direction)
+  /// without touching the QueuedRequest itself. Force-inlined: this runs
+  /// per queue entry inside every scheduler's pick scan, and the call
+  /// frame otherwise costs as much as the classification.
+  [[gnu::always_inline]] inline int issue_class(const QueueScanMeta& m) const {
+    const std::size_t u = m.unit;
+    const dram::Channel::ScanGates& g = gates(chan_->unit_rank(u));
+    if (!g.active) return 0;
+    if (!chan_->unit_open(u)) return chan_->earliest_act_at(u, g) <= now_ ? 1 : 0;
+    if (chan_->unit_row(u) == m.row) {
+      const Cycle e = (m.flags & QueueScanMeta::kWrite) ? chan_->earliest_wr_at(u, g)
+                                                        : chan_->earliest_rd_at(u, g);
+      return e <= now_ ? 2 : 0;
     }
-    return e.when[slot];
+    return chan_->earliest_pre_at(u, g) <= now_ ? 1 : 0;
   }
 
  private:
-  struct Entry {
-    std::uint64_t epoch = 0;
-    bool open = false;
-    std::uint8_t filled = 0;  // bit per when[] slot: Act, Pre, Rd, Wr
-    std::uint32_t open_row = 0;
-    Cycle when[4] = {};
-  };
-  Entry& entry(const dram::Coord& c) const {
-    Entry& e = entries_[static_cast<std::size_t>(c.rank) * banks_ + c.bank];
-    if (e.epoch != epoch_) {
-      e.epoch = epoch_;
-      e.open = chan_->bank_open(c);
-      e.open_row = e.open ? chan_->open_row(c) : 0;
-      e.filled = 0;
+  const dram::Channel::ScanGates& gates(std::uint32_t rank) const {
+    if (gate_epoch_[rank] != epoch_) {
+      gate_epoch_[rank] = epoch_;
+      gates_[rank] = chan_->scan_gates(rank, now_);
     }
-    return e;
+    return gates_[rank];
   }
 
   const dram::Channel* chan_ = nullptr;
   bool enabled_ = false;
-  std::uint32_t banks_ = 0;
   Cycle now_ = kCycleNever;
   std::uint64_t version_ = ~std::uint64_t{0};
-  std::uint64_t epoch_ = 1;  // entries start at 0 => all initially stale
-  mutable std::vector<Entry> entries_;
+  std::uint64_t epoch_ = 1;  // gate slots start at 0 => initially stale
+  mutable std::vector<dram::Channel::ScanGates> gates_;
+  mutable std::vector<std::uint64_t> gate_epoch_;
 };
 
 /// Read-only view of controller state offered to a scheduler each decision.
@@ -158,6 +191,21 @@ struct SchedView {
   // return at the first match instead of completing an argmin scan.
   // Hand-built views default to false and take the order-agnostic path.
   bool arrive_sorted = false;
+  // Index-parallel scan metadata for the active queue (null for hand-built
+  // views; the controller wires its per-queue array in). When present with
+  // the cache, live(i)/issue_class_at(i) answer off 12-byte entries without
+  // touching the queue structs — byte-identical results by construction.
+  const QueueScanMeta* meta = nullptr;
+
+  [[gnu::always_inline]] inline bool live(std::size_t i,
+                                          const std::vector<QueuedRequest>& q) const {
+    return meta ? (meta[i].flags & QueueScanMeta::kLive) != 0 : q[i].live;
+  }
+  [[gnu::always_inline]] inline int issue_class_at(
+      std::size_t i, const std::vector<QueuedRequest>& q) const {
+    if (meta && cache) return cache->issue_class(meta[i]);
+    return issue_class(q[i]);
+  }
 
   bool row_hit(const QueuedRequest& q) const {
     if (cache) return cache->row_hit(q.coord);
@@ -176,6 +224,15 @@ struct SchedView {
   }
   /// True if the next command this request needs can issue this cycle.
   bool issuable(const QueuedRequest& q) const { return earliest(q) <= now; }
+  /// Fused issuable()/row_hit() truth table in one bank lookup:
+  /// 0 = not issuable this cycle, 1 = issuable, 2 = issuable row hit.
+  /// (Row hits on non-issuable requests classify as 0 — the first-ready
+  /// scan loops only ever consult row_hit after issuable passes.)
+  int issue_class(const QueuedRequest& q) const {
+    if (cache) return cache->issue_class(q.coord, q.req.type);
+    if (earliest(q) > now) return 0;
+    return row_hit(q) ? 2 : 1;
+  }
 };
 
 inline constexpr std::size_t kNoPick = static_cast<std::size_t>(-1);
@@ -203,6 +260,17 @@ class Scheduler {
   /// cannot change across a gap where no command can issue. The default
   /// keeps unported schedulers on the always-safe per-cycle cadence.
   virtual Cycle next_event(Cycle now) const { return now + 1; }
+
+  /// True when pick() is a pure function of its arguments and the policy's
+  /// current state — no internal mutation, no RNG draw. The controller may
+  /// then elide pick() calls it can prove cannot lead to an issue (no
+  /// queued request's command is legal this cycle): for a pure pick the
+  /// elided call is observably identical, because a pick that is not
+  /// issuable is rejected by the controller before any state changes.
+  /// Impure policies (the RL scheduler learns and advances its RNG inside
+  /// pick) must keep the default so their decision stream is untouched.
+  /// Defaults to false: unknown external policies keep exact call cadence.
+  virtual bool pick_is_pure() const { return false; }
 
   /// Exposes policy-internal statistics (decision counts, learning state)
   /// under `prefix`. Default: none.

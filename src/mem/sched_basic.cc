@@ -22,19 +22,19 @@ class FcfsScheduler final : public Scheduler {
     if (v.arrive_sorted) {
       std::size_t any = kNoPick;
       for (std::size_t i = 0; i < q.size(); ++i) {
-        const QueuedRequest& r = q[i];
-        if (!r.live) continue;
+        if (!v.live(i, q)) continue;
         if (any == kNoPick) any = i;
-        if (v.issuable(r)) return i;
+        if (v.issue_class_at(i, q) != 0) return i;
       }
       return any;
     }
     std::size_t ready = kNoPick, any = kNoPick;
     for (std::size_t i = 0; i < q.size(); ++i) {
+      if (!v.live(i, q)) continue;
       const QueuedRequest& r = q[i];
-      if (!r.live) continue;
       if (any == kNoPick || r.req.arrive < q[any].req.arrive) any = i;
-      if (v.issuable(r) && (ready == kNoPick || r.req.arrive < q[ready].req.arrive))
+      if (v.issue_class_at(i, q) != 0 &&
+          (ready == kNoPick || r.req.arrive < q[ready].req.arrive))
         ready = i;
     }
     return ready != kNoPick ? ready : any;
@@ -42,6 +42,7 @@ class FcfsScheduler final : public Scheduler {
   // Decisions depend only on queue/bank state, which is frozen across any
   // gap where no command can issue.
   Cycle next_event(Cycle) const override { return kCycleNever; }
+  bool pick_is_pure() const override { return true; }
   std::string name() const override { return "FCFS"; }
 };
 
@@ -57,29 +58,31 @@ class FrFcfsScheduler final : public Scheduler {
     if (v.arrive_sorted) {
       std::size_t ready = kNoPick, any = kNoPick;
       for (std::size_t i = 0; i < q.size(); ++i) {
-        const QueuedRequest& r = q[i];
-        if (!r.live) continue;
+        if (!v.live(i, q)) continue;
         if (any == kNoPick) any = i;
-        if (!v.issuable(r)) continue;
-        if (v.row_hit(r)) return i;
+        const int cls = v.issue_class_at(i, q);
+        if (cls == 0) continue;
+        if (cls == 2) return i;
         if (ready == kNoPick) ready = i;
       }
       return ready != kNoPick ? ready : any;
     }
     std::size_t hit = kNoPick, ready = kNoPick, any = kNoPick;
     for (std::size_t i = 0; i < q.size(); ++i) {
+      if (!v.live(i, q)) continue;
       const QueuedRequest& r = q[i];
-      if (!r.live) continue;
       if (any == kNoPick || r.req.arrive < q[any].req.arrive) any = i;
-      if (!v.issuable(r)) continue;
+      const int cls = v.issue_class_at(i, q);
+      if (cls == 0) continue;
       if (ready == kNoPick || r.req.arrive < q[ready].req.arrive) ready = i;
-      if (v.row_hit(r) && (hit == kNoPick || r.req.arrive < q[hit].req.arrive))
+      if (cls == 2 && (hit == kNoPick || r.req.arrive < q[hit].req.arrive))
         hit = i;
     }
     if (hit != kNoPick) return hit;
     return ready != kNoPick ? ready : any;
   }
   Cycle next_event(Cycle) const override { return kCycleNever; }
+  bool pick_is_pure() const override { return true; }
   std::string name() const override { return "FR-FCFS"; }
 };
 
@@ -94,23 +97,24 @@ class FrFcfsCapScheduler final : public Scheduler {
     if (v.arrive_sorted) {
       std::size_t ready = kNoPick, any = kNoPick;
       for (std::size_t i = 0; i < q.size(); ++i) {
-        const QueuedRequest& r = q[i];
-        if (!r.live) continue;
+        if (!v.live(i, q)) continue;
         if (any == kNoPick) any = i;
-        if (!v.issuable(r)) continue;
-        if (v.row_hit(r) && streak_for(r.coord) < cap_) return i;
+        const int cls = v.issue_class_at(i, q);
+        if (cls == 0) continue;
+        if (cls == 2 && streak_for(q[i].coord) < cap_) return i;
         if (ready == kNoPick) ready = i;
       }
       return ready != kNoPick ? ready : any;
     }
     std::size_t hit = kNoPick, ready = kNoPick, any = kNoPick;
     for (std::size_t i = 0; i < q.size(); ++i) {
+      if (!v.live(i, q)) continue;
       const QueuedRequest& r = q[i];
-      if (!r.live) continue;
       if (any == kNoPick || r.req.arrive < q[any].req.arrive) any = i;
-      if (!v.issuable(r)) continue;
+      const int cls = v.issue_class_at(i, q);
+      if (cls == 0) continue;
       if (ready == kNoPick || r.req.arrive < q[ready].req.arrive) ready = i;
-      if (v.row_hit(r) && streak_for(r.coord) < cap_ &&
+      if (cls == 2 && streak_for(r.coord) < cap_ &&
           (hit == kNoPick || r.req.arrive < q[hit].req.arrive))
         hit = i;
     }
@@ -126,6 +130,9 @@ class FrFcfsCapScheduler final : public Scheduler {
 
   // Streaks advance on service only; nothing is clocked.
   Cycle next_event(Cycle) const override { return kCycleNever; }
+
+  // streak_for only reads; streaks advance in on_service.
+  bool pick_is_pure() const override { return true; }
 
   std::string name() const override { return "FR-FCFS-Cap" + std::to_string(cap_); }
 
@@ -168,11 +175,12 @@ class BlissScheduler final : public Scheduler {
     if (v.arrive_sorted) {
       std::size_t wl_ready = kNoPick, hit = kNoPick, ready = kNoPick, any = kNoPick;
       for (std::size_t i = 0; i < q.size(); ++i) {
+        if (!v.live(i, q)) continue;
         const QueuedRequest& r = q[i];
-        if (!r.live) continue;
         if (any == kNoPick) any = i;
-        if (!v.issuable(r)) continue;
-        const bool rh = v.row_hit(r);
+        const int cls = v.issue_class_at(i, q);
+        if (cls == 0) continue;
+        const bool rh = cls == 2;
         if (blacklist_ok(r, /*allow=*/false)) {
           if (rh) return i;
           if (wl_ready == kNoPick) wl_ready = i;
@@ -190,12 +198,13 @@ class BlissScheduler final : public Scheduler {
       return best == kNoPick || q[i].req.arrive < q[best].req.arrive;
     };
     for (std::size_t i = 0; i < q.size(); ++i) {
+      if (!v.live(i, q)) continue;
       const QueuedRequest& r = q[i];
-      if (!r.live) continue;
       if (older(i, any)) any = i;
-      if (!v.issuable(r)) continue;
+      const int cls = v.issue_class_at(i, q);
+      if (cls == 0) continue;
       const bool wl = blacklist_ok(r, /*allow=*/false);
-      const bool rh = v.row_hit(r);
+      const bool rh = cls == 2;
       if (older(i, ready)) ready = i;
       if (rh && older(i, hit)) hit = i;
       if (wl && older(i, wl_ready)) wl_ready = i;
@@ -228,6 +237,8 @@ class BlissScheduler final : public Scheduler {
   // overdue clear has not run yet (the command slot was taken every cycle
   // since); the controller clamps that to per-cycle until tick() fires.
   Cycle next_event(Cycle) const override { return next_clear_; }
+
+  bool pick_is_pure() const override { return true; }
 
   std::string name() const override { return "BLISS"; }
 

@@ -71,11 +71,12 @@ class ParBsScheduler final : public Scheduler {
     std::uint32_t b_rank = 0;
     Cycle b_arrive = 0;
     for (std::size_t i = 0; i < q.size(); ++i) {
+      if (!v.live(i, q)) continue;
       const QueuedRequest& r = q[i];
-      if (!r.live) continue;
       if (any == kNoPick || r.req.arrive < q[any].req.arrive) any = i;
-      if (!v.issuable(r)) continue;
-      const bool hit = v.row_hit(r);
+      const int cls = v.issue_class_at(i, q);
+      if (cls == 0) continue;
+      const bool hit = cls == 2;
       const std::uint32_t rank = rank_of(r.req.core);
       const bool better = best == kNoPick ||
           (r.marked != b_marked ? r.marked
@@ -98,6 +99,9 @@ class ParBsScheduler final : public Scheduler {
   // skipped gap would otherwise be marked into a batch that the per-cycle
   // reference formed without them. Stay on the per-cycle cadence.
   Cycle next_event(Cycle now) const override { return now + 1; }
+
+  // Batch formation happens in tick; pick only reads marks and ranks.
+  bool pick_is_pure() const override { return true; }
 
   std::string name() const override { return "PAR-BS"; }
 
@@ -129,12 +133,13 @@ class AtlasScheduler final : public Scheduler {
     bool b_hit = false;
     Cycle b_arrive = 0;
     for (std::size_t i = 0; i < q.size(); ++i) {
+      if (!v.live(i, q)) continue;
       const QueuedRequest& r = q[i];
-      if (!r.live) continue;
       if (any == kNoPick || r.req.arrive < q[any].req.arrive) any = i;
-      if (!v.issuable(r)) continue;
+      const int cls = v.issue_class_at(i, q);
+      if (cls == 0) continue;
       const std::uint64_t s = service(r.req.core);
-      const bool hit = v.row_hit(r);
+      const bool hit = cls == 2;
       const bool better = best == kNoPick ||
           (s != b_service ? s < b_service
            : hit != b_hit ? hit
@@ -152,6 +157,8 @@ class AtlasScheduler final : public Scheduler {
   // Attained service changes on service only (the controller updates it);
   // nothing here is clocked.
   Cycle next_event(Cycle) const override { return kCycleNever; }
+
+  bool pick_is_pure() const override { return true; }
 
   std::string name() const override { return "ATLAS"; }
 };
@@ -196,13 +203,14 @@ class TcmScheduler final : public Scheduler {
     bool b_hit = false;
     Cycle b_arrive = 0;
     for (std::size_t i = 0; i < q.size(); ++i) {
+      if (!v.live(i, q)) continue;
       const QueuedRequest& r = q[i];
-      if (!r.live) continue;
       if (any == kNoPick || r.req.arrive < q[any].req.arrive) any = i;
-      if (!v.issuable(r)) continue;
+      const int cls = v.issue_class_at(i, q);
+      if (cls == 0) continue;
       const std::uint8_t c = cluster_of(r.req.core);
       const std::uint32_t s = c == 1 ? shuffle_of(r.req.core) : 0;
-      const bool hit = v.row_hit(r);
+      const bool hit = cls == 2;
       const bool better = best == kNoPick ||
           (c != b_cluster   ? c < b_cluster  // latency cluster (0) first
            : s != b_shuffle ? s < b_shuffle  // bandwidth cluster: shuffled
@@ -226,6 +234,10 @@ class TcmScheduler final : public Scheduler {
   Cycle next_event(Cycle) const override {
     return std::min(next_quantum_, next_shuffle_);
   }
+
+  // Recluster/shuffle (and their RNG draws) happen in tick; pick only
+  // reads the cluster and shuffle tables.
+  bool pick_is_pure() const override { return true; }
 
   std::string name() const override { return "TCM"; }
 

@@ -40,12 +40,13 @@ class MiseScheduler final : public Scheduler {
     if (v.arrive_sorted) {
       std::size_t ready = kNoPick, any = kNoPick;
       for (std::size_t i = 0; i < q.size(); ++i) {
+        if (!v.live(i, q)) continue;
         const QueuedRequest& r = q[i];
-        if (!r.live) continue;
         if (sampled >= 0 && r.req.core != static_cast<std::uint32_t>(sampled)) continue;
         if (any == kNoPick) any = i;
-        if (!v.issuable(r)) continue;
-        if (v.row_hit(r)) return i;
+        const int cls = v.issue_class_at(i, q);
+        if (cls == 0) continue;
+        if (cls == 2) return i;
         if (ready == kNoPick) ready = i;
       }
       if (ready != kNoPick) return ready;
@@ -53,15 +54,16 @@ class MiseScheduler final : public Scheduler {
     }
     std::size_t hit = kNoPick, ready = kNoPick, any = kNoPick;
     for (std::size_t i = 0; i < q.size(); ++i) {
+      if (!v.live(i, q)) continue;
       const QueuedRequest& r = q[i];
-      if (!r.live) continue;
       // Exclusive window: only the sampled app may issue. The bus idles if
       // it has nothing — that idle time is the price of a clean sample.
       if (sampled >= 0 && r.req.core != static_cast<std::uint32_t>(sampled)) continue;
       if (any == kNoPick || r.req.arrive < q[any].req.arrive) any = i;
-      if (!v.issuable(r)) continue;
+      const int cls = v.issue_class_at(i, q);
+      if (cls == 0) continue;
       if (ready == kNoPick || r.req.arrive < q[ready].req.arrive) ready = i;
-      if (v.row_hit(r) && (hit == kNoPick || r.req.arrive < q[hit].req.arrive))
+      if (cls == 2 && (hit == kNoPick || r.req.arrive < q[hit].req.arrive))
         hit = i;
     }
     if (hit != kNoPick) return hit;
@@ -90,6 +92,10 @@ class MiseScheduler final : public Scheduler {
   // the slowdown estimates are ratios over *counted* cycles, so every
   // busy cycle must be visited. Explicitly per-cycle.
   Cycle next_event(Cycle now) const override { return now + 1; }
+
+  // sampled_app is a pure function of now; counters advance in
+  // tick/on_service only.
+  bool pick_is_pure() const override { return true; }
 
   std::string name() const override { return "MISE"; }
 

@@ -10,8 +10,6 @@
 //   reward = data bursts issued since the previous decision (bus
 //            utilization, the same reward Ipek et al. use)
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "learn/qlearn.hh"
 #include "mem/sched.hh"
@@ -112,18 +110,40 @@ class RlScheduler final : public Scheduler {
   const learn::QAgent& agent() const { return *agent_; }
 
  private:
+  // pick() runs every scheduling decision, so the state features and the
+  // loaded-bank histogram use stamped flat scratch instead of per-call
+  // unordered containers: a slot is "present" iff its stamp matches the
+  // current token, so clearing is one counter bump. Slots grow on first
+  // sight of a key and are reused forever after — steady state allocates
+  // nothing. Values are identical to the container versions (distinct-key
+  // count, per-key increment counts).
+  std::uint32_t& bank_slot(std::uint64_t key) const {
+    if (key >= bank_count_.size()) {
+      bank_count_.resize(key + 1, 0);
+      bank_stamp_.resize(key + 1, 0);
+    }
+    if (bank_stamp_[key] != stamp_token_) {
+      bank_stamp_[key] = stamp_token_;
+      bank_count_[key] = 0;
+    }
+    return bank_count_[key];
+  }
+
   std::uint64_t state_hash(const std::vector<QueuedRequest>& q, const SchedView& v) const {
-    std::uint32_t live = 0, hits = 0, issuable = 0;
-    std::unordered_set<std::uint64_t> banks;
+    std::uint32_t live = 0, hits = 0, issuable = 0, distinct_banks = 0;
     std::uint32_t max_core_load = 0;
-    std::vector<std::uint32_t> core_load(num_cores_, 0);
+    ++stamp_token_;
+    core_load_.assign(num_cores_, 0);
     for (const auto& r : q) {
       if (!r.live) continue;
       ++live;
       if (v.row_hit(r)) ++hits;
       if (v.issuable(r)) ++issuable;
-      banks.insert((static_cast<std::uint64_t>(r.coord.rank) << 8) | r.coord.bank);
-      if (r.req.core < num_cores_) max_core_load = std::max(max_core_load, ++core_load[r.req.core]);
+      std::uint32_t& seen =
+          bank_slot((static_cast<std::uint64_t>(r.coord.rank) << 8) | r.coord.bank);
+      if (seen == 0) ++distinct_banks;
+      seen = 1;
+      if (r.req.core < num_cores_) max_core_load = std::max(max_core_load, ++core_load_[r.req.core]);
     }
     auto bucket = [](std::uint32_t x) -> std::uint64_t {  // log2-ish buckets
       std::uint64_t b = 0;
@@ -137,7 +157,7 @@ class RlScheduler final : public Scheduler {
     h.add(bucket(live))
         .add(bucket(hits))
         .add(bucket(issuable))
-        .add(bucket(static_cast<std::uint32_t>(banks.size())))
+        .add(bucket(distinct_banks))
         .add(bucket(max_core_load));
     return h.value();
   }
@@ -161,17 +181,17 @@ class RlScheduler final : public Scheduler {
         return best;
       }
       case kServeLoadedBank: {
-        std::unordered_map<std::uint64_t, std::uint32_t> bank_load;
+        ++stamp_token_;
         for (const auto& r : q) {
           if (!r.live) continue;
-          ++bank_load[(static_cast<std::uint64_t>(r.coord.rank) << 8) | r.coord.bank];
+          ++bank_slot((static_cast<std::uint64_t>(r.coord.rank) << 8) | r.coord.bank);
         }
         std::size_t best = kNoPick;
         std::uint32_t best_load = 0;
         for (std::size_t i = 0; i < q.size(); ++i) {
           if (!q[i].live || !v.issuable(q[i])) continue;
           const auto load =
-              bank_load[(static_cast<std::uint64_t>(q[i].coord.rank) << 8) | q[i].coord.bank];
+              bank_slot((static_cast<std::uint64_t>(q[i].coord.rank) << 8) | q[i].coord.bank);
           if (best == kNoPick || load > best_load) {
             best = i;
             best_load = load;
@@ -195,6 +215,11 @@ class RlScheduler final : public Scheduler {
   std::uint64_t action_counts_[kNumActions] = {};
   RunningStat reward_;
   obs::TraceSink* trace_ = nullptr;
+  // Stamped scratch for state_hash/select — see bank_slot().
+  mutable std::vector<std::uint32_t> bank_count_;
+  mutable std::vector<std::uint64_t> bank_stamp_;
+  mutable std::uint64_t stamp_token_ = 0;
+  mutable std::vector<std::uint32_t> core_load_;
 };
 
 }  // namespace

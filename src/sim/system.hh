@@ -3,7 +3,6 @@
 // system-level energy accounting used by the data-movement experiments.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <unordered_set>
 #include <vector>
@@ -11,6 +10,7 @@
 #include "cache/cache.hh"
 #include "cache/prefetch.hh"
 #include "common/clock.hh"
+#include "common/ring_queue.hh"
 #include "core/core.hh"
 #include "mem/memsys.hh"
 #include "workloads/stream.hh"
@@ -146,7 +146,7 @@ class System final : public core::MemoryPort {
   std::unique_ptr<cache::Prefetcher> prefetcher_;
   cache::TrainablePrefetcher* trainable_ = nullptr;  // non-owning view when enabled
 
-  std::deque<Addr> pending_writes_;       // writebacks awaiting queue space
+  RingQueue<Addr> pending_writes_;        // writebacks awaiting queue space
   std::unordered_set<Addr> prefetched_;   // L2 lines filled by prefetch, untouched
   std::unordered_map<Addr, std::uint64_t> prefetch_pc_;  // training context
   PrefetchStats pf_stats_;

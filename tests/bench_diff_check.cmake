@@ -55,6 +55,25 @@ foreach(run jobs1 jobs8 percycle shards1 shards8)
   message(STATUS "baseline vs ${run}: ${diff_out}")
 endforeach()
 
+# Cross-VERSION determinism: the committed golden was recorded before the
+# SoA bank-timing kernel rewrite. A fresh run must still be equivalent
+# (host-time keys masked) — the kernel is a pure-performance change, and
+# any simulated-cycle drift it introduces fails here, not in a reviewer's
+# eyeball diff.
+if(GOLDEN_SMOKE)
+  execute_process(
+    COMMAND ${PYTHON} ${DIFF_TOOL}
+            ${GOLDEN_SMOKE}
+            ${base_dir}/baseline/BENCH_smoke.json
+    RESULT_VARIABLE diff_rc
+    OUTPUT_VARIABLE diff_out
+    ERROR_VARIABLE diff_err)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR "BENCH_smoke.json drifted from the committed pre-SoA golden:\n${diff_out}${diff_err}")
+  endif()
+  message(STATUS "pre-SoA golden vs baseline: ${diff_out}")
+endif()
+
 # Same matrix for the open-loop serving bench (smoke-scaled): BENCH_C25.json
 # must be equivalent at any pool width and any intra-sim shard width — the
 # facade + time-dated sources keep the whole latency distribution, not just

@@ -176,7 +176,12 @@ endif()
 # must not regress more than 30% below the rate measured when the fast
 # path landed. IMA_PERF_FLOOR_CPS overrides the floor (0 disables) for
 # slow or shared machines.
-set(loaded_cps_recorded 3500000)  # cycles/sec, bench_smoke loaded phase
+#
+# Re-recorded after the SoA occupancy-count timing kernel: median of 8
+# runs on the reference host was 7.4M cyc/s for this 300K-cycle phase
+# (pre-SoA recording: 3.5M). The phase is short enough that run-to-run
+# spread is ~±15%, which the 30% margin absorbs.
+set(loaded_cps_recorded 7400000)  # cycles/sec, bench_smoke loaded phase
 math(EXPR loaded_cps_floor "${loaded_cps_recorded} * 7 / 10")
 if(DEFINED ENV{IMA_PERF_FLOOR_CPS})
   set(loaded_cps_floor $ENV{IMA_PERF_FLOOR_CPS})
