@@ -450,9 +450,95 @@ int main() {
     bench::record_metric("serving_span_stage_sum_error", span_sum - e2e_sum);
   }
 
+  // Checkpoint/restore smoke: warm a small full-hierarchy system to a
+  // quiescent point, seal the image to CKPT_smoke.ckpt, restore it into a
+  // freshly built twin and continue both — the continuations must be
+  // byte-identical (end cycle + full StatRegistry render), and restoring
+  // must be cheaper than re-running the warmup (the amortization every
+  // warm-started sweep depends on). IMA_CKPT_LOAD=<path> makes the twin
+  // warm-start from a prior run's image instead: the image format is
+  // deterministic, so the report must not change — bench_diff_check pins
+  // exactly that cross-process resume.
+  {
+    sim::SystemConfig ck;
+    ck.num_cores = 2;
+    ck.ctrl.num_cores = 2;
+    ck.core.instr_limit = 60'000;
+    ck.dram.geometry.channels = 2;
+    ck.prefetch = sim::PrefetchKind::Stride;
+    const auto build = [&ck] {
+      std::vector<std::unique_ptr<workloads::AccessStream>> sv;
+      for (std::uint32_t i = 0; i < ck.num_cores; ++i) {
+        workloads::StreamParams sp;
+        sp.footprint = 1 << 20;
+        sp.seed = 7 + i;
+        sv.push_back(i % 2 == 0 ? workloads::make_zipf(sp, 0.8)
+                                : workloads::make_streaming(sp));
+      }
+      return std::make_unique<sim::System>(ck, std::move(sv));
+    };
+    const auto render = [](const sim::System& s) {
+      obs::StatRegistry r;
+      s.register_stats(r);
+      std::ostringstream os;
+      for (const auto& v : r.snapshot().values) os << v.path << '=' << v.value << '\n';
+      return os.str();
+    };
+    const std::string ckpt_path = dir + "/CKPT_smoke.ckpt";
+
+    // Reference leg: warm up, drain to quiescence, seal the image, finish.
+    auto ref = build();
+    const auto warm_start = std::chrono::steady_clock::now();
+    ref->run(200'000);
+    ref->memory().drain(ref->now());
+    const double warm_secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - warm_start).count();
+    ref->save(ckpt_path);
+    const Cycle ref_end = ref->run(2'000'000);
+
+    // Restored leg: a fresh twin continues from the image (by default the
+    // one just written; $IMA_CKPT_LOAD points at another run's).
+    const char* load_env = std::getenv("IMA_CKPT_LOAD");
+    const std::string load_path = load_env && *load_env ? load_env : ckpt_path;
+    auto twin = build();
+    const auto restore_start = std::chrono::steady_clock::now();
+    twin->restore(load_path);
+    const double restore_secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - restore_start)
+            .count();
+    const Cycle twin_end = twin->run(2'000'000);
+
+    const bool equal = ref_end == twin_end && render(*ref) == render(*twin);
+    if (!equal) {
+      std::cerr << "checkpoint smoke: restored continuation diverges (end "
+                << ref_end << " vs " << twin_end << ", image " << load_path << ")\n";
+      return 1;
+    }
+    std::ifstream img(ckpt_path, std::ios::binary | std::ios::ate);
+    const double ckpt_bytes = img ? static_cast<double>(img.tellg()) : 0;
+    const double warm_speedup = restore_secs > 0 ? warm_secs / restore_secs : 0;
+
+    Table ct({"metric", "value"});
+    ct.add_row({"image (bytes)", Table::fmt_si(ckpt_bytes, 1)});
+    ct.add_row({"end cycle", Table::fmt_si(static_cast<double>(ref_end), 0)});
+    ct.add_row({"byte-identical", equal ? "yes" : "no"});
+    ct.add_row({"warmup wall (s)", Table::fmt(warm_secs, 4)});
+    ct.add_row({"restore wall (s)", Table::fmt(restore_secs, 4)});
+    ct.add_row({"warm-start speedup", Table::fmt_ratio(warm_speedup)});
+    bench::print_table(ct, "checkpoint/restore (restored twin vs uninterrupted)");
+
+    bench::record_metric("ckpt_bytes", ckpt_bytes);
+    bench::record_metric("ckpt_end_cycle", static_cast<double>(ref_end));
+    bench::record_metric("ckpt_equal", equal ? 1 : 0);
+    bench::record_metric("ckpt_warmup_wall_seconds", warm_secs);
+    bench::record_metric("ckpt_restore_wall_seconds", restore_secs);
+    bench::record_metric("ckpt_warm_start_speedup", warm_speedup);
+  }
+
   bench::print_shape(
       "non-zero instructions, DRAM reads and trace events; reliability phase "
-      "with exact CE/DUE/SDC counts; BENCH_smoke.json and TRACE_smoke.json "
-      "written to $IMA_BENCH_OUT (else the current directory)");
+      "with exact CE/DUE/SDC counts; checkpoint phase with a byte-identical "
+      "restored continuation; BENCH_smoke.json, TRACE_smoke.json and "
+      "CKPT_smoke.ckpt written to $IMA_BENCH_OUT (else the current directory)");
   return 0;
 }

@@ -20,6 +20,11 @@ namespace ima::obs {
 class StatRegistry;
 }  // namespace ima::obs
 
+namespace ima::ckpt {
+class Sink;
+class Source;
+}  // namespace ima::ckpt
+
 namespace ima::cache {
 
 enum class ReplPolicy : std::uint8_t { Lru, Random, Srrip, Drrip, EafLru };
@@ -81,6 +86,11 @@ class Cache {
 
   /// Hit/miss/eviction counters plus a live miss-rate gauge under `prefix`.
   void register_stats(obs::StatRegistry& reg, const std::string& prefix) const;
+
+  /// Checkpoint lines, LRU clock, replacement RNG/duel state and stats.
+  /// The EAF set is rebuilt from the serialized FIFO on load.
+  void save_state(ckpt::Sink& s) const;
+  void load_state(ckpt::Source& s);
 
  private:
   struct Line {

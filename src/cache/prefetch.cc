@@ -1,5 +1,6 @@
 #include "cache/prefetch.hh"
 
+#include "common/ckpt.hh"
 #include "obs/stat_registry.hh"
 
 namespace ima::cache {
@@ -59,6 +60,27 @@ class StridePrefetcher final : public Prefetcher {
 
   std::string name() const override { return "stride"; }
 
+  void save_state(ckpt::Sink& s) const override {
+    s.section("stride");
+    ckpt::put_map(s, table_, [](ckpt::Sink& k, const Entry& e) {
+      k.u64(e.pc);
+      k.u64(e.last);
+      k.u64(static_cast<std::uint64_t>(e.stride));
+      k.u32(e.confidence);
+    });
+  }
+  void load_state(ckpt::Source& s) override {
+    s.section("stride");
+    ckpt::get_map(s, table_, [](ckpt::Source& k) {
+      Entry e;
+      e.pc = k.u64();
+      e.last = k.u64();
+      e.stride = static_cast<std::int64_t>(k.u64());
+      e.confidence = k.u32();
+      return e;
+    });
+  }
+
  private:
   struct Entry {
     std::uint64_t pc = 0;
@@ -107,6 +129,18 @@ class GhbDelta final : public Prefetcher {
   }
 
   std::string name() const override { return "ghb-delta"; }
+
+  void save_state(ckpt::Sink& s) const override {
+    s.section("ghb");
+    s.u64(ghb_.size());
+    for (Addr a : ghb_) s.u64(a);
+  }
+  void load_state(ckpt::Source& s) override {
+    s.section("ghb");
+    ghb_.clear();
+    const std::uint64_t n = s.u64();
+    for (std::uint64_t i = 0; i < n; ++i) ghb_.push_back(s.u64());
+  }
 
  private:
   std::int64_t delta(std::size_t a, std::size_t b) const {
@@ -170,6 +204,26 @@ void FeedbackPrefetcher::register_stats(obs::StatRegistry& reg,
             [this] { return static_cast<double>(degree_); });
 }
 
+void FeedbackPrefetcher::save_state(ckpt::Sink& s) const {
+  s.section("feedback");
+  s.u32(degree_);
+  s.u64(useful_);
+  s.u64(useless_);
+  s.u64(total_useful_);
+  s.u64(total_useless_);
+  inner_->save_state(s);
+}
+
+void FeedbackPrefetcher::load_state(ckpt::Source& s) {
+  s.section("feedback");
+  degree_ = s.u32();
+  useful_ = s.u64();
+  useless_ = s.u64();
+  total_useful_ = s.u64();
+  total_useless_ = s.u64();
+  inner_->load_state(s);
+}
+
 void FeedbackPrefetcher::maybe_adjust() {
   if (useful_ + useless_ < cfg_.sample_interval) return;
   const double accuracy =
@@ -215,6 +269,22 @@ void FilteredPrefetcher::notify_useful(Addr addr, std::uint64_t pc) {
 
 void FilteredPrefetcher::notify_useless(Addr addr, std::uint64_t pc) {
   perceptron_.train(features(addr, pc), false);
+}
+
+void FilteredPrefetcher::save_state(ckpt::Sink& s) const {
+  s.section("filtered");
+  s.u64(dropped_);
+  s.u64(issued_);
+  perceptron_.save_state(s);
+  inner_->save_state(s);
+}
+
+void FilteredPrefetcher::load_state(ckpt::Source& s) {
+  s.section("filtered");
+  dropped_ = s.u64();
+  issued_ = s.u64();
+  perceptron_.load_state(s);
+  inner_->load_state(s);
 }
 
 void FilteredPrefetcher::register_stats(obs::StatRegistry& reg,

@@ -21,6 +21,11 @@ namespace ima::obs {
 class StatRegistry;
 }  // namespace ima::obs
 
+namespace ima::ckpt {
+class Sink;
+class Source;
+}  // namespace ima::ckpt
+
 namespace ima::cache {
 
 struct PrefetchRequest {
@@ -38,6 +43,13 @@ class Prefetcher {
 
   /// Prefetcher-internal counters under `prefix`. Default: none.
   virtual void register_stats(obs::StatRegistry&, const std::string& /*prefix*/) const {}
+
+  /// Checkpoint detector tables / history buffers / learned weights.
+  /// Stateless prefetchers (none, next-line) keep the empty defaults; the
+  /// restore target must be built by the same factory with the same
+  /// parameters.
+  virtual void save_state(ckpt::Sink&) const {}
+  virtual void load_state(ckpt::Source&) {}
 
   virtual std::string name() const = 0;
 };
@@ -83,6 +95,9 @@ class FeedbackPrefetcher final : public TrainablePrefetcher {
 
   void register_stats(obs::StatRegistry& reg, const std::string& prefix) const override;
 
+  void save_state(ckpt::Sink& s) const override;
+  void load_state(ckpt::Source& s) override;
+
  private:
   void maybe_adjust();
 
@@ -118,6 +133,9 @@ class FilteredPrefetcher final : public TrainablePrefetcher {
   std::uint64_t issued() const { return issued_; }
 
   void register_stats(obs::StatRegistry& reg, const std::string& prefix) const override;
+
+  void save_state(ckpt::Sink& s) const override;
+  void load_state(ckpt::Source& s) override;
 
  private:
   std::vector<std::uint64_t> features(Addr addr, std::uint64_t pc) const;

@@ -1,0 +1,373 @@
+// Checkpoint serialization primitives: a versioned, checksummed binary
+// snapshot format shared by every simulator layer.
+//
+// Design rules (see DESIGN.md "Checkpoint/restore"):
+//  - Header-only and std-only so any layer (common through sim) can
+//    serialize itself without link-order or include-cycle concerns.
+//  - Little-endian byte order written explicitly, so a checkpoint is
+//    portable across hosts.
+//  - Doubles travel as their IEEE-754 bit pattern (bit_cast to u64), so a
+//    restored accumulator is bit-identical, not round-tripped through text.
+//  - The whole payload is guarded by one CRC-64 verified BEFORE any
+//    component state is loaded: a truncated or bit-flipped file throws a
+//    typed CheckpointError and never half-restores.
+//  - Unordered containers are always written sorted by key so the same
+//    state produces the same bytes regardless of hash-table iteration
+//    order (required for the byte-identical restore guarantee).
+//  - Section markers name each component's region; a marker mismatch on
+//    load means writer/reader drift and fails fast with ErrorKind::Format.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+namespace ima::ckpt {
+
+/// Current checkpoint format version. Bump on any layout change; restore
+/// refuses mismatched versions rather than guessing.
+inline constexpr std::uint32_t kVersion = 1;
+
+/// Leading magic: identifies a file as an IMA checkpoint before anything
+/// else is trusted.
+inline constexpr char kMagic[8] = {'I', 'M', 'A', 'C', 'K', 'P', 'T', '\n'};
+
+enum class ErrorKind : std::uint8_t {
+  Io,        // file missing / unreadable / unwritable
+  Magic,     // not a checkpoint file at all
+  Version,   // checkpoint from an incompatible format version
+  Checksum,  // payload corrupted (truncation, bit flip)
+  Config,    // checkpoint is valid but for a differently-configured system
+  Format,    // section/stream structure mismatch (writer/reader drift)
+  State,     // system not in a checkpointable state (e.g. not quiescent)
+};
+
+inline const char* to_string(ErrorKind k) {
+  switch (k) {
+    case ErrorKind::Io: return "io";
+    case ErrorKind::Magic: return "magic";
+    case ErrorKind::Version: return "version";
+    case ErrorKind::Checksum: return "checksum";
+    case ErrorKind::Config: return "config";
+    case ErrorKind::Format: return "format";
+    case ErrorKind::State: return "state";
+  }
+  return "?";
+}
+
+/// Every checkpoint failure is this one typed exception; kind() says which
+/// contract was violated. Restore paths throw before mutating any target
+/// state, so catching it leaves the system exactly as constructed.
+class CheckpointError : public std::runtime_error {
+ public:
+  CheckpointError(ErrorKind kind, const std::string& what)
+      : std::runtime_error(std::string("checkpoint ") + to_string(kind) + " error: " + what),
+        kind_(kind) {}
+  ErrorKind kind() const { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+/// CRC-64/XZ (ECMA-182 polynomial, reflected), table-driven.
+inline std::uint64_t crc64(const std::uint8_t* data, std::size_t n, std::uint64_t crc = 0) {
+  static const auto table = [] {
+    std::array<std::uint64_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint64_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1) ? 0xC96C5795D7870F42ull : 0);
+      t[i] = c;
+    }
+    return t;
+  }();
+  crc = ~crc;
+  for (std::size_t i = 0; i < n; ++i) crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  return ~crc;
+}
+
+/// Append-only byte buffer with typed little-endian writers.
+class Sink {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { le(v, 2); }
+  void u32(std::uint32_t v) { le(v, 4); }
+  void u64(std::uint64_t v) { le(v, 8); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void b(bool v) { u8(v ? 1 : 0); }
+
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* c = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), c, c + n);
+  }
+
+  /// Begin a named region. Source::section() verifies the same name in the
+  /// same order, so writer/reader drift fails fast instead of misparsing.
+  void section(const char* name) {
+    u32(0x53454354u);  // 'SECT'
+    str(name);
+  }
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void le(std::uint64_t v, unsigned n) {
+    for (unsigned i = 0; i < n; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Verifying reader over a sealed payload. Any structural surprise —
+/// running off the end, a wrong section marker — throws ErrorKind::Format;
+/// config mismatches detected via match_*() throw ErrorKind::Config.
+class Source {
+ public:
+  Source(const std::uint8_t* p, std::size_t n) : p_(p), n_(n) {}
+  explicit Source(const std::vector<std::uint8_t>& v) : Source(v.data(), v.size()) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(le(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }
+  std::uint64_t u64() { return le(8); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool b() { return u8() != 0; }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (n > remaining()) fail(ErrorKind::Format, "string length past end of payload");
+    std::string s(reinterpret_cast<const char*>(p_ + pos_), static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  void bytes(void* p, std::size_t n) {
+    if (n > remaining()) fail(ErrorKind::Format, "read past end of payload");
+    std::memcpy(p, p_ + pos_, n);
+    pos_ += n;
+  }
+
+  void section(const char* name) {
+    if (u32() != 0x53454354u)
+      fail(ErrorKind::Format, std::string("expected section marker for '") + name + "'");
+    const std::string got = str();
+    if (got != name)
+      fail(ErrorKind::Format,
+           std::string("section mismatch: expected '") + name + "', found '" + got + "'");
+  }
+
+  /// Config-fingerprint checks: the saved value must equal what the
+  /// freshly-constructed target derives from its own configuration.
+  void match_u64(std::uint64_t expect, const char* what) {
+    const std::uint64_t got = u64();
+    if (got != expect)
+      fail(ErrorKind::Config, std::string(what) + ": checkpoint has " + std::to_string(got) +
+                                  ", target expects " + std::to_string(expect));
+  }
+  void match_str(const std::string& expect, const char* what) {
+    const std::string got = str();
+    if (got != expect)
+      fail(ErrorKind::Config,
+           std::string(what) + ": checkpoint has '" + got + "', target expects '" + expect + "'");
+  }
+
+  std::size_t remaining() const { return n_ - pos_; }
+  bool done() const { return pos_ == n_; }
+
+  [[noreturn]] void fail(ErrorKind k, const std::string& what) const { throw CheckpointError(k, what); }
+
+ private:
+  std::uint64_t le(unsigned n) {
+    if (n > remaining()) fail(ErrorKind::Format, "read past end of payload");
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < n; ++i) v |= static_cast<std::uint64_t>(p_[pos_ + i]) << (8 * i);
+    pos_ += n;
+    return v;
+  }
+
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+};
+
+// ---- container helpers ----------------------------------------------------
+
+/// Vector of trivially-copyable elements, written element-wise through a
+/// caller-supplied emitter (so multi-field structs serialize field-by-field
+/// in a layout-independent way).
+template <typename T, typename Emit>
+void put_vec(Sink& s, const std::vector<T>& v, Emit&& emit) {
+  s.u64(v.size());
+  for (const auto& e : v) emit(s, e);
+}
+
+template <typename T, typename Get>
+void get_vec(Source& s, std::vector<T>& v, Get&& get) {
+  const std::uint64_t n = s.u64();
+  v.clear();
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(get(s));
+}
+
+inline void put_vec_u64(Sink& s, const std::vector<std::uint64_t>& v) {
+  put_vec(s, v, [](Sink& k, std::uint64_t e) { k.u64(e); });
+}
+inline void get_vec_u64(Source& s, std::vector<std::uint64_t>& v) {
+  get_vec(s, v, [](Source& k) { return k.u64(); });
+}
+inline void put_vec_u32(Sink& s, const std::vector<std::uint32_t>& v) {
+  put_vec(s, v, [](Sink& k, std::uint32_t e) { k.u32(e); });
+}
+inline void get_vec_u32(Source& s, std::vector<std::uint32_t>& v) {
+  get_vec(s, v, [](Source& k) { return k.u32(); });
+}
+inline void put_vec_u8(Sink& s, const std::vector<std::uint8_t>& v) {
+  s.u64(v.size());
+  s.bytes(v.data(), v.size());
+}
+inline void get_vec_u8(Source& s, std::vector<std::uint8_t>& v) {
+  const std::uint64_t n = s.u64();
+  v.resize(static_cast<std::size_t>(n));
+  s.bytes(v.data(), v.size());
+}
+inline void put_vec_f64(Sink& s, const std::vector<double>& v) {
+  put_vec(s, v, [](Sink& k, double e) { k.f64(e); });
+}
+inline void get_vec_f64(Source& s, std::vector<double>& v) {
+  get_vec(s, v, [](Source& k) { return k.f64(); });
+}
+inline void put_vec_bool(Sink& s, const std::vector<bool>& v) {
+  s.u64(v.size());
+  for (bool e : v) s.b(e);
+}
+inline void get_vec_bool(Source& s, std::vector<bool>& v) {
+  const std::uint64_t n = s.u64();
+  v.assign(static_cast<std::size_t>(n), false);
+  for (std::uint64_t i = 0; i < n; ++i) v[i] = s.b();
+}
+
+/// Unordered map with integral keys, written sorted by key so hash-table
+/// iteration order never leaks into the byte stream.
+template <typename K, typename V, typename Emit>
+void put_map(Sink& s, const std::unordered_map<K, V>& m, Emit&& emit_value) {
+  static_assert(std::is_integral_v<K>);
+  std::vector<K> keys;
+  keys.reserve(m.size());
+  for (const auto& [k, v] : m) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  s.u64(keys.size());
+  for (K k : keys) {
+    s.u64(static_cast<std::uint64_t>(k));
+    emit_value(s, m.at(k));
+  }
+}
+
+template <typename K, typename V, typename Get>
+void get_map(Source& s, std::unordered_map<K, V>& m, Get&& get_value) {
+  static_assert(std::is_integral_v<K>);
+  const std::uint64_t n = s.u64();
+  m.clear();
+  m.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const K k = static_cast<K>(s.u64());
+    m.emplace(k, get_value(s));
+  }
+}
+
+// ---- sealed blob ----------------------------------------------------------
+
+/// A sealed checkpoint image: magic + version + payload length + CRC-64 +
+/// payload. open() validates everything before handing out the payload, so
+/// a caller that parses the returned bytes can never be feeding off a
+/// corrupt or foreign file.
+struct Blob {
+  std::uint32_t version = kVersion;
+  std::vector<std::uint8_t> payload;
+};
+
+inline std::vector<std::uint8_t> seal(const Blob& b) {
+  Sink head;
+  head.bytes(kMagic, sizeof kMagic);
+  head.u32(b.version);
+  head.u64(b.payload.size());
+  head.u64(crc64(b.payload.data(), b.payload.size()));
+  std::vector<std::uint8_t> out = head.take();
+  out.insert(out.end(), b.payload.begin(), b.payload.end());
+  return out;
+}
+
+inline Blob open(const std::uint8_t* p, std::size_t n) {
+  constexpr std::size_t kHeader = sizeof(kMagic) + 4 + 8 + 8;
+  if (n < kHeader) throw CheckpointError(ErrorKind::Magic, "file shorter than checkpoint header");
+  if (std::memcmp(p, kMagic, sizeof kMagic) != 0)
+    throw CheckpointError(ErrorKind::Magic, "bad magic: not a checkpoint file");
+  Source head(p + sizeof(kMagic), kHeader - sizeof(kMagic));
+  Blob b;
+  b.version = head.u32();
+  if (b.version != kVersion)
+    throw CheckpointError(ErrorKind::Version, "format version " + std::to_string(b.version) +
+                                                  ", this build reads version " +
+                                                  std::to_string(kVersion));
+  const std::uint64_t len = head.u64();
+  const std::uint64_t want_crc = head.u64();
+  if (len != n - kHeader)
+    throw CheckpointError(ErrorKind::Checksum, "payload length mismatch (truncated or padded)");
+  b.payload.assign(p + kHeader, p + n);
+  const std::uint64_t got_crc = crc64(b.payload.data(), b.payload.size());
+  if (got_crc != want_crc)
+    throw CheckpointError(ErrorKind::Checksum, "payload CRC mismatch (corrupted checkpoint)");
+  return b;
+}
+
+inline Blob open(const std::vector<std::uint8_t>& bytes) { return open(bytes.data(), bytes.size()); }
+
+// ---- file I/O -------------------------------------------------------------
+
+/// Write atomically: stage to `<path>.tmp`, then rename over the target, so
+/// a crash mid-write never leaves a plausible-but-truncated checkpoint at
+/// the final path.
+inline void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) throw CheckpointError(ErrorKind::Io, "cannot open for write: " + tmp);
+  const std::size_t wrote = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (wrote != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw CheckpointError(ErrorKind::Io, "short write: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError(ErrorKind::Io, "cannot rename into place: " + path);
+  }
+}
+
+inline std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw CheckpointError(ErrorKind::Io, "cannot open for read: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long sz = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(sz > 0 ? static_cast<std::size_t>(sz) : 0);
+  const std::size_t got = bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size()) throw CheckpointError(ErrorKind::Io, "short read: " + path);
+  return bytes;
+}
+
+}  // namespace ima::ckpt

@@ -31,6 +31,10 @@ class RingQueue {
   T& front() { return buf_[head_]; }
   const T& front() const { return buf_[head_]; }
 
+  /// i-th element from the front (0 == front()). Used by checkpointing to
+  /// walk the queue without consuming it.
+  const T& at(std::size_t i) const { return buf_[(head_ + i) & mask_]; }
+
   void push_back(T v) { emplace_back(std::move(v)); }
 
   template <typename... Args>

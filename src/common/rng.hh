@@ -8,6 +8,11 @@
 #include <cstdint>
 #include <vector>
 
+namespace ima::ckpt {
+class Sink;
+class Source;
+}  // namespace ima::ckpt
+
 namespace ima {
 
 /// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
@@ -34,6 +39,11 @@ class Rng {
   std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) {
     return lo + next_below(hi - lo + 1);
   }
+
+  /// Checkpoint the exact generator state (the four xoshiro words), so a
+  /// restored run replays the identical draw sequence.
+  void save_state(ckpt::Sink& s) const;
+  void load_state(ckpt::Source& s);
 
  private:
   std::uint64_t s_[4]{};
@@ -65,6 +75,11 @@ class ZipfGenerator {
 
   std::uint64_t n() const { return n_; }
   double theta() const { return theta_; }
+
+  /// Only the embedded Rng is mutable state; the Gray et al. constants are
+  /// construction-derived, so load verifies (n, theta) as config.
+  void save_state(ckpt::Sink& s) const;
+  void load_state(ckpt::Source& s);
 
  private:
   std::uint64_t n_;

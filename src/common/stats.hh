@@ -12,6 +12,11 @@
 #include <string>
 #include <vector>
 
+namespace ima::ckpt {
+class Sink;
+class Source;
+}  // namespace ima::ckpt
+
 namespace ima {
 
 /// Running scalar statistic: count / sum / min / max / mean / stddev
@@ -37,6 +42,11 @@ class RunningStat {
   double stddev() const { return std::sqrt(variance()); }
 
   void reset() { *this = RunningStat{}; }
+
+  /// Checkpoint the exact accumulator state (Welford terms included), so a
+  /// restored stat is bit-identical to the uninterrupted one.
+  void save_state(ckpt::Sink& s) const;
+  void load_state(ckpt::Source& s);
 
  private:
   std::uint64_t n_ = 0;
@@ -74,6 +84,9 @@ class Histogram {
   double bucket_lo(std::size_t i) const {
     return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
   }
+
+  void save_state(ckpt::Sink& s) const;
+  void load_state(ckpt::Source& s);
 
  private:
   double lo_;

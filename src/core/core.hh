@@ -18,6 +18,11 @@
 #include "common/types.hh"
 #include "workloads/stream.hh"
 
+namespace ima::ckpt {
+class Sink;
+class Source;
+}  // namespace ima::ckpt
+
 namespace ima::core {
 
 /// The memory hierarchy's interface to the core. `issue` starts an access;
@@ -87,6 +92,13 @@ class SimpleCore {
   /// Flight-recorder dump: pipeline state flags, wake-up cycle and retire
   /// counters (one line). Embedded in watchdog artifacts.
   void dump(std::ostream& os, Cycle now) const;
+
+  /// Checkpoint pipeline state, runahead lookahead buffer, retire counters
+  /// and the access stream. Requires no outstanding asynchronous access
+  /// (the memory system must be idle): the completion closure handed to the
+  /// port is not serializable.
+  void save_state(ckpt::Sink& s) const;
+  void load_state(ckpt::Source& s);
 
  private:
   void fetch_next();

@@ -33,6 +33,11 @@ class StatRegistry;
 class TraceSink;
 }  // namespace ima::obs
 
+namespace ima::ckpt {
+class Sink;
+class Source;
+}  // namespace ima::ckpt
+
 namespace ima::dram {
 
 /// Arguments for PUM commands that reference multiple rows of one bank.
@@ -244,6 +249,12 @@ class Channel {
 
   /// Latency from RD issue to data availability.
   Cycle read_latency() const { return cfg_.timings.read_latency(); }
+
+  /// Checkpoint the full SoA timing state (incl. SALP units and the tFAW
+  /// ring), rank power/energy accounting, bus gates, and stats. Hooks and
+  /// trace sinks are rewired by the owner, not serialized.
+  void save_state(ckpt::Sink& s) const;
+  void load_state(ckpt::Source& s);
 
  private:
   // tFAW constrains the fifth activation in any window of four: a 4-slot

@@ -24,6 +24,11 @@
 #include "dram/command.hh"
 #include "dram/config.hh"
 
+namespace ima::ckpt {
+class Sink;
+class Source;
+}  // namespace ima::ckpt
+
 namespace ima::dram {
 
 class DataStore {
@@ -50,6 +55,12 @@ class DataStore {
   void fill_row(const Coord& c, std::uint64_t pattern);
 
   std::size_t words_per_row() const { return words_per_row_; }
+
+  /// Checkpoint every lazily-allocated row, per channel, sorted by row key
+  /// (hash-map iteration order never reaches the byte stream).
+  void save_state(ckpt::Sink& s) const;
+  void load_state(ckpt::Source& s);
+
   std::size_t allocated_rows() const {
     std::size_t n = 0;
     for (const auto& m : channels_) n += m.size();

@@ -1,10 +1,14 @@
 #include "harness/sweep.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <sstream>
 #include <thread>
 
+#include "common/table.hh"
 #include "harness/pool.hh"
+#include "obs/watchdog.hh"
 
 namespace ima::harness {
 
@@ -24,11 +28,69 @@ unsigned parse_jobs_env() {
   return hw ? hw : 1;
 }
 
+unsigned parse_retries_env() {
+  if (const char* env = std::getenv("IMA_SWEEP_RETRIES"); env && *env) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    // Cap keeps a typo from turning one bad config into a day of backoff.
+    if (end && *end == '\0' && v >= 0) return static_cast<unsigned>(v < 64 ? v : 64);
+  }
+  return 0;
+}
+
+double parse_timeout_env() {
+  if (const char* env = std::getenv("IMA_SWEEP_TIMEOUT"); env && *env) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end && *end == '\0' && v >= 0) return v;
+  }
+  return 0;
+}
+
 }  // namespace
 
 unsigned default_jobs() {
   static const unsigned jobs = parse_jobs_env();
   return jobs;
+}
+
+unsigned default_sweep_retries() {
+  static const unsigned retries = parse_retries_env();
+  return retries;
+}
+
+double default_sweep_timeout() {
+  static const double timeout = parse_timeout_env();
+  return timeout;
+}
+
+void JobContext::check_deadline() const {
+  if (deadline_expired())
+    throw SweepTimeout("job " + std::to_string(index) + " exceeded its wall-clock budget" +
+                       " (attempt " + std::to_string(attempt) + ")");
+}
+
+namespace detail {
+void backoff_sleep(unsigned attempt_just_failed, unsigned backoff_ms) {
+  if (backoff_ms == 0) return;
+  const unsigned shift = std::min(attempt_just_failed, 20u);
+  const std::uint64_t ms =
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(backoff_ms) << shift, 1000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+}  // namespace detail
+
+void add_failure_table(obs::Report& report, const std::vector<Failure>& failures) {
+  if (failures.empty()) return;
+  Table t({"job", "config", "seed", "attempts", "wall (s)", "error"});
+  for (const Failure& f : failures) {
+    std::ostringstream seed;
+    seed << "0x" << std::hex << f.seed;
+    t.add_row({Table::fmt_int(f.index), f.config, seed.str(), Table::fmt_int(f.attempts),
+               Table::fmt(f.wall_seconds, 3), f.message});
+  }
+  report.add_table(t, "dead points (retries exhausted)");
+  report.add_metric("dead_points", static_cast<double>(failures.size()));
 }
 
 std::uint64_t job_seed(std::uint64_t base, std::size_t index) {
@@ -43,12 +105,25 @@ std::uint64_t job_seed(std::uint64_t base, std::size_t index) {
 void run_indexed(std::size_t num_jobs, unsigned workers,
                  const std::function<void(std::size_t, unsigned)>& body) {
   if (num_jobs == 0) return;
+  // Tag the job index on the worker thread so default-named watchdog
+  // artifacts constructed inside a job are per-job unique
+  // (obs::set_current_job; see Watchdog::resolve_artifact_path).
+  const auto tagged = [&body](std::size_t i, unsigned worker) {
+    obs::set_current_job(i);
+    try {
+      body(i, worker);
+    } catch (...) {
+      obs::clear_current_job();
+      throw;
+    }
+    obs::clear_current_job();
+  };
   if (workers <= 1 || num_jobs == 1) {
     // Serial reference path: no threads, no atomics — IMA_JOBS=1 runs the
     // exact code a pre-sweep bench ran. Deliberately not marked on_worker:
     // a serial sweep leaves the host cores to any sharded drains inside
     // the jobs (results are width-invariant either way).
-    for (std::size_t i = 0; i < num_jobs; ++i) body(i, 0);
+    for (std::size_t i = 0; i < num_jobs; ++i) tagged(i, 0);
     return;
   }
   // One ephemeral pool per sweep — the sweep's lifetime IS the parallel
@@ -56,7 +131,7 @@ void run_indexed(std::size_t num_jobs, unsigned workers,
   // long-lived pool. Jobs see WorkerPool::on_worker() == true, which is
   // what collapses nested sharded drains to serial.
   WorkerPool pool(static_cast<unsigned>(std::min<std::size_t>(workers, num_jobs)));
-  pool.parallel_for(num_jobs, body);
+  pool.parallel_for(num_jobs, tagged);
 }
 
 }  // namespace ima::harness

@@ -9,6 +9,11 @@
 #include <cstdint>
 #include <vector>
 
+namespace ima::ckpt {
+class Sink;
+class Source;
+}  // namespace ima::ckpt
+
 namespace ima::learn {
 
 class Perceptron {
@@ -31,6 +36,10 @@ class Perceptron {
   void train(const std::vector<std::uint64_t>& f, bool taken);
 
   const Config& config() const { return cfg_; }
+
+  /// Checkpoint the weight table (config is fingerprinted, not restored).
+  void save_state(ckpt::Sink& s) const;
+  void load_state(ckpt::Source& s);
 
  private:
   std::size_t index(std::uint32_t feature, std::uint64_t hash) const;

@@ -65,6 +65,11 @@ class QAgent {
 
   std::uint64_t updates() const { return updates_; }
 
+  /// Checkpoint the learned table, exploration RNG, update count, and the
+  /// (mutable) epsilon — enough to resume training bit-identically.
+  void save_state(ckpt::Sink& s) const;
+  void load_state(ckpt::Source& s);
+
  private:
   std::size_t index(std::uint64_t s, std::uint32_t a) const {
     // Fibonacci-hash the state into the per-action slice.

@@ -104,6 +104,7 @@ class Controller {
   /// inspects this: a model shared across controllers forces the epochs
   /// onto one host thread (cross-shard on_act calls would race).
   const HammerVictimModel* victim_model() const { return victim_model_; }
+  HammerVictimModel* victim_model() { return victim_model_; }
 
   /// Reliability engine; null when ControllerConfig::reliability.enabled
   /// is false (the default).
@@ -202,6 +203,17 @@ class Controller {
   void set_trace(obs::TraceSink* sink);
   dram::Channel& channel() { return chan_; }
   const dram::Channel& channel() const { return chan_; }
+
+  /// Checkpoint the controller at a quiescent point. Requires idle():
+  /// completion callbacks are not serializable, so queued or inflight
+  /// requests make the controller uncheckpointable (ErrorKind::State).
+  /// Serializes per-core accounting, stats, charge cache, power/refresh
+  /// pacing and the installed policies (scheduler / refresh / RowHammer /
+  /// reliability engine). The borrowed victim model is serialized exactly
+  /// once by its owner, not here. Restore targets must be constructed by
+  /// the same factory path; policy names are fingerprinted.
+  void save_state(ckpt::Sink& s) const;
+  void load_state(ckpt::Source& s);
 
   /// Total energy including background standby up to `now` (plus ECC
   /// encode/decode energy when the reliability engine is enabled).

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/ckpt.hh"
 #include "harness/pool.hh"
 #include "obs/stat_registry.hh"
 #include "obs/watchdog.hh"
@@ -409,6 +410,71 @@ std::uint64_t MemorySystem::progress_token() const {
     t += chans_[i]->state_version() + s.reads_done + s.writes_done + s.pim_ops_done;
   }
   return t;
+}
+
+void MemorySystem::save_state(ckpt::Sink& s) const {
+  if (!idle())
+    throw ckpt::CheckpointError(ckpt::ErrorKind::State,
+                                "memory system not quiescent: requests queued or inflight");
+  for (const auto& box : mail_)
+    if (!box.empty())
+      throw ckpt::CheckpointError(
+          ckpt::ErrorKind::State,
+          "undelivered barrier mailboxes: checkpoint only at an epoch barrier");
+  s.section("memsys");
+  s.u64(ctrls_.size());
+  s.b(last_drain_clipped_);
+  s.b(last_drain_quantized_);
+  s.u64(drain_clips_);
+  data_->save_state(s);
+  for (const auto& c : chans_) c->save_state(s);
+  for (const auto& c : ctrls_) c->save_state(s);
+  // Borrowed victim models, each distinct model exactly once in first-
+  // controller order (sharing topology is construction-derived, so the
+  // restore target walks the same sequence).
+  std::vector<const HammerVictimModel*> models;
+  for (const auto& c : ctrls_) {
+    const HammerVictimModel* m = c->victim_model();
+    if (m && std::find(models.begin(), models.end(), m) == models.end()) models.push_back(m);
+  }
+  s.u64(models.size());
+  for (const auto* m : models) m->save_state(s);
+}
+
+void MemorySystem::load_state(ckpt::Source& s) {
+  if (!idle())
+    s.fail(ckpt::ErrorKind::State, "restore target not quiescent");
+  s.section("memsys");
+  s.match_u64(ctrls_.size(), "channel count");
+  last_drain_clipped_ = s.b();
+  last_drain_quantized_ = s.b();
+  drain_clips_ = s.u64();
+  data_->load_state(s);
+  for (auto& c : chans_) c->load_state(s);
+  for (auto& c : ctrls_) c->load_state(s);
+  std::vector<HammerVictimModel*> models;
+  for (auto& c : ctrls_) {
+    HammerVictimModel* m = c->victim_model();
+    if (m && std::find(models.begin(), models.end(), m) == models.end()) models.push_back(m);
+  }
+  s.match_u64(models.size(), "victim model count");
+  for (auto* m : models) m->load_state(s);
+}
+
+void MemorySystem::save(const std::string& path) const {
+  ckpt::Sink sink;
+  save_state(sink);
+  ckpt::Blob blob;
+  blob.payload = sink.take();
+  ckpt::write_file(path, ckpt::seal(blob));
+}
+
+void MemorySystem::restore(const std::string& path) {
+  const ckpt::Blob blob = ckpt::open(ckpt::read_file(path));
+  ckpt::Source src(blob.payload);
+  load_state(src);
+  if (!src.done())
+    src.fail(ckpt::ErrorKind::Format, "trailing bytes after memory system state");
 }
 
 void MemorySystem::dump(std::ostream& os, Cycle now) const {

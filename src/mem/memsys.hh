@@ -218,6 +218,27 @@ class MemorySystem {
   /// state.
   void dump(std::ostream& os, Cycle now) const;
 
+  // --- checkpoint/restore ---
+
+  /// Serializes the whole memory system: DataStore pages, per-channel FSM
+  /// and timing state, per-controller accounting and policies. Requires a
+  /// quiescent system (idle() with every barrier mailbox delivered) —
+  /// completion callbacks are not serializable, so a mid-epoch save under a
+  /// shard plan is refused with ErrorKind::State. The shard plan itself is
+  /// NOT part of the image: restore at any IMA_SHARDS width reproduces the
+  /// uninterrupted run byte-for-byte (the sharded-drain invariant).
+  /// Borrowed HammerVictimModels are included — each distinct model exactly
+  /// once, in first-controller order — so a path-level checkpoint is
+  /// self-contained; the restore target must share models identically.
+  void save_state(ckpt::Sink& s) const;
+  void load_state(ckpt::Source& s);
+
+  /// Sealed-file convenience wrappers around save_state/load_state
+  /// (magic + version + CRC; atomic tmp+rename write). restore() verifies
+  /// the whole image before touching any state.
+  void save(const std::string& path) const;
+  void restore(const std::string& path);
+
  private:
   // --- sharded-drain machinery (all coordinator-side unless noted) ---
   struct Mail {

@@ -21,6 +21,11 @@ namespace ima::obs {
 class StatRegistry;
 }  // namespace ima::obs
 
+namespace ima::ckpt {
+class Sink;
+class Source;
+}  // namespace ima::ckpt
+
 namespace ima::mem {
 
 /// Per-row retention bins. Interval multipliers are relative to the base
@@ -76,6 +81,12 @@ class RefreshPolicy {
   /// Exposes policy-internal counters (issued REFs, paced row refreshes)
   /// under `prefix`. Default: none.
   virtual void register_stats(obs::StatRegistry&, const std::string& /*prefix*/) const {}
+
+  /// Checkpoint the pacing state (due times, cursors, issue counters). The
+  /// restore target is built by the same factory from the same config and
+  /// profile, so only mutable schedule state travels.
+  virtual void save_state(ckpt::Sink&) const {}
+  virtual void load_state(ckpt::Source&) {}
 
   virtual std::string name() const = 0;
 };

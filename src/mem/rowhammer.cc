@@ -2,9 +2,46 @@
 
 #include <algorithm>
 
+#include "common/ckpt.hh"
 #include "obs/stat_registry.hh"
 
 namespace ima::mem {
+
+namespace {
+
+void put_coord(ckpt::Sink& s, const dram::Coord& c) {
+  s.u32(c.channel);
+  s.u32(c.rank);
+  s.u32(c.bank);
+  s.u32(c.row);
+  s.u32(c.column);
+}
+
+dram::Coord get_coord(ckpt::Source& s) {
+  dram::Coord c;
+  c.channel = s.u32();
+  c.rank = s.u32();
+  c.bank = s.u32();
+  c.row = s.u32();
+  c.column = s.u32();
+  return c;
+}
+
+}  // namespace
+
+void HammerVictimModel::save_state(ckpt::Sink& s) const {
+  s.section("victim_model");
+  ckpt::put_map(s, disturb_count_, [](ckpt::Sink& k, std::uint64_t v) { k.u64(v); });
+  s.u64(flips_);
+  s.u32(refs_seen_);
+}
+
+void HammerVictimModel::load_state(ckpt::Source& s) {
+  s.section("victim_model");
+  ckpt::get_map(s, disturb_count_, [](ckpt::Source& k) { return k.u64(); });
+  flips_ = s.u64();
+  refs_seen_ = s.u32();
+}
 
 void HammerVictimModel::register_stats(obs::StatRegistry& reg, const std::string& prefix) const {
   reg.counter(obs::join_path(prefix, "flips"), &flips_);
@@ -77,6 +114,15 @@ class Para final : public RowHammerMitigation {
 
   std::string name() const override { return "PARA"; }
 
+  void save_state(ckpt::Sink& s) const override {
+    rng_.save_state(s);
+    s.u64(victims_requested_);
+  }
+  void load_state(ckpt::Source& s) override {
+    rng_.load_state(s);
+    victims_requested_ = s.u64();
+  }
+
  private:
   double p_;
   Rng rng_;
@@ -123,6 +169,32 @@ class TrrSample final : public RowHammerMitigation {
   }
 
   std::string name() const override { return "TRR-sample"; }
+
+  void save_state(ckpt::Sink& s) const override {
+    rng_.save_state(s);
+    s.u64(victims_requested_);
+    ckpt::put_map(s, samplers_, [](ckpt::Sink& k, const std::vector<Entry>& sampler) {
+      k.u64(sampler.size());
+      for (const Entry& e : sampler) {
+        k.u32(e.row);
+        k.u64(e.count);
+        put_coord(k, e.coord);
+      }
+    });
+  }
+  void load_state(ckpt::Source& s) override {
+    rng_.load_state(s);
+    victims_requested_ = s.u64();
+    ckpt::get_map(s, samplers_, [](ckpt::Source& k) {
+      std::vector<Entry> sampler(k.u64());
+      for (Entry& e : sampler) {
+        e.row = k.u32();
+        e.count = k.u64();
+        e.coord = get_coord(k);
+      }
+      return sampler;
+    });
+  }
 
  private:
   std::uint64_t victims_requested_ = 0;
@@ -185,6 +257,23 @@ class Graphene final : public RowHammerMitigation {
   }
 
   std::string name() const override { return "Graphene"; }
+
+  void save_state(ckpt::Sink& s) const override {
+    s.u64(victims_requested_);
+    ckpt::put_map(s, tables_, [](ckpt::Sink& k, const Table& t) {
+      ckpt::put_map(k, t.counts, [](ckpt::Sink& kk, std::uint64_t v) { kk.u64(v); });
+      k.u64(t.spillover);
+    });
+  }
+  void load_state(ckpt::Source& s) override {
+    victims_requested_ = s.u64();
+    ckpt::get_map(s, tables_, [](ckpt::Source& k) {
+      Table t;
+      ckpt::get_map(k, t.counts, [](ckpt::Source& kk) { return kk.u64(); });
+      t.spillover = k.u64();
+      return t;
+    });
+  }
 
  private:
   std::uint64_t victims_requested_ = 0;

@@ -30,6 +30,11 @@ namespace ima::obs {
 class StatRegistry;
 }  // namespace ima::obs
 
+namespace ima::ckpt {
+class Sink;
+class Source;
+}  // namespace ima::ckpt
+
 namespace ima::mem {
 
 /// Ground-truth disturbance bookkeeping. Rows are identified per-bank.
@@ -71,6 +76,12 @@ class HammerVictimModel {
   /// Ground-truth observability: bit flips and currently tracked rows.
   void register_stats(obs::StatRegistry& reg, const std::string& prefix) const;
 
+  /// Checkpoint disturbance counters and window progress. The model may be
+  /// shared (borrowed) by several controllers; the owner serializes it
+  /// exactly once. The flip sink is rewired, not serialized.
+  void save_state(ckpt::Sink& s) const;
+  void load_state(ckpt::Source& s);
+
  private:
   // Packing derived from the geometry, not a hard-coded 64-bank / 32-bit
   // width: (rank, bank, row) stay injective for any bank count.
@@ -103,6 +114,10 @@ class RowHammerMitigation {
   /// Mitigation-internal counters (victim refreshes requested) under
   /// `prefix`. Default: none.
   virtual void register_stats(obs::StatRegistry&, const std::string& /*prefix*/) const {}
+
+  /// Checkpoint tracker state (samplers, Misra-Gries tables, RNG streams).
+  virtual void save_state(ckpt::Sink&) const {}
+  virtual void load_state(ckpt::Source&) {}
 
   virtual std::string name() const = 0;
 };

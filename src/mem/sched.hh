@@ -22,6 +22,11 @@ class StatRegistry;
 class TraceSink;
 }  // namespace ima::obs
 
+namespace ima::ckpt {
+class Sink;
+class Source;
+}  // namespace ima::ckpt
+
 namespace ima::mem {
 
 /// A request waiting in the controller queue, plus its decoded coordinates
@@ -279,6 +284,14 @@ class Scheduler {
   /// Routes per-decision trace events into `sink` (null detaches). Default:
   /// no tracing; the controller still traces command issue.
   virtual void set_trace(obs::TraceSink*) {}
+
+  /// Checkpoint the policy's mutable state (learned tables, streak/quantum
+  /// counters, RNG streams). The restore target is constructed by the same
+  /// factory with the same arguments, so configuration is not serialized —
+  /// the controller writes and verifies name() around these calls to catch
+  /// kind mismatches. Stateless policies keep the empty defaults.
+  virtual void save_state(ckpt::Sink&) const {}
+  virtual void load_state(ckpt::Source&) {}
 
   virtual std::string name() const = 0;
 };

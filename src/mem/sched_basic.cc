@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/ckpt.hh"
 #include "mem/sched.hh"
 
 namespace ima::mem {
@@ -136,6 +137,21 @@ class FrFcfsCapScheduler final : public Scheduler {
 
   std::string name() const override { return "FR-FCFS-Cap" + std::to_string(cap_); }
 
+  void save_state(ckpt::Sink& s) const override {
+    ckpt::put_map(s, streaks_, [](ckpt::Sink& k, const Streak& st) {
+      k.u32(st.row);
+      k.u32(st.count);
+    });
+  }
+  void load_state(ckpt::Source& s) override {
+    ckpt::get_map(s, streaks_, [](ckpt::Source& k) {
+      Streak st;
+      st.row = k.u32();
+      st.count = k.u32();
+      return st;
+    });
+  }
+
  private:
   struct Streak {
     std::uint32_t row = 0;
@@ -241,6 +257,19 @@ class BlissScheduler final : public Scheduler {
   bool pick_is_pure() const override { return true; }
 
   std::string name() const override { return "BLISS"; }
+
+  void save_state(ckpt::Sink& s) const override {
+    ckpt::put_vec_bool(s, blacklisted_);
+    s.u32(last_core_);
+    s.u32(streak_);
+    s.u64(next_clear_);
+  }
+  void load_state(ckpt::Source& s) override {
+    ckpt::get_vec_bool(s, blacklisted_);
+    last_core_ = s.u32();
+    streak_ = s.u32();
+    next_clear_ = s.u64();
+  }
 
  private:
   bool blacklist_ok(const QueuedRequest& r, bool allow) const {

@@ -6,6 +6,7 @@
 #include <map>
 #include <numeric>
 
+#include "common/ckpt.hh"
 #include "common/rng.hh"
 #include "mem/sched.hh"
 
@@ -104,6 +105,11 @@ class ParBsScheduler final : public Scheduler {
   bool pick_is_pure() const override { return true; }
 
   std::string name() const override { return "PAR-BS"; }
+
+  // Batch membership (the `marked` bits) lives on the queue entries and is
+  // gone at the quiescent checkpoint point; only the core ranking persists.
+  void save_state(ckpt::Sink& s) const override { ckpt::put_vec_u32(s, core_rank_); }
+  void load_state(ckpt::Source& s) override { ckpt::get_vec_u32(s, core_rank_); }
 
  private:
   static constexpr std::uint32_t kMarkCap = 5;
@@ -240,6 +246,23 @@ class TcmScheduler final : public Scheduler {
   bool pick_is_pure() const override { return true; }
 
   std::string name() const override { return "TCM"; }
+
+  void save_state(ckpt::Sink& s) const override {
+    ckpt::put_vec_u64(s, quantum_service_);
+    ckpt::put_vec_u8(s, cluster_);
+    ckpt::put_vec_u32(s, shuffle_rank_);
+    rng_.save_state(s);
+    s.u64(next_quantum_);
+    s.u64(next_shuffle_);
+  }
+  void load_state(ckpt::Source& s) override {
+    ckpt::get_vec_u64(s, quantum_service_);
+    ckpt::get_vec_u8(s, cluster_);
+    ckpt::get_vec_u32(s, shuffle_rank_);
+    rng_.load_state(s);
+    next_quantum_ = s.u64();
+    next_shuffle_ = s.u64();
+  }
 
  private:
   static constexpr Cycle kQuantum = 100000;

@@ -9,6 +9,7 @@
 // Slowdown = sampled-alone-rate / shared-rate.
 #include <algorithm>
 
+#include "common/ckpt.hh"
 #include "mem/sched.hh"
 
 namespace ima::mem {
@@ -118,6 +119,21 @@ class MiseScheduler final : public Scheduler {
       if (shared_rate > 0) out[c] = std::max(1.0, alone_rate / shared_rate);
     }
     return out;
+  }
+
+  void save_state(ckpt::Sink& s) const override {
+    ckpt::put_vec_u64(s, sampled_served_);
+    ckpt::put_vec_u64(s, sampled_cycles_);
+    ckpt::put_vec_u64(s, total_served_);
+    s.u64(total_cycles_);
+    s.u64(last_tick_);
+  }
+  void load_state(ckpt::Source& s) override {
+    ckpt::get_vec_u64(s, sampled_served_);
+    ckpt::get_vec_u64(s, sampled_cycles_);
+    ckpt::get_vec_u64(s, total_served_);
+    total_cycles_ = s.u64();
+    last_tick_ = s.u64();
   }
 
  private:

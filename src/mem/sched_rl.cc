@@ -11,6 +11,7 @@
 //            utilization, the same reward Ipek et al. use)
 #include <algorithm>
 
+#include "common/ckpt.hh"
 #include "learn/qlearn.hh"
 #include "mem/sched.hh"
 #include "obs/stat_registry.hh"
@@ -108,6 +109,31 @@ class RlScheduler final : public Scheduler {
   void freeze() { frozen_ = true; }
 
   const learn::QAgent& agent() const { return *agent_; }
+
+  // The stamped scratch (bank_count_/core_load_) is rebuilt from scratch on
+  // every pick, so only the learning state and decision counters persist.
+  void save_state(ckpt::Sink& s) const override {
+    agent_->save_state(s);
+    s.u64(prev_state_);
+    s.u32(prev_action_);
+    s.b(have_prev_);
+    s.b(frozen_);
+    s.u64(served_since_decision_);
+    s.u64(decisions_);
+    for (std::uint64_t c : action_counts_) s.u64(c);
+    reward_.save_state(s);
+  }
+  void load_state(ckpt::Source& s) override {
+    agent_->load_state(s);
+    prev_state_ = s.u64();
+    prev_action_ = s.u32();
+    have_prev_ = s.b();
+    frozen_ = s.b();
+    served_since_decision_ = s.u64();
+    decisions_ = s.u64();
+    for (std::uint64_t& c : action_counts_) c = s.u64();
+    reward_.load_state(s);
+  }
 
  private:
   // pick() runs every scheduling decision, so the state features and the

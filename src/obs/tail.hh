@@ -19,6 +19,11 @@
 
 #include "common/stats.hh"
 
+namespace ima::ckpt {
+class Sink;
+class Source;
+}  // namespace ima::ckpt
+
 namespace ima::obs {
 
 class TailRecorder {
@@ -60,6 +65,9 @@ class TailRecorder {
   const RunningStat& stat() const { return stat_; }
 
   void reset();
+
+  void save_state(ckpt::Sink& s) const;
+  void load_state(ckpt::Source& s);
 
  private:
   std::size_t bucket_of(std::uint64_t v) const {

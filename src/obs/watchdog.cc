@@ -1,6 +1,8 @@
 #include "obs/watchdog.hh"
 
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
@@ -11,8 +13,33 @@
 
 namespace ima::obs {
 
+namespace {
+
+thread_local std::ptrdiff_t t_current_job = -1;
+
+/// Process-wide construction count per (id, job) artifact key: the second
+/// watchdog to claim a key gets a ".dup<n>" suffix so even same-id
+/// same-job constructions never share a default artifact path.
+std::uint64_t claim_artifact_key(const std::string& key) {
+  static std::mutex mu;
+  static std::map<std::string, std::uint64_t> counts;
+  const std::lock_guard<std::mutex> lock(mu);
+  return counts[key]++;
+}
+
+}  // namespace
+
+void set_current_job(std::size_t index) {
+  t_current_job = static_cast<std::ptrdiff_t>(index);
+}
+void clear_current_job() { t_current_job = -1; }
+std::ptrdiff_t current_job() { return t_current_job; }
+
 Watchdog::Watchdog(Config cfg) : cfg_(std::move(cfg)) {
   if (cfg_.check_interval == 0) cfg_.check_interval = 1;
+  job_ = current_job();
+  if (cfg_.artifact_path.empty())
+    dup_seq_ = claim_artifact_key(cfg_.id + "#" + std::to_string(job_));
 }
 
 void Watchdog::set_progress(std::function<std::uint64_t()> token) {
@@ -94,12 +121,31 @@ void Watchdog::check_shards(Cycle now) {
 
 std::string Watchdog::resolve_artifact_path() const {
   if (!cfg_.artifact_path.empty()) return cfg_.artifact_path;
-  return Report::default_out_dir() + "/WATCHDOG_" + cfg_.id + ".json";
+  std::string name = "WATCHDOG_" + cfg_.id;
+  if (job_ >= 0) name += ".job" + std::to_string(job_);
+  if (dup_seq_ > 0) name += ".dup" + std::to_string(dup_seq_);
+  return Report::default_out_dir() + "/" + name + ".json";
 }
 
 void Watchdog::fire(Cycle now, Cycle stalled_for, const std::string& why) {
   fired_ = true;
   const std::string path = resolve_artifact_path();
+  // Escalation first: if the embedding system is quiescent (fail() at an
+  // epoch barrier), a restorable checkpoint lands next to the evidence; a
+  // mid-epoch wedge makes the writer throw and only the error is recorded.
+  std::string ckpt_path, ckpt_error;
+  if (ckpt_writer_) {
+    ckpt_path = path + ".ckpt";
+    try {
+      ckpt_writer_(ckpt_path);
+    } catch (const std::exception& e) {
+      ckpt_error = e.what();
+      ckpt_path.clear();
+    } catch (...) {
+      ckpt_error = "non-exception throw";
+      ckpt_path.clear();
+    }
+  }
   {
     std::ofstream os(path);
     JsonWriter w(os);
@@ -113,6 +159,10 @@ void Watchdog::fire(Cycle now, Cycle stalled_for, const std::string& why) {
     w.key("host_seconds_limit").value(cfg_.host_seconds);
     w.key("progress_token").value(last_token_);
     w.key("iterations").value(iterations_);
+    if (ckpt_writer_) {
+      w.key("checkpoint").value(ckpt_path);
+      if (!ckpt_error.empty()) w.key("checkpoint_error").value(ckpt_error);
+    }
     w.end_object();
 
     w.key("trace").begin_array();

@@ -32,6 +32,18 @@ namespace ima::obs {
 class StatRegistry;
 class TraceSink;
 
+/// Sweep-job tag for default watchdog artifact names. The sweep engine
+/// (harness::run_indexed) brackets every job body with set/clear, so a
+/// Watchdog constructed inside a job captures the index and two jobs that
+/// both arm id="run" write WATCHDOG_run.job<i>.json instead of racing on
+/// one path (last-writer-wins would overwrite the first casualty's
+/// evidence with the second's). Thread-local: each worker tags its own
+/// constructions only.
+void set_current_job(std::size_t index);
+void clear_current_job();
+/// -1 outside any sweep job.
+std::ptrdiff_t current_job();
+
 /// Thrown after the flight-recorder artifact is written; what() carries the
 /// artifact path so a CI log points straight at the evidence.
 class WatchdogError : public std::runtime_error {
@@ -85,6 +97,15 @@ class Watchdog {
   void set_trace(const TraceSink* sink) { trace_ = sink; }
   /// Snapshot of this registry lands in the artifact's "stats" object.
   void set_registry(const StatRegistry* reg) { registry_ = reg; }
+  /// Escalation hook: when the watchdog fires, `writer` is called with
+  /// `<artifact>.ckpt` before the JSON is written, so a externally-detected
+  /// failure (fail()) at a quiescent point leaves a restorable checkpoint
+  /// next to the flight recorder. A writer that throws (e.g. the system is
+  /// mid-epoch and checkpointing refuses) degrades to a "checkpoint_error"
+  /// field in the artifact — escalation never masks the original wedge.
+  void set_checkpoint_writer(std::function<void(const std::string& path)> writer) {
+    ckpt_writer_ = std::move(writer);
+  }
 
   /// Call once per event-loop iteration; cheap until check_interval elapses.
   void iterate(Cycle now) {
@@ -126,6 +147,9 @@ class Watchdog {
   std::vector<std::pair<std::string, std::function<void(std::ostream&, Cycle)>>> dumps_;
   const TraceSink* trace_ = nullptr;
   const StatRegistry* registry_ = nullptr;
+  std::function<void(const std::string&)> ckpt_writer_;
+  std::ptrdiff_t job_ = -1;     // current_job() at construction
+  std::uint64_t dup_seq_ = 0;   // same (id, job) constructed before: .dup<n>
 
   std::uint64_t iterations_ = 0;
   bool baseline_set_ = false;

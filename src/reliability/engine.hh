@@ -192,6 +192,11 @@ class Engine {
   void register_stats(obs::StatRegistry& reg, const std::string& prefix) const;
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
+  /// Checkpoint check bits, restore epochs, degradation sets, scrub pacing,
+  /// stats and the embedded fault injector. Hooks are rewired by the owner.
+  void save_state(ckpt::Sink& s) const;
+  void load_state(ckpt::Source& s);
+
  private:
   struct LineOutcome {
     EccOutcome outcome = EccOutcome::Clean;

@@ -91,6 +91,12 @@ class FaultInjector {
   std::uint64_t total_bits_injected() const { return total_bits_; }
   std::size_t corrupt_lines() const { return ledger_.size(); }
 
+  /// Checkpoint the per-site nonces and the corruption ledger. The per-site
+  /// streams themselves are stateless (derived from seed/site/nonce), so
+  /// restoring the nonces restores the exact future flip sequence.
+  void save_state(ckpt::Sink& s) const;
+  void load_state(ckpt::Source& s);
+
  private:
   /// Stateless per-event stream: mixes (seed, site, site-local nonce).
   Rng stream(std::uint64_t site);

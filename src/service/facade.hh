@@ -106,6 +106,13 @@ class MemoryService {
   mem::MemorySystem& memory() { return mem_; }
   const mem::MemorySystem& memory() const { return mem_; }
 
+  /// Checkpoint the facade: undelivered response queues (plain Request
+  /// data) and the loss-accounting counters. The underlying MemorySystem is
+  /// saved separately by the owner; quiescence is its contract, not ours —
+  /// delivered-but-unpopped responses are valid checkpoint state.
+  void save_state(ckpt::Sink& s) const;
+  void load_state(ckpt::Source& s);
+
  private:
   mem::CompletionCallback on_complete(std::uint32_t ch);
 

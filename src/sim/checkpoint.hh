@@ -1,0 +1,50 @@
+// Whole-system checkpoint/restore subsystem.
+//
+// The serialization core (Sink/Source byte streams, the sealed
+// magic+version+CRC-64 blob format, typed CheckpointError) lives in
+// common/ckpt.hh so every layer can serialize itself without include
+// cycles; this header is the top-level API the harness, benches and tests
+// use.
+//
+// Contract (DESIGN.md "Checkpoint/restore"):
+//  - Checkpoints are taken only at quiescent points: the memory system
+//    idle, every barrier mailbox delivered. Completion callbacks are
+//    std::function closures and cannot travel; at quiescence none exist.
+//    A save attempted mid-epoch under a shard plan throws
+//    CheckpointError{State}.
+//  - Restore targets are freshly constructed with the identical
+//    configuration (same factories, same seeds, same stream set). restore()
+//    loads durable state on top; transparent caches (timing memos, issue-
+//    min stashes, occupancy aggregates) are already pristine in a fresh
+//    target and are never serialized.
+//  - A run restored at cycle C and continued is byte-identical to the
+//    uninterrupted run — stats snapshots, BENCH artifacts, fault ledgers
+//    and scheduler pick digests all match, at any IMA_SHARDS/IMA_JOBS
+//    (tests/checkpoint_test.cc golden matrix).
+//  - Corruption never half-restores: the sealed blob's magic, version,
+//    length and CRC are verified before any component load begins.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ckpt.hh"
+
+namespace ima::sim {
+
+class System;
+
+/// In-memory checkpoint of a quiescent System (the warm-start form: one
+/// blob shared by every sweep job restores without touching the
+/// filesystem).
+ckpt::Blob checkpoint(const System& sys);
+
+/// Restores `sys` (freshly constructed, identical config) from a blob
+/// produced by checkpoint(). Throws CheckpointError on any mismatch.
+void restore(System& sys, const ckpt::Blob& blob);
+
+/// File forms: sealed (magic + version + CRC-64), written atomically.
+void save_checkpoint(const System& sys, const std::string& path);
+void restore_checkpoint(System& sys, const std::string& path);
+
+}  // namespace ima::sim

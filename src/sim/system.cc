@@ -270,6 +270,10 @@ obs::Watchdog& System::arm_watchdog(std::uint64_t stall_cycles) {
     for (const auto& c : cores_) c->dump(os, now);
     os << "pending_writes=" << pending_writes_.size() << "\n";
   });
+  // Escalation: a fire at a quiescent point (fail() from a drain deadline
+  // at an epoch barrier) leaves a restorable checkpoint beside the
+  // artifact; mid-epoch the save refuses and the artifact records why.
+  watchdog_->set_checkpoint_writer([this](const std::string& path) { save(path); });
   mem_->set_watchdog(watchdog_.get());
   return *watchdog_;
 }

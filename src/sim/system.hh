@@ -128,6 +128,21 @@ class System final : public core::MemoryPort {
   obs::Watchdog& arm_watchdog(std::uint64_t stall_cycles = 0);
   obs::Watchdog* watchdog() { return watchdog_.get(); }
 
+  // --- checkpoint/restore (sim/checkpoint.{hh,cc}) ---
+
+  /// Serializes the whole hierarchy — cores (incl. access streams and the
+  /// runahead lookahead), both cache levels, the prefetcher, the pending
+  /// writeback queue, prefetch bookkeeping, the clock, and the full memory
+  /// system (which must be quiescent: ErrorKind::State otherwise).
+  void save_state(ckpt::Sink& s) const;
+  void load_state(ckpt::Source& s);
+
+  /// Sealed-file forms (magic + version + CRC, atomic write); restore
+  /// verifies the whole image before touching any state and requires a
+  /// target constructed with the identical configuration and stream set.
+  void save(const std::string& path) const;
+  void restore(const std::string& path);
+
  private:
   void handle_l1_victim(std::uint32_t core, const cache::Cache::FillResult& fr);
   void enqueue_mem_write(Addr addr);

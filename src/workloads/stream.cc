@@ -3,6 +3,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "common/ckpt.hh"
+
 namespace ima::workloads {
 
 namespace {
@@ -24,6 +26,15 @@ class StreamingStream final : public AccessStream {
   }
 
   std::string name() const override { return "streaming"; }
+
+  void save_state(ckpt::Sink& s) const override {
+    s.u64(offset_);
+    rng_.save_state(s);
+  }
+  void load_state(ckpt::Source& s) override {
+    offset_ = s.u64();
+    rng_.load_state(s);
+  }
 
  private:
   StreamParams p_;
@@ -47,6 +58,9 @@ class RandomStream final : public AccessStream {
 
   std::string name() const override { return "random"; }
 
+  void save_state(ckpt::Sink& s) const override { rng_.save_state(s); }
+  void load_state(ckpt::Source& s) override { rng_.load_state(s); }
+
  private:
   StreamParams p_;
   Rng rng_;
@@ -69,6 +83,15 @@ class ZipfStream final : public AccessStream {
   }
 
   std::string name() const override { return "zipf"; }
+
+  void save_state(ckpt::Sink& s) const override {
+    zipf_.save_state(s);
+    rng_.save_state(s);
+  }
+  void load_state(ckpt::Source& s) override {
+    zipf_.load_state(s);
+    rng_.load_state(s);
+  }
 
  private:
   StreamParams p_;
@@ -95,6 +118,19 @@ class RowLocalStream final : public AccessStream {
   }
 
   std::string name() const override { return "row-local"; }
+
+  void save_state(ckpt::Sink& s) const override {
+    rng_.save_state(s);
+    s.u64(region_base_);
+    s.u64(in_region_);
+    s.u32(count_);
+  }
+  void load_state(ckpt::Source& s) override {
+    rng_.load_state(s);
+    region_base_ = s.u64();
+    in_region_ = s.u64();
+    count_ = s.u32();
+  }
 
  private:
   void jump() {
@@ -134,6 +170,15 @@ class PointerChaseStream final : public AccessStream {
 
   std::string name() const override { return "pointer-chase"; }
 
+  void save_state(ckpt::Sink& s) const override {
+    rng_.save_state(s);
+    s.u64(cur_);
+  }
+  void load_state(ckpt::Source& s) override {
+    rng_.load_state(s);
+    cur_ = s.u64();
+  }
+
  private:
   std::uint64_t lines() const { return p_.footprint / kLineBytes; }
 
@@ -164,6 +209,23 @@ class MixStream final : public AccessStream {
   }
 
   std::string name() const override { return "mix"; }
+
+  void save_state(ckpt::Sink& s) const override {
+    s.u64(parts_.size());
+    for (const auto& part : parts_) {
+      s.str(part->name());
+      part->save_state(s);
+    }
+    rng_.save_state(s);
+  }
+  void load_state(ckpt::Source& s) override {
+    s.match_u64(parts_.size(), "mix part count");
+    for (auto& part : parts_) {
+      s.match_str(part->name(), "mix part");
+      part->load_state(s);
+    }
+    rng_.load_state(s);
+  }
 
  private:
   std::vector<std::unique_ptr<AccessStream>> parts_;

@@ -16,6 +16,11 @@
 #include "common/rng.hh"
 #include "common/types.hh"
 
+namespace ima::ckpt {
+class Sink;
+class Source;
+}  // namespace ima::ckpt
+
 namespace ima::workloads {
 
 /// One trace record: run `compute` instructions, then access `addr`.
@@ -34,6 +39,13 @@ class AccessStream {
   virtual ~AccessStream() = default;
   virtual TraceEntry next() = 0;
   virtual std::string name() const = 0;
+
+  /// Checkpoint generator position/RNG state so a restored stream resumes
+  /// the exact future access sequence. The restore target must be built by
+  /// the same factory with the same parameters (names are fingerprinted by
+  /// callers that serialize heterogeneous stream sets).
+  virtual void save_state(ckpt::Sink&) const {}
+  virtual void load_state(ckpt::Source&) {}
 };
 
 struct StreamParams {

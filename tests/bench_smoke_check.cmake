@@ -21,7 +21,7 @@ if(NOT run_rc EQUAL 0)
   message(FATAL_ERROR "bench_smoke exited with ${run_rc}:\n${run_out}\n${run_err}")
 endif()
 
-foreach(artifact BENCH_smoke.json BENCH_smoke.csv TRACE_smoke.json)
+foreach(artifact BENCH_smoke.json BENCH_smoke.csv TRACE_smoke.json CKPT_smoke.ckpt)
   if(NOT EXISTS "${out_dir}/${artifact}")
     message(FATAL_ERROR "bench_smoke did not write ${artifact}")
   endif()
@@ -108,6 +108,30 @@ string(JSON rel_sdc ERROR_VARIABLE json_err GET "${report_json}" metrics reliabi
 if(json_err OR rel_sdc LESS 1)
   message(FATAL_ERROR "BENCH_smoke.json metrics.reliability_sdc_unprotected is '${rel_sdc}', expected >= 1 (${json_err})")
 endif()
+
+# Checkpoint phase: the binary already failed if the restored twin's
+# continuation diverged from the uninterrupted run; here guard the metric
+# names, the equality stamp, and that a sealed image actually landed on
+# disk with a sane size. The warm-start speedup is recorded, not floored —
+# it is a host-time measurement (same policy as sweep_speedup).
+string(JSON ckpt_equal ERROR_VARIABLE json_err GET "${report_json}" metrics ckpt_equal)
+if(json_err OR NOT ckpt_equal EQUAL 1)
+  message(FATAL_ERROR "BENCH_smoke.json metrics.ckpt_equal is '${ckpt_equal}', expected 1 (${json_err})")
+endif()
+string(JSON ckpt_bytes ERROR_VARIABLE json_err GET "${report_json}" metrics ckpt_bytes)
+if(json_err OR ckpt_bytes LESS_EQUAL 0)
+  message(FATAL_ERROR "BENCH_smoke.json metrics.ckpt_bytes is '${ckpt_bytes}' (${json_err})")
+endif()
+string(JSON ckpt_end ERROR_VARIABLE json_err GET "${report_json}" metrics ckpt_end_cycle)
+if(json_err OR ckpt_end LESS_EQUAL 0)
+  message(FATAL_ERROR "BENCH_smoke.json metrics.ckpt_end_cycle is '${ckpt_end}' (${json_err})")
+endif()
+foreach(metric ckpt_warmup_wall_seconds ckpt_restore_wall_seconds ckpt_warm_start_speedup)
+  string(JSON value ERROR_VARIABLE json_err GET "${report_json}" metrics ${metric})
+  if(json_err)
+    message(FATAL_ERROR "BENCH_smoke.json metrics.${metric} missing (${json_err})")
+  endif()
+endforeach()
 
 # Serving phase: the open-loop facade pump is loss-free by contract —
 # arrivals and completions must agree exactly, the span decomposition must

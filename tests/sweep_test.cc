@@ -268,3 +268,163 @@ TEST(StatRegistryLifetime, SnapshotOfDestroyedSystemIsALoudSweepFailure) {
   ASSERT_EQ(res.failures.size(), 1u);
   EXPECT_NE(res.failures[0].message.find("destroyed"), std::string::npos);
 }
+
+// ---- crash-resilient sweeps: retry, deadline, graceful degradation --------
+
+TEST(SweepRetry, FlakyJobIsRetriedInPlaceAndSucceeds) {
+  // Config value = number of attempts that must fail before success.
+  const std::vector<int> configs = {0, 2, 1, 0};
+  harness::SweepOptions opt;
+  opt.jobs = 1;
+  opt.retries = 3;
+  std::vector<unsigned> attempts_used(configs.size(), 0);
+  const auto res = harness::run_sweep(
+      configs,
+      [&](const int& fail_first_n, harness::JobContext& ctx) {
+        attempts_used[ctx.index] = ctx.attempt + 1;
+        if (static_cast<int>(ctx.attempt) < fail_first_n)
+          throw std::runtime_error("transient fault");
+        ctx.fragment.metric("ok", 1.0);
+        return static_cast<int>(ctx.index);
+      },
+      opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(attempts_used[0], 1u);
+  EXPECT_EQ(attempts_used[1], 3u);  // 2 failures + 1 success
+  EXPECT_EQ(attempts_used[2], 2u);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(res.at(i), static_cast<int>(i));
+    EXPECT_FALSE(res.fragments[i].empty());
+  }
+}
+
+TEST(SweepRetry, ExhaustedRetriesRecordEnrichedFailure) {
+  const std::vector<int> configs = {0, 1};
+  harness::SweepOptions opt;
+  opt.jobs = 1;
+  opt.retries = 2;
+  opt.seed_base = 99;
+  opt.label = [](std::size_t i) { return "point-" + std::to_string(i); };
+  const auto res = harness::run_sweep(
+      configs,
+      [](const int& c, harness::JobContext& ctx) {
+        EXPECT_EQ(ctx.seed, harness::job_seed(99, ctx.index));
+        if (c == 1) throw std::runtime_error("hard fault");
+        return c;
+      },
+      opt);
+  EXPECT_FALSE(res.ok());
+  ASSERT_EQ(res.failures.size(), 1u);
+  const harness::Failure& f = res.failures[0];
+  EXPECT_EQ(f.index, 1u);
+  EXPECT_EQ(f.config, "point-1");
+  EXPECT_EQ(f.message, "hard fault");
+  EXPECT_EQ(f.attempts, 3u);  // first try + 2 retries
+  EXPECT_EQ(f.seed, harness::job_seed(99, 1));
+  EXPECT_GE(f.wall_seconds, 0.0);
+  // The healthy point is untouched by its neighbour's death.
+  EXPECT_EQ(res.at(0), 0);
+}
+
+TEST(SweepRetry, RetriedJobLeavesNoPartialFragmentState) {
+  const std::vector<int> configs = {7};
+  harness::SweepOptions opt;
+  opt.jobs = 1;
+  opt.retries = 1;
+  const auto res = harness::run_sweep(
+      configs,
+      [](const int&, harness::JobContext& ctx) {
+        ctx.fragment.row({"attempt", std::to_string(ctx.attempt)});
+        if (ctx.attempt == 0) throw std::runtime_error("die after partial output");
+        return 1;
+      },
+      opt);
+  ASSERT_TRUE(res.ok());
+  // Only the successful attempt's row survives — a retried run's merged
+  // report is byte-identical to a first-try run's.
+  ASSERT_EQ(res.fragments[0].rows().size(), 1u);
+  EXPECT_EQ(res.fragments[0].rows()[0][1], "1");
+}
+
+TEST(SweepRetry, DeadlineExpiryIsATimeoutFailure) {
+  const std::vector<int> configs = {0};
+  harness::SweepOptions opt;
+  opt.jobs = 1;
+  opt.retries = 0;
+  opt.timeout_seconds = 1e-9;  // expired before the job's first poll
+  const auto res = harness::run_sweep(
+      configs,
+      [](const int&, harness::JobContext& ctx) {
+        while (!ctx.deadline_expired()) {
+        }
+        ctx.check_deadline();
+        return 1;
+      },
+      opt);
+  EXPECT_FALSE(res.ok());
+  ASSERT_EQ(res.failures.size(), 1u);
+  EXPECT_NE(res.failures[0].message.find("wall-clock budget"), std::string::npos);
+  EXPECT_EQ(res.failures[0].attempts, 1u);
+}
+
+TEST(SweepRetry, TimedOutAttemptRetriesWithAFreshBudget) {
+  const std::vector<int> configs = {0};
+  harness::SweepOptions opt;
+  opt.jobs = 1;
+  opt.retries = 1;
+  opt.timeout_seconds = 0.005;
+  const auto res = harness::run_sweep(
+      configs,
+      [](const int&, harness::JobContext& ctx) {
+        if (ctx.attempt == 0) {
+          while (!ctx.deadline_expired()) {
+          }
+          ctx.check_deadline();  // throws SweepTimeout
+        }
+        ctx.check_deadline();  // fresh budget: must NOT throw on the retry
+        return 1;
+      },
+      opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.at(0), 1);
+}
+
+TEST(SweepRetry, NoDeadlineMeansTimePointMax) {
+  const std::vector<int> configs = {0};
+  harness::SweepOptions opt;
+  opt.jobs = 1;
+  opt.timeout_seconds = 0;  // explicit "no budget"
+  const auto res = harness::run_sweep(
+      configs,
+      [](const int&, harness::JobContext& ctx) {
+        EXPECT_FALSE(ctx.deadline_expired());
+        ctx.check_deadline();
+        return 1;
+      },
+      opt);
+  ASSERT_TRUE(res.ok());
+}
+
+TEST(SweepRetry, FailureTableStampsDeadPointsIntoTheReport) {
+  std::vector<harness::Failure> failures;
+  failures.push_back({3, "sched=tcm", "watchdog 'run' fired", 0xDEADull, 4, 1.25});
+  obs::Report report("retrytest", "t", "c");
+  report.add_metric("live_points", 5);
+  harness::add_failure_table(report, failures);
+  report.set_complete(true);
+  std::ostringstream json;
+  report.write_json(json);
+  const std::string s = json.str();
+  EXPECT_NE(s.find("dead points (retries exhausted)"), std::string::npos);
+  EXPECT_NE(s.find("dead_points"), std::string::npos);
+  EXPECT_NE(s.find("sched=tcm"), std::string::npos);
+  EXPECT_NE(s.find("0xdead"), std::string::npos);
+  EXPECT_NE(s.find("\"complete\":true"), std::string::npos);
+
+  // A clean sweep's artifact carries neither the table nor the metric.
+  obs::Report clean("retryclean", "t", "c");
+  harness::add_failure_table(clean, {});
+  std::ostringstream clean_json;
+  clean.write_json(clean_json);
+  EXPECT_EQ(clean_json.str().find("dead"), std::string::npos);
+}

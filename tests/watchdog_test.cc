@@ -7,14 +7,18 @@
 // and the refresh backlog.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/clock.hh"
 #include "mem/memsys.hh"
 #include "mem/refresh.hh"
 #include "obs/stat_registry.hh"
+#include "harness/sweep.hh"
 #include "obs/watchdog.hh"
 
 namespace ima {
@@ -303,6 +307,111 @@ TEST(WatchdogRegression, MemorySystemDrainIsWatched) {
   sys.set_watchdog(nullptr);
   (void)sys.drain(1'000'000);
   EXPECT_TRUE(sys.idle());
+}
+
+TEST(WatchdogCollision, TwoSweepJobsWithTheSameIdWriteDistinctArtifacts) {
+  // Regression: default-named artifacts used to be last-writer-wins — two
+  // sweep jobs both arming id="run" and both firing left ONE file, the
+  // second casualty silently overwriting the first's evidence.
+  ::setenv("IMA_BENCH_OUT", ::testing::TempDir().c_str(), 1);
+  std::vector<std::string> artifact(2);
+  harness::run_indexed(2, 1, [&](std::size_t i, unsigned) {
+    obs::Watchdog::Config cfg;
+    cfg.id = "collide";
+    cfg.check_interval = 1;
+    cfg.stall_cycles = 10;
+    // No artifact_path: the default resolution is what's under test.
+    obs::Watchdog wd(cfg);
+    wd.set_progress([] { return std::uint64_t{42}; });
+    try {
+      wd.check(0);     // baseline
+      wd.check(1000);  // frozen token past the limit: fires
+    } catch (const obs::WatchdogError& e) {
+      artifact[i] = e.artifact();
+    }
+  });
+  ASSERT_FALSE(artifact[0].empty());
+  ASSERT_FALSE(artifact[1].empty());
+  EXPECT_NE(artifact[0], artifact[1]);
+  EXPECT_NE(artifact[0].find(".job0"), std::string::npos);
+  EXPECT_NE(artifact[1].find(".job1"), std::string::npos);
+  // Both flight recorders exist and are self-identifying.
+  for (const auto& path : artifact) {
+    const std::string body = slurp(path);
+    EXPECT_NE(body.find("collide"), std::string::npos) << path;
+  }
+  ::unsetenv("IMA_BENCH_OUT");
+}
+
+TEST(WatchdogCollision, SameIdOutsideASweepGetsADupSuffix) {
+  ::setenv("IMA_BENCH_OUT", ::testing::TempDir().c_str(), 1);
+  const auto fire_path = [] {
+    obs::Watchdog::Config cfg;
+    cfg.id = "twice";
+    cfg.check_interval = 1;
+    cfg.stall_cycles = 10;
+    obs::Watchdog wd(cfg);
+    wd.set_progress([] { return std::uint64_t{7}; });
+    try {
+      wd.check(0);
+      wd.check(1000);
+    } catch (const obs::WatchdogError& e) {
+      return e.artifact();
+    }
+    return std::string();
+  };
+  const std::string first = fire_path();
+  const std::string second = fire_path();
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(second.empty());
+  EXPECT_NE(first, second);
+  EXPECT_NE(second.find(".dup"), std::string::npos);
+  ::unsetenv("IMA_BENCH_OUT");
+}
+
+TEST(WatchdogEscalation, CheckpointWriterRunsAndIsRecordedInTheArtifact) {
+  auto cfg = base_cfg("ckptwr");
+  cfg.stall_cycles = 10;
+  obs::Watchdog wd(cfg);
+  wd.set_progress([] { return std::uint64_t{1}; });
+  std::string asked;
+  wd.set_checkpoint_writer([&asked](const std::string& path) {
+    asked = path;
+    std::ofstream(path) << "checkpoint bytes";
+  });
+  EXPECT_THROW(
+      {
+        wd.check(0);
+        wd.check(1000);
+      },
+      obs::WatchdogError);
+  EXPECT_EQ(asked, cfg.artifact_path + ".ckpt");
+  EXPECT_NE(slurp(asked).find("checkpoint bytes"), std::string::npos);
+  const std::string body = slurp(cfg.artifact_path);
+  EXPECT_NE(body.find("\"checkpoint\""), std::string::npos);
+  EXPECT_NE(body.find(".ckpt"), std::string::npos);
+  EXPECT_EQ(body.find("checkpoint_error"), std::string::npos);
+}
+
+TEST(WatchdogEscalation, ThrowingCheckpointWriterDegradesToAnErrorField) {
+  auto cfg = base_cfg("ckptwr_refused");
+  cfg.stall_cycles = 10;
+  obs::Watchdog wd(cfg);
+  wd.set_progress([] { return std::uint64_t{1}; });
+  wd.set_checkpoint_writer([](const std::string&) {
+    throw std::runtime_error("memory system not quiescent");
+  });
+  // The original wedge is still the reported failure...
+  EXPECT_THROW(
+      {
+        wd.check(0);
+        wd.check(1000);
+      },
+      obs::WatchdogError);
+  // ...and the artifact says why no checkpoint landed next to it.
+  const std::string body = slurp(cfg.artifact_path);
+  EXPECT_NE(body.find("checkpoint_error"), std::string::npos);
+  EXPECT_NE(body.find("not quiescent"), std::string::npos);
 }
 
 }  // namespace

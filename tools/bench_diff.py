@@ -8,9 +8,15 @@ under either clock mode (per-cycle / skip-ahead). Host-side measurements
 (wall seconds, host cycles/sec, speedups, resolved worker counts) are
 legitimately different run to run, so they are masked before comparison.
 
-Usage:  bench_diff.py A.json B.json
+Usage:  bench_diff.py [--subset] A.json B.json
 Exit 0: reports are equivalent.  Exit 1: they differ (diff on stdout).
 Exit 2: usage / parse error.
+
+--subset: every field recorded in A must match B, but B may carry extra
+fields A never had. This is the committed-golden mode: benches grow new
+phases (new metrics, new tables) after a golden is recorded, and the pin
+is on the values that existed at recording time — a changed or vanished
+value still fails, a new one does not.
 """
 
 import json
@@ -63,6 +69,8 @@ def flatten(node, prefix, out):
 
 
 def main(argv):
+    subset = "--subset" in argv
+    argv = [a for a in argv if a != "--subset"]
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
@@ -78,8 +86,16 @@ def main(argv):
     a, b = {}, {}
     flatten(sides[0], "", a)
     flatten(sides[1], "", b)
+    if subset:
+        # Golden mode pins simulated values, not prose: the descriptive
+        # header strings legitimately grow as phases are added.
+        for side in (a, b):
+            for key in ("title", "claim", "shape"):
+                side.pop(key, None)
+        b = {k: v for k, v in b.items() if k in a}
     if a == b:
-        print(f"bench_diff: equivalent ({len(a)} fields compared, "
+        mode = "golden fields matched" if subset else "fields compared"
+        print(f"bench_diff: equivalent ({len(a)} {mode}, "
               f"host-time keys masked)")
         return 0
 
